@@ -1,0 +1,47 @@
+//! Ablation bench: the cost of each compiler phase (DESIGN.md calls out
+//! the phase pipeline as a design choice) on a 256-point FFT formula.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use spl_compiler::{intrinsics, optimize, typetrans, unroll};
+use spl_generator::fft::{ct_sequence, Rule};
+use spl_templates::{expand_formula, ExpandOptions, TemplateTable};
+
+fn bench_phases(c: &mut Criterion) {
+    let tree = ct_sequence(&[4usize, 4, 16], Rule::CooleyTukey);
+    let sexp = tree.to_sexp();
+    let table = TemplateTable::builtin();
+    let opts = ExpandOptions {
+        unroll_threshold: Some(16),
+        ..Default::default()
+    };
+    let expanded = expand_formula(&sexp, &table, &opts).expect("expands");
+    let unrolled = unroll::unroll(&expanded);
+    let evaluated = intrinsics::eval_intrinsics(&unrolled).expect("intrinsics");
+    let lowered = typetrans::complex_to_real(&evaluated).expect("typetrans");
+    let scalarized = unroll::scalarize(&lowered);
+
+    let mut group = c.benchmark_group("compiler_phases_f256");
+    group.sample_size(15);
+    group.bench_function("expand", |b| {
+        b.iter(|| expand_formula(black_box(&sexp), &table, &opts).unwrap())
+    });
+    group.bench_function("unroll", |b| b.iter(|| unroll::unroll(black_box(&expanded))));
+    group.bench_function("intrinsics", |b| {
+        b.iter(|| intrinsics::eval_intrinsics(black_box(&unrolled)).unwrap())
+    });
+    group.bench_function("typetrans", |b| {
+        b.iter(|| typetrans::complex_to_real(black_box(&evaluated)).unwrap())
+    });
+    group.bench_function("scalarize", |b| {
+        b.iter(|| unroll::scalarize(black_box(&lowered)))
+    });
+    group.bench_function("optimize", |b| {
+        b.iter(|| optimize::optimize(black_box(&scalarized)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_phases);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Generality bench: WHT and DCT compiled through the same pipeline
+//! (the paper's argument that SPL is not FFT-specific).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use spl_compiler::{Compiler, CompilerOptions};
+use spl_frontend::ast::{DataType, DirectiveState};
+use spl_generator::{dct, wht};
+use spl_native::NativeKernel;
+
+fn native_for(sexp: &spl_frontend::Sexp) -> NativeKernel {
+    let mut compiler = Compiler::with_options(CompilerOptions {
+        unroll_threshold: Some(16),
+        ..Default::default()
+    });
+    compiler
+        .compile_source(dct::TEMPLATE_SOURCE)
+        .expect("dct template");
+    let directives = DirectiveState {
+        datatype: DataType::Real,
+        ..Default::default()
+    };
+    let unit = compiler.compile_sexp(sexp, &directives).expect("compiles");
+    NativeKernel::compile(&unit).expect("native")
+}
+
+fn bench_transforms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wht_dct_native");
+    group.sample_size(20);
+    let x: Vec<f64> = (0..64).map(|i| (i as f64 * 0.4).sin()).collect();
+
+    let wht_kernel = native_for(&wht::balanced(6).to_sexp());
+    let mut y = vec![0.0; wht_kernel.n_out];
+    group.bench_function("wht_64", |b| {
+        b.iter(|| wht_kernel.run(black_box(&x), &mut y))
+    });
+
+    let dct2_kernel = native_for(&dct::dct2(64));
+    let mut y2 = vec![0.0; dct2_kernel.n_out];
+    group.bench_function("dct2_64", |b| {
+        b.iter(|| dct2_kernel.run(black_box(&x), &mut y2))
+    });
+
+    let dct4_kernel = native_for(&dct::dct4(64));
+    let mut y4 = vec![0.0; dct4_kernel.n_out];
+    group.bench_function("dct4_64", |b| {
+        b.iter(|| dct4_kernel.run(black_box(&x), &mut y4))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_transforms);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Figure 6: accuracy of the FFT computation.
+//!
+//! The paper measures relative error per size with benchfft. Here
+//! (DESIGN.md, substitution 3): for N ≤ 2¹² the error is the relative RMS
+//! distance to a Kahan-compensated O(n²) DFT; for larger N it is the
+//! round-trip error `‖IFFT(FFT(x)) − x‖ / ‖x‖`, which grows with the same
+//! O(√log N) trend.
+//!
+//! Usage: `fig6 [--quick] [--max-log2 N]` (default 18).
+
+use spl_bench::{arg_value, print_table, quick_mode, run_fft, run_ifft, workload};
+use spl_numeric::{reference, relative_rms_error};
+use spl_search::{compile_tree, large_search, small_search, OpCountEvaluator, SearchConfig};
+
+fn main() {
+    let quick = quick_mode();
+    let max_log: u32 = arg_value("--max-log2")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 10 } else { 18 });
+    let config = SearchConfig::default();
+    let mut eval = OpCountEvaluator::default();
+    let small = small_search(6, &config, &mut eval).expect("small search");
+    let large = if max_log > 6 {
+        large_search(&small, max_log, &config, &mut eval).expect("large search")
+    } else {
+        Vec::new()
+    };
+
+    let mut rows = Vec::new();
+    let mut trees: Vec<_> = small.iter().map(|r| r.tree.clone()).collect();
+    trees.extend(large.iter().map(|p| p[0].tree.clone()));
+    for tree in &trees {
+        let n = tree.size();
+        let k = n.trailing_zeros();
+        if k > max_log {
+            break;
+        }
+        let vm = compile_tree(tree, 64).expect("tree compiles");
+        let x = workload(n);
+        let y = run_fft(&vm, &x);
+        let (err, method) = if k <= 12 {
+            let want = reference::dft_compensated(&x);
+            (relative_rms_error(&y, &want), "vs compensated DFT")
+        } else {
+            let back = run_ifft(&vm, &y);
+            (relative_rms_error(&back, &x), "round trip")
+        };
+        rows.push(vec![
+            format!("2^{k}"),
+            format!("{err:.3e}"),
+            method.to_string(),
+        ]);
+    }
+    print_table(
+        "Figure 6: relative RMS error of the generated FFTs",
+        &["N", "relative error", "method"],
+        &rows,
+    );
+    println!(
+        "\n(paper: errors stay near machine precision, growing slowly —\n\
+         roughly as sqrt(log N) — with transform size)"
+    );
+}

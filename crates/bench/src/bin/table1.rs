@@ -1,0 +1,102 @@
+//! Table 1: experiment platforms.
+//!
+//! The paper lists its three machines (UltraSPARC II 333 MHz, MIPS R10000
+//! 180 MHz, Pentium III 400 MHz) with caches, memory, OS, and compiler.
+//! Those machines are unavailable; this binary prints the paper's
+//! platforms for reference and introspects the host the reproduction
+//! actually runs on (DESIGN.md, substitution 4).
+
+use std::fs;
+
+use spl_bench::print_table;
+
+fn read_first_match(path: &str, key: &str) -> Option<String> {
+    let text = fs::read_to_string(path).ok()?;
+    text.lines()
+        .find(|l| l.starts_with(key))
+        .map(|l| l.split(':').nth(1).unwrap_or("").trim().to_string())
+}
+
+fn cache_size(index: usize) -> Option<String> {
+    let base = format!("/sys/devices/system/cpu/cpu0/cache/index{index}");
+    let size = fs::read_to_string(format!("{base}/size")).ok()?;
+    let level = fs::read_to_string(format!("{base}/level")).ok()?;
+    let kind = fs::read_to_string(format!("{base}/type")).ok()?;
+    Some(format!(
+        "L{} {} {}",
+        level.trim(),
+        kind.trim().to_lowercase(),
+        size.trim()
+    ))
+}
+
+fn main() {
+    let paper_rows = vec![
+        vec![
+            "UltraSPARC II".to_string(),
+            "333 MHz".into(),
+            "16KB/16KB".into(),
+            "2MB".into(),
+            "128MB".into(),
+            "Solaris 7".into(),
+            "Workshop 5.0".into(),
+        ],
+        vec![
+            "MIPS R10000".to_string(),
+            "180 MHz".into(),
+            "32KB/32KB".into(),
+            "1MB".into(),
+            "384MB".into(),
+            "IRIX64 6.5".into(),
+            "MIPSpro 7.3.1.1m".into(),
+        ],
+        vec![
+            "Pentium III".to_string(),
+            "400 MHz".into(),
+            "16KB/16KB".into(),
+            "512KB".into(),
+            "256MB".into(),
+            "Linux 2.2.18".into(),
+            "egcs 1.1.2".into(),
+        ],
+    ];
+    print_table(
+        "Table 1 (paper): experiment platforms",
+        &["CPU", "Clock", "L1 cache", "L2 cache", "Memory", "OS", "Compiler"],
+        &paper_rows,
+    );
+
+    let model = read_first_match("/proc/cpuinfo", "model name").unwrap_or_else(|| "unknown".into());
+    let mhz = read_first_match("/proc/cpuinfo", "cpu MHz")
+        .map(|v| format!("{v} MHz"))
+        .unwrap_or_else(|| "unknown".into());
+    let mem = read_first_match("/proc/meminfo", "MemTotal").unwrap_or_else(|| "unknown".into());
+    let os = fs::read_to_string("/proc/version")
+        .map(|v| v.split_whitespace().take(3).collect::<Vec<_>>().join(" "))
+        .unwrap_or_else(|_| "unknown".into());
+    let caches: Vec<String> = (0..4).filter_map(cache_size).collect();
+    let rustc = std::process::Command::new("rustc")
+        .arg("--version")
+        .output()
+        .ok()
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "rustc (unknown)".into());
+
+    print_table(
+        "Table 1 (this reproduction): host platform",
+        &["Property", "Value"],
+        &[
+            vec!["CPU".into(), model],
+            vec!["Clock".into(), mhz],
+            vec!["Caches".into(), caches.join(", ")],
+            vec!["Memory".into(), mem],
+            vec!["OS".into(), os],
+            vec!["Compiler".into(), rustc],
+            vec![
+                "Execution engine".into(),
+                "spl-vm register VM over optimized i-code (see DESIGN.md)".into(),
+            ],
+        ],
+    );
+}

@@ -1,0 +1,114 @@
+//! Generality beyond the FFT (the paper's closing argument, and its
+//! Section 5 pointer to the WHT package of Johnson & Püschel): run the
+//! same search machinery over the Walsh–Hadamard split rule, and compile
+//! the recursive DCT rules, reporting performance for each.
+//!
+//! Usage: `transforms [--quick]`.
+
+use std::time::Duration;
+
+use spl_bench::{print_table, quick_mode, MEASURE_TIME};
+use spl_compiler::{Compiler, CompilerOptions};
+use spl_frontend::ast::{DataType, DirectiveState};
+use spl_generator::{bluestein, dct};
+use spl_native::NativeKernel;
+use spl_numeric::pseudo_mflops;
+use spl_search::wht_search;
+
+fn native_for(sexp: &spl_frontend::Sexp, unroll: usize, datatype: DataType) -> NativeKernel {
+    let mut compiler = Compiler::with_options(CompilerOptions {
+        unroll_threshold: Some(unroll),
+        ..Default::default()
+    });
+    compiler
+        .compile_source(dct::TEMPLATE_SOURCE)
+        .expect("dct templates");
+    compiler
+        .compile_source(bluestein::TEMPLATE_SOURCE)
+        .expect("bluestein templates");
+    let directives = DirectiveState {
+        datatype,
+        codetype: DataType::Real,
+        ..Default::default()
+    };
+    let unit = compiler.compile_sexp(sexp, &directives).expect("compiles");
+    NativeKernel::compile(&unit).expect("native")
+}
+
+fn native_real(sexp: &spl_frontend::Sexp, unroll: usize) -> NativeKernel {
+    native_for(sexp, unroll, DataType::Real)
+}
+
+fn main() {
+    let quick = quick_mode();
+    let min_time = if quick {
+        Duration::from_millis(2)
+    } else {
+        MEASURE_TIME
+    };
+    let max_k = if quick { 4 } else { 8 };
+
+    // WHT search over the split rule.
+    let best = wht_search(max_k, 6, 64, min_time).expect("wht search");
+    let mut rows = Vec::new();
+    for (tree, _) in &best {
+        let n = tree.size();
+        let kernel = native_real(&tree.to_sexp(), 64);
+        let t = kernel.measure(min_time);
+        rows.push(vec![
+            n.to_string(),
+            format!("{tree:?}").chars().take(48).collect(),
+            format!("{:.1}", pseudo_mflops(n, t * 1e6)),
+        ]);
+    }
+    print_table(
+        "WHT search winners (same DP machinery, Walsh–Hadamard split rule)",
+        &["N", "winning split", "pMFLOPS"],
+        &rows,
+    );
+
+    // DCT-II / DCT-IV via the recursive rules.
+    let mut rows = Vec::new();
+    for k in 2..=if quick { 4 } else { 6 } {
+        let n = 1usize << k;
+        for (name, sexp) in [("DCT-II", dct::dct2(n)), ("DCT-IV", dct::dct4(n))] {
+            let kernel = native_real(&sexp, 16);
+            let t = kernel.measure(min_time);
+            rows.push(vec![
+                name.to_string(),
+                n.to_string(),
+                format!("{:.1}", pseudo_mflops(n, t * 1e6)),
+            ]);
+        }
+    }
+    print_table(
+        "DCT rules compiled through the same pipeline",
+        &["transform", "N", "pMFLOPS"],
+        &rows,
+    );
+
+    // Prime-size DFTs via Bluestein's chirp-z (pad/extract user
+    // templates + the convolution-theorem formula).
+    let mut rows = Vec::new();
+    for n in [7usize, 13, 31, 61] {
+        if quick && n > 13 {
+            break;
+        }
+        let kernel = native_for(&bluestein::bluestein(n), 16, DataType::Complex);
+        let t = kernel.measure(min_time);
+        rows.push(vec![
+            n.to_string(),
+            bluestein::convolution_size(n).to_string(),
+            format!("{:.1}", pseudo_mflops(n, t * 1e6)),
+        ]);
+    }
+    print_table(
+        "Prime-size DFTs via Bluestein (conv size = inner power-of-two FFT)",
+        &["N", "conv size", "pMFLOPS"],
+        &rows,
+    );
+    println!(
+        "\n(the point of this table is that it exists: no FFT-specific code\n\
+         was touched to produce it — formulas in, fast subroutines out)"
+    );
+}

@@ -1,0 +1,143 @@
+#![warn(missing_docs)]
+
+//! Shared harness utilities for the paper-reproduction benchmarks.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper's evaluation (see DESIGN.md for the experiment index):
+//!
+//! | binary     | reproduces |
+//! |------------|------------|
+//! | `table1`   | Table 1 — experiment platform(s) |
+//! | `fig2`     | Figure 2 — effect of basic optimizations |
+//! | `fig3`     | Figure 3 — small-size FFT performance |
+//! | `fig4`     | Figure 4 — large-size FFT performance |
+//! | `fig5`     | Figure 5 — memory consumption |
+//! | `fig6`     | Figure 6 — accuracy |
+//! | `codesize` | Section 4.2 code-size growth claim |
+
+use std::time::Duration;
+
+use spl_generator::fft::FftTree;
+use spl_numeric::{pseudo_mflops, Complex};
+use spl_search::{compile_tree, SearchError};
+use spl_vm::{measure, VmProgram, VmState};
+
+/// Default minimum measurement time per data point.
+pub const MEASURE_TIME: Duration = Duration::from_millis(20);
+
+/// Parses a `--flag value` style option from `std::env::args`.
+pub fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// True when `--quick` was passed (smaller sweeps for smoke tests).
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// A deterministic complex workload (same data for every candidate).
+pub fn workload(n: usize) -> Vec<Complex> {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x5915_u64 + n as u64);
+    (0..n)
+        .map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+        .collect()
+}
+
+/// Compiles a tree and measures it, returning pseudo-MFLOPS
+/// (`5·N·log₂N / t_µs`, paper Section 4.1).
+///
+/// # Errors
+///
+/// Propagates compilation failures.
+pub fn tree_pseudo_mflops(tree: &FftTree, min_time: Duration) -> Result<f64, SearchError> {
+    let n = tree.size();
+    let vm = compile_tree(tree, 64)?;
+    let m = measure(&vm, min_time);
+    Ok(pseudo_mflops(n, m.micros_per_call()))
+}
+
+/// Runs a compiled SPL FFT on a complex vector.
+pub fn run_fft(vm: &VmProgram, x: &[Complex]) -> Vec<Complex> {
+    let flat = spl_vm::convert::interleave(x);
+    let mut y = vec![0.0; vm.n_out];
+    let mut st = VmState::new(vm);
+    vm.run(&flat, &mut y, &mut st);
+    spl_vm::convert::deinterleave(&y)
+}
+
+/// Runs the *inverse* FFT through a forward SPL program using
+/// `IDFT(x) = conj(DFT(conj(x))) / n`.
+pub fn run_ifft(vm: &VmProgram, x: &[Complex]) -> Vec<Complex> {
+    let n = x.len();
+    let conj: Vec<Complex> = x.iter().map(|z| z.conj()).collect();
+    let y = run_fft(vm, &conj);
+    y.into_iter().map(|z| z.conj() * (1.0 / n as f64)).collect()
+}
+
+/// Prints a header and aligned numeric rows (simple fixed-width table).
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n{title}");
+    println!("{}", "-".repeat(title.len()));
+    let widths: Vec<usize> = headers
+        .iter()
+        .enumerate()
+        .map(|(c, h)| {
+            rows.iter()
+                .map(|r| r.get(c).map_or(0, String::len))
+                .chain(std::iter::once(h.len()))
+                .max()
+                .unwrap_or(0)
+        })
+        .collect();
+    let fmt_row = |cells: Vec<String>| {
+        cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!(
+        "{}",
+        fmt_row(headers.iter().map(|s| s.to_string()).collect())
+    );
+    for r in rows {
+        println!("{}", fmt_row(r.clone()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spl_generator::fft::{FftTree, Rule};
+
+    #[test]
+    fn workload_is_deterministic() {
+        assert_eq!(workload(8), workload(8));
+        assert_ne!(workload(8), workload(16)[..8].to_vec());
+    }
+
+    #[test]
+    fn tree_measurement_works() {
+        let t = FftTree::node(Rule::CooleyTukey, FftTree::leaf(2), FftTree::leaf(2));
+        let mflops = tree_pseudo_mflops(&t, Duration::from_millis(3)).unwrap();
+        assert!(mflops > 0.0);
+    }
+
+    #[test]
+    fn fft_and_inverse_round_trip() {
+        let t = FftTree::node(Rule::CooleyTukey, FftTree::leaf(4), FftTree::leaf(4));
+        let vm = compile_tree(&t, 64).unwrap();
+        let x = workload(16);
+        let y = run_fft(&vm, &x);
+        let back = run_ifft(&vm, &y);
+        for (a, b) in back.iter().zip(&x) {
+            assert!(a.approx_eq(*b, 1e-10));
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! The unified compiler error type.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::intrinsics::IntrinsicError;
+use crate::typetrans::TypeTransError;
+use spl_frontend::ParseError;
+use spl_templates::ExpandError;
+
+/// Any error the compiler driver can produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// A lexing or parsing failure.
+    Parse(ParseError),
+    /// A template-expansion failure (no match, bad shapes, non-affine
+    /// subscripts, ...).
+    Expand(ExpandError),
+    /// An intrinsic-evaluation failure.
+    Intrinsic(IntrinsicError),
+    /// A type-transformation failure.
+    TypeTrans(TypeTransError),
+    /// An internal invariant violation (a phase produced invalid i-code).
+    Internal(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Parse(e) => write!(f, "parse error: {e}"),
+            CompileError::Expand(e) => write!(f, "{e}"),
+            CompileError::Intrinsic(e) => write!(f, "{e}"),
+            CompileError::TypeTrans(e) => write!(f, "{e}"),
+            CompileError::Internal(e) => write!(f, "internal compiler error: {e}"),
+        }
+    }
+}
+
+impl Error for CompileError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CompileError::Parse(e) => Some(e),
+            CompileError::Expand(e) => Some(e),
+            CompileError::Intrinsic(e) => Some(e),
+            CompileError::TypeTrans(e) => Some(e),
+            CompileError::Internal(_) => None,
+        }
+    }
+}
+
+impl From<ParseError> for CompileError {
+    fn from(e: ParseError) -> Self {
+        CompileError::Parse(e)
+    }
+}
+
+impl From<ExpandError> for CompileError {
+    fn from(e: ExpandError) -> Self {
+        CompileError::Expand(e)
+    }
+}
+
+impl From<IntrinsicError> for CompileError {
+    fn from(e: IntrinsicError) -> Self {
+        CompileError::Intrinsic(e)
+    }
+}
+
+impl From<TypeTransError> for CompileError {
+    fn from(e: TypeTransError) -> Self {
+        CompileError::TypeTrans(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = CompileError::Internal("boom".into());
+        assert_eq!(e.to_string(), "internal compiler error: boom");
+        let e: CompileError = ExpandError("no template".into()).into();
+        assert!(e.to_string().contains("no template"));
+    }
+
+    #[test]
+    fn source_is_exposed() {
+        let e: CompileError = IntrinsicError("bad".into()).into();
+        assert!(e.source().is_some());
+    }
+}

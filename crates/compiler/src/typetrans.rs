@@ -1,0 +1,568 @@
+//! Type transformation (paper Section 3.3.3): lowering complex i-code to
+//! real i-code.
+//!
+//! When the data type is complex but the code type is real, every complex
+//! value is represented as a pair of adjacent reals (`re` at `2k`, `im` at
+//! `2k+1`) and every complex operation becomes the corresponding real
+//! operations. Multiplication by purely-imaginary constants lowers to the
+//! cross pattern whose `±1` factors the value-numbering pass then folds —
+//! reproducing the paper's "replace multiplication by i with a swap and a
+//! negation".
+
+use spl_icode::{Affine, BinOp, IProgram, Instr, Place, UnOp, Value, VecRef};
+use spl_numeric::Complex;
+
+/// An error during type transformation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeTransError(pub String);
+
+impl std::fmt::Display for TypeTransError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "type transformation failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for TypeTransError {}
+
+/// Marks a program as operating on real data without structural changes
+/// (`#datatype real`).
+///
+/// # Errors
+///
+/// Fails if the program contains complex constants or tables.
+pub fn mark_real(prog: &IProgram) -> Result<IProgram, TypeTransError> {
+    for ins in &prog.instrs {
+        let mut bad = false;
+        ins.for_each_value(&mut |v| {
+            fn check(v: &Value, bad: &mut bool) {
+                match v {
+                    Value::Const(c) if !c.is_real() => *bad = true,
+                    Value::Intrinsic(_, args) => args.iter().for_each(|a| check(a, bad)),
+                    _ => {}
+                }
+            }
+            check(v, &mut bad);
+        });
+        if bad {
+            return Err(TypeTransError(
+                "real datatype but the formula produced complex constants".into(),
+            ));
+        }
+    }
+    if prog.tables.iter().any(|t| t.iter().any(|c| !c.is_real())) {
+        return Err(TypeTransError(
+            "real datatype but twiddle tables are complex".into(),
+        ));
+    }
+    let mut out = prog.clone();
+    out.complex = false;
+    Ok(out)
+}
+
+/// Lowers a complex program to real i-code (`#datatype complex`,
+/// `#codetype real`). Vector lengths, temp sizes, and `$f` registers all
+/// double; integer registers are untouched.
+///
+/// # Errors
+///
+/// Fails if intrinsics are still present (run intrinsic evaluation first).
+pub fn complex_to_real(prog: &IProgram) -> Result<IProgram, TypeTransError> {
+    let mut tt = Lower {
+        out: Vec::with_capacity(prog.instrs.len() * 2),
+        next_f: prog.n_f * 2,
+    };
+    for ins in &prog.instrs {
+        tt.lower(ins)?;
+    }
+    Ok(IProgram {
+        instrs: tt.out,
+        n_in: prog.n_in * 2,
+        n_out: prog.n_out * 2,
+        temps: prog.temps.iter().map(|&t| t * 2).collect(),
+        tables: prog
+            .tables
+            .iter()
+            .map(|t| {
+                t.iter()
+                    .flat_map(|c| [Complex::real(c.re), Complex::real(c.im)])
+                    .collect()
+            })
+            .collect(),
+        n_f: tt.next_f,
+        n_r: prog.n_r,
+        n_loop: prog.n_loop,
+        complex: false,
+    })
+}
+
+struct Lower {
+    out: Vec<Instr>,
+    next_f: u32,
+}
+
+/// The real/imaginary halves of a lowered complex operand.
+#[derive(Clone)]
+struct Pair {
+    re: Value,
+    im: Value,
+}
+
+impl Lower {
+    fn fresh(&mut self) -> Place {
+        let id = self.next_f;
+        self.next_f += 1;
+        Place::F(id)
+    }
+
+    fn split_place(p: &Place) -> Result<(Place, Place), TypeTransError> {
+        match p {
+            Place::F(k) => Ok((Place::F(2 * k), Place::F(2 * k + 1))),
+            Place::Vec(v) => {
+                let re = Affine {
+                    c: v.idx.c * 2,
+                    terms: v.idx.terms.iter().map(|&(c, lv)| (c * 2, lv)).collect(),
+                };
+                let mut im = re.clone();
+                im.c += 1;
+                Ok((
+                    Place::Vec(VecRef { kind: v.kind, idx: re }),
+                    Place::Vec(VecRef { kind: v.kind, idx: im }),
+                ))
+            }
+            Place::R(_) => Err(TypeTransError(
+                "integer register in a complex-valued position".into(),
+            )),
+        }
+    }
+
+    fn split_value(v: &Value) -> Result<Pair, TypeTransError> {
+        match v {
+            Value::Const(c) => Ok(Pair {
+                re: Value::Const(Complex::real(c.re)),
+                im: Value::Const(Complex::real(c.im)),
+            }),
+            Value::Int(i) => Ok(Pair {
+                re: Value::Const(Complex::real(*i as f64)),
+                im: Value::Const(Complex::ZERO),
+            }),
+            Value::Place(p) => {
+                let (re, im) = Self::split_place(p)?;
+                Ok(Pair {
+                    re: Value::Place(re),
+                    im: Value::Place(im),
+                })
+            }
+            Value::LoopIdx(_) => Err(TypeTransError(
+                "loop index used as a complex value".into(),
+            )),
+            Value::Intrinsic(_, _) => Err(TypeTransError(
+                "intrinsics must be evaluated before type transformation".into(),
+            )),
+        }
+    }
+
+    fn push_bin(&mut self, op: BinOp, dst: Place, a: Value, b: Value) {
+        self.out.push(Instr::Bin { op, dst, a, b });
+    }
+
+    fn push_copy(&mut self, dst: Place, a: Value) {
+        self.out.push(Instr::Un {
+            op: UnOp::Copy,
+            dst,
+            a,
+        });
+    }
+
+    fn lower(&mut self, ins: &Instr) -> Result<(), TypeTransError> {
+        match ins {
+            Instr::DoStart { .. } | Instr::DoEnd => {
+                self.out.push(ins.clone());
+                Ok(())
+            }
+            // Integer-register arithmetic passes through untouched.
+            Instr::Bin {
+                dst: dst @ Place::R(_),
+                ..
+            } => {
+                let _ = dst;
+                self.out.push(ins.clone());
+                Ok(())
+            }
+            Instr::Un {
+                dst: dst @ Place::R(_),
+                ..
+            } => {
+                let _ = dst;
+                self.out.push(ins.clone());
+                Ok(())
+            }
+            Instr::Un { op, dst, a } => {
+                let (dr, di) = Self::split_place(dst)?;
+                let a = Self::split_value(a)?;
+                let op = match op {
+                    UnOp::Copy => UnOp::Copy,
+                    UnOp::Neg => UnOp::Neg,
+                };
+                self.out.push(Instr::Un {
+                    op,
+                    dst: dr,
+                    a: a.re,
+                });
+                self.out.push(Instr::Un {
+                    op,
+                    dst: di,
+                    a: a.im,
+                });
+                Ok(())
+            }
+            Instr::Bin { op, dst, a, b } => {
+                let (dr, di) = Self::split_place(dst)?;
+                let pa = Self::split_value(a)?;
+                let pb = Self::split_value(b)?;
+                match op {
+                    BinOp::Add | BinOp::Sub => {
+                        let op = if *op == BinOp::Add {
+                            BinOp::Add
+                        } else {
+                            BinOp::Sub
+                        };
+                        self.push_bin(op, dr, pa.re, pb.re);
+                        self.push_bin(op, di, pa.im, pb.im);
+                        Ok(())
+                    }
+                    BinOp::Mul => self.lower_mul(dr, di, a, b, pa, pb),
+                    BinOp::Div => self.lower_div(dr, di, a, b, pa, pb),
+                }
+            }
+        }
+    }
+
+    fn lower_mul(
+        &mut self,
+        dr: Place,
+        di: Place,
+        a: &Value,
+        b: &Value,
+        pa: Pair,
+        pb: Pair,
+    ) -> Result<(), TypeTransError> {
+        // Constant-times-value special cases keep the operation count at
+        // the textbook minimum; the remaining ±1 factors are folded by the
+        // optimizer afterwards.
+        let (c, pv) = match (a.as_const(), b.as_const()) {
+            (Some(c), _) => (Some(c), pb.clone()),
+            (_, Some(c)) => (Some(c), pa.clone()),
+            _ => (None, pa.clone()),
+        };
+        if let Some(c) = c {
+            if c.im == 0.0 {
+                // Real constant: two real multiplies, lane-safe.
+                let cr = Value::Const(Complex::real(c.re));
+                self.push_bin(BinOp::Mul, dr, cr.clone(), pv.re);
+                self.push_bin(BinOp::Mul, di, cr, pv.im);
+                return Ok(());
+            }
+            if c.re == 0.0 {
+                // Imaginary constant (0, ci): re = -ci·v_im, im = ci·v_re.
+                // v_re must be saved before dr is written (dst may alias).
+                let ci = Value::Const(Complex::real(c.im));
+                let saved = self.fresh();
+                self.push_copy(saved.clone(), pv.re.clone());
+                let t = self.fresh();
+                self.push_bin(BinOp::Mul, t.clone(), ci.clone(), pv.im);
+                self.out.push(Instr::Un {
+                    op: UnOp::Neg,
+                    dst: dr,
+                    a: Value::Place(t),
+                });
+                self.push_bin(BinOp::Mul, di, ci, Value::Place(saved));
+                return Ok(());
+            }
+            // General complex constant: 4 multiplies through temporaries.
+            let cr = Value::Const(Complex::real(c.re));
+            let ci = Value::Const(Complex::real(c.im));
+            let t1 = self.fresh();
+            let t2 = self.fresh();
+            let t3 = self.fresh();
+            let t4 = self.fresh();
+            self.push_bin(BinOp::Mul, t1.clone(), cr.clone(), pv.re.clone());
+            self.push_bin(BinOp::Mul, t2.clone(), ci.clone(), pv.im.clone());
+            self.push_bin(BinOp::Mul, t3.clone(), cr, pv.im);
+            self.push_bin(BinOp::Mul, t4.clone(), ci, pv.re);
+            self.push_bin(BinOp::Sub, dr, Value::Place(t1), Value::Place(t2));
+            self.push_bin(BinOp::Add, di, Value::Place(t3), Value::Place(t4));
+            return Ok(());
+        }
+        let _ = b;
+        // General complex × complex.
+        let t1 = self.fresh();
+        let t2 = self.fresh();
+        let t3 = self.fresh();
+        let t4 = self.fresh();
+        self.push_bin(BinOp::Mul, t1.clone(), pa.re.clone(), pb.re.clone());
+        self.push_bin(BinOp::Mul, t2.clone(), pa.im.clone(), pb.im.clone());
+        self.push_bin(BinOp::Mul, t3.clone(), pa.re, pb.im);
+        self.push_bin(BinOp::Mul, t4.clone(), pa.im, pb.re);
+        self.push_bin(BinOp::Sub, dr, Value::Place(t1), Value::Place(t2));
+        self.push_bin(BinOp::Add, di, Value::Place(t3), Value::Place(t4));
+        Ok(())
+    }
+
+    fn lower_div(
+        &mut self,
+        dr: Place,
+        di: Place,
+        _a: &Value,
+        b: &Value,
+        pa: Pair,
+        pb: Pair,
+    ) -> Result<(), TypeTransError> {
+        if let Some(c) = b.as_const() {
+            if c == Complex::ZERO {
+                return Err(TypeTransError("division by the zero constant".into()));
+            }
+            // Divide by constant = multiply by reciprocal.
+            let r = c.recip();
+            let recip = Value::Const(r);
+            let pv = pa;
+            return self.lower_mul(
+                dr,
+                di,
+                &recip,
+                b,
+                Pair {
+                    re: Value::Const(Complex::real(r.re)),
+                    im: Value::Const(Complex::real(r.im)),
+                },
+                pv,
+            );
+        }
+        // General division: num = a·conj(b), den = |b|².
+        let den = self.fresh();
+        let t1 = self.fresh();
+        let t2 = self.fresh();
+        self.push_bin(BinOp::Mul, t1.clone(), pb.re.clone(), pb.re.clone());
+        self.push_bin(BinOp::Mul, t2.clone(), pb.im.clone(), pb.im.clone());
+        self.push_bin(
+            BinOp::Add,
+            den.clone(),
+            Value::Place(t1),
+            Value::Place(t2),
+        );
+        let n1 = self.fresh();
+        let n2 = self.fresh();
+        let n3 = self.fresh();
+        let n4 = self.fresh();
+        self.push_bin(BinOp::Mul, n1.clone(), pa.re.clone(), pb.re.clone());
+        self.push_bin(BinOp::Mul, n2.clone(), pa.im.clone(), pb.im.clone());
+        self.push_bin(BinOp::Mul, n3.clone(), pa.im, pb.re);
+        self.push_bin(BinOp::Mul, n4.clone(), pa.re, pb.im);
+        let nr = self.fresh();
+        let ni = self.fresh();
+        self.push_bin(
+            BinOp::Add,
+            nr.clone(),
+            Value::Place(n1),
+            Value::Place(n2),
+        );
+        self.push_bin(
+            BinOp::Sub,
+            ni.clone(),
+            Value::Place(n3),
+            Value::Place(n4),
+        );
+        self.push_bin(BinOp::Div, dr, Value::Place(nr), Value::Place(den.clone()));
+        self.push_bin(BinOp::Div, di, Value::Place(ni), Value::Place(den));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Interleaved-complex helpers for tests of real-typed programs
+    //! (the `f64` production equivalents live in `spl_vm::convert`).
+    use spl_numeric::Complex;
+
+    /// `[z0, z1, ...]` → `[re0, im0, ...]` as real-valued `Complex`es.
+    pub fn interleave(x: &[Complex]) -> Vec<Complex> {
+        x.iter()
+            .flat_map(|c| [Complex::real(c.re), Complex::real(c.im)])
+            .collect()
+    }
+
+    /// Inverse of [`interleave`].
+    pub fn deinterleave(x: &[Complex]) -> Vec<Complex> {
+        assert!(x.len().is_multiple_of(2), "deinterleave: odd length");
+        x.chunks(2).map(|p| Complex::new(p[0].re, p[1].re)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intrinsics::eval_intrinsics;
+    use crate::unroll::unroll_all;
+    use spl_frontend::parser::parse_formula;
+    use spl_icode::interp::run;
+    use spl_templates::{expand_formula, ExpandOptions, TemplateTable};
+
+    fn lower(src: &str, unroll: bool) -> (IProgram, IProgram) {
+        let table = TemplateTable::builtin();
+        let sexp = parse_formula(src).unwrap();
+        let mut p =
+            expand_formula(&sexp, &table, &ExpandOptions::default()).unwrap();
+        if unroll {
+            p = unroll_all(&p);
+        }
+        let p = eval_intrinsics(&p).unwrap();
+        let r = complex_to_real(&p).unwrap();
+        r.validate().unwrap();
+        assert!(!r.complex);
+        (p, r)
+    }
+
+    fn ramp(n: usize) -> Vec<Complex> {
+        (0..n)
+            .map(|i| Complex::new((i as f64) * 0.7 - 1.0, (i as f64).sin()))
+            .collect()
+    }
+
+    fn check(src: &str, n: usize, unroll: bool) {
+        let (p, r) = lower(src, unroll);
+        let x = ramp(n);
+        let want = run(&p, &x).unwrap();
+        let got_flat = run(&r, &testutil::interleave(&x)).unwrap();
+        let got = testutil::deinterleave(&got_flat);
+        for (u, v) in got.iter().zip(&want) {
+            assert!(u.approx_eq(*v, 1e-12), "{src}: {u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn straight_line_ffts() {
+        check("(F 2)", 2, true);
+        check("(F 4)", 4, true);
+        check(
+            "(compose (tensor (F 2) (I 2)) (T 4 2) (tensor (I 2) (F 2)) (L 4 2))",
+            4,
+            true,
+        );
+    }
+
+    #[test]
+    fn loop_code_with_tables() {
+        check("(F 4)", 4, false);
+        check("(T 8 4)", 8, false);
+        check("(tensor (I 4) (F 2))", 8, false);
+        check(
+            "(compose (tensor (F 2) (I 4)) (T 8 4) (tensor (I 2) (F 4)) (L 8 2))",
+            8,
+            false,
+        );
+    }
+
+    #[test]
+    fn multiplication_by_i_swaps_and_negates() {
+        check("(diagonal ((0,-1) (0,1) 1 -1))", 4, true);
+    }
+
+    #[test]
+    fn aliasing_twiddle_multiply_in_place() {
+        // T writes out[k] = W * in[k]; with composition the same storage
+        // can appear on both sides after value forwarding, so the
+        // imaginary-constant path must save the real lane.
+        check("(compose (T 4 2) (T 4 2))", 4, true);
+    }
+
+    #[test]
+    fn complex_matrix_entries() {
+        check("(matrix ((1,1) (0,-1)) ((2,0) (0,0)))", 2, true);
+    }
+
+    #[test]
+    fn vector_sizes_double() {
+        let (_, r) = lower("(compose (F 2) (F 2))", false);
+        assert_eq!(r.n_in, 4);
+        assert_eq!(r.n_out, 4);
+        assert_eq!(r.temps, vec![4]);
+    }
+
+    #[test]
+    fn tables_interleave() {
+        let (p, r) = lower("(T 8 4)", false);
+        assert_eq!(r.tables[0].len(), p.tables[0].len() * 2);
+        for (k, c) in p.tables[0].iter().enumerate() {
+            assert_eq!(r.tables[0][2 * k].re, c.re);
+            assert_eq!(r.tables[0][2 * k + 1].re, c.im);
+        }
+    }
+
+    #[test]
+    fn mark_real_accepts_real_programs() {
+        let table = TemplateTable::builtin();
+        let sexp = parse_formula("(tensor (F 2) (F 2))").unwrap();
+        let p = expand_formula(&sexp, &table, &ExpandOptions::default()).unwrap();
+        let r = mark_real(&p).unwrap();
+        assert!(!r.complex);
+    }
+
+    #[test]
+    fn mark_real_rejects_complex_constants() {
+        let table = TemplateTable::builtin();
+        let sexp = parse_formula("(diagonal ((0,-1) 1))").unwrap();
+        let p = expand_formula(&sexp, &table, &ExpandOptions::default()).unwrap();
+        assert!(mark_real(&p).is_err());
+    }
+
+    #[test]
+    fn division_by_complex_constant() {
+        // (diagonal (...)) with division is not expressible directly;
+        // exercise the path with a handmade instruction.
+        use spl_icode::{Affine, VecKind};
+        let at = |kind, i| Place::Vec(VecRef {
+            kind,
+            idx: Affine::constant(i),
+        });
+        let p = IProgram {
+            instrs: vec![Instr::Bin {
+                op: BinOp::Div,
+                dst: at(VecKind::Out, 0),
+                a: Value::vec(VecKind::In, 0),
+                b: Value::Const(Complex::new(0.0, 1.0)),
+            }],
+            n_in: 1,
+            n_out: 1,
+            ..IProgram::empty()
+        };
+        let r = complex_to_real(&p).unwrap();
+        let x = vec![Complex::new(3.0, 4.0)];
+        let y = testutil::deinterleave(&run(&r, &testutil::interleave(&x)).unwrap());
+        // (3+4i)/i = 4 - 3i
+        assert!(y[0].approx_eq(Complex::new(4.0, -3.0), 1e-12));
+    }
+
+    #[test]
+    fn general_complex_division() {
+        use spl_icode::{Affine, VecKind};
+        let at = |kind, i| Place::Vec(VecRef {
+            kind,
+            idx: Affine::constant(i),
+        });
+        let p = IProgram {
+            instrs: vec![Instr::Bin {
+                op: BinOp::Div,
+                dst: at(VecKind::Out, 0),
+                a: Value::vec(VecKind::In, 0),
+                b: Value::vec(VecKind::In, 1),
+            }],
+            n_in: 2,
+            n_out: 1,
+            ..IProgram::empty()
+        };
+        let r = complex_to_real(&p).unwrap();
+        let a = Complex::new(3.0, 4.0);
+        let b = Complex::new(1.0, -2.0);
+        let y = testutil::deinterleave(&run(&r, &testutil::interleave(&[a, b])).unwrap());
+        assert!(y[0].approx_eq(a / b, 1e-12));
+    }
+}

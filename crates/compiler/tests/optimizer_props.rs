@@ -1,0 +1,187 @@
+//! Property tests of the optimizer over *random i-code* (not just code
+//! the expander happens to produce): value numbering, forward
+//! substitution, DCE, and compaction must preserve the interpreter's
+//! semantics on arbitrary straight-line and looped programs.
+
+use proptest::prelude::*;
+
+use spl_compiler::optimize::{dce, forward_substitute, optimize, value_number};
+use spl_icode::{Affine, BinOp, IProgram, Instr, LoopVar, Place, UnOp, Value, VecKind, VecRef};
+use spl_numeric::Complex;
+
+const N_IN: usize = 6;
+const N_OUT: usize = 6;
+const N_F: u32 = 5;
+const N_TEMP: usize = 4;
+
+fn place_strategy(with_loop: Option<LoopVar>) -> BoxedStrategy<Place> {
+    let scalar = (0..N_F).prop_map(Place::F);
+    let outv = (0..N_OUT as i64).prop_map(|i| {
+        Place::Vec(VecRef {
+            kind: VecKind::Out,
+            idx: Affine::constant(i),
+        })
+    });
+    let tempv = (0..N_TEMP as i64).prop_map(|i| {
+        Place::Vec(VecRef {
+            kind: VecKind::Temp(0),
+            idx: Affine::constant(i),
+        })
+    });
+    match with_loop {
+        Some(lv) => {
+            let looped = (0..2i64).prop_map(move |c| {
+                Place::Vec(VecRef {
+                    kind: VecKind::Out,
+                    idx: {
+                        let mut a = Affine::constant(c);
+                        a.add_term(1, lv);
+                        a
+                    },
+                })
+            });
+            prop_oneof![scalar, outv, tempv, looped].boxed()
+        }
+        None => prop_oneof![scalar, outv, tempv].boxed(),
+    }
+}
+
+fn value_strategy(with_loop: Option<LoopVar>) -> BoxedStrategy<Value> {
+    let consts = prop_oneof![
+        Just(Complex::ZERO),
+        Just(Complex::ONE),
+        Just(Complex::real(-1.0)),
+        (-2.0..2.0f64).prop_map(Complex::real),
+    ]
+    .prop_map(Value::Const);
+    let invec = (0..N_IN as i64).prop_map(|i| Value::vec(VecKind::In, i));
+    let place = place_strategy(with_loop).prop_map(Value::Place);
+    prop_oneof![consts, invec, place].boxed()
+}
+
+fn instr_strategy(with_loop: Option<LoopVar>) -> BoxedStrategy<Instr> {
+    let bin = (
+        prop_oneof![
+            Just(BinOp::Add),
+            Just(BinOp::Sub),
+            Just(BinOp::Mul),
+        ],
+        place_strategy(with_loop),
+        value_strategy(with_loop),
+        value_strategy(with_loop),
+    )
+        .prop_map(|(op, dst, a, b)| Instr::Bin { op, dst, a, b });
+    let un = (
+        prop_oneof![Just(UnOp::Copy), Just(UnOp::Neg)],
+        place_strategy(with_loop),
+        value_strategy(with_loop),
+    )
+        .prop_map(|(op, dst, a)| Instr::Un { op, dst, a });
+    prop_oneof![bin, un].boxed()
+}
+
+fn straight_line_program() -> impl Strategy<Value = IProgram> {
+    proptest::collection::vec(instr_strategy(None), 1..30).prop_map(|instrs| IProgram {
+        instrs,
+        n_in: N_IN,
+        n_out: N_OUT,
+        temps: vec![N_TEMP],
+        tables: vec![],
+        n_f: N_F,
+        n_r: 0,
+        n_loop: 0,
+        complex: false,
+    })
+}
+
+fn looped_program() -> impl Strategy<Value = IProgram> {
+    let lv = LoopVar(0);
+    (
+        proptest::collection::vec(instr_strategy(None), 0..6),
+        proptest::collection::vec(instr_strategy(Some(lv)), 1..8),
+        proptest::collection::vec(instr_strategy(None), 0..6),
+    )
+        .prop_map(move |(pre, body, post)| {
+            let mut instrs = pre;
+            instrs.push(Instr::DoStart {
+                var: lv,
+                lo: 0,
+                hi: 3,
+                unroll: false,
+            });
+            instrs.extend(body);
+            instrs.push(Instr::DoEnd);
+            instrs.extend(post);
+            IProgram {
+                instrs,
+                n_in: N_IN,
+                n_out: N_OUT,
+                temps: vec![N_TEMP],
+                tables: vec![],
+                n_f: N_F,
+                n_r: 0,
+                n_loop: 1,
+                complex: false,
+            }
+        })
+}
+
+fn inputs(seed: u64) -> Vec<Complex> {
+    (0..N_IN)
+        .map(|i| Complex::real(((seed as f64) * 0.37 + i as f64 * 1.3).sin()))
+        .collect()
+}
+
+fn outputs_match(a: &[Complex], b: &[Complex]) -> bool {
+    a.iter().zip(b).all(|(x, y)| x.approx_eq(*y, 1e-9))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn optimize_preserves_straight_line_semantics(
+        p in straight_line_program(),
+        seed in 0u64..100,
+    ) {
+        prop_assume!(p.validate().is_ok());
+        let x = inputs(seed);
+        let want = spl_icode::interp::run(&p, &x).unwrap();
+        for (name, q) in [
+            ("vn", value_number(&p)),
+            ("fs", forward_substitute(&p)),
+            ("dce", dce(&p)),
+            ("all", optimize(&p)),
+        ] {
+            q.validate().unwrap();
+            let got = spl_icode::interp::run(&q, &x).unwrap();
+            prop_assert!(outputs_match(&got, &want), "{name} changed semantics");
+        }
+    }
+
+    #[test]
+    fn optimize_preserves_loop_semantics(
+        p in looped_program(),
+        seed in 0u64..100,
+    ) {
+        prop_assume!(p.validate().is_ok());
+        let x = inputs(seed);
+        let want = spl_icode::interp::run(&p, &x).unwrap();
+        for (name, q) in [
+            ("vn", value_number(&p)),
+            ("fs", forward_substitute(&p)),
+            ("all", optimize(&p)),
+        ] {
+            q.validate().unwrap();
+            let got = spl_icode::interp::run(&q, &x).unwrap();
+            prop_assert!(outputs_match(&got, &want), "{name} changed semantics");
+        }
+    }
+
+    #[test]
+    fn optimize_never_grows_code(p in straight_line_program()) {
+        prop_assume!(p.validate().is_ok());
+        let o = optimize(&p);
+        prop_assert!(o.static_instr_count() <= p.static_instr_count());
+    }
+}

@@ -1,0 +1,383 @@
+//! Conversion between front-end S-expressions and typed formulas.
+
+use std::collections::HashMap;
+
+use spl_frontend::scalar::ScalarExpr;
+use spl_frontend::sexp::Sexp;
+use spl_numeric::Complex;
+
+use crate::formula::{Formula, FormulaError};
+
+/// Converts an S-expression into a typed formula.
+///
+/// `defines` maps `define`d names to already-converted formulas (SPL
+/// resolves names lexically, so process `define`s in order and add each to
+/// the map).
+///
+/// # Errors
+///
+/// Returns [`FormulaError`] for unknown operators, undefined symbols, bad
+/// parameters, or shape mismatches.
+///
+/// # Examples
+///
+/// ```
+/// use spl_frontend::parser::parse_formula;
+/// use spl_formula::formula_from_sexp;
+/// use std::collections::HashMap;
+///
+/// let s = parse_formula("(tensor (I 2) (F 2))").unwrap();
+/// let f = formula_from_sexp(&s, &HashMap::new()).unwrap();
+/// assert_eq!(f.rows(), 4);
+/// ```
+pub fn formula_from_sexp(
+    sexp: &Sexp,
+    defines: &HashMap<String, Formula>,
+) -> Result<Formula, FormulaError> {
+    let f = convert(sexp, defines)?;
+    f.check_shapes()?;
+    Ok(f)
+}
+
+fn convert(sexp: &Sexp, defines: &HashMap<String, Formula>) -> Result<Formula, FormulaError> {
+    match sexp {
+        Sexp::Symbol(name) => defines
+            .get(name)
+            .cloned()
+            .ok_or_else(|| FormulaError::UndefinedSymbol(name.clone())),
+        Sexp::Int(_) | Sexp::Scalar(_) => Err(FormulaError::BadSyntax(format!(
+            "a bare scalar {sexp} is not a formula"
+        ))),
+        Sexp::List(items) => {
+            let head = sexp
+                .head()
+                .ok_or_else(|| FormulaError::BadSyntax(format!("{sexp} has no operator")))?;
+            let args = &items[1..];
+            match head {
+                "I" => Ok(Formula::identity(int_arg(sexp, args, 0)?)),
+                "F" => Ok(Formula::f(int_arg(sexp, args, 0)?)),
+                "J" => Ok(Formula::reversal(int_arg(sexp, args, 0)?)),
+                "L" => Formula::stride(int_arg(sexp, args, 0)?, int_arg(sexp, args, 1)?),
+                "T" => Formula::twiddle(int_arg(sexp, args, 0)?, int_arg(sexp, args, 1)?),
+                "diagonal" => {
+                    let row = args
+                        .first()
+                        .and_then(Sexp::as_list)
+                        .ok_or_else(|| bad(sexp, "diagonal requires an element list"))?;
+                    let entries = row
+                        .iter()
+                        .map(scalar_value)
+                        .collect::<Result<Vec<_>, _>>()?;
+                    if entries.is_empty() {
+                        return Err(bad(sexp, "diagonal requires at least one element"));
+                    }
+                    Ok(Formula::diagonal(entries))
+                }
+                "permutation" => {
+                    let row = args
+                        .first()
+                        .and_then(Sexp::as_list)
+                        .ok_or_else(|| bad(sexp, "permutation requires an index list"))?;
+                    let idx = row
+                        .iter()
+                        .map(|e| {
+                            e.as_int()
+                                .filter(|&v| v >= 1)
+                                .map(|v| (v - 1) as usize)
+                                .ok_or_else(|| bad(sexp, "permutation indices are 1-based"))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                    Formula::permutation(idx)
+                }
+                "matrix" => {
+                    let mut data = Vec::new();
+                    let mut cols = None;
+                    for row in args {
+                        let row = row
+                            .as_list()
+                            .ok_or_else(|| bad(sexp, "matrix rows must be lists"))?;
+                        match cols {
+                            None => cols = Some(row.len()),
+                            Some(c) if c != row.len() => {
+                                return Err(bad(sexp, "matrix rows have unequal lengths"))
+                            }
+                            _ => {}
+                        }
+                        for e in row {
+                            data.push(scalar_value(e)?);
+                        }
+                    }
+                    let cols = cols.ok_or_else(|| bad(sexp, "matrix requires rows"))?;
+                    Formula::matrix(args.len(), cols, data)
+                }
+                "compose" | "tensor" | "direct-sum" => {
+                    if args.is_empty() {
+                        return Err(bad(sexp, "n-ary operation requires operands"));
+                    }
+                    let parts = args
+                        .iter()
+                        .map(|a| convert(a, defines))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    Ok(match head {
+                        "compose" => Formula::compose(parts),
+                        "tensor" => Formula::tensor(parts),
+                        _ => Formula::direct_sum(parts),
+                    })
+                }
+                other => Err(FormulaError::BadSyntax(format!(
+                    "unknown operator {other:?} in {sexp}"
+                ))),
+            }
+        }
+    }
+}
+
+fn bad(sexp: &Sexp, msg: &str) -> FormulaError {
+    FormulaError::BadSyntax(format!("{msg}: {sexp}"))
+}
+
+fn int_arg(sexp: &Sexp, args: &[Sexp], k: usize) -> Result<usize, FormulaError> {
+    args.get(k)
+        .and_then(Sexp::as_int)
+        .filter(|&v| v > 0)
+        .map(|v| v as usize)
+        .ok_or_else(|| bad(sexp, "expected a positive integer parameter"))
+}
+
+fn scalar_value(e: &Sexp) -> Result<Complex, FormulaError> {
+    match e {
+        Sexp::Int(v) => Ok(Complex::real(*v as f64)),
+        Sexp::Scalar(expr) => {
+            let v = expr
+                .eval()
+                .map_err(|err| FormulaError::BadSyntax(err.to_string()))?;
+            Ok(Complex::new(v.re, v.im))
+        }
+        other => Err(FormulaError::BadSyntax(format!(
+            "{other} is not a scalar constant"
+        ))),
+    }
+}
+
+/// Converts a typed formula back into an S-expression (the inverse of
+/// [`formula_from_sexp`] up to scalar-constant formatting).
+///
+/// The formula generator uses this to hand search results to the compiler,
+/// whose template matcher operates on S-expressions.
+pub fn formula_to_sexp(f: &Formula) -> Sexp {
+    match f {
+        Formula::Identity(n) => Sexp::list(vec![Sexp::sym("I"), Sexp::Int(*n as i64)]),
+        Formula::F(n) => Sexp::list(vec![Sexp::sym("F"), Sexp::Int(*n as i64)]),
+        Formula::J(n) => Sexp::list(vec![Sexp::sym("J"), Sexp::Int(*n as i64)]),
+        Formula::Stride { n, s } => Sexp::list(vec![
+            Sexp::sym("L"),
+            Sexp::Int(*n as i64),
+            Sexp::Int(*s as i64),
+        ]),
+        Formula::Twiddle { n, s } => Sexp::list(vec![
+            Sexp::sym("T"),
+            Sexp::Int(*n as i64),
+            Sexp::Int(*s as i64),
+        ]),
+        Formula::Diagonal(d) => Sexp::list(vec![
+            Sexp::sym("diagonal"),
+            Sexp::List(d.iter().map(|v| scalar_sexp(*v)).collect()),
+        ]),
+        Formula::Permutation(p) => Sexp::list(vec![
+            Sexp::sym("permutation"),
+            Sexp::List(p.iter().map(|&k| Sexp::Int(k as i64 + 1)).collect()),
+        ]),
+        Formula::Matrix { rows, cols, data } => {
+            let mut items = vec![Sexp::sym("matrix")];
+            for r in 0..*rows {
+                items.push(Sexp::List(
+                    (0..*cols)
+                        .map(|c| scalar_sexp(data[r * cols + c]))
+                        .collect(),
+                ));
+            }
+            Sexp::List(items)
+        }
+        Formula::Compose(parts) => nary("compose", parts),
+        Formula::Tensor(parts) => nary("tensor", parts),
+        Formula::DirectSum(parts) => nary("direct-sum", parts),
+    }
+}
+
+fn nary(op: &str, parts: &[Formula]) -> Sexp {
+    let mut items = vec![Sexp::sym(op)];
+    items.extend(parts.iter().map(formula_to_sexp));
+    Sexp::List(items)
+}
+
+fn scalar_sexp(v: Complex) -> Sexp {
+    if v.im == 0.0 {
+        if v.re.fract() == 0.0 && v.re.abs() < 1e15 {
+            Sexp::Int(v.re as i64)
+        } else {
+            Sexp::Scalar(ScalarExpr::Float(v.re))
+        }
+    } else {
+        Sexp::Scalar(ScalarExpr::Pair(
+            Box::new(ScalarExpr::Float(v.re)),
+            Box::new(ScalarExpr::Float(v.im)),
+        ))
+    }
+}
+
+/// Builds the define table for a parsed program, converting each `define`
+/// in order, and returns it together with the remaining formula items.
+///
+/// # Errors
+///
+/// Fails if any `define` body is invalid.
+pub fn collect_defines(
+    items: &[spl_frontend::Item],
+) -> Result<HashMap<String, Formula>, FormulaError> {
+    let mut defines = HashMap::new();
+    for item in items {
+        if let spl_frontend::Item::Define { name, body } = item {
+            let f = formula_from_sexp(body, &defines)?;
+            defines.insert(name.clone(), f);
+        }
+    }
+    Ok(defines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::{apply, to_dense};
+    use spl_frontend::parser::{parse_formula, parse_program};
+    use spl_numeric::reference;
+
+    fn conv(src: &str) -> Formula {
+        formula_from_sexp(&parse_formula(src).unwrap(), &HashMap::new()).unwrap()
+    }
+
+    #[test]
+    fn parameterized_matrices() {
+        assert_eq!(conv("(I 4)"), Formula::Identity(4));
+        assert_eq!(conv("(F 8)"), Formula::F(8));
+        assert_eq!(conv("(L 16 4)"), Formula::Stride { n: 16, s: 4 });
+        assert_eq!(conv("(T 16 4)"), Formula::Twiddle { n: 16, s: 4 });
+        assert_eq!(conv("(J 5)"), Formula::J(5));
+    }
+
+    #[test]
+    fn paper_identity_example_forms() {
+        // (matrix (1 0) (0 1)), (diagonal (1 1)), (I 2) all denote I2.
+        let a = to_dense(&conv("(matrix (1 0) (0 1))")).unwrap();
+        let b = to_dense(&conv("(diagonal (1 1))")).unwrap();
+        let c = to_dense(&conv("(I 2)")).unwrap();
+        assert!(a.max_diff(&c) < 1e-15);
+        assert!(b.max_diff(&c) < 1e-15);
+    }
+
+    #[test]
+    fn permutation_is_one_based() {
+        let f = conv("(permutation (2 1))");
+        let x = [Complex::real(10.0), Complex::real(20.0)];
+        let y = apply(&f, &x).unwrap();
+        assert_eq!(y[0].re, 20.0);
+        assert_eq!(y[1].re, 10.0);
+    }
+
+    #[test]
+    fn complex_matrix_elements() {
+        let f = conv("(diagonal ((0,-1) sqrt(2)))");
+        match f {
+            Formula::Diagonal(d) => {
+                assert!(d[0].approx_eq(Complex::new(0.0, -1.0), 1e-15));
+                assert!(d[1].approx_eq(Complex::real(2.0_f64.sqrt()), 1e-15));
+            }
+            other => panic!("expected diagonal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_fft16_program_is_correct() {
+        let src = "\
+(define F4 (compose (tensor (F 2) (I 2)) (T 4 2) (tensor (I 2) (F 2)) (L 4 2)))
+(compose (tensor F4 (I 4)) (T 16 4) (tensor (I 4) F4) (L 16 4))
+";
+        let prog = parse_program(src).unwrap();
+        let defines = collect_defines(&prog.items).unwrap();
+        let formula_sexp = prog
+            .items
+            .iter()
+            .find_map(|i| match i {
+                spl_frontend::Item::Formula { sexp, .. } => Some(sexp.clone()),
+                _ => None,
+            })
+            .unwrap();
+        let f = formula_from_sexp(&formula_sexp, &defines).unwrap();
+        assert_eq!((f.rows(), f.cols()), (16, 16));
+        let x: Vec<Complex> = (0..16)
+            .map(|i| Complex::new((i as f64).cos(), (i as f64).sin()))
+            .collect();
+        let y = apply(&f, &x).unwrap();
+        let want = reference::dft(&x);
+        for (a, b) in y.iter().zip(&want) {
+            assert!(a.approx_eq(*b, 1e-11));
+        }
+    }
+
+    #[test]
+    fn undefined_symbol_reported() {
+        let s = parse_formula("(compose F4 (I 4))").unwrap();
+        match formula_from_sexp(&s, &HashMap::new()) {
+            Err(FormulaError::UndefinedSymbol(name)) => assert_eq!(name, "F4"),
+            other => panic!("expected undefined symbol, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_operator_rejected() {
+        let s = parse_formula("(frobnicate 2)").unwrap();
+        assert!(formula_from_sexp(&s, &HashMap::new()).is_err());
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let s = parse_formula("(compose (F 2) (F 3))").unwrap();
+        assert!(matches!(
+            formula_from_sexp(&s, &HashMap::new()),
+            Err(FormulaError::ShapeMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn ragged_matrix_rejected() {
+        let s = parse_formula("(matrix (1 0) (0))").unwrap();
+        assert!(formula_from_sexp(&s, &HashMap::new()).is_err());
+    }
+
+    #[test]
+    fn to_sexp_round_trips() {
+        for src in [
+            "(I 4)",
+            "(F 8)",
+            "(L 16 4)",
+            "(T 16 4)",
+            "(compose (tensor (F 2) (I 2)) (T 4 2) (tensor (I 2) (F 2)) (L 4 2))",
+            "(direct-sum (F 2) (I 3))",
+            "(permutation (2 1 3))",
+        ] {
+            let f = conv(src);
+            let back = formula_to_sexp(&f);
+            let f2 = formula_from_sexp(&back, &HashMap::new()).unwrap();
+            assert_eq!(f, f2, "round trip of {src}");
+        }
+    }
+
+    #[test]
+    fn to_sexp_round_trips_scalars() {
+        let f = Formula::diagonal(vec![Complex::new(0.5, -0.5), Complex::real(3.0)]);
+        let back = formula_to_sexp(&f);
+        let f2 = formula_from_sexp(&back, &HashMap::new()).unwrap();
+        let d1 = to_dense(&f).unwrap();
+        let d2 = to_dense(&f2).unwrap();
+        assert!(d1.max_diff(&d2) < 1e-15);
+    }
+}

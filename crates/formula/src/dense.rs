@@ -1,0 +1,528 @@
+//! Dense interpretation of formulas — the semantics oracle.
+//!
+//! Every formula denotes a matrix; [`to_dense`] elaborates that matrix and
+//! [`apply`] computes the matrix–vector product `y = M x` structurally
+//! (without materializing the full matrix for products, which keeps the
+//! oracle usable up to a few thousand points).
+
+use spl_numeric::perm::{reversal_perm, stride_perm};
+use spl_numeric::twiddle::omega;
+use spl_numeric::Complex;
+
+use crate::formula::{Formula, FormulaError};
+
+/// A dense row-major complex matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Row-major data of length `rows * cols`.
+    pub data: Vec<Complex>,
+}
+
+impl DenseMatrix {
+    /// The element at row `r`, column `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn at(&self, r: usize, c: usize) -> Complex {
+        assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols`.
+    pub fn mul_vec(&self, x: &[Complex]) -> Vec<Complex> {
+        assert_eq!(x.len(), self.cols);
+        (0..self.rows)
+            .map(|r| {
+                let mut acc = Complex::ZERO;
+                for (c, &xc) in x.iter().enumerate() {
+                    acc += self.at(r, c) * xc;
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions mismatch.
+    pub fn mul_mat(&self, rhs: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.cols, rhs.rows);
+        let mut data = vec![Complex::ZERO; self.rows * rhs.cols];
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.at(r, k);
+                if a == Complex::ZERO {
+                    continue;
+                }
+                for c in 0..rhs.cols {
+                    data[r * rhs.cols + c] += a * rhs.at(k, c);
+                }
+            }
+        }
+        DenseMatrix {
+            rows: self.rows,
+            cols: rhs.cols,
+            data,
+        }
+    }
+
+    /// Maximum absolute componentwise difference against another matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn max_diff(&self, other: &DenseMatrix) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (*a - *b).norm())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Elaborates a formula into its dense matrix.
+///
+/// # Errors
+///
+/// Returns an error for shape-inconsistent compositions.
+pub fn to_dense(f: &Formula) -> Result<DenseMatrix, FormulaError> {
+    f.check_shapes()?;
+    Ok(dense_unchecked(f))
+}
+
+fn dense_unchecked(f: &Formula) -> DenseMatrix {
+    match f {
+        Formula::Identity(n) => {
+            let mut data = vec![Complex::ZERO; n * n];
+            for i in 0..*n {
+                data[i * n + i] = Complex::ONE;
+            }
+            DenseMatrix {
+                rows: *n,
+                cols: *n,
+                data,
+            }
+        }
+        Formula::F(n) => {
+            let mut data = vec![Complex::ZERO; n * n];
+            for p in 0..*n {
+                for q in 0..*n {
+                    data[p * n + q] = omega(*n, (p * q) as i64);
+                }
+            }
+            DenseMatrix {
+                rows: *n,
+                cols: *n,
+                data,
+            }
+        }
+        Formula::Stride { n, s } => perm_matrix(&stride_perm(*n, *s)),
+        Formula::Twiddle { n, s } => {
+            let m = n / s;
+            let mut d = Vec::with_capacity(*n);
+            for i in 0..m {
+                for j in 0..*s {
+                    d.push(omega(*n, (i * j) as i64));
+                }
+            }
+            diag_matrix(&d)
+        }
+        Formula::J(n) => perm_matrix(&reversal_perm(*n)),
+        Formula::Diagonal(d) => diag_matrix(d),
+        Formula::Permutation(p) => perm_matrix(p),
+        Formula::Matrix { rows, cols, data } => DenseMatrix {
+            rows: *rows,
+            cols: *cols,
+            data: data.clone(),
+        },
+        Formula::Compose(parts) => {
+            let mut acc = dense_unchecked(&parts[0]);
+            for p in &parts[1..] {
+                acc = acc.mul_mat(&dense_unchecked(p));
+            }
+            acc
+        }
+        Formula::Tensor(parts) => {
+            let mut acc = dense_unchecked(&parts[0]);
+            for p in &parts[1..] {
+                acc = kronecker(&acc, &dense_unchecked(p));
+            }
+            acc
+        }
+        Formula::DirectSum(parts) => {
+            let rows: usize = parts.iter().map(Formula::rows).sum();
+            let cols: usize = parts.iter().map(Formula::cols).sum();
+            let mut data = vec![Complex::ZERO; rows * cols];
+            let (mut r0, mut c0) = (0, 0);
+            for p in parts {
+                let m = dense_unchecked(p);
+                for r in 0..m.rows {
+                    for c in 0..m.cols {
+                        data[(r0 + r) * cols + (c0 + c)] = m.at(r, c);
+                    }
+                }
+                r0 += m.rows;
+                c0 += m.cols;
+            }
+            DenseMatrix { rows, cols, data }
+        }
+    }
+}
+
+fn perm_matrix(p: &[usize]) -> DenseMatrix {
+    let n = p.len();
+    let mut data = vec![Complex::ZERO; n * n];
+    for (i, &k) in p.iter().enumerate() {
+        data[i * n + k] = Complex::ONE;
+    }
+    DenseMatrix {
+        rows: n,
+        cols: n,
+        data,
+    }
+}
+
+fn diag_matrix(d: &[Complex]) -> DenseMatrix {
+    let n = d.len();
+    let mut data = vec![Complex::ZERO; n * n];
+    for (i, &v) in d.iter().enumerate() {
+        data[i * n + i] = v;
+    }
+    DenseMatrix {
+        rows: n,
+        cols: n,
+        data,
+    }
+}
+
+fn kronecker(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+    let rows = a.rows * b.rows;
+    let cols = a.cols * b.cols;
+    let mut data = vec![Complex::ZERO; rows * cols];
+    for ar in 0..a.rows {
+        for ac in 0..a.cols {
+            let v = a.at(ar, ac);
+            if v == Complex::ZERO {
+                continue;
+            }
+            for br in 0..b.rows {
+                for bc in 0..b.cols {
+                    data[(ar * b.rows + br) * cols + (ac * b.cols + bc)] = v * b.at(br, bc);
+                }
+            }
+        }
+    }
+    DenseMatrix { rows, cols, data }
+}
+
+/// Applies a formula to a vector structurally: `y = M x`.
+///
+/// Products are applied factor by factor and tensor/direct-sum structure is
+/// exploited, so the cost is far below densifying `M` for deep formulas.
+///
+/// # Errors
+///
+/// Returns an error if shapes are inconsistent or `x.len() != f.cols()`.
+pub fn apply(f: &Formula, x: &[Complex]) -> Result<Vec<Complex>, FormulaError> {
+    f.check_shapes()?;
+    if x.len() != f.cols() {
+        return Err(FormulaError::ShapeMismatch(format!(
+            "apply: input length {} for a {}x{} formula",
+            x.len(),
+            f.rows(),
+            f.cols()
+        )));
+    }
+    Ok(apply_unchecked(f, x))
+}
+
+fn apply_unchecked(f: &Formula, x: &[Complex]) -> Vec<Complex> {
+    match f {
+        Formula::Identity(_) => x.to_vec(),
+        Formula::Stride { n, s } => stride_perm(*n, *s).iter().map(|&k| x[k]).collect(),
+        Formula::J(n) => reversal_perm(*n).iter().map(|&k| x[k]).collect(),
+        Formula::Permutation(p) => p.iter().map(|&k| x[k]).collect(),
+        Formula::Diagonal(d) => d.iter().zip(x).map(|(&d, &v)| d * v).collect(),
+        Formula::Twiddle { n, s } => {
+            let m = n / s;
+            let mut y = Vec::with_capacity(*n);
+            for i in 0..m {
+                for j in 0..*s {
+                    y.push(omega(*n, (i * j) as i64) * x[i * s + j]);
+                }
+            }
+            y
+        }
+        Formula::F(_) | Formula::Matrix { .. } => dense_unchecked(f).mul_vec(x),
+        Formula::Compose(parts) => {
+            let mut v = x.to_vec();
+            for p in parts.iter().rev() {
+                v = apply_unchecked(p, &v);
+            }
+            v
+        }
+        Formula::Tensor(parts) => {
+            // A (x) B = (A (x) I)(I (x) B), applied recursively on the
+            // binary split.
+            if parts.len() == 1 {
+                return apply_unchecked(&parts[0], x);
+            }
+            let a = &parts[0];
+            let rest = Formula::tensor(parts[1..].to_vec());
+            // First I_{a.cols} (x) rest on contiguous blocks...
+            let bc = rest.cols();
+            let br = rest.rows();
+            let mut mid = Vec::with_capacity(a.cols() * br);
+            for blk in 0..a.cols() {
+                mid.extend(apply_unchecked(&rest, &x[blk * bc..(blk + 1) * bc]));
+            }
+            // ...then A (x) I_{br} on strided sub-vectors.
+            let mut y = vec![Complex::ZERO; a.rows() * br];
+            for j in 0..br {
+                let sub: Vec<Complex> = (0..a.cols()).map(|i| mid[i * br + j]).collect();
+                let out = apply_unchecked(a, &sub);
+                for (i, v) in out.into_iter().enumerate() {
+                    y[i * br + j] = v;
+                }
+            }
+            y
+        }
+        Formula::DirectSum(parts) => {
+            let mut y = Vec::with_capacity(f.rows());
+            let mut c0 = 0;
+            for p in parts {
+                let c = p.cols();
+                y.extend(apply_unchecked(p, &x[c0..c0 + c]));
+                c0 += c;
+            }
+            y
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spl_numeric::reference;
+
+    fn cvec(vals: &[f64]) -> Vec<Complex> {
+        vals.iter().map(|&v| Complex::real(v)).collect()
+    }
+
+    fn ramp(n: usize) -> Vec<Complex> {
+        (0..n)
+            .map(|i| Complex::new(i as f64 + 1.0, (i as f64 * 0.5).sin()))
+            .collect()
+    }
+
+    fn assert_close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!(x.approx_eq(*y, tol), "{x} vs {y}");
+        }
+    }
+
+    /// The paper's F4 Cooley–Tukey factorization (Equation 3).
+    fn f4_ct() -> Formula {
+        Formula::compose(vec![
+            Formula::tensor(vec![Formula::f(2), Formula::identity(2)]),
+            Formula::twiddle(4, 2).unwrap(),
+            Formula::tensor(vec![Formula::identity(2), Formula::f(2)]),
+            Formula::stride(4, 2).unwrap(),
+        ])
+    }
+
+    #[test]
+    fn f_matches_reference_dft() {
+        for n in [1, 2, 3, 4, 5, 8] {
+            let x = ramp(n);
+            let y = apply(&Formula::f(n), &x).unwrap();
+            assert_close(&y, &reference::dft(&x), 1e-12);
+        }
+    }
+
+    #[test]
+    fn paper_f4_factorization_equals_f4() {
+        let lhs = to_dense(&f4_ct()).unwrap();
+        let rhs = to_dense(&Formula::f(4)).unwrap();
+        assert!(lhs.max_diff(&rhs) < 1e-12);
+    }
+
+    #[test]
+    fn eq5_general_cooley_tukey() {
+        // F_rs = (F_r ⊗ I_s) T^{rs}_s (I_r ⊗ F_s) L^{rs}_r
+        for (r, s) in [(2usize, 3usize), (3, 2), (4, 2), (2, 4), (3, 3), (4, 4)] {
+            let n = r * s;
+            let f = Formula::compose(vec![
+                Formula::tensor(vec![Formula::f(r), Formula::identity(s)]),
+                Formula::twiddle(n, s).unwrap(),
+                Formula::tensor(vec![Formula::identity(r), Formula::f(s)]),
+                Formula::stride(n, r).unwrap(),
+            ]);
+            let lhs = to_dense(&f).unwrap();
+            let rhs = to_dense(&Formula::f(n)).unwrap();
+            assert!(lhs.max_diff(&rhs) < 1e-12, "r={r} s={s}");
+        }
+    }
+
+    #[test]
+    fn eq7_decimation_in_frequency() {
+        // F_rs = L^{rs}_s (I_r ⊗ F_s) T^{rs}_s (F_r ⊗ I_s)  (transpose of Eq. 5)
+        for (r, s) in [(2usize, 3usize), (4, 2), (3, 3)] {
+            let n = r * s;
+            let f = Formula::compose(vec![
+                Formula::stride(n, s).unwrap(),
+                Formula::tensor(vec![Formula::identity(r), Formula::f(s)]),
+                Formula::twiddle(n, s).unwrap(),
+                Formula::tensor(vec![Formula::f(r), Formula::identity(s)]),
+            ]);
+            let lhs = to_dense(&f).unwrap();
+            let rhs = to_dense(&Formula::f(n)).unwrap();
+            assert!(lhs.max_diff(&rhs) < 1e-12, "r={r} s={s}");
+        }
+    }
+
+    #[test]
+    fn eq8_parallel_form() {
+        // F_rs = L^{rs}_r (I_s ⊗ F_r) L^{rs}_s T^{rs}_s (I_r ⊗ F_s) L^{rs}_r
+        for (r, s) in [(2usize, 3usize), (4, 2), (2, 4)] {
+            let n = r * s;
+            let f = Formula::compose(vec![
+                Formula::stride(n, r).unwrap(),
+                Formula::tensor(vec![Formula::identity(s), Formula::f(r)]),
+                Formula::stride(n, s).unwrap(),
+                Formula::twiddle(n, s).unwrap(),
+                Formula::tensor(vec![Formula::identity(r), Formula::f(s)]),
+                Formula::stride(n, r).unwrap(),
+            ]);
+            let lhs = to_dense(&f).unwrap();
+            let rhs = to_dense(&Formula::f(n)).unwrap();
+            assert!(lhs.max_diff(&rhs) < 1e-12, "r={r} s={s}");
+        }
+    }
+
+    #[test]
+    fn eq9_vector_form() {
+        // F_rs = (F_r ⊗ I_s) T^{rs}_s L^{rs}_r (F_s ⊗ I_r)
+        for (r, s) in [(2usize, 3usize), (4, 2), (3, 3)] {
+            let n = r * s;
+            let f = Formula::compose(vec![
+                Formula::tensor(vec![Formula::f(r), Formula::identity(s)]),
+                Formula::twiddle(n, s).unwrap(),
+                Formula::stride(n, r).unwrap(),
+                Formula::tensor(vec![Formula::f(s), Formula::identity(r)]),
+            ]);
+            let lhs = to_dense(&f).unwrap();
+            let rhs = to_dense(&Formula::f(n)).unwrap();
+            assert!(lhs.max_diff(&rhs) < 1e-12, "r={r} s={s}");
+        }
+    }
+
+    #[test]
+    fn eq6_commutation_identity() {
+        // A ⊗ B = L^{mn}_m (B ⊗ A) L^{mn}_n  for A m×m, B n×n
+        let a = Formula::matrix(
+            2,
+            2,
+            cvec(&[1.0, 2.0, 3.0, 4.0]),
+        )
+        .unwrap();
+        let b = Formula::matrix(
+            3,
+            3,
+            cvec(&[1.0, 0.0, 2.0, 0.0, 1.0, 1.0, 3.0, 0.0, 1.0]),
+        )
+        .unwrap();
+        let (m, n) = (2usize, 3usize);
+        let lhs = to_dense(&Formula::tensor(vec![a.clone(), b.clone()])).unwrap();
+        let rhs = to_dense(&Formula::compose(vec![
+            Formula::stride(m * n, m).unwrap(),
+            Formula::tensor(vec![b, a]),
+            Formula::stride(m * n, n).unwrap(),
+        ]))
+        .unwrap();
+        assert!(lhs.max_diff(&rhs) < 1e-12);
+    }
+
+    #[test]
+    fn structured_apply_matches_dense_apply() {
+        let f = Formula::compose(vec![
+            Formula::tensor(vec![Formula::f(2), Formula::identity(4)]),
+            Formula::twiddle(8, 4).unwrap(),
+            Formula::tensor(vec![Formula::identity(2), f4_ct()]),
+            Formula::stride(8, 2).unwrap(),
+        ]);
+        let x = ramp(8);
+        let via_apply = apply(&f, &x).unwrap();
+        let via_dense = to_dense(&f).unwrap().mul_vec(&x);
+        assert_close(&via_apply, &via_dense, 1e-12);
+        assert_close(&via_apply, &reference::dft(&x), 1e-12);
+    }
+
+    #[test]
+    fn direct_sum_blocks() {
+        let f = Formula::direct_sum(vec![Formula::f(2), Formula::identity(2)]);
+        let y = apply(&f, &cvec(&[1.0, 2.0, 5.0, 7.0])).unwrap();
+        assert_close(&y, &cvec(&[3.0, -1.0, 5.0, 7.0]), 1e-14);
+    }
+
+    #[test]
+    fn rectangular_matrix_apply() {
+        // 2x3 matrix times length-3 vector.
+        let m = Formula::matrix(2, 3, cvec(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0])).unwrap();
+        let y = apply(&m, &cvec(&[1.0, 1.0, 1.0])).unwrap();
+        assert_close(&y, &cvec(&[6.0, 15.0]), 1e-14);
+    }
+
+    #[test]
+    fn rectangular_tensor() {
+        // (2x3) ⊗ (1x2) is 2x6.
+        let a = Formula::matrix(2, 3, cvec(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0])).unwrap();
+        let b = Formula::matrix(1, 2, cvec(&[1.0, -1.0])).unwrap();
+        let t = Formula::tensor(vec![a, b]);
+        assert_eq!((t.rows(), t.cols()), (2, 6));
+        let d = to_dense(&t).unwrap();
+        let x = ramp(6);
+        assert_close(&apply(&t, &x).unwrap(), &d.mul_vec(&x), 1e-12);
+    }
+
+    #[test]
+    fn wht_by_tensor_powers() {
+        // WHT_8 = F2 ⊗ F2 ⊗ F2 matches the reference WHT.
+        let w = Formula::tensor(vec![Formula::f(2), Formula::f(2), Formula::f(2)]);
+        let xr: Vec<f64> = (0..8).map(|i| (i as f64) - 3.5).collect();
+        let x = cvec(&xr);
+        let y = apply(&w, &x).unwrap();
+        let want = reference::wht(&xr);
+        for (a, b) in y.iter().zip(&want) {
+            assert!((a.re - b).abs() < 1e-12 && a.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn apply_rejects_wrong_length() {
+        assert!(apply(&Formula::f(4), &cvec(&[1.0])).is_err());
+    }
+
+    #[test]
+    fn twiddle_t42_matches_paper() {
+        let d = to_dense(&Formula::twiddle(4, 2).unwrap()).unwrap();
+        // diag(1, 1, 1, -i)
+        assert!(d.at(0, 0).approx_eq(Complex::ONE, 0.0));
+        assert!(d.at(1, 1).approx_eq(Complex::ONE, 0.0));
+        assert!(d.at(2, 2).approx_eq(Complex::ONE, 0.0));
+        assert!(d.at(3, 3).approx_eq(Complex::new(0.0, -1.0), 0.0));
+    }
+}

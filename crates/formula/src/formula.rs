@@ -1,0 +1,335 @@
+//! The typed formula tree and its shape rules.
+
+use std::error::Error;
+use std::fmt;
+
+use spl_numeric::perm::is_permutation;
+use spl_numeric::Complex;
+
+/// A typed SPL formula: a matrix expression.
+///
+/// Construct leaves through the checked constructors ([`Formula::stride`],
+/// [`Formula::twiddle`], [`Formula::permutation`], ...) so that parameter
+/// invariants hold by construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Formula {
+    /// `(I n)` — the n × n identity.
+    Identity(usize),
+    /// `(F n)` — the n-point DFT matrix, `F[p][q] = ω_n^{pq}`.
+    F(usize),
+    /// `(L n s)` — the stride permutation `L^n_s` (s divides n):
+    /// output position `i·(n/s) + j` reads input `j·s + i`.
+    Stride {
+        /// Total size (the paper's `mn`).
+        n: usize,
+        /// The stride (the paper's second parameter).
+        s: usize,
+    },
+    /// `(T n s)` — the twiddle matrix `T^n_s` (s divides n): the diagonal
+    /// with entry `ω_n^{i·j}` at position `i·s + j`.
+    Twiddle {
+        /// Total size.
+        n: usize,
+        /// Block size (the paper's second parameter).
+        s: usize,
+    },
+    /// `(J n)` — the reversal permutation (an extension used by the DCT
+    /// breakdown rules).
+    J(usize),
+    /// `(diagonal (d1 ... dn))` — a diagonal matrix.
+    Diagonal(Vec<Complex>),
+    /// `(permutation (k1 ... kn))` — the permutation matrix with
+    /// `y[i] = x[k_{i+1} - 1]` (the SPL source uses 1-based indices;
+    /// stored 0-based).
+    Permutation(Vec<usize>),
+    /// `(matrix (row1) ... (rowm))` — a general (possibly rectangular)
+    /// matrix, row-major.
+    Matrix {
+        /// Number of rows.
+        rows: usize,
+        /// Number of columns.
+        cols: usize,
+        /// Row-major elements, `rows * cols` of them.
+        data: Vec<Complex>,
+    },
+    /// `(compose A1 ... An)` — the matrix product `A1 · A2 · ... · An`.
+    Compose(Vec<Formula>),
+    /// `(tensor A1 ... An)` — the tensor (Kronecker) product.
+    Tensor(Vec<Formula>),
+    /// `(direct-sum A1 ... An)` — the block-diagonal direct sum.
+    DirectSum(Vec<Formula>),
+}
+
+/// Errors from formula construction, conversion, or interpretation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FormulaError {
+    /// A parameterized matrix received invalid parameters.
+    BadParameter(String),
+    /// Composition with mismatched inner dimensions.
+    ShapeMismatch(String),
+    /// An S-expression that is not a valid formula.
+    BadSyntax(String),
+    /// A symbol with no `define` binding.
+    UndefinedSymbol(String),
+}
+
+impl fmt::Display for FormulaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormulaError::BadParameter(s) => write!(f, "bad parameter: {s}"),
+            FormulaError::ShapeMismatch(s) => write!(f, "shape mismatch: {s}"),
+            FormulaError::BadSyntax(s) => write!(f, "bad formula syntax: {s}"),
+            FormulaError::UndefinedSymbol(s) => write!(f, "undefined symbol: {s}"),
+        }
+    }
+}
+
+impl Error for FormulaError {}
+
+impl Formula {
+    /// `(I n)`.
+    pub fn identity(n: usize) -> Formula {
+        Formula::Identity(n)
+    }
+
+    /// `(F n)`.
+    pub fn f(n: usize) -> Formula {
+        Formula::F(n)
+    }
+
+    /// `(L n s)` — checked stride permutation.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless `s > 0` and `s` divides `n`.
+    pub fn stride(n: usize, s: usize) -> Result<Formula, FormulaError> {
+        if n == 0 || s == 0 || !n.is_multiple_of(s) {
+            return Err(FormulaError::BadParameter(format!(
+                "(L {n} {s}): stride must divide the size"
+            )));
+        }
+        Ok(Formula::Stride { n, s })
+    }
+
+    /// `(T n s)` — checked twiddle matrix.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless `s > 0` and `s` divides `n`.
+    pub fn twiddle(n: usize, s: usize) -> Result<Formula, FormulaError> {
+        if n == 0 || s == 0 || !n.is_multiple_of(s) {
+            return Err(FormulaError::BadParameter(format!(
+                "(T {n} {s}): block size must divide the size"
+            )));
+        }
+        Ok(Formula::Twiddle { n, s })
+    }
+
+    /// `(J n)` — the reversal permutation.
+    pub fn reversal(n: usize) -> Formula {
+        Formula::J(n)
+    }
+
+    /// A diagonal matrix from its entries.
+    pub fn diagonal(entries: Vec<Complex>) -> Formula {
+        Formula::Diagonal(entries)
+    }
+
+    /// A permutation matrix from a 0-based index map (`y[i] = x[p[i]]`).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `p` is not a permutation of `0..p.len()`.
+    pub fn permutation(p: Vec<usize>) -> Result<Formula, FormulaError> {
+        if !is_permutation(&p) {
+            return Err(FormulaError::BadParameter(format!(
+                "(permutation ...): {p:?} is not a permutation"
+            )));
+        }
+        Ok(Formula::Permutation(p))
+    }
+
+    /// A general matrix from row-major data.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `data.len() != rows * cols` or either dimension is zero.
+    pub fn matrix(rows: usize, cols: usize, data: Vec<Complex>) -> Result<Formula, FormulaError> {
+        if rows == 0 || cols == 0 || data.len() != rows * cols {
+            return Err(FormulaError::BadParameter(format!(
+                "(matrix ...): {} elements for a {rows}x{cols} matrix",
+                data.len()
+            )));
+        }
+        Ok(Formula::Matrix { rows, cols, data })
+    }
+
+    /// `(compose ...)`. A single-element compose collapses to its element.
+    pub fn compose(mut parts: Vec<Formula>) -> Formula {
+        if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            Formula::Compose(parts)
+        }
+    }
+
+    /// `(tensor ...)`. A single-element tensor collapses to its element.
+    pub fn tensor(mut parts: Vec<Formula>) -> Formula {
+        if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            Formula::Tensor(parts)
+        }
+    }
+
+    /// `(direct-sum ...)`. A single-element sum collapses to its element.
+    pub fn direct_sum(mut parts: Vec<Formula>) -> Formula {
+        if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            Formula::DirectSum(parts)
+        }
+    }
+
+    /// The number of rows (output vector length).
+    pub fn rows(&self) -> usize {
+        match self {
+            Formula::Identity(n) | Formula::F(n) | Formula::J(n) => *n,
+            Formula::Stride { n, .. } | Formula::Twiddle { n, .. } => *n,
+            Formula::Diagonal(d) => d.len(),
+            Formula::Permutation(p) => p.len(),
+            Formula::Matrix { rows, .. } => *rows,
+            Formula::Compose(parts) => parts.first().map_or(0, Formula::rows),
+            Formula::Tensor(parts) => parts.iter().map(Formula::rows).product(),
+            Formula::DirectSum(parts) => parts.iter().map(Formula::rows).sum(),
+        }
+    }
+
+    /// The number of columns (input vector length).
+    pub fn cols(&self) -> usize {
+        match self {
+            Formula::Identity(n) | Formula::F(n) | Formula::J(n) => *n,
+            Formula::Stride { n, .. } | Formula::Twiddle { n, .. } => *n,
+            Formula::Diagonal(d) => d.len(),
+            Formula::Permutation(p) => p.len(),
+            Formula::Matrix { cols, .. } => *cols,
+            Formula::Compose(parts) => parts.last().map_or(0, Formula::cols),
+            Formula::Tensor(parts) => parts.iter().map(Formula::cols).product(),
+            Formula::DirectSum(parts) => parts.iter().map(Formula::cols).sum(),
+        }
+    }
+
+    /// Checks shape consistency of every composition in the tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormulaError::ShapeMismatch`] naming the offending
+    /// composition, or [`FormulaError::BadParameter`] for empty n-ary
+    /// operations.
+    pub fn check_shapes(&self) -> Result<(), FormulaError> {
+        match self {
+            Formula::Compose(parts) => {
+                if parts.is_empty() {
+                    return Err(FormulaError::BadParameter("empty compose".into()));
+                }
+                for w in parts.windows(2) {
+                    if w[0].cols() != w[1].rows() {
+                        return Err(FormulaError::ShapeMismatch(format!(
+                            "compose: {}x{} then {}x{}",
+                            w[0].rows(),
+                            w[0].cols(),
+                            w[1].rows(),
+                            w[1].cols()
+                        )));
+                    }
+                }
+                parts.iter().try_for_each(Formula::check_shapes)
+            }
+            Formula::Tensor(parts) | Formula::DirectSum(parts) => {
+                if parts.is_empty() {
+                    return Err(FormulaError::BadParameter("empty n-ary operation".into()));
+                }
+                parts.iter().try_for_each(Formula::check_shapes)
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Counts leaf matrices in the tree.
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            Formula::Compose(p) | Formula::Tensor(p) | Formula::DirectSum(p) => {
+                p.iter().map(Formula::leaf_count).sum()
+            }
+            _ => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_of_leaves() {
+        assert_eq!(Formula::f(8).rows(), 8);
+        assert_eq!(Formula::stride(6, 2).unwrap().cols(), 6);
+        assert_eq!(Formula::twiddle(8, 4).unwrap().rows(), 8);
+        assert_eq!(Formula::diagonal(vec![Complex::ONE; 3]).rows(), 3);
+        let m = Formula::matrix(2, 3, vec![Complex::ZERO; 6]).unwrap();
+        assert_eq!((m.rows(), m.cols()), (2, 3));
+    }
+
+    #[test]
+    fn shapes_of_operations() {
+        let t = Formula::tensor(vec![Formula::f(2), Formula::identity(3)]);
+        assert_eq!((t.rows(), t.cols()), (6, 6));
+        let d = Formula::direct_sum(vec![Formula::f(2), Formula::identity(3)]);
+        assert_eq!((d.rows(), d.cols()), (5, 5));
+        let m = Formula::matrix(2, 3, vec![Complex::ZERO; 6]).unwrap();
+        let c = Formula::compose(vec![m.clone(), Formula::identity(3)]);
+        assert_eq!((c.rows(), c.cols()), (2, 3));
+    }
+
+    #[test]
+    fn bad_parameters_rejected() {
+        assert!(Formula::stride(6, 4).is_err());
+        assert!(Formula::stride(6, 0).is_err());
+        assert!(Formula::twiddle(9, 2).is_err());
+        assert!(Formula::permutation(vec![0, 0]).is_err());
+        assert!(Formula::matrix(2, 2, vec![Complex::ZERO; 3]).is_err());
+    }
+
+    #[test]
+    fn check_shapes_catches_mismatch() {
+        let bad = Formula::Compose(vec![Formula::f(2), Formula::f(3)]);
+        assert!(matches!(
+            bad.check_shapes(),
+            Err(FormulaError::ShapeMismatch(_))
+        ));
+        let good = Formula::Compose(vec![Formula::f(3), Formula::identity(3)]);
+        assert!(good.check_shapes().is_ok());
+    }
+
+    #[test]
+    fn nested_mismatch_found() {
+        let inner = Formula::Compose(vec![Formula::f(2), Formula::f(3)]);
+        let outer = Formula::Tensor(vec![Formula::identity(2), inner]);
+        assert!(outer.check_shapes().is_err());
+    }
+
+    #[test]
+    fn single_element_ops_collapse() {
+        assert_eq!(Formula::compose(vec![Formula::f(2)]), Formula::f(2));
+        assert_eq!(Formula::tensor(vec![Formula::f(2)]), Formula::f(2));
+    }
+
+    #[test]
+    fn leaf_count() {
+        let t = Formula::compose(vec![
+            Formula::tensor(vec![Formula::f(2), Formula::identity(2)]),
+            Formula::stride(4, 2).unwrap(),
+        ]);
+        assert_eq!(t.leaf_count(), 3);
+    }
+}

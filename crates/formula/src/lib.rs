@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! The SPL formula algebra.
+//!
+//! A *formula* is a typed matrix expression: parameterized matrices
+//! (`I`, `F`, `L`, `T`, `J`, diagonal, permutation, general matrix)
+//! combined with composition, tensor product, and direct sum — exactly the
+//! algebra of paper Section 2. This crate gives formulas their meaning:
+//!
+//! * **shape inference** — every formula has an output x input shape;
+//! * **dense interpretation** — any formula can be elaborated into a dense
+//!   complex matrix ([`dense::to_dense`]) or applied to a vector
+//!   ([`dense::apply`]), which serves as the *semantics oracle* for the
+//!   compiler, the VM, and the code generators;
+//! * **conversion** to and from the front end's S-expressions.
+//!
+//! # Examples
+//!
+//! ```
+//! use spl_formula::{Formula, dense};
+//! use spl_numeric::{reference, Complex};
+//!
+//! // F4 = (F2 (x) I2) T4_2 (I2 (x) F2) L4_2   (Cooley-Tukey)
+//! let f4 = Formula::compose(vec![
+//!     Formula::tensor(vec![Formula::f(2), Formula::identity(2)]),
+//!     Formula::twiddle(4, 2).unwrap(),
+//!     Formula::tensor(vec![Formula::identity(2), Formula::f(2)]),
+//!     Formula::stride(4, 2).unwrap(),
+//! ]);
+//! let x: Vec<Complex> = (1..=4).map(|v| Complex::real(v as f64)).collect();
+//! let y = dense::apply(&f4, &x).unwrap();
+//! let want = reference::dft(&x);
+//! for (a, b) in y.iter().zip(&want) {
+//!     assert!(a.approx_eq(*b, 1e-12));
+//! }
+//! ```
+
+pub mod convert;
+pub mod dense;
+pub mod formula;
+pub mod rewrite;
+
+pub use convert::{formula_from_sexp, formula_to_sexp};
+pub use formula::{Formula, FormulaError};

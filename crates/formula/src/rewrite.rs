@@ -1,0 +1,488 @@
+//! Formula transformations.
+//!
+//! The SPIRAL system the compiler serves "makes use of formula
+//! transformations … to automatically generate optimized DSP libraries"
+//! (paper abstract). This module implements the semantics-preserving
+//! rewrites the formula generator relies on:
+//!
+//! * structural normalization ([`simplify`]) — flattening nested
+//!   `compose`/`tensor`/`direct-sum`, dropping identity factors, fusing
+//!   adjacent diagonals and permutations;
+//! * the tensor-commutation identity (paper Eq. 6)
+//!   ([`commute_tensor`]) — `A ⊗ B = L^{mn}_m (B ⊗ A) L^{mn}_n`;
+//! * conversions between algorithm forms built from it, e.g. turning an
+//!   `A ⊗ I` stage into an `I ⊗ A` stage for the "parallel" form of
+//!   Eq. 8.
+//!
+//! Every rewrite is verified by dense-matrix equality in the tests.
+
+use spl_numeric::perm::{invert_perm, stride_perm};
+use spl_numeric::twiddle::omega;
+use spl_numeric::Complex;
+
+use crate::formula::Formula;
+
+/// Exhaustively applies the structural simplifications until a fixpoint:
+///
+/// * single-element and nested n-ary operations are flattened;
+/// * identity factors vanish from `compose`;
+/// * `I_m ⊗ I_n` fuses to `I_{mn}`;
+/// * adjacent diagonal factors multiply pointwise;
+/// * adjacent permutation-like factors (`L`, `J`, `permutation`) fuse
+///   into one `permutation`;
+/// * a `compose` reduced to nothing becomes the identity.
+pub fn simplify(f: &Formula) -> Formula {
+    let mut cur = f.clone();
+    loop {
+        let next = simplify_once(&cur);
+        if next == cur {
+            return cur;
+        }
+        cur = next;
+    }
+}
+
+fn simplify_once(f: &Formula) -> Formula {
+    match f {
+        Formula::Compose(parts) => {
+            let n_cols = f.cols();
+            // Flatten nested composes and drop identities.
+            let mut flat: Vec<Formula> = Vec::new();
+            for p in parts {
+                match simplify_once(p) {
+                    Formula::Compose(inner) => flat.extend(inner),
+                    Formula::Identity(_) => {}
+                    other => flat.push(other),
+                }
+            }
+            // Fuse adjacent diagonal and permutation factors.
+            let mut fused: Vec<Formula> = Vec::new();
+            for p in flat {
+                match (fused.last(), &p) {
+                    (Some(a), b) => {
+                        if let Some(m) = fuse_pair(a, b) {
+                            let last = fused.len() - 1;
+                            fused[last] = m;
+                        } else {
+                            fused.push(p);
+                        }
+                    }
+                    (None, _) => fused.push(p),
+                }
+            }
+            match fused.len() {
+                0 => Formula::identity(n_cols),
+                1 => fused.pop_unwrap(),
+                _ => Formula::Compose(fused),
+            }
+        }
+        Formula::Tensor(parts) => {
+            let mut flat: Vec<Formula> = Vec::new();
+            for p in parts {
+                match simplify_once(p) {
+                    Formula::Tensor(inner) => flat.extend(inner),
+                    other => flat.push(other),
+                }
+            }
+            // Fuse adjacent identities.
+            let mut fused: Vec<Formula> = Vec::new();
+            for p in flat {
+                match (fused.last(), &p) {
+                    (Some(Formula::Identity(m)), Formula::Identity(n)) => {
+                        let mn = m * n;
+                        let last = fused.len() - 1;
+                        fused[last] = Formula::identity(mn);
+                    }
+                    _ => fused.push(p),
+                }
+            }
+            if fused.len() == 1 {
+                fused.pop_unwrap()
+            } else {
+                Formula::Tensor(fused)
+            }
+        }
+        Formula::DirectSum(parts) => {
+            let mut flat: Vec<Formula> = Vec::new();
+            for p in parts {
+                match simplify_once(p) {
+                    Formula::DirectSum(inner) => flat.extend(inner),
+                    other => flat.push(other),
+                }
+            }
+            // Fuse adjacent identities (I_m ⊕ I_n = I_{m+n}).
+            let mut fused: Vec<Formula> = Vec::new();
+            for p in flat {
+                match (fused.last(), &p) {
+                    (Some(Formula::Identity(m)), Formula::Identity(n)) => {
+                        let s = m + n;
+                        let last = fused.len() - 1;
+                        fused[last] = Formula::identity(s);
+                    }
+                    _ => fused.push(p),
+                }
+            }
+            if fused.len() == 1 {
+                fused.pop_unwrap()
+            } else {
+                Formula::DirectSum(fused)
+            }
+        }
+        // Degenerate parameterized matrices.
+        Formula::Permutation(p) if p.iter().enumerate().all(|(i, &k)| i == k) => {
+            Formula::identity(p.len())
+        }
+        Formula::Stride { n, s } if *s == 1 || s == n => Formula::identity(*n),
+        Formula::Twiddle { n, s } if *s == *n || *n == 1 => Formula::identity(*n),
+        Formula::J(1) => Formula::identity(1),
+        other => other.clone(),
+    }
+}
+
+/// Fuses two adjacent compose factors when both are "cheap" classes:
+/// diagonal·diagonal and permutation·permutation.
+fn fuse_pair(a: &Formula, b: &Formula) -> Option<Formula> {
+    if let (Some(da), Some(db)) = (as_diagonal(a), as_diagonal(b)) {
+        if da.len() == db.len() {
+            return Some(Formula::diagonal(
+                da.iter().zip(&db).map(|(&x, &y)| x * y).collect(),
+            ));
+        }
+    }
+    if let (Some(pa), Some(pb)) = (as_permutation(a), as_permutation(b)) {
+        if pa.len() == pb.len() {
+            // (A·B)x: B gathers first. y[i] = x[pb[pa[i]]].
+            let fused: Vec<usize> = pa.iter().map(|&i| pb[i]).collect();
+            return Formula::permutation(fused).ok();
+        }
+    }
+    None
+}
+
+/// The diagonal entries, if the formula is diagonal-like (`diagonal` or
+/// `T`).
+pub fn as_diagonal(f: &Formula) -> Option<Vec<Complex>> {
+    match f {
+        Formula::Diagonal(d) => Some(d.clone()),
+        Formula::Twiddle { n, s } => {
+            let m = n / s;
+            let mut d = Vec::with_capacity(*n);
+            for i in 0..m {
+                for j in 0..*s {
+                    d.push(omega(*n, (i * j) as i64));
+                }
+            }
+            Some(d)
+        }
+        _ => None,
+    }
+}
+
+/// The index map, if the formula is permutation-like (`permutation`,
+/// `L`, `J`, `I`).
+pub fn as_permutation(f: &Formula) -> Option<Vec<usize>> {
+    match f {
+        Formula::Permutation(p) => Some(p.clone()),
+        Formula::Stride { n, s } => Some(stride_perm(*n, *s)),
+        Formula::J(n) => Some((0..*n).rev().collect()),
+        Formula::Identity(n) => Some((0..*n).collect()),
+        _ => None,
+    }
+}
+
+/// The tensor-commutation identity (paper Eq. 6):
+/// `A ⊗ B  =  L^{mn}_m · (B ⊗ A) · L^{mn}_n` for `A: m×m`, `B: n×n`.
+///
+/// Returns `None` for non-square operands or non-binary tensors.
+pub fn commute_tensor(f: &Formula) -> Option<Formula> {
+    let Formula::Tensor(parts) = f else {
+        return None;
+    };
+    let [a, b] = parts.as_slice() else {
+        return None;
+    };
+    let (m, n) = (a.rows(), b.rows());
+    if a.cols() != m || b.cols() != n {
+        return None;
+    }
+    Some(Formula::compose(vec![
+        Formula::stride(m * n, m).ok()?,
+        Formula::tensor(vec![b.clone(), a.clone()]),
+        Formula::stride(m * n, n).ok()?,
+    ]))
+}
+
+/// The inverse of a permutation-like formula (`L`, `J`, `permutation`,
+/// `I`), or of a diagonal-like formula with non-zero entries.
+///
+/// Returns `None` when the formula is not of an invertible-by-inspection
+/// class (general inversion is out of scope, as in the paper).
+pub fn inverse(f: &Formula) -> Option<Formula> {
+    if let Some(p) = as_permutation(f) {
+        return Formula::permutation(invert_perm(&p)).ok();
+    }
+    if let Some(d) = as_diagonal(f) {
+        if d.iter().any(|&c| c == Complex::ZERO) {
+            return None;
+        }
+        return Some(Formula::diagonal(d.into_iter().map(Complex::recip).collect()));
+    }
+    None
+}
+
+/// The conjugation `A^Q = Q⁻¹ · A · Q` of the paper's DCT equations,
+/// for `Q` of an invertible-by-inspection class (see [`inverse`]).
+///
+/// Returns `None` when `Q` cannot be inverted structurally or shapes
+/// mismatch.
+pub fn conjugate(a: &Formula, q: &Formula) -> Option<Formula> {
+    if a.rows() != a.cols() || q.rows() != a.rows() || q.cols() != a.rows() {
+        return None;
+    }
+    let q_inv = inverse(q)?;
+    Some(Formula::compose(vec![q_inv, a.clone(), q.clone()]))
+}
+
+/// The transpose of a formula, using `Fᵀ = F`, `Lᵀ = L⁻¹`, diagonal
+/// symmetry, `(AB)ᵀ = BᵀAᵀ`, `(A⊗B)ᵀ = Aᵀ⊗Bᵀ`, `(A⊕B)ᵀ = Aᵀ⊕Bᵀ`.
+///
+/// Since the DFT matrix is symmetric, transposing a DIT factorization
+/// yields the corresponding DIF factorization (Eq. 5 ↔ Eq. 7).
+pub fn transpose(f: &Formula) -> Formula {
+    match f {
+        Formula::Identity(_) | Formula::F(_) | Formula::Diagonal(_) | Formula::Twiddle { .. } => {
+            f.clone()
+        }
+        Formula::J(n) => Formula::J(*n),
+        Formula::Stride { n, s } => Formula::Stride { n: *n, s: n / s },
+        Formula::Permutation(p) => {
+            Formula::Permutation(invert_perm(p))
+        }
+        Formula::Matrix { rows, cols, data } => {
+            let mut t = vec![Complex::ZERO; data.len()];
+            for r in 0..*rows {
+                for c in 0..*cols {
+                    t[c * rows + r] = data[r * cols + c];
+                }
+            }
+            Formula::Matrix {
+                rows: *cols,
+                cols: *rows,
+                data: t,
+            }
+        }
+        Formula::Compose(parts) => {
+            Formula::Compose(parts.iter().rev().map(transpose).collect())
+        }
+        Formula::Tensor(parts) => Formula::Tensor(parts.iter().map(transpose).collect()),
+        Formula::DirectSum(parts) => {
+            Formula::DirectSum(parts.iter().map(transpose).collect())
+        }
+    }
+}
+
+trait PopUnwrap {
+    type Out;
+    fn pop_unwrap(self) -> Self::Out;
+}
+
+impl PopUnwrap for Vec<Formula> {
+    type Out = Formula;
+    fn pop_unwrap(mut self) -> Formula {
+        self.pop().expect("non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::to_dense;
+
+    fn same(a: &Formula, b: &Formula) {
+        let da = to_dense(a).unwrap();
+        let db = to_dense(b).unwrap();
+        assert!(
+            da.max_diff(&db) < 1e-11,
+            "formulas differ: {a:?} vs {b:?}"
+        );
+    }
+
+    #[test]
+    fn identities_vanish_from_compose() {
+        let f = Formula::compose(vec![
+            Formula::identity(4),
+            Formula::f(4),
+            Formula::identity(4),
+        ]);
+        let s = simplify(&f);
+        assert_eq!(s, Formula::f(4));
+    }
+
+    #[test]
+    fn nested_ops_flatten() {
+        let f = Formula::Compose(vec![
+            Formula::Compose(vec![Formula::f(2), Formula::J(2)]),
+            Formula::Compose(vec![Formula::J(2), Formula::f(2)]),
+        ]);
+        let s = simplify(&f);
+        same(&f, &s);
+        match &s {
+            Formula::Compose(parts) => assert_eq!(parts.len(), 2), // J·J fused to I, dropped; F·F remain
+            other => panic!("expected compose, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn identity_tensor_fuses() {
+        let f = Formula::tensor(vec![
+            Formula::identity(2),
+            Formula::identity(3),
+            Formula::f(2),
+        ]);
+        let s = simplify(&f);
+        same(&f, &s);
+        assert_eq!(
+            s,
+            Formula::Tensor(vec![Formula::identity(6), Formula::f(2)])
+        );
+    }
+
+    #[test]
+    fn diagonals_fuse() {
+        let d1 = Formula::diagonal(vec![Complex::real(2.0), Complex::real(3.0)]);
+        let d2 = Formula::diagonal(vec![Complex::real(0.5), Complex::i()]);
+        let f = Formula::compose(vec![d1, d2]);
+        let s = simplify(&f);
+        same(&f, &s);
+        assert!(matches!(s, Formula::Diagonal(_)));
+    }
+
+    #[test]
+    fn permutations_fuse() {
+        let f = Formula::compose(vec![
+            Formula::stride(6, 2).unwrap(),
+            Formula::stride(6, 3).unwrap(),
+        ]);
+        let s = simplify(&f);
+        same(&f, &s);
+        // L^6_2 · L^6_3 = I, which fuses to a permutation = identity map.
+        match s {
+            Formula::Permutation(p) => assert_eq!(p, vec![0, 1, 2, 3, 4, 5]),
+            Formula::Identity(6) => {}
+            other => panic!("expected identity permutation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_parameterized_matrices() {
+        assert_eq!(
+            simplify(&Formula::stride(5, 1).unwrap()),
+            Formula::identity(5)
+        );
+        assert_eq!(
+            simplify(&Formula::stride(5, 5).unwrap()),
+            Formula::identity(5)
+        );
+        assert_eq!(
+            simplify(&Formula::twiddle(4, 4).unwrap()),
+            Formula::identity(4)
+        );
+    }
+
+    #[test]
+    fn commute_tensor_is_eq6() {
+        let f = Formula::tensor(vec![Formula::f(2), Formula::f(4)]);
+        let c = commute_tensor(&f).unwrap();
+        same(&f, &c);
+        let f = Formula::tensor(vec![Formula::f(3), Formula::J(2)]);
+        let c = commute_tensor(&f).unwrap();
+        same(&f, &c);
+    }
+
+    #[test]
+    fn transpose_involutive_and_correct() {
+        let ct = Formula::compose(vec![
+            Formula::tensor(vec![Formula::f(2), Formula::identity(4)]),
+            Formula::twiddle(8, 4).unwrap(),
+            Formula::tensor(vec![Formula::identity(2), Formula::f(4)]),
+            Formula::stride(8, 2).unwrap(),
+        ]);
+        // DFT is symmetric: transpose of a correct factorization is a
+        // correct factorization.
+        let t = transpose(&ct);
+        same(&ct, &t);
+        // And transposing twice is the identity transformation.
+        let tt = transpose(&t);
+        same(&ct, &tt);
+    }
+
+    #[test]
+    fn transpose_of_dit_is_dif_shape() {
+        // The transpose of (F ⊗ I) T (I ⊗ F) L^n_r is
+        // L^n_s (I ⊗ F) T (F ⊗ I) — the DIF form of Eq. 7.
+        let dit = Formula::compose(vec![
+            Formula::tensor(vec![Formula::f(2), Formula::identity(3)]),
+            Formula::twiddle(6, 3).unwrap(),
+            Formula::tensor(vec![Formula::identity(2), Formula::f(3)]),
+            Formula::stride(6, 2).unwrap(),
+        ]);
+        let dif = transpose(&dit);
+        match &dif {
+            Formula::Compose(parts) => {
+                assert!(matches!(parts[0], Formula::Stride { n: 6, s: 3 }));
+                assert!(matches!(parts.last(), Some(Formula::Tensor(_))));
+            }
+            other => panic!("expected compose, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inverse_of_permutations_and_diagonals() {
+        let l = Formula::stride(8, 2).unwrap();
+        let li = inverse(&l).unwrap();
+        same(
+            &Formula::compose(vec![li, l.clone()]),
+            &Formula::identity(8),
+        );
+        let d = Formula::diagonal(vec![Complex::real(2.0), Complex::i()]);
+        let di = inverse(&d).unwrap();
+        same(
+            &Formula::compose(vec![di, d.clone()]),
+            &Formula::identity(2),
+        );
+        // Singular diagonal has no inverse.
+        assert!(inverse(&Formula::diagonal(vec![Complex::ZERO])).is_none());
+        // General matrices are out of scope.
+        assert!(inverse(&Formula::f(4)).is_none());
+    }
+
+    #[test]
+    fn conjugation_by_stride_permutation() {
+        // (I ⊗ F)^{L} = F ⊗ I: conjugating by the stride permutation
+        // converts between the two tensor orders (Eq. 6 in disguise).
+        let a = Formula::tensor(vec![Formula::identity(3), Formula::f(2)]);
+        let q = Formula::stride(6, 3).unwrap();
+        let conj = conjugate(&a, &q).unwrap();
+        same(&conj, &Formula::tensor(vec![Formula::f(2), Formula::identity(3)]));
+    }
+
+    #[test]
+    fn simplify_preserves_semantics_on_fft() {
+        let messy = Formula::Compose(vec![
+            Formula::identity(8),
+            Formula::Compose(vec![
+                Formula::tensor(vec![Formula::f(2), Formula::identity(4)]),
+                Formula::identity(8),
+                Formula::twiddle(8, 4).unwrap(),
+            ]),
+            Formula::tensor(vec![
+                Formula::identity(1),
+                Formula::tensor(vec![Formula::identity(2), Formula::f(4)]),
+            ]),
+            Formula::stride(8, 2).unwrap(),
+        ]);
+        let s = simplify(&messy);
+        same(&messy, &s);
+        assert!(s.leaf_count() < messy.leaf_count());
+    }
+}

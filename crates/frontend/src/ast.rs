@@ -1,0 +1,335 @@
+//! Typed AST for SPL programs: items, directives, and the template
+//! mini-language (patterns, conditions, i-code bodies).
+
+use std::fmt;
+
+use crate::sexp::Sexp;
+
+/// A complete SPL program: an ordered sequence of items.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// The items in source order.
+    pub items: Vec<Item>,
+}
+
+/// One top-level item of an SPL program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// `(define name formula)` — binds a name to a formula for reuse.
+    Define {
+        /// The bound name.
+        name: String,
+        /// The formula body (unresolved; `define`s may reference earlier
+        /// `define`s).
+        body: Sexp,
+    },
+    /// A template definition (paper Section 3.2).
+    Template(TemplateDef),
+    /// A formula to compile, with the directive state in effect at its
+    /// position and the unroll state captured for each `define` it uses.
+    Formula {
+        /// The formula.
+        sexp: Sexp,
+        /// Directive snapshot.
+        directives: DirectiveState,
+    },
+    /// A bare directive line (also folded into [`DirectiveState`] by the
+    /// parser; kept for faithful program reconstruction).
+    Directive(Directive),
+}
+
+/// The data type of the vectors a formula operates on (`#datatype`), and of
+/// the generated code's scalars (`#codetype`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DataType {
+    /// Real double-precision data.
+    Real,
+    /// Complex double-precision data.
+    #[default]
+    Complex,
+}
+
+/// The target language of the generated code (`#language`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Language {
+    /// Fortran 77 style output (the paper's default).
+    #[default]
+    Fortran,
+    /// C output.
+    C,
+}
+
+/// The `#unroll` switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Unroll {
+    /// `#unroll on`: fully unroll loops in the affected formulas.
+    On,
+    /// `#unroll off`: keep loops.
+    #[default]
+    Off,
+}
+
+/// A single compiler directive.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Directive {
+    /// `#subname <ident>` — the name of the generated subroutine.
+    Subname(String),
+    /// `#unroll on|off`.
+    Unroll(Unroll),
+    /// `#datatype real|complex`.
+    Datatype(DataType),
+    /// `#codetype real|complex`.
+    Codetype(DataType),
+    /// `#language fortran|c`.
+    Language(Language),
+}
+
+/// The accumulated directive state at a program point.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DirectiveState {
+    /// Subroutine name for the next formula (consumed by it).
+    pub subname: Option<String>,
+    /// Current unroll switch.
+    pub unroll: Unroll,
+    /// Current `#datatype`.
+    pub datatype: DataType,
+    /// Current `#codetype`.
+    pub codetype: DataType,
+    /// Current `#language`.
+    pub language: Language,
+}
+
+impl DirectiveState {
+    /// Applies one directive, returning the updated state.
+    pub fn apply(&mut self, d: &Directive) {
+        match d {
+            Directive::Subname(s) => self.subname = Some(s.clone()),
+            Directive::Unroll(u) => self.unroll = *u,
+            Directive::Datatype(t) => self.datatype = *t,
+            Directive::Codetype(t) => self.codetype = *t,
+            Directive::Language(l) => self.language = *l,
+        }
+    }
+}
+
+/// A template definition: pattern, optional condition, i-code body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TemplateDef {
+    /// The pattern, as an S-expression containing pattern variables
+    /// (symbols ending in `_`).
+    pub pattern: Sexp,
+    /// The optional C-style boolean condition.
+    pub condition: Option<CondExpr>,
+    /// The i-code statements.
+    pub body: Vec<TemplateStmt>,
+}
+
+/// A statement in a template's i-code body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TemplateStmt {
+    /// `do $i0 = lo, hi` — a Fortran-style loop header (inclusive bounds).
+    Do {
+        /// Loop variable name (`i0`, `i1`, ...).
+        var: String,
+        /// Lower bound.
+        lo: TExpr,
+        /// Upper bound (inclusive).
+        hi: TExpr,
+    },
+    /// `end` — closes the innermost `do`.
+    End,
+    /// `lhs = expr`.
+    Assign {
+        /// The assigned location.
+        lhs: TLval,
+        /// The value expression (flattened into four-tuples downstream).
+        rhs: TExpr,
+    },
+    /// `A_($in, $t0, 0, 0, 1, 1)` — expand the sub-formula bound to a
+    /// formula pattern variable with explicit in/out vectors, offsets, and
+    /// strides (paper Section 3.2).
+    Call {
+        /// The formula pattern variable (stored without trailing `_`
+        /// normalization; e.g. `A_`).
+        var: String,
+        /// The six arguments: in, out, in_offset, out_offset, in_stride,
+        /// out_stride. Vector arguments are `TExpr::Var` of `$in`, `$out`
+        /// or `$t<k>`.
+        args: Vec<TExpr>,
+    },
+}
+
+/// An assignable location in template i-code.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TLval {
+    /// A scalar variable: `$f0`, `$r0`.
+    Scalar(String),
+    /// A vector element: `$out(expr)`, `$t0(expr)`.
+    VecElem(String, Box<TExpr>),
+}
+
+/// The size properties accessible on formula pattern variables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SizeProp {
+    /// `X_.in_size` — the input-vector length of the matched sub-formula.
+    InSize,
+    /// `X_.out_size` — the output-vector length.
+    OutSize,
+}
+
+/// Unary operators in template expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TUnOp {
+    /// Arithmetic negation.
+    Neg,
+}
+
+/// Binary operators in template expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TBinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+}
+
+/// An expression in template i-code (used for both integer expressions —
+/// loop bounds, subscripts — and floating/complex value expressions; the
+/// expander type-checks by context).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TExpr {
+    /// Integer literal.
+    Int(i64),
+    /// Floating literal.
+    Float(f64),
+    /// A complex literal `(re,im)` (components must be constant).
+    Pair(f64, f64),
+    /// An integer pattern variable (`n_`).
+    PatVar(String),
+    /// A size property of a formula pattern variable (`A_.in_size`).
+    Prop(String, SizeProp),
+    /// A `$`-variable: `$f0`, `$r0`, `$i0`, `$in_stride`, `$out_offset`,
+    /// `$in_size`, `$out_size` (name stored without `$`).
+    Var(String),
+    /// A vector element read: `$in(expr)`, `$t0(expr)`.
+    VecElem(String, Box<TExpr>),
+    /// An intrinsic invocation: `W(n_ $r0)`.
+    Intrinsic(String, Vec<TExpr>),
+    /// Unary operation.
+    Un(TUnOp, Box<TExpr>),
+    /// Binary operation.
+    Bin(TBinOp, Box<TExpr>, Box<TExpr>),
+}
+
+/// Comparison operators in template conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// A C-style boolean condition attached to a template.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CondExpr {
+    /// A comparison between two integer expressions.
+    Cmp(CmpOp, TExpr, TExpr),
+    /// Logical conjunction.
+    And(Box<CondExpr>, Box<CondExpr>),
+    /// Logical disjunction.
+    Or(Box<CondExpr>, Box<CondExpr>),
+    /// Logical negation.
+    Not(Box<CondExpr>),
+}
+
+impl fmt::Display for TExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TExpr::Int(v) => write!(f, "{v}"),
+            TExpr::Float(v) => write!(f, "{v:?}"),
+            TExpr::Pair(re, im) => write!(f, "({re:?},{im:?})"),
+            TExpr::PatVar(s) => write!(f, "{s}"),
+            TExpr::Prop(s, SizeProp::InSize) => write!(f, "{s}.in_size"),
+            TExpr::Prop(s, SizeProp::OutSize) => write!(f, "{s}.out_size"),
+            TExpr::Var(s) => write!(f, "${s}"),
+            TExpr::VecElem(s, e) => write!(f, "${s}({e})"),
+            TExpr::Intrinsic(name, args) => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            TExpr::Un(TUnOp::Neg, e) => write!(f, "(-{e})"),
+            TExpr::Bin(op, a, b) => {
+                let sym = match op {
+                    TBinOp::Add => "+",
+                    TBinOp::Sub => "-",
+                    TBinOp::Mul => "*",
+                    TBinOp::Div => "/",
+                    TBinOp::Mod => "%",
+                };
+                write!(f, "({a}{sym}{b})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directive_state_applies() {
+        let mut s = DirectiveState::default();
+        s.apply(&Directive::Subname("fft16".into()));
+        s.apply(&Directive::Unroll(Unroll::On));
+        s.apply(&Directive::Datatype(DataType::Real));
+        s.apply(&Directive::Language(Language::C));
+        assert_eq!(s.subname.as_deref(), Some("fft16"));
+        assert_eq!(s.unroll, Unroll::On);
+        assert_eq!(s.datatype, DataType::Real);
+        assert_eq!(s.language, Language::C);
+    }
+
+    #[test]
+    fn texpr_display() {
+        let e = TExpr::Bin(
+            TBinOp::Mul,
+            Box::new(TExpr::Int(4)),
+            Box::new(TExpr::Var("i0".into())),
+        );
+        assert_eq!(e.to_string(), "(4*$i0)");
+        let w = TExpr::Intrinsic(
+            "W".into(),
+            vec![TExpr::PatVar("n_".into()), TExpr::Var("r0".into())],
+        );
+        assert_eq!(w.to_string(), "W(n_ $r0)");
+    }
+
+    #[test]
+    fn default_directives_match_paper() {
+        let s = DirectiveState::default();
+        assert_eq!(s.datatype, DataType::Complex);
+        assert_eq!(s.language, Language::Fortran);
+        assert_eq!(s.unroll, Unroll::Off);
+    }
+}

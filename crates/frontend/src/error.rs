@@ -1,0 +1,72 @@
+//! Parse-error reporting.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a parse failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// A character the lexer does not understand.
+    UnexpectedChar(char),
+    /// A numeric literal that could not be parsed.
+    BadNumber(String),
+    /// A directive with an unknown name or malformed argument.
+    BadDirective(String),
+    /// The parser met a token it did not expect.
+    UnexpectedToken(String),
+    /// Input ended in the middle of a construct.
+    UnexpectedEof,
+    /// A malformed `define`, `template`, or other special form.
+    BadForm(String),
+}
+
+/// An error produced by the SPL lexer or parser, with source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// The failure category.
+    pub kind: ParseErrorKind,
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl ParseError {
+    /// Creates an error at the given position.
+    pub fn new(kind: ParseErrorKind, line: u32, col: u32) -> Self {
+        ParseError { kind, line, col }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: ", self.line, self.col)?;
+        match &self.kind {
+            ParseErrorKind::UnexpectedChar(c) => write!(f, "unexpected character {c:?}"),
+            ParseErrorKind::BadNumber(s) => write!(f, "malformed number {s:?}"),
+            ParseErrorKind::BadDirective(s) => write!(f, "bad directive: {s}"),
+            ParseErrorKind::UnexpectedToken(s) => write!(f, "unexpected token {s}"),
+            ParseErrorKind::UnexpectedEof => write!(f, "unexpected end of input"),
+            ParseErrorKind::BadForm(s) => write!(f, "malformed form: {s}"),
+        }
+    }
+}
+
+impl Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = ParseError::new(ParseErrorKind::UnexpectedEof, 3, 7);
+        assert_eq!(e.to_string(), "3:7: unexpected end of input");
+    }
+
+    #[test]
+    fn display_char() {
+        let e = ParseError::new(ParseErrorKind::UnexpectedChar('@'), 1, 1);
+        assert!(e.to_string().contains("'@'"));
+    }
+}

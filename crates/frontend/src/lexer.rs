@@ -1,0 +1,480 @@
+//! The SPL lexer.
+//!
+//! Notable rules, all taken from the paper's description of the language:
+//!
+//! * `;` starts a comment running to the end of the line.
+//! * A line whose first non-blank character is `#` is a compiler directive;
+//!   the directive name and the rest of the line are captured verbatim.
+//! * `$`-prefixed names are the template i-code variables
+//!   (`$in`, `$out`, `$t0`, `$f0`, `$r0`, `$i0`, `$in_stride`, ...).
+//! * Identifiers may contain `-` (as in `direct-sum`); a `-` continues an
+//!   identifier only when it is followed by a letter **and** the identifier
+//!   so far does not end with `_` (so the pattern-variable subtraction
+//!   `m_-n_` lexes as three tokens).
+
+use crate::error::{ParseError, ParseErrorKind};
+use crate::token::{Token, TokenKind};
+
+/// Lexes a complete SPL source string into tokens.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for unknown characters or malformed numbers.
+///
+/// # Examples
+///
+/// ```
+/// use spl_frontend::lexer::lex;
+/// let toks = lex("(F 2) ; the 2-point DFT").unwrap();
+/// assert_eq!(toks.len(), 4); // ( F 2 )
+/// ```
+pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
+    Lexer::new(src).run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    at_line_start: bool,
+    spaced: bool,
+    tokens: Vec<Token>,
+}
+
+impl Lexer {
+    fn new(src: &str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            at_line_start: true,
+            spaced: true,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+            self.at_line_start = true;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn err(&self, kind: ParseErrorKind) -> ParseError {
+        ParseError::new(kind, self.line, self.col)
+    }
+
+    fn push(&mut self, kind: TokenKind, line: u32, col: u32) {
+        let spaced = self.spaced;
+        self.tokens.push(Token {
+            kind,
+            line,
+            col,
+            spaced,
+        });
+        self.spaced = false;
+        self.at_line_start = false;
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, ParseError> {
+        while let Some(c) = self.peek() {
+            if c == '\n' || c == '\r' || c == ' ' || c == '\t' {
+                self.bump();
+                self.spaced = true;
+                continue;
+            }
+            if c == ';' {
+                while let Some(c) = self.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    self.bump();
+                }
+                self.spaced = true;
+                continue;
+            }
+            if c == '#' && self.at_line_start {
+                self.lex_directive()?;
+                continue;
+            }
+            let (line, col) = (self.line, self.col);
+            match c {
+                '(' => {
+                    self.bump();
+                    self.push(TokenKind::LParen, line, col);
+                }
+                ')' => {
+                    self.bump();
+                    self.push(TokenKind::RParen, line, col);
+                }
+                '[' => {
+                    self.bump();
+                    self.push(TokenKind::LBracket, line, col);
+                }
+                ']' => {
+                    self.bump();
+                    self.push(TokenKind::RBracket, line, col);
+                }
+                ',' => {
+                    self.bump();
+                    self.push(TokenKind::Comma, line, col);
+                }
+                '+' => {
+                    self.bump();
+                    self.push(TokenKind::Plus, line, col);
+                }
+                '-' => {
+                    self.bump();
+                    self.push(TokenKind::Minus, line, col);
+                }
+                '*' => {
+                    self.bump();
+                    self.push(TokenKind::Star, line, col);
+                }
+                '/' => {
+                    self.bump();
+                    self.push(TokenKind::Slash, line, col);
+                }
+                '%' => {
+                    self.bump();
+                    self.push(TokenKind::Percent, line, col);
+                }
+                '.' => {
+                    // A leading dot starting a number (`.5`) is not used in
+                    // the paper's programs; treat `.` as property access.
+                    self.bump();
+                    self.push(TokenKind::Dot, line, col);
+                }
+                '=' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        self.push(TokenKind::EqEq, line, col);
+                    } else {
+                        self.push(TokenKind::Assign, line, col);
+                    }
+                }
+                '!' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        self.push(TokenKind::NotEq, line, col);
+                    } else {
+                        self.push(TokenKind::Not, line, col);
+                    }
+                }
+                '<' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        self.push(TokenKind::Le, line, col);
+                    } else {
+                        self.push(TokenKind::Lt, line, col);
+                    }
+                }
+                '>' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        self.push(TokenKind::Ge, line, col);
+                    } else {
+                        self.push(TokenKind::Gt, line, col);
+                    }
+                }
+                '&' => {
+                    self.bump();
+                    if self.peek() == Some('&') {
+                        self.bump();
+                        self.push(TokenKind::AndAnd, line, col);
+                    } else {
+                        return Err(self.err(ParseErrorKind::UnexpectedChar('&')));
+                    }
+                }
+                '|' => {
+                    self.bump();
+                    if self.peek() == Some('|') {
+                        self.bump();
+                        self.push(TokenKind::OrOr, line, col);
+                    } else {
+                        return Err(self.err(ParseErrorKind::UnexpectedChar('|')));
+                    }
+                }
+                '$' => {
+                    self.bump();
+                    let mut name = String::new();
+                    while let Some(c) = self.peek() {
+                        if c.is_ascii_alphanumeric() || c == '_' {
+                            name.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    if name.is_empty() {
+                        return Err(self.err(ParseErrorKind::UnexpectedChar('$')));
+                    }
+                    self.push(TokenKind::Dollar(name), line, col);
+                }
+                c if c.is_ascii_digit() => self.lex_number(line, col)?,
+                c if c.is_ascii_alphabetic() || c == '_' => self.lex_symbol(line, col),
+                other => return Err(self.err(ParseErrorKind::UnexpectedChar(other))),
+            }
+        }
+        Ok(self.tokens)
+    }
+
+    fn lex_number(&mut self, line: u32, col: u32) -> Result<(), ParseError> {
+        let mut text = String::new();
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                text.push(c);
+                self.bump();
+            } else if c == '.' && self.peek2().is_some_and(|d| d.is_ascii_digit()) {
+                is_float = true;
+                text.push(c);
+                self.bump();
+            } else if (c == 'e' || c == 'E')
+                && self
+                    .peek2()
+                    .is_some_and(|d| d.is_ascii_digit() || d == '+' || d == '-')
+            {
+                is_float = true;
+                text.push(c);
+                self.bump();
+                // optional sign
+                if let Some(s) = self.peek() {
+                    if s == '+' || s == '-' {
+                        text.push(s);
+                        self.bump();
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+        let kind = if is_float {
+            TokenKind::Float(
+                text.parse::<f64>()
+                    .map_err(|_| self.err(ParseErrorKind::BadNumber(text.clone())))?,
+            )
+        } else {
+            TokenKind::Int(
+                text.parse::<i64>()
+                    .map_err(|_| self.err(ParseErrorKind::BadNumber(text.clone())))?,
+            )
+        };
+        self.push(kind, line, col);
+        Ok(())
+    }
+
+    fn lex_symbol(&mut self, line: u32, col: u32) {
+        let mut name = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                name.push(c);
+                self.bump();
+            } else if c == '-'
+                && !name.ends_with('_')
+                && self.peek2().is_some_and(|d| d.is_ascii_alphabetic())
+            {
+                // `direct-sum` stays one symbol, `m_-n_` splits.
+                name.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Symbol(name), line, col);
+    }
+
+    fn lex_directive(&mut self) -> Result<(), ParseError> {
+        let (line, col) = (self.line, self.col);
+        self.bump(); // '#'
+        let mut name = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                name.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if name.is_empty() {
+            return Err(self.err(ParseErrorKind::BadDirective("missing name".into())));
+        }
+        let mut rest = String::new();
+        while let Some(c) = self.peek() {
+            if c == '\n' {
+                break;
+            }
+            rest.push(c);
+            self.bump();
+        }
+        // Strip a trailing comment from the directive argument.
+        let rest = match rest.find(';') {
+            Some(i) => rest[..i].trim().to_string(),
+            None => rest.trim().to_string(),
+        };
+        self.push(TokenKind::Directive(name, rest), line, col);
+        self.spaced = true;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::TokenKind as K;
+
+    fn kinds(src: &str) -> Vec<K> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn parens_and_symbols() {
+        assert_eq!(
+            kinds("(compose A B)"),
+            vec![
+                K::LParen,
+                K::Symbol("compose".into()),
+                K::Symbol("A".into()),
+                K::Symbol("B".into()),
+                K::RParen
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(kinds("1 ; two three\n2"), vec![K::Int(1), K::Int(2)]);
+    }
+
+    #[test]
+    fn direct_sum_is_one_symbol() {
+        assert_eq!(kinds("direct-sum"), vec![K::Symbol("direct-sum".into())]);
+    }
+
+    #[test]
+    fn pattern_var_subtraction_splits() {
+        assert_eq!(
+            kinds("m_-n_"),
+            vec![K::Symbol("m_".into()), K::Minus, K::Symbol("n_".into())]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("12 1.23 2e3 1.5e-2"),
+            vec![K::Int(12), K::Float(1.23), K::Float(2e3), K::Float(1.5e-2)]
+        );
+    }
+
+    #[test]
+    fn number_then_close_paren() {
+        assert_eq!(kinds("(I 2)"), vec![
+            K::LParen,
+            K::Symbol("I".into()),
+            K::Int(2),
+            K::RParen
+        ]);
+    }
+
+    #[test]
+    fn dollar_variables() {
+        assert_eq!(
+            kinds("$in $out $t0 $in_stride"),
+            vec![
+                K::Dollar("in".into()),
+                K::Dollar("out".into()),
+                K::Dollar("t0".into()),
+                K::Dollar("in_stride".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("== != <= >= < > && || !"),
+            vec![
+                K::EqEq,
+                K::NotEq,
+                K::Le,
+                K::Ge,
+                K::Lt,
+                K::Gt,
+                K::AndAnd,
+                K::OrOr,
+                K::Not
+            ]
+        );
+    }
+
+    #[test]
+    fn directive_line() {
+        assert_eq!(
+            kinds("#subname fft16 ; name\n(F 2)"),
+            vec![
+                K::Directive("subname".into(), "fft16".into()),
+                K::LParen,
+                K::Symbol("F".into()),
+                K::Int(2),
+                K::RParen
+            ]
+        );
+    }
+
+    #[test]
+    fn hash_mid_line_is_error() {
+        assert!(lex("(F 2) #foo").is_err());
+    }
+
+    #[test]
+    fn spacing_flag_tracks_whitespace() {
+        let toks = lex("1 -1 1-1").unwrap();
+        // tokens: 1, -, 1, 1, -, 1
+        assert!(toks[0].spaced);
+        assert!(toks[1].spaced); // "-" after space
+        assert!(!toks[2].spaced); // "1" directly after "-"
+        assert!(toks[3].spaced);
+        assert!(!toks[4].spaced); // "-" glued to previous "1"
+        assert!(!toks[5].spaced);
+    }
+
+    #[test]
+    fn property_access() {
+        assert_eq!(
+            kinds("A_.in_size"),
+            vec![
+                K::Symbol("A_".into()),
+                K::Dot,
+                K::Symbol("in_size".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn unknown_char_reports_position() {
+        let err = lex("(F 2)\n  @").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.col, 3);
+    }
+}

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! Front end for the SPL language (lexer, parser, AST).
+//!
+//! SPL programs are sequences of *items*: compiler directives
+//! (`#subname`, `#unroll`, `#datatype`, `#codetype`, `#language`),
+//! `define` name bindings, `template` definitions, and formulas written in
+//! Cambridge Polish notation:
+//!
+//! ```text
+//! (define F4 (compose (tensor (F 2) (I 2)) (T 4 2) (tensor (I 2) (F 2)) (L 4 2)))
+//! #subname fft16
+//! (compose (tensor F4 (I 4)) (T 16 4) (tensor (I 4) F4) (L 16 4))
+//! ```
+//!
+//! This crate owns *all* concrete syntax, including the template-body
+//! mini-language (Fortran-style `do` loops and four-tuple assignments over
+//! `$`-variables) and the C-style boolean template conditions. Semantic
+//! analysis lives downstream: formulas in `spl-formula`, template expansion
+//! in `spl-templates`.
+//!
+//! # Examples
+//!
+//! ```
+//! use spl_frontend::{parse_program, ast::Item};
+//!
+//! let prog = parse_program("(compose (F 2) (I 2))").unwrap();
+//! assert_eq!(prog.items.len(), 1);
+//! assert!(matches!(prog.items[0], Item::Formula { .. }));
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod scalar;
+pub mod sexp;
+pub mod token;
+
+pub use ast::{Directive, Item, Program, TemplateDef};
+pub use error::{ParseError, ParseErrorKind};
+pub use parser::parse_program;
+pub use sexp::Sexp;

@@ -1,0 +1,973 @@
+//! The SPL parser: tokens → [`Program`].
+//!
+//! Three sub-grammars share one token stream:
+//!
+//! 1. **Formulas** — S-expressions whose atoms may be constant scalar
+//!    expressions. Scalar expressions are whitespace-sensitive: an infix
+//!    operator continues the expression only when written without a
+//!    preceding space (`(diagonal (1 -1))` vs `(diagonal (1-1))`).
+//! 2. **Template conditions** — C-style boolean expressions in `[...]`.
+//! 3. **Template bodies** — Fortran-style statements (`do`/`end`,
+//!    assignments, sub-formula calls) over `$`-variables; here operators
+//!    may be freely spaced and statement boundaries are recovered from the
+//!    grammar.
+
+use crate::ast::*;
+use crate::error::{ParseError, ParseErrorKind};
+use crate::lexer::lex;
+use crate::scalar::{ScalarBinOp, ScalarExpr};
+use crate::sexp::Sexp;
+use crate::token::{Token, TokenKind};
+
+/// Names accepted as scalar functions inside formulas.
+const SCALAR_FUNCTIONS: &[&str] = &["sqrt", "sin", "cos", "tan", "exp", "log", "w", "W"];
+
+/// Parses a complete SPL program.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error with its source position.
+///
+/// # Examples
+///
+/// ```
+/// use spl_frontend::parse_program;
+/// let p = parse_program(
+///     "(define F4 (compose (tensor (F 2) (I 2)) (T 4 2) (tensor (I 2) (F 2)) (L 4 2)))\n\
+///      #subname fft4\n\
+///      F4",
+/// ).unwrap();
+/// assert_eq!(p.items.len(), 3);
+/// ```
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let tokens = lex(src)?;
+    Parser::new(tokens).program()
+}
+
+/// Parses a single formula (no directives, defines, or templates).
+///
+/// # Errors
+///
+/// Returns an error if the source is not exactly one formula.
+pub fn parse_formula(src: &str) -> Result<Sexp, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser::new(tokens);
+    let s = p.sexp()?;
+    if !p.at_eof() {
+        return Err(p.err_here(ParseErrorKind::UnexpectedToken(
+            "trailing input after formula".into(),
+        )));
+    }
+    Ok(s)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn at_eof(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_kind(&self) -> Option<&TokenKind> {
+        self.peek().map(|t| &t.kind)
+    }
+
+    fn peek_at(&self, k: usize) -> Option<&TokenKind> {
+        self.tokens.get(self.pos + k).map(|t| &t.kind)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err_here(&self, kind: ParseErrorKind) -> ParseError {
+        match self.peek() {
+            Some(t) => ParseError::new(kind, t.line, t.col),
+            None => {
+                let (line, col) = self
+                    .tokens
+                    .last()
+                    .map(|t| (t.line, t.col))
+                    .unwrap_or((1, 1));
+                ParseError::new(kind, line, col)
+            }
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<Token, ParseError> {
+        match self.peek() {
+            Some(t) if &t.kind == kind => Ok(self.bump().unwrap()),
+            Some(t) => Err(ParseError::new(
+                ParseErrorKind::UnexpectedToken(format!("{} (expected {})", t.kind, kind)),
+                t.line,
+                t.col,
+            )),
+            None => Err(self.err_here(ParseErrorKind::UnexpectedEof)),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Program structure
+    // ------------------------------------------------------------------
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut items = Vec::new();
+        let mut state = DirectiveState::default();
+        while let Some(tok) = self.peek() {
+            match &tok.kind {
+                TokenKind::Directive(_, _) => {
+                    let d = self.directive()?;
+                    state.apply(&d);
+                    items.push(Item::Directive(d));
+                }
+                TokenKind::LParen
+                    if self.peek_at(1) == Some(&TokenKind::Symbol("define".into())) =>
+                {
+                    self.bump(); // (
+                    self.bump(); // define
+                    let name = match self.bump() {
+                        Some(Token {
+                            kind: TokenKind::Symbol(s),
+                            ..
+                        }) => s,
+                        _ => {
+                            return Err(self.err_here(ParseErrorKind::BadForm(
+                                "define requires a name".into(),
+                            )))
+                        }
+                    };
+                    let body = self.sexp()?;
+                    self.expect(&TokenKind::RParen)?;
+                    items.push(Item::Define { name, body });
+                }
+                TokenKind::LParen
+                    if self.peek_at(1) == Some(&TokenKind::Symbol("template".into())) =>
+                {
+                    let t = self.template()?;
+                    items.push(Item::Template(t));
+                }
+                _ => {
+                    let sexp = self.sexp()?;
+                    let directives = state.clone();
+                    state.subname = None; // consumed by this formula
+                    items.push(Item::Formula { sexp, directives });
+                }
+            }
+        }
+        Ok(Program { items })
+    }
+
+    fn directive(&mut self) -> Result<Directive, ParseError> {
+        let tok = self.bump().unwrap();
+        let (name, rest) = match tok.kind {
+            TokenKind::Directive(n, r) => (n, r),
+            _ => unreachable!("directive() called on non-directive"),
+        };
+        let bad = |msg: &str| {
+            Err(ParseError::new(
+                ParseErrorKind::BadDirective(format!("#{name}: {msg}")),
+                tok.line,
+                tok.col,
+            ))
+        };
+        match name.as_str() {
+            "subname" => {
+                if rest.is_empty() || !rest.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+                {
+                    return bad("expected an identifier");
+                }
+                Ok(Directive::Subname(rest))
+            }
+            "unroll" => match rest.as_str() {
+                "on" => Ok(Directive::Unroll(Unroll::On)),
+                "off" => Ok(Directive::Unroll(Unroll::Off)),
+                _ => bad("expected on or off"),
+            },
+            "datatype" => match rest.as_str() {
+                "real" => Ok(Directive::Datatype(DataType::Real)),
+                "complex" => Ok(Directive::Datatype(DataType::Complex)),
+                _ => bad("expected real or complex"),
+            },
+            "codetype" => match rest.as_str() {
+                "real" => Ok(Directive::Codetype(DataType::Real)),
+                "complex" => Ok(Directive::Codetype(DataType::Complex)),
+                _ => bad("expected real or complex"),
+            },
+            "language" => match rest.as_str() {
+                "fortran" => Ok(Directive::Language(Language::Fortran)),
+                "c" => Ok(Directive::Language(Language::C)),
+                _ => bad("expected fortran or c"),
+            },
+            _ => bad("unknown directive"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Formulas (S-expressions with scalar atoms)
+    // ------------------------------------------------------------------
+
+    fn sexp(&mut self) -> Result<Sexp, ParseError> {
+        match self.peek_kind() {
+            Some(TokenKind::LParen) => {
+                // Try a complex-literal pair first: `(expr , expr)`.
+                let save = self.pos;
+                if let Ok(pair) = self.try_complex_pair() {
+                    return Ok(pair);
+                }
+                self.pos = save;
+                self.bump(); // (
+                let mut items = Vec::new();
+                loop {
+                    match self.peek_kind() {
+                        Some(TokenKind::RParen) => {
+                            self.bump();
+                            return Ok(Sexp::List(items));
+                        }
+                        Some(_) => items.push(self.sexp()?),
+                        None => return Err(self.err_here(ParseErrorKind::UnexpectedEof)),
+                    }
+                }
+            }
+            Some(_) => self.atom(),
+            None => Err(self.err_here(ParseErrorKind::UnexpectedEof)),
+        }
+    }
+
+    fn try_complex_pair(&mut self) -> Result<Sexp, ParseError> {
+        self.expect(&TokenKind::LParen)?;
+        let re = self.scalar_expr(true)?;
+        self.expect(&TokenKind::Comma)?;
+        let im = self.scalar_expr(true)?;
+        self.expect(&TokenKind::RParen)?;
+        Ok(Sexp::Scalar(ScalarExpr::Pair(Box::new(re), Box::new(im))))
+    }
+
+    /// Parses an atom: either a symbol or a constant scalar expression.
+    fn atom(&mut self) -> Result<Sexp, ParseError> {
+        // A bare symbol that is not `pi` and not a function call is a
+        // formula reference; anything else is a scalar expression.
+        if let Some(TokenKind::Symbol(s)) = self.peek_kind() {
+            let is_fn_call = SCALAR_FUNCTIONS.contains(&s.as_str())
+                && self.peek_at(1) == Some(&TokenKind::LParen)
+                && self
+                    .tokens
+                    .get(self.pos + 1)
+                    .is_some_and(|t| !t.spaced);
+            if s != "pi" && !is_fn_call {
+                let name = s.clone();
+                self.bump();
+                return Ok(Sexp::Symbol(name));
+            }
+        }
+        let start = self.pos;
+        let e = self.scalar_expr(false)?;
+        match e {
+            ScalarExpr::Int(v) => Ok(Sexp::Int(v)),
+            other => {
+                // Fold `-3` to an integer atom as well.
+                if let ScalarExpr::Neg(inner) = &other {
+                    if let ScalarExpr::Int(v) = **inner {
+                        return Ok(Sexp::Int(-v));
+                    }
+                }
+                let _ = start;
+                Ok(Sexp::Scalar(other))
+            }
+        }
+    }
+
+    /// Parses a constant scalar expression.
+    ///
+    /// With `spaced_ops = false` (formula context) an infix operator only
+    /// continues the expression if it is written without preceding
+    /// whitespace; with `true` (inside a complex pair) spacing is free.
+    fn scalar_expr(&mut self, spaced_ops: bool) -> Result<ScalarExpr, ParseError> {
+        self.scalar_additive(spaced_ops)
+    }
+
+    fn op_continues(&self, spaced_ops: bool) -> bool {
+        match self.peek() {
+            Some(t) => t.kind.is_arith_op() && (spaced_ops || !t.spaced),
+            None => false,
+        }
+    }
+
+    fn scalar_additive(&mut self, spaced_ops: bool) -> Result<ScalarExpr, ParseError> {
+        let mut lhs = self.scalar_multiplicative(spaced_ops)?;
+        while self.op_continues(spaced_ops) {
+            let op = match self.peek_kind() {
+                Some(TokenKind::Plus) => ScalarBinOp::Add,
+                Some(TokenKind::Minus) => ScalarBinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.scalar_multiplicative(spaced_ops)?;
+            lhs = ScalarExpr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn scalar_multiplicative(&mut self, spaced_ops: bool) -> Result<ScalarExpr, ParseError> {
+        let mut lhs = self.scalar_primary(spaced_ops)?;
+        while self.op_continues(spaced_ops) {
+            let op = match self.peek_kind() {
+                Some(TokenKind::Star) => ScalarBinOp::Mul,
+                Some(TokenKind::Slash) => ScalarBinOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.scalar_primary(spaced_ops)?;
+            lhs = ScalarExpr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    #[allow(clippy::only_used_in_recursion)] // kept for grammar symmetry
+    fn scalar_primary(&mut self, spaced_ops: bool) -> Result<ScalarExpr, ParseError> {
+        match self.peek_kind().cloned() {
+            Some(TokenKind::Int(v)) => {
+                self.bump();
+                Ok(ScalarExpr::Int(v))
+            }
+            Some(TokenKind::Float(v)) => {
+                self.bump();
+                Ok(ScalarExpr::Float(v))
+            }
+            Some(TokenKind::Minus) => {
+                self.bump();
+                let inner = self.scalar_primary(spaced_ops)?;
+                Ok(ScalarExpr::Neg(Box::new(inner)))
+            }
+            Some(TokenKind::Symbol(s)) if s == "pi" => {
+                self.bump();
+                Ok(ScalarExpr::Pi)
+            }
+            Some(TokenKind::Symbol(s)) if SCALAR_FUNCTIONS.contains(&s.as_str()) => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let mut args = Vec::new();
+                loop {
+                    match self.peek_kind() {
+                        Some(TokenKind::RParen) => {
+                            self.bump();
+                            break;
+                        }
+                        Some(TokenKind::Comma) => {
+                            self.bump();
+                        }
+                        Some(_) => args.push(self.scalar_expr(true)?),
+                        None => return Err(self.err_here(ParseErrorKind::UnexpectedEof)),
+                    }
+                }
+                Ok(ScalarExpr::Call(s, args))
+            }
+            Some(TokenKind::LParen) => {
+                self.bump();
+                let e = self.scalar_expr(true)?;
+                if self.peek_kind() == Some(&TokenKind::Comma) {
+                    self.bump();
+                    let im = self.scalar_expr(true)?;
+                    self.expect(&TokenKind::RParen)?;
+                    return Ok(ScalarExpr::Pair(Box::new(e), Box::new(im)));
+                }
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            Some(other) => Err(self.err_here(ParseErrorKind::UnexpectedToken(format!(
+                "{other} (expected a scalar expression)"
+            )))),
+            None => Err(self.err_here(ParseErrorKind::UnexpectedEof)),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Templates
+    // ------------------------------------------------------------------
+
+    fn template(&mut self) -> Result<TemplateDef, ParseError> {
+        self.expect(&TokenKind::LParen)?;
+        self.expect(&TokenKind::Symbol("template".into()))?;
+        let pattern = self.sexp()?;
+        let condition = if self.peek_kind() == Some(&TokenKind::LBracket) {
+            self.bump();
+            let c = self.cond_or()?;
+            self.expect(&TokenKind::RBracket)?;
+            Some(c)
+        } else {
+            None
+        };
+        self.expect(&TokenKind::LParen)?;
+        let mut body = Vec::new();
+        loop {
+            match self.peek_kind() {
+                Some(TokenKind::RParen) => {
+                    self.bump();
+                    break;
+                }
+                Some(_) => body.push(self.template_stmt()?),
+                None => return Err(self.err_here(ParseErrorKind::UnexpectedEof)),
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(TemplateDef {
+            pattern,
+            condition,
+            body,
+        })
+    }
+
+    fn template_stmt(&mut self) -> Result<TemplateStmt, ParseError> {
+        match self.peek_kind().cloned() {
+            Some(TokenKind::Symbol(s)) if s == "do" => {
+                self.bump();
+                let var = match self.bump() {
+                    Some(Token {
+                        kind: TokenKind::Dollar(v),
+                        ..
+                    }) => v,
+                    _ => {
+                        return Err(self.err_here(ParseErrorKind::BadForm(
+                            "do requires a $-loop variable".into(),
+                        )))
+                    }
+                };
+                self.expect(&TokenKind::Assign)?;
+                let lo = self.texpr()?;
+                self.expect(&TokenKind::Comma)?;
+                let hi = self.texpr()?;
+                Ok(TemplateStmt::Do { var, lo, hi })
+            }
+            Some(TokenKind::Symbol(s)) if s == "end" => {
+                self.bump();
+                // Fortran-style "end do" — but a bare `end` may also be
+                // followed by a *new* loop (`do $i0 = ...`); only consume
+                // the `do` when it does not start a loop header.
+                if self.peek_kind() == Some(&TokenKind::Symbol("do".into()))
+                    && !matches!(self.peek_at(1), Some(TokenKind::Dollar(_)))
+                {
+                    self.bump();
+                }
+                Ok(TemplateStmt::End)
+            }
+            Some(TokenKind::Symbol(s)) if s.ends_with('_') => {
+                // Sub-formula call: A_( in, out, io, oo, is, os )
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let mut args = Vec::new();
+                loop {
+                    match self.peek_kind() {
+                        Some(TokenKind::RParen) => {
+                            self.bump();
+                            break;
+                        }
+                        Some(TokenKind::Comma) => {
+                            self.bump();
+                        }
+                        Some(_) => args.push(self.texpr()?),
+                        None => return Err(self.err_here(ParseErrorKind::UnexpectedEof)),
+                    }
+                }
+                if args.len() != 6 {
+                    return Err(self.err_here(ParseErrorKind::BadForm(format!(
+                        "sub-formula call {s} requires 6 arguments, got {}",
+                        args.len()
+                    ))));
+                }
+                Ok(TemplateStmt::Call { var: s, args })
+            }
+            Some(TokenKind::Dollar(_)) => {
+                let lhs = self.template_lval()?;
+                self.expect(&TokenKind::Assign)?;
+                let rhs = self.texpr()?;
+                Ok(TemplateStmt::Assign { lhs, rhs })
+            }
+            Some(other) => Err(self.err_here(ParseErrorKind::UnexpectedToken(format!(
+                "{other} (expected a template statement)"
+            )))),
+            None => Err(self.err_here(ParseErrorKind::UnexpectedEof)),
+        }
+    }
+
+    fn template_lval(&mut self) -> Result<TLval, ParseError> {
+        let name = match self.bump() {
+            Some(Token {
+                kind: TokenKind::Dollar(v),
+                ..
+            }) => v,
+            _ => {
+                return Err(
+                    self.err_here(ParseErrorKind::BadForm("expected a $-variable".into()))
+                )
+            }
+        };
+        if self.peek_kind() == Some(&TokenKind::LParen) {
+            self.bump();
+            let idx = self.texpr()?;
+            self.expect(&TokenKind::RParen)?;
+            Ok(TLval::VecElem(name, Box::new(idx)))
+        } else {
+            Ok(TLval::Scalar(name))
+        }
+    }
+
+    // Template expressions: freely spaced operators, precedence climbing.
+
+    fn texpr(&mut self) -> Result<TExpr, ParseError> {
+        let mut lhs = self.texpr_mul()?;
+        loop {
+            let op = match self.peek_kind() {
+                Some(TokenKind::Plus) => TBinOp::Add,
+                Some(TokenKind::Minus) => TBinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.texpr_mul()?;
+            lhs = TExpr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn texpr_mul(&mut self) -> Result<TExpr, ParseError> {
+        let mut lhs = self.texpr_primary()?;
+        loop {
+            let op = match self.peek_kind() {
+                Some(TokenKind::Star) => TBinOp::Mul,
+                Some(TokenKind::Slash) => TBinOp::Div,
+                Some(TokenKind::Percent) => TBinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.texpr_primary()?;
+            lhs = TExpr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn texpr_primary(&mut self) -> Result<TExpr, ParseError> {
+        match self.peek_kind().cloned() {
+            Some(TokenKind::Int(v)) => {
+                self.bump();
+                Ok(TExpr::Int(v))
+            }
+            Some(TokenKind::Float(v)) => {
+                self.bump();
+                Ok(TExpr::Float(v))
+            }
+            Some(TokenKind::Minus) => {
+                self.bump();
+                let e = self.texpr_primary()?;
+                Ok(TExpr::Un(TUnOp::Neg, Box::new(e)))
+            }
+            Some(TokenKind::Dollar(v)) => {
+                self.bump();
+                if self.peek_kind() == Some(&TokenKind::LParen) {
+                    self.bump();
+                    let idx = self.texpr()?;
+                    self.expect(&TokenKind::RParen)?;
+                    Ok(TExpr::VecElem(v, Box::new(idx)))
+                } else {
+                    Ok(TExpr::Var(v))
+                }
+            }
+            Some(TokenKind::Symbol(s)) if s.ends_with('_') => {
+                self.bump();
+                if self.peek_kind() == Some(&TokenKind::Dot) {
+                    self.bump();
+                    let prop = match self.bump() {
+                        Some(Token {
+                            kind: TokenKind::Symbol(p),
+                            ..
+                        }) => match p.as_str() {
+                            "in_size" => SizeProp::InSize,
+                            "out_size" => SizeProp::OutSize,
+                            other => {
+                                return Err(self.err_here(ParseErrorKind::BadForm(format!(
+                                    "unknown property .{other}"
+                                ))))
+                            }
+                        },
+                        _ => {
+                            return Err(self.err_here(ParseErrorKind::BadForm(
+                                "expected a property name after '.'".into(),
+                            )))
+                        }
+                    };
+                    Ok(TExpr::Prop(s, prop))
+                } else {
+                    Ok(TExpr::PatVar(s))
+                }
+            }
+            Some(TokenKind::Symbol(s)) if self.peek_at(1) == Some(&TokenKind::LParen) => {
+                // Intrinsic invocation, e.g. W(n_ $r0).
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let mut args = Vec::new();
+                loop {
+                    match self.peek_kind() {
+                        Some(TokenKind::RParen) => {
+                            self.bump();
+                            break;
+                        }
+                        Some(TokenKind::Comma) => {
+                            self.bump();
+                        }
+                        Some(_) => args.push(self.texpr()?),
+                        None => return Err(self.err_here(ParseErrorKind::UnexpectedEof)),
+                    }
+                }
+                Ok(TExpr::Intrinsic(s, args))
+            }
+            Some(TokenKind::Symbol(s)) if s == "pi" => {
+                self.bump();
+                Ok(TExpr::Float(std::f64::consts::PI))
+            }
+            Some(TokenKind::LParen) => {
+                self.bump();
+                let e = self.texpr()?;
+                if self.peek_kind() == Some(&TokenKind::Comma) {
+                    self.bump();
+                    let im = self.texpr()?;
+                    self.expect(&TokenKind::RParen)?;
+                    let fold = |e: &TExpr| -> Option<f64> {
+                        match e {
+                            TExpr::Int(v) => Some(*v as f64),
+                            TExpr::Float(v) => Some(*v),
+                            TExpr::Un(TUnOp::Neg, inner) => match **inner {
+                                TExpr::Int(v) => Some(-(v as f64)),
+                                TExpr::Float(v) => Some(-v),
+                                _ => None,
+                            },
+                            _ => None,
+                        }
+                    };
+                    match (fold(&e), fold(&im)) {
+                        (Some(re), Some(imv)) => Ok(TExpr::Pair(re, imv)),
+                        _ => Err(self.err_here(ParseErrorKind::BadForm(
+                            "complex literal components must be numeric constants".into(),
+                        ))),
+                    }
+                } else {
+                    self.expect(&TokenKind::RParen)?;
+                    Ok(e)
+                }
+            }
+            Some(other) => Err(self.err_here(ParseErrorKind::UnexpectedToken(format!(
+                "{other} (expected a template expression)"
+            )))),
+            None => Err(self.err_here(ParseErrorKind::UnexpectedEof)),
+        }
+    }
+
+    // Template conditions.
+
+    fn cond_or(&mut self) -> Result<CondExpr, ParseError> {
+        let mut lhs = self.cond_and()?;
+        while self.peek_kind() == Some(&TokenKind::OrOr) {
+            self.bump();
+            let rhs = self.cond_and()?;
+            lhs = CondExpr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cond_and(&mut self) -> Result<CondExpr, ParseError> {
+        let mut lhs = self.cond_unary()?;
+        while self.peek_kind() == Some(&TokenKind::AndAnd) {
+            self.bump();
+            let rhs = self.cond_unary()?;
+            lhs = CondExpr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cond_unary(&mut self) -> Result<CondExpr, ParseError> {
+        if self.peek_kind() == Some(&TokenKind::Not) {
+            self.bump();
+            let inner = self.cond_unary()?;
+            return Ok(CondExpr::Not(Box::new(inner)));
+        }
+        if self.peek_kind() == Some(&TokenKind::LParen) {
+            // Could be a parenthesized boolean group or a parenthesized
+            // arithmetic expression starting a comparison; try the boolean
+            // reading first and fall back on failure.
+            let save = self.pos;
+            self.bump();
+            if let Ok(inner) = self.cond_or() {
+                if self.peek_kind() == Some(&TokenKind::RParen) {
+                    self.bump();
+                    return Ok(inner);
+                }
+            }
+            self.pos = save;
+        }
+        self.cond_cmp()
+    }
+
+    fn cond_cmp(&mut self) -> Result<CondExpr, ParseError> {
+        let lhs = self.texpr()?;
+        let op = match self.peek_kind() {
+            Some(TokenKind::EqEq) => CmpOp::Eq,
+            Some(TokenKind::NotEq) => CmpOp::Ne,
+            Some(TokenKind::Lt) => CmpOp::Lt,
+            Some(TokenKind::Le) => CmpOp::Le,
+            Some(TokenKind::Gt) => CmpOp::Gt,
+            Some(TokenKind::Ge) => CmpOp::Ge,
+            _ => {
+                return Err(self.err_here(ParseErrorKind::BadForm(
+                    "template condition requires a comparison".into(),
+                )))
+            }
+        };
+        self.bump();
+        let rhs = self.texpr()?;
+        Ok(CondExpr::Cmp(op, lhs, rhs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_fft16_program() {
+        let src = "\
+(define F4 (compose (tensor (F 2) (I 2)) (T 4 2) (tensor (I 2) (F 2)) (L 4 2)))
+#subname fft16
+(compose (tensor F4 (I 4)) (T 16 4) (tensor (I 4) F4) (L 16 4))
+";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.items.len(), 3);
+        match &p.items[0] {
+            Item::Define { name, body } => {
+                assert_eq!(name, "F4");
+                assert_eq!(body.head(), Some("compose"));
+            }
+            other => panic!("expected define, got {other:?}"),
+        }
+        match &p.items[2] {
+            Item::Formula { sexp, directives } => {
+                assert_eq!(directives.subname.as_deref(), Some("fft16"));
+                assert_eq!(sexp.head(), Some("compose"));
+            }
+            other => panic!("expected formula, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn subname_is_consumed_by_first_formula() {
+        let p = parse_program("#subname one\n(F 2)\n(F 4)").unwrap();
+        let subnames: Vec<Option<String>> = p
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                Item::Formula { directives, .. } => Some(directives.subname.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(subnames, vec![Some("one".into()), None]);
+    }
+
+    #[test]
+    fn diagonal_with_negative_elements() {
+        let s = parse_formula("(diagonal (1 -1 1 -1))").unwrap();
+        let items = s.as_list().unwrap();
+        assert_eq!(items.len(), 2);
+        let elems = items[1].as_list().unwrap();
+        assert_eq!(
+            elems.iter().map(|e| e.as_int().unwrap()).collect::<Vec<_>>(),
+            vec![1, -1, 1, -1]
+        );
+    }
+
+    #[test]
+    fn adjacent_minus_is_subtraction() {
+        let s = parse_formula("(diagonal (1-1))").unwrap();
+        let elems = s.as_list().unwrap()[1].as_list().unwrap();
+        assert_eq!(elems.len(), 1);
+        match &elems[0] {
+            Sexp::Scalar(e) => assert_eq!(e.eval().unwrap().re, 0.0),
+            other => panic!("expected scalar, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn complex_pair_literal() {
+        let s = parse_formula("(diagonal ((0.7,-0.7) (0,-1)))").unwrap();
+        let elems = s.as_list().unwrap()[1].as_list().unwrap();
+        assert_eq!(elems.len(), 2);
+        match &elems[0] {
+            Sexp::Scalar(e) => {
+                let v = e.eval().unwrap();
+                assert_eq!((v.re, v.im), (0.7, -0.7));
+            }
+            other => panic!("expected scalar pair, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scalar_function_call() {
+        let s = parse_formula("(diagonal (sqrt(2) cos(2*pi/3.0)))").unwrap();
+        let elems = s.as_list().unwrap()[1].as_list().unwrap();
+        match &elems[1] {
+            Sexp::Scalar(e) => assert!((e.eval().unwrap().re + 0.5).abs() < 1e-15),
+            other => panic!("expected scalar, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_f_template_from_paper() {
+        let src = "\
+(template (F n_) [n_>0]
+  (do $i0 = 0,n_-1
+       $out($i0) = 0
+       do $i1 = 0,n_-1
+            $r0 = $i0 * $i1
+            $f0 = W(n_ $r0) * $in($i1)
+            $out($i0) = $out($i0) + $f0
+       end
+   end))
+";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.items.len(), 1);
+        match &p.items[0] {
+            Item::Template(t) => {
+                assert_eq!(t.pattern.to_string(), "(F n_)");
+                assert!(t.condition.is_some());
+                assert_eq!(t.body.len(), 8);
+                assert!(matches!(t.body[0], TemplateStmt::Do { .. }));
+                assert!(matches!(t.body[7], TemplateStmt::End));
+            }
+            other => panic!("expected template, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn end_followed_by_new_do_loop() {
+        // `end` closing one loop directly followed by another `do` must
+        // not be mis-read as "end do".
+        let src = "\
+(template (pad m_ n_) [m_>n_]
+  (do $i0 = 0,n_-1
+        $out($i0) = $in($i0)
+   end
+   do $i0 = n_,m_-1
+        $out($i0) = 0
+   end))
+";
+        let p = parse_program(src).unwrap();
+        match &p.items[0] {
+            Item::Template(t) => {
+                let dos = t
+                    .body
+                    .iter()
+                    .filter(|s| matches!(s, TemplateStmt::Do { .. }))
+                    .count();
+                let ends = t
+                    .body
+                    .iter()
+                    .filter(|s| matches!(s, TemplateStmt::End))
+                    .count();
+                assert_eq!((dos, ends), (2, 2));
+            }
+            other => panic!("expected template, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_compose_template_with_calls() {
+        let src = "\
+(template (compose A_ B_) [A_.in_size == B_.out_size]
+  ( B_( $in, $t0, 0, 0, 1, 1 )
+    A_( $t0, $out, 0, 0, 1, 1 )))
+";
+        let p = parse_program(src).unwrap();
+        match &p.items[0] {
+            Item::Template(t) => {
+                assert_eq!(t.body.len(), 2);
+                match &t.body[0] {
+                    TemplateStmt::Call { var, args } => {
+                        assert_eq!(var, "B_");
+                        assert_eq!(args.len(), 6);
+                        assert_eq!(args[0], TExpr::Var("in".into()));
+                        assert_eq!(args[1], TExpr::Var("t0".into()));
+                    }
+                    other => panic!("expected call, got {other:?}"),
+                }
+            }
+            other => panic!("expected template, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn template_condition_connectives() {
+        let src = "(template (L mn_ n_) [mn_%n_==0 && !(n_==mn_) || mn_>=4] ($f0 = 0))";
+        let p = parse_program(src).unwrap();
+        match &p.items[0] {
+            Item::Template(t) => {
+                assert!(matches!(t.condition, Some(CondExpr::Or(_, _))));
+            }
+            other => panic!("expected template, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn directive_state_threading() {
+        let src = "#datatype real\n#unroll on\n(F 2)\n#unroll off\n(F 4)";
+        let p = parse_program(src).unwrap();
+        let states: Vec<Unroll> = p
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                Item::Formula { directives, .. } => Some(directives.unroll),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(states, vec![Unroll::On, Unroll::Off]);
+    }
+
+    #[test]
+    fn bad_directive_rejected() {
+        assert!(parse_program("#unroll sideways\n(F 2)").is_err());
+        assert!(parse_program("#frobnicate on\n(F 2)").is_err());
+    }
+
+    #[test]
+    fn call_arity_checked() {
+        let src = "(template (compose A_ B_) ( B_( $in, $t0, 0, 0, 1 ) ))";
+        assert!(parse_program(src).is_err());
+    }
+
+    #[test]
+    fn unbalanced_parens_rejected() {
+        assert!(parse_formula("(compose (F 2)").is_err());
+        assert!(parse_formula("(F 2))").is_err());
+    }
+
+    #[test]
+    fn matrix_rows_parse() {
+        let s = parse_formula("(matrix (1 0) (0 1))").unwrap();
+        let items = s.as_list().unwrap();
+        assert_eq!(items.len(), 3);
+    }
+
+    #[test]
+    fn permutation_parses() {
+        let s = parse_formula("(permutation (1 3 2 4))").unwrap();
+        assert_eq!(s.head(), Some("permutation"));
+    }
+}

@@ -1,0 +1,269 @@
+//! Constant scalar expressions.
+//!
+//! SPL matrix elements are compile-time constant scalar expressions: they
+//! may use the symbolic constant `pi`, function invocations such as
+//! `sqrt(2)` or `cos(2*pi/3.0)`, the four arithmetic operators, and complex
+//! literals written as a pair `(re,im)` (paper Section 2.2). *All* constant
+//! scalar expressions are evaluated at compile time.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::sexp::Complexish;
+
+/// Binary arithmetic operators inside a scalar expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScalarBinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+/// A constant scalar expression, prior to evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScalarExpr {
+    /// An integer literal.
+    Int(i64),
+    /// A floating-point literal.
+    Float(f64),
+    /// The constant `pi`.
+    Pi,
+    /// Unary negation.
+    Neg(Box<ScalarExpr>),
+    /// A binary operation.
+    Bin(ScalarBinOp, Box<ScalarExpr>, Box<ScalarExpr>),
+    /// A function invocation, e.g. `sqrt(2)` or `w(8 3)`.
+    Call(String, Vec<ScalarExpr>),
+    /// A complex literal `(re,im)`.
+    Pair(Box<ScalarExpr>, Box<ScalarExpr>),
+}
+
+/// An error raised while evaluating a constant scalar expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScalarEvalError(pub String);
+
+impl fmt::Display for ScalarEvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scalar evaluation failed: {}", self.0)
+    }
+}
+
+impl Error for ScalarEvalError {}
+
+impl ScalarExpr {
+    /// Evaluates the expression to a complex constant.
+    ///
+    /// The supported functions are `sqrt`, `sin`, `cos`, `tan`, `exp`,
+    /// `log` (applied to the real part) and the twiddle intrinsic
+    /// `w(n k)` = `e^{-2πik/n}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScalarEvalError`] for unknown functions, wrong arities, or
+    /// complex arguments where a real is required.
+    pub fn eval(&self) -> Result<Complexish, ScalarEvalError> {
+        use ScalarExpr::*;
+        Ok(match self {
+            Int(v) => Complexish::real(*v as f64),
+            Float(v) => Complexish::real(*v),
+            Pi => Complexish::real(std::f64::consts::PI),
+            Neg(e) => {
+                let v = e.eval()?;
+                Complexish::new(-v.re, -v.im)
+            }
+            Bin(op, a, b) => {
+                let a = a.eval()?;
+                let b = b.eval()?;
+                match op {
+                    ScalarBinOp::Add => Complexish::new(a.re + b.re, a.im + b.im),
+                    ScalarBinOp::Sub => Complexish::new(a.re - b.re, a.im - b.im),
+                    ScalarBinOp::Mul => Complexish::new(
+                        a.re * b.re - a.im * b.im,
+                        a.re * b.im + a.im * b.re,
+                    ),
+                    ScalarBinOp::Div => {
+                        let d = b.re * b.re + b.im * b.im;
+                        if d == 0.0 {
+                            return Err(ScalarEvalError("division by zero".into()));
+                        }
+                        Complexish::new(
+                            (a.re * b.re + a.im * b.im) / d,
+                            (a.im * b.re - a.re * b.im) / d,
+                        )
+                    }
+                }
+            }
+            Call(name, args) => {
+                let real_arg = |i: usize| -> Result<f64, ScalarEvalError> {
+                    let v: Complexish = args
+                        .get(i)
+                        .ok_or_else(|| {
+                            ScalarEvalError(format!("{name}: missing argument {i}"))
+                        })?
+                        .eval()?;
+                    if v.im != 0.0 {
+                        return Err(ScalarEvalError(format!("{name}: argument must be real")));
+                    }
+                    Ok(v.re)
+                };
+                let unary = |f: fn(f64) -> f64| -> Result<Complexish, ScalarEvalError> {
+                    if args.len() != 1 {
+                        return Err(ScalarEvalError(format!("{name}: expects 1 argument")));
+                    }
+                    Ok(Complexish::real(f(real_arg(0)?)))
+                };
+                match name.as_str() {
+                    "sqrt" => unary(f64::sqrt)?,
+                    "sin" => unary(f64::sin)?,
+                    "cos" => unary(f64::cos)?,
+                    "tan" => unary(f64::tan)?,
+                    "exp" => unary(f64::exp)?,
+                    "log" => unary(f64::ln)?,
+                    "w" | "W" => {
+                        if args.len() != 2 {
+                            return Err(ScalarEvalError("w: expects 2 arguments".into()));
+                        }
+                        let n = real_arg(0)?;
+                        let k = real_arg(1)?;
+                        if n <= 0.0 || n.fract() != 0.0 || k.fract() != 0.0 {
+                            return Err(ScalarEvalError("w: integer arguments required".into()));
+                        }
+                        let theta = -2.0 * std::f64::consts::PI * k / n;
+                        Complexish::new(theta.cos(), theta.sin())
+                    }
+                    other => {
+                        return Err(ScalarEvalError(format!("unknown function {other:?}")))
+                    }
+                }
+            }
+            Pair(re, im) => {
+                let re = re.eval()?;
+                let im = im.eval()?;
+                if re.im != 0.0 || im.im != 0.0 {
+                    return Err(ScalarEvalError(
+                        "complex literal components must be real".into(),
+                    ));
+                }
+                Complexish::new(re.re, im.re)
+            }
+        })
+    }
+}
+
+impl fmt::Display for ScalarExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use ScalarExpr::*;
+        match self {
+            Int(v) => write!(f, "{v}"),
+            Float(v) => write!(f, "{v:?}"),
+            Pi => write!(f, "pi"),
+            Neg(e) => write!(f, "-{e}"),
+            Bin(op, a, b) => {
+                let sym = match op {
+                    ScalarBinOp::Add => "+",
+                    ScalarBinOp::Sub => "-",
+                    ScalarBinOp::Mul => "*",
+                    ScalarBinOp::Div => "/",
+                };
+                write!(f, "({a}{sym}{b})")
+            }
+            Call(name, args) => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Pair(re, im) => write!(f, "({re},{im})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int(v: i64) -> ScalarExpr {
+        ScalarExpr::Int(v)
+    }
+
+    #[test]
+    fn arithmetic() {
+        let e = ScalarExpr::Bin(
+            ScalarBinOp::Add,
+            Box::new(int(2)),
+            Box::new(ScalarExpr::Bin(
+                ScalarBinOp::Mul,
+                Box::new(int(3)),
+                Box::new(int(4)),
+            )),
+        );
+        assert_eq!(e.eval().unwrap().re, 14.0);
+    }
+
+    #[test]
+    fn sqrt_two() {
+        let e = ScalarExpr::Call("sqrt".into(), vec![int(2)]);
+        assert!((e.eval().unwrap().re - 2.0_f64.sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cos_of_pi_expression() {
+        // cos(2*pi/3.0) = -0.5
+        let arg = ScalarExpr::Bin(
+            ScalarBinOp::Div,
+            Box::new(ScalarExpr::Bin(
+                ScalarBinOp::Mul,
+                Box::new(int(2)),
+                Box::new(ScalarExpr::Pi),
+            )),
+            Box::new(ScalarExpr::Float(3.0)),
+        );
+        let e = ScalarExpr::Call("cos".into(), vec![arg]);
+        assert!((e.eval().unwrap().re + 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn complex_pair() {
+        let e = ScalarExpr::Pair(Box::new(ScalarExpr::Float(0.7)), Box::new(int(-1)));
+        let v = e.eval().unwrap();
+        assert_eq!((v.re, v.im), (0.7, -1.0));
+    }
+
+    #[test]
+    fn twiddle_function() {
+        let e = ScalarExpr::Call("w".into(), vec![int(4), int(1)]);
+        let v = e.eval().unwrap();
+        assert!(v.re.abs() < 1e-15 && (v.im + 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn division_by_zero_is_error() {
+        let e = ScalarExpr::Bin(ScalarBinOp::Div, Box::new(int(1)), Box::new(int(0)));
+        assert!(e.eval().is_err());
+    }
+
+    #[test]
+    fn unknown_function_is_error() {
+        let e = ScalarExpr::Call("frobnicate".into(), vec![int(1)]);
+        assert!(e.eval().is_err());
+    }
+
+    #[test]
+    fn complex_division() {
+        // (1+1i)/(1-1i) = i
+        let one_one = ScalarExpr::Pair(Box::new(int(1)), Box::new(int(1)));
+        let one_neg = ScalarExpr::Pair(Box::new(int(1)), Box::new(int(-1)));
+        let e = ScalarExpr::Bin(ScalarBinOp::Div, Box::new(one_one), Box::new(one_neg));
+        let v = e.eval().unwrap();
+        assert!(v.re.abs() < 1e-15 && (v.im - 1.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,167 @@
+//! The generic S-expression layer.
+//!
+//! SPL formulas are represented at this level before being given meaning:
+//! the template matcher (crate `spl-templates`) pattern-matches directly on
+//! [`Sexp`] values, and the formula algebra (crate `spl-formula`) converts
+//! them into typed matrix expressions.
+
+use std::fmt;
+
+use crate::scalar::ScalarExpr;
+
+/// A plain complex value used by the front end (kept dependency-free; the
+/// formula crate converts it into `spl_numeric::Complex`).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complexish {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complexish {
+    /// Creates a complex value.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complexish { re, im }
+    }
+
+    /// Creates a purely real value.
+    pub const fn real(re: f64) -> Self {
+        Complexish { re, im: 0.0 }
+    }
+}
+
+/// A parsed S-expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Sexp {
+    /// A parenthesized list: `(compose A B)`.
+    List(Vec<Sexp>),
+    /// A bare identifier: `compose`, `F`, `n_`, a `define`d name, ...
+    Symbol(String),
+    /// An integer literal (kept distinct from general scalars because
+    /// parameterized matrices take integer parameters).
+    Int(i64),
+    /// A non-integer constant scalar expression (`1.23`, `sqrt(2)`,
+    /// `(0.7,-0.7)`, ...).
+    Scalar(ScalarExpr),
+}
+
+impl Sexp {
+    /// Convenience constructor for a list.
+    pub fn list(items: Vec<Sexp>) -> Self {
+        Sexp::List(items)
+    }
+
+    /// Convenience constructor for a symbol.
+    pub fn sym(s: &str) -> Self {
+        Sexp::Symbol(s.to_string())
+    }
+
+    /// Returns the head symbol of a list, if any: `(compose ...)` →
+    /// `Some("compose")`.
+    pub fn head(&self) -> Option<&str> {
+        match self {
+            Sexp::List(items) => match items.first() {
+                Some(Sexp::Symbol(s)) => Some(s),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// Returns the integer value if this is an [`Sexp::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Sexp::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the list elements if this is an [`Sexp::List`].
+    pub fn as_list(&self) -> Option<&[Sexp]> {
+        match self {
+            Sexp::List(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Substitutes every occurrence of symbol `name` by `value`.
+    ///
+    /// Used to inline `define`d formulas before template matching
+    /// (pattern variables cannot match undefined symbols — paper
+    /// Section 3.2).
+    pub fn substitute(&self, name: &str, value: &Sexp) -> Sexp {
+        match self {
+            Sexp::Symbol(s) if s == name => value.clone(),
+            Sexp::List(items) => {
+                Sexp::List(items.iter().map(|i| i.substitute(name, value)).collect())
+            }
+            other => other.clone(),
+        }
+    }
+
+    /// Counts the nodes in the tree (used for size heuristics in tests).
+    pub fn node_count(&self) -> usize {
+        match self {
+            Sexp::List(items) => 1 + items.iter().map(Sexp::node_count).sum::<usize>(),
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for Sexp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sexp::List(items) => {
+                write!(f, "(")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, ")")
+            }
+            Sexp::Symbol(s) => write!(f, "{s}"),
+            Sexp::Int(v) => write!(f, "{v}"),
+            Sexp::Scalar(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_of_list() {
+        let e = Sexp::list(vec![Sexp::sym("compose"), Sexp::sym("A")]);
+        assert_eq!(e.head(), Some("compose"));
+        assert_eq!(Sexp::sym("x").head(), None);
+        assert_eq!(Sexp::List(vec![Sexp::Int(1)]).head(), None);
+    }
+
+    #[test]
+    fn substitute_replaces_symbols() {
+        let f4 = Sexp::list(vec![Sexp::sym("F"), Sexp::Int(4)]);
+        let e = Sexp::list(vec![Sexp::sym("compose"), Sexp::sym("F4"), Sexp::sym("F4")]);
+        let r = e.substitute("F4", &f4);
+        assert_eq!(r.to_string(), "(compose (F 4) (F 4))");
+    }
+
+    #[test]
+    fn display_round_trips_simple_formulas() {
+        let e = Sexp::list(vec![
+            Sexp::sym("tensor"),
+            Sexp::list(vec![Sexp::sym("I"), Sexp::Int(2)]),
+            Sexp::list(vec![Sexp::sym("F"), Sexp::Int(2)]),
+        ]);
+        assert_eq!(e.to_string(), "(tensor (I 2) (F 2))");
+    }
+
+    #[test]
+    fn node_count() {
+        let e = Sexp::list(vec![Sexp::sym("F"), Sexp::Int(2)]);
+        assert_eq!(e.node_count(), 3);
+    }
+}

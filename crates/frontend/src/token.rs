@@ -1,0 +1,128 @@
+//! Token definitions for the SPL lexer.
+
+use std::fmt;
+
+/// A lexical token together with source position and spacing information.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column of the first character.
+    pub col: u32,
+    /// Whether whitespace (or a comment) immediately precedes this token.
+    ///
+    /// SPL scalar expressions are whitespace-sensitive: `(diagonal (1 -1))`
+    /// has two elements, while `(diagonal (1-1))` would be the single
+    /// element `0`. The parser uses this flag to decide whether an infix
+    /// operator continues the current expression.
+    pub spaced: bool,
+}
+
+/// The kinds of token the SPL lexer produces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[` — opens a template condition.
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,` — separates the components of a complex literal or call args.
+    Comma,
+    /// An identifier: `compose`, `F`, `n_`, `direct-sum`, `pi`, `do`, ...
+    Symbol(String),
+    /// A `$`-variable: `$in`, `$out`, `$t0`, `$f1`, `$r2`, `$i0`,
+    /// `$in_stride`, ... (stored without the leading `$`).
+    Dollar(String),
+    /// An integer literal.
+    Int(i64),
+    /// A floating-point literal.
+    Float(f64),
+    /// A compiler directive line: name (without `#`) and its argument text.
+    Directive(String, String),
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Not,
+    /// `.` — property access in template conditions (`A_.in_size`).
+    Dot,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use TokenKind::*;
+        match self {
+            LParen => write!(f, "("),
+            RParen => write!(f, ")"),
+            LBracket => write!(f, "["),
+            RBracket => write!(f, "]"),
+            Comma => write!(f, ","),
+            Symbol(s) => write!(f, "{s}"),
+            Dollar(s) => write!(f, "${s}"),
+            Int(v) => write!(f, "{v}"),
+            Float(v) => write!(f, "{v}"),
+            Directive(name, rest) => write!(f, "#{name} {rest}"),
+            Plus => write!(f, "+"),
+            Minus => write!(f, "-"),
+            Star => write!(f, "*"),
+            Slash => write!(f, "/"),
+            Percent => write!(f, "%"),
+            Assign => write!(f, "="),
+            EqEq => write!(f, "=="),
+            NotEq => write!(f, "!="),
+            Lt => write!(f, "<"),
+            Le => write!(f, "<="),
+            Gt => write!(f, ">"),
+            Ge => write!(f, ">="),
+            AndAnd => write!(f, "&&"),
+            OrOr => write!(f, "||"),
+            Not => write!(f, "!"),
+            Dot => write!(f, "."),
+        }
+    }
+}
+
+impl TokenKind {
+    /// Returns `true` for the binary arithmetic operators that may continue
+    /// a scalar expression (`+ - * / %`).
+    pub fn is_arith_op(&self) -> bool {
+        matches!(
+            self,
+            TokenKind::Plus
+                | TokenKind::Minus
+                | TokenKind::Star
+                | TokenKind::Slash
+                | TokenKind::Percent
+        )
+    }
+}

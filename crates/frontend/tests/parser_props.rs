@@ -1,0 +1,73 @@
+//! Property tests of the front end: the lexer/parser never panic on
+//! arbitrary input, and printing a parsed formula re-parses to the same
+//! tree (display/parse round trip).
+
+use proptest::prelude::*;
+
+use spl_frontend::parser::{parse_formula, parse_program};
+use spl_frontend::sexp::Sexp;
+
+/// Random S-expressions built from the formula vocabulary.
+fn sexp_strategy(depth: u32) -> BoxedStrategy<Sexp> {
+    let leaf = prop_oneof![
+        (1i64..100).prop_map(Sexp::Int),
+        prop_oneof![
+            Just("F"),
+            Just("I"),
+            Just("compose"),
+            Just("tensor"),
+            Just("direct-sum"),
+            Just("A"),
+            Just("myname"),
+        ]
+        .prop_map(|s| Sexp::sym(s)),
+    ];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let inner = sexp_strategy(depth - 1);
+    prop_oneof![
+        leaf,
+        proptest::collection::vec(inner, 1..4).prop_map(Sexp::List),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_text(src in ".{0,200}") {
+        // Any outcome is fine; panics are not.
+        let _ = parse_program(&src);
+        let _ = parse_formula(&src);
+    }
+
+    #[test]
+    fn parser_never_panics_on_spl_shaped_text(
+        src in r"[()\[\]a-z0-9_ #;.$=+*/<>!&|,-]{0,200}",
+    ) {
+        let _ = parse_program(&src);
+    }
+
+    #[test]
+    fn display_parse_round_trip(s in sexp_strategy(3)) {
+        // Only lists are formulas; wrap atoms.
+        let formula = match &s {
+            Sexp::List(_) => s.clone(),
+            other => Sexp::List(vec![Sexp::sym("F"), other.clone()]),
+        };
+        let printed = formula.to_string();
+        match parse_formula(&printed) {
+            Ok(back) => prop_assert_eq!(back, formula),
+            Err(e) => prop_assert!(false, "printed form {} failed to parse: {e}", printed),
+        }
+    }
+
+    #[test]
+    fn directive_lines_round_trip(name in "(subname [a-z][a-z0-9_]{0,8})|(unroll on)|(unroll off)|(datatype real)|(datatype complex)|(codetype real)|(codetype complex)|(language c)|(language fortran)") {
+        let src = format!("#{name}\n(F 2)");
+        let prog = parse_program(&src).unwrap();
+        prop_assert_eq!(prog.items.len(), 2);
+    }
+}

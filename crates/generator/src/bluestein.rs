@@ -1,0 +1,206 @@
+//! Bluestein's chirp-z algorithm: the DFT of *arbitrary* size — prime
+//! sizes included — in O(m log m) through a power-of-two circular
+//! convolution.
+//!
+//! With `c_k = ω_{2n}^{k²}` the DFT rearranges as
+//!
+//! ```text
+//! X_j = c_j · Σ_k (x_k c_k) · ω_{2n}^{-(j-k)²}
+//! ```
+//!
+//! i.e. a chirp pre-multiply, a linear convolution with the conjugate
+//! chirp, and a chirp post-multiply. The linear convolution embeds in a
+//! circular convolution of any size `m ≥ 2n − 1`, which we take as a
+//! power of two so the [`crate::conv`] machinery (around any
+//! Cooley–Tukey tree) applies. The embed/extract steps are *rectangular*
+//! operators defined by user templates — exercising the template
+//! mechanism's support for non-square user operators end to end.
+
+use spl_formula::{formula_to_sexp, Formula};
+use spl_frontend::sexp::Sexp;
+use spl_numeric::{twiddle::omega, Complex};
+
+use crate::conv::circular_convolution;
+use crate::fft::{ct_sequence, FftTree, Rule};
+
+/// SPL templates for the rectangular embed/extract operators:
+/// `(pad m n)` copies `n` inputs and zero-fills up to `m`;
+/// `(extract n m)` keeps the first `n` of `m` inputs. Register these
+/// (e.g. via `Compiler::compile_source`) before compiling a Bluestein
+/// formula.
+pub const TEMPLATE_SOURCE: &str = "
+; (pad m n): R^n -> R^m, zero-extended.
+(template (pad m_ n_) [m_>n_ && n_>=1]
+  (do $i0 = 0,n_-1
+        $out($i0) = $in($i0)
+   end
+   do $i0 = n_,m_-1
+        $out($i0) = 0
+   end))
+
+; (extract n m): R^m -> R^n, first n coordinates. The compiler infers a
+; template's input size from the largest input element it touches, so a
+; dead read of $in(m-1) pins the true width (dead-code elimination
+; removes it from the generated code).
+(template (extract n_ m_) [m_>n_ && n_>=1]
+  ( $f0 = $in(m_-1)
+    do $i0 = 0,n_-1
+        $out($i0) = $in($i0)
+   end))
+";
+
+/// The chirp `c_k = ω_{2n}^{k²}` for `k = 0..n`.
+fn chirp(n: usize) -> Vec<Complex> {
+    (0..n)
+        .map(|k| omega(2 * n, (k * k) as i64))
+        .collect()
+}
+
+/// The circular-convolution kernel: `b[k] = ω_{2n}^{-k²}` wrapped onto
+/// `m` points (`b[m-k] = b[k]` for `0 < k < n`).
+fn wrapped_kernel(n: usize, m: usize) -> Vec<Complex> {
+    let mut b = vec![Complex::ZERO; m];
+    for k in 0..n {
+        let v = omega(2 * n, -((k * k) as i64));
+        b[k] = v;
+        if k > 0 {
+            b[m - k] = v;
+        }
+    }
+    b
+}
+
+/// The smallest power of two that can carry the length-`n` Bluestein
+/// convolution (`≥ 2n − 1`).
+pub fn convolution_size(n: usize) -> usize {
+    (2 * n - 1).next_power_of_two()
+}
+
+/// The `F_n` formula for **any** `n ≥ 2` via Bluestein's algorithm, with
+/// the inner power-of-two FFTs computed by the given tree (whose size
+/// must be [`convolution_size`]`(n)`).
+///
+/// # Panics
+///
+/// Panics if `n < 2` or the tree size is not `convolution_size(n)`.
+pub fn bluestein_with_tree(n: usize, tree: &FftTree) -> Sexp {
+    assert!(n >= 2, "bluestein: n must be at least 2");
+    let m = convolution_size(n);
+    assert_eq!(tree.size(), m, "tree must compute the {m}-point FFT");
+    let c = chirp(n);
+    let pre = formula_to_sexp(&Formula::diagonal(c.clone()));
+    let post = formula_to_sexp(&Formula::diagonal(c));
+    let conv = formula_to_sexp(&circular_convolution(&wrapped_kernel(n, m), tree));
+    let pad = Sexp::List(vec![
+        Sexp::sym("pad"),
+        Sexp::Int(m as i64),
+        Sexp::Int(n as i64),
+    ]);
+    let extract = Sexp::List(vec![
+        Sexp::sym("extract"),
+        Sexp::Int(n as i64),
+        Sexp::Int(m as i64),
+    ]);
+    Sexp::List(vec![
+        Sexp::sym("compose"),
+        post,
+        extract,
+        conv,
+        pad,
+        pre,
+    ])
+}
+
+/// [`bluestein_with_tree`] with a default radix-2 tree for the inner
+/// transforms.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn bluestein(n: usize) -> Sexp {
+    assert!(n >= 2, "bluestein: n must be at least 2");
+    let m = convolution_size(n);
+    let k = m.trailing_zeros();
+    let tree = ct_sequence(&vec![2usize; k as usize], Rule::CooleyTukey);
+    bluestein_with_tree(n, &tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spl_compiler::Compiler;
+    use spl_frontend::ast::{DataType, DirectiveState};
+    use spl_numeric::{reference, relative_rms_error};
+
+    fn run(sexp: &Sexp, x: &[Complex]) -> Vec<Complex> {
+        let mut c = Compiler::new();
+        c.compile_source(TEMPLATE_SOURCE).unwrap();
+        let d = DirectiveState {
+            datatype: DataType::Complex,
+            codetype: DataType::Real,
+            ..Default::default()
+        };
+        let unit = c.compile_sexp(sexp, &d).unwrap();
+        let flat: Vec<Complex> = x
+            .iter()
+            .flat_map(|z| [Complex::real(z.re), Complex::real(z.im)])
+            .collect();
+        let y = spl_icode::interp::run(&unit.program, &flat).unwrap();
+        y.chunks(2).map(|p| Complex::new(p[0].re, p[1].re)).collect()
+    }
+
+    fn workload(n: usize) -> Vec<Complex> {
+        (0..n)
+            .map(|i| Complex::new((i as f64 * 0.71).sin(), (i as f64 * 0.37).cos()))
+            .collect()
+    }
+
+    #[test]
+    fn convolution_sizes() {
+        assert_eq!(convolution_size(2), 4);
+        assert_eq!(convolution_size(5), 16);
+        assert_eq!(convolution_size(7), 16);
+        assert_eq!(convolution_size(17), 64);
+    }
+
+    #[test]
+    fn prime_sizes_compute_the_dft() {
+        for n in [3usize, 5, 7, 11, 13] {
+            let x = workload(n);
+            let got = run(&bluestein(n), &x);
+            let want = reference::dft(&x);
+            let err = relative_rms_error(&got, &want);
+            assert!(err < 1e-10, "n={n}: err {err}");
+        }
+    }
+
+    #[test]
+    fn composite_and_power_of_two_sizes_also_work() {
+        for n in [2usize, 6, 8, 12] {
+            let x = workload(n);
+            let got = run(&bluestein(n), &x);
+            let want = reference::dft(&x);
+            assert!(relative_rms_error(&got, &want) < 1e-10, "n={n}");
+        }
+    }
+
+    #[test]
+    fn shape_is_n_by_n() {
+        use spl_templates::{shape::shape_of, TemplateTable};
+        use spl_frontend::parse_program;
+        let mut table = TemplateTable::builtin();
+        for item in parse_program(TEMPLATE_SOURCE).unwrap().items {
+            if let spl_frontend::Item::Template(t) = item {
+                table.add(t);
+            }
+        }
+        let f = bluestein(7);
+        assert_eq!(shape_of(&f, &table).unwrap(), (7, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn size_one_rejected() {
+        bluestein(1);
+    }
+}

@@ -1,0 +1,179 @@
+//! Circular convolution via the convolution theorem.
+//!
+//! The paper cites Tolimieri's *Algorithms for discrete Fourier
+//! transforms and convolution* as part of the algorithm space SPL covers;
+//! convolution is the canonical "class of algorithms beyond the bare FFT"
+//! that the language expresses naturally:
+//!
+//! ```text
+//! h ⊛ x  =  IDFT · diag(DFT h) · DFT · x
+//! ```
+//!
+//! All three factors are SPL formulas: `DFT` is any factorization tree,
+//! `diag(DFT h)` is a `(diagonal …)` whose entries the generator computes
+//! from the filter taps, and `IDFT = diag(1/n) · P_neg · DFT` where
+//! `P_neg` is the index-negation permutation (`ω^{-pq}` row reversal).
+
+use spl_formula::Formula;
+use spl_numeric::{reference, Complex};
+
+use crate::fft::FftTree;
+
+/// The index-negation permutation `p ↦ (n − p) mod n` as a formula;
+/// conjugating the DFT with it yields the inverse DFT (up to `1/n`).
+pub fn negation_permutation(n: usize) -> Formula {
+    let p: Vec<usize> = (0..n).map(|i| (n - i) % n).collect();
+    Formula::permutation(p).expect("negation map is a permutation")
+}
+
+/// The inverse DFT as a formula: `IDFT_n = diag(1/n) · P_neg · F_n`,
+/// with `F_n` computed by the given factorization tree.
+///
+/// # Panics
+///
+/// Panics if the tree's size is zero (trees are at least size 2 by
+/// construction).
+pub fn idft(tree: &FftTree) -> Formula {
+    let n = tree.size();
+    let scale = Formula::diagonal(vec![Complex::real(1.0 / n as f64); n]);
+    Formula::compose(vec![scale, negation_permutation(n), tree.to_formula()])
+}
+
+/// The circular-convolution-by-`h` operator as a single SPL formula:
+/// `conv_h = IDFT · diag(DFT h) · DFT`.
+///
+/// The forward and inverse transforms use the same factorization tree.
+///
+/// # Panics
+///
+/// Panics if `h.len()` differs from the tree size.
+pub fn circular_convolution(h: &[Complex], tree: &FftTree) -> Formula {
+    let n = tree.size();
+    assert_eq!(h.len(), n, "filter length must match the transform size");
+    let hf = reference::dft(h);
+    Formula::compose(vec![
+        idft(tree),
+        Formula::diagonal(hf),
+        tree.to_formula(),
+    ])
+}
+
+/// A windowed-sinc low-pass filter kernel of length `n` with normalized
+/// cutoff `fc` (0 < fc < 0.5), Hann-windowed over the first `taps`
+/// positions and zero elsewhere — a realistic FIR design for the
+/// examples.
+///
+/// # Panics
+///
+/// Panics unless `0 < taps <= n` and `0 < fc < 0.5`.
+pub fn lowpass_kernel(n: usize, taps: usize, fc: f64) -> Vec<Complex> {
+    assert!(taps > 0 && taps <= n, "taps must be within the length");
+    assert!(fc > 0.0 && fc < 0.5, "cutoff must be a normalized frequency");
+    let mut h = vec![Complex::ZERO; n];
+    let mid = (taps - 1) as f64 / 2.0;
+    let mut sum = 0.0;
+    for (k, slot) in h.iter_mut().take(taps).enumerate() {
+        let t = k as f64 - mid;
+        let sinc = if t.abs() < 1e-12 {
+            2.0 * fc
+        } else {
+            (2.0 * std::f64::consts::PI * fc * t).sin() / (std::f64::consts::PI * t)
+        };
+        let window = 0.5 - 0.5 * (2.0 * std::f64::consts::PI * k as f64 / (taps - 1) as f64).cos();
+        let v = sinc * window;
+        *slot = Complex::real(v);
+        sum += v;
+    }
+    // Normalize to unit DC gain.
+    if sum != 0.0 {
+        for slot in &mut h {
+            *slot = *slot * (1.0 / sum);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft::{ct_sequence, Rule};
+    use spl_formula::dense::apply;
+
+    fn workload(n: usize) -> Vec<Complex> {
+        (0..n)
+            .map(|i| Complex::new((i as f64 * 0.43).sin(), (i as f64 * 0.19).cos()))
+            .collect()
+    }
+
+    #[test]
+    fn idft_formula_inverts_dft() {
+        let tree = ct_sequence(&[2, 2, 2], Rule::CooleyTukey);
+        let x = workload(8);
+        let forward = apply(&tree.to_formula(), &x).unwrap();
+        let back = apply(&idft(&tree), &forward).unwrap();
+        for (a, b) in back.iter().zip(&x) {
+            assert!(a.approx_eq(*b, 1e-12), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn convolution_formula_matches_reference() {
+        let tree = ct_sequence(&[4, 4], Rule::CooleyTukey);
+        let h = workload(16);
+        let x: Vec<Complex> = workload(16).iter().map(|z| z.conj()).collect();
+        let formula = circular_convolution(&h, &tree);
+        let got = apply(&formula, &x).unwrap();
+        let want = reference::circular_convolution(&h, &x);
+        for (a, b) in got.iter().zip(&want) {
+            assert!(a.approx_eq(*b, 1e-11), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn convolution_compiles_and_runs() {
+        use spl_compiler::Compiler;
+        use spl_frontend::ast::{DataType, DirectiveState};
+        use spl_formula::formula_to_sexp;
+        let tree = ct_sequence(&[2, 4], Rule::CooleyTukey);
+        let h = lowpass_kernel(8, 5, 0.25);
+        let formula = circular_convolution(&h, &tree);
+        let mut c = Compiler::new();
+        let d = DirectiveState {
+            datatype: DataType::Complex,
+            codetype: DataType::Real,
+            ..Default::default()
+        };
+        let unit = c.compile_sexp(&formula_to_sexp(&formula), &d).unwrap();
+        let x = workload(8);
+        let flat: Vec<Complex> = x
+            .iter()
+            .flat_map(|z| [Complex::real(z.re), Complex::real(z.im)])
+            .collect();
+        let y = spl_icode::interp::run(&unit.program, &flat).unwrap();
+        let got: Vec<Complex> = y
+            .chunks(2)
+            .map(|p| Complex::new(p[0].re, p[1].re))
+            .collect();
+        let want = reference::circular_convolution(&h, &x);
+        for (a, b) in got.iter().zip(&want) {
+            assert!(a.approx_eq(*b, 1e-11));
+        }
+    }
+
+    #[test]
+    fn lowpass_kernel_has_unit_dc_gain() {
+        let h = lowpass_kernel(32, 15, 0.2);
+        let sum: Complex = h.iter().fold(Complex::ZERO, |a, &b| a + b);
+        assert!((sum.re - 1.0).abs() < 1e-12 && sum.im.abs() < 1e-15);
+    }
+
+    #[test]
+    fn negation_permutation_is_involution() {
+        let p = negation_permutation(8);
+        let x = workload(8);
+        let twice = apply(&p, &apply(&p, &x).unwrap()).unwrap();
+        for (a, b) in twice.iter().zip(&x) {
+            assert!(a.approx_eq(*b, 0.0));
+        }
+    }
+}

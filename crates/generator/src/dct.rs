@@ -1,0 +1,161 @@
+//! Discrete cosine transform breakdown rules (paper Section 2.1):
+//!
+//! ```text
+//! DCTII_2 = diag(1, 1/√2) · F_2
+//! DCTII_n = P · (DCTII_{n/2} ⊕ DCTIV_{n/2}) · (F_2 ⊗ I_{n/2}) · Q
+//! DCTIV_n = S · DCTII_n · D
+//! ```
+//!
+//! with `P = L^n_{n/2}` (even/odd interleave), `Q = I_{n/2} ⊕ J_{n/2}`
+//! (fold the reversed second half onto the first), and
+//! `D = diag(2·cos((2k+1)π/4n))`. The paper leaves `S` abstract; the
+//! correct factor is the inverse of the bidiagonal matrix `B`
+//! (`B[0][0] = 2`, `B[k][k] = B[k][k-1] = 1`), which is applied in O(n)
+//! by the running recurrence `z_0 = y_0/2, z_k = y_k − z_{k-1}`.
+//! That operator is *not* one of SPL's built-ins — we define it as the
+//! user template `(SIV n)` ([`TEMPLATE_SOURCE`]), exercising the
+//! compiler's extension mechanism exactly as Section 3.2 advertises.
+
+use spl_formula::{formula_to_sexp, Formula};
+use spl_frontend::sexp::Sexp;
+use spl_numeric::Complex;
+
+/// SPL source for the `(SIV n)` template: the `S` factor of the DCT-IV
+/// rule as an O(n) recurrence. Compile this (e.g. by prepending it to the
+/// program handed to `Compiler::compile_source`, or by parsing and adding
+/// it to the template table) before compiling any [`dct4`] formula.
+pub const TEMPLATE_SOURCE: &str = "
+; S factor of DCT-IV: z0 = y0/2, z_k = y_k - z_{k-1}  (B^{-1}, O(n)).
+(template (SIV n_) [n_>=2]
+  ( $f0 = 0.5 * $in(0)
+    $out(0) = $f0
+    do $i0 = 1,n_-1
+         $f0 = $in($i0) - $f0
+         $out($i0) = $f0
+     end ))
+";
+
+/// The recursive DCT-II formula for `n = 2^k`, `n ≥ 2`, as an
+/// S-expression (it contains `(SIV m)` sub-formulas, so it is compiled
+/// with [`TEMPLATE_SOURCE`] registered).
+///
+/// # Panics
+///
+/// Panics unless `n` is a power of two and at least 2.
+pub fn dct2(n: usize) -> Sexp {
+    assert!(n.is_power_of_two() && n >= 2, "dct2: n must be 2^k >= 2");
+    if n == 2 {
+        // diag(1, 1/sqrt 2) · F2
+        let d = Formula::diagonal(vec![
+            Complex::ONE,
+            Complex::real(1.0 / 2.0_f64.sqrt()),
+        ]);
+        return formula_to_sexp(&Formula::compose(vec![d, Formula::f(2)]));
+    }
+    let h = n / 2;
+    let p = formula_to_sexp(&Formula::stride(n, h).expect("h divides n"));
+    let butterfly = formula_to_sexp(&Formula::tensor(vec![
+        Formula::f(2),
+        Formula::identity(h),
+    ]));
+    let q = formula_to_sexp(&Formula::direct_sum(vec![
+        Formula::identity(h),
+        Formula::reversal(h),
+    ]));
+    let middle = Sexp::List(vec![Sexp::sym("direct-sum"), dct2(h), dct4(h)]);
+    Sexp::List(vec![Sexp::sym("compose"), p, middle, butterfly, q])
+}
+
+/// The DCT-IV formula `S · DCTII_n · D` for `n = 2^k`, `n ≥ 2`.
+///
+/// # Panics
+///
+/// Panics unless `n` is a power of two and at least 2.
+pub fn dct4(n: usize) -> Sexp {
+    assert!(n.is_power_of_two() && n >= 2, "dct4: n must be 2^k >= 2");
+    let s = Sexp::List(vec![Sexp::sym("SIV"), Sexp::Int(n as i64)]);
+    let d = Formula::diagonal(
+        (0..n)
+            .map(|k| {
+                Complex::real(
+                    2.0 * (std::f64::consts::PI * (2 * k + 1) as f64 / (4 * n) as f64).cos(),
+                )
+            })
+            .collect(),
+    );
+    Sexp::List(vec![
+        Sexp::sym("compose"),
+        s,
+        dct2(n),
+        formula_to_sexp(&d),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spl_compiler::Compiler;
+    use spl_frontend::ast::{DataType, DirectiveState};
+    use spl_icode::interp::run;
+    use spl_numeric::reference;
+
+    fn compile_and_apply(sexp: &Sexp, x: &[f64]) -> Vec<f64> {
+        let mut c = Compiler::new();
+        c.compile_source(TEMPLATE_SOURCE).unwrap();
+        let directives = DirectiveState {
+            datatype: DataType::Real,
+            ..Default::default()
+        };
+        let unit = c.compile_sexp(sexp, &directives).unwrap();
+        let xin: Vec<Complex> = x.iter().map(|&v| Complex::real(v)).collect();
+        run(&unit.program, &xin)
+            .unwrap()
+            .into_iter()
+            .map(|c| c.re)
+            .collect()
+    }
+
+    fn workload(n: usize) -> Vec<f64> {
+        (0..n).map(|i| ((i * 5 % 11) as f64) * 0.5 - 2.0).collect()
+    }
+
+    #[test]
+    fn dct2_base_case() {
+        let x = workload(2);
+        let got = compile_and_apply(&dct2(2), &x);
+        let want = reference::dct2(&x);
+        for (a, b) in got.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn dct2_recursion_matches_reference() {
+        for n in [4usize, 8, 16, 32] {
+            let x = workload(n);
+            let got = compile_and_apply(&dct2(n), &x);
+            let want = reference::dct2(&x);
+            for (a, b) in got.iter().zip(&want) {
+                assert!((a - b).abs() < 1e-9, "n={n}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn dct4_matches_reference() {
+        for n in [2usize, 4, 8, 16] {
+            let x = workload(n);
+            let got = compile_and_apply(&dct4(n), &x);
+            let want = reference::dct4(&x);
+            for (a, b) in got.iter().zip(&want) {
+                assert!((a - b).abs() < 1e-9, "n={n}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "2^k")]
+    fn non_power_of_two_rejected() {
+        dct2(6);
+    }
+}

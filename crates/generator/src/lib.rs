@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! The formula generator (the SPIRAL component feeding the SPL compiler).
+//!
+//! Produces SPL formulas — algorithm variants — from breakdown rules:
+//!
+//! * **FFT** ([`fft`]): the Cooley–Tukey rule (paper Eq. 5), decimation in
+//!   frequency (Eq. 7), the parallel form (Eq. 8), the vector form
+//!   (Eq. 9), multi-factor sequences (Eq. 10), and exhaustive enumeration
+//!   of factorization trees;
+//! * **WHT** ([`wht`]): the Walsh–Hadamard split rule;
+//! * **DCT** ([`dct`]): the recursive DCT-II / DCT-IV rules, including an
+//!   O(n) user-defined operator exercising the template-extension
+//!   mechanism;
+//! * **convolution** ([`conv`]): circular convolution by the convolution
+//!   theorem, as a single SPL formula around any FFT factorization;
+//! * **Bluestein** ([`bluestein`]): arbitrary-size (prime included) DFTs
+//!   through a power-of-two convolution, with rectangular pad/extract
+//!   operators defined as user templates.
+//!
+//! Every generator returns S-expressions ready for the compiler; where the
+//! formula uses only built-in operators it can also be converted to a
+//! typed [`spl_formula::Formula`] for dense-matrix verification.
+//!
+//! # Examples
+//!
+//! ```
+//! use spl_generator::fft::{FftTree, Rule};
+//!
+//! // The paper's F4 factorization.
+//! let tree = FftTree::node(Rule::CooleyTukey, FftTree::leaf(2), FftTree::leaf(2));
+//! assert_eq!(tree.size(), 4);
+//! assert_eq!(
+//!     tree.to_sexp().to_string(),
+//!     "(compose (tensor (F 2) (I 2)) (T 4 2) (tensor (I 2) (F 2)) (L 4 2))"
+//! );
+//! ```
+
+pub mod bluestein;
+pub mod conv;
+pub mod dct;
+pub mod fft;
+pub mod wht;

@@ -1,0 +1,152 @@
+//! Walsh–Hadamard transform breakdown rule (paper Section 2.1):
+//!
+//! `WHT_2 = F_2`,
+//! `WHT_{2^n} = Π_{i=1}^{t} (I_{2^{n_1+…+n_{i-1}}} ⊗ WHT_{2^{n_i}} ⊗ I_{2^{n_{i+1}+…+n_t}})`.
+
+use spl_formula::{formula_to_sexp, Formula};
+use spl_frontend::sexp::Sexp;
+
+/// A factorization tree for `WHT_{2^k}`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum WhtTree {
+    /// `WHT_{2^k}` computed directly as the k-fold tensor power of `F_2`.
+    Leaf(u32),
+    /// The split rule over exponent parts `k = k_1 + … + k_t`.
+    Split(Vec<WhtTree>),
+}
+
+impl WhtTree {
+    /// A direct leaf of `2^k` points.
+    pub fn leaf(k: u32) -> WhtTree {
+        WhtTree::Leaf(k)
+    }
+
+    /// A split node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two children are given.
+    pub fn split(children: Vec<WhtTree>) -> WhtTree {
+        assert!(children.len() >= 2, "WHT split needs at least two parts");
+        WhtTree::Split(children)
+    }
+
+    /// The exponent: this tree computes `WHT_{2^k}`.
+    pub fn exponent(&self) -> u32 {
+        match self {
+            WhtTree::Leaf(k) => *k,
+            WhtTree::Split(children) => children.iter().map(WhtTree::exponent).sum(),
+        }
+    }
+
+    /// The transform size `2^k`.
+    pub fn size(&self) -> usize {
+        1usize << self.exponent()
+    }
+
+    /// Elaborates into a typed formula.
+    pub fn to_formula(&self) -> Formula {
+        match self {
+            WhtTree::Leaf(k) => {
+                Formula::tensor((0..*k).map(|_| Formula::f(2)).collect())
+            }
+            WhtTree::Split(children) => {
+                let total = self.exponent();
+                let mut factors = Vec::with_capacity(children.len());
+                let mut before = 0u32;
+                for child in children {
+                    let k = child.exponent();
+                    let after = total - before - k;
+                    let mut parts = Vec::new();
+                    if before > 0 {
+                        parts.push(Formula::identity(1 << before));
+                    }
+                    parts.push(child.to_formula());
+                    if after > 0 {
+                        parts.push(Formula::identity(1 << after));
+                    }
+                    factors.push(Formula::tensor(parts));
+                    before += k;
+                }
+                Formula::compose(factors)
+            }
+        }
+    }
+
+    /// Elaborates into an S-expression for the compiler.
+    pub fn to_sexp(&self) -> Sexp {
+        formula_to_sexp(&self.to_formula())
+    }
+}
+
+/// The balanced binary WHT tree for `2^k` points.
+pub fn balanced(k: u32) -> WhtTree {
+    if k <= 1 {
+        return WhtTree::leaf(k);
+    }
+    let half = k / 2;
+    WhtTree::split(vec![balanced(half), balanced(k - half)])
+}
+
+/// The fully split (all-`F_2`-stages) WHT, the iterative algorithm.
+pub fn iterative(k: u32) -> WhtTree {
+    if k <= 1 {
+        return WhtTree::leaf(k);
+    }
+    WhtTree::split((0..k).map(|_| WhtTree::leaf(1)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spl_formula::dense::apply;
+    use spl_numeric::{reference, Complex};
+
+    fn check_is_wht(tree: &WhtTree) {
+        let n = tree.size();
+        let xr: Vec<f64> = (0..n).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
+        let x: Vec<Complex> = xr.iter().map(|&v| Complex::real(v)).collect();
+        let y = apply(&tree.to_formula(), &x).unwrap();
+        let want = reference::wht(&xr);
+        for (a, b) in y.iter().zip(&want) {
+            assert!(
+                (a.re - b).abs() < 1e-10 && a.im.abs() < 1e-12,
+                "size {n}: {} vs {}",
+                a.re,
+                b
+            );
+        }
+    }
+
+    #[test]
+    fn leaves_are_wht() {
+        for k in 1..=4 {
+            check_is_wht(&WhtTree::leaf(k));
+        }
+    }
+
+    #[test]
+    fn split_rule_is_wht() {
+        check_is_wht(&WhtTree::split(vec![WhtTree::leaf(1), WhtTree::leaf(2)]));
+        check_is_wht(&WhtTree::split(vec![
+            WhtTree::leaf(2),
+            WhtTree::leaf(1),
+            WhtTree::leaf(1),
+        ]));
+        check_is_wht(&balanced(5));
+        check_is_wht(&iterative(4));
+    }
+
+    #[test]
+    fn exponent_accounting() {
+        let t = WhtTree::split(vec![WhtTree::leaf(2), balanced(3)]);
+        assert_eq!(t.exponent(), 5);
+        assert_eq!(t.size(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two parts")]
+    fn singleton_split_panics() {
+        WhtTree::split(vec![WhtTree::leaf(2)]);
+    }
+}

@@ -1,0 +1,187 @@
+//! Human-readable printing of i-code, in the paper's notation.
+
+use std::fmt;
+
+use crate::instr::{Affine, BinOp, Instr, Place, UnOp, Value, VecKind, VecRef};
+use crate::program::IProgram;
+
+impl fmt::Display for Affine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for &(k, v) in &self.terms {
+            if first {
+                if k == 1 {
+                    write!(f, "$i{}", v.0)?;
+                } else if k == -1 {
+                    write!(f, "-$i{}", v.0)?;
+                } else {
+                    write!(f, "{k}*$i{}", v.0)?;
+                }
+                first = false;
+            } else if k < 0 {
+                if k == -1 {
+                    write!(f, "-$i{}", v.0)?;
+                } else {
+                    write!(f, "-{}*$i{}", -k, v.0)?;
+                }
+            } else if k == 1 {
+                write!(f, "+$i{}", v.0)?;
+            } else {
+                write!(f, "+{k}*$i{}", v.0)?;
+            }
+        }
+        if first {
+            write!(f, "{}", self.c)?;
+        } else if self.c > 0 {
+            write!(f, "+{}", self.c)?;
+        } else if self.c < 0 {
+            write!(f, "{}", self.c)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for VecRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name: String = match self.kind {
+            VecKind::In => "$in".into(),
+            VecKind::Out => "$out".into(),
+            VecKind::Temp(t) => format!("$t{t}"),
+            VecKind::Table(t) => format!("$tbl{t}"),
+        };
+        write!(f, "{name}({})", self.idx)
+    }
+}
+
+impl fmt::Display for Place {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Place::F(k) => write!(f, "$f{k}"),
+            Place::R(k) => write!(f, "$r{k}"),
+            Place::Vec(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Place(p) => write!(f, "{p}"),
+            Value::Const(c) => {
+                if c.im == 0.0 {
+                    write!(f, "{}", c.re)
+                } else {
+                    write!(f, "({},{})", c.re, c.im)
+                }
+            }
+            Value::Int(v) => write!(f, "{v}"),
+            Value::LoopIdx(v) => write!(f, "$i{}", v.0),
+            Value::Intrinsic(name, args) => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::DoStart { var, lo, hi, .. } => {
+                write!(f, "do $i{} = {lo},{hi}", var.0)
+            }
+            Instr::DoEnd => write!(f, "end"),
+            Instr::Bin { op, dst, a, b } => {
+                let sym = match op {
+                    BinOp::Add => "+",
+                    BinOp::Sub => "-",
+                    BinOp::Mul => "*",
+                    BinOp::Div => "/",
+                };
+                write!(f, "{dst} = {a} {sym} {b}")
+            }
+            Instr::Un { op, dst, a } => match op {
+                UnOp::Copy => write!(f, "{dst} = {a}"),
+                UnOp::Neg => write!(f, "{dst} = -{a}"),
+            },
+        }
+    }
+}
+
+impl fmt::Display for IProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut indent = 0usize;
+        for ins in &self.instrs {
+            if matches!(ins, Instr::DoEnd) {
+                indent = indent.saturating_sub(1);
+            }
+            writeln!(f, "{:indent$}{ins}", "", indent = indent * 2)?;
+            if matches!(ins, Instr::DoStart { .. }) {
+                indent += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::LoopVar;
+
+    #[test]
+    fn affine_display() {
+        let i = LoopVar(0);
+        let mut a = Affine::constant(1);
+        a.add_term(4, i);
+        assert_eq!(a.to_string(), "4*$i0+1");
+        assert_eq!(Affine::constant(-3).to_string(), "-3");
+        assert_eq!(Affine::var(i).to_string(), "$i0");
+        let mut b = Affine::constant(0);
+        b.add_term(-1, i);
+        assert_eq!(b.to_string(), "-$i0");
+    }
+
+    #[test]
+    fn instr_display() {
+        let ins = Instr::Bin {
+            op: BinOp::Add,
+            dst: Place::F(0),
+            a: Value::vec(VecKind::In, 1),
+            b: Value::Const(spl_numeric::Complex::new(0.0, -1.0)),
+        };
+        assert_eq!(ins.to_string(), "$f0 = $in(1) + (0,-1)");
+    }
+
+    #[test]
+    fn program_display_indents_loops() {
+        let prog = IProgram {
+            instrs: vec![
+                Instr::DoStart {
+                    var: LoopVar(0),
+                    lo: 0,
+                    hi: 1,
+                    unroll: false,
+                },
+                Instr::Un {
+                    op: UnOp::Copy,
+                    dst: Place::F(0),
+                    a: Value::Int(0),
+                },
+                Instr::DoEnd,
+            ],
+            n_f: 1,
+            n_loop: 1,
+            ..IProgram::empty()
+        };
+        let s = prog.to_string();
+        assert!(s.contains("do $i0 = 0,1"));
+        assert!(s.contains("  $f0 = 0"));
+    }
+}

@@ -1,0 +1,336 @@
+//! Instruction and operand definitions.
+
+use spl_numeric::Complex;
+
+/// A loop variable (`$i<k>`), identified by a program-unique number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LoopVar(pub u32);
+
+/// An affine integer expression over loop variables:
+/// `c + Σ coeff·var`, the only subscript form the paper admits ("the
+/// subscripts of vector variables are always linear combinations of loop
+/// indices with integer coefficients").
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Affine {
+    /// The constant term.
+    pub c: i64,
+    /// `(coefficient, variable)` terms, sorted by variable, coefficients
+    /// non-zero.
+    pub terms: Vec<(i64, LoopVar)>,
+}
+
+impl Affine {
+    /// The constant affine expression `c`.
+    pub fn constant(c: i64) -> Affine {
+        Affine { c, terms: vec![] }
+    }
+
+    /// The affine expression `v` (coefficient 1).
+    pub fn var(v: LoopVar) -> Affine {
+        Affine {
+            c: 0,
+            terms: vec![(1, v)],
+        }
+    }
+
+    /// Returns `Some(c)` if the expression is the constant `c`.
+    pub fn as_const(&self) -> Option<i64> {
+        if self.terms.is_empty() {
+            Some(self.c)
+        } else {
+            None
+        }
+    }
+
+    /// Adds another affine expression.
+    pub fn add(&self, other: &Affine) -> Affine {
+        let mut r = self.clone();
+        r.c += other.c;
+        for &(k, v) in &other.terms {
+            r.add_term(k, v);
+        }
+        r
+    }
+
+    /// Adds `coeff·var`.
+    pub fn add_term(&mut self, coeff: i64, var: LoopVar) {
+        if coeff == 0 {
+            return;
+        }
+        match self.terms.binary_search_by_key(&var, |&(_, v)| v) {
+            Ok(i) => {
+                self.terms[i].0 += coeff;
+                if self.terms[i].0 == 0 {
+                    self.terms.remove(i);
+                }
+            }
+            Err(i) => self.terms.insert(i, (coeff, var)),
+        }
+    }
+
+    /// Multiplies by an integer constant.
+    pub fn scale(&self, k: i64) -> Affine {
+        if k == 0 {
+            return Affine::constant(0);
+        }
+        Affine {
+            c: self.c * k,
+            terms: self.terms.iter().map(|&(c, v)| (c * k, v)).collect(),
+        }
+    }
+
+    /// Substitutes a constant value for a loop variable (used by the
+    /// unroller).
+    pub fn substitute(&self, var: LoopVar, value: i64) -> Affine {
+        let mut r = Affine::constant(self.c);
+        for &(k, v) in &self.terms {
+            if v == var {
+                r.c += k * value;
+            } else {
+                r.add_term(k, v);
+            }
+        }
+        r
+    }
+
+    /// Evaluates under an environment mapping each variable id to a value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable is missing from `env`.
+    pub fn eval(&self, env: &dyn Fn(LoopVar) -> i64) -> i64 {
+        self.c + self.terms.iter().map(|&(k, v)| k * env(v)).sum::<i64>()
+    }
+
+    /// The loop variables referenced by the expression.
+    pub fn vars(&self) -> impl Iterator<Item = LoopVar> + '_ {
+        self.terms.iter().map(|&(_, v)| v)
+    }
+}
+
+/// Which vector a [`VecRef`] addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VecKind {
+    /// The subroutine input vector `$in` (read-only).
+    In,
+    /// The subroutine output vector `$out`.
+    Out,
+    /// A temporary vector `$t<k>`.
+    Temp(u32),
+    /// A read-only constant table created by intrinsic evaluation
+    /// (Section 3.3.2).
+    Table(u32),
+}
+
+/// A vector element access: vector plus affine subscript.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct VecRef {
+    /// The vector.
+    pub kind: VecKind,
+    /// The subscript.
+    pub idx: Affine,
+}
+
+/// An assignable location.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Place {
+    /// A floating/complex scalar register `$f<k>`.
+    F(u32),
+    /// An integer scalar register `$r<k>`.
+    R(u32),
+    /// A vector element.
+    Vec(VecRef),
+}
+
+/// An operand value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Read a place.
+    Place(Place),
+    /// A numeric constant (complex in complex programs, `im = 0` in real
+    /// ones).
+    Const(Complex),
+    /// An integer constant (integer-register arithmetic, intrinsic args).
+    Int(i64),
+    /// Read a loop variable as an integer value.
+    LoopIdx(LoopVar),
+    /// An intrinsic invocation, e.g. `W(n, k)`; removed by intrinsic
+    /// evaluation.
+    Intrinsic(String, Vec<Value>),
+}
+
+impl Value {
+    /// Convenience: a vector-element read with a constant subscript.
+    pub fn vec(kind: VecKind, idx: i64) -> Value {
+        Value::Place(Place::Vec(VecRef {
+            kind,
+            idx: Affine::constant(idx),
+        }))
+    }
+
+    /// Convenience: an `$f` register read.
+    pub fn f(k: u32) -> Value {
+        Value::Place(Place::F(k))
+    }
+
+    /// Returns `Some` if this is a numeric constant.
+    pub fn as_const(&self) -> Option<Complex> {
+        match self {
+            Value::Const(c) => Some(*c),
+            Value::Int(v) => Some(Complex::real(*v as f64)),
+            _ => None,
+        }
+    }
+}
+
+/// Binary operators of the four-tuples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+/// Unary operators of the three-tuples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Plain copy / assignment.
+    Copy,
+    /// Arithmetic negation.
+    Neg,
+}
+
+/// One i-code instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// A `do var = lo, hi` loop header (inclusive bounds, constant after
+    /// template expansion). `unroll` marks loops the restructurer must
+    /// fully unroll (`#unroll on` regions and `-B` threshold hits).
+    DoStart {
+        /// The loop variable (program-unique).
+        var: LoopVar,
+        /// Lower bound.
+        lo: i64,
+        /// Upper bound, inclusive.
+        hi: i64,
+        /// Whether the unrolling phase must fully unroll this loop.
+        unroll: bool,
+    },
+    /// Closes the innermost open loop.
+    DoEnd,
+    /// `dst = a op b`.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Destination.
+        dst: Place,
+        /// First operand.
+        a: Value,
+        /// Second operand.
+        b: Value,
+    },
+    /// `dst = op a` (copy or negation).
+    Un {
+        /// Operator.
+        op: UnOp,
+        /// Destination.
+        dst: Place,
+        /// Operand.
+        a: Value,
+    },
+}
+
+impl Instr {
+    /// Returns the destination place of an arithmetic instruction.
+    pub fn dst(&self) -> Option<&Place> {
+        match self {
+            Instr::Bin { dst, .. } | Instr::Un { dst, .. } => Some(dst),
+            _ => None,
+        }
+    }
+
+    /// Visits every operand value of an arithmetic instruction.
+    pub fn for_each_value(&self, f: &mut dyn FnMut(&Value)) {
+        match self {
+            Instr::Bin { a, b, .. } => {
+                f(a);
+                f(b);
+            }
+            Instr::Un { a, .. } => f(a),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn affine_arithmetic() {
+        let i = LoopVar(0);
+        let j = LoopVar(1);
+        let mut a = Affine::constant(3);
+        a.add_term(2, i);
+        a.add_term(1, j);
+        let b = a.scale(2); // 6 + 4i + 2j
+        assert_eq!(b.c, 6);
+        assert_eq!(b.terms, vec![(4, i), (2, j)]);
+        let s = b.add(&Affine::var(i)); // 6 + 5i + 2j
+        assert_eq!(s.terms, vec![(5, i), (2, j)]);
+    }
+
+    #[test]
+    fn affine_cancellation() {
+        let i = LoopVar(0);
+        let mut a = Affine::var(i);
+        a.add_term(-1, i);
+        assert_eq!(a, Affine::constant(0));
+        assert_eq!(a.as_const(), Some(0));
+    }
+
+    #[test]
+    fn affine_substitute() {
+        let i = LoopVar(0);
+        let j = LoopVar(1);
+        let mut a = Affine::constant(1);
+        a.add_term(4, i);
+        a.add_term(1, j);
+        let b = a.substitute(i, 3); // 13 + j
+        assert_eq!(b.c, 13);
+        assert_eq!(b.terms, vec![(1, j)]);
+    }
+
+    #[test]
+    fn affine_eval() {
+        let i = LoopVar(0);
+        let j = LoopVar(1);
+        let mut a = Affine::constant(2);
+        a.add_term(3, i);
+        a.add_term(-1, j);
+        let v = a.eval(&|v| if v == i { 5 } else { 4 });
+        assert_eq!(v, 2 + 15 - 4);
+    }
+
+    #[test]
+    fn value_helpers() {
+        assert_eq!(Value::Int(4).as_const(), Some(Complex::real(4.0)));
+        assert_eq!(
+            Value::Const(Complex::i()).as_const(),
+            Some(Complex::new(0.0, 1.0))
+        );
+        assert_eq!(Value::f(0).as_const(), None);
+    }
+
+    #[test]
+    fn scale_by_zero_is_constant_zero() {
+        let mut a = Affine::var(LoopVar(3));
+        a.add_term(7, LoopVar(5));
+        assert_eq!(a.scale(0), Affine::constant(0));
+    }
+}

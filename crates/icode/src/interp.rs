@@ -1,0 +1,491 @@
+//! A direct interpreter for i-code — the semantics oracle.
+//!
+//! Deliberately simple; every compiler phase is tested by checking that the
+//! interpreted result is unchanged (and, at the pipeline level, that it
+//! matches the dense-matrix interpretation of the source formula).
+
+use std::error::Error;
+use std::fmt;
+
+use spl_numeric::twiddle::omega;
+use spl_numeric::Complex;
+
+use crate::instr::{BinOp, Instr, LoopVar, Place, UnOp, Value, VecKind, VecRef};
+use crate::program::IProgram;
+
+/// A runtime error during interpretation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterpError(pub String);
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i-code interpreter: {}", self.0)
+    }
+}
+
+impl Error for InterpError {}
+
+/// Runs a program on an input vector and returns the output vector.
+///
+/// The program is structurally validated first, so malformed programs
+/// (unbalanced loops, out-of-range registers) are reported as errors
+/// instead of panicking. Registers and temporaries start zeroed.
+///
+/// # Errors
+///
+/// Returns [`InterpError`] on structural invalidity, subscripts out of
+/// bounds, non-integer operands in integer positions, unknown
+/// intrinsics, integer division by zero, or input length mismatch.
+pub fn run(prog: &IProgram, input: &[Complex]) -> Result<Vec<Complex>, InterpError> {
+    prog.validate()
+        .map_err(|e| InterpError(e.to_string()))?;
+    if input.len() != prog.n_in {
+        return Err(InterpError(format!(
+            "input length {} != {}",
+            input.len(),
+            prog.n_in
+        )));
+    }
+    let mut st = State {
+        f: vec![Complex::ZERO; prog.n_f as usize],
+        r: vec![0; prog.n_r as usize],
+        loops: vec![0; prog.n_loop as usize],
+        out: vec![Complex::ZERO; prog.n_out],
+        temps: prog.temps.iter().map(|&n| vec![Complex::ZERO; n]).collect(),
+        input,
+        prog,
+    };
+    st.exec_block(&prog.instrs)?;
+    Ok(st.out)
+}
+
+struct State<'a> {
+    f: Vec<Complex>,
+    r: Vec<i64>,
+    loops: Vec<i64>,
+    out: Vec<Complex>,
+    temps: Vec<Vec<Complex>>,
+    input: &'a [Complex],
+    prog: &'a IProgram,
+}
+
+impl State<'_> {
+    fn exec_block(&mut self, instrs: &[Instr]) -> Result<(), InterpError> {
+        let mut pc = 0;
+        while pc < instrs.len() {
+            match &instrs[pc] {
+                Instr::DoStart { var, lo, hi, .. } => {
+                    let body_start = pc + 1;
+                    let body_end = matching_end(instrs, pc)?;
+                    for v in *lo..=*hi {
+                        self.loops[var.0 as usize] = v;
+                        self.exec_block(&instrs[body_start..body_end])?;
+                    }
+                    pc = body_end + 1;
+                }
+                Instr::DoEnd => {
+                    return Err(InterpError(format!("stray end at {pc}")));
+                }
+                Instr::Bin { op, dst, a, b } => {
+                    if matches!(dst, Place::R(_)) {
+                        let av = self.int_value(a)?;
+                        let bv = self.int_value(b)?;
+                        let r = match op {
+                            BinOp::Add => av.checked_add(bv),
+                            BinOp::Sub => av.checked_sub(bv),
+                            BinOp::Mul => av.checked_mul(bv),
+                            BinOp::Div => av.checked_div(bv),
+                        }
+                        .ok_or_else(|| {
+                            InterpError(format!(
+                                "integer {op:?} overflow or division by zero ({av}, {bv})"
+                            ))
+                        })?;
+                        self.write_int(dst, r)?;
+                    } else {
+                        let av = self.num_value(a)?;
+                        let bv = self.num_value(b)?;
+                        let r = match op {
+                            BinOp::Add => av + bv,
+                            BinOp::Sub => av - bv,
+                            BinOp::Mul => av * bv,
+                            BinOp::Div => av / bv,
+                        };
+                        self.write_num(dst, r)?;
+                    }
+                    pc += 1;
+                }
+                Instr::Un { op, dst, a } => {
+                    if matches!(dst, Place::R(_)) {
+                        let av = self.int_value(a)?;
+                        let r = match op {
+                            UnOp::Copy => av,
+                            UnOp::Neg => -av,
+                        };
+                        self.write_int(dst, r)?;
+                    } else {
+                        let av = self.num_value(a)?;
+                        let r = match op {
+                            UnOp::Copy => av,
+                            UnOp::Neg => -av,
+                        };
+                        self.write_num(dst, r)?;
+                    }
+                    pc += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn vec_index(&self, v: &VecRef) -> Result<(usize, usize), InterpError> {
+        let idx = v.idx.eval(&|lv: LoopVar| self.loops[lv.0 as usize]);
+        let len = match v.kind {
+            VecKind::In => self.input.len(),
+            VecKind::Out => self.out.len(),
+            VecKind::Temp(t) => self.temps[t as usize].len(),
+            VecKind::Table(t) => self.prog.tables[t as usize].len(),
+        };
+        if idx < 0 || idx as usize >= len {
+            return Err(InterpError(format!(
+                "subscript {idx} out of bounds (length {len}) for {:?}",
+                v.kind
+            )));
+        }
+        Ok((idx as usize, len))
+    }
+
+    fn num_value(&self, v: &Value) -> Result<Complex, InterpError> {
+        Ok(match v {
+            Value::Const(c) => *c,
+            Value::Int(i) => Complex::real(*i as f64),
+            Value::LoopIdx(lv) => Complex::real(self.loops[lv.0 as usize] as f64),
+            Value::Place(Place::F(k)) => self.f[*k as usize],
+            Value::Place(Place::R(k)) => Complex::real(self.r[*k as usize] as f64),
+            Value::Place(Place::Vec(vr)) => {
+                let (idx, _) = self.vec_index(vr)?;
+                match vr.kind {
+                    VecKind::In => self.input[idx],
+                    VecKind::Out => self.out[idx],
+                    VecKind::Temp(t) => self.temps[t as usize][idx],
+                    VecKind::Table(t) => self.prog.tables[t as usize][idx],
+                }
+            }
+            Value::Intrinsic(name, args) => match name.as_str() {
+                "W" | "w" => {
+                    if args.len() != 2 {
+                        return Err(InterpError("W expects 2 arguments".into()));
+                    }
+                    let n = self.int_value(&args[0])?;
+                    let k = self.int_value(&args[1])?;
+                    if n <= 0 {
+                        return Err(InterpError("W: n must be positive".into()));
+                    }
+                    omega(n as usize, k)
+                }
+                other => return Err(InterpError(format!("unknown intrinsic {other}"))),
+            },
+        })
+    }
+
+    fn int_value(&self, v: &Value) -> Result<i64, InterpError> {
+        Ok(match v {
+            Value::Int(i) => *i,
+            Value::LoopIdx(lv) => self.loops[lv.0 as usize],
+            Value::Place(Place::R(k)) => self.r[*k as usize],
+            Value::Const(c) if c.is_real() && c.re.fract() == 0.0 => c.re as i64,
+            other => {
+                return Err(InterpError(format!(
+                    "expected an integer operand, got {other:?}"
+                )))
+            }
+        })
+    }
+
+    fn write_num(&mut self, dst: &Place, v: Complex) -> Result<(), InterpError> {
+        match dst {
+            Place::F(k) => self.f[*k as usize] = v,
+            Place::R(_) => unreachable!("write_num to integer register"),
+            Place::Vec(vr) => {
+                let (idx, _) = self.vec_index(vr)?;
+                match vr.kind {
+                    VecKind::Out => self.out[idx] = v,
+                    VecKind::Temp(t) => self.temps[t as usize][idx] = v,
+                    VecKind::In | VecKind::Table(_) => {
+                        return Err(InterpError("write to read-only vector".into()))
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn write_int(&mut self, dst: &Place, v: i64) -> Result<(), InterpError> {
+        match dst {
+            Place::R(k) => {
+                self.r[*k as usize] = v;
+                Ok(())
+            }
+            _ => Err(InterpError("integer write to non-integer place".into())),
+        }
+    }
+}
+
+fn matching_end(instrs: &[Instr], start: usize) -> Result<usize, InterpError> {
+    let mut depth = 0usize;
+    for (k, ins) in instrs.iter().enumerate().skip(start) {
+        match ins {
+            Instr::DoStart { .. } => depth += 1,
+            Instr::DoEnd => {
+                depth -= 1;
+                if depth == 0 {
+                    return Ok(k);
+                }
+            }
+            _ => {}
+        }
+    }
+    Err(InterpError("unterminated loop".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::Affine;
+
+    fn out_at(idx: Affine) -> Place {
+        Place::Vec(VecRef {
+            kind: VecKind::Out,
+            idx,
+        })
+    }
+
+    fn in_at(idx: Affine) -> Value {
+        Value::Place(Place::Vec(VecRef {
+            kind: VecKind::In,
+            idx,
+        }))
+    }
+
+    #[test]
+    fn copy_loop() {
+        // do i = 0,3 { out[i] = in[i] } — the (I 4) template's code.
+        let i = LoopVar(0);
+        let prog = IProgram {
+            instrs: vec![
+                Instr::DoStart {
+                    var: i,
+                    lo: 0,
+                    hi: 3,
+                    unroll: false,
+                },
+                Instr::Un {
+                    op: UnOp::Copy,
+                    dst: out_at(Affine::var(i)),
+                    a: in_at(Affine::var(i)),
+                },
+                Instr::DoEnd,
+            ],
+            n_in: 4,
+            n_out: 4,
+            n_loop: 1,
+            ..IProgram::empty()
+        };
+        let x: Vec<Complex> = (0..4).map(|v| Complex::real(v as f64)).collect();
+        assert_eq!(run(&prog, &x).unwrap(), x);
+    }
+
+    #[test]
+    fn strided_copy() {
+        // out[2i+1] = in[i]: stride-2, offset-1 embedding.
+        let i = LoopVar(0);
+        let mut idx = Affine::constant(1);
+        idx.add_term(2, i);
+        let prog = IProgram {
+            instrs: vec![
+                Instr::DoStart {
+                    var: i,
+                    lo: 0,
+                    hi: 1,
+                    unroll: false,
+                },
+                Instr::Un {
+                    op: UnOp::Copy,
+                    dst: out_at(idx),
+                    a: in_at(Affine::var(i)),
+                },
+                Instr::DoEnd,
+            ],
+            n_in: 2,
+            n_out: 4,
+            n_loop: 1,
+            ..IProgram::empty()
+        };
+        let y = run(&prog, &[Complex::real(7.0), Complex::real(9.0)]).unwrap();
+        assert_eq!(
+            y.iter().map(|c| c.re).collect::<Vec<_>>(),
+            vec![0.0, 7.0, 0.0, 9.0]
+        );
+    }
+
+    #[test]
+    fn naive_dft_via_intrinsic() {
+        // The paper's (F n) template, instantiated at n = 4:
+        // do i0: out[i0] = 0; do i1: r0 = i0*i1; f0 = W(4,r0)*in[i1];
+        //        out[i0] += f0
+        let i0 = LoopVar(0);
+        let i1 = LoopVar(1);
+        let n = 4i64;
+        let prog = IProgram {
+            instrs: vec![
+                Instr::DoStart {
+                    var: i0,
+                    lo: 0,
+                    hi: n - 1,
+                    unroll: false,
+                },
+                Instr::Un {
+                    op: UnOp::Copy,
+                    dst: out_at(Affine::var(i0)),
+                    a: Value::Int(0),
+                },
+                Instr::DoStart {
+                    var: i1,
+                    lo: 0,
+                    hi: n - 1,
+                    unroll: false,
+                },
+                Instr::Bin {
+                    op: BinOp::Mul,
+                    dst: Place::R(0),
+                    a: Value::LoopIdx(i0),
+                    b: Value::LoopIdx(i1),
+                },
+                Instr::Bin {
+                    op: BinOp::Mul,
+                    dst: Place::F(0),
+                    a: Value::Intrinsic(
+                        "W".into(),
+                        vec![Value::Int(n), Value::Place(Place::R(0))],
+                    ),
+                    b: in_at(Affine::var(i1)),
+                },
+                Instr::Bin {
+                    op: BinOp::Add,
+                    dst: out_at(Affine::var(i0)),
+                    a: Value::Place(Place::Vec(VecRef {
+                        kind: VecKind::Out,
+                        idx: Affine::var(i0),
+                    })),
+                    b: Value::f(0),
+                },
+                Instr::DoEnd,
+                Instr::DoEnd,
+            ],
+            n_in: 4,
+            n_out: 4,
+            n_f: 1,
+            n_r: 1,
+            n_loop: 2,
+            ..IProgram::empty()
+        };
+        prog.validate().unwrap();
+        let x: Vec<Complex> = (1..=4).map(|v| Complex::real(v as f64)).collect();
+        let y = run(&prog, &x).unwrap();
+        let want = spl_numeric::reference::dft(&x);
+        for (a, b) in y.iter().zip(&want) {
+            assert!(a.approx_eq(*b, 1e-12));
+        }
+    }
+
+    #[test]
+    fn table_reads() {
+        let i = LoopVar(0);
+        let prog = IProgram {
+            instrs: vec![
+                Instr::DoStart {
+                    var: i,
+                    lo: 0,
+                    hi: 2,
+                    unroll: false,
+                },
+                Instr::Bin {
+                    op: BinOp::Mul,
+                    dst: out_at(Affine::var(i)),
+                    a: in_at(Affine::var(i)),
+                    b: Value::Place(Place::Vec(VecRef {
+                        kind: VecKind::Table(0),
+                        idx: Affine::var(i),
+                    })),
+                },
+                Instr::DoEnd,
+            ],
+            n_in: 3,
+            n_out: 3,
+            n_loop: 1,
+            tables: vec![vec![
+                Complex::real(1.0),
+                Complex::real(2.0),
+                Complex::real(3.0),
+            ]],
+            ..IProgram::empty()
+        };
+        let x = vec![Complex::real(10.0); 3];
+        let y = run(&prog, &x).unwrap();
+        assert_eq!(
+            y.iter().map(|c| c.re).collect::<Vec<_>>(),
+            vec![10.0, 20.0, 30.0]
+        );
+    }
+
+    #[test]
+    fn out_of_bounds_is_error() {
+        let prog = IProgram {
+            instrs: vec![Instr::Un {
+                op: UnOp::Copy,
+                dst: out_at(Affine::constant(9)),
+                a: Value::Int(0),
+            }],
+            n_in: 1,
+            n_out: 2,
+            ..IProgram::empty()
+        };
+        assert!(run(&prog, &[Complex::ZERO]).is_err());
+    }
+
+    #[test]
+    fn wrong_input_length_is_error() {
+        let prog = IProgram {
+            n_in: 4,
+            n_out: 4,
+            ..IProgram::empty()
+        };
+        assert!(run(&prog, &[Complex::ZERO]).is_err());
+    }
+
+    #[test]
+    fn integer_division() {
+        let prog = IProgram {
+            instrs: vec![
+                Instr::Bin {
+                    op: BinOp::Div,
+                    dst: Place::R(0),
+                    a: Value::Int(7),
+                    b: Value::Int(2),
+                },
+                Instr::Bin {
+                    op: BinOp::Add,
+                    dst: out_at(Affine::constant(0)),
+                    a: Value::Place(Place::R(0)),
+                    b: Value::Int(0),
+                },
+            ],
+            n_in: 1,
+            n_out: 1,
+            n_r: 1,
+            ..IProgram::empty()
+        };
+        let y = run(&prog, &[Complex::ZERO]).unwrap();
+        assert_eq!(y[0].re, 3.0);
+    }
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! The SPL compiler's intermediate code (i-code).
+//!
+//! I-code is the paper's four-tuple IR (Section 3.2): a flat instruction
+//! list of arithmetic tuples `dst = a op b` plus Fortran-style `do`/`end`
+//! loop markers. Operands are scalar registers (`$f`, `$r`), loop indices
+//! (`$i`), vector elements of the input/output/temporary vectors with
+//! *affine* subscripts in the loop indices, numeric constants, and
+//! intrinsic invocations (`W(n, k)`) that a later phase evaluates away.
+//!
+//! The [`interp`] module executes i-code directly and is the semantics
+//! oracle for every transformation downstream (restructuring, value
+//! numbering, code generation, the VM).
+//!
+//! # Examples
+//!
+//! ```
+//! use spl_icode::{Instr, IProgram, Place, Value, BinOp, VecKind, VecRef, Affine};
+//! use spl_numeric::Complex;
+//!
+//! // out[0] = in[0] + in[1]; out[1] = in[0] - in[1]   (the F2 butterfly)
+//! let at = |kind, i| Place::Vec(VecRef { kind, idx: Affine::constant(i) });
+//! let prog = IProgram {
+//!     instrs: vec![
+//!         Instr::Bin { op: BinOp::Add, dst: at(VecKind::Out, 0),
+//!                      a: Value::vec(VecKind::In, 0), b: Value::vec(VecKind::In, 1) },
+//!         Instr::Bin { op: BinOp::Sub, dst: at(VecKind::Out, 1),
+//!                      a: Value::vec(VecKind::In, 0), b: Value::vec(VecKind::In, 1) },
+//!     ],
+//!     n_in: 2, n_out: 2, ..IProgram::empty()
+//! };
+//! let y = spl_icode::interp::run(&prog, &[Complex::real(3.0), Complex::real(5.0)]).unwrap();
+//! assert_eq!(y[0].re, 8.0);
+//! assert_eq!(y[1].re, -2.0);
+//! ```
+
+pub mod display;
+pub mod instr;
+pub mod interp;
+pub mod program;
+
+pub use instr::{Affine, BinOp, Instr, LoopVar, Place, UnOp, Value, VecKind, VecRef};
+pub use program::IProgram;

@@ -1,0 +1,424 @@
+//! The planner and executor.
+//!
+//! Like FFTW's planner, [`Plan::new`] searches recursively for a good
+//! factorization of `F_n`: a codelet leaf for `n ≤ 64`, otherwise a
+//! Cooley–Tukey split `n = r·s` with a codelet for `r` and a recursive
+//! plan for `s` (right-most decomposition, exactly the restriction the
+//! paper describes for both FFTW and its own large-size search). Plans
+//! are chosen per size by dynamic programming, either **measuring**
+//! candidate run times or **estimating** them with the cost model in
+//! [`crate::estimate`]. The executor interprets the plan.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::Instant;
+
+use spl_numeric::twiddle::omega;
+
+use crate::codelet::{Codelet, CODELET_SIZES};
+use crate::estimate;
+
+/// How the planner scores candidates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanMode {
+    /// Time each candidate on scratch data (FFTW's default; needs more
+    /// memory and planning time).
+    Measure,
+    /// Use the analytic cost model (FFTW's `ESTIMATE` flag).
+    Estimate,
+}
+
+/// A node of a plan.
+#[derive(Debug)]
+pub enum PlanNode {
+    /// Direct codelet leaf.
+    Leaf(Codelet),
+    /// `F_{r·s} = (F_r ⊗ I_s) T^{rs}_s (I_r ⊗ F_s) L^{rs}_r`: `r` runs a
+    /// codelet over strided columns (twiddles folded in), `s` recurses.
+    Split {
+        /// The left (codelet) factor.
+        r: usize,
+        /// The right (recursive) factor.
+        s: usize,
+        /// Codelet computing the `F_r` columns.
+        codelet: Codelet,
+        /// Interleaved twiddles `W(rs, k·j)` indexed by `k·s + j`.
+        twiddles: Vec<f64>,
+        /// Plan for `F_s`.
+        child: Rc<PlanNode>,
+    },
+}
+
+impl PlanNode {
+    /// The transform size of this node.
+    pub fn n(&self) -> usize {
+        match self {
+            PlanNode::Leaf(c) => c.n(),
+            PlanNode::Split { r, s, .. } => r * s,
+        }
+    }
+
+    /// Bytes held by this node and its children (twiddles + codelets);
+    /// shared children are counted once by [`Plan::plan_bytes`].
+    fn own_bytes(&self) -> usize {
+        match self {
+            PlanNode::Leaf(c) => c.bytes(),
+            PlanNode::Split {
+                codelet, twiddles, ..
+            } => codelet.bytes() + twiddles.len() * std::mem::size_of::<f64>(),
+        }
+    }
+
+    /// A plan description like `(8 64)` (codelet radices outermost
+    /// first), matching FFTW's notation loosely.
+    pub fn describe(&self) -> String {
+        match self {
+            PlanNode::Leaf(c) => format!("{}", c.n()),
+            PlanNode::Split { r, child, .. } => {
+                format!("({} {})", r, child.describe())
+            }
+        }
+    }
+
+    /// Executes `y = F_n(x)` with the given strides (complex elements).
+    fn execute(&self, x: &[f64], is: usize, y: &mut [f64], os: usize) {
+        match self {
+            PlanNode::Leaf(c) => c.apply(x, is, y, os),
+            PlanNode::Split {
+                r,
+                s,
+                codelet,
+                twiddles,
+                child,
+            } => {
+                let (r, s) = (*r, *s);
+                // (I_r ⊗ F_s) L^{rs}_r: block k of y gets F_s of the
+                // stride-r subsequence starting at k.
+                for k in 0..r {
+                    child.execute(&x[2 * k * is..], is * r, &mut y[2 * k * s * os..], os);
+                }
+                // T^{rs}_s then F_r over the strided columns, gathered
+                // into local buffers (codelets must not alias).
+                let mut buf = [0.0f64; 128];
+                let mut out = [0.0f64; 128];
+                for j in 0..s {
+                    for k in 0..r {
+                        let idx = 2 * (k * s + j) * os;
+                        let (re, im) = (y[idx], y[idx + 1]);
+                        let (wr, wi) =
+                            (twiddles[2 * (k * s + j)], twiddles[2 * (k * s + j) + 1]);
+                        buf[2 * k] = re * wr - im * wi;
+                        buf[2 * k + 1] = re * wi + im * wr;
+                    }
+                    codelet.apply(&buf[..2 * r], 1, &mut out[..2 * r], 1);
+                    for k in 0..r {
+                        let idx = 2 * (k * s + j) * os;
+                        y[idx] = out[2 * k];
+                        y[idx + 1] = out[2 * k + 1];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A complete plan for an n-point transform.
+#[derive(Debug)]
+pub struct Plan {
+    root: Rc<PlanNode>,
+    n: usize,
+    mode: PlanMode,
+    planning_peak_bytes: usize,
+}
+
+impl Plan {
+    /// Plans an n-point transform.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n` is a power of two and at least 2.
+    pub fn new(n: usize, mode: PlanMode) -> Plan {
+        assert!(
+            n.is_power_of_two() && n >= 2,
+            "minifft plans power-of-two sizes >= 2"
+        );
+        let mut planner = Planner {
+            mode,
+            memo: HashMap::new(),
+            scratch_bytes: 0,
+        };
+        let root = planner.plan(n);
+        let planning_peak_bytes = planner.scratch_bytes;
+        Plan {
+            root,
+            n,
+            mode,
+            planning_peak_bytes,
+        }
+    }
+
+    /// The transform size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The planning mode used.
+    pub fn mode(&self) -> PlanMode {
+        self.mode
+    }
+
+    /// The plan shape, e.g. `(8 (64 64))`.
+    pub fn describe(&self) -> String {
+        self.root.describe()
+    }
+
+    /// Executes `y = F_n(x)` on interleaved-real data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `y` is shorter than `2n`.
+    pub fn execute(&self, x: &[f64], y: &mut [f64]) {
+        assert!(x.len() >= 2 * self.n && y.len() >= 2 * self.n);
+        self.root.execute(x, 1, y, 1);
+    }
+
+    /// Executes the inverse transform via conjugation:
+    /// `IDFT(x) = conj(DFT(conj(x))) / n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `y` is shorter than `2n`.
+    pub fn execute_inverse(&self, x: &[f64], y: &mut [f64]) {
+        assert!(x.len() >= 2 * self.n && y.len() >= 2 * self.n);
+        let mut conj: Vec<f64> = x.to_vec();
+        for k in 0..self.n {
+            conj[2 * k + 1] = -conj[2 * k + 1];
+        }
+        self.root.execute(&conj, 1, y, 1);
+        let scale = 1.0 / self.n as f64;
+        for k in 0..self.n {
+            y[2 * k] *= scale;
+            y[2 * k + 1] = -y[2 * k + 1] * scale;
+        }
+    }
+
+    /// Bytes held by the plan itself (nodes, twiddles, codelets), with
+    /// shared sub-plans counted once.
+    pub fn plan_bytes(&self) -> usize {
+        let mut seen: Vec<*const PlanNode> = Vec::new();
+        fn walk(node: &Rc<PlanNode>, seen: &mut Vec<*const PlanNode>) -> usize {
+            let ptr = Rc::as_ptr(node);
+            if seen.contains(&ptr) {
+                return 0;
+            }
+            seen.push(ptr);
+            let mut b = node.own_bytes() + std::mem::size_of::<PlanNode>();
+            if let PlanNode::Split { child, .. } = &**node {
+                b += walk(child, seen);
+            }
+            b
+        }
+        walk(&self.root, &mut seen)
+    }
+
+    /// Peak scratch bytes the planner used (zero in estimate mode; the
+    /// measured planner allocates candidate buffers — the memory gap
+    /// Figure 5 shows between `FFTW` and `FFTW estimate`).
+    pub fn planning_peak_bytes(&self) -> usize {
+        self.planning_peak_bytes
+    }
+}
+
+struct Planner {
+    mode: PlanMode,
+    memo: HashMap<usize, Rc<PlanNode>>,
+    scratch_bytes: usize,
+}
+
+impl Planner {
+    fn plan(&mut self, n: usize) -> Rc<PlanNode> {
+        if let Some(p) = self.memo.get(&n) {
+            return Rc::clone(p);
+        }
+        let mut candidates: Vec<Rc<PlanNode>> = Vec::new();
+        if CODELET_SIZES.contains(&n) {
+            candidates.push(Rc::new(PlanNode::Leaf(Codelet::new(n))));
+        }
+        if n > 2 {
+            for &r in &CODELET_SIZES {
+                if r >= n || !n.is_multiple_of(r) {
+                    continue;
+                }
+                let s = n / r;
+                // s must itself be plannable: a power of two, at least 2.
+                if s < 2 || !s.is_power_of_two() {
+                    continue;
+                }
+                let child = self.plan(s);
+                let mut twiddles = Vec::with_capacity(2 * n);
+                for k in 0..r {
+                    for j in 0..s {
+                        let w = omega(n, (k * j) as i64);
+                        twiddles.push(w.re);
+                        twiddles.push(w.im);
+                    }
+                }
+                candidates.push(Rc::new(PlanNode::Split {
+                    r,
+                    s,
+                    codelet: Codelet::new(r),
+                    twiddles,
+                    child,
+                }));
+            }
+        }
+        assert!(!candidates.is_empty(), "no plan candidates for {n}");
+        let best = match self.mode {
+            PlanMode::Estimate => candidates
+                .into_iter()
+                .min_by(|a, b| {
+                    estimate::node_cost(a).total_cmp(&estimate::node_cost(b))
+                })
+                .unwrap(),
+            PlanMode::Measure => {
+                // Scratch buffers for timing (the planner's memory cost).
+                let mut x = vec![0.0f64; 2 * n];
+                let mut y = vec![0.0f64; 2 * n];
+                self.scratch_bytes = self
+                    .scratch_bytes
+                    .max((x.len() + y.len()) * std::mem::size_of::<f64>());
+                for (k, v) in x.iter_mut().enumerate() {
+                    *v = ((k as f64) * 0.613).sin();
+                }
+                let mut best: Option<(f64, Rc<PlanNode>)> = None;
+                for cand in candidates {
+                    let t = Self::time_node(&cand, &x, &mut y);
+                    if best.as_ref().is_none_or(|(bt, _)| t < *bt) {
+                        best = Some((t, cand));
+                    }
+                }
+                best.unwrap().1
+            }
+        };
+        self.memo.insert(n, Rc::clone(&best));
+        best
+    }
+
+    /// Seconds per execution, with just enough repetitions to be stable.
+    fn time_node(node: &Rc<PlanNode>, x: &[f64], y: &mut [f64]) -> f64 {
+        let n = node.n();
+        // Aim for ~2 ms of measurement per candidate, as FFTW does
+        // (coarsely).
+        let start = Instant::now();
+        node.execute(x, 1, y, 1);
+        let once = start.elapsed().as_secs_f64().max(1e-7);
+        let reps = ((0.002 / once) as u64).clamp(1, 1_000_000);
+        let start = Instant::now();
+        for _ in 0..reps {
+            node.execute(x, 1, y, 1);
+        }
+        let _ = n;
+        start.elapsed().as_secs_f64() / reps as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spl_numeric::{reference, Complex};
+
+    fn pack(x: &[Complex]) -> Vec<f64> {
+        x.iter().flat_map(|c| [c.re, c.im]).collect()
+    }
+
+    fn unpack(x: &[f64]) -> Vec<Complex> {
+        x.chunks(2).map(|p| Complex::new(p[0], p[1])).collect()
+    }
+
+    fn workload(n: usize) -> Vec<Complex> {
+        (0..n)
+            .map(|i| Complex::new((i as f64 * 0.11).cos(), (i as f64 * 0.77).sin()))
+            .collect()
+    }
+
+    #[test]
+    fn estimate_plans_match_reference() {
+        for n in [2usize, 4, 8, 16, 64, 128, 256, 1024] {
+            let plan = Plan::new(n, PlanMode::Estimate);
+            let x = workload(n);
+            let mut y = vec![0.0; 2 * n];
+            plan.execute(&pack(&x), &mut y);
+            let got = unpack(&y);
+            let want = reference::dft(&x);
+            for (a, b) in got.iter().zip(&want) {
+                assert!(a.approx_eq(*b, 1e-8 * n as f64), "n={n}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn measured_plans_match_reference() {
+        for n in [128usize, 512] {
+            let plan = Plan::new(n, PlanMode::Measure);
+            let x = workload(n);
+            let mut y = vec![0.0; 2 * n];
+            plan.execute(&pack(&x), &mut y);
+            let got = unpack(&y);
+            let want = reference::dft(&x);
+            for (a, b) in got.iter().zip(&want) {
+                assert!(a.approx_eq(*b, 1e-8 * n as f64), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let n = 256;
+        let plan = Plan::new(n, PlanMode::Estimate);
+        let x = pack(&workload(n));
+        let mut y = vec![0.0; 2 * n];
+        let mut back = vec![0.0; 2 * n];
+        plan.execute(&x, &mut y);
+        plan.execute_inverse(&y, &mut back);
+        for (a, b) in back.iter().zip(&x) {
+            assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn plan_memory_accounting() {
+        let est = Plan::new(4096, PlanMode::Estimate);
+        assert!(est.plan_bytes() > 0);
+        assert_eq!(est.planning_peak_bytes(), 0);
+        let meas = Plan::new(256, PlanMode::Measure);
+        assert!(meas.planning_peak_bytes() >= 2 * 2 * 256 * 8);
+    }
+
+    #[test]
+    fn describe_shows_radices() {
+        let plan = Plan::new(128, PlanMode::Estimate);
+        let d = plan.describe();
+        assert!(d.starts_with('('), "{d}");
+        assert!(d.contains(' '), "{d}");
+    }
+
+    #[test]
+    fn large_power_of_two() {
+        let n = 1 << 14;
+        let plan = Plan::new(n, PlanMode::Estimate);
+        // Constant input -> impulse output.
+        let x = vec![1.0; 2 * n]; // (1+1i) constant
+        let mut y = vec![0.0; 2 * n];
+        plan.execute(&x, &mut y);
+        assert!((y[0] - n as f64).abs() < 1e-6);
+        assert!((y[1] - n as f64).abs() < 1e-6);
+        let tail_energy: f64 = y[2..].iter().map(|v| v * v).sum();
+        assert!(tail_energy < 1e-12 * (n as f64) * (n as f64));
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_rejected() {
+        Plan::new(12, PlanMode::Estimate);
+    }
+}

@@ -1,0 +1,493 @@
+#![warn(missing_docs)]
+
+//! Native execution of generated C code — the paper's own methodology.
+//!
+//! The paper evaluates the SPL compiler by feeding its output to the
+//! platform's native compiler and timing the resulting machine code.
+//! This crate does exactly that on the host: a [`CompiledUnit`]'s C
+//! output is written to a temporary file, compiled with the system C
+//! compiler (`cc -O2 -shared -fPIC`), loaded with `dlopen`, and invoked
+//! through its `void name(double *y, const double *x)` entry point.
+//!
+//! The `spl-vm` interpreter remains available as a portable fallback and
+//! as the deterministic substrate for unit tests; benchmarks prefer this
+//! native path so that the comparison against the (natively compiled)
+//! FFTW-like baseline is apples-to-apples.
+//!
+//! # Examples
+//!
+//! ```
+//! use spl_compiler::Compiler;
+//! use spl_native::NativeKernel;
+//!
+//! let mut c = Compiler::new();
+//! let unit = c.compile_formula_str("(F 2)").unwrap();
+//! let kernel = NativeKernel::compile(&unit).unwrap();
+//! let x = [1.0, 0.0, 2.0, 0.0]; // (1, 2) as interleaved complex
+//! let mut y = [0.0; 4];
+//! kernel.run(&x, &mut y);
+//! assert_eq!(y, [3.0, 0.0, -1.0, 0.0]);
+//! ```
+
+use std::error::Error;
+use std::ffi::{c_char, c_int, c_void, CString};
+use std::fmt;
+use std::path::PathBuf;
+use std::process::Command;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use spl_compiler::{codegen, CodegenOptions, CompiledUnit};
+use spl_frontend::ast::{DataType, Language};
+
+extern "C" {
+    fn dlopen(filename: *const c_char, flag: c_int) -> *mut c_void;
+    fn dlsym(handle: *mut c_void, symbol: *const c_char) -> *mut c_void;
+    fn dlclose(handle: *mut c_void) -> c_int;
+}
+
+const RTLD_NOW: c_int = 2;
+
+/// An error from native compilation or loading.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NativeError(pub String);
+
+impl fmt::Display for NativeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "native execution: {}", self.0)
+    }
+}
+
+impl Error for NativeError {}
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A natively compiled, loaded SPL subroutine.
+///
+/// Dropping the kernel unloads the shared object and removes its
+/// temporary files.
+pub struct NativeKernel {
+    handle: *mut c_void,
+    entry: extern "C" fn(*mut f64, *const f64),
+    /// Input length in `f64` words.
+    pub n_in: usize,
+    /// Output length in `f64` words.
+    pub n_out: usize,
+    so_path: PathBuf,
+    c_path: PathBuf,
+}
+
+impl fmt::Debug for NativeKernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NativeKernel")
+            .field("n_in", &self.n_in)
+            .field("n_out", &self.n_out)
+            .field("so_path", &self.so_path)
+            .finish()
+    }
+}
+
+impl NativeKernel {
+    /// Emits C for the unit, compiles it with the host `cc`, and loads
+    /// the resulting shared object.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the unit is complex-typed (C output requires real
+    /// code), when `cc` is unavailable or reports errors, or when the
+    /// object cannot be loaded.
+    pub fn compile(unit: &CompiledUnit) -> Result<NativeKernel, NativeError> {
+        if unit.program.complex {
+            return Err(NativeError(
+                "C output requires real-typed code (set #codetype real)".into(),
+            ));
+        }
+        let name = sanitize(&unit.name);
+        let c_src = codegen::emit(
+            &name,
+            &unit.program,
+            &CodegenOptions {
+                language: Language::C,
+                codetype: DataType::Real,
+                peephole: false,
+                io_params: false,
+            },
+        );
+        let (handle, sym, so_path, c_path) = build_and_load(&name, &c_src)?;
+        // SAFETY: the symbol has the C ABI signature
+        // `void name(double *y, const double *x)` by construction of the
+        // emitter.
+        let entry: extern "C" fn(*mut f64, *const f64) = unsafe { std::mem::transmute(sym) };
+        Ok(NativeKernel {
+            handle,
+            entry,
+            n_in: unit.program.n_in,
+            n_out: unit.program.n_out,
+            so_path,
+            c_path,
+        })
+    }
+
+    /// Runs the kernel: `y = f(x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths do not match `n_in`/`n_out`.
+    pub fn run(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n_in, "input length mismatch");
+        assert_eq!(y.len(), self.n_out, "output length mismatch");
+        (self.entry)(y.as_mut_ptr(), x.as_ptr());
+    }
+
+    /// Adaptive timing: seconds per call, measured over at least
+    /// `min_time` of repetitions on a deterministic workload.
+    pub fn measure(&self, min_time: Duration) -> f64 {
+        let x: Vec<f64> = (0..self.n_in)
+            .map(|i| ((i as f64) * 0.7311).sin())
+            .collect();
+        let mut y = vec![0.0f64; self.n_out];
+        spl_numeric::metrics::time_adaptive(min_time, || self.run(&x, &mut y))
+    }
+}
+
+impl Drop for NativeKernel {
+    fn drop(&mut self) {
+        // SAFETY: handle came from a successful dlopen and is unloaded
+        // exactly once.
+        unsafe {
+            dlclose(self.handle);
+        }
+        let _ = std::fs::remove_file(&self.so_path);
+        let _ = std::fs::remove_file(&self.c_path);
+    }
+}
+
+/// A natively compiled subroutine with the paper's Section 3.5
+/// offset/stride parameters:
+/// `void name(double *y, const double *x, long yofs, long xofs,
+/// long ystr, long xstr)`, strides and offsets counted in *logical
+/// elements* of the generated code (real words for real-typed code).
+pub struct NativeIoKernel {
+    handle: *mut c_void,
+    entry: extern "C" fn(*mut f64, *const f64, i64, i64, i64, i64),
+    /// Logical input length (number of strided elements consumed).
+    pub n_in: usize,
+    /// Logical output length.
+    pub n_out: usize,
+    so_path: PathBuf,
+    c_path: PathBuf,
+}
+
+impl fmt::Debug for NativeIoKernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NativeIoKernel")
+            .field("n_in", &self.n_in)
+            .field("n_out", &self.n_out)
+            .finish()
+    }
+}
+
+impl NativeIoKernel {
+    /// Emits C with `io_params` enabled, compiles, and loads it.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`NativeKernel::compile`].
+    pub fn compile(unit: &CompiledUnit) -> Result<NativeIoKernel, NativeError> {
+        if unit.program.complex {
+            return Err(NativeError(
+                "C output requires real-typed code (set #codetype real)".into(),
+            ));
+        }
+        let name = sanitize(&unit.name);
+        let c_src = codegen::emit(
+            &name,
+            &unit.program,
+            &CodegenOptions {
+                language: Language::C,
+                codetype: DataType::Real,
+                peephole: false,
+                io_params: true,
+            },
+        );
+        let (handle, sym, so_path, c_path) = build_and_load(&name, &c_src)?;
+        // SAFETY: the symbol was emitted with exactly this C signature.
+        let entry: extern "C" fn(*mut f64, *const f64, i64, i64, i64, i64) =
+            unsafe { std::mem::transmute(sym) };
+        Ok(NativeIoKernel {
+            handle,
+            entry,
+            n_in: unit.program.n_in,
+            n_out: unit.program.n_out,
+            so_path,
+            c_path,
+        })
+    }
+
+    /// Runs the kernel reading `x[xofs + xstr·k]` and writing
+    /// `y[yofs + ystr·k]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any strided access would fall outside the slices.
+    pub fn run(
+        &self,
+        x: &[f64],
+        y: &mut [f64],
+        yofs: usize,
+        xofs: usize,
+        ystr: usize,
+        xstr: usize,
+    ) {
+        let last = |ofs: usize, stride: usize, n: usize| {
+            stride
+                .checked_mul(n.saturating_sub(1))
+                .and_then(|v| v.checked_add(ofs))
+        };
+        assert!(
+            last(xofs, xstr, self.n_in).is_some_and(|v| v < x.len()),
+            "strided input out of range"
+        );
+        assert!(
+            last(yofs, ystr, self.n_out).is_some_and(|v| v < y.len()),
+            "strided output out of range"
+        );
+        (self.entry)(
+            y.as_mut_ptr(),
+            x.as_ptr(),
+            yofs as i64,
+            xofs as i64,
+            ystr as i64,
+            xstr as i64,
+        );
+    }
+}
+
+impl Drop for NativeIoKernel {
+    fn drop(&mut self) {
+        // SAFETY: handle came from a successful dlopen, unloaded once.
+        unsafe {
+            dlclose(self.handle);
+        }
+        let _ = std::fs::remove_file(&self.so_path);
+        let _ = std::fs::remove_file(&self.c_path);
+    }
+}
+
+/// Shared cc + dlopen plumbing.
+fn build_and_load(
+    name: &str,
+    c_src: &str,
+) -> Result<(*mut c_void, *mut c_void, PathBuf, PathBuf), NativeError> {
+    let id = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir();
+    // pid + counter + a timestamp component keeps names collision-free
+    // across concurrent processes in the shared temp directory.
+    let nonce = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos())
+        .unwrap_or(0);
+    let stem = format!("spl_native_{}_{}_{nonce}", std::process::id(), id);
+    let c_path = dir.join(format!("{stem}.c"));
+    let so_path = dir.join(format!("{stem}.so"));
+    // Remove the on-disk artifacts on every failure path.
+    let cleanup = |c: &PathBuf, s: &PathBuf| {
+        let _ = std::fs::remove_file(c);
+        let _ = std::fs::remove_file(s);
+    };
+    std::fs::write(&c_path, c_src)
+        .map_err(|e| NativeError(format!("writing {}: {e}", c_path.display())))?;
+    let output = Command::new("cc")
+        .arg("-O2")
+        .arg("-shared")
+        .arg("-fPIC")
+        .arg("-o")
+        .arg(&so_path)
+        .arg(&c_path)
+        .output()
+        .map_err(|e| {
+            cleanup(&c_path, &so_path);
+            NativeError(format!("running cc: {e}"))
+        })?;
+    if !output.status.success() {
+        cleanup(&c_path, &so_path);
+        return Err(NativeError(format!(
+            "cc failed: {}",
+            String::from_utf8_lossy(&output.stderr)
+        )));
+    }
+    let so_c = CString::new(so_path.to_string_lossy().as_bytes()).map_err(|_| {
+        cleanup(&c_path, &so_path);
+        NativeError("bad path".into())
+    })?;
+    let name_c = CString::new(name.as_bytes()).map_err(|_| {
+        cleanup(&c_path, &so_path);
+        NativeError("bad name".into())
+    })?;
+    // SAFETY: loading an object we just built; symbol looked up by name.
+    // The `long` parameters of the io-params signature are transmuted to
+    // `i64`, which matches on every 64-bit Linux target this crate's
+    // dlopen path supports (LP64).
+    unsafe {
+        let handle = dlopen(so_c.as_ptr(), RTLD_NOW);
+        if handle.is_null() {
+            cleanup(&c_path, &so_path);
+            return Err(NativeError(format!("dlopen {} failed", so_path.display())));
+        }
+        let sym = dlsym(handle, name_c.as_ptr());
+        if sym.is_null() {
+            dlclose(handle);
+            cleanup(&c_path, &so_path);
+            return Err(NativeError(format!("symbol {name} not found")));
+        }
+        Ok((handle, sym, so_path, c_path))
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    let mut s: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if s.is_empty() || s.chars().next().unwrap().is_ascii_digit() {
+        s.insert(0, 's');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spl_compiler::{Compiler, CompilerOptions};
+    use spl_numeric::{reference, Complex};
+
+    fn kernel(src: &str, opts: CompilerOptions) -> NativeKernel {
+        let mut c = Compiler::with_options(opts);
+        let unit = c.compile_formula_str(src).unwrap();
+        NativeKernel::compile(&unit).unwrap()
+    }
+
+    fn run_complex(k: &NativeKernel, x: &[Complex]) -> Vec<Complex> {
+        let flat: Vec<f64> = x.iter().flat_map(|z| [z.re, z.im]).collect();
+        let mut y = vec![0.0; k.n_out];
+        k.run(&flat, &mut y);
+        y.chunks(2).map(|p| Complex::new(p[0], p[1])).collect()
+    }
+
+    fn ramp(n: usize) -> Vec<Complex> {
+        (0..n)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.7).cos()))
+            .collect()
+    }
+
+    #[test]
+    fn butterfly_runs_natively() {
+        let k = kernel("(F 2)", CompilerOptions::default());
+        let x = ramp(2);
+        let y = run_complex(&k, &x);
+        let want = reference::dft(&x);
+        for (a, b) in y.iter().zip(&want) {
+            assert!(a.approx_eq(*b, 1e-13));
+        }
+    }
+
+    #[test]
+    fn looped_fft_with_tables_runs_natively() {
+        let src = "(compose (tensor (F 2) (I 4)) (T 8 4) (tensor (I 2) (F 4)) (L 8 2))";
+        let k = kernel(src, CompilerOptions::default());
+        let x = ramp(8);
+        let y = run_complex(&k, &x);
+        let want = reference::dft(&x);
+        for (a, b) in y.iter().zip(&want) {
+            assert!(a.approx_eq(*b, 1e-12));
+        }
+    }
+
+    #[test]
+    fn unrolled_fft_matches_vm() {
+        let src = "(compose (tensor (F 2) (I 2)) (T 4 2) (tensor (I 2) (F 2)) (L 4 2))";
+        let opts = CompilerOptions {
+            unroll_threshold: Some(64),
+            ..Default::default()
+        };
+        let mut c = Compiler::with_options(opts.clone());
+        let unit = c.compile_formula_str(src).unwrap();
+        let k = NativeKernel::compile(&unit).unwrap();
+        let vm = spl_vm::lower(&unit.program).unwrap();
+        let x: Vec<f64> = (0..8).map(|i| (i as f64 * 0.3).cos()).collect();
+        let mut y_native = vec![0.0; 8];
+        let mut y_vm = vec![0.0; 8];
+        k.run(&x, &mut y_native);
+        let mut st = spl_vm::VmState::new(&vm);
+        vm.run(&x, &mut y_vm, &mut st);
+        for (a, b) in y_native.iter().zip(&y_vm) {
+            assert!((a - b).abs() < 1e-13, "native {a} vs vm {b}");
+        }
+    }
+
+    #[test]
+    fn measure_returns_positive_time() {
+        let k = kernel("(F 4)", CompilerOptions::default());
+        let t = k.measure(Duration::from_millis(3));
+        assert!(t > 0.0);
+    }
+
+    #[test]
+    fn complex_ir_rejected() {
+        let mut c = Compiler::new();
+        let units = c
+            .compile_source("#datatype complex\n#codetype complex\n(F 2)")
+            .unwrap();
+        assert!(NativeKernel::compile(&units[0]).is_err());
+    }
+
+    #[test]
+    fn io_kernel_runs_with_strides_and_offsets() {
+        // Run the F2 butterfly on every other complex element of a
+        // larger buffer, writing to an offset strided region — the paper's
+        // "computation performed on vector elements that are not
+        // consecutive" (Section 3.5).
+        let mut c = Compiler::new();
+        let unit = c.compile_formula_str("(F 2)").unwrap();
+        let k = NativeIoKernel::compile(&unit).unwrap();
+        assert_eq!(k.n_in, 4); // 2 complex points = 4 real words
+        // Input x embedded at real-word stride 2 starting at word 1:
+        // logical elements x[1], x[3], x[5], x[7].
+        let x = [0.0, 3.0, 0.0, 0.5, 0.0, 5.0, 0.0, -1.5];
+        let mut y = vec![0.0; 16];
+        // Output at word stride 3 starting at word 2.
+        k.run(&x, &mut y, 2, 1, 3, 2);
+        // (3+0.5i) and (5-1.5i): sum = 8-1i, diff = -2+2i
+        assert_eq!(y[2], 8.0);
+        assert_eq!(y[5], -1.0);
+        assert_eq!(y[8], -2.0);
+        assert_eq!(y[11], 2.0);
+        // Untouched slots stay zero.
+        assert_eq!(y[0], 0.0);
+        assert_eq!(y[3], 0.0);
+    }
+
+    #[test]
+    fn io_kernel_with_unit_strides_matches_plain_kernel() {
+        let src = "(compose (tensor (F 2) (I 4)) (T 8 4) (tensor (I 2) (F 4)) (L 8 2))";
+        let mut c = Compiler::new();
+        let unit = c.compile_formula_str(src).unwrap();
+        let plain = NativeKernel::compile(&unit).unwrap();
+        let io = NativeIoKernel::compile(&unit).unwrap();
+        let x: Vec<f64> = (0..16).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut y1 = vec![0.0; 16];
+        let mut y2 = vec![0.0; 16];
+        plain.run(&x, &mut y1);
+        io.run(&x, &mut y2, 0, 0, 1, 1);
+        for (a, b) in y1.iter().zip(&y2) {
+            assert!((a - b).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn sanitize_names() {
+        assert_eq!(sanitize("fft16"), "fft16");
+        assert_eq!(sanitize("a-b c"), "a_b_c");
+        assert_eq!(sanitize("1abc"), "s1abc");
+    }
+}

@@ -1,0 +1,107 @@
+//! Kahan (compensated) summation.
+//!
+//! Used by the accuracy experiment (paper Figure 6): the reference DFT is
+//! accumulated with compensation so that its error is far below the error of
+//! the FFT under test, making it usable as a ground truth without
+//! arbitrary-precision arithmetic (see DESIGN.md, substitution 3).
+
+use crate::Complex;
+
+/// Running compensated sum of `f64` values.
+///
+/// # Examples
+///
+/// ```
+/// use spl_numeric::KahanSum;
+/// let mut s = KahanSum::new();
+/// for _ in 0..10 { s.add(0.1); }
+/// assert!((s.value() - 1.0).abs() < 1e-15);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KahanSum {
+    sum: f64,
+    comp: f64,
+}
+
+impl KahanSum {
+    /// Creates an empty sum.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a term to the sum, carrying the compensation.
+    pub fn add(&mut self, x: f64) {
+        let y = x - self.comp;
+        let t = self.sum + y;
+        self.comp = (t - self.sum) - y;
+        self.sum = t;
+    }
+
+    /// The compensated total.
+    pub fn value(&self) -> f64 {
+        self.sum
+    }
+}
+
+/// Running compensated sum of [`Complex`] values (independent compensation
+/// per component).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KahanComplexSum {
+    re: KahanSum,
+    im: KahanSum,
+}
+
+impl KahanComplexSum {
+    /// Creates an empty sum.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a complex term.
+    pub fn add(&mut self, z: Complex) {
+        self.re.add(z.re);
+        self.im.add(z.im);
+    }
+
+    /// The compensated total.
+    pub fn value(&self) -> Complex {
+        Complex::new(self.re.value(), self.im.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sum_is_zero() {
+        assert_eq!(KahanSum::new().value(), 0.0);
+        assert_eq!(KahanComplexSum::new().value(), Complex::ZERO);
+    }
+
+    #[test]
+    fn compensation_beats_naive() {
+        // Summing 1.0 followed by many tiny values: the naive sum loses all
+        // of the tiny contributions, Kahan keeps them.
+        let tiny = 1e-16;
+        let n = 10_000;
+        let mut naive = 1.0_f64;
+        let mut kahan = KahanSum::new();
+        kahan.add(1.0);
+        for _ in 0..n {
+            naive += tiny;
+            kahan.add(tiny);
+        }
+        let exact = 1.0 + tiny * n as f64;
+        assert!((kahan.value() - exact).abs() < (naive - exact).abs());
+        assert!((kahan.value() - exact).abs() < 1e-18);
+    }
+
+    #[test]
+    fn complex_sum_matches_componentwise() {
+        let mut s = KahanComplexSum::new();
+        s.add(Complex::new(1.0, 2.0));
+        s.add(Complex::new(-0.5, 0.25));
+        assert_eq!(s.value(), Complex::new(0.5, 2.25));
+    }
+}

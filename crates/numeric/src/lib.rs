@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! Numeric substrate for the SPL reproduction.
+//!
+//! This crate provides the arithmetic foundation every other crate builds
+//! on: complex numbers, twiddle factors, the stride (`L`) and reversal (`J`)
+//! permutations, compensated summation, slow-but-trusted reference
+//! transforms (DFT, WHT, DCT-II, DCT-IV), error metrics, and the
+//! pseudo-MFLOPS performance metric used throughout the paper's evaluation.
+//!
+//! Everything here is deliberately simple and obviously correct — these
+//! routines are the *oracles* against which the compiler, the VM, and the
+//! FFTW-like baseline are validated.
+//!
+//! # Examples
+//!
+//! ```
+//! use spl_numeric::{Complex, reference};
+//!
+//! let x = vec![Complex::new(1.0, 0.0); 4];
+//! let y = reference::dft(&x);
+//! assert!((y[0].re - 4.0).abs() < 1e-12);
+//! assert!(y[1].norm() < 1e-12);
+//! ```
+
+pub mod complex;
+pub mod kahan;
+pub mod metrics;
+pub mod perm;
+pub mod reference;
+pub mod twiddle;
+
+pub use complex::Complex;
+pub use kahan::KahanSum;
+pub use metrics::{pseudo_mflops, relative_rms_error, relative_rms_error_real};
+pub use twiddle::omega;

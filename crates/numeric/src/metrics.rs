@@ -1,0 +1,151 @@
+//! Performance and accuracy metrics used by the evaluation harness.
+
+use crate::Complex;
+
+/// The paper's "pseudo MFlops" metric: `5 N log₂N / t` with `t` in
+/// microseconds (Section 4.1).
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `t_micros <= 0`.
+pub fn pseudo_mflops(n: usize, t_micros: f64) -> f64 {
+    assert!(n >= 2, "pseudo_mflops: n must be at least 2");
+    assert!(t_micros > 0.0, "pseudo_mflops: time must be positive");
+    5.0 * n as f64 * (n as f64).log2() / t_micros
+}
+
+/// Relative RMS error between a computed vector and a reference:
+/// `‖a − b‖₂ / ‖b‖₂` (the benchfft metric used in Figure 6).
+///
+/// Returns 0 for two zero vectors.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn relative_rms_error(a: &[Complex], b: &[Complex]) -> f64 {
+    assert_eq!(a.len(), b.len(), "relative_rms_error: length mismatch");
+    let num: f64 = a
+        .iter()
+        .zip(b)
+        .map(|(x, y)| (*x - *y).norm_sqr())
+        .sum::<f64>()
+        .sqrt();
+    let den: f64 = b.iter().map(|y| y.norm_sqr()).sum::<f64>().sqrt();
+    if den == 0.0 {
+        num
+    } else {
+        num / den
+    }
+}
+
+/// Relative RMS error for real vectors.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn relative_rms_error_real(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "relative_rms_error_real: length mismatch");
+    let num: f64 = a
+        .iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt();
+    let den: f64 = b.iter().map(|y| y * y).sum::<f64>().sqrt();
+    if den == 0.0 {
+        num
+    } else {
+        num / den
+    }
+}
+
+/// Adaptive timing: calls `f` once to calibrate, then repeats it enough
+/// times to fill at least `min_time`, returning seconds per call.
+///
+/// The shared engine behind the VM-, native-, and baseline-timing paths
+/// (the paper's measured evaluations all use this calibrate-then-repeat
+/// scheme).
+pub fn time_adaptive(min_time: std::time::Duration, mut f: impl FnMut()) -> f64 {
+    use std::time::Instant;
+    let start = Instant::now();
+    f();
+    let once = start.elapsed().as_secs_f64().max(1e-9);
+    let reps = ((min_time.as_secs_f64() / once) as u64).clamp(1, 1_000_000_000);
+    let start = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    start.elapsed().as_secs_f64() / reps as f64
+}
+
+/// Maximum absolute componentwise difference.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn max_abs_error(a: &[Complex], b: &[Complex]) -> f64 {
+    assert_eq!(a.len(), b.len(), "max_abs_error: length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (*x - *y).norm())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pseudo_mflops_formula() {
+        // N = 1024, t = 51.2 us -> 5*1024*10/51.2 = 1000
+        assert!((pseudo_mflops(1024, 51.2) - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_error_for_identical() {
+        let v = vec![Complex::new(1.0, 2.0); 5];
+        assert_eq!(relative_rms_error(&v, &v), 0.0);
+        assert_eq!(max_abs_error(&v, &v), 0.0);
+    }
+
+    #[test]
+    fn known_relative_error() {
+        let a = [Complex::real(1.1)];
+        let b = [Complex::real(1.0)];
+        assert!((relative_rms_error(&a, &b) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn real_variant_matches_complex() {
+        let ar = [1.0, 2.0, 3.0];
+        let br = [1.5, 2.0, 2.5];
+        let ac: Vec<Complex> = ar.iter().map(|&x| Complex::real(x)).collect();
+        let bc: Vec<Complex> = br.iter().map(|&x| Complex::real(x)).collect();
+        assert!(
+            (relative_rms_error_real(&ar, &br) - relative_rms_error(&ac, &bc)).abs() < 1e-15
+        );
+    }
+
+    #[test]
+    fn zero_reference_returns_numerator() {
+        let a = [Complex::real(3.0), Complex::real(4.0)];
+        let b = [Complex::ZERO, Complex::ZERO];
+        assert!((relative_rms_error(&a, &b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_adaptive_returns_positive_seconds() {
+        let mut n = 0u64;
+        let t = time_adaptive(std::time::Duration::from_millis(2), || {
+            n = n.wrapping_add(1);
+        });
+        assert!(t > 0.0);
+        assert!(n >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        relative_rms_error(&[Complex::ZERO], &[]);
+    }
+}

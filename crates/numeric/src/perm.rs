@@ -1,0 +1,161 @@
+//! Index permutations used by the SPL parameterized matrices.
+//!
+//! The central one is the *stride permutation* `L^{rs}_s` (paper
+//! Section 2.1): reading the input at stride `s` gathers the `s`
+//! interleaved subsequences one after another. `J_n` is the index reversal,
+//! used by the DCT breakdown rules.
+
+/// The stride permutation `L^{n}_{s}` as an index map.
+///
+/// `perm[k]` is the *source* index feeding output position `k`, i.e.
+/// `y[k] = x[perm[k]]`. With `n = r·s`, output position `i·r + j`
+/// (for `i ∈ [0,s)`, `j ∈ [0,r)`) reads `x[j·s + i]`.
+///
+/// # Panics
+///
+/// Panics if `s == 0` or `s` does not divide `n`.
+///
+/// # Examples
+///
+/// ```
+/// use spl_numeric::perm::stride_perm;
+/// // L^4_2 gathers the even elements first: (x0, x2, x1, x3).
+/// assert_eq!(stride_perm(4, 2), vec![0, 2, 1, 3]);
+/// ```
+pub fn stride_perm(n: usize, s: usize) -> Vec<usize> {
+    assert!(s > 0 && n.is_multiple_of(s), "stride_perm: s must divide n");
+    let r = n / s;
+    let mut p = vec![0usize; n];
+    for i in 0..s {
+        for j in 0..r {
+            p[i * r + j] = j * s + i;
+        }
+    }
+    p
+}
+
+/// Applies an index-map permutation to a slice: `y[k] = x[perm[k]]`.
+///
+/// # Panics
+///
+/// Panics if `perm.len() != x.len()` or any index is out of bounds.
+pub fn apply_perm<T: Copy>(perm: &[usize], x: &[T]) -> Vec<T> {
+    assert_eq!(perm.len(), x.len());
+    perm.iter().map(|&k| x[k]).collect()
+}
+
+/// The reversal permutation `J_n`: `y[k] = x[n-1-k]`.
+pub fn reversal_perm(n: usize) -> Vec<usize> {
+    (0..n).map(|k| n - 1 - k).collect()
+}
+
+/// Returns `true` if `p` is a permutation of `0..p.len()`.
+pub fn is_permutation(p: &[usize]) -> bool {
+    let n = p.len();
+    let mut seen = vec![false; n];
+    for &k in p {
+        if k >= n || seen[k] {
+            return false;
+        }
+        seen[k] = true;
+    }
+    true
+}
+
+/// The inverse of an index-map permutation.
+///
+/// # Panics
+///
+/// Panics if `p` is not a permutation.
+pub fn invert_perm(p: &[usize]) -> Vec<usize> {
+    assert!(is_permutation(p), "invert_perm: not a permutation");
+    let mut inv = vec![0usize; p.len()];
+    for (i, &k) in p.iter().enumerate() {
+        inv[k] = i;
+    }
+    inv
+}
+
+/// The bit-reversal permutation on `n = 2^k` points.
+///
+/// Not used by the compiler itself (SPL expresses data reordering through
+/// `L` factors) but handy for cross-checking iterative FFT variants.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two.
+pub fn bit_reversal_perm(n: usize) -> Vec<usize> {
+    assert!(n.is_power_of_two(), "bit_reversal_perm: n must be 2^k");
+    let bits = n.trailing_zeros();
+    (0..n)
+        .map(|i| (i as u32).reverse_bits() >> (32 - bits))
+        .map(|i| i as usize)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l4_2_matches_paper() {
+        // The paper's F4 factorization uses L^4_2 x = (x0, x2, x1, x3).
+        assert_eq!(stride_perm(4, 2), vec![0, 2, 1, 3]);
+    }
+
+    #[test]
+    fn l_n_1_and_l_n_n_are_identity() {
+        assert_eq!(stride_perm(6, 1), vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(stride_perm(6, 6), vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn l_is_a_permutation() {
+        for &(n, s) in &[(12, 3), (12, 4), (16, 2), (16, 8), (30, 5)] {
+            assert!(is_permutation(&stride_perm(n, s)));
+        }
+    }
+
+    #[test]
+    fn l_inverse_identity() {
+        // L^{rs}_s inverse is L^{rs}_r.
+        let n = 24;
+        for s in [2, 3, 4, 6, 8, 12] {
+            let r = n / s;
+            let p = stride_perm(n, s);
+            let q = stride_perm(n, r);
+            assert_eq!(invert_perm(&p), q, "s={s}");
+        }
+    }
+
+    #[test]
+    fn apply_perm_gathers() {
+        let x = [10, 20, 30, 40];
+        assert_eq!(apply_perm(&stride_perm(4, 2), &x), vec![10, 30, 20, 40]);
+    }
+
+    #[test]
+    fn reversal_is_involution() {
+        let p = reversal_perm(7);
+        assert_eq!(invert_perm(&p), p);
+    }
+
+    #[test]
+    fn bit_reversal_small() {
+        assert_eq!(bit_reversal_perm(8), vec![0, 4, 2, 6, 1, 5, 3, 7]);
+        assert!(is_permutation(&bit_reversal_perm(32)));
+    }
+
+    #[test]
+    fn non_permutations_rejected() {
+        assert!(!is_permutation(&[0, 0]));
+        assert!(!is_permutation(&[1, 2]));
+        assert!(is_permutation(&[]));
+    }
+
+    #[test]
+    #[should_panic(expected = "s must divide n")]
+    fn bad_stride_panics() {
+        stride_perm(10, 3);
+    }
+}

@@ -1,0 +1,285 @@
+//! Slow, trusted reference transforms.
+//!
+//! These O(n²) (or worse) implementations define the semantics every fast
+//! algorithm in this repository is tested against: the DFT (`F_n`), the
+//! Walsh–Hadamard transform, and the DCT types II and IV exactly as the
+//! paper defines them in Section 2.1.
+
+use crate::kahan::KahanComplexSum;
+use crate::twiddle::omega;
+use crate::Complex;
+
+/// The n-point DFT by definition: `y_p = Σ_q ω_n^{pq} x_q`.
+///
+/// # Panics
+///
+/// Panics if `x` is empty.
+pub fn dft(x: &[Complex]) -> Vec<Complex> {
+    let n = x.len();
+    assert!(n > 0, "dft: empty input");
+    (0..n)
+        .map(|p| {
+            let mut acc = Complex::ZERO;
+            for (q, &xq) in x.iter().enumerate() {
+                acc += omega(n, (p * q) as i64) * xq;
+            }
+            acc
+        })
+        .collect()
+}
+
+/// The n-point DFT with Kahan-compensated accumulation.
+///
+/// Roughly one extra decimal digit of accuracy versus [`dft`]; used as the
+/// ground truth in the Figure 6 accuracy experiment.
+pub fn dft_compensated(x: &[Complex]) -> Vec<Complex> {
+    let n = x.len();
+    assert!(n > 0, "dft_compensated: empty input");
+    (0..n)
+        .map(|p| {
+            let mut acc = KahanComplexSum::new();
+            for (q, &xq) in x.iter().enumerate() {
+                acc.add(omega(n, (p * q) as i64) * xq);
+            }
+            acc.value()
+        })
+        .collect()
+}
+
+/// The inverse n-point DFT: `x_q = (1/n) Σ_p ω_n^{-pq} y_p`.
+pub fn idft(y: &[Complex]) -> Vec<Complex> {
+    let n = y.len();
+    assert!(n > 0, "idft: empty input");
+    let scale = 1.0 / n as f64;
+    (0..n)
+        .map(|q| {
+            let mut acc = Complex::ZERO;
+            for (p, &yp) in y.iter().enumerate() {
+                acc += omega(n, -((p * q) as i64)) * yp;
+            }
+            acc * scale
+        })
+        .collect()
+}
+
+/// The Walsh–Hadamard transform of size `n = 2^k` (natural / Hadamard
+/// ordering), defined recursively by `WHT_2 = F_2` and
+/// `WHT_{2n} = F_2 ⊗ WHT_n`.
+///
+/// # Panics
+///
+/// Panics if `x.len()` is not a power of two.
+pub fn wht(x: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    assert!(n.is_power_of_two(), "wht: length must be 2^k");
+    let mut y = x.to_vec();
+    let mut h = 1;
+    while h < n {
+        for block in y.chunks_mut(2 * h) {
+            for i in 0..h {
+                let a = block[i];
+                let b = block[i + h];
+                block[i] = a + b;
+                block[i + h] = a - b;
+            }
+        }
+        h *= 2;
+    }
+    y
+}
+
+/// The unnormalized DCT-II: `y_k = Σ_j cos(π k (2j+1) / (2n)) x_j`,
+/// with row 0 left unscaled (matrix of plain cosines).
+///
+/// This matches the paper's `DCTII_2 = diag(1, 1/√2) · F_2` base case up to
+/// the diag factor — see [`dct2_matrix_entry`] for the exact entry formula
+/// used here and in the formula-level oracle.
+pub fn dct2(x: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    assert!(n > 0, "dct2: empty input");
+    (0..n)
+        .map(|k| {
+            (0..n)
+                .map(|j| dct2_matrix_entry(n, k, j) * x[j])
+                .sum::<f64>()
+        })
+        .collect()
+}
+
+/// Entry `(k, j)` of the unnormalized DCT-II matrix:
+/// `cos(π k (2j+1) / (2n))`.
+pub fn dct2_matrix_entry(n: usize, k: usize, j: usize) -> f64 {
+    (std::f64::consts::PI * k as f64 * (2 * j + 1) as f64 / (2 * n) as f64).cos()
+}
+
+/// The unnormalized DCT-IV: `y_k = Σ_j cos(π (2k+1)(2j+1) / (4n)) x_j`.
+pub fn dct4(x: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    assert!(n > 0, "dct4: empty input");
+    (0..n)
+        .map(|k| {
+            (0..n)
+                .map(|j| dct4_matrix_entry(n, k, j) * x[j])
+                .sum::<f64>()
+        })
+        .collect()
+}
+
+/// Entry `(k, j)` of the unnormalized DCT-IV matrix:
+/// `cos(π (2k+1)(2j+1) / (4n))`.
+pub fn dct4_matrix_entry(n: usize, k: usize, j: usize) -> f64 {
+    (std::f64::consts::PI * (2 * k + 1) as f64 * (2 * j + 1) as f64 / (4 * n) as f64).cos()
+}
+
+/// Circular convolution by definition:
+/// `y_k = Σ_j h_j · x_{(k-j) mod n}`.
+///
+/// # Panics
+///
+/// Panics if the lengths differ or are zero.
+pub fn circular_convolution(h: &[Complex], x: &[Complex]) -> Vec<Complex> {
+    let n = x.len();
+    assert!(n > 0 && h.len() == n, "circular_convolution: length mismatch");
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::ZERO;
+            for (j, &hj) in h.iter().enumerate() {
+                acc += hj * x[(k + n - j) % n];
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!(x.approx_eq(*y, tol), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn dft_of_impulse_is_flat() {
+        let mut x = vec![Complex::ZERO; 8];
+        x[0] = Complex::ONE;
+        let y = dft(&x);
+        for v in y {
+            assert!(v.approx_eq(Complex::ONE, 1e-14));
+        }
+    }
+
+    #[test]
+    fn dft_of_constant_is_impulse() {
+        let x = vec![Complex::ONE; 8];
+        let y = dft(&x);
+        assert!(y[0].approx_eq(Complex::real(8.0), 1e-13));
+        for v in &y[1..] {
+            assert!(v.approx_eq(Complex::ZERO, 1e-13));
+        }
+    }
+
+    #[test]
+    fn dft4_matches_paper_matrix() {
+        // F4 rows: [1 1 1 1; 1 -i -1 i; 1 -1 1 -1; 1 i -1 -i]
+        let x = [
+            Complex::real(1.0),
+            Complex::real(2.0),
+            Complex::real(3.0),
+            Complex::real(4.0),
+        ];
+        let y = dft(&x);
+        assert!(y[0].approx_eq(Complex::new(10.0, 0.0), 1e-13));
+        assert!(y[1].approx_eq(Complex::new(-2.0, 2.0), 1e-13));
+        assert!(y[2].approx_eq(Complex::new(-2.0, 0.0), 1e-13));
+        assert!(y[3].approx_eq(Complex::new(-2.0, -2.0), 1e-13));
+    }
+
+    #[test]
+    fn idft_round_trip() {
+        let x: Vec<Complex> = (0..16)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64).cos()))
+            .collect();
+        assert_close(&idft(&dft(&x)), &x, 1e-12);
+    }
+
+    #[test]
+    fn compensated_agrees_with_plain() {
+        let x: Vec<Complex> = (0..32)
+            .map(|i| Complex::new(1.0 / (i + 1) as f64, (i as f64).sqrt()))
+            .collect();
+        assert_close(&dft(&x), &dft_compensated(&x), 1e-10);
+    }
+
+    #[test]
+    fn wht2_is_f2() {
+        assert_eq!(wht(&[3.0, 5.0]), vec![8.0, -2.0]);
+    }
+
+    #[test]
+    fn wht_is_involution_up_to_n() {
+        let x: Vec<f64> = (0..16).map(|i| (i as f64) * 0.5 - 3.0).collect();
+        let twice = wht(&wht(&x));
+        for (a, b) in twice.iter().zip(&x) {
+            assert!((a - b * 16.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn convolution_with_delta_is_identity() {
+        let mut h = vec![Complex::ZERO; 6];
+        h[0] = Complex::ONE;
+        let x: Vec<Complex> = (0..6).map(|i| Complex::real(i as f64)).collect();
+        let y = circular_convolution(&h, &x);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn convolution_theorem_holds() {
+        // DFT(h ⊛ x) = DFT(h) · DFT(x) pointwise.
+        let h: Vec<Complex> = (0..8).map(|i| Complex::new((i as f64).sin(), 0.1)).collect();
+        let x: Vec<Complex> = (0..8).map(|i| Complex::new(0.3, (i as f64).cos())).collect();
+        let lhs = dft(&circular_convolution(&h, &x));
+        let hf = dft(&h);
+        let xf = dft(&x);
+        for (l, (a, b)) in lhs.iter().zip(hf.iter().zip(&xf)) {
+            assert!(l.approx_eq(*a * *b, 1e-11));
+        }
+    }
+
+    #[test]
+    fn dct2_of_constant() {
+        // Row k>0 of the DCT-II matrix sums to zero; row 0 sums to n.
+        let y = dct2(&[1.0; 8]);
+        assert!((y[0] - 8.0).abs() < 1e-13);
+        for v in &y[1..] {
+            assert!(v.abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn dct2_base_case_is_scaled_f2() {
+        // DCTII_2 = diag(1, 1/sqrt 2) F_2 (paper Section 2.1).
+        let x = [2.0, 5.0];
+        let y = dct2(&x);
+        assert!((y[0] - 7.0).abs() < 1e-14);
+        assert!((y[1] - (2.0 - 5.0) / 2.0_f64.sqrt()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn dct4_rows_orthogonal() {
+        let n = 8;
+        for k1 in 0..n {
+            for k2 in 0..n {
+                let dot: f64 = (0..n)
+                    .map(|j| dct4_matrix_entry(n, k1, j) * dct4_matrix_entry(n, k2, j))
+                    .sum();
+                let expect = if k1 == k2 { n as f64 / 2.0 } else { 0.0 };
+                assert!((dot - expect).abs() < 1e-12, "rows {k1},{k2}");
+            }
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Twiddle factors (roots of unity).
+//!
+//! The paper defines `W(n, k)` as the intrinsic returning `ω_n^k` with
+//! `ω_n = e^{-2πi/n}` (the DFT convention with a negative exponent).
+//! The SPL compiler evaluates every `W` invocation at compile time
+//! (Section 3.3.2), so these routines are the reference the generated code
+//! is constant-folded against.
+
+use crate::Complex;
+
+/// `ω_n^k = e^{-2πik/n}`, the twiddle intrinsic `W(n, k)` of the paper.
+///
+/// `k` may be any integer (including negative); the result is periodic in
+/// `k` with period `n`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use spl_numeric::{omega, Complex};
+/// assert!(omega(4, 1).approx_eq(Complex::new(0.0, -1.0), 1e-15));
+/// assert!(omega(4, 2).approx_eq(Complex::new(-1.0, 0.0), 1e-15));
+/// ```
+pub fn omega(n: usize, k: i64) -> Complex {
+    assert!(n > 0, "omega: n must be positive");
+    let k = k.rem_euclid(n as i64) as usize;
+    // Exact values at the quadrant points keep the generated straight-line
+    // code free of spurious ±1e-17 constants, which matters for the
+    // compiler's special-casing of multiplications by 0, ±1, ±i.
+    if (4 * k).is_multiple_of(n) {
+        return match 4 * k / n {
+            0 => Complex::ONE,
+            1 => Complex::new(0.0, -1.0),
+            2 => Complex::new(-1.0, 0.0),
+            3 => Complex::new(0.0, 1.0),
+            _ => unreachable!(),
+        };
+    }
+    let theta = -2.0 * std::f64::consts::PI * (k as f64) / (n as f64);
+    Complex::from_polar(1.0, theta)
+}
+
+/// A precomputed table of `ω_n^0 .. ω_n^{n-1}`.
+///
+/// Used by the FFTW-like baseline and by tests; the SPL compiler builds its
+/// own tables during intrinsic evaluation.
+pub fn omega_table(n: usize) -> Vec<Complex> {
+    (0..n as i64).map(|k| omega(n, k)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadrants_are_exact() {
+        assert_eq!(omega(4, 0), Complex::ONE);
+        assert_eq!(omega(4, 1), Complex::new(0.0, -1.0));
+        assert_eq!(omega(4, 2), Complex::new(-1.0, 0.0));
+        assert_eq!(omega(4, 3), Complex::new(0.0, 1.0));
+        assert_eq!(omega(8, 2), Complex::new(0.0, -1.0));
+        assert_eq!(omega(2, 1), Complex::new(-1.0, 0.0));
+        assert_eq!(omega(1, 0), Complex::ONE);
+    }
+
+    #[test]
+    fn periodicity() {
+        for k in -10..10 {
+            assert!(omega(6, k).approx_eq(omega(6, k + 6), 1e-15));
+        }
+    }
+
+    #[test]
+    fn unit_modulus() {
+        for k in 0..16 {
+            assert!((omega(16, k).norm() - 1.0).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn group_property() {
+        // ω^a · ω^b = ω^{a+b}
+        for a in 0..8 {
+            for b in 0..8 {
+                let lhs = omega(8, a) * omega(8, b);
+                assert!(lhs.approx_eq(omega(8, a + b), 1e-14));
+            }
+        }
+    }
+
+    #[test]
+    fn table_matches_pointwise() {
+        let t = omega_table(12);
+        assert_eq!(t.len(), 12);
+        for (k, &w) in t.iter().enumerate() {
+            assert!(w.approx_eq(omega(12, k as i64), 0.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "n must be positive")]
+    fn zero_n_panics() {
+        omega(0, 1);
+    }
+}

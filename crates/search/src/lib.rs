@@ -1,0 +1,650 @@
+#![warn(missing_docs)]
+
+//! The search engine (the SPIRAL component that picks implementations).
+//!
+//! Reproduces the strategy of paper Section 4:
+//!
+//! * **Small sizes (2…64)** — dynamic programming over all factorizations
+//!   of Equation 10, compiled to straight-line code (full unrolling) and
+//!   timed; the fastest formula per size is kept ([`small_search`]).
+//! * **Large sizes (2⁷…2²⁰)** — dynamic programming over binary,
+//!   right-most Cooley–Tukey splits `F_n = (F_r ⊗ I_s) T (I_r ⊗ F_s) L`
+//!   with `r ≤ 64` taken from the small-size winners; a *k-best* variant
+//!   keeps the three best plans per size because "the best formula for
+//!   one size is not necessarily also the best sub-formula for a larger
+//!   size" ([`large_search`]).
+//!
+//! Costs come from an [`Evaluator`]: [`NativeEvaluator`] compiles the
+//! generated C with the host compiler and times real machine code (the
+//! paper's methodology); [`MeasuredEvaluator`] times the portable VM
+//! instead; [`OpCountEvaluator`] is a deterministic operation-count model
+//! used in tests and for "FFTW estimate"-style comparisons.
+//!
+//! # Examples
+//!
+//! ```
+//! use spl_search::{small_search, OpCountEvaluator, SearchConfig};
+//!
+//! let mut eval = OpCountEvaluator::default();
+//! let best = small_search(4, &SearchConfig::default(), &mut eval).unwrap();
+//! assert_eq!(best.len(), 4); // sizes 2, 4, 8, 16
+//! assert_eq!(best[2].tree.size(), 8);
+//! ```
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::time::Duration;
+
+use spl_compiler::{Compiler, CompilerOptions, OptLevel};
+use spl_generator::fft::{rightmost_splits, FftTree, Rule};
+use spl_vm::{lower, measure, VmProgram};
+
+/// A search failure (compilation of a candidate failed, etc.).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchError(pub String);
+
+impl fmt::Display for SearchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "search: {}", self.0)
+    }
+}
+
+impl Error for SearchError {}
+
+/// Search-wide configuration.
+#[derive(Debug, Clone)]
+pub struct SearchConfig {
+    /// Breakdown rule used for splits.
+    pub rule: Rule,
+    /// Largest leaf transform (the paper uses 64).
+    pub leaf_max: usize,
+    /// How many best plans to keep per size in the large-size DP
+    /// (the paper keeps 3).
+    pub keep: usize,
+    /// `-B` threshold handed to the compiler (sub-formulas up to this
+    /// input size are fully unrolled).
+    pub unroll_threshold: usize,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            rule: Rule::CooleyTukey,
+            leaf_max: 64,
+            keep: 3,
+            unroll_threshold: 64,
+        }
+    }
+}
+
+/// Compiles a factorization tree the way the paper's experiments do:
+/// complex data, real code, leaves unrolled up to the threshold, default
+/// optimizations — and lowers it to an executable VM program.
+///
+/// # Errors
+///
+/// Propagates compiler and lowering failures.
+pub fn compile_tree(tree: &FftTree, unroll_threshold: usize) -> Result<VmProgram, SearchError> {
+    let unit = compile_sexp_for_search(
+        &tree.to_sexp(),
+        unroll_threshold,
+        spl_frontend::ast::DataType::Complex,
+    )
+    .map_err(|e| SearchError(format!("compiling {}: {e}", tree.describe())))?;
+    lower(&unit.program).map_err(|e| SearchError(e.to_string()))
+}
+
+/// Shared compile plumbing for every evaluator: the paper's experimental
+/// configuration (real code, default optimizations, leaves unrolled up to
+/// the threshold) over the given data type.
+fn compile_sexp_for_search(
+    sexp: &spl_frontend::Sexp,
+    unroll_threshold: usize,
+    datatype: spl_frontend::ast::DataType,
+) -> Result<spl_compiler::CompiledUnit, SearchError> {
+    let mut compiler = Compiler::with_options(CompilerOptions {
+        unroll_threshold: Some(unroll_threshold),
+        opt_level: OptLevel::Default,
+        ..Default::default()
+    });
+    let directives = spl_frontend::ast::DirectiveState {
+        datatype,
+        codetype: spl_frontend::ast::DataType::Real,
+        ..Default::default()
+    };
+    compiler
+        .compile_sexp(sexp, &directives)
+        .map_err(|e| SearchError(e.to_string()))
+}
+
+/// A cost oracle for candidate trees. Lower is better.
+pub trait Evaluator {
+    /// The cost of a candidate (seconds for measured evaluators,
+    /// operation counts for model evaluators).
+    ///
+    /// # Errors
+    ///
+    /// May fail when a candidate cannot be compiled.
+    fn cost(&mut self, tree: &FftTree) -> Result<f64, SearchError>;
+}
+
+/// Times each candidate on the VM (the paper's measured search).
+#[derive(Debug)]
+pub struct MeasuredEvaluator {
+    /// Unroll threshold used when compiling candidates.
+    pub unroll_threshold: usize,
+    /// Minimum total measurement time per candidate.
+    pub min_time: Duration,
+    cache: HashMap<String, f64>,
+}
+
+impl MeasuredEvaluator {
+    /// A measured evaluator with the paper's defaults.
+    pub fn new(unroll_threshold: usize, min_time: Duration) -> Self {
+        MeasuredEvaluator {
+            unroll_threshold,
+            min_time,
+            cache: HashMap::new(),
+        }
+    }
+}
+
+impl Evaluator for MeasuredEvaluator {
+    fn cost(&mut self, tree: &FftTree) -> Result<f64, SearchError> {
+        let key = tree.describe();
+        if let Some(&c) = self.cache.get(&key) {
+            return Ok(c);
+        }
+        let vm = compile_tree(tree, self.unroll_threshold)?;
+        let m = measure(&vm, self.min_time);
+        self.cache.insert(key, m.secs_per_call);
+        Ok(m.secs_per_call)
+    }
+}
+
+/// Compiles each candidate's generated C with the host compiler and
+/// times the native code — the paper's actual methodology (`spl-native`).
+#[derive(Debug)]
+pub struct NativeEvaluator {
+    /// Unroll threshold used when compiling candidates.
+    pub unroll_threshold: usize,
+    /// Minimum total measurement time per candidate.
+    pub min_time: Duration,
+    cache: HashMap<String, f64>,
+}
+
+impl NativeEvaluator {
+    /// A native evaluator with the given measurement budget.
+    pub fn new(unroll_threshold: usize, min_time: Duration) -> Self {
+        NativeEvaluator {
+            unroll_threshold,
+            min_time,
+            cache: HashMap::new(),
+        }
+    }
+}
+
+impl Evaluator for NativeEvaluator {
+    fn cost(&mut self, tree: &FftTree) -> Result<f64, SearchError> {
+        let key = tree.describe();
+        if let Some(&c) = self.cache.get(&key) {
+            return Ok(c);
+        }
+        let kernel = compile_tree_native(tree, self.unroll_threshold)?;
+        let t = kernel.measure(self.min_time);
+        self.cache.insert(key, t);
+        Ok(t)
+    }
+}
+
+/// Compiles a factorization tree to a natively executable kernel
+/// (paper-style: generated C through the host compiler).
+///
+/// # Errors
+///
+/// Propagates compiler, `cc`, and loading failures.
+pub fn compile_tree_native(
+    tree: &FftTree,
+    unroll_threshold: usize,
+) -> Result<spl_native::NativeKernel, SearchError> {
+    let unit = compile_sexp_for_search(
+        &tree.to_sexp(),
+        unroll_threshold,
+        spl_frontend::ast::DataType::Complex,
+    )
+    .map_err(|e| SearchError(format!("compiling {}: {e}", tree.describe())))?;
+    spl_native::NativeKernel::compile(&unit).map_err(|e| SearchError(e.to_string()))
+}
+
+/// Deterministic model: compiles the candidate and counts the dynamic
+/// floating-point operations plus a small per-loop overhead charge. Used
+/// by tests and as the "estimate" mode analogue.
+#[derive(Debug, Default)]
+pub struct OpCountEvaluator {
+    cache: HashMap<String, f64>,
+}
+
+impl Evaluator for OpCountEvaluator {
+    fn cost(&mut self, tree: &FftTree) -> Result<f64, SearchError> {
+        let key = tree.describe();
+        if let Some(&c) = self.cache.get(&key) {
+            return Ok(c);
+        }
+        let unit = compile_sexp_for_search(
+            &tree.to_sexp(),
+            64,
+            spl_frontend::ast::DataType::Complex,
+        )?;
+        let cost = unit.program.dynamic_op_count() as f64;
+        self.cache.insert(key, cost);
+        Ok(cost)
+    }
+}
+
+/// The winner for one transform size.
+#[derive(Debug, Clone)]
+pub struct SizeResult {
+    /// The winning factorization.
+    pub tree: FftTree,
+    /// Its cost under the evaluator.
+    pub cost: f64,
+}
+
+/// Dynamic programming over all Equation-10 factorizations for sizes
+/// `2^1 … 2^max_k` (the paper's small-size search). Returns one winner
+/// per size, smallest first.
+///
+/// # Errors
+///
+/// Propagates evaluator failures.
+pub fn small_search(
+    max_k: u32,
+    config: &SearchConfig,
+    eval: &mut dyn Evaluator,
+) -> Result<Vec<SizeResult>, SearchError> {
+    let mut best: Vec<SizeResult> = Vec::new();
+    for k in 1..=max_k {
+        let mut candidates = vec![FftTree::leaf(1usize << k)];
+        for i in 1..k {
+            let left = best[i as usize - 1].tree.clone();
+            let right = best[(k - i) as usize - 1].tree.clone();
+            candidates.push(FftTree::node(config.rule, left, right));
+        }
+        let mut winner: Option<SizeResult> = None;
+        for tree in candidates {
+            let cost = eval.cost(&tree)?;
+            if winner.as_ref().is_none_or(|w| cost < w.cost) {
+                winner = Some(SizeResult { tree, cost });
+            }
+        }
+        best.push(winner.expect("at least one candidate per size"));
+    }
+    Ok(best)
+}
+
+/// One retained plan in the large-size k-best DP.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// The factorization tree.
+    pub tree: FftTree,
+    /// Measured (or modeled) cost.
+    pub cost: f64,
+}
+
+/// The k-best dynamic program for large sizes `2^(small_max_k+1) …
+/// 2^max_log` (the paper's Section 4.2). `small` must hold the small-size
+/// winners from [`small_search`]; splits are binary, right-most, with the
+/// left factor a small-size winner (≤ `config.leaf_max`).
+///
+/// Returns, for each size `2^k` with `k` in
+/// `small_max_k+1 ..= max_log`, the retained plans sorted best-first.
+///
+/// # Errors
+///
+/// Propagates evaluator failures.
+///
+/// # Panics
+///
+/// Panics if `small` does not cover sizes up to `config.leaf_max`.
+pub fn large_search(
+    small: &[SizeResult],
+    max_log: u32,
+    config: &SearchConfig,
+    eval: &mut dyn Evaluator,
+) -> Result<Vec<Vec<Plan>>, SearchError> {
+    let small_max_k = small.len() as u32;
+    assert!(
+        (1usize << small_max_k) >= config.leaf_max,
+        "small results must cover the leaf sizes"
+    );
+    // kbest[k] holds plans for size 2^k; seeded from the small winners.
+    let mut kbest: HashMap<u32, Vec<Plan>> = HashMap::new();
+    for (i, r) in small.iter().enumerate() {
+        kbest.insert(
+            i as u32 + 1,
+            vec![Plan {
+                tree: r.tree.clone(),
+                cost: r.cost,
+            }],
+        );
+    }
+    let mut out = Vec::new();
+    for k in (small_max_k + 1)..=max_log {
+        let n = 1usize << k;
+        let mut plans: Vec<Plan> = Vec::new();
+        for (r, s) in rightmost_splits(n, config.leaf_max) {
+            if !r.is_power_of_two() {
+                continue;
+            }
+            let rk = r.trailing_zeros();
+            let sk = s.trailing_zeros();
+            let Some(left_plans) = kbest.get(&rk) else {
+                continue;
+            };
+            let Some(right_plans) = kbest.get(&sk) else {
+                continue;
+            };
+            let left = left_plans[0].tree.clone();
+            for right in right_plans {
+                let tree = FftTree::node(config.rule, left.clone(), right.tree.clone());
+                let cost = eval.cost(&tree)?;
+                plans.push(Plan { tree, cost });
+            }
+        }
+        plans.sort_by(|a, b| a.cost.total_cmp(&b.cost));
+        plans.truncate(config.keep);
+        if plans.is_empty() {
+            return Err(SearchError(format!("no candidates for size {n}")));
+        }
+        kbest.insert(k, plans.clone());
+        out.push(plans);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spl_numeric::{reference, Complex};
+    use spl_vm::VmState;
+
+    fn check_tree_is_fft(tree: &FftTree) {
+        let n = tree.size();
+        let vm = compile_tree(tree, 64).unwrap();
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.5).cos()))
+            .collect();
+        let flat = spl_vm::convert::interleave(&x);
+        let mut y = vec![0.0; vm.n_out];
+        let mut st = VmState::new(&vm);
+        vm.run(&flat, &mut y, &mut st);
+        let got = spl_vm::convert::deinterleave(&y);
+        let want = reference::dft(&x);
+        for (a, b) in got.iter().zip(&want) {
+            assert!(a.approx_eq(*b, 1e-9 * n as f64), "size {n}");
+        }
+    }
+
+    #[test]
+    fn small_search_returns_correct_ffts() {
+        let mut eval = OpCountEvaluator::default();
+        let best = small_search(5, &SearchConfig::default(), &mut eval).unwrap();
+        assert_eq!(best.len(), 5);
+        for (k, r) in best.iter().enumerate() {
+            assert_eq!(r.tree.size(), 1 << (k + 1));
+            check_tree_is_fft(&r.tree);
+        }
+    }
+
+    #[test]
+    fn small_search_prefers_fast_algorithms() {
+        // For size 32 the naive leaf costs O(n^2); any split wins.
+        let mut eval = OpCountEvaluator::default();
+        let best = small_search(5, &SearchConfig::default(), &mut eval).unwrap();
+        assert!(matches!(best[4].tree, FftTree::Node { .. }));
+        // O(n log n)-ish op count.
+        assert!(best[4].cost < 3_000.0, "cost {}", best[4].cost);
+    }
+
+    #[test]
+    fn large_search_builds_correct_plans() {
+        let config = SearchConfig {
+            leaf_max: 8,
+            ..Default::default()
+        };
+        let mut eval = OpCountEvaluator::default();
+        let small = small_search(3, &config, &mut eval).unwrap();
+        let large = large_search(&small, 6, &config, &mut eval).unwrap();
+        assert_eq!(large.len(), 3); // sizes 16, 32, 64
+        for (i, plans) in large.iter().enumerate() {
+            assert!(!plans.is_empty() && plans.len() <= config.keep);
+            for p in plans {
+                assert_eq!(p.tree.size(), 1 << (i + 4));
+            }
+            // Plans are sorted best-first.
+            for w in plans.windows(2) {
+                assert!(w[0].cost <= w[1].cost);
+            }
+            check_tree_is_fft(&plans[0].tree);
+        }
+    }
+
+    #[test]
+    fn large_search_is_rightmost() {
+        // The left child of every large plan is a small-size winner
+        // (cannot itself be a fresh split of a large size).
+        let config = SearchConfig {
+            leaf_max: 8,
+            ..Default::default()
+        };
+        let mut eval = OpCountEvaluator::default();
+        let small = small_search(3, &config, &mut eval).unwrap();
+        let large = large_search(&small, 7, &config, &mut eval).unwrap();
+        for plans in &large {
+            for p in plans {
+                if let FftTree::Node { left, .. } = &p.tree {
+                    assert!(left.size() <= config.leaf_max);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn measured_evaluator_runs() {
+        let mut eval = MeasuredEvaluator::new(64, Duration::from_millis(2));
+        let t = FftTree::node(Rule::CooleyTukey, FftTree::leaf(2), FftTree::leaf(2));
+        let c1 = eval.cost(&t).unwrap();
+        assert!(c1 > 0.0);
+        // Cache hit returns the identical value.
+        let c2 = eval.cost(&t).unwrap();
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn native_evaluator_agrees_with_vm_on_ordering() {
+        // Both evaluators must agree that a split beats the naive leaf
+        // at size 32.
+        let leaf = FftTree::leaf(32);
+        let split = FftTree::node(
+            Rule::CooleyTukey,
+            FftTree::node(Rule::CooleyTukey, FftTree::leaf(2), FftTree::leaf(2)),
+            FftTree::node(Rule::CooleyTukey, FftTree::leaf(2), FftTree::leaf(4)),
+        );
+        let mut native = NativeEvaluator::new(64, Duration::from_millis(3));
+        assert!(native.cost(&split).unwrap() < native.cost(&leaf).unwrap());
+    }
+
+    #[test]
+    fn wisdom_round_trips() {
+        let mut eval = OpCountEvaluator::default();
+        let best = small_search(5, &SearchConfig::default(), &mut eval).unwrap();
+        let text = wisdom_to_string(&best);
+        let back = wisdom_from_string(&text).unwrap();
+        assert_eq!(back.len(), best.len());
+        for (a, b) in back.iter().zip(&best) {
+            assert_eq!(a.tree, b.tree);
+        }
+        // Comments and blanks are tolerated.
+        let with_comments = format!("# saved plans
+
+{text}");
+        assert_eq!(wisdom_from_string(&with_comments).unwrap().len(), best.len());
+    }
+
+    #[test]
+    fn wisdom_rejects_inconsistent_lines() {
+        assert!(wisdom_from_string("16: (ct 2 2)").is_err()); // size mismatch
+        assert!(wisdom_from_string("nonsense").is_err());
+        assert!(wisdom_from_string("8: (zz 2 4)").is_err());
+    }
+
+    #[test]
+    fn wht_search_returns_correct_transforms() {
+        let best = wht_search(4, 3, 64, Duration::from_millis(2)).unwrap();
+        assert_eq!(best.len(), 4);
+        for (k, (tree, _)) in best.iter().enumerate() {
+            assert_eq!(tree.exponent(), k as u32 + 1);
+            // Verify against the reference WHT through the dense oracle.
+            let n = tree.size();
+            let xr: Vec<f64> = (0..n).map(|i| (i as f64) - 2.0).collect();
+            let x: Vec<spl_numeric::Complex> =
+                xr.iter().map(|&v| spl_numeric::Complex::real(v)).collect();
+            let y = spl_formula::dense::apply(&tree.to_formula(), &x).unwrap();
+            let want = reference::wht(&xr);
+            for (a, b) in y.iter().zip(&want) {
+                assert!((a.re - b).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn kbest_keeps_at_most_k() {
+        let config = SearchConfig {
+            leaf_max: 16,
+            keep: 2,
+            ..Default::default()
+        };
+        let mut eval = OpCountEvaluator::default();
+        let small = small_search(4, &config, &mut eval).unwrap();
+        let large = large_search(&small, 8, &config, &mut eval).unwrap();
+        for plans in &large {
+            assert!(plans.len() <= 2);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// WHT search (generality beyond the FFT)
+// ---------------------------------------------------------------------
+
+/// A WHT cost oracle (mirrors [`Evaluator`] for Walsh–Hadamard trees).
+///
+/// The related-work section of the paper points at the WHT package of
+/// Johnson and Püschel, which searches a space of WHT formulas the same
+/// way; this function reproduces that search with the SPL toolchain:
+/// dynamic programming over binary splits of `WHT_{2^k}` with direct
+/// (tensor-power) leaves admitted up to `max_leaf_exp`.
+///
+/// Returns the winner per exponent `1..=max_k`.
+///
+/// # Errors
+///
+/// Propagates compilation failures from the evaluator.
+pub fn wht_search(
+    max_k: u32,
+    max_leaf_exp: u32,
+    unroll_threshold: usize,
+    min_time: Duration,
+) -> Result<Vec<(spl_generator::wht::WhtTree, f64)>, SearchError> {
+    use spl_generator::wht::WhtTree;
+    let mut cache: HashMap<String, f64> = HashMap::new();
+    let mut cost = |tree: &WhtTree| -> Result<f64, SearchError> {
+        let key = format!("{tree:?}");
+        if let Some(&c) = cache.get(&key) {
+            return Ok(c);
+        }
+        let unit = compile_sexp_for_search(
+            &tree.to_sexp(),
+            unroll_threshold,
+            spl_frontend::ast::DataType::Real,
+        )?;
+        let vm = lower(&unit.program).map_err(|e| SearchError(e.to_string()))?;
+        let t = measure(&vm, min_time).secs_per_call;
+        cache.insert(key, t);
+        Ok(t)
+    };
+    let mut best: Vec<(WhtTree, f64)> = Vec::new();
+    for k in 1..=max_k {
+        let mut candidates = Vec::new();
+        if k <= max_leaf_exp {
+            candidates.push(WhtTree::leaf(k));
+        }
+        for i in 1..k {
+            candidates.push(WhtTree::split(vec![
+                best[i as usize - 1].0.clone(),
+                best[(k - i) as usize - 1].0.clone(),
+            ]));
+        }
+        let mut winner: Option<(WhtTree, f64)> = None;
+        for tree in candidates {
+            let c = cost(&tree)?;
+            if winner.as_ref().is_none_or(|(_, w)| c < *w) {
+                winner = Some((tree, c));
+            }
+        }
+        best.push(winner.expect("at least one candidate"));
+    }
+    Ok(best)
+}
+
+// ---------------------------------------------------------------------
+// Wisdom (plan persistence)
+// ---------------------------------------------------------------------
+
+/// Serializes search winners to "wisdom" text — one `size: spec` line per
+/// entry — so a later session can reuse plans without re-searching
+/// (FFTW's save-a-plan workflow, paper Section 4.2).
+pub fn wisdom_to_string(results: &[SizeResult]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for r in results {
+        let _ = writeln!(out, "{}: {}", r.tree.size(), r.tree.to_spec());
+    }
+    out
+}
+
+/// Parses wisdom text back into trees (costs are not stored; entries come
+/// back with cost 0 and can be re-measured if needed).
+///
+/// # Errors
+///
+/// Fails on malformed lines, bad specs, or a spec whose size disagrees
+/// with its label.
+pub fn wisdom_from_string(text: &str) -> Result<Vec<SizeResult>, SearchError> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (size, spec) = line
+            .split_once(':')
+            .ok_or_else(|| SearchError(format!("wisdom line {}: missing ':'", lineno + 1)))?;
+        let size: usize = size
+            .trim()
+            .parse()
+            .map_err(|_| SearchError(format!("wisdom line {}: bad size", lineno + 1)))?;
+        let tree = FftTree::from_spec(spec.trim())
+            .map_err(|e| SearchError(format!("wisdom line {}: {e}", lineno + 1)))?;
+        if tree.size() != size {
+            return Err(SearchError(format!(
+                "wisdom line {}: spec computes {} points, labelled {size}",
+                lineno + 1,
+                tree.size()
+            )));
+        }
+        out.push(SizeResult { tree, cost: 0.0 });
+    }
+    Ok(out)
+}

@@ -1,0 +1,50 @@
+//! Complex ↔ interleaved-real conversions for VM I/O.
+//!
+//! Real-typed generated code represents each complex point as two adjacent
+//! `f64` words (paper Section 3.3.3); these helpers move between that
+//! layout and [`Complex`] slices.
+
+use spl_numeric::Complex;
+
+/// `[z0, z1, ...]` → `[re0, im0, re1, im1, ...]`.
+pub fn interleave(x: &[Complex]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(x.len() * 2);
+    for z in x {
+        out.push(z.re);
+        out.push(z.im);
+    }
+    out
+}
+
+/// `[re0, im0, re1, im1, ...]` → `[z0, z1, ...]`.
+///
+/// # Panics
+///
+/// Panics if the length is odd.
+pub fn deinterleave(x: &[f64]) -> Vec<Complex> {
+    assert!(x.len().is_multiple_of(2), "deinterleave: odd length");
+    x.chunks(2).map(|p| Complex::new(p[0], p[1])).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let x = vec![Complex::new(1.0, 2.0), Complex::new(-0.5, 0.25)];
+        assert_eq!(deinterleave(&interleave(&x)), x);
+    }
+
+    #[test]
+    fn layout_is_re_im() {
+        let flat = interleave(&[Complex::new(3.0, 4.0)]);
+        assert_eq!(flat, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd length")]
+    fn odd_length_panics() {
+        deinterleave(&[1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! Execution engine for compiled SPL programs.
+//!
+//! The paper evaluates SPL by compiling the generated Fortran with the
+//! platform compiler and timing it on SPARC/MIPS/Pentium hardware. This
+//! reproduction substitutes a compact register VM: the *optimized i-code*
+//! (real-typed, post type-transformation) is lowered to a flat operation
+//! array over `f64` storage and executed directly. Operation count,
+//! operation order, loop structure, and memory-access pattern are exactly
+//! those of the emitted Fortran/C, so relative performance between
+//! formulas — which is what the paper's experiments compare — is
+//! preserved (see DESIGN.md, substitution 1).
+//!
+//! # Examples
+//!
+//! ```
+//! use spl_compiler::Compiler;
+//! use spl_vm::{lower, VmState};
+//! use spl_numeric::Complex;
+//!
+//! let mut c = Compiler::new();
+//! let unit = c.compile_formula_str("(F 2)").unwrap();
+//! let vm = lower(&unit.program).unwrap();
+//! let mut state = VmState::new(&vm);
+//! let x = [1.0, 0.0, 2.0, 0.0]; // (1+0i, 2+0i) interleaved
+//! let mut y = [0.0; 4];
+//! vm.run(&x, &mut y, &mut state);
+//! assert_eq!(y, [3.0, 0.0, -1.0, 0.0]);
+//! # let _ = Complex::ZERO;
+//! ```
+
+pub mod convert;
+pub mod program;
+pub mod timer;
+
+pub use program::{lower, VmError, VmProgram, VmState};
+pub use timer::{measure, measure_with_reps, Measurement};

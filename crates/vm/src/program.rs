@@ -1,0 +1,673 @@
+//! Lowering real-typed i-code to a flat VM program, and its executor.
+
+use std::error::Error;
+use std::fmt;
+
+use spl_icode::{Affine, BinOp, IProgram, Instr, Place, UnOp, Value, VecKind, VecRef};
+
+/// A lowering or execution error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VmError(pub String);
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vm: {}", self.0)
+    }
+}
+
+impl Error for VmError {}
+
+/// A runtime address: `base + Σ coeff·loop[slot]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Addr {
+    base: i64,
+    terms: Vec<(i64, u32)>,
+}
+
+impl Addr {
+    fn from_affine(a: &Affine) -> Addr {
+        Addr {
+            base: a.c,
+            terms: a.terms.iter().map(|&(c, lv)| (c, lv.0)).collect(),
+        }
+    }
+
+    #[inline]
+    fn eval(&self, loops: &[i64]) -> usize {
+        let mut v = self.base;
+        for &(c, slot) in &self.terms {
+            v += c * loops[slot as usize];
+        }
+        debug_assert!(v >= 0);
+        v as usize
+    }
+}
+
+/// A floating-point source operand.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Src {
+    /// Input vector element.
+    In(Addr),
+    /// Output vector element (accumulations read back the output).
+    Out(Addr),
+    /// Temporary arena element (address already includes the temp's
+    /// arena offset).
+    Temp(Addr),
+    /// Constant-table element (address includes the table's offset).
+    Table(Addr),
+    /// An `$f` register.
+    F(u32),
+    /// An immediate.
+    Const(f64),
+    /// An `$r` register read as a float (unoptimized code only).
+    RF(u32),
+    /// A loop variable read as a float (unoptimized code only).
+    LoopF(u32),
+}
+
+/// A floating-point destination.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Dst {
+    /// Output vector element.
+    Out(Addr),
+    /// Temporary arena element.
+    Temp(Addr),
+    /// An `$f` register.
+    F(u32),
+}
+
+/// An integer source operand (for `$r` arithmetic in unoptimized code).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ISrc {
+    /// Immediate.
+    Const(i64),
+    /// `$r` register.
+    R(u32),
+    /// Loop variable.
+    Loop(u32),
+}
+
+/// A VM operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// `dst = a op b` over `f64`.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Destination.
+        dst: Dst,
+        /// Left operand.
+        a: Src,
+        /// Right operand.
+        b: Src,
+    },
+    /// `dst = a` or `dst = -a`.
+    Un {
+        /// `true` negates.
+        neg: bool,
+        /// Destination.
+        dst: Dst,
+        /// Operand.
+        a: Src,
+    },
+    /// `r[dst] = a op b` over `i64`.
+    IntBin {
+        /// Operator.
+        op: BinOp,
+        /// Destination register index.
+        dst: u32,
+        /// Left operand.
+        a: ISrc,
+        /// Right operand.
+        b: ISrc,
+    },
+    /// `r[dst] = ±a`.
+    IntUn {
+        /// `true` negates.
+        neg: bool,
+        /// Destination register index.
+        dst: u32,
+        /// Operand.
+        a: ISrc,
+    },
+    /// Loop header: initializes `loop[var] = lo`; `end_pc` indexes the
+    /// matching [`Op::LoopEnd`].
+    LoopStart {
+        /// Loop variable slot.
+        var: u32,
+        /// Initial value.
+        lo: i64,
+        /// Index of the matching end.
+        end_pc: usize,
+    },
+    /// Loop latch: increments and jumps back while `loop[var] < hi`.
+    LoopEnd {
+        /// Loop variable slot.
+        var: u32,
+        /// Final value (inclusive).
+        hi: i64,
+        /// Index of the matching start.
+        start_pc: usize,
+    },
+}
+
+/// A lowered, executable program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VmProgram {
+    code: Vec<Op>,
+    /// Input vector length (in `f64` words).
+    pub n_in: usize,
+    /// Output vector length (in `f64` words).
+    pub n_out: usize,
+    /// Total temporary arena length.
+    pub temp_len: usize,
+    /// Flattened constant tables.
+    pub tables: Vec<f64>,
+    /// `$f` register count.
+    pub n_f: usize,
+    /// `$r` register count.
+    pub n_r: usize,
+    /// Loop-variable count.
+    pub n_loop: usize,
+}
+
+impl VmProgram {
+    /// The operations (read-only view, for inspection in tests/benches).
+    pub fn code(&self) -> &[Op] {
+        &self.code
+    }
+
+    /// Bytes of state the program needs beyond input and output: the
+    /// temporary arena, constant tables, and registers. This is the
+    /// "memory required to run the code" of the paper's Figure 5.
+    pub fn memory_bytes(&self) -> usize {
+        (self.temp_len + self.tables.len() + self.n_f) * std::mem::size_of::<f64>()
+            + self.n_r * std::mem::size_of::<i64>()
+            + self.n_loop * std::mem::size_of::<i64>()
+    }
+
+    /// Static operation count (loop bodies counted once).
+    pub fn static_ops(&self) -> usize {
+        self.code
+            .iter()
+            .filter(|op| !matches!(op, Op::LoopStart { .. } | Op::LoopEnd { .. }))
+            .count()
+    }
+
+    /// Executes the program.
+    ///
+    /// Like the Fortran the code generator emits, temporary storage is
+    /// *static*: a reused [`VmState`] keeps temp contents across calls
+    /// (well-formed generated code writes every temp element before
+    /// reading it, so this is unobservable there).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x`/`y` lengths do not match `n_in`/`n_out`, on
+    /// out-of-bounds subscripts (slice bounds), or on integer division
+    /// by zero — the VM trusts programs that passed `IProgram::validate`
+    /// and has no error channel on the hot path; use the i-code
+    /// interpreter when you need checked execution.
+    pub fn run(&self, x: &[f64], y: &mut [f64], st: &mut VmState) {
+        assert_eq!(x.len(), self.n_in, "input length mismatch");
+        assert_eq!(y.len(), self.n_out, "output length mismatch");
+        let code = &self.code[..];
+        let loops = &mut st.loops[..];
+        let f = &mut st.f[..];
+        let r = &mut st.r[..];
+        let temps = &mut st.temps[..];
+        let tables = &self.tables[..];
+
+        macro_rules! src {
+            ($s:expr) => {
+                match $s {
+                    Src::In(a) => x[a.eval(loops)],
+                    Src::Out(a) => y[a.eval(loops)],
+                    Src::Temp(a) => temps[a.eval(loops)],
+                    Src::Table(a) => tables[a.eval(loops)],
+                    Src::F(k) => f[*k as usize],
+                    Src::Const(c) => *c,
+                    Src::RF(k) => r[*k as usize] as f64,
+                    Src::LoopF(k) => loops[*k as usize] as f64,
+                }
+            };
+        }
+        macro_rules! isrc {
+            ($s:expr) => {
+                match $s {
+                    ISrc::Const(c) => *c,
+                    ISrc::R(k) => r[*k as usize],
+                    ISrc::Loop(k) => loops[*k as usize],
+                }
+            };
+        }
+
+        let mut pc = 0usize;
+        while pc < code.len() {
+            match &code[pc] {
+                Op::Bin { op, dst, a, b } => {
+                    let av = src!(a);
+                    let bv = src!(b);
+                    let v = match op {
+                        BinOp::Add => av + bv,
+                        BinOp::Sub => av - bv,
+                        BinOp::Mul => av * bv,
+                        BinOp::Div => av / bv,
+                    };
+                    match dst {
+                        Dst::Out(a) => y[a.eval(loops)] = v,
+                        Dst::Temp(a) => temps[a.eval(loops)] = v,
+                        Dst::F(k) => f[*k as usize] = v,
+                    }
+                    pc += 1;
+                }
+                Op::Un { neg, dst, a } => {
+                    let av = src!(a);
+                    let v = if *neg { -av } else { av };
+                    match dst {
+                        Dst::Out(a) => y[a.eval(loops)] = v,
+                        Dst::Temp(a) => temps[a.eval(loops)] = v,
+                        Dst::F(k) => f[*k as usize] = v,
+                    }
+                    pc += 1;
+                }
+                Op::IntBin { op, dst, a, b } => {
+                    let av = isrc!(a);
+                    let bv = isrc!(b);
+                    r[*dst as usize] = match op {
+                        BinOp::Add => av + bv,
+                        BinOp::Sub => av - bv,
+                        BinOp::Mul => av * bv,
+                        BinOp::Div => av / bv,
+                    };
+                    pc += 1;
+                }
+                Op::IntUn { neg, dst, a } => {
+                    let av = isrc!(a);
+                    r[*dst as usize] = if *neg { -av } else { av };
+                    pc += 1;
+                }
+                Op::LoopStart { var, lo, end_pc } => {
+                    // Zero-trip loops (possible only in hand-built
+                    // programs; the compiler never emits them) skip to
+                    // the matching end, exactly like the interpreter.
+                    let hi = match &code[*end_pc] {
+                        Op::LoopEnd { hi, .. } => *hi,
+                        _ => unreachable!("end_pc points at the LoopEnd"),
+                    };
+                    if *lo > hi {
+                        pc = *end_pc + 1;
+                    } else {
+                        loops[*var as usize] = *lo;
+                        pc += 1;
+                    }
+                }
+                Op::LoopEnd { var, hi, start_pc } => {
+                    let v = loops[*var as usize] + 1;
+                    if v <= *hi {
+                        loops[*var as usize] = v;
+                        pc = start_pc + 1;
+                    } else {
+                        pc += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Reusable mutable execution state (registers, loop counters, temporary
+/// arena).
+#[derive(Debug, Clone)]
+pub struct VmState {
+    f: Vec<f64>,
+    r: Vec<i64>,
+    loops: Vec<i64>,
+    temps: Vec<f64>,
+}
+
+impl VmState {
+    /// Allocates state sized for a program.
+    pub fn new(prog: &VmProgram) -> VmState {
+        VmState {
+            f: vec![0.0; prog.n_f],
+            r: vec![0; prog.n_r],
+            loops: vec![0; prog.n_loop],
+            temps: vec![0.0; prog.temp_len],
+        }
+    }
+}
+
+/// Lowers a *real-typed* i-code program (after type transformation) to a
+/// VM program.
+///
+/// # Errors
+///
+/// Fails on complex programs, surviving intrinsics, or operands the VM
+/// cannot encode.
+pub fn lower(prog: &IProgram) -> Result<VmProgram, VmError> {
+    if prog.complex {
+        return Err(VmError(
+            "the VM executes real-typed programs; run the type transformation first".into(),
+        ));
+    }
+    // Flatten temps and tables into single arenas.
+    let mut temp_offsets = Vec::with_capacity(prog.temps.len());
+    let mut temp_len = 0usize;
+    for &t in &prog.temps {
+        temp_offsets.push(temp_len);
+        temp_len += t;
+    }
+    let mut table_offsets = Vec::with_capacity(prog.tables.len());
+    let mut tables = Vec::new();
+    for t in &prog.tables {
+        table_offsets.push(tables.len());
+        tables.extend(t.iter().map(|c| c.re));
+    }
+
+    let addr_of = |v: &VecRef| -> Addr {
+        let mut a = Addr::from_affine(&v.idx);
+        match v.kind {
+            VecKind::Temp(t) => a.base += temp_offsets[t as usize] as i64,
+            VecKind::Table(t) => a.base += table_offsets[t as usize] as i64,
+            _ => {}
+        }
+        a
+    };
+    let dst_of = |p: &Place| -> Result<Dst, VmError> {
+        match p {
+            Place::F(k) => Ok(Dst::F(*k)),
+            Place::Vec(v) => match v.kind {
+                VecKind::Out => Ok(Dst::Out(addr_of(v))),
+                VecKind::Temp(_) => Ok(Dst::Temp(addr_of(v))),
+                VecKind::In | VecKind::Table(_) => {
+                    Err(VmError("write to read-only vector".into()))
+                }
+            },
+            Place::R(_) => Err(VmError("integer destination in float op".into())),
+        }
+    };
+    let src_of = |v: &Value| -> Result<Src, VmError> {
+        match v {
+            Value::Const(c) => {
+                if c.is_real() {
+                    Ok(Src::Const(c.re))
+                } else {
+                    Err(VmError("complex constant in real program".into()))
+                }
+            }
+            Value::Int(i) => Ok(Src::Const(*i as f64)),
+            Value::LoopIdx(lv) => Ok(Src::LoopF(lv.0)),
+            Value::Place(Place::F(k)) => Ok(Src::F(*k)),
+            Value::Place(Place::R(k)) => Ok(Src::RF(*k)),
+            Value::Place(Place::Vec(vr)) => Ok(match vr.kind {
+                VecKind::In => Src::In(addr_of(vr)),
+                VecKind::Out => Src::Out(addr_of(vr)),
+                VecKind::Temp(_) => Src::Temp(addr_of(vr)),
+                VecKind::Table(_) => Src::Table(addr_of(vr)),
+            }),
+            Value::Intrinsic(_, _) => Err(VmError(
+                "intrinsics must be evaluated before lowering".into(),
+            )),
+        }
+    };
+    let isrc_of = |v: &Value| -> Result<ISrc, VmError> {
+        match v {
+            Value::Int(i) => Ok(ISrc::Const(*i)),
+            Value::Const(c) if c.is_real() && c.re.fract() == 0.0 => {
+                Ok(ISrc::Const(c.re as i64))
+            }
+            Value::LoopIdx(lv) => Ok(ISrc::Loop(lv.0)),
+            Value::Place(Place::R(k)) => Ok(ISrc::R(*k)),
+            other => Err(VmError(format!("operand {other:?} is not an integer"))),
+        }
+    };
+
+    let mut code = Vec::with_capacity(prog.instrs.len());
+    let mut loop_stack: Vec<(usize, u32, i64)> = Vec::new(); // (start_pc, var, hi)
+    for ins in &prog.instrs {
+        match ins {
+            Instr::DoStart { var, lo, hi, .. } => {
+                loop_stack.push((code.len(), var.0, *hi));
+                code.push(Op::LoopStart {
+                    var: var.0,
+                    lo: *lo,
+                    end_pc: usize::MAX, // patched at DoEnd
+                });
+            }
+            Instr::DoEnd => {
+                let (start_pc, var, hi) = loop_stack
+                    .pop()
+                    .ok_or_else(|| VmError("unmatched end".into()))?;
+                let end_pc = code.len();
+                code.push(Op::LoopEnd { var, hi, start_pc });
+                if let Op::LoopStart { end_pc: e, .. } = &mut code[start_pc] {
+                    *e = end_pc;
+                }
+            }
+            Instr::Bin { op, dst, a, b } => {
+                if let Place::R(k) = dst {
+                    code.push(Op::IntBin {
+                        op: *op,
+                        dst: *k,
+                        a: isrc_of(a)?,
+                        b: isrc_of(b)?,
+                    });
+                } else {
+                    code.push(Op::Bin {
+                        op: *op,
+                        dst: dst_of(dst)?,
+                        a: src_of(a)?,
+                        b: src_of(b)?,
+                    });
+                }
+            }
+            Instr::Un { op, dst, a } => {
+                let neg = matches!(op, UnOp::Neg);
+                if let Place::R(k) = dst {
+                    code.push(Op::IntUn {
+                        neg,
+                        dst: *k,
+                        a: isrc_of(a)?,
+                    });
+                } else {
+                    code.push(Op::Un {
+                        neg,
+                        dst: dst_of(dst)?,
+                        a: src_of(a)?,
+                    });
+                }
+            }
+        }
+    }
+    if !loop_stack.is_empty() {
+        return Err(VmError("unclosed loop at end of program".into()));
+    }
+    Ok(VmProgram {
+        code,
+        n_in: prog.n_in,
+        n_out: prog.n_out,
+        temp_len,
+        tables,
+        n_f: prog.n_f as usize,
+        n_r: prog.n_r as usize,
+        n_loop: prog.n_loop as usize,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spl_compiler::{Compiler, CompilerOptions, OptLevel};
+    use spl_numeric::{reference, Complex};
+
+    fn compile(src: &str, opts: CompilerOptions) -> VmProgram {
+        let mut c = Compiler::with_options(opts);
+        let unit = c.compile_formula_str(src).unwrap();
+        lower(&unit.program).unwrap()
+    }
+
+    fn run_complex(vm: &VmProgram, x: &[Complex]) -> Vec<Complex> {
+        let flat = crate::convert::interleave(x);
+        let mut y = vec![0.0; vm.n_out];
+        let mut st = VmState::new(vm);
+        vm.run(&flat, &mut y, &mut st);
+        crate::convert::deinterleave(&y)
+    }
+
+    fn ramp(n: usize) -> Vec<Complex> {
+        (0..n)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64 + 0.3).cos()))
+            .collect()
+    }
+
+    #[test]
+    fn butterfly_runs() {
+        let vm = compile("(F 2)", CompilerOptions::default());
+        let x = ramp(2);
+        let y = run_complex(&vm, &x);
+        let want = reference::dft(&x);
+        for (a, b) in y.iter().zip(&want) {
+            assert!(a.approx_eq(*b, 1e-13));
+        }
+    }
+
+    #[test]
+    fn looped_fft_runs() {
+        let src = "(compose (tensor (F 2) (I 4)) (T 8 4) (tensor (I 2) (compose (tensor (F 2) (I 2)) (T 4 2) (tensor (I 2) (F 2)) (L 4 2))) (L 8 2))";
+        let vm = compile(src, CompilerOptions::default());
+        let x = ramp(8);
+        let y = run_complex(&vm, &x);
+        let want = reference::dft(&x);
+        for (a, b) in y.iter().zip(&want) {
+            assert!(a.approx_eq(*b, 1e-12));
+        }
+    }
+
+    #[test]
+    fn unrolled_fft_runs() {
+        let src = "(compose (tensor (F 2) (I 2)) (T 4 2) (tensor (I 2) (F 2)) (L 4 2))";
+        let vm = compile(
+            src,
+            CompilerOptions {
+                unroll_threshold: Some(64),
+                ..Default::default()
+            },
+        );
+        let x = ramp(4);
+        let y = run_complex(&vm, &x);
+        let want = reference::dft(&x);
+        for (a, b) in y.iter().zip(&want) {
+            assert!(a.approx_eq(*b, 1e-13));
+        }
+    }
+
+    #[test]
+    fn unoptimized_code_executes_integer_ops() {
+        // OptLevel::None keeps $r computations and table reads.
+        let vm = compile(
+            "(F 4)",
+            CompilerOptions {
+                opt_level: OptLevel::None,
+                ..Default::default()
+            },
+        );
+        let x = ramp(4);
+        let y = run_complex(&vm, &x);
+        let want = reference::dft(&x);
+        for (a, b) in y.iter().zip(&want) {
+            assert!(a.approx_eq(*b, 1e-12));
+        }
+    }
+
+    #[test]
+    fn all_opt_levels_agree_on_vm() {
+        let src = "(compose (tensor (F 2) (I 4)) (T 8 4) (tensor (I 2) (F 4)) (L 8 2))";
+        let x = ramp(8);
+        let mut outs = Vec::new();
+        for level in [OptLevel::None, OptLevel::ScalarTemps, OptLevel::Default] {
+            let vm = compile(
+                src,
+                CompilerOptions {
+                    opt_level: level,
+                    ..Default::default()
+                },
+            );
+            outs.push(run_complex(&vm, &x));
+        }
+        for o in &outs[1..] {
+            for (a, b) in o.iter().zip(&outs[0]) {
+                assert!(a.approx_eq(*b, 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn complex_ir_rejected() {
+        let mut c = Compiler::new();
+        let units = c
+            .compile_source("#datatype complex\n#codetype complex\n(F 2)")
+            .unwrap();
+        assert!(lower(&units[0].program).is_err());
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let vm = compile("(compose (F 4) (F 4))", CompilerOptions::default());
+        // compose temp: 4 complex = 8 f64; plus a twiddle table.
+        assert!(vm.memory_bytes() >= 8 * 8);
+    }
+
+    #[test]
+    fn zero_trip_loops_execute_nothing() {
+        use spl_icode::{Affine, Instr, LoopVar, Place, UnOp, Value, VecKind, VecRef};
+        // Hand-built program with an (invalid-by-validate) empty loop;
+        // lower it manually to check the executor's guard.
+        let prog = spl_icode::IProgram {
+            instrs: vec![
+                Instr::DoStart { var: LoopVar(0), lo: 5, hi: 2, unroll: false },
+                Instr::Un {
+                    op: UnOp::Copy,
+                    dst: Place::Vec(VecRef { kind: VecKind::Out, idx: Affine::constant(0) }),
+                    a: Value::Const(spl_numeric::Complex::real(9.0)),
+                },
+                Instr::DoEnd,
+            ],
+            n_in: 1,
+            n_out: 1,
+            n_loop: 1,
+            complex: false,
+            ..spl_icode::IProgram::empty()
+        };
+        let vm = lower(&prog).unwrap();
+        let mut y = [0.0];
+        vm.run(&[0.0], &mut y, &mut VmState::new(&vm));
+        assert_eq!(y[0], 0.0, "zero-trip body must not execute");
+    }
+
+    #[test]
+    fn unclosed_loop_rejected_by_lower() {
+        use spl_icode::{Instr, LoopVar};
+        let prog = spl_icode::IProgram {
+            instrs: vec![Instr::DoStart { var: LoopVar(0), lo: 0, hi: 1, unroll: false }],
+            n_in: 1,
+            n_out: 1,
+            n_loop: 1,
+            complex: false,
+            ..spl_icode::IProgram::empty()
+        };
+        assert!(lower(&prog).is_err());
+    }
+
+    #[test]
+    fn state_reuse_is_clean() {
+        let vm = compile("(F 2)", CompilerOptions::default());
+        let mut st = VmState::new(&vm);
+        let x1 = crate::convert::interleave(&ramp(2));
+        let mut y1 = vec![0.0; vm.n_out];
+        vm.run(&x1, &mut y1, &mut st);
+        let mut y2 = vec![0.0; vm.n_out];
+        vm.run(&x1, &mut y2, &mut st);
+        assert_eq!(y1, y2);
+    }
+}

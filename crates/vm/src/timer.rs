@@ -1,0 +1,112 @@
+//! Adaptive timing of VM programs.
+//!
+//! The paper's performance evaluation times each candidate implementation
+//! and reports "pseudo MFlops" (`5 N log₂N / t`, `t` in µs). This module
+//! provides the measurement loop: repetitions are scaled until the total
+//! elapsed time passes a floor, which keeps per-call noise manageable even
+//! for 2-point transforms.
+
+use std::time::{Duration, Instant};
+
+use crate::program::{VmProgram, VmState};
+
+/// A timing result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Time per single execution, in seconds.
+    pub secs_per_call: f64,
+    /// Repetitions actually executed.
+    pub reps: u64,
+}
+
+impl Measurement {
+    /// Time per call in microseconds.
+    pub fn micros_per_call(&self) -> f64 {
+        self.secs_per_call * 1e6
+    }
+}
+
+/// Times a program with an adaptive repetition count until at least
+/// `min_time` has elapsed.
+///
+/// The input is a deterministic pseudo-random vector (so every candidate
+/// in a search sees identical data), and the same buffers are reused
+/// across repetitions, matching how generated library code is used.
+pub fn measure(prog: &VmProgram, min_time: Duration) -> Measurement {
+    let x: Vec<f64> = (0..prog.n_in)
+        .map(|i| ((i as f64) * 0.7311).sin())
+        .collect();
+    let mut y = vec![0.0f64; prog.n_out];
+    let mut st = VmState::new(prog);
+    let mut reps: u64 = 0;
+    let secs_per_call = spl_numeric::metrics::time_adaptive(min_time, || {
+        prog.run(&x, &mut y, &mut st);
+        reps += 1;
+    });
+    Measurement {
+        secs_per_call,
+        reps,
+    }
+}
+
+/// Times a program with a fixed repetition count (used by tests and by
+/// the search when a cheap, deterministic-cost estimate is enough).
+pub fn measure_with_reps(prog: &VmProgram, reps: u64) -> Measurement {
+    let x: Vec<f64> = (0..prog.n_in)
+        .map(|i| ((i as f64) * 0.7311).sin())
+        .collect();
+    let mut y = vec![0.0f64; prog.n_out];
+    let mut st = VmState::new(prog);
+    let start = Instant::now();
+    for _ in 0..reps.max(1) {
+        prog.run(&x, &mut y, &mut st);
+    }
+    let total = start.elapsed();
+    Measurement {
+        secs_per_call: total.as_secs_f64() / reps.max(1) as f64,
+        reps: reps.max(1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::lower;
+    use spl_compiler::Compiler;
+
+    fn vm(src: &str) -> VmProgram {
+        let mut c = Compiler::new();
+        lower(&c.compile_formula_str(src).unwrap().program).unwrap()
+    }
+
+    #[test]
+    fn measurement_is_positive() {
+        let p = vm("(F 4)");
+        let m = measure(&p, Duration::from_millis(5));
+        assert!(m.secs_per_call > 0.0);
+        assert!(m.reps >= 1);
+        assert!(m.micros_per_call() > 0.0);
+    }
+
+    #[test]
+    fn bigger_transforms_take_longer() {
+        let small = vm("(F 2)");
+        let big = vm("(F 16)"); // O(n^2) definition: 64x the work
+        let ms = measure(&small, Duration::from_millis(20));
+        let mb = measure(&big, Duration::from_millis(20));
+        assert!(
+            mb.secs_per_call > ms.secs_per_call,
+            "{} vs {}",
+            mb.secs_per_call,
+            ms.secs_per_call
+        );
+    }
+
+    #[test]
+    fn fixed_reps_variant() {
+        let p = vm("(F 4)");
+        let m = measure_with_reps(&p, 100);
+        assert_eq!(m.reps, 100);
+        assert!(m.secs_per_call > 0.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! The template mechanism as an extension point (paper Section 3.2):
+//!
+//! 1. define a brand-new parameterized matrix `(avg n)` — a sliding
+//!    two-point averager — purely with a template, and compile formulas
+//!    using it (the compiler infers its shape from the template body);
+//! 2. *override* the built-in `(F 2)` butterfly with a user template and
+//!    watch the override take effect ("new templates override earlier
+//!    ones");
+//! 3. show the loop-fusion trick from the paper: a template that matches
+//!    the *composite* pattern `(compose (tensor (I k) A) (tensor (I k) B))`
+//!    and emits a single fused loop.
+//!
+//! Run with `cargo run --example custom_template`.
+
+use spl::compiler::Compiler;
+use spl::frontend::ast::{DataType, DirectiveState};
+use spl::numeric::Complex;
+
+fn run_real(
+    compiler: &mut Compiler,
+    src: &str,
+    x: &[f64],
+) -> Result<Vec<f64>, Box<dyn std::error::Error>> {
+    let sexp = spl::frontend::parser::parse_formula(src)?;
+    let directives = DirectiveState {
+        datatype: DataType::Real,
+        ..Default::default()
+    };
+    let unit = compiler.compile_sexp(&sexp, &directives)?;
+    let xin: Vec<Complex> = x.iter().map(|&v| Complex::real(v)).collect();
+    Ok(spl::icode::interp::run(&unit.program, &xin)?
+        .into_iter()
+        .map(|c| c.re)
+        .collect())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut compiler = Compiler::new();
+
+    // 1. A new parameterized matrix, defined only by its template:
+    //    out[i] = (in[i] + in[i+1]) / 2, an n x (n+1) matrix.
+    compiler.compile_source(
+        "(template (avg n_) [n_>=1]
+           (do $i0 = 0,n_-1
+                 $f0 = $in($i0) + $in($i0+1)
+                 $out($i0) = 0.5 * $f0
+            end))",
+    )?;
+    let y = run_real(&mut compiler, "(avg 4)", &[1.0, 3.0, 5.0, 7.0, 9.0])?;
+    println!("(avg 4) of [1 3 5 7 9]          = {y:?}");
+    assert_eq!(y, vec![2.0, 4.0, 6.0, 8.0]);
+
+    // The new operator composes with everything else: average, then a
+    // reversal.
+    let y = run_real(&mut compiler, "(compose (J 4) (avg 4))", &[1.0, 3.0, 5.0, 7.0, 9.0])?;
+    println!("(compose (J 4) (avg 4))          = {y:?}");
+    assert_eq!(y, vec![8.0, 6.0, 4.0, 2.0]);
+
+    // 2. Override the built-in butterfly: scale outputs by 10 to make
+    //    the override visible.
+    let mut patched = Compiler::new();
+    patched.compile_source(
+        "(template (F 2)
+           ( $f0 = $in(0) + $in(1)
+             $f1 = $in(0) - $in(1)
+             $out(0) = 10 * $f0
+             $out(1) = 10 * $f1 ))",
+    )?;
+    let y = run_real(&mut patched, "(F 2)", &[3.0, 5.0])?;
+    println!("overridden (F 2) of [3 5]        = {y:?}");
+    assert_eq!(y, vec![80.0, -20.0]);
+
+    // 3. Loop fusion by pattern: the paper notes that
+    //    (compose (tensor (I 8) A) (tensor (I 8) B)) normally becomes two
+    //    loops, but a template matching the whole pattern can emit one.
+    let mut fused = Compiler::new();
+    fused.compile_source(
+        "(template (compose (tensor (I k_) A_) (tensor (I k_) B_))
+             [A_.in_size == B_.out_size]
+           (do $i0 = 0,k_-1
+                 B_( $in, $t0, $i0*B_.in_size, 0, 1, 1 )
+                 A_( $t0, $out, 0, $i0*A_.out_size, 1, 1 )
+            end))",
+    )?;
+    let y = run_real(
+        &mut fused,
+        "(compose (tensor (I 8) (F 2)) (tensor (I 8) (F 2)))",
+        &(1..=16).map(f64::from).collect::<Vec<_>>(),
+    )?;
+    // F2 applied twice is 2·I, so the fused pipeline doubles the input.
+    println!("fused (I8⊗F2)(I8⊗F2) = 2x         = first four: {:?}", &y[..4]);
+    assert_eq!(y, (1..=16).map(|v| 2.0 * f64::from(v)).collect::<Vec<_>>());
+    // Count loops in the generated code: exactly one (fused), not two.
+    let sexp = spl::frontend::parser::parse_formula(
+        "(compose (tensor (I 8) (F 2)) (tensor (I 8) (F 2)))",
+    )?;
+    let unit = fused.compile_sexp(
+        &sexp,
+        &DirectiveState {
+            datatype: DataType::Real,
+            ..Default::default()
+        },
+    )?;
+    let loops = unit
+        .program
+        .instrs
+        .iter()
+        .filter(|i| matches!(i, spl::icode::Instr::DoStart { .. }))
+        .count();
+    println!("loops in fused code: {loops} (two without the fusion template)");
+    assert_eq!(loops, 1);
+    println!("\ntemplate extension mechanism verified ✓");
+    Ok(())
+}

@@ -1,0 +1,14 @@
+#!/bin/sh
+# Regenerates every table/figure of the paper (plus the ablation and
+# generality experiments) into results/. Takes ~30 minutes; run on an
+# otherwise idle machine for clean timing.
+set -e
+cargo build --release -p spl-bench
+mkdir -p results
+for b in table1 fig2 fig3 fig5 fig6 codesize ablation transforms; do
+  echo "== $b =="
+  ./target/release/$b > results/$b.txt
+done
+echo "== fig4 =="
+./target/release/fig4 --max-log2 18 > results/fig4.txt
+echo "done; see results/"

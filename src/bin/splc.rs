@@ -1,0 +1,128 @@
+//! `splc` — the SPL compiler as a command-line tool.
+//!
+//! Mirrors the paper's compiler driver: reads an SPL program, prints one
+//! Fortran or C subroutine per formula.
+//!
+//! ```text
+//! usage: splc [options] [file.spl]        (stdin when no file)
+//!
+//!   -B <n>         fully unroll sub-formulas with input size <= n
+//!   -U <k>         partially unroll remaining loops by factor k
+//!   -O0 | -O1 | -O2
+//!                  optimization level: none / scalar temporaries /
+//!                  default optimizations (default -O2)
+//!   --language c|fortran
+//!                  override the program's #language directives
+//!   --peephole     enable the machine-dependent peepholes (Section 3.4)
+//!   --io-params    add offset/stride parameters to subroutines
+//!   --vectorize <m>
+//!                  compile A (x) I_m instead of A (Section 3.5)
+//!   --icode        print the optimized i-code instead of target code
+//!   --run          execute each unit on a deterministic workload and
+//!                  print the output vector (uses the interpreter)
+//! ```
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use spl::compiler::{Compiler, CompilerOptions, OptLevel};
+use spl::frontend::ast::Language;
+use spl::numeric::Complex;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("splc: {msg}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = CompilerOptions::default();
+    let mut file: Option<String> = None;
+    let mut print_icode = false;
+    let mut run = false;
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-B" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => opts.unroll_threshold = Some(n),
+                None => return fail("-B requires an integer"),
+            },
+            "-U" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => opts.partial_unroll = Some(n),
+                None => return fail("-U requires an integer"),
+            },
+            "-O0" => opts.opt_level = OptLevel::None,
+            "-O1" => opts.opt_level = OptLevel::ScalarTemps,
+            "-O2" => opts.opt_level = OptLevel::Default,
+            "--language" => match it.next().map(String::as_str) {
+                Some("c") => opts.language_override = Some(Language::C),
+                Some("fortran") => opts.language_override = Some(Language::Fortran),
+                _ => return fail("--language requires c or fortran"),
+            },
+            "--peephole" => opts.peephole = true,
+            "--io-params" => opts.io_params = true,
+            "--vectorize" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(m) => opts.vectorize = Some(m),
+                None => return fail("--vectorize requires an integer"),
+            },
+            "--icode" => print_icode = true,
+            "--run" => run = true,
+            "-h" | "--help" => {
+                eprintln!("see the module docs: splc [options] [file.spl]");
+                return ExitCode::SUCCESS;
+            }
+            other if !other.starts_with('-') && file.is_none() => {
+                file = Some(other.to_string());
+            }
+            other => return fail(&format!("unknown option {other}")),
+        }
+    }
+
+    let source = match &file {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => return fail(&format!("reading {path}: {e}")),
+        },
+        None => {
+            let mut s = String::new();
+            if std::io::stdin().read_to_string(&mut s).is_err() {
+                return fail("reading stdin");
+            }
+            s
+        }
+    };
+
+    let mut compiler = Compiler::with_options(opts);
+    let units = match compiler.compile_source(&source) {
+        Ok(u) => u,
+        Err(e) => return fail(&e.to_string()),
+    };
+    if units.is_empty() {
+        eprintln!("splc: no formulas in input (templates/defines were processed)");
+        return ExitCode::SUCCESS;
+    }
+    for unit in &units {
+        if print_icode {
+            println!("; {} ({} -> {} reals)", unit.name, unit.program.n_in, unit.program.n_out);
+            print!("{}", unit.program);
+        } else {
+            print!("{}", unit.emit());
+        }
+        if run {
+            let x: Vec<Complex> = (0..unit.program.n_in)
+                .map(|i| Complex::real(((i as f64) * 0.7).sin()))
+                .collect();
+            match spl::icode::interp::run(&unit.program, &x) {
+                Ok(y) => {
+                    println!("; {} output on sin-ramp input:", unit.name);
+                    for (k, v) in y.iter().enumerate() {
+                        println!(";   y({}) = {v}", k + 1);
+                    }
+                }
+                Err(e) => return fail(&format!("running {}: {e}", unit.name)),
+            }
+        }
+        println!();
+    }
+    ExitCode::SUCCESS
+}

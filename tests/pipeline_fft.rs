@@ -1,0 +1,208 @@
+//! End-to-end pipeline tests: SPL source → compiler → VM, checked against
+//! the dense-matrix semantics and the reference DFT, across factorization
+//! rules, sizes, and optimization levels.
+
+use spl::compiler::{Compiler, CompilerOptions, OptLevel};
+use spl::frontend::ast::{DataType, DirectiveState};
+use spl::generator::fft::{ct_sequence, enumerate_trees, FftTree, Rule, ALL_RULES};
+use spl::numeric::{reference, relative_rms_error, Complex};
+use spl::vm::{lower, VmState};
+
+fn directives() -> DirectiveState {
+    DirectiveState {
+        datatype: DataType::Complex,
+        codetype: DataType::Real,
+        ..Default::default()
+    }
+}
+
+fn run_tree(tree: &FftTree, opts: CompilerOptions) -> Vec<Complex> {
+    let mut compiler = Compiler::with_options(opts);
+    let unit = compiler.compile_sexp(&tree.to_sexp(), &directives()).unwrap();
+    let vm = lower(&unit.program).unwrap();
+    let x = workload(tree.size());
+    let flat = spl::vm::convert::interleave(&x);
+    let mut y = vec![0.0; vm.n_out];
+    vm.run(&flat, &mut y, &mut VmState::new(&vm));
+    spl::vm::convert::deinterleave(&y)
+}
+
+fn workload(n: usize) -> Vec<Complex> {
+    (0..n)
+        .map(|i| Complex::new((i as f64 * 0.31).sin(), (i as f64 * 0.17).cos()))
+        .collect()
+}
+
+fn assert_is_dft(tree: &FftTree, got: &[Complex]) {
+    let want = reference::dft(&workload(tree.size()));
+    let err = relative_rms_error(got, &want);
+    assert!(
+        err < 1e-11,
+        "{} (size {}): error {err}",
+        tree.describe(),
+        tree.size()
+    );
+}
+
+#[test]
+fn every_rule_compiles_and_runs() {
+    for rule in ALL_RULES {
+        for (r, s) in [(2usize, 4usize), (4, 4), (8, 2)] {
+            let tree = FftTree::node(rule, FftTree::leaf(r), FftTree::leaf(s));
+            let got = run_tree(&tree, CompilerOptions::default());
+            assert_is_dft(&tree, &got);
+        }
+    }
+}
+
+#[test]
+fn mixed_rule_trees() {
+    let f8 = FftTree::node(Rule::Vector, FftTree::leaf(2), FftTree::leaf(4));
+    let f32 = FftTree::node(Rule::DecimationInFrequency, FftTree::leaf(4), f8.clone());
+    let f64t = FftTree::node(Rule::Parallel, FftTree::leaf(2), f32);
+    for tree in [f8, f64t] {
+        let got = run_tree(&tree, CompilerOptions::default());
+        assert_is_dft(&tree, &got);
+    }
+}
+
+#[test]
+fn all_f16_factorizations_at_all_levels() {
+    for tree in enumerate_trees(4, Rule::CooleyTukey) {
+        for level in [OptLevel::None, OptLevel::ScalarTemps, OptLevel::Default] {
+            for threshold in [None, Some(64)] {
+                let got = run_tree(
+                    &tree,
+                    CompilerOptions {
+                        opt_level: level,
+                        unroll_threshold: threshold,
+                        ..Default::default()
+                    },
+                );
+                assert_is_dft(&tree, &got);
+            }
+        }
+    }
+}
+
+#[test]
+fn iterative_radix_two_large() {
+    // The iterative radix-2 FFT (Eq. 10 with all factors 2) at 256 points.
+    let tree = ct_sequence(&[2; 8], Rule::CooleyTukey);
+    let got = run_tree(
+        &tree,
+        CompilerOptions {
+            unroll_threshold: Some(4),
+            ..Default::default()
+        },
+    );
+    assert_is_dft(&tree, &got);
+}
+
+#[test]
+fn large_loop_code_1024() {
+    // Rightmost split with unrolled 64-point leaves: the Section 4.2
+    // configuration.
+    let leaf64 = ct_sequence(&[4, 4, 4], Rule::CooleyTukey);
+    let tree = FftTree::node(
+        Rule::CooleyTukey,
+        ct_sequence(&[4, 4], Rule::CooleyTukey),
+        leaf64,
+    );
+    assert_eq!(tree.size(), 1024);
+    let got = run_tree(
+        &tree,
+        CompilerOptions {
+            unroll_threshold: Some(64),
+            ..Default::default()
+        },
+    );
+    assert_is_dft(&tree, &got);
+}
+
+#[test]
+fn mixed_radix_sizes() {
+    // The Cooley–Tukey rule is not limited to powers of two (Eq. 5 only
+    // needs n = r·s): exercise 6-, 12-, 24-, and 60-point transforms.
+    for factors in [
+        vec![2usize, 3],
+        vec![3, 4],
+        vec![2, 3, 4],
+        vec![3, 4, 5],
+    ] {
+        let tree = ct_sequence(&factors, Rule::CooleyTukey);
+        let got = run_tree(&tree, CompilerOptions::default());
+        assert_is_dft(&tree, &got);
+        let got = run_tree(
+            &tree,
+            CompilerOptions {
+                unroll_threshold: Some(8),
+                ..Default::default()
+            },
+        );
+        assert_is_dft(&tree, &got);
+    }
+}
+
+#[test]
+fn paper_f8_formulas_from_section_4_1() {
+    let mut compiler = Compiler::with_options(CompilerOptions {
+        unroll_threshold: Some(32),
+        ..Default::default()
+    });
+    let src = "\
+#codetype real
+(define F4 (compose (tensor (F 2) (I 2)) (T 4 2) (tensor (I 2) (F 2)) (L 4 2)))
+#subname formula1
+(compose (tensor (F 2) (I 4)) (T 8 4) (tensor (I 2) F4) (L 8 2))
+#subname formula2
+(compose (tensor F4 (I 2)) (T 8 2) (tensor (I 4) (F 2)) (L 8 4))
+";
+    let units = compiler.compile_source(src).unwrap();
+    assert_eq!(units.len(), 2);
+    let x = workload(8);
+    let want = reference::dft(&x);
+    for unit in &units {
+        let vm = lower(&unit.program).unwrap();
+        let flat = spl::vm::convert::interleave(&x);
+        let mut y = vec![0.0; vm.n_out];
+        vm.run(&flat, &mut y, &mut VmState::new(&vm));
+        let got = spl::vm::convert::deinterleave(&y);
+        assert!(relative_rms_error(&got, &want) < 1e-12, "{}", unit.name);
+    }
+    // Different factorizations, different computation order (the paper's
+    // point in Section 4.1) — but identical results.
+    assert_ne!(units[0].program.instrs, units[1].program.instrs);
+}
+
+#[test]
+fn vectorized_compilation() {
+    // A → A ⊗ I_4 (Section 3.5): four interleaved transforms.
+    let mut compiler = Compiler::with_options(CompilerOptions {
+        vectorize: Some(4),
+        ..Default::default()
+    });
+    let tree = FftTree::node(Rule::CooleyTukey, FftTree::leaf(2), FftTree::leaf(2));
+    let unit = compiler.compile_sexp(&tree.to_sexp(), &directives()).unwrap();
+    let vm = lower(&unit.program).unwrap();
+    assert_eq!(vm.n_in, 4 * 4 * 2);
+    // Input: four interleaved copies of the same 4-point signal; output
+    // must be four interleaved copies of its DFT.
+    let base = workload(4);
+    let mut x = vec![Complex::ZERO; 16];
+    for (k, z) in base.iter().enumerate() {
+        for lane in 0..4 {
+            x[k * 4 + lane] = *z;
+        }
+    }
+    let flat = spl::vm::convert::interleave(&x);
+    let mut y = vec![0.0; vm.n_out];
+    vm.run(&flat, &mut y, &mut VmState::new(&vm));
+    let got = spl::vm::convert::deinterleave(&y);
+    let want = reference::dft(&base);
+    for (k, w) in want.iter().enumerate() {
+        for lane in 0..4 {
+            assert!(got[k * 4 + lane].approx_eq(*w, 1e-12), "k={k} lane={lane}");
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Integration of the search engine with the compiler and the baseline:
+//! winners are valid FFTs, the k-best DP respects the paper's
+//! restrictions, and the minifft baseline agrees with SPL-generated code
+//! on identical inputs.
+
+use spl::generator::fft::FftTree;
+use spl::minifft::{Plan, PlanMode};
+use spl::numeric::{reference, relative_rms_error, Complex};
+use spl::search::{
+    compile_tree, large_search, small_search, OpCountEvaluator, SearchConfig,
+};
+use spl::vm::VmState;
+
+fn workload(n: usize) -> Vec<Complex> {
+    (0..n)
+        .map(|i| Complex::new((i as f64 * 0.19).sin(), (i as f64 * 0.7).cos()))
+        .collect()
+}
+
+fn run_tree(tree: &FftTree) -> Vec<Complex> {
+    let vm = compile_tree(tree, 64).unwrap();
+    let x = spl::vm::convert::interleave(&workload(tree.size()));
+    let mut y = vec![0.0; vm.n_out];
+    vm.run(&x, &mut y, &mut VmState::new(&vm));
+    spl::vm::convert::deinterleave(&y)
+}
+
+#[test]
+fn full_search_to_4096_produces_correct_ffts() {
+    let config = SearchConfig::default();
+    let mut eval = OpCountEvaluator::default();
+    let small = small_search(6, &config, &mut eval).unwrap();
+    let large = large_search(&small, 12, &config, &mut eval).unwrap();
+    for r in &small {
+        let got = run_tree(&r.tree);
+        let want = reference::dft(&workload(r.tree.size()));
+        assert!(relative_rms_error(&got, &want) < 1e-10);
+    }
+    for plans in &large {
+        let tree = &plans[0].tree;
+        let got = run_tree(tree);
+        let want = reference::dft(&workload(tree.size()));
+        assert!(
+            relative_rms_error(&got, &want) < 1e-9,
+            "size {}",
+            tree.size()
+        );
+    }
+}
+
+#[test]
+fn spl_and_minifft_agree_numerically() {
+    let config = SearchConfig::default();
+    let mut eval = OpCountEvaluator::default();
+    let small = small_search(6, &config, &mut eval).unwrap();
+    let large = large_search(&small, 9, &config, &mut eval).unwrap();
+    let tree = &large.last().unwrap()[0].tree;
+    let n = tree.size();
+    assert_eq!(n, 512);
+    let x = workload(n);
+    let spl_out = run_tree(tree);
+    let plan = Plan::new(n, PlanMode::Estimate);
+    let flat = spl::vm::convert::interleave(&x);
+    let mut y = vec![0.0; 2 * n];
+    plan.execute(&flat, &mut y);
+    let fftw_out = spl::vm::convert::deinterleave(&y);
+    assert!(relative_rms_error(&spl_out, &fftw_out) < 1e-11);
+}
+
+#[test]
+fn minifft_both_modes_agree() {
+    for n in [64usize, 256, 2048] {
+        let x = spl::vm::convert::interleave(&workload(n));
+        let mut y1 = vec![0.0; 2 * n];
+        let mut y2 = vec![0.0; 2 * n];
+        Plan::new(n, PlanMode::Estimate).execute(&x, &mut y1);
+        Plan::new(n, PlanMode::Measure).execute(&x, &mut y2);
+        let a = spl::vm::convert::deinterleave(&y1);
+        let b = spl::vm::convert::deinterleave(&y2);
+        assert!(relative_rms_error(&a, &b) < 1e-11, "n={n}");
+    }
+}
+
+#[test]
+fn accuracy_holds_at_moderate_sizes() {
+    // The Figure 6 methodology at test scale: compensated reference below
+    // 2^10, round-trip beyond.
+    let config = SearchConfig::default();
+    let mut eval = OpCountEvaluator::default();
+    let small = small_search(6, &config, &mut eval).unwrap();
+    let large = large_search(&small, 10, &config, &mut eval).unwrap();
+    for plans in &large {
+        let tree = &plans[0].tree;
+        let n = tree.size();
+        let x = workload(n);
+        let got = run_tree(tree);
+        let want = reference::dft_compensated(&x);
+        let err = relative_rms_error(&got, &want);
+        assert!(err < 1e-13 * (n as f64).sqrt(), "n={n}: err {err}");
+    }
+}

@@ -1,0 +1,91 @@
+//! End-to-end tests of the `splc` command-line compiler.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn splc(args: &[&str], stdin: &str) -> (String, String, bool) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_splc"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn splc");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(stdin.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+const FFT4: &str = "\
+#codetype real
+#subname fft4
+(compose (tensor (F 2) (I 2)) (T 4 2) (tensor (I 2) (F 2)) (L 4 2))
+";
+
+#[test]
+fn emits_fortran_by_default() {
+    let (out, _, ok) = splc(&[], FFT4);
+    assert!(ok);
+    assert!(out.contains("subroutine fft4(y,x)"));
+    assert!(out.contains("implicit real*8 (f)"));
+}
+
+#[test]
+fn emits_c_on_request() {
+    let (out, _, ok) = splc(&["--language", "c", "-B", "32"], FFT4);
+    assert!(ok);
+    assert!(out.contains("void fft4(double *y, const double *x)"));
+}
+
+#[test]
+fn icode_mode_prints_tuples() {
+    let (out, _, ok) = splc(&["--icode", "-B", "32"], FFT4);
+    assert!(ok);
+    assert!(out.contains("$out("));
+    assert!(out.contains("$in("));
+}
+
+#[test]
+fn run_mode_executes() {
+    let (out, _, ok) = splc(&["--run"], "#datatype real\n(F 2)");
+    assert!(ok);
+    assert!(out.contains("output on sin-ramp input"));
+    assert!(out.contains("y(1)"));
+}
+
+#[test]
+fn parse_errors_fail_cleanly() {
+    let (_, err, ok) = splc(&[], "(compose (F 2)");
+    assert!(!ok);
+    assert!(err.contains("splc:"));
+}
+
+#[test]
+fn shape_errors_fail_cleanly() {
+    let (_, err, ok) = splc(&[], "(compose (F 2) (F 3))");
+    assert!(!ok);
+    assert!(err.contains("splc:"));
+}
+
+#[test]
+fn reads_files_and_reports_missing() {
+    let (_, err, ok) = splc(&["/nonexistent/x.spl"], "");
+    assert!(!ok);
+    assert!(err.contains("reading"));
+}
+
+#[test]
+fn templates_only_input_is_not_an_error() {
+    let (_, err, ok) = splc(&[], "(template (nothing n_) ($out(0) = $in(0)))");
+    assert!(ok);
+    assert!(err.contains("no formulas"));
+}
