@@ -1,14 +1,14 @@
 //! Ablation bench: the cost of each compiler phase (DESIGN.md calls out
 //! the phase pipeline as a design choice) on a 256-point FFT formula.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use spl_bench::harness::Harness;
 use spl_compiler::{intrinsics, optimize, typetrans, unroll};
 use spl_generator::fft::{ct_sequence, Rule};
 use spl_templates::{expand_formula, ExpandOptions, TemplateTable};
 
-fn bench_phases(c: &mut Criterion) {
+fn main() {
     let tree = ct_sequence(&[4usize, 4, 16], Rule::CooleyTukey);
     let sexp = tree.to_sexp();
     let table = TemplateTable::builtin();
@@ -22,26 +22,25 @@ fn bench_phases(c: &mut Criterion) {
     let lowered = typetrans::complex_to_real(&evaluated).expect("typetrans");
     let scalarized = unroll::scalarize(&lowered);
 
-    let mut group = c.benchmark_group("compiler_phases_f256");
-    group.sample_size(15);
-    group.bench_function("expand", |b| {
-        b.iter(|| expand_formula(black_box(&sexp), &table, &opts).unwrap())
+    let mut h = Harness::new("compiler_phases");
+    let g = "compiler_phases_f256";
+    h.bench(g, "expand", || {
+        black_box(expand_formula(black_box(&sexp), &table, &opts).unwrap());
     });
-    group.bench_function("unroll", |b| b.iter(|| unroll::unroll(black_box(&expanded))));
-    group.bench_function("intrinsics", |b| {
-        b.iter(|| intrinsics::eval_intrinsics(black_box(&unrolled)).unwrap())
+    h.bench(g, "unroll", || {
+        black_box(unroll::unroll(black_box(&expanded)));
     });
-    group.bench_function("typetrans", |b| {
-        b.iter(|| typetrans::complex_to_real(black_box(&evaluated)).unwrap())
+    h.bench(g, "intrinsics", || {
+        black_box(intrinsics::eval_intrinsics(black_box(&unrolled)).unwrap());
     });
-    group.bench_function("scalarize", |b| {
-        b.iter(|| unroll::scalarize(black_box(&lowered)))
+    h.bench(g, "typetrans", || {
+        black_box(typetrans::complex_to_real(black_box(&evaluated)).unwrap());
     });
-    group.bench_function("optimize", |b| {
-        b.iter(|| optimize::optimize(black_box(&scalarized)))
+    h.bench(g, "scalarize", || {
+        black_box(unroll::scalarize(black_box(&lowered)));
     });
-    group.finish();
+    h.bench(g, "optimize", || {
+        black_box(optimize::optimize(black_box(&scalarized)));
+    });
+    h.finish();
 }
-
-criterion_group!(benches, bench_phases);
-criterion_main!(benches);

@@ -1,17 +1,17 @@
-//! Criterion benches for the Figure 4 axis: a large FFT (4096 points),
-//! SPL loop code against the FFTW-style planner in both modes.
+//! Benches for the Figure 4 axis: a large FFT (4096 points), SPL loop
+//! code against the FFTW-style planner in both modes.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use spl_bench::harness::Harness;
 use spl_generator::fft::{ct_sequence, Rule};
 use spl_minifft::{Plan, PlanMode};
 use spl_search::compile_tree_native;
 
-fn bench_large(c: &mut Criterion) {
+fn main() {
     let n = 4096usize;
-    let mut group = c.benchmark_group("fft_large_4096");
-    group.sample_size(20);
+    let g = "fft_large_4096";
+    let mut h = Harness::new("fft_large");
     let x: Vec<f64> = (0..2 * n).map(|i| (i as f64 * 0.37).cos()).collect();
 
     // SPL: rightmost plan 64 x 64 with unrolled leaves (a typical search
@@ -19,23 +19,18 @@ fn bench_large(c: &mut Criterion) {
     let tree = ct_sequence(&[64usize, 64], Rule::CooleyTukey);
     let kernel = compile_tree_native(&tree, 64).expect("native compile");
     let mut y = vec![0.0; kernel.n_out];
-    group.bench_function("spl_native", |b| {
-        b.iter(|| kernel.run(black_box(&x), &mut y))
-    });
+    h.bench(g, "spl_native", || kernel.run(black_box(&x), &mut y));
 
     let measured = Plan::new(n, PlanMode::Measure);
     let mut ym = vec![0.0; 2 * n];
-    group.bench_function("fftw_measured", |b| {
-        b.iter(|| measured.execute(black_box(&x), &mut ym))
+    h.bench(g, "fftw_measured", || {
+        measured.execute(black_box(&x), &mut ym)
     });
 
     let estimated = Plan::new(n, PlanMode::Estimate);
     let mut ye = vec![0.0; 2 * n];
-    group.bench_function("fftw_estimate", |b| {
-        b.iter(|| estimated.execute(black_box(&x), &mut ye))
+    h.bench(g, "fftw_estimate", || {
+        estimated.execute(black_box(&x), &mut ye)
     });
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_large);
-criterion_main!(benches);

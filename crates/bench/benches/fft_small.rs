@@ -1,17 +1,17 @@
-//! Criterion benches for the Figure 3 axis: small-size FFTs, SPL
-//! (native and VM) against the FFTW-style codelets.
+//! Benches for the Figure 3 axis: small-size FFTs, SPL (native and VM)
+//! against the FFTW-style codelets.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use spl_bench::harness::Harness;
 use spl_generator::fft::{ct_sequence, Rule};
 use spl_minifft::Codelet;
 use spl_search::{compile_tree, compile_tree_native};
 use spl_vm::VmState;
 
-fn bench_small(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fft_small");
-    group.sample_size(20);
+fn main() {
+    let g = "fft_small";
+    let mut h = Harness::new("fft_small");
     for &n in &[16usize, 64] {
         let factors = match n {
             16 => vec![4usize, 4],
@@ -22,25 +22,22 @@ fn bench_small(c: &mut Criterion) {
 
         let kernel = compile_tree_native(&tree, 64).expect("native compile");
         let mut y = vec![0.0; kernel.n_out];
-        group.bench_with_input(BenchmarkId::new("spl_native", n), &n, |b, _| {
-            b.iter(|| kernel.run(black_box(&x), &mut y));
+        h.bench(g, &format!("spl_native/{n}"), || {
+            kernel.run(black_box(&x), &mut y);
         });
 
         let vm = compile_tree(&tree, 64).expect("vm compile");
         let mut st = VmState::new(&vm);
         let mut yv = vec![0.0; vm.n_out];
-        group.bench_with_input(BenchmarkId::new("spl_vm", n), &n, |b, _| {
-            b.iter(|| vm.run(black_box(&x), &mut yv, &mut st));
+        h.bench(g, &format!("spl_vm/{n}"), || {
+            vm.run(black_box(&x), &mut yv, &mut st);
         });
 
         let codelet = Codelet::new(n);
         let mut yc = vec![0.0; 2 * n];
-        group.bench_with_input(BenchmarkId::new("fftw_codelet", n), &n, |b, _| {
-            b.iter(|| codelet.apply(black_box(&x), 1, &mut yc, 1));
+        h.bench(g, &format!("fftw_codelet/{n}"), || {
+            codelet.apply(black_box(&x), 1, &mut yc, 1);
         });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_small);
-criterion_main!(benches);

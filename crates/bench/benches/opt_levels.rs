@@ -1,19 +1,19 @@
-//! Criterion benches for the Figure 2 axis: one 32-point FFT formula
-//! executed at the three optimization levels (on the VM, where the
-//! optimization effect is isolated from the native compiler's own work).
+//! Benches for the Figure 2 axis: one 32-point FFT formula executed at
+//! the three optimization levels (on the VM, where the optimization
+//! effect is isolated from the native compiler's own work).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use spl_bench::harness::Harness;
 use spl_compiler::{Compiler, CompilerOptions, OptLevel};
 use spl_frontend::ast::{DataType, DirectiveState};
 use spl_generator::fft::{ct_sequence, Rule};
 use spl_vm::{lower, VmState};
 
-fn bench_levels(c: &mut Criterion) {
+fn main() {
     let tree = ct_sequence(&[2usize, 4, 4], Rule::CooleyTukey);
-    let mut group = c.benchmark_group("opt_levels_f32");
-    group.sample_size(20);
+    let g = "opt_levels_f32";
+    let mut h = Harness::new("opt_levels");
     let x: Vec<f64> = (0..64).map(|i| (i as f64 * 0.21).sin()).collect();
     for (name, level) in [
         ("none", OptLevel::None),
@@ -36,12 +36,9 @@ fn bench_levels(c: &mut Criterion) {
         let vm = lower(&unit.program).expect("lowers");
         let mut st = VmState::new(&vm);
         let mut y = vec![0.0; vm.n_out];
-        group.bench_with_input(BenchmarkId::new("level", name), &name, |b, _| {
-            b.iter(|| vm.run(black_box(&x), &mut y, &mut st));
+        h.bench(g, &format!("level/{name}"), || {
+            vm.run(black_box(&x), &mut y, &mut st);
         });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_levels);
-criterion_main!(benches);

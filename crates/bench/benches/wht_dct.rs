@@ -1,9 +1,9 @@
 //! Generality bench: WHT and DCT compiled through the same pipeline
 //! (the paper's argument that SPL is not FFT-specific).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use spl_bench::harness::Harness;
 use spl_compiler::{Compiler, CompilerOptions};
 use spl_frontend::ast::{DataType, DirectiveState};
 use spl_generator::{dct, wht};
@@ -25,30 +25,21 @@ fn native_for(sexp: &spl_frontend::Sexp) -> NativeKernel {
     NativeKernel::compile(&unit).expect("native")
 }
 
-fn bench_transforms(c: &mut Criterion) {
-    let mut group = c.benchmark_group("wht_dct_native");
-    group.sample_size(20);
+fn main() {
+    let g = "wht_dct_native";
+    let mut h = Harness::new("wht_dct");
     let x: Vec<f64> = (0..64).map(|i| (i as f64 * 0.4).sin()).collect();
 
     let wht_kernel = native_for(&wht::balanced(6).to_sexp());
     let mut y = vec![0.0; wht_kernel.n_out];
-    group.bench_function("wht_64", |b| {
-        b.iter(|| wht_kernel.run(black_box(&x), &mut y))
-    });
+    h.bench(g, "wht_64", || wht_kernel.run(black_box(&x), &mut y));
 
     let dct2_kernel = native_for(&dct::dct2(64));
     let mut y2 = vec![0.0; dct2_kernel.n_out];
-    group.bench_function("dct2_64", |b| {
-        b.iter(|| dct2_kernel.run(black_box(&x), &mut y2))
-    });
+    h.bench(g, "dct2_64", || dct2_kernel.run(black_box(&x), &mut y2));
 
     let dct4_kernel = native_for(&dct::dct4(64));
     let mut y4 = vec![0.0; dct4_kernel.n_out];
-    group.bench_function("dct4_64", |b| {
-        b.iter(|| dct4_kernel.run(black_box(&x), &mut y4))
-    });
-    group.finish();
+    h.bench(g, "dct4_64", || dct4_kernel.run(black_box(&x), &mut y4));
+    h.finish();
 }
-
-criterion_group!(benches, bench_transforms);
-criterion_main!(benches);

@@ -12,12 +12,13 @@
 
 use std::time::Duration;
 
-use spl_bench::{print_table, quick_mode, MEASURE_TIME};
+use spl_bench::{print_table, quick_mode, with_report, MEASURE_TIME};
 use spl_generator::fft::{ct_sequence, FftTree, Rule, ALL_RULES};
 use spl_numeric::pseudo_mflops;
 use spl_search::{
-    compile_tree_native, large_search, small_search, NativeEvaluator, SearchConfig,
+    compile_tree_native, large_search_traced, small_search_traced, NativeEvaluator, SearchConfig,
 };
+use spl_telemetry::{RunReport, Telemetry};
 
 fn mflops(tree: &FftTree, unroll: usize, min_time: Duration) -> f64 {
     let kernel = compile_tree_native(tree, unroll).expect("compiles");
@@ -25,6 +26,10 @@ fn mflops(tree: &FftTree, unroll: usize, min_time: Duration) -> f64 {
 }
 
 fn main() {
+    with_report("ablation", run);
+}
+
+fn run(report: &mut RunReport) {
     let quick = quick_mode();
     let min_time = if quick {
         Duration::from_millis(2)
@@ -38,18 +43,21 @@ fn main() {
     // ------------------------------------------------------------------
     let mut rows = Vec::new();
     let mut winners: Vec<Vec<FftTree>> = Vec::new();
+    let mut search_tel = Telemetry::new();
     for keep in [1usize, 3] {
         let config = SearchConfig {
             keep,
             ..Default::default()
         };
         let mut eval = NativeEvaluator::new(64, min_time);
-        let small = small_search(6, &config, &mut eval).expect("small search");
-        let large = large_search(&small, max_log, &config, &mut eval).expect("large search");
+        let small =
+            small_search_traced(6, &config, &mut eval, &mut search_tel).expect("small search");
+        let large = large_search_traced(&small, max_log, &config, &mut eval, &mut search_tel)
+            .expect("large search");
         winners.push(large.iter().map(|p| p[0].tree.clone()).collect());
         for (idx, plans) in large.iter().enumerate() {
             let k = 7 + idx as u32;
-            if k % 2 != 0 && !quick {
+            if !k.is_multiple_of(2) && !quick {
                 continue; // thin out the table
             }
             rows.push(vec![
@@ -60,6 +68,7 @@ fn main() {
             ]);
         }
     }
+    report.push_section("search", search_tel);
     print_table(
         "Ablation 1: k-best DP (paper keeps 3; 1 = ordinary DP)",
         &["config", "N", "winning plan", "pMFLOPS"],

@@ -9,17 +9,27 @@
 //! Usage: `codesize [--quick] [--max-log2 N]` (default 20; this is a
 //! compile-only experiment, so the full range is cheap).
 
-use spl_bench::{arg_value, print_table, quick_mode};
-use spl_search::{compile_tree, large_search, small_search, OpCountEvaluator, SearchConfig};
+use spl_bench::{arg_value, print_table, quick_mode, with_report};
+use spl_search::{
+    compile_tree, large_search_traced, small_search_traced, OpCountEvaluator, SearchConfig,
+};
+use spl_telemetry::{RunReport, Telemetry};
 
 fn main() {
+    with_report("codesize", run);
+}
+
+fn run(report: &mut RunReport) {
     let max_log: u32 = arg_value("--max-log2")
         .and_then(|v| v.parse().ok())
         .unwrap_or(if quick_mode() { 12 } else { 20 });
     let config = SearchConfig::default();
     let mut eval = OpCountEvaluator::default();
-    let small = small_search(6, &config, &mut eval).expect("small search");
-    let large = large_search(&small, max_log, &config, &mut eval).expect("large search");
+    let mut search_tel = Telemetry::new();
+    let small = small_search_traced(6, &config, &mut eval, &mut search_tel).expect("small search");
+    let large = large_search_traced(&small, max_log, &config, &mut eval, &mut search_tel)
+        .expect("large search");
+    report.push_section("search", search_tel);
 
     let mut rows = Vec::new();
     let mut base = None;

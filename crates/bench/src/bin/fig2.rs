@@ -11,13 +11,14 @@
 
 use std::time::Duration;
 
-use spl_bench::{print_table, quick_mode, MEASURE_TIME};
+use spl_bench::{print_table, quick_mode, with_report, MEASURE_TIME};
 use spl_compiler::{Compiler, CompilerOptions, OptLevel};
 use spl_frontend::ast::{DataType, DirectiveState};
 use spl_generator::fft::{enumerate_trees, FftTree, Rule};
+use spl_telemetry::{RunReport, Telemetry};
 use spl_vm::{lower, measure};
 
-fn time_at_level(tree: &FftTree, level: OptLevel, min_time: Duration) -> f64 {
+fn time_at_level(tree: &FftTree, level: OptLevel, min_time: Duration, tel: &mut Telemetry) -> f64 {
     let mut compiler = Compiler::with_options(CompilerOptions {
         unroll_threshold: Some(64),
         opt_level: level,
@@ -31,11 +32,16 @@ fn time_at_level(tree: &FftTree, level: OptLevel, min_time: Duration) -> f64 {
     let unit = compiler
         .compile_sexp(&tree.to_sexp(), &directives)
         .expect("fig2 formula compiles");
+    tel.merge(compiler.telemetry());
     let vm = lower(&unit.program).expect("fig2 formula lowers");
     measure(&vm, min_time).secs_per_call
 }
 
 fn main() {
+    with_report("fig2", run);
+}
+
+fn run(report: &mut RunReport) {
     let min_time = if quick_mode() {
         Duration::from_millis(2)
     } else {
@@ -47,10 +53,11 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut sums = [0.0f64; 2];
+    let mut tel = Telemetry::new();
     for (i, tree) in trees.iter().enumerate() {
-        let t_none = time_at_level(tree, OptLevel::None, min_time);
-        let t_scalar = time_at_level(tree, OptLevel::ScalarTemps, min_time);
-        let t_default = time_at_level(tree, OptLevel::Default, min_time);
+        let t_none = time_at_level(tree, OptLevel::None, min_time, &mut tel);
+        let t_scalar = time_at_level(tree, OptLevel::ScalarTemps, min_time, &mut tel);
+        let t_default = time_at_level(tree, OptLevel::Default, min_time, &mut tel);
         // The paper plots inverse execution time normalized to the
         // default-optimization version.
         let none_rel = t_default / t_none;
@@ -76,6 +83,7 @@ fn main() {
         ],
         &rows,
     );
+    report.push_section("compile", tel);
     let n = rows.len() as f64;
     println!(
         "\nmean normalized performance: no-opt {:.3}, scalar {:.3}, default 1.000",

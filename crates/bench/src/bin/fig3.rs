@@ -13,24 +13,28 @@
 
 use std::time::Duration;
 
-use spl_bench::{print_table, quick_mode, workload, MEASURE_TIME};
+use spl_bench::{print_table, quick_mode, with_report, workload, MEASURE_TIME};
 use spl_minifft::Codelet;
 use spl_numeric::pseudo_mflops;
 use spl_search::{
-    compile_tree, compile_tree_native, small_search, NativeEvaluator, SearchConfig,
+    compile_tree, compile_tree_native, small_search_traced, NativeEvaluator, SearchConfig,
 };
+use spl_telemetry::{RunReport, Telemetry};
 use spl_vm::measure;
 
 fn codelet_pseudo_mflops(n: usize, min_time: Duration) -> f64 {
     let c = Codelet::new(n);
     let x = spl_vm::convert::interleave(&workload(n));
     let mut y = vec![0.0f64; 2 * n];
-    let per_call =
-        spl_numeric::metrics::time_adaptive(min_time, || c.apply(&x, 1, &mut y, 1));
+    let per_call = spl_numeric::metrics::time_adaptive(min_time, || c.apply(&x, 1, &mut y, 1));
     pseudo_mflops(n, per_call * 1e6)
 }
 
 fn main() {
+    with_report("fig3", run);
+}
+
+fn run(report: &mut RunReport) {
     let min_time = if quick_mode() {
         Duration::from_millis(2)
     } else {
@@ -39,7 +43,10 @@ fn main() {
     let max_k = if quick_mode() { 4 } else { 6 };
     let config = SearchConfig::default();
     let mut eval = NativeEvaluator::new(64, min_time);
-    let best = small_search(max_k, &config, &mut eval).expect("small search");
+    let mut search_tel = Telemetry::new();
+    let best =
+        small_search_traced(max_k, &config, &mut eval, &mut search_tel).expect("small search");
+    report.push_section("search", search_tel);
 
     let mut rows = Vec::new();
     for r in &best {
@@ -68,7 +75,14 @@ fn main() {
     }
     print_table(
         "Figure 3: small-size FFT performance (pseudo MFLOPS = 5 N log2 N / t_us)",
-        &["N", "winning formula", "SPL", "FFTW codelet", "SPL/FFTW", "SPL (VM)"],
+        &[
+            "N",
+            "winning formula",
+            "SPL",
+            "FFTW codelet",
+            "SPL/FFTW",
+            "SPL (VM)",
+        ],
         &rows,
     );
     println!(

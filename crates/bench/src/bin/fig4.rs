@@ -11,21 +11,27 @@
 
 use std::time::Duration;
 
-use spl_bench::{arg_value, print_table, quick_mode, workload, MEASURE_TIME};
+use spl_bench::{arg_value, print_table, quick_mode, with_report, workload, MEASURE_TIME};
 use spl_minifft::{Plan, PlanMode};
 use spl_numeric::pseudo_mflops;
-use spl_search::{compile_tree_native, large_search, small_search, NativeEvaluator, SearchConfig};
+use spl_search::{
+    compile_tree_native, large_search_traced, small_search_traced, NativeEvaluator, SearchConfig,
+};
+use spl_telemetry::{RunReport, Telemetry};
 
 fn plan_pseudo_mflops(plan: &Plan, min_time: Duration) -> f64 {
     let n = plan.n();
     let x = spl_vm::convert::interleave(&workload(n));
     let mut y = vec![0.0f64; 2 * n];
-    let per_call =
-        spl_numeric::metrics::time_adaptive(min_time, || plan.execute(&x, &mut y));
+    let per_call = spl_numeric::metrics::time_adaptive(min_time, || plan.execute(&x, &mut y));
     pseudo_mflops(n, per_call * 1e6)
 }
 
 fn main() {
+    with_report("fig4", run);
+}
+
+fn run(report: &mut RunReport) {
     let quick = quick_mode();
     let max_log: u32 = arg_value("--max-log2")
         .and_then(|v| v.parse().ok())
@@ -36,11 +42,14 @@ fn main() {
         MEASURE_TIME
     };
     let config = SearchConfig::default();
+    let mut search_tel = Telemetry::new();
     eprintln!("searching small sizes (2..64) natively...");
     let mut eval = NativeEvaluator::new(64, min_time);
-    let small = small_search(6, &config, &mut eval).expect("small search");
+    let small = small_search_traced(6, &config, &mut eval, &mut search_tel).expect("small search");
     eprintln!("searching large sizes (2^7..2^{max_log}) with 3-best DP...");
-    let large = large_search(&small, max_log, &config, &mut eval).expect("large search");
+    let large = large_search_traced(&small, max_log, &config, &mut eval, &mut search_tel)
+        .expect("large search");
+    report.push_section("search", search_tel);
 
     let mut rows = Vec::new();
     for (idx, plans) in large.iter().enumerate() {

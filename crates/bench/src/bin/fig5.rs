@@ -8,11 +8,18 @@
 //!
 //! Usage: `fig5 [--quick] [--max-log2 N]`.
 
-use spl_bench::{arg_value, print_table, quick_mode};
+use spl_bench::{arg_value, print_table, quick_mode, with_report};
 use spl_minifft::{Plan, PlanMode};
-use spl_search::{compile_tree, large_search, small_search, OpCountEvaluator, SearchConfig};
+use spl_search::{
+    compile_tree, large_search_traced, small_search_traced, OpCountEvaluator, SearchConfig,
+};
+use spl_telemetry::{RunReport, Telemetry};
 
 fn main() {
+    with_report("fig5", run);
+}
+
+fn run(report: &mut RunReport) {
     let quick = quick_mode();
     let max_log: u32 = arg_value("--max-log2")
         .and_then(|v| v.parse().ok())
@@ -21,8 +28,11 @@ fn main() {
     // depends on the plan structure, not on timing noise.
     let config = SearchConfig::default();
     let mut eval = OpCountEvaluator::default();
-    let small = small_search(6, &config, &mut eval).expect("small search");
-    let large = large_search(&small, max_log, &config, &mut eval).expect("large search");
+    let mut search_tel = Telemetry::new();
+    let small = small_search_traced(6, &config, &mut eval, &mut search_tel).expect("small search");
+    let large = large_search_traced(&small, max_log, &config, &mut eval, &mut search_tel)
+        .expect("large search");
+    report.push_section("search", search_tel);
 
     let mut rows = Vec::new();
     for (idx, plans) in large.iter().enumerate() {
@@ -46,7 +56,13 @@ fn main() {
     }
     print_table(
         "Figure 5: memory for large-size FFTs (KB, including the data vectors)",
-        &["N", "SPL", "FFTW (measured)", "FFTW estimate", "SPL/estimate"],
+        &[
+            "N",
+            "SPL",
+            "FFTW (measured)",
+            "FFTW estimate",
+            "SPL/estimate",
+        ],
         &rows,
     );
     println!(

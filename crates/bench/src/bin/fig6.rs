@@ -8,23 +8,33 @@
 //!
 //! Usage: `fig6 [--quick] [--max-log2 N]` (default 18).
 
-use spl_bench::{arg_value, print_table, quick_mode, run_fft, run_ifft, workload};
+use spl_bench::{arg_value, print_table, quick_mode, run_fft, run_ifft, with_report, workload};
 use spl_numeric::{reference, relative_rms_error};
-use spl_search::{compile_tree, large_search, small_search, OpCountEvaluator, SearchConfig};
+use spl_search::{
+    compile_tree, large_search_traced, small_search_traced, OpCountEvaluator, SearchConfig,
+};
+use spl_telemetry::{RunReport, Telemetry};
 
 fn main() {
+    with_report("fig6", run);
+}
+
+fn run(report: &mut RunReport) {
     let quick = quick_mode();
     let max_log: u32 = arg_value("--max-log2")
         .and_then(|v| v.parse().ok())
         .unwrap_or(if quick { 10 } else { 18 });
     let config = SearchConfig::default();
     let mut eval = OpCountEvaluator::default();
-    let small = small_search(6, &config, &mut eval).expect("small search");
+    let mut search_tel = Telemetry::new();
+    let small = small_search_traced(6, &config, &mut eval, &mut search_tel).expect("small search");
     let large = if max_log > 6 {
-        large_search(&small, max_log, &config, &mut eval).expect("large search")
+        large_search_traced(&small, max_log, &config, &mut eval, &mut search_tel)
+            .expect("large search")
     } else {
         Vec::new()
     };
+    report.push_section("search", search_tel);
 
     let mut rows = Vec::new();
     let mut trees: Vec<_> = small.iter().map(|r| r.tree.clone()).collect();

@@ -8,7 +8,8 @@
 
 use std::fs;
 
-use spl_bench::print_table;
+use spl_bench::{print_table, with_report};
+use spl_telemetry::RunReport;
 
 fn read_first_match(path: &str, key: &str) -> Option<String> {
     let text = fs::read_to_string(path).ok()?;
@@ -31,6 +32,10 @@ fn cache_size(index: usize) -> Option<String> {
 }
 
 fn main() {
+    with_report("table1", run);
+}
+
+fn run(report: &mut RunReport) {
     let paper_rows = vec![
         vec![
             "UltraSPARC II".to_string(),
@@ -62,7 +67,9 @@ fn main() {
     ];
     print_table(
         "Table 1 (paper): experiment platforms",
-        &["CPU", "Clock", "L1 cache", "L2 cache", "Memory", "OS", "Compiler"],
+        &[
+            "CPU", "Clock", "L1 cache", "L2 cache", "Memory", "OS", "Compiler",
+        ],
         &paper_rows,
     );
 
@@ -82,6 +89,8 @@ fn main() {
         .and_then(|o| String::from_utf8(o.stdout).ok())
         .map(|s| s.trim().to_string())
         .unwrap_or_else(|| "rustc (unknown)".into());
+    report.meta("cpu", &model);
+    report.meta("compiler", &rustc);
 
     print_table(
         "Table 1 (this reproduction): host platform",

@@ -7,13 +7,14 @@
 
 use std::time::Duration;
 
-use spl_bench::{print_table, quick_mode, MEASURE_TIME};
+use spl_bench::{print_table, quick_mode, with_report, MEASURE_TIME};
 use spl_compiler::{Compiler, CompilerOptions};
 use spl_frontend::ast::{DataType, DirectiveState};
 use spl_generator::{bluestein, dct};
 use spl_native::NativeKernel;
 use spl_numeric::pseudo_mflops;
 use spl_search::wht_search;
+use spl_telemetry::{RunReport, Telemetry};
 
 fn native_for(sexp: &spl_frontend::Sexp, unroll: usize, datatype: DataType) -> NativeKernel {
     let mut compiler = Compiler::with_options(CompilerOptions {
@@ -40,6 +41,10 @@ fn native_real(sexp: &spl_frontend::Sexp, unroll: usize) -> NativeKernel {
 }
 
 fn main() {
+    with_report("transforms", run);
+}
+
+fn run(report: &mut RunReport) {
     let quick = quick_mode();
     let min_time = if quick {
         Duration::from_millis(2)
@@ -47,9 +52,11 @@ fn main() {
         MEASURE_TIME
     };
     let max_k = if quick { 4 } else { 8 };
+    let mut tel = Telemetry::new();
 
     // WHT search over the split rule.
     let best = wht_search(max_k, 6, 64, min_time).expect("wht search");
+    tel.add("transforms.wht_sizes", best.len() as u64);
     let mut rows = Vec::new();
     for (tree, _) in &best {
         let n = tree.size();
@@ -74,6 +81,7 @@ fn main() {
         for (name, sexp) in [("DCT-II", dct::dct2(n)), ("DCT-IV", dct::dct4(n))] {
             let kernel = native_real(&sexp, 16);
             let t = kernel.measure(min_time);
+            tel.add("transforms.dct_cases", 1);
             rows.push(vec![
                 name.to_string(),
                 n.to_string(),
@@ -96,6 +104,7 @@ fn main() {
         }
         let kernel = native_for(&bluestein::bluestein(n), 16, DataType::Complex);
         let t = kernel.measure(min_time);
+        tel.add("transforms.bluestein_sizes", 1);
         rows.push(vec![
             n.to_string(),
             bluestein::convolution_size(n).to_string(),
@@ -111,4 +120,5 @@ fn main() {
         "\n(the point of this table is that it exists: no FFT-specific code\n\
          was touched to produce it — formulas in, fast subroutines out)"
     );
+    report.push_section("transforms", tel);
 }

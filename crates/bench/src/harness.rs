@@ -1,0 +1,74 @@
+//! A minimal, dependency-free micro-benchmark harness.
+//!
+//! The workspace builds offline, so the `benches/` targets cannot use
+//! criterion; they are plain `main()` programs (`harness = false`)
+//! driving this module instead. Measurements reuse the same
+//! calibrate-then-repeat engine as the paper's evaluators
+//! (`spl_numeric::metrics::time_adaptive`) and land in a
+//! [`spl_telemetry::RunReport`] so bench runs are machine-readable too.
+
+use std::time::Duration;
+
+use spl_telemetry::{RunReport, Telemetry};
+
+/// Collects named timings and prints a criterion-style line per bench.
+pub struct Harness {
+    report: RunReport,
+    min_time: Duration,
+}
+
+impl Harness {
+    /// A harness for the named bench binary.
+    ///
+    /// `--quick` shrinks the per-bench measurement time; honoring it
+    /// keeps `cargo bench` usable as a smoke test.
+    pub fn new(tool: &str) -> Self {
+        let min_time = if crate::quick_mode() {
+            Duration::from_millis(5)
+        } else {
+            Duration::from_millis(100)
+        };
+        Harness {
+            report: RunReport::new(tool),
+            min_time,
+        }
+    }
+
+    /// Measures `f` under `group/id`, printing seconds per call.
+    pub fn bench(&mut self, group: &str, id: &str, f: impl FnMut()) {
+        let secs = spl_numeric::metrics::time_adaptive(self.min_time, f);
+        let name = format!("{group}/{id}");
+        println!("{name:<40} {:>12.1} ns/iter", secs * 1e9);
+        let mut tel = Telemetry::new();
+        tel.set_metric("secs_per_call", secs);
+        self.report.push_section(&name, tel);
+    }
+
+    /// Writes the telemetry report when `--telemetry-json <path>` was
+    /// passed; otherwise just ends the run.
+    pub fn finish(self) {
+        if let Some(path) = crate::arg_value("--telemetry-json") {
+            let path = std::path::PathBuf::from(path);
+            match self.report.write_to_file(&path) {
+                Ok(()) => eprintln!("telemetry: {}", path.display()),
+                Err(e) => eprintln!("note: could not write {}: {e}", path.display()),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_records_each_bench() {
+        let mut h = Harness::new("t");
+        h.min_time = Duration::from_millis(1);
+        let mut n = 0u64;
+        h.bench("g", "inc", || n = n.wrapping_add(1));
+        assert_eq!(h.report.sections.len(), 1);
+        assert_eq!(h.report.sections[0].0, "g/inc");
+        assert!(h.report.sections[0].1.metric("secs_per_call").unwrap() > 0.0);
+    }
+}

@@ -20,10 +20,50 @@ use std::time::Duration;
 use spl_generator::fft::FftTree;
 use spl_numeric::{pseudo_mflops, Complex};
 use spl_search::{compile_tree, SearchError};
+use spl_telemetry::{RunReport, Stopwatch};
 use spl_vm::{measure, VmProgram, VmState};
+
+pub mod harness;
 
 /// Default minimum measurement time per data point.
 pub const MEASURE_TIME: Duration = Duration::from_millis(20);
+
+/// Runs a figure/table binary under a [`RunReport`], then writes the
+/// report next to the figure's text output as
+/// `results/<tool>.telemetry.json` (or `--telemetry-json <path>`).
+///
+/// Every experiment binary wraps its `main` body in this, so each
+/// `results/` artifact ships with a machine-readable record of what was
+/// measured and how long it took.
+pub fn with_report(tool: &str, f: impl FnOnce(&mut RunReport)) {
+    let mut report = RunReport::new(tool);
+    if quick_mode() {
+        report.meta("quick", "true");
+    }
+    let sw = Stopwatch::start();
+    f(&mut report);
+    let mut total = spl_telemetry::Telemetry::new();
+    total.record_span("total", sw.elapsed());
+    report.push_section("run", total);
+    let path =
+        arg_value("--telemetry-json").unwrap_or_else(|| format!("results/{tool}.telemetry.json"));
+    let path = std::path::PathBuf::from(path);
+    // Results dir may not exist when a binary is run outside the
+    // experiment script; skip the artifact rather than fail the run.
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() && !dir.exists() {
+            eprintln!(
+                "note: {} not present, skipping telemetry artifact",
+                dir.display()
+            );
+            return;
+        }
+    }
+    match report.write_to_file(&path) {
+        Ok(()) => eprintln!("telemetry: {}", path.display()),
+        Err(e) => eprintln!("note: could not write {}: {e}", path.display()),
+    }
+}
 
 /// Parses a `--flag value` style option from `std::env::args`.
 pub fn arg_value(name: &str) -> Option<String> {
@@ -41,10 +81,9 @@ pub fn quick_mode() -> bool {
 
 /// A deterministic complex workload (same data for every candidate).
 pub fn workload(n: usize) -> Vec<Complex> {
-    use rand::{Rng, SeedableRng};
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0x5915_u64 + n as u64);
+    let mut rng = spl_numeric::rng::Rng::new(0x5915_u64 + n as u64);
     (0..n)
-        .map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+        .map(|_| Complex::new(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)))
         .collect()
 }
 

@@ -78,11 +78,7 @@ fn fmt_f64(v: f64, fortran: bool) -> String {
 
 fn fmt_const(c: Complex, complex_code: bool, fortran: bool, peephole: bool) -> String {
     if complex_code {
-        format!(
-            "({},{})",
-            fmt_f64(c.re, fortran),
-            fmt_f64(c.im, fortran)
-        )
+        format!("({},{})", fmt_f64(c.re, fortran), fmt_f64(c.im, fortran))
     } else {
         debug_assert!(c.is_real());
         let s = fmt_f64(c.re, fortran);
@@ -254,7 +250,11 @@ impl Emit<'_> {
                             }
                         }
                     };
-                    let stmt = if self.fortran { stmt } else { format!("{stmt};") };
+                    let stmt = if self.fortran {
+                        stmt
+                    } else {
+                        format!("{stmt};")
+                    };
                     self.line(&stmt);
                 }
             }
@@ -312,9 +312,7 @@ fn emit_fortran(name: &str, prog: &IProgram, opts: &CodegenOptions) -> String {
         e.line(&format!("{scalar_ty} d{t}({})", table.len()));
         let vals: Vec<String> = table
             .iter()
-            .map(|c| {
-                fmt_const(*c, complex_code, true, false)
-            })
+            .map(|c| fmt_const(*c, complex_code, true, false))
             .collect();
         for (k, chunk) in vals.chunks(4).enumerate() {
             if k == 0 {
@@ -352,10 +350,7 @@ fn emit_c(name: &str, prog: &IProgram, opts: &CodegenOptions) -> String {
     e.indent = 1;
     for (t, table) in prog.tables.iter().enumerate() {
         let vals: Vec<String> = table.iter().map(|c| fmt_f64(c.re, false)).collect();
-        e.line(&format!(
-            "static const double d{t}[{}] = {{",
-            table.len()
-        ));
+        e.line(&format!("static const double d{t}[{}] = {{", table.len()));
         for chunk in vals.chunks(4) {
             e.line(&format!("  {},", chunk.join(", ")));
         }
@@ -404,10 +399,12 @@ mod tests {
     use spl_icode::{Affine, LoopVar};
 
     fn butterfly_prog() -> IProgram {
-        let at = |kind, i| Place::Vec(VecRef {
-            kind,
-            idx: Affine::constant(i),
-        });
+        let at = |kind, i| {
+            Place::Vec(VecRef {
+                kind,
+                idx: Affine::constant(i),
+            })
+        };
         IProgram {
             instrs: vec![
                 Instr::Bin {
@@ -431,11 +428,7 @@ mod tests {
 
     #[test]
     fn fortran_is_one_based() {
-        let src = emit(
-            "f2",
-            &butterfly_prog(),
-            &CodegenOptions::default(),
-        );
+        let src = emit("f2", &butterfly_prog(), &CodegenOptions::default());
         assert!(src.contains("subroutine f2(y,x)"));
         assert!(src.contains("y(1) = x(1) + x(2)"));
         assert!(src.contains("y(2) = x(1) - x(2)"));

@@ -71,6 +71,20 @@ impl IntSym {
     }
 }
 
+/// Work counters for intrinsic evaluation, reported through the
+/// telemetry layer (`intrinsics.*` counters in `splc --stats`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IntrinsicStats {
+    /// `W(n, k)` invocations folded to a complex constant.
+    pub constants_folded: u64,
+    /// Twiddle tables hoisted for loop-dependent invocations.
+    pub tables_hoisted: u64,
+    /// Total complex entries across the hoisted tables.
+    pub table_entries: u64,
+    /// Loop-dependent invocations served from an already-hoisted table.
+    pub table_cache_hits: u64,
+}
+
 /// Evaluates every intrinsic invocation in the program, producing constant
 /// folds and table references. The returned program contains no
 /// [`Value::Intrinsic`] operands.
@@ -80,12 +94,24 @@ impl IntSym {
 /// Fails for unknown intrinsics, a non-constant modulus `n`, or arguments
 /// whose value cannot be expressed over the open loop variables.
 pub fn eval_intrinsics(prog: &IProgram) -> Result<IProgram, IntrinsicError> {
+    eval_intrinsics_with_stats(prog).map(|(p, _)| p)
+}
+
+/// [`eval_intrinsics`], also reporting the folding and hoisting work done.
+///
+/// # Errors
+///
+/// Same failure modes as [`eval_intrinsics`].
+pub fn eval_intrinsics_with_stats(
+    prog: &IProgram,
+) -> Result<(IProgram, IntrinsicStats), IntrinsicError> {
     let mut out = prog.clone();
     let mut st = Eval {
         open: Vec::new(),
         r_defs: HashMap::new(),
         tables: prog.tables.clone(),
         cache: HashMap::new(),
+        stats: IntrinsicStats::default(),
     };
     let mut instrs = Vec::with_capacity(prog.instrs.len());
     for ins in &prog.instrs {
@@ -162,7 +188,7 @@ pub fn eval_intrinsics(prog: &IProgram) -> Result<IProgram, IntrinsicError> {
     }
     out.instrs = instrs;
     out.tables = st.tables;
-    Ok(out)
+    Ok((out, st.stats))
 }
 
 struct Eval {
@@ -173,15 +199,14 @@ struct Eval {
     /// with loop variables renamed positionally, so that two
     /// instantiations of the same template share one table.
     cache: HashMap<String, u32>,
+    stats: IntrinsicStats,
 }
 
 impl Eval {
     fn int_sym(&self, v: &Value) -> Option<IntSym> {
         match v {
             Value::Int(c) => Some(IntSym::C(*c)),
-            Value::Const(c) if c.is_real() && c.re.fract() == 0.0 => {
-                Some(IntSym::C(c.re as i64))
-            }
+            Value::Const(c) if c.is_real() && c.re.fract() == 0.0 => Some(IntSym::C(c.re as i64)),
             Value::LoopIdx(lv) => Some(IntSym::V(*lv)),
             Value::Place(Place::R(r)) => self.r_defs.get(r).cloned(),
             _ => None,
@@ -207,10 +232,11 @@ impl Eval {
         if n <= 0 {
             return Err(IntrinsicError("W: modulus must be positive".into()));
         }
-        let k_sym = self.int_sym(&args[1]).ok_or_else(|| {
-            IntrinsicError("W: argument is not an integer expression".into())
-        })?;
+        let k_sym = self
+            .int_sym(&args[1])
+            .ok_or_else(|| IntrinsicError("W: argument is not an integer expression".into()))?;
         if let Some(k) = k_sym.as_const() {
+            self.stats.constants_folded += 1;
             return Ok(Value::Const(omega(n as usize, k)));
         }
         // Loop-dependent: evaluate for all loop-index values into a table
@@ -219,6 +245,7 @@ impl Eval {
         k_sym.vars(&mut vars);
         if vars.is_empty() {
             // Constant expression in disguise (e.g. through Div).
+            self.stats.constants_folded += 1;
             let k = k_sym.eval(&HashMap::new());
             return Ok(Value::Const(omega(n as usize, k)));
         }
@@ -235,10 +262,14 @@ impl Eval {
         // template instantiations (different variable ids) share a table.
         let canon: HashMap<LoopVar, usize> =
             vars.iter().enumerate().map(|(k, &v)| (v, k)).collect();
-        let key = format!("{n}|{}|{ranges_canon:?}", canon_sym(&k_sym, &canon), ranges_canon = ranges
-            .iter()
-            .map(|&(_, lo, hi)| (lo, hi))
-            .collect::<Vec<_>>());
+        let key = format!(
+            "{n}|{}|{ranges_canon:?}",
+            canon_sym(&k_sym, &canon),
+            ranges_canon = ranges
+                .iter()
+                .map(|&(_, lo, hi)| (lo, hi))
+                .collect::<Vec<_>>()
+        );
         // Flattened index: row-major over the variable ranges.
         let mut idx = Affine::constant(0);
         let mut size: i64 = 1;
@@ -248,14 +279,14 @@ impl Eval {
             size *= hi - lo + 1;
         }
         if let Some(&tid) = self.cache.get(&key) {
+            self.stats.table_cache_hits += 1;
             return Ok(Value::Place(Place::Vec(VecRef {
                 kind: VecKind::Table(tid),
                 idx,
             })));
         }
         let mut values = vec![spl_numeric::Complex::ZERO; size as usize];
-        let mut env: HashMap<LoopVar, i64> =
-            ranges.iter().map(|&(v, lo, _)| (v, lo)).collect();
+        let mut env: HashMap<LoopVar, i64> = ranges.iter().map(|&(v, lo, _)| (v, lo)).collect();
         loop {
             let flat = idx.eval(&|lv| env[&lv]);
             values[flat as usize] = omega(n as usize, k_sym.eval(&env));
@@ -275,6 +306,8 @@ impl Eval {
             }
         }
         let tid = self.tables.len() as u32;
+        self.stats.tables_hoisted += 1;
+        self.stats.table_entries += values.len() as u64;
         self.tables.push(values);
         self.cache.insert(key, tid);
         Ok(Value::Place(Place::Vec(VecRef {
@@ -385,6 +418,18 @@ mod tests {
                 assert!(got.approx_eq(want, 0.0), "({i0},{i1})");
             }
         }
+    }
+
+    #[test]
+    fn stats_track_folds_and_tables() {
+        let (_, looped) = eval_intrinsics_with_stats(&expand("(F 4)")).unwrap();
+        assert_eq!(looped.tables_hoisted, 1);
+        assert_eq!(looped.table_entries, 16);
+        let (_, straight) = eval_intrinsics_with_stats(&unroll_all(&expand("(F 4)"))).unwrap();
+        assert!(straight.constants_folded > 0);
+        assert_eq!(straight.tables_hoisted, 0);
+        let (_, cached) = eval_intrinsics_with_stats(&expand("(tensor (I 2) (T 8 4))")).unwrap();
+        assert_eq!(cached.tables_hoisted, 1);
     }
 
     #[test]

@@ -47,6 +47,7 @@ use spl_frontend::ast::{DataType, DirectiveState, Item, Language, Unroll};
 use spl_frontend::parse_program;
 use spl_frontend::sexp::Sexp;
 use spl_icode::IProgram;
+use spl_telemetry::{Stopwatch, Telemetry};
 use spl_templates::{expand_formula, ExpandOptions, TemplateTable};
 
 pub use codegen::CodegenOptions;
@@ -113,6 +114,16 @@ impl CompiledUnit {
         codegen::emit(&self.name, &self.program, &self.codegen)
     }
 
+    /// Like [`emit`](Self::emit), but records the `codegen` phase span
+    /// and a `codegen.lines` counter into `tel`.
+    pub fn emit_traced(&self, tel: &mut Telemetry) -> String {
+        let sw = Stopwatch::start();
+        let out = self.emit();
+        tel.record_span("codegen", sw.elapsed());
+        tel.add("codegen.lines", out.lines().count() as u64);
+        out
+    }
+
     /// The input vector length in *user* elements (a complex point counts
     /// as one element even when the generated code is real-typed).
     pub fn logical_input_len(&self) -> usize {
@@ -135,6 +146,7 @@ pub struct Compiler {
     defines: Vec<(String, Sexp, bool)>,
     current_unroll: bool,
     counter: usize,
+    telemetry: Telemetry,
 }
 
 impl Default for Compiler {
@@ -157,6 +169,7 @@ impl Compiler {
             defines: Vec::new(),
             current_unroll: false,
             counter: 0,
+            telemetry: Telemetry::new(),
         }
     }
 
@@ -166,13 +179,28 @@ impl Compiler {
         &mut self.table
     }
 
+    /// Telemetry accumulated over all compilations so far: one span per
+    /// paper phase (`parse`, `expand`, `unroll`, `intrinsics`,
+    /// `typetrans`, `optimize`) and per-pass work counters
+    /// (`optimize.cse_hits`, `unroll.loops_fully_unrolled`, …).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Takes the accumulated telemetry, leaving an empty accumulator.
+    pub fn take_telemetry(&mut self) -> Telemetry {
+        std::mem::take(&mut self.telemetry)
+    }
+
     /// Compiles a complete SPL program, returning one unit per formula.
     ///
     /// # Errors
     ///
     /// Returns the first parse, expansion, or lowering error.
     pub fn compile_source(&mut self, src: &str) -> Result<Vec<CompiledUnit>, CompileError> {
+        let sw = Stopwatch::start();
         let program = parse_program(src)?;
+        self.telemetry.record_span("parse", sw.elapsed());
         let mut units = Vec::new();
         for item in program.items {
             match item {
@@ -226,26 +254,82 @@ impl Compiler {
             unroll_threshold: self.opts.unroll_threshold,
             defines: self.defines.clone(),
         };
+        let sw = Stopwatch::start();
         let mut prog = expand_formula(&sexp, &self.table, &expand_opts)?;
+        self.telemetry.record_span("expand", sw.elapsed());
         // Phase 3: restructuring.
-        prog = unroll::unroll(&prog);
-        prog = intrinsics::eval_intrinsics(&prog)?;
+        let sw = Stopwatch::start();
+        let (unrolled, ustats) = unroll::unroll_with_stats(&prog);
+        prog = unrolled;
+        self.telemetry.record_span("unroll", sw.elapsed());
+        self.telemetry
+            .add("unroll.loops_fully_unrolled", ustats.loops_fully_unrolled);
+        let sw = Stopwatch::start();
+        let (evaled, istats) = intrinsics::eval_intrinsics_with_stats(&prog)?;
+        prog = evaled;
+        self.telemetry.record_span("intrinsics", sw.elapsed());
+        self.telemetry
+            .add("intrinsics.constants_folded", istats.constants_folded);
+        self.telemetry
+            .add("intrinsics.tables_hoisted", istats.tables_hoisted);
+        self.telemetry
+            .add("intrinsics.table_entries", istats.table_entries);
+        self.telemetry
+            .add("intrinsics.table_cache_hits", istats.table_cache_hits);
         if let Some(factor) = self.opts.partial_unroll {
-            prog = unroll::unroll_partial(&prog, factor.max(1));
+            let sw = Stopwatch::start();
+            let (partial, pstats) = unroll::unroll_partial_with_stats(&prog, factor.max(1));
+            prog = partial;
+            // Partial unrolling belongs to the same paper phase; the
+            // span accumulates.
+            self.telemetry.record_span("unroll", sw.elapsed());
+            self.telemetry.add(
+                "unroll.loops_partially_unrolled",
+                pstats.loops_partially_unrolled,
+            );
         }
+        let sw = Stopwatch::start();
         prog = match (directives.datatype, codetype) {
             (DataType::Real, _) => typetrans::mark_real(&prog)?,
             (DataType::Complex, DataType::Real) => typetrans::complex_to_real(&prog)?,
             (DataType::Complex, DataType::Complex) => prog,
         };
+        self.telemetry.record_span("typetrans", sw.elapsed());
         // Phase 4: optimization.
+        let sw = Stopwatch::start();
         prog = match self.opts.opt_level {
             OptLevel::None => prog,
-            OptLevel::ScalarTemps => unroll::scalarize(&prog),
-            OptLevel::Default => optimize::optimize(&unroll::scalarize(&prog)),
+            OptLevel::ScalarTemps => {
+                let (scalar, sstats) = unroll::scalarize_with_stats(&prog);
+                self.telemetry
+                    .add("unroll.temps_scalarized", sstats.temps_scalarized);
+                scalar
+            }
+            OptLevel::Default => {
+                let (scalar, sstats) = unroll::scalarize_with_stats(&prog);
+                self.telemetry
+                    .add("unroll.temps_scalarized", sstats.temps_scalarized);
+                let (opt, ostats) = optimize::optimize_with_stats(&scalar);
+                self.telemetry
+                    .add("optimize.instrs_before", ostats.instrs_before);
+                self.telemetry
+                    .add("optimize.instrs_after", ostats.instrs_after);
+                self.telemetry
+                    .add("optimize.constants_folded", ostats.constants_folded);
+                self.telemetry
+                    .add("optimize.copies_propagated", ostats.copies_propagated);
+                self.telemetry.add("optimize.cse_hits", ostats.cse_hits);
+                self.telemetry
+                    .add("optimize.dce_removed", ostats.dce_removed);
+                opt
+            }
         };
+        self.telemetry.record_span("optimize", sw.elapsed());
         prog.validate()
             .map_err(|e| CompileError::Internal(e.to_string()))?;
+        self.telemetry.add("program.units", 1);
+        self.telemetry
+            .add("program.instrs", prog.static_instr_count() as u64);
         let name = directives.subname.clone().unwrap_or_else(|| {
             self.counter += 1;
             format!("sub{}", self.counter)
@@ -273,7 +357,9 @@ impl Compiler {
     ///
     /// Returns parse, expansion, or lowering errors.
     pub fn compile_formula_str(&mut self, src: &str) -> Result<CompiledUnit, CompileError> {
+        let sw = Stopwatch::start();
         let sexp = spl_frontend::parser::parse_formula(src)?;
+        self.telemetry.record_span("parse", sw.elapsed());
         let directives = DirectiveState {
             datatype: DataType::Complex,
             codetype: DataType::Real,
@@ -473,15 +559,46 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_records_phases_and_counters() {
+        let src = "#codetype real\n#subname fft4\n\
+            (compose (tensor (F 2) (I 2)) (T 4 2) (tensor (I 2) (F 2)) (L 4 2))";
+        let mut c = Compiler::with_options(CompilerOptions {
+            unroll_threshold: Some(32),
+            ..Default::default()
+        });
+        let units = c.compile_source(src).unwrap();
+        let mut tel = c.take_telemetry();
+        let _ = units[0].emit_traced(&mut tel);
+        for phase in [
+            "parse",
+            "expand",
+            "unroll",
+            "intrinsics",
+            "typetrans",
+            "optimize",
+            "codegen",
+        ] {
+            assert!(tel.span_ns(phase).is_some(), "missing phase {phase}");
+        }
+        assert_eq!(tel.counter("program.units"), Some(1));
+        assert!(tel.counter("optimize.instrs_before").unwrap() > 0);
+        assert!(
+            tel.counter("optimize.instrs_after").unwrap()
+                < tel.counter("optimize.instrs_before").unwrap()
+        );
+        assert!(tel.counter("codegen.lines").unwrap() > 0);
+        // The accumulator is now empty again.
+        assert!(c.telemetry().is_empty());
+    }
+
+    #[test]
     fn paper_f8_two_formulas_compute_same_result() {
         // Section 4.1's two different F8 factorizations.
         let f4 = "(compose (tensor (F 2) (I 2)) (T 4 2) (tensor (I 2) (F 2)) (L 4 2))";
-        let formula1 = format!(
-            "(compose (tensor (F 2) (I 4)) (T 8 4) (tensor (I 2) {f4}) (L 8 2))"
-        );
-        let formula2 = format!(
-            "(compose (tensor {f4} (I 2)) (T 8 2) (tensor (I 4) (F 2)) (L 8 4))"
-        );
+        let formula1 =
+            format!("(compose (tensor (F 2) (I 4)) (T 8 4) (tensor (I 2) {f4}) (L 8 2))");
+        let formula2 =
+            format!("(compose (tensor {f4} (I 2)) (T 8 2) (tensor (I 4) (F 2)) (L 8 4))");
         let x = ramp(8);
         let mut c = Compiler::with_options(CompilerOptions {
             unroll_threshold: Some(32),

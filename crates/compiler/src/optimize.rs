@@ -23,14 +23,45 @@ use std::collections::{HashMap, HashSet};
 use spl_icode::{BinOp, IProgram, Instr, LoopVar, Place, UnOp, Value, VecKind, VecRef};
 use spl_numeric::Complex;
 
+/// Per-pass work counters for one [`optimize`] run, reported through the
+/// telemetry layer (`optimize.*` counters in `splc --stats`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Static instruction count entering the pipeline.
+    pub instrs_before: u64,
+    /// Static instruction count after compaction.
+    pub instrs_after: u64,
+    /// Constant-folded operations (binary folds and negations of
+    /// constants) in value numbering.
+    pub constants_folded: u64,
+    /// Recomputations replaced by a reuse of an existing value number.
+    pub cse_hits: u64,
+    /// Copies eliminated by sinking a definition into its use
+    /// (forward substitution).
+    pub copies_propagated: u64,
+    /// Instructions removed as dead (including pruned empty loops).
+    pub dce_removed: u64,
+}
+
 /// Runs the full default-optimization pipeline: value numbering, forward
 /// substitution of single-use registers, dead-code elimination, and
 /// register compaction.
 pub fn optimize(prog: &IProgram) -> IProgram {
-    let p = value_number(prog);
-    let p = forward_substitute(&p);
-    let p = dce(&p);
-    compact(&p)
+    optimize_with_stats(prog).0
+}
+
+/// [`optimize`], also reporting what each pass did.
+pub fn optimize_with_stats(prog: &IProgram) -> (IProgram, OptStats) {
+    let mut stats = OptStats {
+        instrs_before: prog.static_instr_count() as u64,
+        ..Default::default()
+    };
+    let p = value_number_counted(prog, &mut stats);
+    let p = forward_substitute_counted(&p, &mut stats);
+    let p = dce_counted(&p, &mut stats);
+    let p = compact(&p);
+    stats.instrs_after = p.static_instr_count() as u64;
+    (p, stats)
 }
 
 // ---------------------------------------------------------------------
@@ -146,9 +177,7 @@ impl Vn {
         }
         match self.vn_home.get(&vn) {
             Some(home @ (Place::F(_) | Place::R(_))) => Value::Place(home.clone()),
-            Some(home @ Place::Vec(v))
-                if matches!(v.kind, VecKind::In | VecKind::Table(_)) =>
-            {
+            Some(home @ Place::Vec(v)) if matches!(v.kind, VecKind::In | VecKind::Table(_)) => {
                 Value::Place(home.clone())
             }
             _ => original.clone(),
@@ -175,10 +204,7 @@ impl Vn {
                     .keys()
                     .filter(|pk| match pk {
                         PKey::Vec(kind, c, terms) => {
-                            *kind == v.kind
-                                && (symbolic
-                                    || !terms.is_empty()
-                                    || *c == v.idx.c)
+                            *kind == v.kind && (symbolic || !terms.is_empty() || *c == v.idx.c)
                         }
                         _ => false,
                     })
@@ -265,6 +291,10 @@ fn fold_bin(op: BinOp, a: Complex, b: Complex, int: bool) -> Option<Complex> {
 /// Single-pass value numbering: constant folding, algebraic
 /// simplification, copy propagation, and CSE.
 pub fn value_number(prog: &IProgram) -> IProgram {
+    value_number_counted(prog, &mut OptStats::default())
+}
+
+fn value_number_counted(prog: &IProgram, stats: &mut OptStats) -> IProgram {
     let mut st = Vn::default();
     let mut out = prog.clone();
     let mut instrs = Vec::with_capacity(prog.instrs.len());
@@ -282,6 +312,7 @@ pub fn value_number(prog: &IProgram) -> IProgram {
                     }
                     UnOp::Neg => {
                         if let Some(&c) = st.vn_const.get(&a_vn) {
+                            stats.constants_folded += 1;
                             let vn = st.const_vn(-c);
                             emit_result(&mut st, &mut instrs, dst, vn, None, &Value::Const(-c));
                             continue;
@@ -315,6 +346,7 @@ pub fn value_number(prog: &IProgram) -> IProgram {
                             .and_then(|vn| st.materialize(vn).map(|val| (vn, val)));
                         match reuse {
                             Some((vn, val)) => {
+                                stats.cse_hits += 1;
                                 if st.place_vn.get(&pkey(dst)) == Some(&vn) {
                                     continue;
                                 }
@@ -361,6 +393,7 @@ pub fn value_number(prog: &IProgram) -> IProgram {
                 // Constant folding.
                 if let (Some(x), Some(y)) = (ca, cb) {
                     if let Some(r) = fold_bin(*op, x, y, int) {
+                        stats.constants_folded += 1;
                         let vn = st.const_vn(r);
                         emit_result(&mut st, &mut instrs, dst, vn, None, a);
                         continue;
@@ -488,6 +521,7 @@ pub fn value_number(prog: &IProgram) -> IProgram {
                     .and_then(|vn| st.materialize(vn).map(|val| (vn, val)));
                 if let Some((vn, val)) = reuse {
                     // The value is still available somewhere: reuse it.
+                    stats.cse_hits += 1;
                     if st.place_vn.get(&pkey(dst)) == Some(&vn) {
                         continue; // already there
                     }
@@ -687,9 +721,7 @@ impl ScalarIndex {
                                 idx.reads.entry(id).or_default().push(k);
                             }
                         }
-                        Value::Intrinsic(_, args) => {
-                            args.iter().for_each(|a| scan(a, k, idx))
-                        }
+                        Value::Intrinsic(_, args) => args.iter().for_each(|a| scan(a, k, idx)),
                         _ => {}
                     }
                 }
@@ -717,9 +749,7 @@ impl ScalarIndex {
     fn last_in(list: Option<&Vec<usize>>, from: usize, to: usize) -> Option<usize> {
         let list = list?;
         let k = list.partition_point(|&p| p < to);
-        k.checked_sub(1)
-            .map(|k| list[k])
-            .filter(|&p| p >= from)
+        k.checked_sub(1).map(|k| list[k]).filter(|&p| p >= from)
     }
 }
 
@@ -772,6 +802,10 @@ fn operand_places(ins: &Instr) -> Vec<Place> {
 /// the loop back-edge.
 #[allow(clippy::mut_range_bound)] // `i` advances only when leaving the scan
 pub fn forward_substitute(prog: &IProgram) -> IProgram {
+    forward_substitute_counted(prog, &mut OptStats::default())
+}
+
+fn forward_substitute_counted(prog: &IProgram, stats: &mut OptStats) -> IProgram {
     let mut instrs = prog.instrs.clone();
     let outer = outermost_regions(&instrs);
     let mut alive = vec![true; instrs.len()];
@@ -832,17 +866,15 @@ pub fn forward_substitute(prog: &IProgram) -> IProgram {
             // (b) the copy destination is untouched in between,
             // (c) the definition's operands are not clobbered in between.
             let def_ops = operand_places(&instrs[j]);
-            for k in (j + 1)..i {
-                if !alive[k] {
-                    continue;
-                }
-                if reads_place(&instrs[k], &p)
-                    || instr_accesses_place(&instrs[k], &dst)
-                    || clobbers_any(&instrs[k], &def_ops)
-                {
-                    i += 1;
-                    continue 'outer;
-                }
+            let blocked = ((j + 1)..i).any(|k| {
+                alive[k]
+                    && (reads_place(&instrs[k], &p)
+                        || instr_accesses_place(&instrs[k], &dst)
+                        || clobbers_any(&instrs[k], &def_ops))
+            });
+            if blocked {
+                i += 1;
+                continue 'outer;
             }
             // (d) After the copy, the next access to p anywhere in the
             // remaining program must be a write (its current value dies
@@ -872,8 +904,7 @@ pub fn forward_substitute(prog: &IProgram) -> IProgram {
                     ScalarIndex::first_in(idx.reads.get(&pid), ostart.wrapping_sub(1), j + 1)
                         .is_some();
                 if head_read {
-                    let last_write =
-                        ScalarIndex::last_in(idx.writes.get(&pid), ostart, oend);
+                    let last_write = ScalarIndex::last_in(idx.writes.get(&pid), ostart, oend);
                     if last_write == Some(j) {
                         i += 1;
                         continue;
@@ -900,6 +931,7 @@ pub fn forward_substitute(prog: &IProgram) -> IProgram {
                     w.insert(k, j);
                 }
             }
+            stats.copies_propagated += 1;
             changed = true;
             i += 1;
         }
@@ -923,6 +955,11 @@ pub fn forward_substitute(prog: &IProgram) -> IProgram {
 /// Iteratively removes arithmetic instructions whose destination is never
 /// read (output-vector writes are always live), then prunes empty loops.
 pub fn dce(prog: &IProgram) -> IProgram {
+    dce_counted(prog, &mut OptStats::default())
+}
+
+fn dce_counted(prog: &IProgram, stats: &mut OptStats) -> IProgram {
+    let initial = prog.instrs.len();
     let mut instrs = prog.instrs.clone();
     loop {
         // Whole-program read sets (position-insensitive: sound for loops).
@@ -936,7 +973,9 @@ pub fn dce(prog: &IProgram) -> IProgram {
         }
         let live = |dst: &Place| -> bool {
             match dst {
-                Place::Vec(VecRef { kind: VecKind::Out, .. }) => true,
+                Place::Vec(VecRef {
+                    kind: VecKind::Out, ..
+                }) => true,
                 Place::F(_) | Place::R(_) => scalar_reads.contains(&pkey(dst)),
                 Place::Vec(v) => {
                     if sym_reads.contains(&v.kind) {
@@ -980,6 +1019,7 @@ pub fn dce(prog: &IProgram) -> IProgram {
             break;
         }
     }
+    stats.dce_removed += (initial - instrs.len()) as u64;
     let mut out = prog.clone();
     out.instrs = instrs;
     out
@@ -1025,10 +1065,10 @@ pub fn compact(prog: &IProgram) -> IProgram {
     let mut tbl_map: HashMap<u32, u32> = HashMap::new();
 
     let note_place = |p: &Place,
-                          f_map: &mut HashMap<u32, u32>,
-                          r_map: &mut HashMap<u32, u32>,
-                          t_map: &mut HashMap<u32, u32>,
-                          tbl_map: &mut HashMap<u32, u32>| {
+                      f_map: &mut HashMap<u32, u32>,
+                      r_map: &mut HashMap<u32, u32>,
+                      t_map: &mut HashMap<u32, u32>,
+                      tbl_map: &mut HashMap<u32, u32>| {
         match p {
             Place::F(k) => {
                 let n = f_map.len() as u32;
@@ -1217,8 +1257,7 @@ mod tests {
     fn dce_drops_unused_registers() {
         let table = TemplateTable::builtin();
         let sexp = parse_formula("(F 2)").unwrap();
-        let mut p =
-            expand_formula(&sexp, &table, &ExpandOptions::default()).unwrap();
+        let mut p = expand_formula(&sexp, &table, &ExpandOptions::default()).unwrap();
         // Inject a dead computation.
         p.instrs.push(Instr::Bin {
             op: BinOp::Add,
@@ -1279,7 +1318,10 @@ mod tests {
         let a = spl_icode::interp::run(p, &x).unwrap();
         let b = spl_icode::interp::run(&q, &x).unwrap();
         for (u, v) in a.iter().zip(&b) {
-            assert!(u.approx_eq(*v, 1e-12), "optimize changed semantics: {u} vs {v}\n{p}\n=>\n{q}");
+            assert!(
+                u.approx_eq(*v, 1e-12),
+                "optimize changed semantics: {u} vs {v}\n{p}\n=>\n{q}"
+            );
         }
     }
 
@@ -1292,7 +1334,12 @@ mod tests {
         let i0 = LoopVar(0);
         let p = IProgram {
             instrs: vec![
-                Instr::DoStart { var: i0, lo: 0, hi: 3, unroll: false },
+                Instr::DoStart {
+                    var: i0,
+                    lo: 0,
+                    hi: 3,
+                    unroll: false,
+                },
                 Instr::Bin {
                     op: BinOp::Add,
                     dst: Place::F(0),
@@ -1304,11 +1351,18 @@ mod tests {
                 },
                 Instr::Un {
                     op: UnOp::Copy,
-                    dst: Place::Vec(VecRef { kind: VecKind::Out, idx: Affine::var(i0) }),
+                    dst: Place::Vec(VecRef {
+                        kind: VecKind::Out,
+                        idx: Affine::var(i0),
+                    }),
                     a: Value::f(0),
                 },
                 Instr::DoEnd,
-                Instr::Un { op: UnOp::Copy, dst: out_at(4), a: Value::f(0) },
+                Instr::Un {
+                    op: UnOp::Copy,
+                    dst: out_at(4),
+                    a: Value::f(0),
+                },
             ],
             n_in: 5,
             n_out: 5,
@@ -1357,7 +1411,12 @@ mod tests {
         let i0 = LoopVar(0);
         let p = IProgram {
             instrs: vec![
-                Instr::DoStart { var: i0, lo: 0, hi: 3, unroll: false },
+                Instr::DoStart {
+                    var: i0,
+                    lo: 0,
+                    hi: 3,
+                    unroll: false,
+                },
                 Instr::Bin {
                     op: BinOp::Sub,
                     dst: Place::F(0),
@@ -1369,7 +1428,10 @@ mod tests {
                 },
                 Instr::Un {
                     op: UnOp::Copy,
-                    dst: Place::Vec(VecRef { kind: VecKind::Out, idx: Affine::var(i0) }),
+                    dst: Place::Vec(VecRef {
+                        kind: VecKind::Out,
+                        idx: Affine::var(i0),
+                    }),
                     a: Value::f(0),
                 },
                 Instr::DoEnd,
@@ -1393,15 +1455,28 @@ mod tests {
         let i1 = LoopVar(1);
         let p = IProgram {
             instrs: vec![
-                Instr::DoStart { var: i0, lo: 0, hi: 2, unroll: false },
+                Instr::DoStart {
+                    var: i0,
+                    lo: 0,
+                    hi: 2,
+                    unroll: false,
+                },
                 // head read of f0 (stale on iteration 0: reads 0.0)
                 Instr::Bin {
                     op: BinOp::Add,
-                    dst: Place::Vec(VecRef { kind: VecKind::Out, idx: Affine::var(i0) }),
+                    dst: Place::Vec(VecRef {
+                        kind: VecKind::Out,
+                        idx: Affine::var(i0),
+                    }),
                     a: Value::f(0),
                     b: Value::Const(Complex::real(10.0)),
                 },
-                Instr::DoStart { var: i1, lo: 0, hi: 0, unroll: false },
+                Instr::DoStart {
+                    var: i1,
+                    lo: 0,
+                    hi: 0,
+                    unroll: false,
+                },
                 Instr::Bin {
                     op: BinOp::Add,
                     dst: Place::F(0),
@@ -1435,8 +1510,16 @@ mod tests {
         // not merge them. Use register operands so neither folds.
         let p = IProgram {
             instrs: vec![
-                Instr::Un { op: UnOp::Copy, dst: Place::R(1), a: Value::Int(7) },
-                Instr::Un { op: UnOp::Copy, dst: Place::R(2), a: Value::Int(2) },
+                Instr::Un {
+                    op: UnOp::Copy,
+                    dst: Place::R(1),
+                    a: Value::Int(7),
+                },
+                Instr::Un {
+                    op: UnOp::Copy,
+                    dst: Place::R(2),
+                    a: Value::Int(2),
+                },
                 Instr::Bin {
                     op: BinOp::Div,
                     dst: Place::R(0),
@@ -1449,8 +1532,16 @@ mod tests {
                     a: Value::Place(Place::R(1)),
                     b: Value::Place(Place::R(2)),
                 },
-                Instr::Un { op: UnOp::Copy, dst: out_at(0), a: Value::Place(Place::R(0)) },
-                Instr::Un { op: UnOp::Copy, dst: out_at(1), a: Value::f(0) },
+                Instr::Un {
+                    op: UnOp::Copy,
+                    dst: out_at(0),
+                    a: Value::Place(Place::R(0)),
+                },
+                Instr::Un {
+                    op: UnOp::Copy,
+                    dst: out_at(1),
+                    a: Value::f(0),
+                },
             ],
             n_in: 1,
             n_out: 2,
@@ -1498,13 +1589,31 @@ mod tests {
         };
         let o = optimize(&p);
         // All negations vanish.
-        assert!(o
-            .instrs
-            .iter()
-            .all(|i| !matches!(i, Instr::Un { op: UnOp::Neg, .. })), "{o}");
+        assert!(
+            o.instrs
+                .iter()
+                .all(|i| !matches!(i, Instr::Un { op: UnOp::Neg, .. })),
+            "{o}"
+        );
         let x = [Complex::real(3.5)];
         let y = spl_icode::interp::run(&o, &x).unwrap();
         assert_eq!(y[0].re, 3.5);
+    }
+
+    #[test]
+    fn optimize_with_stats_counts_work() {
+        let table = TemplateTable::builtin();
+        let sexp = parse_formula("(F 4)").unwrap();
+        let p = expand_formula(&sexp, &table, &ExpandOptions::default()).unwrap();
+        let p = eval_intrinsics(&unroll_all(&p)).unwrap();
+        let p = scalarize(&p);
+        let (o, stats) = optimize_with_stats(&p);
+        assert_eq!(stats.instrs_before, p.static_instr_count() as u64);
+        assert_eq!(stats.instrs_after, o.static_instr_count() as u64);
+        assert!(stats.instrs_after < stats.instrs_before);
+        // The unrolled F4 is full of W(4,k) constants to fold.
+        assert!(stats.constants_folded > 0);
+        assert!(stats.dce_removed > 0);
     }
 
     #[test]

@@ -125,8 +125,14 @@ impl Lower {
                 let mut im = re.clone();
                 im.c += 1;
                 Ok((
-                    Place::Vec(VecRef { kind: v.kind, idx: re }),
-                    Place::Vec(VecRef { kind: v.kind, idx: im }),
+                    Place::Vec(VecRef {
+                        kind: v.kind,
+                        idx: re,
+                    }),
+                    Place::Vec(VecRef {
+                        kind: v.kind,
+                        idx: im,
+                    }),
                 ))
             }
             Place::R(_) => Err(TypeTransError(
@@ -152,9 +158,7 @@ impl Lower {
                     im: Value::Place(im),
                 })
             }
-            Value::LoopIdx(_) => Err(TypeTransError(
-                "loop index used as a complex value".into(),
-            )),
+            Value::LoopIdx(_) => Err(TypeTransError("loop index used as a complex value".into())),
             Value::Intrinsic(_, _) => Err(TypeTransError(
                 "intrinsics must be evaluated before type transformation".into(),
             )),
@@ -343,12 +347,7 @@ impl Lower {
         let t2 = self.fresh();
         self.push_bin(BinOp::Mul, t1.clone(), pb.re.clone(), pb.re.clone());
         self.push_bin(BinOp::Mul, t2.clone(), pb.im.clone(), pb.im.clone());
-        self.push_bin(
-            BinOp::Add,
-            den.clone(),
-            Value::Place(t1),
-            Value::Place(t2),
-        );
+        self.push_bin(BinOp::Add, den.clone(), Value::Place(t1), Value::Place(t2));
         let n1 = self.fresh();
         let n2 = self.fresh();
         let n3 = self.fresh();
@@ -359,18 +358,8 @@ impl Lower {
         self.push_bin(BinOp::Mul, n4.clone(), pa.re, pb.im);
         let nr = self.fresh();
         let ni = self.fresh();
-        self.push_bin(
-            BinOp::Add,
-            nr.clone(),
-            Value::Place(n1),
-            Value::Place(n2),
-        );
-        self.push_bin(
-            BinOp::Sub,
-            ni.clone(),
-            Value::Place(n3),
-            Value::Place(n4),
-        );
+        self.push_bin(BinOp::Add, nr.clone(), Value::Place(n1), Value::Place(n2));
+        self.push_bin(BinOp::Sub, ni.clone(), Value::Place(n3), Value::Place(n4));
         self.push_bin(BinOp::Div, dr, Value::Place(nr), Value::Place(den.clone()));
         self.push_bin(BinOp::Div, di, Value::Place(ni), Value::Place(den));
         Ok(())
@@ -393,7 +382,9 @@ pub(crate) mod testutil {
     /// Inverse of [`interleave`].
     pub fn deinterleave(x: &[Complex]) -> Vec<Complex> {
         assert!(x.len().is_multiple_of(2), "deinterleave: odd length");
-        x.chunks(2).map(|p| Complex::new(p[0].re, p[1].re)).collect()
+        x.chunks(2)
+            .map(|p| Complex::new(p[0].re, p[1].re))
+            .collect()
     }
 }
 
@@ -409,8 +400,7 @@ mod tests {
     fn lower(src: &str, unroll: bool) -> (IProgram, IProgram) {
         let table = TemplateTable::builtin();
         let sexp = parse_formula(src).unwrap();
-        let mut p =
-            expand_formula(&sexp, &table, &ExpandOptions::default()).unwrap();
+        let mut p = expand_formula(&sexp, &table, &ExpandOptions::default()).unwrap();
         if unroll {
             p = unroll_all(&p);
         }
@@ -519,10 +509,12 @@ mod tests {
         // (diagonal (...)) with division is not expressible directly;
         // exercise the path with a handmade instruction.
         use spl_icode::{Affine, VecKind};
-        let at = |kind, i| Place::Vec(VecRef {
-            kind,
-            idx: Affine::constant(i),
-        });
+        let at = |kind, i| {
+            Place::Vec(VecRef {
+                kind,
+                idx: Affine::constant(i),
+            })
+        };
         let p = IProgram {
             instrs: vec![Instr::Bin {
                 op: BinOp::Div,
@@ -544,10 +536,12 @@ mod tests {
     #[test]
     fn general_complex_division() {
         use spl_icode::{Affine, VecKind};
-        let at = |kind, i| Place::Vec(VecRef {
-            kind,
-            idx: Affine::constant(i),
-        });
+        let at = |kind, i| {
+            Place::Vec(VecRef {
+                kind,
+                idx: Affine::constant(i),
+            })
+        };
         let p = IProgram {
             instrs: vec![Instr::Bin {
                 op: BinOp::Div,

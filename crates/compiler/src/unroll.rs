@@ -11,14 +11,32 @@ use std::collections::HashMap;
 
 use spl_icode::{IProgram, Instr, LoopVar, Place, Value, VecKind, VecRef};
 
+/// Work counters for the unrolling passes, reported through the
+/// telemetry layer (`unroll.*` counters in `splc --stats`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UnrollStats {
+    /// Loops fully replicated out of existence by [`unroll`].
+    pub loops_fully_unrolled: u64,
+    /// Loops rewritten into blocked form by [`unroll_partial`].
+    pub loops_partially_unrolled: u64,
+    /// Scalar registers introduced for temp elements by [`scalarize`].
+    pub temps_scalarized: u64,
+}
+
 /// Fully unrolls every loop whose `unroll` flag is set (including loops
 /// nested inside one being unrolled, which keep their own flag).
 pub fn unroll(prog: &IProgram) -> IProgram {
+    unroll_with_stats(prog).0
+}
+
+/// [`unroll`], also counting how many loops were eliminated.
+pub fn unroll_with_stats(prog: &IProgram) -> (IProgram, UnrollStats) {
     let mut out = prog.clone();
     let mut n_loop = prog.n_loop;
-    out.instrs = unroll_block(&prog.instrs, &mut n_loop);
+    let mut stats = UnrollStats::default();
+    out.instrs = unroll_block(&prog.instrs, &mut n_loop, &mut stats.loops_fully_unrolled);
     out.n_loop = n_loop;
-    out
+    (out, stats)
 }
 
 /// Fully unrolls *all* loops regardless of flags (used when a whole
@@ -33,7 +51,7 @@ pub fn unroll_all(prog: &IProgram) -> IProgram {
     unroll(&p)
 }
 
-fn unroll_block(instrs: &[Instr], n_loop: &mut u32) -> Vec<Instr> {
+fn unroll_block(instrs: &[Instr], n_loop: &mut u32, unrolled: &mut u64) -> Vec<Instr> {
     let mut out = Vec::with_capacity(instrs.len());
     let mut pc = 0;
     while pc < instrs.len() {
@@ -45,8 +63,9 @@ fn unroll_block(instrs: &[Instr], n_loop: &mut u32) -> Vec<Instr> {
                 unroll: flag,
             } => {
                 let end = matching_end(instrs, pc);
-                let body = unroll_block(&instrs[pc + 1..end], n_loop);
+                let body = unroll_block(&instrs[pc + 1..end], n_loop, unrolled);
                 if *flag {
+                    *unrolled += 1;
                     for v in *lo..=*hi {
                         // Inner loops that were kept need fresh variable
                         // ids in every replica (ids are program-unique).
@@ -84,16 +103,31 @@ fn unroll_block(instrs: &[Instr], n_loop: &mut u32) -> Vec<Instr> {
 ///
 /// Panics if `factor` is zero.
 pub fn unroll_partial(prog: &IProgram, factor: usize) -> IProgram {
-    assert!(factor >= 1, "unroll factor must be at least 1");
-    let mut out = prog.clone();
-    if factor == 1 {
-        return out;
-    }
-    out.instrs = partial_block(&prog.instrs, factor as i64, &mut out.n_loop);
-    out
+    unroll_partial_with_stats(prog, factor).0
 }
 
-fn partial_block(instrs: &[Instr], factor: i64, n_loop: &mut u32) -> Vec<Instr> {
+/// [`unroll_partial`], also counting how many loops were blocked.
+///
+/// # Panics
+///
+/// Panics if `factor` is zero.
+pub fn unroll_partial_with_stats(prog: &IProgram, factor: usize) -> (IProgram, UnrollStats) {
+    assert!(factor >= 1, "unroll factor must be at least 1");
+    let mut out = prog.clone();
+    let mut stats = UnrollStats::default();
+    if factor == 1 {
+        return (out, stats);
+    }
+    out.instrs = partial_block(
+        &prog.instrs,
+        factor as i64,
+        &mut out.n_loop,
+        &mut stats.loops_partially_unrolled,
+    );
+    (out, stats)
+}
+
+fn partial_block(instrs: &[Instr], factor: i64, n_loop: &mut u32, blocked: &mut u64) -> Vec<Instr> {
     let mut out = Vec::with_capacity(instrs.len());
     let mut pc = 0;
     while pc < instrs.len() {
@@ -105,7 +139,7 @@ fn partial_block(instrs: &[Instr], factor: i64, n_loop: &mut u32) -> Vec<Instr> 
                 unroll: flag,
             } => {
                 let end = matching_end(instrs, pc);
-                let body = partial_block(&instrs[pc + 1..end], factor, n_loop);
+                let body = partial_block(&instrs[pc + 1..end], factor, n_loop, blocked);
                 let trips = hi - lo + 1;
                 // A body reading the loop index as a *value* (rather than
                 // in a subscript) cannot be re-expressed over the block
@@ -134,6 +168,7 @@ fn partial_block(instrs: &[Instr], factor: i64, n_loop: &mut u32) -> Vec<Instr> 
                 } else {
                     // Main loop: a fresh block counter b = 0..trips/factor,
                     // body instances at var = lo + b*factor + k.
+                    *blocked += 1;
                     let blocks = trips / factor;
                     let block_var = LoopVar(*n_loop);
                     *n_loop += 1;
@@ -390,6 +425,11 @@ fn substitute_loop_var(ins: &Instr, var: LoopVar, value: i64) -> Instr {
 /// Temps with any symbolic access are left untouched; `$in`/`$out` are
 /// never scalarized.
 pub fn scalarize(prog: &IProgram) -> IProgram {
+    scalarize_with_stats(prog).0
+}
+
+/// [`scalarize`], also counting the scalar registers introduced.
+pub fn scalarize_with_stats(prog: &IProgram) -> (IProgram, UnrollStats) {
     // Pass 1: find temps accessed only with constant subscripts.
     let mut const_only: Vec<bool> = prog.temps.iter().map(|_| true).collect();
     let mark = |vr: &VecRef, const_only: &mut Vec<bool>| {
@@ -446,7 +486,11 @@ pub fn scalarize(prog: &IProgram) -> IProgram {
             out.temps[t] = 0;
         }
     }
-    out
+    let stats = UnrollStats {
+        temps_scalarized: map.len() as u64,
+        ..Default::default()
+    };
+    (out, stats)
 }
 
 fn visit_vecs(ins: &Instr, f: &mut dyn FnMut(&VecRef)) {
@@ -632,8 +676,8 @@ mod tests {
     fn partial_unroll_emits_remainder() {
         // Trip count 12 with factor 5: main loop 2 blocks + 2 remainder
         // copies.
-        let p = crate::intrinsics::eval_intrinsics(&expand("(tensor (I 12) (F 2))", false))
-            .unwrap();
+        let p =
+            crate::intrinsics::eval_intrinsics(&expand("(tensor (I 12) (F 2))", false)).unwrap();
         let u = unroll_partial(&p, 5);
         u.validate().unwrap();
         let x = ramp(24);

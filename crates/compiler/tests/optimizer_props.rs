@@ -1,12 +1,14 @@
-//! Property tests of the optimizer over *random i-code* (not just code
-//! the expander happens to produce): value numbering, forward
+//! Property-style tests of the optimizer over *random i-code* (not just
+//! code the expander happens to produce): value numbering, forward
 //! substitution, DCE, and compaction must preserve the interpreter's
 //! semantics on arbitrary straight-line and looped programs.
-
-use proptest::prelude::*;
+//!
+//! Programs are drawn deterministically from `spl_numeric::rng` with
+//! fixed seeds, so every run checks the same case set.
 
 use spl_compiler::optimize::{dce, forward_substitute, optimize, value_number};
 use spl_icode::{Affine, BinOp, IProgram, Instr, LoopVar, Place, UnOp, Value, VecKind, VecRef};
+use spl_numeric::rng::Rng;
 use spl_numeric::Complex;
 
 const N_IN: usize = 6;
@@ -14,75 +16,66 @@ const N_OUT: usize = 6;
 const N_F: u32 = 5;
 const N_TEMP: usize = 4;
 
-fn place_strategy(with_loop: Option<LoopVar>) -> BoxedStrategy<Place> {
-    let scalar = (0..N_F).prop_map(Place::F);
-    let outv = (0..N_OUT as i64).prop_map(|i| {
-        Place::Vec(VecRef {
+fn random_place(rng: &mut Rng, with_loop: Option<LoopVar>) -> Place {
+    let choices = if with_loop.is_some() { 4 } else { 3 };
+    match rng.below(choices) {
+        0 => Place::F(rng.below(N_F as u64) as u32),
+        1 => Place::Vec(VecRef {
             kind: VecKind::Out,
-            idx: Affine::constant(i),
-        })
-    });
-    let tempv = (0..N_TEMP as i64).prop_map(|i| {
-        Place::Vec(VecRef {
+            idx: Affine::constant(rng.below(N_OUT as u64) as i64),
+        }),
+        2 => Place::Vec(VecRef {
             kind: VecKind::Temp(0),
-            idx: Affine::constant(i),
-        })
-    });
-    match with_loop {
-        Some(lv) => {
-            let looped = (0..2i64).prop_map(move |c| {
-                Place::Vec(VecRef {
-                    kind: VecKind::Out,
-                    idx: {
-                        let mut a = Affine::constant(c);
-                        a.add_term(1, lv);
-                        a
-                    },
-                })
-            });
-            prop_oneof![scalar, outv, tempv, looped].boxed()
+            idx: Affine::constant(rng.below(N_TEMP as u64) as i64),
+        }),
+        _ => {
+            let lv = with_loop.unwrap();
+            let mut a = Affine::constant(rng.below(2) as i64);
+            a.add_term(1, lv);
+            Place::Vec(VecRef {
+                kind: VecKind::Out,
+                idx: a,
+            })
         }
-        None => prop_oneof![scalar, outv, tempv].boxed(),
     }
 }
 
-fn value_strategy(with_loop: Option<LoopVar>) -> BoxedStrategy<Value> {
-    let consts = prop_oneof![
-        Just(Complex::ZERO),
-        Just(Complex::ONE),
-        Just(Complex::real(-1.0)),
-        (-2.0..2.0f64).prop_map(Complex::real),
-    ]
-    .prop_map(Value::Const);
-    let invec = (0..N_IN as i64).prop_map(|i| Value::vec(VecKind::In, i));
-    let place = place_strategy(with_loop).prop_map(Value::Place);
-    prop_oneof![consts, invec, place].boxed()
+fn random_value(rng: &mut Rng, with_loop: Option<LoopVar>) -> Value {
+    match rng.below(3) {
+        0 => Value::Const(match rng.below(4) {
+            0 => Complex::ZERO,
+            1 => Complex::ONE,
+            2 => Complex::real(-1.0),
+            _ => Complex::real(rng.uniform(-2.0, 2.0)),
+        }),
+        1 => Value::vec(VecKind::In, rng.below(N_IN as u64) as i64),
+        _ => Value::Place(random_place(rng, with_loop)),
+    }
 }
 
-fn instr_strategy(with_loop: Option<LoopVar>) -> BoxedStrategy<Instr> {
-    let bin = (
-        prop_oneof![
-            Just(BinOp::Add),
-            Just(BinOp::Sub),
-            Just(BinOp::Mul),
-        ],
-        place_strategy(with_loop),
-        value_strategy(with_loop),
-        value_strategy(with_loop),
-    )
-        .prop_map(|(op, dst, a, b)| Instr::Bin { op, dst, a, b });
-    let un = (
-        prop_oneof![Just(UnOp::Copy), Just(UnOp::Neg)],
-        place_strategy(with_loop),
-        value_strategy(with_loop),
-    )
-        .prop_map(|(op, dst, a)| Instr::Un { op, dst, a });
-    prop_oneof![bin, un].boxed()
+fn random_instr(rng: &mut Rng, with_loop: Option<LoopVar>) -> Instr {
+    if rng.chance(0.5) {
+        let op = *rng.pick(&[BinOp::Add, BinOp::Sub, BinOp::Mul]);
+        Instr::Bin {
+            op,
+            dst: random_place(rng, with_loop),
+            a: random_value(rng, with_loop),
+            b: random_value(rng, with_loop),
+        }
+    } else {
+        let op = *rng.pick(&[UnOp::Copy, UnOp::Neg]);
+        Instr::Un {
+            op,
+            dst: random_place(rng, with_loop),
+            a: random_value(rng, with_loop),
+        }
+    }
 }
 
-fn straight_line_program() -> impl Strategy<Value = IProgram> {
-    proptest::collection::vec(instr_strategy(None), 1..30).prop_map(|instrs| IProgram {
-        instrs,
+fn straight_line_program(rng: &mut Rng) -> IProgram {
+    let len = rng.range(1, 29) as usize;
+    IProgram {
+        instrs: (0..len).map(|_| random_instr(rng, None)).collect(),
         n_in: N_IN,
         n_out: N_OUT,
         temps: vec![N_TEMP],
@@ -91,39 +84,32 @@ fn straight_line_program() -> impl Strategy<Value = IProgram> {
         n_r: 0,
         n_loop: 0,
         complex: false,
-    })
+    }
 }
 
-fn looped_program() -> impl Strategy<Value = IProgram> {
+fn looped_program(rng: &mut Rng) -> IProgram {
     let lv = LoopVar(0);
-    (
-        proptest::collection::vec(instr_strategy(None), 0..6),
-        proptest::collection::vec(instr_strategy(Some(lv)), 1..8),
-        proptest::collection::vec(instr_strategy(None), 0..6),
-    )
-        .prop_map(move |(pre, body, post)| {
-            let mut instrs = pre;
-            instrs.push(Instr::DoStart {
-                var: lv,
-                lo: 0,
-                hi: 3,
-                unroll: false,
-            });
-            instrs.extend(body);
-            instrs.push(Instr::DoEnd);
-            instrs.extend(post);
-            IProgram {
-                instrs,
-                n_in: N_IN,
-                n_out: N_OUT,
-                temps: vec![N_TEMP],
-                tables: vec![],
-                n_f: N_F,
-                n_r: 0,
-                n_loop: 1,
-                complex: false,
-            }
-        })
+    let mut instrs: Vec<Instr> = (0..rng.below(6)).map(|_| random_instr(rng, None)).collect();
+    instrs.push(Instr::DoStart {
+        var: lv,
+        lo: 0,
+        hi: 3,
+        unroll: false,
+    });
+    instrs.extend((0..rng.range(1, 7)).map(|_| random_instr(rng, Some(lv))));
+    instrs.push(Instr::DoEnd);
+    instrs.extend((0..rng.below(6)).map(|_| random_instr(rng, None)));
+    IProgram {
+        instrs,
+        n_in: N_IN,
+        n_out: N_OUT,
+        temps: vec![N_TEMP],
+        tables: vec![],
+        n_f: N_F,
+        n_r: 0,
+        n_loop: 1,
+        complex: false,
+    }
 }
 
 fn inputs(seed: u64) -> Vec<Complex> {
@@ -136,15 +122,14 @@ fn outputs_match(a: &[Complex], b: &[Complex]) -> bool {
     a.iter().zip(b).all(|(x, y)| x.approx_eq(*y, 1e-9))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn optimize_preserves_straight_line_semantics(
-        p in straight_line_program(),
-        seed in 0u64..100,
-    ) {
-        prop_assume!(p.validate().is_ok());
+#[test]
+fn optimize_preserves_straight_line_semantics() {
+    for seed in 0..256u64 {
+        let mut rng = Rng::new(0x51_0000 + seed);
+        let p = straight_line_program(&mut rng);
+        if p.validate().is_err() {
+            continue;
+        }
         let x = inputs(seed);
         let want = spl_icode::interp::run(&p, &x).unwrap();
         for (name, q) in [
@@ -155,16 +140,22 @@ proptest! {
         ] {
             q.validate().unwrap();
             let got = spl_icode::interp::run(&q, &x).unwrap();
-            prop_assert!(outputs_match(&got, &want), "{name} changed semantics");
+            assert!(
+                outputs_match(&got, &want),
+                "seed {seed}: {name} changed semantics"
+            );
         }
     }
+}
 
-    #[test]
-    fn optimize_preserves_loop_semantics(
-        p in looped_program(),
-        seed in 0u64..100,
-    ) {
-        prop_assume!(p.validate().is_ok());
+#[test]
+fn optimize_preserves_loop_semantics() {
+    for seed in 0..256u64 {
+        let mut rng = Rng::new(0x100_0000 + seed);
+        let p = looped_program(&mut rng);
+        if p.validate().is_err() {
+            continue;
+        }
         let x = inputs(seed);
         let want = spl_icode::interp::run(&p, &x).unwrap();
         for (name, q) in [
@@ -174,14 +165,26 @@ proptest! {
         ] {
             q.validate().unwrap();
             let got = spl_icode::interp::run(&q, &x).unwrap();
-            prop_assert!(outputs_match(&got, &want), "{name} changed semantics");
+            assert!(
+                outputs_match(&got, &want),
+                "seed {seed}: {name} changed semantics"
+            );
         }
     }
+}
 
-    #[test]
-    fn optimize_never_grows_code(p in straight_line_program()) {
-        prop_assume!(p.validate().is_ok());
+#[test]
+fn optimize_never_grows_code() {
+    for seed in 0..256u64 {
+        let mut rng = Rng::new(0x9120_0000 + seed);
+        let p = straight_line_program(&mut rng);
+        if p.validate().is_err() {
+            continue;
+        }
         let o = optimize(&p);
-        prop_assert!(o.static_instr_count() <= p.static_instr_count());
+        assert!(
+            o.static_instr_count() <= p.static_instr_count(),
+            "seed {seed}"
+        );
     }
 }

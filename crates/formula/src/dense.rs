@@ -433,18 +433,9 @@ mod tests {
     #[test]
     fn eq6_commutation_identity() {
         // A ⊗ B = L^{mn}_m (B ⊗ A) L^{mn}_n  for A m×m, B n×n
-        let a = Formula::matrix(
-            2,
-            2,
-            cvec(&[1.0, 2.0, 3.0, 4.0]),
-        )
-        .unwrap();
-        let b = Formula::matrix(
-            3,
-            3,
-            cvec(&[1.0, 0.0, 2.0, 0.0, 1.0, 1.0, 3.0, 0.0, 1.0]),
-        )
-        .unwrap();
+        let a = Formula::matrix(2, 2, cvec(&[1.0, 2.0, 3.0, 4.0])).unwrap();
+        let b =
+            Formula::matrix(3, 3, cvec(&[1.0, 0.0, 2.0, 0.0, 1.0, 1.0, 3.0, 0.0, 1.0])).unwrap();
         let (m, n) = (2usize, 3usize);
         let lhs = to_dense(&Formula::tensor(vec![a.clone(), b.clone()])).unwrap();
         let rhs = to_dense(&Formula::compose(vec![

@@ -222,10 +222,12 @@ pub fn inverse(f: &Formula) -> Option<Formula> {
         return Formula::permutation(invert_perm(&p)).ok();
     }
     if let Some(d) = as_diagonal(f) {
-        if d.iter().any(|&c| c == Complex::ZERO) {
+        if d.contains(&Complex::ZERO) {
             return None;
         }
-        return Some(Formula::diagonal(d.into_iter().map(Complex::recip).collect()));
+        return Some(Formula::diagonal(
+            d.into_iter().map(Complex::recip).collect(),
+        ));
     }
     None
 }
@@ -255,9 +257,7 @@ pub fn transpose(f: &Formula) -> Formula {
         }
         Formula::J(n) => Formula::J(*n),
         Formula::Stride { n, s } => Formula::Stride { n: *n, s: n / s },
-        Formula::Permutation(p) => {
-            Formula::Permutation(invert_perm(p))
-        }
+        Formula::Permutation(p) => Formula::Permutation(invert_perm(p)),
         Formula::Matrix { rows, cols, data } => {
             let mut t = vec![Complex::ZERO; data.len()];
             for r in 0..*rows {
@@ -271,13 +271,9 @@ pub fn transpose(f: &Formula) -> Formula {
                 data: t,
             }
         }
-        Formula::Compose(parts) => {
-            Formula::Compose(parts.iter().rev().map(transpose).collect())
-        }
+        Formula::Compose(parts) => Formula::Compose(parts.iter().rev().map(transpose).collect()),
         Formula::Tensor(parts) => Formula::Tensor(parts.iter().map(transpose).collect()),
-        Formula::DirectSum(parts) => {
-            Formula::DirectSum(parts.iter().map(transpose).collect())
-        }
+        Formula::DirectSum(parts) => Formula::DirectSum(parts.iter().map(transpose).collect()),
     }
 }
 
@@ -301,10 +297,7 @@ mod tests {
     fn same(a: &Formula, b: &Formula) {
         let da = to_dense(a).unwrap();
         let db = to_dense(b).unwrap();
-        assert!(
-            da.max_diff(&db) < 1e-11,
-            "formulas differ: {a:?} vs {b:?}"
-        );
+        assert!(da.max_diff(&db) < 1e-11, "formulas differ: {a:?} vs {b:?}");
     }
 
     #[test]
@@ -463,7 +456,10 @@ mod tests {
         let a = Formula::tensor(vec![Formula::identity(3), Formula::f(2)]);
         let q = Formula::stride(6, 3).unwrap();
         let conj = conjugate(&a, &q).unwrap();
-        same(&conj, &Formula::tensor(vec![Formula::f(2), Formula::identity(3)]));
+        same(
+            &conj,
+            &Formula::tensor(vec![Formula::f(2), Formula::identity(3)]),
+        );
     }
 
     #[test]

@@ -389,12 +389,10 @@ mod tests {
 
     #[test]
     fn number_then_close_paren() {
-        assert_eq!(kinds("(I 2)"), vec![
-            K::LParen,
-            K::Symbol("I".into()),
-            K::Int(2),
-            K::RParen
-        ]);
+        assert_eq!(
+            kinds("(I 2)"),
+            vec![K::LParen, K::Symbol("I".into()), K::Int(2), K::RParen]
+        );
     }
 
     #[test]
@@ -463,11 +461,7 @@ mod tests {
     fn property_access() {
         assert_eq!(
             kinds("A_.in_size"),
-            vec![
-                K::Symbol("A_".into()),
-                K::Dot,
-                K::Symbol("in_size".into())
-            ]
+            vec![K::Symbol("A_".into()), K::Dot, K::Symbol("in_size".into())]
         );
     }
 

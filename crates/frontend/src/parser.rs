@@ -187,8 +187,7 @@ impl Parser {
         };
         match name.as_str() {
             "subname" => {
-                if rest.is_empty() || !rest.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
-                {
+                if rest.is_empty() || !rest.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
                     return bad("expected an identifier");
                 }
                 Ok(Directive::Subname(rest))
@@ -264,10 +263,7 @@ impl Parser {
         if let Some(TokenKind::Symbol(s)) = self.peek_kind() {
             let is_fn_call = SCALAR_FUNCTIONS.contains(&s.as_str())
                 && self.peek_at(1) == Some(&TokenKind::LParen)
-                && self
-                    .tokens
-                    .get(self.pos + 1)
-                    .is_some_and(|t| !t.spaced);
+                && self.tokens.get(self.pos + 1).is_some_and(|t| !t.spaced);
             if s != "pi" && !is_fn_call {
                 let name = s.clone();
                 self.bump();
@@ -509,11 +505,7 @@ impl Parser {
                 kind: TokenKind::Dollar(v),
                 ..
             }) => v,
-            _ => {
-                return Err(
-                    self.err_here(ParseErrorKind::BadForm("expected a $-variable".into()))
-                )
-            }
+            _ => return Err(self.err_here(ParseErrorKind::BadForm("expected a $-variable".into()))),
         };
         if self.peek_kind() == Some(&TokenKind::LParen) {
             self.bump();
@@ -789,7 +781,10 @@ mod tests {
         assert_eq!(items.len(), 2);
         let elems = items[1].as_list().unwrap();
         assert_eq!(
-            elems.iter().map(|e| e.as_int().unwrap()).collect::<Vec<_>>(),
+            elems
+                .iter()
+                .map(|e| e.as_int().unwrap())
+                .collect::<Vec<_>>(),
             vec![1, -1, 1, -1]
         );
     }

@@ -82,10 +82,9 @@ impl ScalarExpr {
                 match op {
                     ScalarBinOp::Add => Complexish::new(a.re + b.re, a.im + b.im),
                     ScalarBinOp::Sub => Complexish::new(a.re - b.re, a.im - b.im),
-                    ScalarBinOp::Mul => Complexish::new(
-                        a.re * b.re - a.im * b.im,
-                        a.re * b.im + a.im * b.re,
-                    ),
+                    ScalarBinOp::Mul => {
+                        Complexish::new(a.re * b.re - a.im * b.im, a.re * b.im + a.im * b.re)
+                    }
                     ScalarBinOp::Div => {
                         let d = b.re * b.re + b.im * b.im;
                         if d == 0.0 {
@@ -102,9 +101,7 @@ impl ScalarExpr {
                 let real_arg = |i: usize| -> Result<f64, ScalarEvalError> {
                     let v: Complexish = args
                         .get(i)
-                        .ok_or_else(|| {
-                            ScalarEvalError(format!("{name}: missing argument {i}"))
-                        })?
+                        .ok_or_else(|| ScalarEvalError(format!("{name}: missing argument {i}")))?
                         .eval()?;
                     if v.im != 0.0 {
                         return Err(ScalarEvalError(format!("{name}: argument must be real")));
@@ -136,9 +133,7 @@ impl ScalarExpr {
                         let theta = -2.0 * std::f64::consts::PI * k / n;
                         Complexish::new(theta.cos(), theta.sin())
                     }
-                    other => {
-                        return Err(ScalarEvalError(format!("unknown function {other:?}")))
-                    }
+                    other => return Err(ScalarEvalError(format!("unknown function {other:?}"))),
                 }
             }
             Pair(re, im) => {

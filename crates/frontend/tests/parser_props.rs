@@ -1,57 +1,68 @@
-//! Property tests of the front end: the lexer/parser never panic on
-//! arbitrary input, and printing a parsed formula re-parses to the same
-//! tree (display/parse round trip).
-
-use proptest::prelude::*;
+//! Property-style tests of the front end: the lexer/parser never panic
+//! on arbitrary input, and printing a parsed formula re-parses to the
+//! same tree (display/parse round trip).
+//!
+//! Inputs are drawn deterministically from `spl_numeric::rng` with fixed
+//! seeds so every run exercises the same case set.
 
 use spl_frontend::parser::{parse_formula, parse_program};
 use spl_frontend::sexp::Sexp;
+use spl_numeric::rng::Rng;
 
-/// Random S-expressions built from the formula vocabulary.
-fn sexp_strategy(depth: u32) -> BoxedStrategy<Sexp> {
-    let leaf = prop_oneof![
-        (1i64..100).prop_map(Sexp::Int),
-        prop_oneof![
-            Just("F"),
-            Just("I"),
-            Just("compose"),
-            Just("tensor"),
-            Just("direct-sum"),
-            Just("A"),
-            Just("myname"),
-        ]
-        .prop_map(|s| Sexp::sym(s)),
-    ];
-    if depth == 0 {
-        return leaf.boxed();
-    }
-    let inner = sexp_strategy(depth - 1);
-    prop_oneof![
-        leaf,
-        proptest::collection::vec(inner, 1..4).prop_map(Sexp::List),
-    ]
-    .boxed()
+/// A random string over `alphabet` with length in `[0, max_len]`.
+fn random_text(rng: &mut Rng, alphabet: &[char], max_len: u64) -> String {
+    let len = rng.below(max_len + 1) as usize;
+    (0..len).map(|_| *rng.pick(alphabet)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// Random S-expressions built from the formula vocabulary.
+fn random_sexp(rng: &mut Rng, depth: u32) -> Sexp {
+    const SYMS: [&str; 7] = ["F", "I", "compose", "tensor", "direct-sum", "A", "myname"];
+    if depth == 0 || rng.chance(0.4) {
+        return if rng.chance(0.5) {
+            Sexp::Int(rng.range(1, 99) as i64)
+        } else {
+            // Not auto-deref: inference needs `T = &str`, not `T = str`.
+            #[allow(clippy::explicit_auto_deref)]
+            let sym: &str = *rng.pick(&SYMS);
+            Sexp::sym(sym)
+        };
+    }
+    let n = rng.range(1, 3) as usize;
+    Sexp::List((0..n).map(|_| random_sexp(rng, depth - 1)).collect())
+}
 
-    #[test]
-    fn parser_never_panics_on_arbitrary_text(src in ".{0,200}") {
+#[test]
+fn parser_never_panics_on_arbitrary_text() {
+    // Printable ASCII plus whitespace and a few multibyte characters.
+    let mut alphabet: Vec<char> = (' '..='~').collect();
+    alphabet.extend(['\n', '\t', 'π', 'é', '中', '\u{0}']);
+    for seed in 0..256u64 {
+        let mut rng = Rng::new(0xAB_0000 + seed);
+        let src = random_text(&mut rng, &alphabet, 200);
         // Any outcome is fine; panics are not.
         let _ = parse_program(&src);
         let _ = parse_formula(&src);
     }
+}
 
-    #[test]
-    fn parser_never_panics_on_spl_shaped_text(
-        src in r"[()\[\]a-z0-9_ #;.$=+*/<>!&|,-]{0,200}",
-    ) {
+#[test]
+fn parser_never_panics_on_spl_shaped_text() {
+    let alphabet: Vec<char> = "()[]abcdefghijklmnopqrstuvwxyz0123456789_ #;.$=+*/<>!&|,-"
+        .chars()
+        .collect();
+    for seed in 0..256u64 {
+        let mut rng = Rng::new(0x5B_0000 + seed);
+        let src = random_text(&mut rng, &alphabet, 200);
         let _ = parse_program(&src);
     }
+}
 
-    #[test]
-    fn display_parse_round_trip(s in sexp_strategy(3)) {
+#[test]
+fn display_parse_round_trip() {
+    for seed in 0..256u64 {
+        let mut rng = Rng::new(0xD15B_0000 + seed);
+        let s = random_sexp(&mut rng, 3);
         // Only lists are formulas; wrap atoms.
         let formula = match &s {
             Sexp::List(_) => s.clone(),
@@ -59,15 +70,36 @@ proptest! {
         };
         let printed = formula.to_string();
         match parse_formula(&printed) {
-            Ok(back) => prop_assert_eq!(back, formula),
-            Err(e) => prop_assert!(false, "printed form {} failed to parse: {e}", printed),
+            Ok(back) => assert_eq!(back, formula, "seed {seed}"),
+            Err(e) => panic!("printed form {printed} failed to parse: {e}"),
         }
     }
+}
 
-    #[test]
-    fn directive_lines_round_trip(name in "(subname [a-z][a-z0-9_]{0,8})|(unroll on)|(unroll off)|(datatype real)|(datatype complex)|(codetype real)|(codetype complex)|(language c)|(language fortran)") {
-        let src = format!("#{name}\n(F 2)");
+#[test]
+fn directive_lines_round_trip() {
+    let mut fixed = vec![
+        "unroll on".to_string(),
+        "unroll off".to_string(),
+        "datatype real".to_string(),
+        "datatype complex".to_string(),
+        "codetype real".to_string(),
+        "codetype complex".to_string(),
+        "language c".to_string(),
+        "language fortran".to_string(),
+    ];
+    let mut rng = Rng::new(0xD1_4EC7);
+    let first: Vec<char> = ('a'..='z').collect();
+    let rest: Vec<char> = ('a'..='z').chain('0'..='9').chain(['_']).collect();
+    for _ in 0..24 {
+        let name: String = std::iter::once(*rng.pick(&first))
+            .chain((0..rng.below(9)).map(|_| *rng.pick(&rest)))
+            .collect();
+        fixed.push(format!("subname {name}"));
+    }
+    for directive in fixed {
+        let src = format!("#{directive}\n(F 2)");
         let prog = parse_program(&src).unwrap();
-        prop_assert_eq!(prog.items.len(), 2);
+        assert_eq!(prog.items.len(), 2, "directive {directive:?}");
     }
 }

@@ -51,9 +51,7 @@ pub const TEMPLATE_SOURCE: &str = "
 
 /// The chirp `c_k = ω_{2n}^{k²}` for `k = 0..n`.
 fn chirp(n: usize) -> Vec<Complex> {
-    (0..n)
-        .map(|k| omega(2 * n, (k * k) as i64))
-        .collect()
+    (0..n).map(|k| omega(2 * n, (k * k) as i64)).collect()
 }
 
 /// The circular-convolution kernel: `b[k] = ω_{2n}^{-k²}` wrapped onto
@@ -101,14 +99,7 @@ pub fn bluestein_with_tree(n: usize, tree: &FftTree) -> Sexp {
         Sexp::Int(n as i64),
         Sexp::Int(m as i64),
     ]);
-    Sexp::List(vec![
-        Sexp::sym("compose"),
-        post,
-        extract,
-        conv,
-        pad,
-        pre,
-    ])
+    Sexp::List(vec![Sexp::sym("compose"), post, extract, conv, pad, pre])
 }
 
 /// [`bluestein_with_tree`] with a default radix-2 tree for the inner
@@ -146,7 +137,9 @@ mod tests {
             .flat_map(|z| [Complex::real(z.re), Complex::real(z.im)])
             .collect();
         let y = spl_icode::interp::run(&unit.program, &flat).unwrap();
-        y.chunks(2).map(|p| Complex::new(p[0].re, p[1].re)).collect()
+        y.chunks(2)
+            .map(|p| Complex::new(p[0].re, p[1].re))
+            .collect()
     }
 
     fn workload(n: usize) -> Vec<Complex> {
@@ -186,8 +179,8 @@ mod tests {
 
     #[test]
     fn shape_is_n_by_n() {
-        use spl_templates::{shape::shape_of, TemplateTable};
         use spl_frontend::parse_program;
+        use spl_templates::{shape::shape_of, TemplateTable};
         let mut table = TemplateTable::builtin();
         for item in parse_program(TEMPLATE_SOURCE).unwrap().items {
             if let spl_frontend::Item::Template(t) = item {

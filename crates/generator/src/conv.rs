@@ -51,11 +51,7 @@ pub fn circular_convolution(h: &[Complex], tree: &FftTree) -> Formula {
     let n = tree.size();
     assert_eq!(h.len(), n, "filter length must match the transform size");
     let hf = reference::dft(h);
-    Formula::compose(vec![
-        idft(tree),
-        Formula::diagonal(hf),
-        tree.to_formula(),
-    ])
+    Formula::compose(vec![idft(tree), Formula::diagonal(hf), tree.to_formula()])
 }
 
 /// A windowed-sinc low-pass filter kernel of length `n` with normalized
@@ -68,7 +64,10 @@ pub fn circular_convolution(h: &[Complex], tree: &FftTree) -> Formula {
 /// Panics unless `0 < taps <= n` and `0 < fc < 0.5`.
 pub fn lowpass_kernel(n: usize, taps: usize, fc: f64) -> Vec<Complex> {
     assert!(taps > 0 && taps <= n, "taps must be within the length");
-    assert!(fc > 0.0 && fc < 0.5, "cutoff must be a normalized frequency");
+    assert!(
+        fc > 0.0 && fc < 0.5,
+        "cutoff must be a normalized frequency"
+    );
     let mut h = vec![Complex::ZERO; n];
     let mid = (taps - 1) as f64 / 2.0;
     let mut sum = 0.0;
@@ -132,8 +131,8 @@ mod tests {
     #[test]
     fn convolution_compiles_and_runs() {
         use spl_compiler::Compiler;
-        use spl_frontend::ast::{DataType, DirectiveState};
         use spl_formula::formula_to_sexp;
+        use spl_frontend::ast::{DataType, DirectiveState};
         let tree = ct_sequence(&[2, 4], Rule::CooleyTukey);
         let h = lowpass_kernel(8, 5, 0.25);
         let formula = circular_convolution(&h, &tree);

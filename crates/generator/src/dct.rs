@@ -46,18 +46,12 @@ pub fn dct2(n: usize) -> Sexp {
     assert!(n.is_power_of_two() && n >= 2, "dct2: n must be 2^k >= 2");
     if n == 2 {
         // diag(1, 1/sqrt 2) · F2
-        let d = Formula::diagonal(vec![
-            Complex::ONE,
-            Complex::real(1.0 / 2.0_f64.sqrt()),
-        ]);
+        let d = Formula::diagonal(vec![Complex::ONE, Complex::real(1.0 / 2.0_f64.sqrt())]);
         return formula_to_sexp(&Formula::compose(vec![d, Formula::f(2)]));
     }
     let h = n / 2;
     let p = formula_to_sexp(&Formula::stride(n, h).expect("h divides n"));
-    let butterfly = formula_to_sexp(&Formula::tensor(vec![
-        Formula::f(2),
-        Formula::identity(h),
-    ]));
+    let butterfly = formula_to_sexp(&Formula::tensor(vec![Formula::f(2), Formula::identity(h)]));
     let q = formula_to_sexp(&Formula::direct_sum(vec![
         Formula::identity(h),
         Formula::reversal(h),
@@ -83,12 +77,7 @@ pub fn dct4(n: usize) -> Sexp {
             })
             .collect(),
     );
-    Sexp::List(vec![
-        Sexp::sym("compose"),
-        s,
-        dct2(n),
-        formula_to_sexp(&d),
-    ])
+    Sexp::List(vec![Sexp::sym("compose"), s, dct2(n), formula_to_sexp(&d)])
 }
 
 #[cfg(test)]

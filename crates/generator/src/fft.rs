@@ -389,7 +389,11 @@ mod tests {
             FftTree::node(
                 Rule::Parallel,
                 FftTree::node(Rule::Vector, FftTree::leaf(2), FftTree::leaf(4)),
-                FftTree::node(Rule::DecimationInFrequency, FftTree::leaf(2), FftTree::leaf(2)),
+                FftTree::node(
+                    Rule::DecimationInFrequency,
+                    FftTree::leaf(2),
+                    FftTree::leaf(2),
+                ),
             ),
         ];
         for t in trees {

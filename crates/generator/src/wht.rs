@@ -47,9 +47,7 @@ impl WhtTree {
     /// Elaborates into a typed formula.
     pub fn to_formula(&self) -> Formula {
         match self {
-            WhtTree::Leaf(k) => {
-                Formula::tensor((0..*k).map(|_| Formula::f(2)).collect())
-            }
+            WhtTree::Leaf(k) => Formula::tensor((0..*k).map(|_| Formula::f(2)).collect()),
             WhtTree::Split(children) => {
                 let total = self.exponent();
                 let mut factors = Vec::with_capacity(children.len());

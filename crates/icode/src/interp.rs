@@ -37,8 +37,7 @@ impl Error for InterpError {}
 /// bounds, non-integer operands in integer positions, unknown
 /// intrinsics, integer division by zero, or input length mismatch.
 pub fn run(prog: &IProgram, input: &[Complex]) -> Result<Vec<Complex>, InterpError> {
-    prog.validate()
-        .map_err(|e| InterpError(e.to_string()))?;
+    prog.validate().map_err(|e| InterpError(e.to_string()))?;
     if input.len() != prog.n_in {
         return Err(InterpError(format!(
             "input length {} != {}",
@@ -364,10 +363,7 @@ mod tests {
                 Instr::Bin {
                     op: BinOp::Mul,
                     dst: Place::F(0),
-                    a: Value::Intrinsic(
-                        "W".into(),
-                        vec![Value::Int(n), Value::Place(Place::R(0))],
-                    ),
+                    a: Value::Intrinsic("W".into(), vec![Value::Int(n), Value::Place(Place::R(0))]),
                     b: in_at(Affine::var(i1)),
                 },
                 Instr::Bin {

@@ -124,10 +124,7 @@ impl IProgram {
                         )));
                     }
                     if !seen_vars.insert(*var) {
-                        return Err(IcodeError(format!(
-                            "instr {k}: loop var {} reused",
-                            var.0
-                        )));
+                        return Err(IcodeError(format!("instr {k}: loop var {} reused", var.0)));
                     }
                     if hi < lo {
                         return Err(IcodeError(format!("instr {k}: empty loop {lo}..{hi}")));
@@ -143,14 +140,26 @@ impl IProgram {
                     self.check_place(k, dst, &open)?;
                     self.check_value(k, a, &open)?;
                     self.check_value(k, b, &open)?;
-                    if matches!(dst, Place::Vec(VecRef { kind: VecKind::In, .. })) {
+                    if matches!(
+                        dst,
+                        Place::Vec(VecRef {
+                            kind: VecKind::In,
+                            ..
+                        })
+                    ) {
                         return Err(IcodeError(format!("instr {k}: write to input vector")));
                     }
                 }
                 Instr::Un { dst, a, .. } => {
                     self.check_place(k, dst, &open)?;
                     self.check_value(k, a, &open)?;
-                    if matches!(dst, Place::Vec(VecRef { kind: VecKind::In, .. })) {
+                    if matches!(
+                        dst,
+                        Place::Vec(VecRef {
+                            kind: VecKind::In,
+                            ..
+                        })
+                    ) {
                         return Err(IcodeError(format!("instr {k}: write to input vector")));
                     }
                 }
@@ -187,9 +196,10 @@ impl IProgram {
         let len = match v.kind {
             VecKind::In => self.n_in,
             VecKind::Out => self.n_out,
-            VecKind::Temp(t) => *self.temps.get(t as usize).ok_or_else(|| {
-                IcodeError(format!("instr {k}: temp {t} undeclared"))
-            })?,
+            VecKind::Temp(t) => *self
+                .temps
+                .get(t as usize)
+                .ok_or_else(|| IcodeError(format!("instr {k}: temp {t} undeclared")))?,
             VecKind::Table(t) => self
                 .tables
                 .get(t as usize)
@@ -219,9 +229,7 @@ impl IProgram {
                     )))
                 }
             }
-            Value::Intrinsic(_, args) => {
-                args.iter().try_for_each(|a| self.check_value(k, a, open))
-            }
+            Value::Intrinsic(_, args) => args.iter().try_for_each(|a| self.check_value(k, a, open)),
             _ => Ok(()),
         }
     }

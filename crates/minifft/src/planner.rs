@@ -105,8 +105,7 @@ impl PlanNode {
                     for k in 0..r {
                         let idx = 2 * (k * s + j) * os;
                         let (re, im) = (y[idx], y[idx + 1]);
-                        let (wr, wi) =
-                            (twiddles[2 * (k * s + j)], twiddles[2 * (k * s + j) + 1]);
+                        let (wr, wi) = (twiddles[2 * (k * s + j)], twiddles[2 * (k * s + j) + 1]);
                         buf[2 * k] = re * wr - im * wi;
                         buf[2 * k + 1] = re * wi + im * wr;
                     }
@@ -276,9 +275,7 @@ impl Planner {
         let best = match self.mode {
             PlanMode::Estimate => candidates
                 .into_iter()
-                .min_by(|a, b| {
-                    estimate::node_cost(a).total_cmp(&estimate::node_cost(b))
-                })
+                .min_by(|a, b| estimate::node_cost(a).total_cmp(&estimate::node_cost(b)))
                 .unwrap(),
             PlanMode::Measure => {
                 // Scratch buffers for timing (the planner's memory cost).

@@ -1,8 +1,7 @@
-//! Property tests of the FFTW-like baseline: any planned power-of-two
-//! size computes the DFT, both planner modes agree, and the inverse
-//! round-trips.
-
-use proptest::prelude::*;
+//! Property-style tests of the FFTW-like baseline: any planned
+//! power-of-two size computes the DFT, both planner modes agree, and the
+//! inverse round-trips. Cases are enumerated deterministically over
+//! (size, seed) grids instead of sampled, so every run is identical.
 
 use spl_minifft::{Plan, PlanMode};
 use spl_numeric::{reference, relative_rms_error, Complex};
@@ -23,56 +22,68 @@ fn execute(plan: &Plan, x: &[Complex]) -> Vec<Complex> {
     y.chunks(2).map(|p| Complex::new(p[0], p[1])).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn estimate_plans_compute_the_dft(k in 1u32..10, seed in 0u64..50) {
-        let n = 1usize << k;
-        let plan = Plan::new(n, PlanMode::Estimate);
-        let x = workload(n, seed);
-        let got = execute(&plan, &x);
-        let want = reference::dft(&x);
-        prop_assert!(relative_rms_error(&got, &want) < 1e-12 * (n as f64));
+#[test]
+fn estimate_plans_compute_the_dft() {
+    for k in 1u32..10 {
+        for seed in [0u64, 17, 43] {
+            let n = 1usize << k;
+            let plan = Plan::new(n, PlanMode::Estimate);
+            let x = workload(n, seed);
+            let got = execute(&plan, &x);
+            let want = reference::dft(&x);
+            assert!(
+                relative_rms_error(&got, &want) < 1e-12 * (n as f64),
+                "n={n} seed={seed}"
+            );
+        }
     }
+}
 
-    #[test]
-    fn both_modes_agree(k in 6u32..12, seed in 0u64..50) {
+#[test]
+fn both_modes_agree() {
+    for k in 6u32..12 {
         let n = 1usize << k;
-        let x = workload(n, seed);
+        let x = workload(n, 7);
         let a = execute(&Plan::new(n, PlanMode::Estimate), &x);
         let b = execute(&Plan::new(n, PlanMode::Measure), &x);
-        prop_assert!(relative_rms_error(&a, &b) < 1e-11);
+        assert!(relative_rms_error(&a, &b) < 1e-11, "n={n}");
     }
+}
 
-    #[test]
-    fn inverse_round_trips(k in 1u32..13, seed in 0u64..50) {
-        let n = 1usize << k;
-        let plan = Plan::new(n, PlanMode::Estimate);
-        let x = workload(n, seed);
-        let flat: Vec<f64> = x.iter().flat_map(|z| [z.re, z.im]).collect();
-        let mut y = vec![0.0; 2 * n];
-        let mut back = vec![0.0; 2 * n];
-        plan.execute(&flat, &mut y);
-        plan.execute_inverse(&y, &mut back);
-        let b: Vec<Complex> = back.chunks(2).map(|p| Complex::new(p[0], p[1])).collect();
-        prop_assert!(relative_rms_error(&b, &x) < 1e-11);
+#[test]
+fn inverse_round_trips() {
+    for k in 1u32..13 {
+        for seed in [0u64, 29] {
+            let n = 1usize << k;
+            let plan = Plan::new(n, PlanMode::Estimate);
+            let x = workload(n, seed);
+            let flat: Vec<f64> = x.iter().flat_map(|z| [z.re, z.im]).collect();
+            let mut y = vec![0.0; 2 * n];
+            let mut back = vec![0.0; 2 * n];
+            plan.execute(&flat, &mut y);
+            plan.execute_inverse(&y, &mut back);
+            let b: Vec<Complex> = back.chunks(2).map(|p| Complex::new(p[0], p[1])).collect();
+            assert!(relative_rms_error(&b, &x) < 1e-11, "n={n} seed={seed}");
+        }
     }
+}
 
-    #[test]
-    fn linearity(k in 2u32..8, seed in 0u64..50) {
-        // DFT(a·x + y) = a·DFT(x) + DFT(y)
-        let n = 1usize << k;
-        let plan = Plan::new(n, PlanMode::Estimate);
-        let x = workload(n, seed);
-        let y = workload(n, seed + 1000);
-        let a = Complex::new(0.7, -0.3);
-        let combined: Vec<Complex> =
-            x.iter().zip(&y).map(|(&xv, &yv)| xv * a + yv).collect();
-        let lhs = execute(&plan, &combined);
-        let fx = execute(&plan, &x);
-        let fy = execute(&plan, &y);
-        let rhs: Vec<Complex> = fx.iter().zip(&fy).map(|(&u, &v)| u * a + v).collect();
-        prop_assert!(relative_rms_error(&lhs, &rhs) < 1e-11);
+#[test]
+fn linearity() {
+    // DFT(a·x + y) = a·DFT(x) + DFT(y)
+    for k in 2u32..8 {
+        for seed in [3u64, 11, 31] {
+            let n = 1usize << k;
+            let plan = Plan::new(n, PlanMode::Estimate);
+            let x = workload(n, seed);
+            let y = workload(n, seed + 1000);
+            let a = Complex::new(0.7, -0.3);
+            let combined: Vec<Complex> = x.iter().zip(&y).map(|(&xv, &yv)| xv * a + yv).collect();
+            let lhs = execute(&plan, &combined);
+            let fx = execute(&plan, &x);
+            let fy = execute(&plan, &y);
+            let rhs: Vec<Complex> = fx.iter().zip(&fy).map(|(&u, &v)| u * a + v).collect();
+            assert!(relative_rms_error(&lhs, &rhs) < 1e-11, "n={n} seed={seed}");
+        }
     }
 }

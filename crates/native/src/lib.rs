@@ -451,8 +451,8 @@ mod tests {
         let unit = c.compile_formula_str("(F 2)").unwrap();
         let k = NativeIoKernel::compile(&unit).unwrap();
         assert_eq!(k.n_in, 4); // 2 complex points = 4 real words
-        // Input x embedded at real-word stride 2 starting at word 1:
-        // logical elements x[1], x[3], x[5], x[7].
+                               // Input x embedded at real-word stride 2 starting at word 1:
+                               // logical elements x[1], x[3], x[5], x[7].
         let x = [0.0, 3.0, 0.0, 0.5, 0.0, 5.0, 0.0, -1.5];
         let mut y = vec![0.0; 16];
         // Output at word stride 3 starting at word 2.

@@ -28,6 +28,7 @@ pub mod kahan;
 pub mod metrics;
 pub mod perm;
 pub mod reference;
+pub mod rng;
 pub mod twiddle;
 
 pub use complex::Complex;

@@ -121,9 +121,7 @@ mod tests {
         let br = [1.5, 2.0, 2.5];
         let ac: Vec<Complex> = ar.iter().map(|&x| Complex::real(x)).collect();
         let bc: Vec<Complex> = br.iter().map(|&x| Complex::real(x)).collect();
-        assert!(
-            (relative_rms_error_real(&ar, &br) - relative_rms_error(&ac, &bc)).abs() < 1e-15
-        );
+        assert!((relative_rms_error_real(&ar, &br) - relative_rms_error(&ac, &bc)).abs() < 1e-15);
     }
 
     #[test]

@@ -139,7 +139,10 @@ pub fn dct4_matrix_entry(n: usize, k: usize, j: usize) -> f64 {
 /// Panics if the lengths differ or are zero.
 pub fn circular_convolution(h: &[Complex], x: &[Complex]) -> Vec<Complex> {
     let n = x.len();
-    assert!(n > 0 && h.len() == n, "circular_convolution: length mismatch");
+    assert!(
+        n > 0 && h.len() == n,
+        "circular_convolution: length mismatch"
+    );
     (0..n)
         .map(|k| {
             let mut acc = Complex::ZERO;
@@ -240,8 +243,12 @@ mod tests {
     #[test]
     fn convolution_theorem_holds() {
         // DFT(h ⊛ x) = DFT(h) · DFT(x) pointwise.
-        let h: Vec<Complex> = (0..8).map(|i| Complex::new((i as f64).sin(), 0.1)).collect();
-        let x: Vec<Complex> = (0..8).map(|i| Complex::new(0.3, (i as f64).cos())).collect();
+        let h: Vec<Complex> = (0..8)
+            .map(|i| Complex::new((i as f64).sin(), 0.1))
+            .collect();
+        let x: Vec<Complex> = (0..8)
+            .map(|i| Complex::new(0.3, (i as f64).cos()))
+            .collect();
         let lhs = dft(&circular_convolution(&h, &x));
         let hf = dft(&h);
         let xf = dft(&x);

@@ -1,0 +1,145 @@
+//! A small deterministic pseudo-random number generator.
+//!
+//! The workspace is built offline, so it cannot depend on the `rand`
+//! crate; benchmarks and property-style tests instead draw reproducible
+//! streams from this SplitMix64 generator (Steele, Lea & Flood's
+//! finalizer, the same mixer `rand` uses to seed its own generators).
+//! Determinism is a feature here: every figure run and every test sees
+//! the same workload for a given seed.
+//!
+//! # Examples
+//!
+//! ```
+//! use spl_numeric::rng::Rng;
+//!
+//! let mut a = Rng::new(42);
+//! let mut b = Rng::new(42);
+//! assert_eq!(a.next_u64(), b.next_u64());
+//! let x = a.uniform(-1.0, 1.0);
+//! assert!((-1.0..1.0).contains(&x));
+//! ```
+
+/// A SplitMix64 pseudo-random number generator.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// A generator with the given seed; equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        Rng { state: seed }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A float uniform in `[0, 1)`, using the top 53 bits.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A float uniform in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// An integer uniform in `[0, bound)`; `bound` must be non-zero.
+    ///
+    /// Uses Lemire's multiply-shift reduction; the slight modulo bias is
+    /// irrelevant at the bounds used here (all far below 2^32).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "Rng::below requires a non-zero bound");
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// An integer uniform in `[lo, hi]` (inclusive); requires `lo <= hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "Rng::range requires lo <= hi");
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// True with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// A uniformly chosen element of `items`; `items` must be non-empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len() as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = Rng::new(0xDEAD_BEEF);
+        let mut b = Rng::new(0xDEAD_BEEF);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn streams_differ_across_seeds() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut r = Rng::new(7);
+        for _ in 0..10_000 {
+            let x = r.uniform(-1.0, 1.0);
+            assert!((-1.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniform_covers_both_halves() {
+        let mut r = Rng::new(3);
+        let (mut neg, mut pos) = (0, 0);
+        for _ in 0..1000 {
+            if r.uniform(-1.0, 1.0) < 0.0 {
+                neg += 1;
+            } else {
+                pos += 1;
+            }
+        }
+        assert!(neg > 300 && pos > 300, "neg={neg} pos={pos}");
+    }
+
+    #[test]
+    fn below_and_range_bounds() {
+        let mut r = Rng::new(11);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            let v = r.below(5);
+            assert!(v < 5);
+            seen[v as usize] = true;
+            let w = r.range(3, 6);
+            assert!((3..=6).contains(&w));
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reachable");
+    }
+
+    #[test]
+    fn pick_selects_members() {
+        let mut r = Rng::new(5);
+        let items = ["a", "b", "c"];
+        for _ in 0..100 {
+            assert!(items.contains(r.pick(&items)));
+        }
+    }
+}

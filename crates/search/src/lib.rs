@@ -38,7 +38,8 @@ use std::time::Duration;
 
 use spl_compiler::{Compiler, CompilerOptions, OptLevel};
 use spl_generator::fft::{rightmost_splits, FftTree, Rule};
-use spl_vm::{lower, measure, VmProgram};
+use spl_telemetry::{Stopwatch, Telemetry};
+use spl_vm::{describe_policy, lower, measure, VmProgram};
 
 /// A search failure (compilation of a candidate failed, etc.).
 #[derive(Debug, Clone, PartialEq)]
@@ -127,6 +128,13 @@ pub trait Evaluator {
     ///
     /// May fail when a candidate cannot be compiled.
     fn cost(&mut self, tree: &FftTree) -> Result<f64, SearchError>;
+
+    /// Takes whatever telemetry the evaluator accumulated (timer
+    /// repetitions, cache hits, measurement policy), leaving it empty.
+    /// Model evaluators keep no telemetry and return an empty set.
+    fn drain_telemetry(&mut self) -> Telemetry {
+        Telemetry::new()
+    }
 }
 
 /// Times each candidate on the VM (the paper's measured search).
@@ -137,15 +145,19 @@ pub struct MeasuredEvaluator {
     /// Minimum total measurement time per candidate.
     pub min_time: Duration,
     cache: HashMap<String, f64>,
+    tel: Telemetry,
 }
 
 impl MeasuredEvaluator {
     /// A measured evaluator with the paper's defaults.
     pub fn new(unroll_threshold: usize, min_time: Duration) -> Self {
+        let mut tel = Telemetry::new();
+        describe_policy(&mut tel, min_time);
         MeasuredEvaluator {
             unroll_threshold,
             min_time,
             cache: HashMap::new(),
+            tel,
         }
     }
 }
@@ -154,12 +166,20 @@ impl Evaluator for MeasuredEvaluator {
     fn cost(&mut self, tree: &FftTree) -> Result<f64, SearchError> {
         let key = tree.describe();
         if let Some(&c) = self.cache.get(&key) {
+            self.tel.add("search.eval_cache_hits", 1);
             return Ok(c);
         }
         let vm = compile_tree(tree, self.unroll_threshold)?;
         let m = measure(&vm, self.min_time);
+        m.record(&mut self.tel, "timer");
         self.cache.insert(key, m.secs_per_call);
         Ok(m.secs_per_call)
+    }
+
+    fn drain_telemetry(&mut self) -> Telemetry {
+        let tel = std::mem::take(&mut self.tel);
+        describe_policy(&mut self.tel, self.min_time);
+        tel
     }
 }
 
@@ -172,15 +192,19 @@ pub struct NativeEvaluator {
     /// Minimum total measurement time per candidate.
     pub min_time: Duration,
     cache: HashMap<String, f64>,
+    tel: Telemetry,
 }
 
 impl NativeEvaluator {
     /// A native evaluator with the given measurement budget.
     pub fn new(unroll_threshold: usize, min_time: Duration) -> Self {
+        let mut tel = Telemetry::new();
+        describe_policy(&mut tel, min_time);
         NativeEvaluator {
             unroll_threshold,
             min_time,
             cache: HashMap::new(),
+            tel,
         }
     }
 }
@@ -189,12 +213,20 @@ impl Evaluator for NativeEvaluator {
     fn cost(&mut self, tree: &FftTree) -> Result<f64, SearchError> {
         let key = tree.describe();
         if let Some(&c) = self.cache.get(&key) {
+            self.tel.add("search.eval_cache_hits", 1);
             return Ok(c);
         }
         let kernel = compile_tree_native(tree, self.unroll_threshold)?;
         let t = kernel.measure(self.min_time);
+        self.tel.add("search.native_measurements", 1);
         self.cache.insert(key, t);
         Ok(t)
+    }
+
+    fn drain_telemetry(&mut self) -> Telemetry {
+        let tel = std::mem::take(&mut self.tel);
+        describe_policy(&mut self.tel, self.min_time);
+        tel
     }
 }
 
@@ -231,11 +263,8 @@ impl Evaluator for OpCountEvaluator {
         if let Some(&c) = self.cache.get(&key) {
             return Ok(c);
         }
-        let unit = compile_sexp_for_search(
-            &tree.to_sexp(),
-            64,
-            spl_frontend::ast::DataType::Complex,
-        )?;
+        let unit =
+            compile_sexp_for_search(&tree.to_sexp(), 64, spl_frontend::ast::DataType::Complex)?;
         let cost = unit.program.dynamic_op_count() as f64;
         self.cache.insert(key, cost);
         Ok(cost)
@@ -263,6 +292,23 @@ pub fn small_search(
     config: &SearchConfig,
     eval: &mut dyn Evaluator,
 ) -> Result<Vec<SizeResult>, SearchError> {
+    small_search_traced(max_k, config, eval, &mut Telemetry::new())
+}
+
+/// [`small_search`] with telemetry: records a `search.small` span, a
+/// `search.plans_evaluated` counter, and the best-cost trajectory as one
+/// `search.best_cost.<n>` metric per size.
+///
+/// # Errors
+///
+/// Propagates evaluator failures.
+pub fn small_search_traced(
+    max_k: u32,
+    config: &SearchConfig,
+    eval: &mut dyn Evaluator,
+    tel: &mut Telemetry,
+) -> Result<Vec<SizeResult>, SearchError> {
+    let sw = Stopwatch::start();
     let mut best: Vec<SizeResult> = Vec::new();
     for k in 1..=max_k {
         let mut candidates = vec![FftTree::leaf(1usize << k)];
@@ -274,12 +320,17 @@ pub fn small_search(
         let mut winner: Option<SizeResult> = None;
         for tree in candidates {
             let cost = eval.cost(&tree)?;
+            tel.add("search.plans_evaluated", 1);
             if winner.as_ref().is_none_or(|w| cost < w.cost) {
                 winner = Some(SizeResult { tree, cost });
             }
         }
-        best.push(winner.expect("at least one candidate per size"));
+        let winner = winner.expect("at least one candidate per size");
+        tel.set_metric(&format!("search.best_cost.{}", 1usize << k), winner.cost);
+        best.push(winner);
     }
+    tel.record_span("search.small", sw.elapsed());
+    tel.merge(&eval.drain_telemetry());
     Ok(best)
 }
 
@@ -313,6 +364,28 @@ pub fn large_search(
     config: &SearchConfig,
     eval: &mut dyn Evaluator,
 ) -> Result<Vec<Vec<Plan>>, SearchError> {
+    large_search_traced(small, max_log, config, eval, &mut Telemetry::new())
+}
+
+/// [`large_search`] with telemetry: records a `search.large` span, a
+/// `search.plans_evaluated` counter, the number of retained plans, and
+/// one `search.best_cost.<n>` metric per size.
+///
+/// # Errors
+///
+/// Propagates evaluator failures.
+///
+/// # Panics
+///
+/// Panics if `small` does not cover sizes up to `config.leaf_max`.
+pub fn large_search_traced(
+    small: &[SizeResult],
+    max_log: u32,
+    config: &SearchConfig,
+    eval: &mut dyn Evaluator,
+    tel: &mut Telemetry,
+) -> Result<Vec<Vec<Plan>>, SearchError> {
+    let sw = Stopwatch::start();
     let small_max_k = small.len() as u32;
     assert!(
         (1usize << small_max_k) >= config.leaf_max,
@@ -349,6 +422,7 @@ pub fn large_search(
             for right in right_plans {
                 let tree = FftTree::node(config.rule, left.clone(), right.tree.clone());
                 let cost = eval.cost(&tree)?;
+                tel.add("search.plans_evaluated", 1);
                 plans.push(Plan { tree, cost });
             }
         }
@@ -357,8 +431,127 @@ pub fn large_search(
         if plans.is_empty() {
             return Err(SearchError(format!("no candidates for size {n}")));
         }
+        tel.add("search.plans_kept", plans.len() as u64);
+        tel.set_metric(&format!("search.best_cost.{n}"), plans[0].cost);
         kbest.insert(k, plans.clone());
         out.push(plans);
+    }
+    tel.record_span("search.large", sw.elapsed());
+    tel.merge(&eval.drain_telemetry());
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// WHT search (generality beyond the FFT)
+// ---------------------------------------------------------------------
+
+/// A WHT cost oracle (mirrors [`Evaluator`] for Walsh–Hadamard trees).
+///
+/// The related-work section of the paper points at the WHT package of
+/// Johnson and Püschel, which searches a space of WHT formulas the same
+/// way; this function reproduces that search with the SPL toolchain:
+/// dynamic programming over binary splits of `WHT_{2^k}` with direct
+/// (tensor-power) leaves admitted up to `max_leaf_exp`.
+///
+/// Returns the winner per exponent `1..=max_k`.
+///
+/// # Errors
+///
+/// Propagates compilation failures from the evaluator.
+pub fn wht_search(
+    max_k: u32,
+    max_leaf_exp: u32,
+    unroll_threshold: usize,
+    min_time: Duration,
+) -> Result<Vec<(spl_generator::wht::WhtTree, f64)>, SearchError> {
+    use spl_generator::wht::WhtTree;
+    let mut cache: HashMap<String, f64> = HashMap::new();
+    let mut cost = |tree: &WhtTree| -> Result<f64, SearchError> {
+        let key = format!("{tree:?}");
+        if let Some(&c) = cache.get(&key) {
+            return Ok(c);
+        }
+        let unit = compile_sexp_for_search(
+            &tree.to_sexp(),
+            unroll_threshold,
+            spl_frontend::ast::DataType::Real,
+        )?;
+        let vm = lower(&unit.program).map_err(|e| SearchError(e.to_string()))?;
+        let t = measure(&vm, min_time).secs_per_call;
+        cache.insert(key, t);
+        Ok(t)
+    };
+    let mut best: Vec<(WhtTree, f64)> = Vec::new();
+    for k in 1..=max_k {
+        let mut candidates = Vec::new();
+        if k <= max_leaf_exp {
+            candidates.push(WhtTree::leaf(k));
+        }
+        for i in 1..k {
+            candidates.push(WhtTree::split(vec![
+                best[i as usize - 1].0.clone(),
+                best[(k - i) as usize - 1].0.clone(),
+            ]));
+        }
+        let mut winner: Option<(WhtTree, f64)> = None;
+        for tree in candidates {
+            let c = cost(&tree)?;
+            if winner.as_ref().is_none_or(|(_, w)| c < *w) {
+                winner = Some((tree, c));
+            }
+        }
+        best.push(winner.expect("at least one candidate"));
+    }
+    Ok(best)
+}
+
+// ---------------------------------------------------------------------
+// Wisdom (plan persistence)
+// ---------------------------------------------------------------------
+
+/// Serializes search winners to "wisdom" text — one `size: spec` line per
+/// entry — so a later session can reuse plans without re-searching
+/// (FFTW's save-a-plan workflow, paper Section 4.2).
+pub fn wisdom_to_string(results: &[SizeResult]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for r in results {
+        let _ = writeln!(out, "{}: {}", r.tree.size(), r.tree.to_spec());
+    }
+    out
+}
+
+/// Parses wisdom text back into trees (costs are not stored; entries come
+/// back with cost 0 and can be re-measured if needed).
+///
+/// # Errors
+///
+/// Fails on malformed lines, bad specs, or a spec whose size disagrees
+/// with its label.
+pub fn wisdom_from_string(text: &str) -> Result<Vec<SizeResult>, SearchError> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (size, spec) = line
+            .split_once(':')
+            .ok_or_else(|| SearchError(format!("wisdom line {}: missing ':'", lineno + 1)))?;
+        let size: usize = size
+            .trim()
+            .parse()
+            .map_err(|_| SearchError(format!("wisdom line {}: bad size", lineno + 1)))?;
+        let tree = FftTree::from_spec(spec.trim())
+            .map_err(|e| SearchError(format!("wisdom line {}: {e}", lineno + 1)))?;
+        if tree.size() != size {
+            return Err(SearchError(format!(
+                "wisdom line {}: spec computes {} points, labelled {size}",
+                lineno + 1,
+                tree.size()
+            )));
+        }
+        out.push(SizeResult { tree, cost: 0.0 });
     }
     Ok(out)
 }
@@ -486,10 +679,15 @@ mod tests {
             assert_eq!(a.tree, b.tree);
         }
         // Comments and blanks are tolerated.
-        let with_comments = format!("# saved plans
+        let with_comments = format!(
+            "# saved plans
 
-{text}");
-        assert_eq!(wisdom_from_string(&with_comments).unwrap().len(), best.len());
+{text}"
+        );
+        assert_eq!(
+            wisdom_from_string(&with_comments).unwrap().len(),
+            best.len()
+        );
     }
 
     #[test]
@@ -497,6 +695,52 @@ mod tests {
         assert!(wisdom_from_string("16: (ct 2 2)").is_err()); // size mismatch
         assert!(wisdom_from_string("nonsense").is_err());
         assert!(wisdom_from_string("8: (zz 2 4)").is_err());
+    }
+
+    #[test]
+    fn wisdom_empty_set_round_trips() {
+        let text = wisdom_to_string(&[]);
+        assert!(text.is_empty());
+        assert!(wisdom_from_string(&text).unwrap().is_empty());
+        // Comment- and whitespace-only wisdom is the empty set too.
+        assert!(wisdom_from_string("\n# only a comment\n\n")
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn wisdom_rejects_malformed_inputs() {
+        for bad in [
+            "4 (ct 2 2)",
+            ":",
+            "x: (ct 2 2)",
+            "4:",
+            "-4: (ct 2 2)",
+            "8: (ct 2",
+        ] {
+            assert!(wisdom_from_string(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn search_records_telemetry() {
+        let mut eval = MeasuredEvaluator::new(64, Duration::from_millis(1));
+        let mut tel = Telemetry::new();
+        let best = small_search_traced(3, &SearchConfig::default(), &mut eval, &mut tel).unwrap();
+        assert_eq!(best.len(), 3);
+        // Candidates per size: 1 (F2) + 2 (F4) + 3 (F8).
+        assert_eq!(tel.counter("search.plans_evaluated"), Some(6));
+        assert!(tel.span_ns("search.small").is_some());
+        for n in [2usize, 4, 8] {
+            assert!(tel.metric(&format!("search.best_cost.{n}")).unwrap() > 0.0);
+        }
+        // Evaluator telemetry is merged in: timed reps, warm-ups, and
+        // the measurement policy.
+        assert!(tel.counter("timer.reps").unwrap() >= 6);
+        assert!(tel.counter("timer.warmup_reps").unwrap() >= 1);
+        assert!(tel.metric("timer.min_time_secs").is_some());
+        // Draining left the evaluator with a fresh policy-only set.
+        assert!(eval.drain_telemetry().counter("timer.reps").is_none());
     }
 
     #[test]
@@ -532,119 +776,4 @@ mod tests {
             assert!(plans.len() <= 2);
         }
     }
-}
-
-// ---------------------------------------------------------------------
-// WHT search (generality beyond the FFT)
-// ---------------------------------------------------------------------
-
-/// A WHT cost oracle (mirrors [`Evaluator`] for Walsh–Hadamard trees).
-///
-/// The related-work section of the paper points at the WHT package of
-/// Johnson and Püschel, which searches a space of WHT formulas the same
-/// way; this function reproduces that search with the SPL toolchain:
-/// dynamic programming over binary splits of `WHT_{2^k}` with direct
-/// (tensor-power) leaves admitted up to `max_leaf_exp`.
-///
-/// Returns the winner per exponent `1..=max_k`.
-///
-/// # Errors
-///
-/// Propagates compilation failures from the evaluator.
-pub fn wht_search(
-    max_k: u32,
-    max_leaf_exp: u32,
-    unroll_threshold: usize,
-    min_time: Duration,
-) -> Result<Vec<(spl_generator::wht::WhtTree, f64)>, SearchError> {
-    use spl_generator::wht::WhtTree;
-    let mut cache: HashMap<String, f64> = HashMap::new();
-    let mut cost = |tree: &WhtTree| -> Result<f64, SearchError> {
-        let key = format!("{tree:?}");
-        if let Some(&c) = cache.get(&key) {
-            return Ok(c);
-        }
-        let unit = compile_sexp_for_search(
-            &tree.to_sexp(),
-            unroll_threshold,
-            spl_frontend::ast::DataType::Real,
-        )?;
-        let vm = lower(&unit.program).map_err(|e| SearchError(e.to_string()))?;
-        let t = measure(&vm, min_time).secs_per_call;
-        cache.insert(key, t);
-        Ok(t)
-    };
-    let mut best: Vec<(WhtTree, f64)> = Vec::new();
-    for k in 1..=max_k {
-        let mut candidates = Vec::new();
-        if k <= max_leaf_exp {
-            candidates.push(WhtTree::leaf(k));
-        }
-        for i in 1..k {
-            candidates.push(WhtTree::split(vec![
-                best[i as usize - 1].0.clone(),
-                best[(k - i) as usize - 1].0.clone(),
-            ]));
-        }
-        let mut winner: Option<(WhtTree, f64)> = None;
-        for tree in candidates {
-            let c = cost(&tree)?;
-            if winner.as_ref().is_none_or(|(_, w)| c < *w) {
-                winner = Some((tree, c));
-            }
-        }
-        best.push(winner.expect("at least one candidate"));
-    }
-    Ok(best)
-}
-
-// ---------------------------------------------------------------------
-// Wisdom (plan persistence)
-// ---------------------------------------------------------------------
-
-/// Serializes search winners to "wisdom" text — one `size: spec` line per
-/// entry — so a later session can reuse plans without re-searching
-/// (FFTW's save-a-plan workflow, paper Section 4.2).
-pub fn wisdom_to_string(results: &[SizeResult]) -> String {
-    use std::fmt::Write as _;
-    let mut out = String::new();
-    for r in results {
-        let _ = writeln!(out, "{}: {}", r.tree.size(), r.tree.to_spec());
-    }
-    out
-}
-
-/// Parses wisdom text back into trees (costs are not stored; entries come
-/// back with cost 0 and can be re-measured if needed).
-///
-/// # Errors
-///
-/// Fails on malformed lines, bad specs, or a spec whose size disagrees
-/// with its label.
-pub fn wisdom_from_string(text: &str) -> Result<Vec<SizeResult>, SearchError> {
-    let mut out = Vec::new();
-    for (lineno, line) in text.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let (size, spec) = line
-            .split_once(':')
-            .ok_or_else(|| SearchError(format!("wisdom line {}: missing ':'", lineno + 1)))?;
-        let size: usize = size
-            .trim()
-            .parse()
-            .map_err(|_| SearchError(format!("wisdom line {}: bad size", lineno + 1)))?;
-        let tree = FftTree::from_spec(spec.trim())
-            .map_err(|e| SearchError(format!("wisdom line {}: {e}", lineno + 1)))?;
-        if tree.size() != size {
-            return Err(SearchError(format!(
-                "wisdom line {}: spec computes {} points, labelled {size}",
-                lineno + 1,
-                tree.size()
-            )));
-        }
-        out.push(SizeResult { tree, cost: 0.0 });
-    }
-    Ok(out)
 }

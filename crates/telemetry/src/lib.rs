@@ -1,0 +1,497 @@
+#![warn(missing_docs)]
+
+//! Dependency-free observability substrate for the SPL toolchain.
+//!
+//! The paper's entire evaluation is about *where time goes*: per-phase
+//! compile cost (Figure 2), search time versus run time (Section 4.2),
+//! instruction counts before and after each optimization. This crate
+//! provides the recording layer the rest of the workspace reports
+//! through:
+//!
+//! * [`Span`] — a named wall-clock timing, accumulated per name;
+//! * counters — named monotonic tallies (instructions removed, CSE hits,
+//!   plans evaluated, …);
+//! * metrics — named `f64` gauges (best cost per size, seconds per call);
+//! * [`Telemetry`] — an ordered collection of all three plus free-form
+//!   notes;
+//! * [`RunReport`] — one tool invocation's telemetry, sectioned (per
+//!   compiled unit, per search size, …), serializable to JSON via the
+//!   std-only [`json`] module.
+//!
+//! Everything is plain data: no globals, no threads, no I/O except the
+//! explicit [`RunReport::write_to_file`].
+//!
+//! # Examples
+//!
+//! ```
+//! use spl_telemetry::{RunReport, Telemetry};
+//!
+//! let mut tel = Telemetry::new();
+//! let answer = tel.time("optimize", || 6 * 7);
+//! assert_eq!(answer, 42);
+//! tel.add("optimize.cse_hits", 3);
+//! tel.set_metric("best_cost", 1.5e-6);
+//!
+//! let mut report = RunReport::new("example");
+//! report.push_section("unit:fft4", tel);
+//! let text = report.to_json_string();
+//! assert!(text.contains("optimize.cse_hits"));
+//! ```
+
+pub mod json;
+
+use std::time::{Duration, Instant};
+
+use json::Json;
+
+/// One named wall-clock span, accumulated over possibly many calls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Phase name (e.g. `"optimize"`).
+    pub name: String,
+    /// Total wall time across all calls, in nanoseconds.
+    pub wall_ns: u128,
+    /// How many timed calls were accumulated.
+    pub calls: u64,
+}
+
+/// A named monotonic counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counter {
+    /// Counter name (e.g. `"optimize.dce_removed"`).
+    pub name: String,
+    /// Current value.
+    pub value: u64,
+}
+
+/// The recording surface: ordered spans, counters, metrics, and notes.
+///
+/// Names are deduplicated on insert — recording under an existing name
+/// accumulates (spans, counters) or overwrites (metrics, notes) — and
+/// first-insertion order is preserved so reports read in pipeline order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Telemetry {
+    spans: Vec<Span>,
+    counters: Vec<Counter>,
+    metrics: Vec<(String, f64)>,
+    notes: Vec<(String, String)>,
+}
+
+impl Telemetry {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Times `f` under `name`, accumulating into the span of that name.
+    pub fn time<R>(&mut self, name: &str, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let r = f();
+        self.record_span(name, start.elapsed());
+        r
+    }
+
+    /// Records an externally measured duration under `name`.
+    pub fn record_span(&mut self, name: &str, elapsed: Duration) {
+        match self.spans.iter_mut().find(|s| s.name == name) {
+            Some(s) => {
+                s.wall_ns += elapsed.as_nanos();
+                s.calls += 1;
+            }
+            None => self.spans.push(Span {
+                name: name.to_string(),
+                wall_ns: elapsed.as_nanos(),
+                calls: 1,
+            }),
+        }
+    }
+
+    /// Adds `delta` to the counter `name` (creating it at zero).
+    pub fn add(&mut self, name: &str, delta: u64) {
+        match self.counters.iter_mut().find(|c| c.name == name) {
+            Some(c) => c.value += delta,
+            None => self.counters.push(Counter {
+                name: name.to_string(),
+                value: delta,
+            }),
+        }
+    }
+
+    /// Sets the counter `name` to an absolute value.
+    pub fn set(&mut self, name: &str, value: u64) {
+        match self.counters.iter_mut().find(|c| c.name == name) {
+            Some(c) => c.value = value,
+            None => self.counters.push(Counter {
+                name: name.to_string(),
+                value,
+            }),
+        }
+    }
+
+    /// Sets the gauge `name` (overwriting any previous value).
+    pub fn set_metric(&mut self, name: &str, value: f64) {
+        match self.metrics.iter_mut().find(|(n, _)| n == name) {
+            Some((_, v)) => *v = value,
+            None => self.metrics.push((name.to_string(), value)),
+        }
+    }
+
+    /// Adds `delta` to the gauge `name` (creating it at zero).
+    pub fn add_metric(&mut self, name: &str, delta: f64) {
+        match self.metrics.iter_mut().find(|(n, _)| n == name) {
+            Some((_, v)) => *v += delta,
+            None => self.metrics.push((name.to_string(), delta)),
+        }
+    }
+
+    /// Attaches a free-form note (overwriting any previous value).
+    pub fn note(&mut self, key: &str, value: &str) {
+        match self.notes.iter_mut().find(|(k, _)| k == key) {
+            Some((_, v)) => *v = value.to_string(),
+            None => self.notes.push((key.to_string(), value.to_string())),
+        }
+    }
+
+    /// The current value of a counter, if recorded.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Total nanoseconds recorded under a span name, if any.
+    pub fn span_ns(&self, name: &str) -> Option<u128> {
+        self.spans
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.wall_ns)
+    }
+
+    /// The current value of a gauge, if recorded.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// All spans, in first-recording order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// All counters, in first-recording order.
+    pub fn counters(&self) -> &[Counter] {
+        &self.counters
+    }
+
+    /// All metrics, in first-recording order.
+    pub fn metrics(&self) -> &[(String, f64)] {
+        &self.metrics
+    }
+
+    /// All notes, in first-recording order.
+    pub fn notes(&self) -> &[(String, String)] {
+        &self.notes
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+            && self.counters.is_empty()
+            && self.metrics.is_empty()
+            && self.notes.is_empty()
+    }
+
+    /// Folds another collector into this one: spans and counters
+    /// accumulate; metrics and notes from `other` win on name clashes.
+    pub fn merge(&mut self, other: &Telemetry) {
+        for s in &other.spans {
+            match self.spans.iter_mut().find(|mine| mine.name == s.name) {
+                Some(mine) => {
+                    mine.wall_ns += s.wall_ns;
+                    mine.calls += s.calls;
+                }
+                None => self.spans.push(s.clone()),
+            }
+        }
+        for c in &other.counters {
+            self.add(&c.name, c.value);
+        }
+        for (n, v) in &other.metrics {
+            self.set_metric(n, *v);
+        }
+        for (k, v) in &other.notes {
+            self.note(k, v);
+        }
+    }
+
+    /// The JSON rendering used inside [`RunReport`]s.
+    pub fn to_json(&self) -> Json {
+        let phases = Json::Arr(
+            self.spans
+                .iter()
+                .map(|s| {
+                    Json::obj(vec![
+                        ("name", Json::Str(s.name.clone())),
+                        ("wall_ns", Json::Num(s.wall_ns as f64)),
+                        ("calls", Json::Num(s.calls as f64)),
+                    ])
+                })
+                .collect(),
+        );
+        let counters = Json::Obj(
+            self.counters
+                .iter()
+                .map(|c| (c.name.clone(), Json::Num(c.value as f64)))
+                .collect(),
+        );
+        let metrics = Json::Obj(
+            self.metrics
+                .iter()
+                .map(|(n, v)| (n.clone(), Json::Num(*v)))
+                .collect(),
+        );
+        let notes = Json::Obj(
+            self.notes
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                .collect(),
+        );
+        Json::obj(vec![
+            ("phases", phases),
+            ("counters", counters),
+            ("metrics", metrics),
+            ("notes", notes),
+        ])
+    }
+}
+
+/// A complete, self-describing record of one tool invocation.
+///
+/// Sections keep per-unit (or per-size) telemetry separate; the report
+/// also exposes a [`merged`](RunReport::merged) view that folds every
+/// section together — the view `splc --stats` prints and tests assert on.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunReport {
+    /// The emitting tool (`"splc"`, `"fig2"`, …).
+    pub tool: String,
+    /// Free-form invocation metadata (options, input file, …).
+    pub meta: Vec<(String, String)>,
+    /// Named telemetry sections in recording order.
+    pub sections: Vec<(String, Telemetry)>,
+}
+
+impl RunReport {
+    /// An empty report for the named tool.
+    pub fn new(tool: &str) -> Self {
+        RunReport {
+            tool: tool.to_string(),
+            meta: Vec::new(),
+            sections: Vec::new(),
+        }
+    }
+
+    /// Attaches an invocation-metadata pair.
+    pub fn meta(&mut self, key: &str, value: &str) {
+        self.meta.push((key.to_string(), value.to_string()));
+    }
+
+    /// Appends a named section.
+    pub fn push_section(&mut self, name: &str, tel: Telemetry) {
+        self.sections.push((name.to_string(), tel));
+    }
+
+    /// Every section folded into one [`Telemetry`].
+    pub fn merged(&self) -> Telemetry {
+        let mut all = Telemetry::new();
+        for (_, tel) in &self.sections {
+            all.merge(tel);
+        }
+        all
+    }
+
+    /// The report as a JSON value.
+    pub fn to_json(&self) -> Json {
+        let meta = Json::Obj(
+            self.meta
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                .collect(),
+        );
+        let sections = Json::Arr(
+            self.sections
+                .iter()
+                .map(|(name, tel)| {
+                    let mut obj = vec![("name".to_string(), Json::Str(name.clone()))];
+                    if let Json::Obj(body) = tel.to_json() {
+                        obj.extend(body);
+                    }
+                    Json::Obj(obj)
+                })
+                .collect(),
+        );
+        Json::obj(vec![
+            ("tool", Json::Str(self.tool.clone())),
+            ("schema_version", Json::Num(1.0)),
+            ("meta", meta),
+            ("merged", self.merged().to_json()),
+            ("sections", sections),
+        ])
+    }
+
+    /// The report as pretty-printed JSON text (trailing newline included).
+    pub fn to_json_string(&self) -> String {
+        let mut s = self.to_json().to_string();
+        s.push('\n');
+        s
+    }
+
+    /// Writes the JSON rendering to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write_to_file(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json_string())
+    }
+}
+
+/// A guard-style stopwatch for ad-hoc timing without a closure.
+///
+/// ```
+/// use spl_telemetry::{Stopwatch, Telemetry};
+///
+/// let mut tel = Telemetry::new();
+/// let sw = Stopwatch::start();
+/// // ... work ...
+/// tel.record_span("work", sw.elapsed());
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    #[allow(clippy::new_without_default)]
+    pub fn start() -> Self {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Time since [`start`](Stopwatch::start).
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_accumulate_by_name() {
+        let mut tel = Telemetry::new();
+        tel.record_span("parse", Duration::from_nanos(100));
+        tel.record_span("parse", Duration::from_nanos(50));
+        tel.record_span("optimize", Duration::from_nanos(7));
+        assert_eq!(tel.span_ns("parse"), Some(150));
+        assert_eq!(tel.spans().len(), 2);
+        assert_eq!(tel.spans()[0].calls, 2);
+    }
+
+    #[test]
+    fn counters_and_metrics() {
+        let mut tel = Telemetry::new();
+        tel.add("hits", 2);
+        tel.add("hits", 3);
+        tel.set("abs", 10);
+        tel.set("abs", 4);
+        tel.set_metric("cost", 1.5);
+        tel.add_metric("total", 0.25);
+        tel.add_metric("total", 0.25);
+        assert_eq!(tel.counter("hits"), Some(5));
+        assert_eq!(tel.counter("abs"), Some(4));
+        assert_eq!(tel.counter("missing"), None);
+        assert_eq!(tel.metric("cost"), Some(1.5));
+        assert_eq!(tel.metric("total"), Some(0.5));
+    }
+
+    #[test]
+    fn time_returns_closure_value() {
+        let mut tel = Telemetry::new();
+        let v = tel.time("phase", || 99);
+        assert_eq!(v, 99);
+        assert!(tel.span_ns("phase").is_some());
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Telemetry::new();
+        a.add("n", 1);
+        a.record_span("s", Duration::from_nanos(10));
+        let mut b = Telemetry::new();
+        b.add("n", 2);
+        b.add("m", 5);
+        b.record_span("s", Duration::from_nanos(20));
+        b.note("k", "v");
+        a.merge(&b);
+        assert_eq!(a.counter("n"), Some(3));
+        assert_eq!(a.counter("m"), Some(5));
+        assert_eq!(a.span_ns("s"), Some(30));
+        assert_eq!(a.notes(), &[("k".to_string(), "v".to_string())]);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let mut tel = Telemetry::new();
+        tel.record_span("parse", Duration::from_micros(3));
+        tel.add("optimize.cse_hits", 7);
+        tel.set_metric("cost", 2.5e-7);
+        tel.note("formula", "(F 4)");
+        let mut report = RunReport::new("splc");
+        report.meta("opt_level", "O2");
+        report.push_section("unit:fft4", tel);
+
+        let parsed = json::parse(&report.to_json_string()).unwrap();
+        assert_eq!(parsed.get("tool").and_then(Json::as_str), Some("splc"));
+        let merged = parsed.get("merged").unwrap();
+        assert_eq!(
+            merged
+                .get("counters")
+                .and_then(|c| c.get("optimize.cse_hits"))
+                .and_then(Json::as_f64),
+            Some(7.0)
+        );
+        let sections = parsed.get("sections").unwrap().as_arr().unwrap();
+        assert_eq!(sections.len(), 1);
+        assert_eq!(
+            sections[0].get("name").and_then(Json::as_str),
+            Some("unit:fft4")
+        );
+        let phases = sections[0].get("phases").unwrap().as_arr().unwrap();
+        assert_eq!(phases[0].get("name").and_then(Json::as_str), Some("parse"));
+    }
+
+    #[test]
+    fn merged_view_folds_sections() {
+        let mut report = RunReport::new("t");
+        let mut a = Telemetry::new();
+        a.add("x", 1);
+        let mut b = Telemetry::new();
+        b.add("x", 2);
+        report.push_section("a", a);
+        report.push_section("b", b);
+        assert_eq!(report.merged().counter("x"), Some(3));
+    }
+
+    #[test]
+    fn stopwatch_measures() {
+        let sw = Stopwatch::start();
+        std::hint::black_box((0..1000).sum::<u64>());
+        assert!(sw.elapsed().as_nanos() > 0);
+    }
+}

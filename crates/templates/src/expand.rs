@@ -89,7 +89,11 @@ pub fn expand_formula(
         instrs: ex.instrs,
         n_in: cols,
         n_out: rows,
-        temps: ex.temp_max.iter().map(|&m| (m + 1).max(0) as usize).collect(),
+        temps: ex
+            .temp_max
+            .iter()
+            .map(|&m| (m + 1).max(0) as usize)
+            .collect(),
         tables: vec![],
         n_f: ex.n_f,
         n_r: ex.n_r,
@@ -240,9 +244,7 @@ impl Expander<'_> {
             .collect::<Result<Vec<_>, _>>()?;
         for w in shapes.windows(2) {
             if w[0].1 != w[1].0 {
-                return Err(ExpandError(format!(
-                    "compose shape mismatch in {sexp}"
-                )));
+                return Err(ExpandError(format!("compose shape mismatch in {sexp}")));
             }
         }
         let k = factors.len();
@@ -261,9 +263,19 @@ impl Expander<'_> {
             let factor_idx = k - 1 - j;
             let (rows, cols) = shapes[factor_idx];
             let (in_base, in_off, in_stride, in_size) = if j == 0 {
-                (params.in_base, params.in_off.clone(), params.in_stride, params.in_size)
+                (
+                    params.in_base,
+                    params.in_off.clone(),
+                    params.in_stride,
+                    params.in_size,
+                )
             } else {
-                (VecKind::Temp(bufs[(j - 1) % 2]), Affine::constant(0), 1, cols)
+                (
+                    VecKind::Temp(bufs[(j - 1) % 2]),
+                    Affine::constant(0),
+                    1,
+                    cols,
+                )
             };
             let (out_base, out_off, out_stride, out_size) = if j == k - 1 {
                 (
@@ -398,10 +410,20 @@ impl Expander<'_> {
             .as_const()
             .ok_or_else(|| ExpandError("output stride must be a constant".into()))?;
         let (in_base, in_off, in_stride) = self.compose_view(
-            &args[0], frame, params, &call_in_off, call_in_stride, sub_cols,
+            &args[0],
+            frame,
+            params,
+            &call_in_off,
+            call_in_stride,
+            sub_cols,
         )?;
         let (out_base, out_off, out_stride) = self.compose_view(
-            &args[1], frame, params, &call_out_off, call_out_stride, sub_rows,
+            &args[1],
+            frame,
+            params,
+            &call_out_off,
+            call_out_stride,
+            sub_rows,
         )?;
         let sub_params = Params {
             in_base,
@@ -609,13 +631,13 @@ impl Expander<'_> {
                         }
                     }
                     TBinOp::Div | TBinOp::Mod => match (xa.as_const(), ya.as_const()) {
-                        (Some(x), Some(y)) if y != 0 => Ok(Affine::constant(if *op
-                            == TBinOp::Div
-                        {
-                            x / y
-                        } else {
-                            x % y
-                        })),
+                        (Some(x), Some(y)) if y != 0 => {
+                            Ok(Affine::constant(if *op == TBinOp::Div {
+                                x / y
+                            } else {
+                                x % y
+                            }))
+                        }
                         _ => Err(ExpandError(format!(
                             "subscript {e} uses non-constant division"
                         ))),
@@ -688,9 +710,7 @@ impl Expander<'_> {
             TExpr::Int(v) => Ok(Value::Int(*v)),
             TExpr::Float(v) => Ok(Value::Const(Complex::real(*v))),
             TExpr::Pair(re, im) => Ok(Value::Const(Complex::new(*re, *im))),
-            TExpr::PatVar(_) | TExpr::Prop(_, _) => {
-                Ok(Value::Int(static_eval(e, b, self.table)?))
-            }
+            TExpr::PatVar(_) | TExpr::Prop(_, _) => Ok(Value::Int(static_eval(e, b, self.table)?)),
             TExpr::Var(name) => match name.as_str() {
                 "in_stride" => Ok(Value::Int(params.in_stride)),
                 "out_stride" => Ok(Value::Int(params.out_stride)),
@@ -710,7 +730,9 @@ impl Expander<'_> {
             },
             TExpr::VecElem(name, idx) => {
                 let idx = self.affine_of(idx, frame, b, params)?;
-                Ok(Value::Place(self.vec_place(name, idx, frame, params, true)?))
+                Ok(Value::Place(
+                    self.vec_place(name, idx, frame, params, true)?,
+                ))
             }
             TExpr::Intrinsic(name, args) => {
                 let args = args
@@ -794,9 +816,7 @@ impl Expander<'_> {
                 e.as_int()
                     .filter(|&v| v >= 1 && v <= items.len() as i64)
                     .map(|v| v - 1)
-                    .ok_or_else(|| {
-                        ExpandError(format!("bad permutation index in {sexp}"))
-                    })
+                    .ok_or_else(|| ExpandError(format!("bad permutation index in {sexp}")))
             })
             .collect::<Result<Vec<_>, _>>()?;
         for (k, &src) in perm.iter().enumerate() {
@@ -1031,8 +1051,9 @@ mod tests {
     fn defines_resolve_in_order() {
         let table = TemplateTable::builtin();
         let sexp = parse_formula("(compose F4 (L 4 2))").unwrap();
-        let f4 = parse_formula("(compose (tensor (F 2) (I 2)) (T 4 2) (tensor (I 2) (F 2)) (L 4 2))")
-            .unwrap();
+        let f4 =
+            parse_formula("(compose (tensor (F 2) (I 2)) (T 4 2) (tensor (I 2) (F 2)) (L 4 2))")
+                .unwrap();
         let opts = ExpandOptions {
             defines: vec![("F4".into(), f4, false)],
             ..Default::default()
@@ -1150,7 +1171,10 @@ mod tests {
         let sexp = parse_formula("(pad 3 3)").unwrap();
         let prog = expand_formula(&sexp, &table, &ExpandOptions::default()).unwrap();
         let y = run(&prog, &x).unwrap();
-        assert_eq!(y.iter().map(|c| c.re).collect::<Vec<_>>(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(
+            y.iter().map(|c| c.re).collect::<Vec<_>>(),
+            vec![1.0, 2.0, 3.0]
+        );
     }
 
     #[test]

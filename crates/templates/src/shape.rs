@@ -136,13 +136,10 @@ pub fn shape_of(sexp: &Sexp, table: &TemplateTable) -> Result<(usize, usize), Ex
 /// Infers the shape of a user-defined operator from its template body: the
 /// largest `$in` subscript reachable gives the input size, the largest
 /// `$out` subscript the output size.
-fn infer_from_template(
-    sexp: &Sexp,
-    table: &TemplateTable,
-) -> Result<(usize, usize), ExpandError> {
-    let (def, bindings) = table.find(sexp)?.ok_or_else(|| {
-        ExpandError(format!("no template matches {sexp}"))
-    })?;
+fn infer_from_template(sexp: &Sexp, table: &TemplateTable) -> Result<(usize, usize), ExpandError> {
+    let (def, bindings) = table
+        .find(sexp)?
+        .ok_or_else(|| ExpandError(format!("no template matches {sexp}")))?;
     let mut loops: Vec<(String, i64, i64)> = Vec::new();
     let mut max_in: i64 = -1;
     let mut max_out: i64 = -1;
@@ -180,9 +177,10 @@ fn infer_from_template(
                 scan_expr(rhs, &loops, &bindings, table, &mut max_in)?;
             }
             TemplateStmt::Call { var, args } => {
-                let sub = bindings.formulas.get(var).ok_or_else(|| {
-                    ExpandError(format!("unbound formula variable {var}"))
-                })?;
+                let sub = bindings
+                    .formulas
+                    .get(var)
+                    .ok_or_else(|| ExpandError(format!("unbound formula variable {var}")))?;
                 let (sub_rows, sub_cols) = shape_of(sub, table)?;
                 // args: in, out, in_off, out_off, in_stride, out_stride
                 let stride = |k: usize| -> Result<i64, ExpandError> {
@@ -274,10 +272,7 @@ fn range_of(
                 TBinOp::Sub => Ok((xl - yh, xh - yl)),
                 TBinOp::Mul => {
                     let cands = [xl * yl, xl * yh, xh * yl, xh * yh];
-                    Ok((
-                        *cands.iter().min().unwrap(),
-                        *cands.iter().max().unwrap(),
-                    ))
+                    Ok((*cands.iter().min().unwrap(), *cands.iter().max().unwrap()))
                 }
                 TBinOp::Div | TBinOp::Mod => {
                     if xl == xh && yl == yh && yl != 0 {
@@ -300,11 +295,7 @@ fn range_of(
 /// Dedicated helper exposed for use by [`SizeProp`] consumers.
 ///
 /// Equivalent to `shape_of(...).map(|s| match prop { ... })`.
-pub fn size_prop(
-    sexp: &Sexp,
-    prop: SizeProp,
-    table: &TemplateTable,
-) -> Result<usize, ExpandError> {
+pub fn size_prop(sexp: &Sexp, prop: SizeProp, table: &TemplateTable) -> Result<usize, ExpandError> {
     let (rows, cols) = shape_of(sexp, table)?;
     Ok(match prop {
         SizeProp::InSize => cols,
@@ -387,4 +378,3 @@ mod tests {
         assert_eq!(shape_of(&f, &t).unwrap(), (4, 4));
     }
 }
-

@@ -75,10 +75,7 @@ impl TemplateTable {
     ///
     /// Returns the recorded condition-evaluation error when every
     /// matching template was rejected because of one.
-    pub fn find(
-        &self,
-        subject: &Sexp,
-    ) -> Result<Option<(&TemplateDef, Bindings)>, ExpandError> {
+    pub fn find(&self, subject: &Sexp) -> Result<Option<(&TemplateDef, Bindings)>, ExpandError> {
         let mut first_err: Option<ExpandError> = None;
         for def in self.templates.iter().rev() {
             let mut b = Bindings::default();
@@ -146,10 +143,9 @@ pub fn match_pattern(pattern: &Sexp, subject: &Sexp, b: &mut Bindings) -> bool {
         Sexp::Int(v) => subject.as_int() == Some(*v),
         Sexp::Scalar(_) => pattern == subject,
         Sexp::List(ps) => match subject {
-            Sexp::List(ss) if ss.len() == ps.len() => ps
-                .iter()
-                .zip(ss)
-                .all(|(p, s)| match_pattern(p, s, b)),
+            Sexp::List(ss) if ss.len() == ps.len() => {
+                ps.iter().zip(ss).all(|(p, s)| match_pattern(p, s, b))
+            }
             _ => false,
         },
     }
@@ -162,20 +158,19 @@ pub fn match_pattern(pattern: &Sexp, subject: &Sexp, b: &mut Bindings) -> bool {
 ///
 /// Fails for expressions that are not compile-time integers (register
 /// reads, vector elements, floats, intrinsics).
-pub fn static_eval(
-    e: &TExpr,
-    b: &Bindings,
-    table: &TemplateTable,
-) -> Result<i64, ExpandError> {
+pub fn static_eval(e: &TExpr, b: &Bindings, table: &TemplateTable) -> Result<i64, ExpandError> {
     match e {
         TExpr::Int(v) => Ok(*v),
-        TExpr::PatVar(name) => b.ints.get(name).copied().ok_or_else(|| {
-            ExpandError(format!("unbound integer pattern variable {name}"))
-        }),
+        TExpr::PatVar(name) => b
+            .ints
+            .get(name)
+            .copied()
+            .ok_or_else(|| ExpandError(format!("unbound integer pattern variable {name}"))),
         TExpr::Prop(name, prop) => {
-            let f = b.formulas.get(name).ok_or_else(|| {
-                ExpandError(format!("unbound formula pattern variable {name}"))
-            })?;
+            let f = b
+                .formulas
+                .get(name)
+                .ok_or_else(|| ExpandError(format!("unbound formula pattern variable {name}")))?;
             let (rows, cols) = shape_of(f, table)?;
             Ok(match prop {
                 SizeProp::InSize => cols as i64,
@@ -215,11 +210,7 @@ pub fn static_eval(
 /// # Errors
 ///
 /// Propagates [`static_eval`] failures.
-pub fn eval_cond(
-    c: &CondExpr,
-    b: &Bindings,
-    table: &TemplateTable,
-) -> Result<bool, ExpandError> {
+pub fn eval_cond(c: &CondExpr, b: &Bindings, table: &TemplateTable) -> Result<bool, ExpandError> {
     Ok(match c {
         CondExpr::Cmp(op, x, y) => {
             let x = static_eval(x, b, table)?;
@@ -361,10 +352,7 @@ mod tests {
                 table.add(t);
             }
         }
-        assert!(table
-            .find(&pat("(compose (F 2) (F 2))"))
-            .unwrap()
-            .is_some());
+        assert!(table.find(&pat("(compose (F 2) (F 2))")).unwrap().is_some());
     }
 
     #[test]

@@ -35,4 +35,4 @@ pub mod program;
 pub mod timer;
 
 pub use program::{lower, VmError, VmProgram, VmState};
-pub use timer::{measure, measure_with_reps, Measurement};
+pub use timer::{describe_policy, measure, measure_with_reps, Measurement};

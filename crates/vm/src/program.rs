@@ -380,9 +380,7 @@ pub fn lower(prog: &IProgram) -> Result<VmProgram, VmError> {
             Place::Vec(v) => match v.kind {
                 VecKind::Out => Ok(Dst::Out(addr_of(v))),
                 VecKind::Temp(_) => Ok(Dst::Temp(addr_of(v))),
-                VecKind::In | VecKind::Table(_) => {
-                    Err(VmError("write to read-only vector".into()))
-                }
+                VecKind::In | VecKind::Table(_) => Err(VmError("write to read-only vector".into())),
             },
             Place::R(_) => Err(VmError("integer destination in float op".into())),
         }
@@ -414,9 +412,7 @@ pub fn lower(prog: &IProgram) -> Result<VmProgram, VmError> {
     let isrc_of = |v: &Value| -> Result<ISrc, VmError> {
         match v {
             Value::Int(i) => Ok(ISrc::Const(*i)),
-            Value::Const(c) if c.is_real() && c.re.fract() == 0.0 => {
-                Ok(ISrc::Const(c.re as i64))
-            }
+            Value::Const(c) if c.is_real() && c.re.fract() == 0.0 => Ok(ISrc::Const(c.re as i64)),
             Value::LoopIdx(lv) => Ok(ISrc::Loop(lv.0)),
             Value::Place(Place::R(k)) => Ok(ISrc::R(*k)),
             other => Err(VmError(format!("operand {other:?} is not an integer"))),
@@ -625,10 +621,18 @@ mod tests {
         // lower it manually to check the executor's guard.
         let prog = spl_icode::IProgram {
             instrs: vec![
-                Instr::DoStart { var: LoopVar(0), lo: 5, hi: 2, unroll: false },
+                Instr::DoStart {
+                    var: LoopVar(0),
+                    lo: 5,
+                    hi: 2,
+                    unroll: false,
+                },
                 Instr::Un {
                     op: UnOp::Copy,
-                    dst: Place::Vec(VecRef { kind: VecKind::Out, idx: Affine::constant(0) }),
+                    dst: Place::Vec(VecRef {
+                        kind: VecKind::Out,
+                        idx: Affine::constant(0),
+                    }),
                     a: Value::Const(spl_numeric::Complex::real(9.0)),
                 },
                 Instr::DoEnd,
@@ -649,7 +653,12 @@ mod tests {
     fn unclosed_loop_rejected_by_lower() {
         use spl_icode::{Instr, LoopVar};
         let prog = spl_icode::IProgram {
-            instrs: vec![Instr::DoStart { var: LoopVar(0), lo: 0, hi: 1, unroll: false }],
+            instrs: vec![Instr::DoStart {
+                var: LoopVar(0),
+                lo: 0,
+                hi: 1,
+                unroll: false,
+            }],
             n_in: 1,
             n_out: 1,
             n_loop: 1,

@@ -8,6 +8,8 @@
 
 use std::time::{Duration, Instant};
 
+use spl_telemetry::Telemetry;
+
 use crate::program::{VmProgram, VmState};
 
 /// A timing result.
@@ -17,6 +19,8 @@ pub struct Measurement {
     pub secs_per_call: f64,
     /// Repetitions actually executed.
     pub reps: u64,
+    /// Untimed warm-up executions run before measurement started.
+    pub warmup_reps: u64,
 }
 
 impl Measurement {
@@ -24,6 +28,22 @@ impl Measurement {
     pub fn micros_per_call(&self) -> f64 {
         self.secs_per_call * 1e6
     }
+
+    /// Records this measurement into `tel`: counters `<prefix>.reps`
+    /// and `<prefix>.warmup_reps` accumulate across calls, metric
+    /// `<prefix>.secs_per_call` keeps the latest value.
+    pub fn record(&self, tel: &mut Telemetry, prefix: &str) {
+        tel.add(&format!("{prefix}.reps"), self.reps);
+        tel.add(&format!("{prefix}.warmup_reps"), self.warmup_reps);
+        tel.set_metric(&format!("{prefix}.secs_per_call"), self.secs_per_call);
+    }
+}
+
+/// Describes the measurement policy in a telemetry section, so run
+/// reports say how the numbers they carry were produced.
+pub fn describe_policy(tel: &mut Telemetry, min_time: Duration) {
+    tel.note("timer.strategy", "warmup + adaptive repetitions");
+    tel.set_metric("timer.min_time_secs", min_time.as_secs_f64());
 }
 
 /// Times a program with an adaptive repetition count until at least
@@ -38,6 +58,9 @@ pub fn measure(prog: &VmProgram, min_time: Duration) -> Measurement {
         .collect();
     let mut y = vec![0.0f64; prog.n_out];
     let mut st = VmState::new(prog);
+    // One untimed warm-up call so cold caches, lazy page faults, and
+    // table initialization don't bias the first timed repetition.
+    prog.run(&x, &mut y, &mut st);
     let mut reps: u64 = 0;
     let secs_per_call = spl_numeric::metrics::time_adaptive(min_time, || {
         prog.run(&x, &mut y, &mut st);
@@ -46,6 +69,7 @@ pub fn measure(prog: &VmProgram, min_time: Duration) -> Measurement {
     Measurement {
         secs_per_call,
         reps,
+        warmup_reps: 1,
     }
 }
 
@@ -65,6 +89,7 @@ pub fn measure_with_reps(prog: &VmProgram, reps: u64) -> Measurement {
     Measurement {
         secs_per_call: total.as_secs_f64() / reps.max(1) as f64,
         reps: reps.max(1),
+        warmup_reps: 0,
     }
 }
 
@@ -107,6 +132,26 @@ mod tests {
         let p = vm("(F 4)");
         let m = measure_with_reps(&p, 100);
         assert_eq!(m.reps, 100);
+        assert_eq!(m.warmup_reps, 0);
         assert!(m.secs_per_call > 0.0);
+    }
+
+    #[test]
+    fn measure_warms_up_and_records_telemetry() {
+        let p = vm("(F 4)");
+        let m = measure(&p, Duration::from_millis(2));
+        assert_eq!(m.warmup_reps, 1);
+        let mut tel = Telemetry::new();
+        describe_policy(&mut tel, Duration::from_millis(2));
+        m.record(&mut tel, "timer");
+        m.record(&mut tel, "timer");
+        assert_eq!(tel.counter("timer.reps"), Some(2 * m.reps));
+        assert_eq!(tel.counter("timer.warmup_reps"), Some(2));
+        assert!(tel.metric("timer.secs_per_call").unwrap() > 0.0);
+        assert_eq!(tel.metric("timer.min_time_secs"), Some(0.002));
+        assert!(tel
+            .notes()
+            .iter()
+            .any(|(k, v)| k == "timer.strategy" && v.contains("warmup")));
     }
 }

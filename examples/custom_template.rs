@@ -52,7 +52,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The new operator composes with everything else: average, then a
     // reversal.
-    let y = run_real(&mut compiler, "(compose (J 4) (avg 4))", &[1.0, 3.0, 5.0, 7.0, 9.0])?;
+    let y = run_real(
+        &mut compiler,
+        "(compose (J 4) (avg 4))",
+        &[1.0, 3.0, 5.0, 7.0, 9.0],
+    )?;
     println!("(compose (J 4) (avg 4))          = {y:?}");
     assert_eq!(y, vec![8.0, 6.0, 4.0, 2.0]);
 
@@ -88,7 +92,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &(1..=16).map(f64::from).collect::<Vec<_>>(),
     )?;
     // F2 applied twice is 2·I, so the fused pipeline doubles the input.
-    println!("fused (I8⊗F2)(I8⊗F2) = 2x         = first four: {:?}", &y[..4]);
+    println!(
+        "fused (I8⊗F2)(I8⊗F2) = 2x         = first four: {:?}",
+        &y[..4]
+    );
     assert_eq!(y, (1..=16).map(|v| 2.0 * f64::from(v)).collect::<Vec<_>>());
     // Count loops in the generated code: exactly one (fused), not two.
     let sexp = spl::frontend::parser::parse_formula(

@@ -106,7 +106,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         10.0 * (before_hi / after_hi).log10(),
         10.0 * (before_lo / after_lo).log10().abs()
     );
-    assert!(after_hi < before_hi / 100.0, "interference must drop >20 dB");
+    assert!(
+        after_hi < before_hi / 100.0,
+        "interference must drop >20 dB"
+    );
     assert!(after_lo > before_lo * 0.5, "tone must survive");
     Ok(())
 }

@@ -83,7 +83,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("vm", &vm_out),
         ("native", &native_out),
     ] {
-        println!("{:<12} {:<28} {:<28}", name, out[0].to_string(), out[1].to_string());
+        println!(
+            "{:<12} {:<28} {:<28}",
+            name,
+            out[0].to_string(),
+            out[1].to_string()
+        );
         for (a, b) in out.iter().zip(&want) {
             assert!(a.approx_eq(*b, 1e-12), "{name} disagrees with the oracle");
         }

@@ -16,7 +16,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // How big is the space the search walks? (Equation 10 trees.)
     println!("factorization-space sizes (Equation 10, with naive leaves):");
     for k in 1..=6 {
-        println!("  F_{:<3} {:>4} formulas", 1 << k, enumerate_trees(k, Rule::CooleyTukey).len());
+        println!(
+            "  F_{:<3} {:>4} formulas",
+            1 << k,
+            enumerate_trees(k, Rule::CooleyTukey).len()
+        );
     }
 
     println!("\nrunning measured dynamic programming (native execution) ...");

@@ -1,37 +1,77 @@
 //! `splc` — the SPL compiler as a command-line tool.
 //!
 //! Mirrors the paper's compiler driver: reads an SPL program, prints one
-//! Fortran or C subroutine per formula.
-//!
-//! ```text
-//! usage: splc [options] [file.spl]        (stdin when no file)
-//!
-//!   -B <n>         fully unroll sub-formulas with input size <= n
-//!   -U <k>         partially unroll remaining loops by factor k
-//!   -O0 | -O1 | -O2
-//!                  optimization level: none / scalar temporaries /
-//!                  default optimizations (default -O2)
-//!   --language c|fortran
-//!                  override the program's #language directives
-//!   --peephole     enable the machine-dependent peepholes (Section 3.4)
-//!   --io-params    add offset/stride parameters to subroutines
-//!   --vectorize <m>
-//!                  compile A (x) I_m instead of A (Section 3.5)
-//!   --icode        print the optimized i-code instead of target code
-//!   --run          execute each unit on a deterministic workload and
-//!                  print the output vector (uses the interpreter)
-//! ```
+//! Fortran or C subroutine per formula. `--stats` and `--trace-json`
+//! expose the compiler's telemetry (per-phase wall times and per-pass
+//! work counters); see the usage text below.
 
 use std::io::Read;
+use std::path::Path;
 use std::process::ExitCode;
 
 use spl::compiler::{Compiler, CompilerOptions, OptLevel};
 use spl::frontend::ast::Language;
 use spl::numeric::Complex;
+use spl::telemetry::{RunReport, Telemetry};
+
+const USAGE: &str = "\
+usage: splc [options] [file.spl]        (stdin when no file)
+
+  -B <n>         fully unroll sub-formulas with input size <= n
+  -U <k>         partially unroll remaining loops by factor k
+  -O0 | -O1 | -O2
+                 optimization level: none / scalar temporaries /
+                 default optimizations (default -O2)
+  --language c|fortran
+                 override the program's #language directives
+  --peephole     enable the machine-dependent peepholes (Section 3.4)
+  --io-params    add offset/stride parameters to subroutines
+  --vectorize <m>
+                 compile A (x) I_m instead of A (Section 3.5)
+  --icode        print the optimized i-code instead of target code
+  --run          execute each unit on a deterministic workload and
+                 print the output vector (uses the interpreter)
+  --stats        print per-phase times and per-pass counters to stderr
+  --trace-json <file>
+                 write the telemetry run report to <file> as JSON
+  -h, --help     print this help
+";
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("splc: {msg}");
     ExitCode::FAILURE
+}
+
+/// The human-readable `--stats` table.
+fn render_stats(tel: &Telemetry) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    if !tel.spans().is_empty() {
+        let _ = writeln!(out, "phase timings:");
+        for s in tel.spans() {
+            let _ = writeln!(
+                out,
+                "  {:<28} {:>12.1} us  ({} call{})",
+                s.name,
+                s.wall_ns as f64 / 1e3,
+                s.calls,
+                if s.calls == 1 { "" } else { "s" }
+            );
+        }
+    }
+    if !tel.counters().is_empty() {
+        let _ = writeln!(out, "pass counters:");
+        for c in tel.counters() {
+            let _ = writeln!(out, "  {:<28} {:>12}", c.name, c.value);
+        }
+    }
+    if !tel.metrics().is_empty() {
+        let _ = writeln!(out, "metrics:");
+        for (name, value) in tel.metrics() {
+            let _ = writeln!(out, "  {name:<28} {value:>12.6}");
+        }
+    }
+    out
 }
 
 fn main() -> ExitCode {
@@ -40,6 +80,8 @@ fn main() -> ExitCode {
     let mut file: Option<String> = None;
     let mut print_icode = false;
     let mut run = false;
+    let mut stats = false;
+    let mut trace_json: Option<String> = None;
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -67,16 +109,27 @@ fn main() -> ExitCode {
             },
             "--icode" => print_icode = true,
             "--run" => run = true,
+            "--stats" => stats = true,
+            "--trace-json" => match it.next() {
+                Some(path) => trace_json = Some(path.clone()),
+                None => return fail("--trace-json requires a file path"),
+            },
             "-h" | "--help" => {
-                eprintln!("see the module docs: splc [options] [file.spl]");
+                print!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             other if !other.starts_with('-') && file.is_none() => {
                 file = Some(other.to_string());
             }
-            other => return fail(&format!("unknown option {other}")),
+            other => return fail(&format!("unknown option {other} (try --help)")),
         }
     }
+
+    let opt_name = match opts.opt_level {
+        OptLevel::None => "O0",
+        OptLevel::ScalarTemps => "O1",
+        OptLevel::Default => "O2",
+    };
 
     let source = match &file {
         Some(path) => match std::fs::read_to_string(path) {
@@ -97,16 +150,19 @@ fn main() -> ExitCode {
         Ok(u) => u,
         Err(e) => return fail(&e.to_string()),
     };
+    let mut tel = compiler.take_telemetry();
     if units.is_empty() {
         eprintln!("splc: no formulas in input (templates/defines were processed)");
-        return ExitCode::SUCCESS;
     }
     for unit in &units {
         if print_icode {
-            println!("; {} ({} -> {} reals)", unit.name, unit.program.n_in, unit.program.n_out);
+            println!(
+                "; {} ({} -> {} reals)",
+                unit.name, unit.program.n_in, unit.program.n_out
+            );
             print!("{}", unit.program);
         } else {
-            print!("{}", unit.emit());
+            print!("{}", unit.emit_traced(&mut tel));
         }
         if run {
             let x: Vec<Complex> = (0..unit.program.n_in)
@@ -123,6 +179,19 @@ fn main() -> ExitCode {
             }
         }
         println!();
+    }
+    if stats {
+        eprint!("{}", render_stats(&tel));
+    }
+    if let Some(path) = &trace_json {
+        let mut report = RunReport::new("splc");
+        report.meta("opt_level", opt_name);
+        report.meta("input", file.as_deref().unwrap_or("<stdin>"));
+        report.meta("units", &units.len().to_string());
+        report.push_section("compile", tel);
+        if let Err(e) = report.write_to_file(Path::new(path)) {
+            return fail(&format!("writing {path}: {e}"));
+        }
     }
     ExitCode::SUCCESS
 }

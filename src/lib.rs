@@ -36,6 +36,7 @@
 //! | [`search`] | `spl-search` | DP search with k-best plans |
 //! | [`minifft`] | `spl-minifft` | the FFTW-like baseline |
 //! | [`numeric`] | `spl-numeric` | complex numbers, references, metrics |
+//! | [`telemetry`] | `spl-telemetry` | phase spans, counters, run reports |
 //!
 //! # Quick start
 //!
@@ -62,5 +63,6 @@ pub use spl_minifft as minifft;
 pub use spl_native as native;
 pub use spl_numeric as numeric;
 pub use spl_search as search;
+pub use spl_telemetry as telemetry;
 pub use spl_templates as templates;
 pub use spl_vm as vm;

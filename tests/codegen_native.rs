@@ -27,9 +27,15 @@ fn workload(n: usize) -> Vec<Complex> {
 fn native_c_matches_vm_across_shapes() {
     let cases = [
         // Straight-line with folded constants.
-        ("(compose (tensor (F 2) (I 2)) (T 4 2) (tensor (I 2) (F 2)) (L 4 2))", Some(64)),
+        (
+            "(compose (tensor (F 2) (I 2)) (T 4 2) (tensor (I 2) (F 2)) (L 4 2))",
+            Some(64),
+        ),
         // Loop code with twiddle tables.
-        ("(compose (tensor (F 2) (I 8)) (T 16 8) (tensor (I 2) (F 8)) (L 16 2))", None),
+        (
+            "(compose (tensor (F 2) (I 8)) (T 16 8) (tensor (I 2) (F 8)) (L 16 2))",
+            None,
+        ),
         // Permutations and temps.
         ("(compose (L 16 4) (F 16) (L 16 2))", None),
         // Direct sums and reversal.
@@ -92,7 +98,10 @@ fn fortran_output_structure() {
     assert!(f.contains("end"), "{f}");
     // Complex table entries as Fortran complex literals.
     assert!(f.contains("data d0 /"), "{f}");
-    assert!(f.contains("(1.0d0,0.0d0)") || f.contains("(1.0d0,-0.0d0)"), "{f}");
+    assert!(
+        f.contains("(1.0d0,0.0d0)") || f.contains("(1.0d0,-0.0d0)"),
+        "{f}"
+    );
 }
 
 #[test]
@@ -122,7 +131,10 @@ fn io_params_compile_and_run() {
     let sexp = spl::frontend::parser::parse_formula("(F 2)").unwrap();
     let unit = compiler.compile_sexp(&sexp, &directives()).unwrap();
     let src = unit.emit();
-    assert!(src.contains("long yofs, long xofs, long ystr, long xstr"), "{src}");
+    assert!(
+        src.contains("long yofs, long xofs, long ystr, long xstr"),
+        "{src}"
+    );
     // Compile it with cc to prove it is valid C.
     let dir = std::env::temp_dir();
     let cpath = dir.join("spl_ioparams_test.c");
@@ -150,7 +162,9 @@ fn emitted_c_for_every_f16_factorization_compiles_and_agrees() {
             unroll_threshold: Some(8),
             ..Default::default()
         });
-        let unit = compiler.compile_sexp(&tree.to_sexp(), &directives()).unwrap();
+        let unit = compiler
+            .compile_sexp(&tree.to_sexp(), &directives())
+            .unwrap();
         let kernel = NativeKernel::compile(&unit).unwrap();
         let flat = spl::vm::convert::interleave(&x);
         let mut y = vec![0.0; kernel.n_out];

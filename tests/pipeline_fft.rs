@@ -18,7 +18,9 @@ fn directives() -> DirectiveState {
 
 fn run_tree(tree: &FftTree, opts: CompilerOptions) -> Vec<Complex> {
     let mut compiler = Compiler::with_options(opts);
-    let unit = compiler.compile_sexp(&tree.to_sexp(), &directives()).unwrap();
+    let unit = compiler
+        .compile_sexp(&tree.to_sexp(), &directives())
+        .unwrap();
     let vm = lower(&unit.program).unwrap();
     let x = workload(tree.size());
     let flat = spl::vm::convert::interleave(&x);
@@ -124,12 +126,7 @@ fn large_loop_code_1024() {
 fn mixed_radix_sizes() {
     // The Cooley–Tukey rule is not limited to powers of two (Eq. 5 only
     // needs n = r·s): exercise 6-, 12-, 24-, and 60-point transforms.
-    for factors in [
-        vec![2usize, 3],
-        vec![3, 4],
-        vec![2, 3, 4],
-        vec![3, 4, 5],
-    ] {
+    for factors in [vec![2usize, 3], vec![3, 4], vec![2, 3, 4], vec![3, 4, 5]] {
         let tree = ct_sequence(&factors, Rule::CooleyTukey);
         let got = run_tree(&tree, CompilerOptions::default());
         assert_is_dft(&tree, &got);
@@ -183,7 +180,9 @@ fn vectorized_compilation() {
         ..Default::default()
     });
     let tree = FftTree::node(Rule::CooleyTukey, FftTree::leaf(2), FftTree::leaf(2));
-    let unit = compiler.compile_sexp(&tree.to_sexp(), &directives()).unwrap();
+    let unit = compiler
+        .compile_sexp(&tree.to_sexp(), &directives())
+        .unwrap();
     let vm = lower(&unit.program).unwrap();
     assert_eq!(vm.n_in, 4 * 4 * 2);
     // Input: four interleaved copies of the same 4-point signal; output

@@ -1,84 +1,76 @@
-//! Property-based tests over the whole pipeline: random formula trees are
+//! Property-style tests over the whole pipeline: random formula trees are
 //! generated, compiled, and executed; the result must match the formula's
 //! dense-matrix interpretation for random inputs. Optimization levels
 //! must agree with each other, and algebraic identities from Section 2
 //! must hold on dense matrices.
+//!
+//! The random trees are drawn from the workspace's own deterministic
+//! generator (`spl::numeric::rng`) with fixed seeds, so every run checks
+//! the same case set — failures are reproducible by seed.
 
 use std::collections::HashMap;
-
-use proptest::prelude::*;
 
 use spl::compiler::{Compiler, CompilerOptions, OptLevel};
 use spl::formula::{dense, formula_from_sexp, formula_to_sexp, Formula};
 use spl::frontend::ast::{DataType, DirectiveState};
+use spl::numeric::rng::Rng;
 use spl::numeric::{perm, Complex};
 use spl::vm::{lower, VmState};
 
-/// A strategy producing random *square* formulas of the given size.
-fn square_formula(n: usize, depth: u32) -> BoxedStrategy<Formula> {
+/// A random *square* formula of size `n` with the given remaining depth.
+fn square_formula(rng: &mut Rng, n: usize, depth: u32) -> Formula {
     if depth == 0 || n == 1 {
-        let diag = proptest::collection::vec(-2.0..2.0f64, n)
-            .prop_map(|d| Formula::diagonal(d.into_iter().map(Complex::real).collect()));
-        let idn = Just(Formula::identity(n));
-        let perm_s = Just(()).prop_perturb(move |_, mut rng| {
-            let mut p: Vec<usize> = (0..n).collect();
-            for i in (1..n).rev() {
-                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
-                p.swap(i, j);
+        return match rng.below(4) {
+            0 => Formula::diagonal(
+                (0..n)
+                    .map(|_| Complex::real(rng.uniform(-2.0, 2.0)))
+                    .collect(),
+            ),
+            1 => Formula::identity(n),
+            2 => {
+                let mut p: Vec<usize> = (0..n).collect();
+                for i in (1..n).rev() {
+                    let j = rng.below(i as u64 + 1) as usize;
+                    p.swap(i, j);
+                }
+                Formula::permutation(p).unwrap()
             }
-            Formula::permutation(p).unwrap()
-        });
-        let fns = Just(Formula::f(n));
-        return prop_oneof![diag, idn, perm_s, fns].boxed();
+            _ => Formula::f(n),
+        };
     }
-    let mut options: Vec<BoxedStrategy<Formula>> = vec![square_formula(n, 0)];
-    // compose of two same-size formulas
-    options.push(
-        (square_formula(n, depth - 1), square_formula(n, depth - 1))
-            .prop_map(|(a, b)| Formula::compose(vec![a, b]))
-            .boxed(),
-    );
-    // tensor split n = r * s
     let divisors: Vec<usize> = (2..=n / 2).filter(|d| n.is_multiple_of(*d)).collect();
-    if !divisors.is_empty() {
-        let opts: Vec<BoxedStrategy<Formula>> = divisors
-            .into_iter()
-            .map(|r| {
-                let s = n / r;
-                (square_formula(r, depth - 1), square_formula(s, depth - 1))
-                    .prop_map(|(a, b)| Formula::tensor(vec![a, b]))
-                    .boxed()
-            })
-            .collect();
-        options.push(proptest::strategy::Union::new(opts).boxed());
-        // stride / twiddle leaves
-        options.push(
-            Just(())
-                .prop_perturb(move |_, mut rng| {
-                    let divisors: Vec<usize> = (1..=n).filter(|d| n.is_multiple_of(*d)).collect();
-                    let s = divisors[(rng.next_u64() as usize) % divisors.len()];
-                    if rng.next_u64() % 2 == 0 {
-                        Formula::stride(n, s).unwrap()
-                    } else {
-                        Formula::twiddle(n, s).unwrap()
-                    }
-                })
-                .boxed(),
-        );
+    loop {
+        match rng.below(5) {
+            0 => return square_formula(rng, n, 0),
+            1 => {
+                let a = square_formula(rng, n, depth - 1);
+                let b = square_formula(rng, n, depth - 1);
+                return Formula::compose(vec![a, b]);
+            }
+            2 if !divisors.is_empty() => {
+                let r = *rng.pick(&divisors);
+                let a = square_formula(rng, r, depth - 1);
+                let b = square_formula(rng, n / r, depth - 1);
+                return Formula::tensor(vec![a, b]);
+            }
+            3 if !divisors.is_empty() => {
+                let all: Vec<usize> = (1..=n).filter(|d| n.is_multiple_of(*d)).collect();
+                let s = *rng.pick(&all);
+                return if rng.chance(0.5) {
+                    Formula::stride(n, s).unwrap()
+                } else {
+                    Formula::twiddle(n, s).unwrap()
+                };
+            }
+            4 if n >= 2 => {
+                let a = rng.range(1, n as u64 - 1) as usize;
+                let x = square_formula(rng, a, depth - 1);
+                let y = square_formula(rng, n - a, depth - 1);
+                return Formula::direct_sum(vec![x, y]);
+            }
+            _ => continue,
+        }
     }
-    // direct sum n = a + b
-    if n >= 2 {
-        let opts: Vec<BoxedStrategy<Formula>> = (1..n)
-            .map(|a| {
-                let b = n - a;
-                (square_formula(a, depth - 1), square_formula(b, depth - 1))
-                    .prop_map(|(x, y)| Formula::direct_sum(vec![x, y]))
-                    .boxed()
-            })
-            .collect();
-        options.push(proptest::strategy::Union::new(opts).boxed());
-    }
-    proptest::strategy::Union::new(options).boxed()
 }
 
 fn run_formula(f: &Formula, opts: CompilerOptions, x: &[Complex]) -> Vec<Complex> {
@@ -98,15 +90,12 @@ fn run_formula(f: &Formula, opts: CompilerOptions, x: &[Complex]) -> Vec<Complex
     spl::vm::convert::deinterleave(&y)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn compiled_code_matches_dense_semantics(
-        f in prop_oneof![square_formula(4, 2), square_formula(6, 2), square_formula(8, 2)],
-        seed in 0u64..1000,
-    ) {
-        let n = f.cols();
+#[test]
+fn compiled_code_matches_dense_semantics() {
+    for seed in 0..48u64 {
+        let mut rng = Rng::new(0xC0DE_0000 + seed);
+        let n = *rng.pick(&[4usize, 6, 8]);
+        let f = square_formula(&mut rng, n, 2);
         let x: Vec<Complex> = (0..n)
             .map(|i| {
                 let t = (seed as f64 + i as f64) * 0.7;
@@ -116,69 +105,95 @@ proptest! {
         let want = dense::apply(&f, &x).unwrap();
         let got = run_formula(&f, CompilerOptions::default(), &x);
         for (a, b) in got.iter().zip(&want) {
-            prop_assert!(a.approx_eq(*b, 1e-9), "{a} vs {b}");
+            assert!(a.approx_eq(*b, 1e-9), "seed {seed}: {a} vs {b}");
         }
     }
+}
 
-    #[test]
-    fn optimization_levels_agree(
-        f in square_formula(8, 2),
-        seed in 0u64..1000,
-    ) {
-        let n = f.cols();
-        let x: Vec<Complex> = (0..n)
-            .map(|i| Complex::new(((seed + i as u64) as f64).sin(), 0.25))
+#[test]
+fn optimization_levels_agree() {
+    for seed in 0..24u64 {
+        let mut rng = Rng::new(0x0917_0000 + seed);
+        let f = square_formula(&mut rng, 8, 2);
+        let x: Vec<Complex> = (0..8)
+            .map(|i| Complex::new(((seed + i) as f64).sin(), 0.25))
             .collect();
-        let base = run_formula(&f, CompilerOptions {
-            opt_level: OptLevel::None, ..Default::default()
-        }, &x);
+        let base = run_formula(
+            &f,
+            CompilerOptions {
+                opt_level: OptLevel::None,
+                ..Default::default()
+            },
+            &x,
+        );
         for level in [OptLevel::ScalarTemps, OptLevel::Default] {
             for threshold in [None, Some(64)] {
-                let got = run_formula(&f, CompilerOptions {
-                    opt_level: level,
-                    unroll_threshold: threshold,
-                    ..Default::default()
-                }, &x);
+                let got = run_formula(
+                    &f,
+                    CompilerOptions {
+                        opt_level: level,
+                        unroll_threshold: threshold,
+                        ..Default::default()
+                    },
+                    &x,
+                );
                 for (a, b) in got.iter().zip(&base) {
-                    prop_assert!(a.approx_eq(*b, 1e-9));
+                    assert!(a.approx_eq(*b, 1e-9), "seed {seed} level {level:?}");
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn formula_sexp_round_trip(f in square_formula(6, 2)) {
+#[test]
+fn formula_sexp_round_trip() {
+    for seed in 0..32u64 {
+        let mut rng = Rng::new(0x5E_0000 + seed);
+        let f = square_formula(&mut rng, 6, 2);
         let sexp = formula_to_sexp(&f);
         let back = formula_from_sexp(&sexp, &HashMap::new()).unwrap();
         let d1 = dense::to_dense(&f).unwrap();
         let d2 = dense::to_dense(&back).unwrap();
-        prop_assert!(d1.max_diff(&d2) < 1e-12);
+        assert!(d1.max_diff(&d2) < 1e-12, "seed {seed}: {sexp}");
     }
+}
 
-    #[test]
-    fn stride_permutation_inverse_identity(k in 1usize..6, l in 1usize..6) {
-        // L^n_s composed with L^n_{n/s} is the identity.
-        let n = 1usize << (k.min(l) + k.max(l) - k.min(l)).max(1);
+#[test]
+fn stride_permutation_inverse_identity() {
+    // L^n_s composed with L^n_{n/s} is the identity.
+    for k in 1usize..6 {
+        let n = 1usize << k;
         let divisors: Vec<usize> = (1..=n).filter(|d| n.is_multiple_of(*d)).collect();
         for &s in &divisors {
             let p = perm::stride_perm(n, s);
             let q = perm::stride_perm(n, n / s);
             let composed: Vec<usize> = (0..n).map(|i| q[p[i]]).collect();
-            prop_assert_eq!(composed, (0..n).collect::<Vec<_>>());
+            assert_eq!(composed, (0..n).collect::<Vec<_>>());
         }
     }
+}
 
-    #[test]
-    fn tensor_commutation_eq6(ka in 1usize..4, kb in 1usize..4, seed in 0u64..100) {
-        // A ⊗ B = L^{mn}_m (B ⊗ A) L^{mn}_n on random diagonals-and-F
-        // matrices.
-        let m = 1usize << ka;
-        let n = 1usize << kb;
-        let a = if seed % 2 == 0 { Formula::f(m) } else {
+#[test]
+fn tensor_commutation_eq6() {
+    // A ⊗ B = L^{mn}_m (B ⊗ A) L^{mn}_n on random diagonals-and-F
+    // matrices.
+    for seed in 0..24u64 {
+        let mut rng = Rng::new(0xE9_0000 + seed);
+        let m = 1usize << rng.range(1, 3);
+        let n = 1usize << rng.range(1, 3);
+        let a = if seed % 2 == 0 {
+            Formula::f(m)
+        } else {
             Formula::diagonal((0..m).map(|i| Complex::real(i as f64 - 1.0)).collect())
         };
-        let b = if seed % 3 == 0 { Formula::f(n) } else {
-            Formula::diagonal((0..n).map(|i| Complex::real(0.5 * i as f64 + 1.0)).collect())
+        let b = if seed % 3 == 0 {
+            Formula::f(n)
+        } else {
+            Formula::diagonal(
+                (0..n)
+                    .map(|i| Complex::real(0.5 * i as f64 + 1.0))
+                    .collect(),
+            )
         };
         let lhs = dense::to_dense(&Formula::tensor(vec![a.clone(), b.clone()])).unwrap();
         let rhs = dense::to_dense(&Formula::compose(vec![
@@ -187,6 +202,6 @@ proptest! {
             Formula::stride(m * n, n).unwrap(),
         ]))
         .unwrap();
-        prop_assert!(lhs.max_diff(&rhs) < 1e-10);
+        assert!(lhs.max_diff(&rhs) < 1e-10, "seed {seed}");
     }
 }

@@ -6,9 +6,7 @@
 use spl::generator::fft::FftTree;
 use spl::minifft::{Plan, PlanMode};
 use spl::numeric::{reference, relative_rms_error, Complex};
-use spl::search::{
-    compile_tree, large_search, small_search, OpCountEvaluator, SearchConfig,
-};
+use spl::search::{compile_tree, large_search, small_search, OpCountEvaluator, SearchConfig};
 use spl::vm::VmState;
 
 fn workload(n: usize) -> Vec<Complex> {
