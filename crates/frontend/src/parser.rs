@@ -111,7 +111,9 @@ impl Parser {
 
     fn expect(&mut self, kind: &TokenKind) -> Result<Token, ParseError> {
         match self.peek() {
-            Some(t) if &t.kind == kind => Ok(self.bump().unwrap()),
+            Some(t) if &t.kind == kind => self
+                .bump()
+                .ok_or_else(|| self.err_here(ParseErrorKind::UnexpectedEof)),
             Some(t) => Err(ParseError::new(
                 ParseErrorKind::UnexpectedToken(format!("{} (expected {})", t.kind, kind)),
                 t.line,
@@ -173,10 +175,18 @@ impl Parser {
     }
 
     fn directive(&mut self) -> Result<Directive, ParseError> {
-        let tok = self.bump().unwrap();
+        let tok = self
+            .bump()
+            .ok_or_else(|| self.err_here(ParseErrorKind::UnexpectedEof))?;
         let (name, rest) = match tok.kind {
             TokenKind::Directive(n, r) => (n, r),
-            _ => unreachable!("directive() called on non-directive"),
+            other => {
+                return Err(ParseError::new(
+                    ParseErrorKind::UnexpectedToken(format!("{other} (expected a directive)")),
+                    tok.line,
+                    tok.col,
+                ))
+            }
         };
         let bad = |msg: &str| {
             Err(ParseError::new(
@@ -951,6 +961,50 @@ mod tests {
     fn unbalanced_parens_rejected() {
         assert!(parse_formula("(compose (F 2)").is_err());
         assert!(parse_formula("(F 2))").is_err());
+    }
+
+    #[test]
+    fn malformed_sexprs_error_not_panic() {
+        // Every one of these once had a path to a panic or hit unwrap()s
+        // inside the parser; they must all come back as ParseErrors.
+        for src in [
+            "",
+            "(",
+            ")",
+            "((",
+            "(F",
+            "(F 2",
+            "(diagonal (1 -",
+            "(,)",
+            "(1,",
+            "(1,2",
+            "sqrt(",
+            "cos(2*",
+            "(define",
+            "(compose (F 2) (T 4",
+        ] {
+            assert!(parse_formula(src).is_err(), "{src:?}");
+        }
+    }
+
+    #[test]
+    fn malformed_programs_error_not_panic() {
+        for src in [
+            "(define)",
+            "(define 3 (F 2))",
+            "(define F4)",
+            "(template (F n_) [n_>0]",
+            "(template (F n_) (do $i0 = 0))",
+            "(template (F n_) (do i0 = 0,1 end))",
+            "#subname",
+            "#subname bad-name",
+            "#unroll",
+            "#",
+            "(F 2))",
+            "(template (compose A_ B_) ( B_( $in ))",
+        ] {
+            assert!(parse_program(src).is_err(), "{src:?}");
+        }
     }
 
     #[test]

@@ -64,13 +64,28 @@ pub fn relative_rms_error_real(a: &[f64], b: &[f64]) -> f64 {
 ///
 /// The shared engine behind the VM-, native-, and baseline-timing paths
 /// (the paper's measured evaluations all use this calibrate-then-repeat
-/// scheme).
-pub fn time_adaptive(min_time: std::time::Duration, mut f: impl FnMut()) -> f64 {
+/// scheme). Repetitions are capped at one billion; callers timing
+/// potentially pathological workloads should use
+/// [`time_adaptive_capped`] with a tighter budget.
+pub fn time_adaptive(min_time: std::time::Duration, f: impl FnMut()) -> f64 {
+    time_adaptive_capped(min_time, 1_000_000_000, f)
+}
+
+/// [`time_adaptive`] with an explicit iteration cap: the measurement
+/// loop never exceeds `max_reps` repetitions even when the calibration
+/// call suggests more would fit in `min_time`. This bounds the wall
+/// time spent on a pathological (near-zero-cost or mis-timed) candidate
+/// instead of letting the repetition count balloon.
+pub fn time_adaptive_capped(
+    min_time: std::time::Duration,
+    max_reps: u64,
+    mut f: impl FnMut(),
+) -> f64 {
     use std::time::Instant;
     let start = Instant::now();
     f();
     let once = start.elapsed().as_secs_f64().max(1e-9);
-    let reps = ((min_time.as_secs_f64() / once) as u64).clamp(1, 1_000_000_000);
+    let reps = ((min_time.as_secs_f64() / once) as u64).clamp(1, max_reps.max(1));
     let start = Instant::now();
     for _ in 0..reps {
         f();
@@ -145,5 +160,28 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn mismatched_lengths_panic() {
         relative_rms_error(&[Complex::ZERO], &[]);
+    }
+
+    #[test]
+    fn capped_timer_bounds_repetitions() {
+        // A huge time floor with a tiny cap must return promptly: one
+        // calibration call plus at most `max_reps` timed calls.
+        let mut n = 0u64;
+        let start = std::time::Instant::now();
+        let t = time_adaptive_capped(std::time::Duration::from_secs(3600), 50, || {
+            n += 1;
+        });
+        assert!(t >= 0.0);
+        assert!(n <= 51, "ran {n} times despite cap");
+        assert!(start.elapsed() < std::time::Duration::from_secs(10));
+    }
+
+    #[test]
+    fn zero_cap_still_runs_once() {
+        let mut n = 0u64;
+        time_adaptive_capped(std::time::Duration::from_millis(1), 0, || {
+            n += 1;
+        });
+        assert!((2..=2).contains(&n), "calibration + one timed rep, got {n}");
     }
 }

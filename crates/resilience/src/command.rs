@@ -1,0 +1,156 @@
+//! Running external commands under a wall-clock timeout.
+//!
+//! A hung host compiler must not wedge a search that has thousands of
+//! candidates left; the runner here polls the child and kills it when
+//! the budget expires, draining stdout/stderr on threads so a chatty
+//! child cannot deadlock on a full pipe either.
+
+use std::io::Read;
+use std::process::{Command, ExitStatus, Stdio};
+use std::time::{Duration, Instant};
+
+/// Why a command run failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommandError {
+    /// The process could not be spawned at all.
+    Spawn(String),
+    /// The process ran past the timeout and was killed.
+    TimedOut {
+        /// The budget that was exceeded.
+        timeout: Duration,
+    },
+    /// Waiting on the process failed.
+    Wait(String),
+}
+
+impl std::fmt::Display for CommandError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommandError::Spawn(e) => write!(f, "spawning command: {e}"),
+            CommandError::TimedOut { timeout } => {
+                write!(f, "command timed out after {:.1}s", timeout.as_secs_f64())
+            }
+            CommandError::Wait(e) => write!(f, "waiting on command: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CommandError {}
+
+/// A finished command: exit status plus captured output.
+#[derive(Debug)]
+pub struct CommandOutput {
+    /// The child's exit status.
+    pub status: ExitStatus,
+    /// Captured standard output.
+    pub stdout: Vec<u8>,
+    /// Captured standard error.
+    pub stderr: Vec<u8>,
+}
+
+fn drain(mut r: impl Read + Send + 'static) -> std::thread::JoinHandle<Vec<u8>> {
+    std::thread::spawn(move || {
+        let mut buf = Vec::new();
+        let _ = r.read_to_end(&mut buf);
+        buf
+    })
+}
+
+/// Runs `cmd` to completion with stdout/stderr captured, killing it if
+/// it exceeds `timeout`.
+///
+/// # Errors
+///
+/// [`CommandError::Spawn`] when the binary cannot be started,
+/// [`CommandError::TimedOut`] when the budget expires (the child is
+/// killed and reaped first).
+pub fn run_command_with_timeout(
+    cmd: &mut Command,
+    timeout: Duration,
+) -> Result<CommandOutput, CommandError> {
+    let mut child = cmd
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .map_err(|e| CommandError::Spawn(e.to_string()))?;
+    let out_h = child.stdout.take().map(drain);
+    let err_h = child.stderr.take().map(drain);
+    let deadline = Instant::now() + timeout;
+    let status = loop {
+        match child.try_wait() {
+            Ok(Some(status)) => break status,
+            Ok(None) => {
+                if Instant::now() >= deadline {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    // Do NOT join the drain threads here: a grandchild
+                    // (e.g. `sh -c` that forked rather than exec'd) may
+                    // still hold the pipe open, and the output of a
+                    // killed command is unwanted anyway. Dropping the
+                    // handles detaches the drainers; they exit on EOF.
+                    drop(out_h);
+                    drop(err_h);
+                    return Err(CommandError::TimedOut { timeout });
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(CommandError::Wait(e.to_string()));
+            }
+        }
+    };
+    let stdout = out_h
+        .map(|h| h.join().unwrap_or_default())
+        .unwrap_or_default();
+    let stderr = err_h
+        .map(|h| h.join().unwrap_or_default())
+        .unwrap_or_default();
+    Ok(CommandOutput {
+        status,
+        stdout,
+        stderr,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn captures_output_of_quick_command() {
+        let mut cmd = Command::new("sh");
+        cmd.arg("-c").arg("echo out; echo err >&2");
+        let out = run_command_with_timeout(&mut cmd, Duration::from_secs(10)).unwrap();
+        assert!(out.status.success());
+        assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "out");
+        assert_eq!(String::from_utf8_lossy(&out.stderr).trim(), "err");
+    }
+
+    #[test]
+    fn reports_nonzero_exit() {
+        let mut cmd = Command::new("sh");
+        cmd.arg("-c").arg("exit 3");
+        let out = run_command_with_timeout(&mut cmd, Duration::from_secs(10)).unwrap();
+        assert!(!out.status.success());
+    }
+
+    #[test]
+    fn kills_hung_command() {
+        let mut cmd = Command::new("sh");
+        cmd.arg("-c").arg("sleep 30");
+        let start = Instant::now();
+        let err = run_command_with_timeout(&mut cmd, Duration::from_millis(100)).unwrap_err();
+        assert!(matches!(err, CommandError::TimedOut { .. }));
+        assert!(start.elapsed() < Duration::from_secs(10));
+    }
+
+    #[test]
+    fn missing_binary_is_spawn_error() {
+        let mut cmd = Command::new("/nonexistent/definitely-not-a-binary");
+        let err = run_command_with_timeout(&mut cmd, Duration::from_secs(1)).unwrap_err();
+        assert!(matches!(err, CommandError::Spawn(_)));
+    }
+}

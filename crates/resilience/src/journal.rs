@@ -1,0 +1,411 @@
+//! An append-only, CRC-checked record log with crash-tolerant recovery.
+//!
+//! Each record is one line: `splj1 <crc32:08x> <payload>`. Appends go
+//! straight to the file and are flushed and synced, so a killed process
+//! loses at most the record being written. Loading is *tolerant*: the
+//! first malformed or CRC-mismatching line ends the trusted prefix, and
+//! everything from there on is dropped (a torn final write must not
+//! poison the whole log). [`Journal::open`] then rewrites the cleaned
+//! prefix atomically (tmp + rename) so later appends land on a
+//! consistent file.
+//!
+//! Record payloads are opaque single-line strings; the search layer
+//! defines their schema (see `spl-search`'s wisdom journal).
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::crc32::crc32;
+
+/// The framing magic for version-1 records.
+const MAGIC: &str = "splj1";
+
+/// A journal failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalError {
+    /// An I/O failure reading or writing the journal.
+    Io(String),
+    /// A payload that cannot be framed (embedded newline).
+    InvalidPayload(String),
+    /// Strict loading found a malformed or CRC-mismatching record.
+    Corrupt {
+        /// 1-based line number of the first bad record.
+        line: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal i/o: {e}"),
+            JournalError::InvalidPayload(p) => {
+                write!(f, "journal payload may not contain newlines: {p:?}")
+            }
+            JournalError::Corrupt { line, reason } => {
+                write!(f, "journal corrupt at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+/// The result of tolerantly loading a journal.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LoadedJournal {
+    /// Payloads of the trusted prefix, in append order.
+    pub records: Vec<String>,
+    /// Non-empty lines dropped after the first corruption (0 when the
+    /// whole file was clean).
+    pub dropped: usize,
+}
+
+/// An append-only CRC-framed record log.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: Option<File>,
+}
+
+/// Parses one framed line, returning its payload.
+fn parse_line(line: &str) -> Result<String, String> {
+    let rest = line
+        .strip_prefix(MAGIC)
+        .and_then(|r| r.strip_prefix(' '))
+        .ok_or_else(|| format!("bad magic in {line:?}"))?;
+    let (crc_hex, payload) = rest
+        .split_once(' ')
+        .ok_or_else(|| "missing payload".to_string())?;
+    let want = u32::from_str_radix(crc_hex, 16).map_err(|_| format!("bad crc {crc_hex:?}"))?;
+    let got = crc32(payload.as_bytes());
+    if want != got {
+        return Err(format!(
+            "crc mismatch: stored {want:08x}, computed {got:08x}"
+        ));
+    }
+    Ok(payload.to_string())
+}
+
+fn frame(payload: &str) -> String {
+    format!("{MAGIC} {:08x} {payload}\n", crc32(payload.as_bytes()))
+}
+
+impl Journal {
+    /// Opens (creating if needed) the journal at `path`, tolerantly
+    /// loading its contents. If a torn or corrupt tail was found, the
+    /// file is rewritten atomically with only the trusted prefix so
+    /// subsequent appends extend a clean log.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on I/O errors; corruption is recovered from, not
+    /// reported as an error (inspect [`LoadedJournal::dropped`]).
+    pub fn open(path: &Path) -> Result<(Journal, LoadedJournal), JournalError> {
+        let loaded = Self::load(path)?;
+        if loaded.dropped > 0 {
+            Self::rewrite(path, &loaded.records)?;
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| JournalError::Io(format!("opening {}: {e}", path.display())))?;
+        Ok((
+            Journal {
+                path: path.to_path_buf(),
+                file: Some(file),
+            },
+            loaded,
+        ))
+    }
+
+    /// Tolerantly loads the journal at `path` without opening it for
+    /// appends. A missing file is an empty journal.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on I/O errors.
+    pub fn load(path: &Path) -> Result<LoadedJournal, JournalError> {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(LoadedJournal::default())
+            }
+            Err(e) => return Err(JournalError::Io(format!("reading {}: {e}", path.display()))),
+        };
+        let mut records = Vec::new();
+        let mut lines: Vec<&[u8]> = bytes.split(|&b| b == b'\n').collect();
+        // A trailing newline yields one empty final chunk; drop it.
+        if lines.last().is_some_and(|l| l.is_empty()) {
+            lines.pop();
+        }
+        let mut iter = lines.iter().enumerate();
+        let mut dropped = 0;
+        for (i, raw) in iter.by_ref() {
+            if raw.is_empty() || raw.first() == Some(&b'#') {
+                continue;
+            }
+            let ok = std::str::from_utf8(raw)
+                .map_err(|_| "not utf-8".to_string())
+                .and_then(parse_line);
+            match ok {
+                Ok(payload) => records.push(payload),
+                Err(_) => {
+                    // First bad line: everything from here on is
+                    // untrusted (record order matters to consumers).
+                    dropped = 1;
+                    let _ = i;
+                    break;
+                }
+            }
+        }
+        dropped += iter.filter(|(_, raw)| !raw.is_empty()).count();
+        Ok(LoadedJournal { records, dropped })
+    }
+
+    /// Strictly loads the journal: any malformed or CRC-mismatching
+    /// record is an error instead of a truncation point.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Corrupt`] on the first bad record, or an I/O
+    /// error.
+    pub fn load_strict(path: &Path) -> Result<Vec<String>, JournalError> {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(JournalError::Io(format!("reading {}: {e}", path.display()))),
+        };
+        let mut records = Vec::new();
+        let mut lines: Vec<&[u8]> = bytes.split(|&b| b == b'\n').collect();
+        if lines.last().is_some_and(|l| l.is_empty()) {
+            lines.pop();
+        }
+        for (i, raw) in lines.iter().enumerate() {
+            if raw.is_empty() || raw.first() == Some(&b'#') {
+                continue;
+            }
+            let line = std::str::from_utf8(raw).map_err(|_| JournalError::Corrupt {
+                line: i + 1,
+                reason: "not utf-8".into(),
+            })?;
+            let payload = parse_line(line).map_err(|reason| JournalError::Corrupt {
+                line: i + 1,
+                reason,
+            })?;
+            records.push(payload);
+        }
+        Ok(records)
+    }
+
+    /// Appends one record and syncs it to disk.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::InvalidPayload`] for payloads containing
+    /// newlines, or an I/O error.
+    pub fn append(&mut self, payload: &str) -> Result<(), JournalError> {
+        if payload.contains('\n') || payload.contains('\r') {
+            return Err(JournalError::InvalidPayload(payload.to_string()));
+        }
+        let file = self
+            .file
+            .as_mut()
+            .ok_or_else(|| JournalError::Io("journal not open for appends".into()))?;
+        file.write_all(frame(payload).as_bytes())
+            .and_then(|()| file.flush())
+            .and_then(|()| file.sync_data())
+            .map_err(|e| JournalError::Io(format!("appending to {}: {e}", self.path.display())))
+    }
+
+    /// Atomically replaces the journal at `path` with exactly `records`
+    /// (written to a temporary sibling, synced, then renamed over the
+    /// original).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; `records` must be newline-free.
+    pub fn rewrite(path: &Path, records: &[String]) -> Result<(), JournalError> {
+        for r in records {
+            if r.contains('\n') || r.contains('\r') {
+                return Err(JournalError::InvalidPayload(r.clone()));
+            }
+        }
+        let tmp = path.with_extension("journal.tmp");
+        let io = |e: std::io::Error| JournalError::Io(format!("rewriting {}: {e}", path.display()));
+        let mut f = File::create(&tmp).map_err(io)?;
+        for r in records {
+            f.write_all(frame(r).as_bytes()).map_err(io)?;
+        }
+        f.sync_all().map_err(io)?;
+        drop(f);
+        std::fs::rename(&tmp, path).map_err(io)
+    }
+
+    /// The on-disk path of this journal.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "spl_journal_test_{}_{name}.journal",
+            std::process::id()
+        ))
+    }
+
+    fn cleanup(p: &Path) {
+        let _ = std::fs::remove_file(p);
+    }
+
+    #[test]
+    fn round_trips_records() {
+        let p = tmp_path("roundtrip");
+        cleanup(&p);
+        {
+            let (mut j, loaded) = Journal::open(&p).unwrap();
+            assert!(loaded.records.is_empty());
+            j.append("small 2 3ff0000000000000 2").unwrap();
+            j.append("small 4 4010000000000000 (ct 2 2)").unwrap();
+        }
+        let loaded = Journal::load(&p).unwrap();
+        assert_eq!(loaded.dropped, 0);
+        assert_eq!(
+            loaded.records,
+            vec![
+                "small 2 3ff0000000000000 2".to_string(),
+                "small 4 4010000000000000 (ct 2 2)".to_string()
+            ]
+        );
+        cleanup(&p);
+    }
+
+    #[test]
+    fn truncated_tail_is_dropped() {
+        let p = tmp_path("torn");
+        cleanup(&p);
+        {
+            let (mut j, _) = Journal::open(&p).unwrap();
+            j.append("one").unwrap();
+            j.append("two").unwrap();
+        }
+        // Simulate a torn final write: chop the file mid-record.
+        let text = std::fs::read_to_string(&p).unwrap();
+        std::fs::write(&p, &text[..text.len() - 5]).unwrap();
+        let loaded = Journal::load(&p).unwrap();
+        assert_eq!(loaded.records, vec!["one".to_string()]);
+        assert_eq!(loaded.dropped, 1);
+        cleanup(&p);
+    }
+
+    #[test]
+    fn corrupt_crc_truncates_from_there() {
+        let p = tmp_path("crc");
+        cleanup(&p);
+        {
+            let (mut j, _) = Journal::open(&p).unwrap();
+            j.append("alpha").unwrap();
+            j.append("beta").unwrap();
+            j.append("gamma").unwrap();
+        }
+        // Flip one payload byte in the middle record.
+        let mut bytes = std::fs::read(&p).unwrap();
+        let pos = bytes
+            .windows(4)
+            .position(|w| w == b"beta")
+            .expect("payload present");
+        bytes[pos] = b'B';
+        std::fs::write(&p, &bytes).unwrap();
+        let loaded = Journal::load(&p).unwrap();
+        // Middle corruption drops it AND everything after it.
+        assert_eq!(loaded.records, vec!["alpha".to_string()]);
+        assert_eq!(loaded.dropped, 2);
+        assert!(matches!(
+            Journal::load_strict(&p),
+            Err(JournalError::Corrupt { line: 2, .. })
+        ));
+        cleanup(&p);
+    }
+
+    #[test]
+    fn open_heals_corruption_and_appends_cleanly() {
+        let p = tmp_path("heal");
+        cleanup(&p);
+        {
+            let (mut j, _) = Journal::open(&p).unwrap();
+            j.append("keep").unwrap();
+            j.append("lost").unwrap();
+        }
+        let text = std::fs::read_to_string(&p).unwrap();
+        std::fs::write(&p, &text[..text.len() - 3]).unwrap();
+        {
+            let (mut j, loaded) = Journal::open(&p).unwrap();
+            assert_eq!(loaded.records, vec!["keep".to_string()]);
+            assert_eq!(loaded.dropped, 1);
+            j.append("after-heal").unwrap();
+        }
+        // The healed file is now fully clean, even strictly.
+        let strict = Journal::load_strict(&p).unwrap();
+        assert_eq!(strict, vec!["keep".to_string(), "after-heal".to_string()]);
+        cleanup(&p);
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let p = tmp_path("missing");
+        cleanup(&p);
+        let loaded = Journal::load(&p).unwrap();
+        assert!(loaded.records.is_empty());
+        assert_eq!(loaded.dropped, 0);
+        assert!(Journal::load_strict(&p).unwrap().is_empty());
+    }
+
+    #[test]
+    fn newline_payload_rejected() {
+        let p = tmp_path("newline");
+        cleanup(&p);
+        let (mut j, _) = Journal::open(&p).unwrap();
+        assert!(matches!(
+            j.append("two\nlines"),
+            Err(JournalError::InvalidPayload(_))
+        ));
+        cleanup(&p);
+    }
+
+    #[test]
+    fn comments_and_blanks_tolerated() {
+        let p = tmp_path("comments");
+        cleanup(&p);
+        {
+            let (mut j, _) = Journal::open(&p).unwrap();
+            j.append("real").unwrap();
+        }
+        let mut text = String::from("# header comment\n\n");
+        text.push_str(&std::fs::read_to_string(&p).unwrap());
+        std::fs::write(&p, text).unwrap();
+        let loaded = Journal::load(&p).unwrap();
+        assert_eq!(loaded.records, vec!["real".to_string()]);
+        assert_eq!(loaded.dropped, 0);
+        cleanup(&p);
+    }
+
+    #[test]
+    fn rewrite_is_atomic_replacement() {
+        let p = tmp_path("rewrite");
+        cleanup(&p);
+        Journal::rewrite(&p, &["a".into(), "b".into()]).unwrap();
+        let loaded = Journal::load(&p).unwrap();
+        assert_eq!(loaded.records, vec!["a".to_string(), "b".to_string()]);
+        // No stray tmp file left behind.
+        assert!(!p.with_extension("journal.tmp").exists());
+        cleanup(&p);
+    }
+}

@@ -1,0 +1,150 @@
+//! Bounded retry with exponential backoff.
+
+use std::time::Duration;
+
+/// How many times to attempt a flaky operation and how long to wait
+/// between attempts (the delay doubles per retry, capped at
+/// [`max_delay`](RetryPolicy::max_delay)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (1 = no retries). Clamped to at least 1.
+    pub attempts: u32,
+    /// Delay before the first retry.
+    pub base_delay: Duration,
+    /// Upper bound on any single delay.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn none() -> Self {
+        RetryPolicy {
+            attempts: 1,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+        }
+    }
+
+    /// The delay to sleep after failed attempt `attempt` (0-based).
+    pub fn delay_after(&self, attempt: u32) -> Duration {
+        let factor = 1u32 << attempt.min(16);
+        (self.base_delay * factor).min(self.max_delay)
+    }
+}
+
+/// Runs `f` up to `policy.attempts` times, sleeping with exponential
+/// backoff between failures. `f` receives the 0-based attempt index.
+/// Returns the first success or the last error.
+///
+/// # Errors
+///
+/// Returns the error of the final attempt when every attempt fails.
+pub fn with_backoff<T, E>(
+    policy: &RetryPolicy,
+    mut f: impl FnMut(u32) -> Result<T, E>,
+) -> Result<T, E> {
+    let attempts = policy.attempts.max(1);
+    let mut last = None;
+    for attempt in 0..attempts {
+        match f(attempt) {
+            Ok(v) => return Ok(v),
+            Err(e) => {
+                last = Some(e);
+                if attempt + 1 < attempts {
+                    let d = policy.delay_after(attempt);
+                    if !d.is_zero() {
+                        std::thread::sleep(d);
+                    }
+                }
+            }
+        }
+    }
+    Err(last.expect("at least one attempt ran"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 4,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn succeeds_first_try_without_retrying() {
+        let mut calls = 0;
+        let r: Result<i32, &str> = with_backoff(&fast(), |_| {
+            calls += 1;
+            Ok(7)
+        });
+        assert_eq!(r, Ok(7));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn retries_until_success() {
+        let mut calls = 0;
+        let r: Result<i32, &str> = with_backoff(&fast(), |attempt| {
+            calls += 1;
+            if attempt < 2 {
+                Err("flaky")
+            } else {
+                Ok(42)
+            }
+        });
+        assert_eq!(r, Ok(42));
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn gives_up_after_budget() {
+        let mut calls = 0;
+        let r: Result<(), String> = with_backoff(&fast(), |a| {
+            calls += 1;
+            Err(format!("attempt {a}"))
+        });
+        assert_eq!(r, Err("attempt 3".to_string()));
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn delays_double_and_cap() {
+        let p = RetryPolicy {
+            attempts: 5,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(35),
+        };
+        assert_eq!(p.delay_after(0), Duration::from_millis(10));
+        assert_eq!(p.delay_after(1), Duration::from_millis(20));
+        assert_eq!(p.delay_after(2), Duration::from_millis(35)); // capped
+        assert_eq!(p.delay_after(10), Duration::from_millis(35));
+    }
+
+    #[test]
+    fn attempts_clamped_to_one() {
+        let p = RetryPolicy {
+            attempts: 0,
+            ..fast()
+        };
+        let mut calls = 0;
+        let _: Result<(), ()> = with_backoff(&p, |_| {
+            calls += 1;
+            Err(())
+        });
+        assert_eq!(calls, 1);
+    }
+}

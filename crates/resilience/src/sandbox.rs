@@ -1,0 +1,363 @@
+//! Executing untrusted code in a forked child process.
+//!
+//! Generated kernels are machine code produced from machine-generated C;
+//! a miscompile can segfault or spin forever. Running each candidate in
+//! a forked child turns those failure modes into *data* — a classified
+//! [`SandboxError`] — instead of killing the whole search. The child
+//! fills a caller-provided `f64` buffer and streams it back through a
+//! pipe; the parent enforces a wall-clock deadline and reaps the child
+//! on every path.
+//!
+//! The caller must do all allocation **before** calling
+//! [`run_isolated`]: the child may be forked from a multithreaded
+//! process, where only async-signal-safe work (and in practice,
+//! allocation-free computation) is reliable between `fork` and `_exit`.
+
+use std::time::{Duration, Instant};
+
+/// Why sandboxed execution failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SandboxError {
+    /// The child died on a signal (SIGSEGV, SIGABRT, ...).
+    Crashed {
+        /// The terminating signal number.
+        signal: i32,
+    },
+    /// The child ran past the deadline and was killed.
+    TimedOut {
+        /// The budget that was exceeded.
+        timeout: Duration,
+    },
+    /// The child exited voluntarily but unsuccessfully (e.g. the closure
+    /// panicked).
+    ChildFailed {
+        /// The child's exit code.
+        code: i32,
+    },
+    /// Pipe plumbing failed or the child exited cleanly without sending
+    /// a complete result.
+    Protocol(String),
+    /// Process isolation is not available on this platform; the caller
+    /// should fall back to in-process execution.
+    Unsupported,
+}
+
+impl std::fmt::Display for SandboxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SandboxError::Crashed { signal } => {
+                write!(f, "sandboxed child crashed on signal {signal}")
+            }
+            SandboxError::TimedOut { timeout } => write!(
+                f,
+                "sandboxed child timed out after {:.1}s",
+                timeout.as_secs_f64()
+            ),
+            SandboxError::ChildFailed { code } => {
+                write!(f, "sandboxed child exited with code {code}")
+            }
+            SandboxError::Protocol(e) => write!(f, "sandbox protocol: {e}"),
+            SandboxError::Unsupported => write!(f, "process sandbox unsupported on this platform"),
+        }
+    }
+}
+
+impl std::error::Error for SandboxError {}
+
+/// Runs `f(out)` in a forked child under `timeout`, copying the filled
+/// buffer back into `out` on success. Crashes, hangs, and failed exits
+/// in `f` are contained and classified.
+///
+/// `out` must be fully allocated by the caller; `f` should neither
+/// allocate nor touch locks (it runs in a fork of a possibly
+/// multithreaded process).
+///
+/// # Errors
+///
+/// See [`SandboxError`].
+#[cfg(unix)]
+pub fn run_isolated(
+    timeout: Duration,
+    out: &mut [f64],
+    f: impl FnOnce(&mut [f64]),
+) -> Result<(), SandboxError> {
+    imp::run_isolated(timeout, out, f)
+}
+
+/// Non-unix fallback: isolation is unavailable; callers should run the
+/// closure in-process instead (and accept the weaker failure handling).
+#[cfg(not(unix))]
+pub fn run_isolated(
+    _timeout: Duration,
+    _out: &mut [f64],
+    _f: impl FnOnce(&mut [f64]),
+) -> Result<(), SandboxError> {
+    Err(SandboxError::Unsupported)
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::*;
+    use std::ffi::c_int;
+
+    extern "C" {
+        fn fork() -> i32;
+        fn waitpid(pid: i32, status: *mut c_int, options: c_int) -> i32;
+        fn pipe(fds: *mut c_int) -> c_int;
+        fn read(fd: c_int, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: c_int, buf: *const u8, count: usize) -> isize;
+        fn close(fd: c_int) -> c_int;
+        fn _exit(code: c_int) -> !;
+        fn kill(pid: i32, sig: c_int) -> c_int;
+        fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+    }
+
+    const SIGKILL: c_int = 9;
+    const F_SETFL: c_int = 4;
+    #[cfg(target_os = "linux")]
+    const O_NONBLOCK: c_int = 0o4000;
+    #[cfg(not(target_os = "linux"))]
+    const O_NONBLOCK: c_int = 0x0004;
+
+    /// Exit code the child uses when the closure panicked.
+    const CHILD_PANIC_EXIT: c_int = 3;
+    /// Exit code the child uses when writing the result failed.
+    const CHILD_WRITE_EXIT: c_int = 4;
+
+    fn wifexited(status: c_int) -> bool {
+        status & 0x7f == 0
+    }
+
+    fn wexitstatus(status: c_int) -> i32 {
+        (status >> 8) & 0xff
+    }
+
+    fn wifsignaled(status: c_int) -> bool {
+        let sig = status & 0x7f;
+        sig != 0 && sig != 0x7f
+    }
+
+    fn wtermsig(status: c_int) -> i32 {
+        status & 0x7f
+    }
+
+    /// Blocking reap; used once the child is known to be exiting.
+    fn reap(pid: i32) -> c_int {
+        let mut status: c_int = 0;
+        // SAFETY: plain waitpid on a pid we forked.
+        unsafe {
+            waitpid(pid, &mut status, 0);
+        }
+        status
+    }
+
+    fn classify_exit(status: c_int, context: &str) -> SandboxError {
+        if wifsignaled(status) {
+            SandboxError::Crashed {
+                signal: wtermsig(status),
+            }
+        } else if wifexited(status) && wexitstatus(status) != 0 {
+            SandboxError::ChildFailed {
+                code: wexitstatus(status),
+            }
+        } else {
+            SandboxError::Protocol(context.to_string())
+        }
+    }
+
+    pub fn run_isolated(
+        timeout: Duration,
+        out: &mut [f64],
+        f: impl FnOnce(&mut [f64]),
+    ) -> Result<(), SandboxError> {
+        let mut fds: [c_int; 2] = [0; 2];
+        // SAFETY: pipe writes two fds into the array on success.
+        if unsafe { pipe(fds.as_mut_ptr()) } != 0 {
+            return Err(SandboxError::Protocol("pipe() failed".into()));
+        }
+        let (rd, wr) = (fds[0], fds[1]);
+        // SAFETY: fork duplicates this process; every path below closes
+        // its ends of the pipe and (in the parent) reaps the child.
+        let pid = unsafe { fork() };
+        if pid < 0 {
+            unsafe {
+                close(rd);
+                close(wr);
+            }
+            return Err(SandboxError::Protocol("fork() failed".into()));
+        }
+        if pid == 0 {
+            // Child: compute, stream the buffer, exit without running
+            // atexit handlers. A panic in the closure becomes a
+            // distinguishable exit code instead of an abort.
+            unsafe {
+                close(rd);
+            }
+            let panicked =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(out))).is_err();
+            if panicked {
+                unsafe {
+                    close(wr);
+                    _exit(CHILD_PANIC_EXIT);
+                }
+            }
+            let bytes: &[u8] = unsafe {
+                // SAFETY: reinterpreting the f64 buffer as bytes for the
+                // pipe; alignment of u8 is trivially satisfied.
+                std::slice::from_raw_parts(out.as_ptr().cast::<u8>(), out.len() * 8)
+            };
+            let mut sent = 0usize;
+            while sent < bytes.len() {
+                // SAFETY: writing a valid sub-slice to our pipe end.
+                let n = unsafe { write(wr, bytes[sent..].as_ptr(), bytes.len() - sent) };
+                if n <= 0 {
+                    unsafe {
+                        close(wr);
+                        _exit(CHILD_WRITE_EXIT);
+                    }
+                }
+                sent += n as usize;
+            }
+            unsafe {
+                close(wr);
+                _exit(0);
+            }
+        }
+        // Parent.
+        unsafe {
+            close(wr);
+            fcntl(rd, F_SETFL, O_NONBLOCK);
+        }
+        let want = out.len() * 8;
+        let mut buf = vec![0u8; want];
+        let mut got = 0usize;
+        let deadline = Instant::now() + timeout;
+        let result = loop {
+            if got < want {
+                // SAFETY: reading into the unfilled tail of our buffer.
+                let n = unsafe { read(rd, buf[got..].as_mut_ptr(), want - got) };
+                if n > 0 {
+                    got += n as usize;
+                    continue; // keep draining while data flows
+                }
+                if n == 0 {
+                    // EOF with an incomplete payload: the child died or
+                    // bailed before finishing its write.
+                    let status = reap(pid);
+                    break Err(classify_exit(
+                        status,
+                        &format!("child sent {got} of {want} bytes"),
+                    ));
+                }
+                // n < 0: no data yet (EAGAIN) or a transient error —
+                // either way, fall through to the deadline check.
+            } else {
+                // Full payload received; the child's next statement is
+                // _exit, so a blocking reap terminates promptly.
+                let status = reap(pid);
+                if wifexited(status) && wexitstatus(status) == 0 {
+                    break Ok(());
+                }
+                break Err(classify_exit(status, "child failed after full payload"));
+            }
+            if Instant::now() >= deadline {
+                // SAFETY: killing the child we forked, then reaping it.
+                unsafe {
+                    kill(pid, SIGKILL);
+                }
+                reap(pid);
+                break Err(SandboxError::TimedOut { timeout });
+            }
+            std::thread::sleep(Duration::from_micros(500));
+        };
+        unsafe {
+            close(rd);
+        }
+        if result.is_ok() {
+            // SAFETY: byte-for-byte copy back into the f64 buffer.
+            unsafe {
+                std::ptr::copy_nonoverlapping(buf.as_ptr(), out.as_mut_ptr().cast::<u8>(), want);
+            }
+        }
+        result
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_closure_returns_buffer() {
+        let mut out = vec![0.0f64; 4];
+        run_isolated(Duration::from_secs(10), &mut out, |o| {
+            for (i, v) in o.iter_mut().enumerate() {
+                *v = (i as f64) * 1.5;
+            }
+        })
+        .unwrap();
+        assert_eq!(out, vec![0.0, 1.5, 3.0, 4.5]);
+    }
+
+    #[test]
+    fn large_payload_streams_past_pipe_capacity() {
+        // 160 KB — well past the 64 KB default pipe buffer.
+        let mut out = vec![0.0f64; 20_000];
+        run_isolated(Duration::from_secs(30), &mut out, |o| {
+            for (i, v) in o.iter_mut().enumerate() {
+                *v = i as f64;
+            }
+        })
+        .unwrap();
+        assert_eq!(out[19_999], 19_999.0);
+        assert_eq!(out[123], 123.0);
+    }
+
+    #[test]
+    fn crash_is_contained_and_classified() {
+        let mut out = vec![0.0f64; 1];
+        let err = run_isolated(Duration::from_secs(10), &mut out, |_| {
+            std::process::abort(); // SIGABRT in the child only
+        })
+        .unwrap_err();
+        assert!(matches!(err, SandboxError::Crashed { signal: 6 }), "{err}");
+    }
+
+    #[test]
+    fn hang_is_killed_at_deadline() {
+        let mut out = vec![0.0f64; 1];
+        let start = Instant::now();
+        let err = run_isolated(Duration::from_millis(200), &mut out, |_| loop {
+            std::hint::spin_loop();
+        })
+        .unwrap_err();
+        assert!(matches!(err, SandboxError::TimedOut { .. }), "{err}");
+        assert!(start.elapsed() < Duration::from_secs(10));
+    }
+
+    #[test]
+    fn panic_becomes_child_failed() {
+        let mut out = vec![0.0f64; 1];
+        let err = run_isolated(Duration::from_secs(10), &mut out, |_| {
+            panic!("injected panic");
+        })
+        .unwrap_err();
+        assert!(
+            matches!(err, SandboxError::ChildFailed { code: 3 }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn parent_buffer_untouched_on_failure() {
+        let mut out = vec![7.0f64; 2];
+        let _ = run_isolated(Duration::from_millis(200), &mut out, |o| {
+            o[0] = 99.0;
+            loop {
+                std::hint::spin_loop();
+            }
+        });
+        // The child's writes never reach the parent on failure.
+        assert_eq!(out, vec![7.0, 7.0]);
+    }
+}

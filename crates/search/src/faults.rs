@@ -1,0 +1,153 @@
+//! Deterministic fault injection for exercising the resilience path.
+//!
+//! [`FaultyEvaluator`] wraps any [`Evaluator`] and, with configurable
+//! probabilities drawn from a seeded SplitMix64 stream, replaces an
+//! evaluation with an injected timeout, crash, or corrupt-result
+//! (verification) failure. Equal seeds give byte-identical fault
+//! sequences, so CI can assert that a search under ≥10 % faults still
+//! completes, quarantines what it must, and records its degradations.
+
+use spl_generator::fft::FftTree;
+use spl_numeric::rng::Rng;
+use spl_telemetry::Telemetry;
+
+use crate::{Evaluator, SearchError};
+
+/// An [`Evaluator`] wrapper that injects deterministic faults.
+#[derive(Debug)]
+pub struct FaultyEvaluator<E> {
+    inner: E,
+    rng: Rng,
+    /// Probability an evaluation becomes [`SearchError::Timeout`].
+    pub p_timeout: f64,
+    /// Probability an evaluation becomes [`SearchError::KernelCrashed`].
+    pub p_crash: f64,
+    /// Probability an evaluation becomes
+    /// [`SearchError::VerificationFailed`] (a corrupt result caught by
+    /// the dense check).
+    pub p_corrupt: f64,
+    tel: Telemetry,
+}
+
+impl<E: Evaluator> FaultyEvaluator<E> {
+    /// Wraps `inner`, splitting `fault_rate` evenly across the three
+    /// fault classes. `fault_rate` is the total probability that any
+    /// one evaluation fails.
+    pub fn new(inner: E, seed: u64, fault_rate: f64) -> Self {
+        let p = (fault_rate / 3.0).clamp(0.0, 1.0 / 3.0);
+        Self::with_rates(inner, seed, p, p, p)
+    }
+
+    /// Wraps `inner` with explicit per-class fault probabilities.
+    pub fn with_rates(inner: E, seed: u64, p_timeout: f64, p_crash: f64, p_corrupt: f64) -> Self {
+        FaultyEvaluator {
+            inner,
+            rng: Rng::new(seed),
+            p_timeout,
+            p_crash,
+            p_corrupt,
+            tel: Telemetry::new(),
+        }
+    }
+
+    /// Unwraps the inner evaluator.
+    pub fn into_inner(self) -> E {
+        self.inner
+    }
+}
+
+impl<E: Evaluator> Evaluator for FaultyEvaluator<E> {
+    fn cost(&mut self, tree: &FftTree) -> Result<f64, SearchError> {
+        // One draw per evaluation, windowed over the three classes, so
+        // the total fault rate is exactly the sum of the probabilities.
+        let roll = self.rng.next_f64();
+        if roll < self.p_timeout {
+            self.tel.add("search.faults_injected.timeout", 1);
+            return Err(SearchError::Timeout(format!(
+                "injected timeout for {}",
+                tree.describe()
+            )));
+        }
+        if roll < self.p_timeout + self.p_crash {
+            self.tel.add("search.faults_injected.crash", 1);
+            return Err(SearchError::KernelCrashed(format!(
+                "injected crash for {}",
+                tree.describe()
+            )));
+        }
+        if roll < self.p_timeout + self.p_crash + self.p_corrupt {
+            self.tel.add("search.faults_injected.corrupt", 1);
+            return Err(SearchError::VerificationFailed(format!(
+                "injected corrupt result for {}",
+                tree.describe()
+            )));
+        }
+        self.inner.cost(tree)
+    }
+
+    fn drain_telemetry(&mut self) -> Telemetry {
+        let mut tel = std::mem::take(&mut self.tel);
+        tel.merge(&self.inner.drain_telemetry());
+        tel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OpCountEvaluator;
+    use spl_generator::fft::Rule;
+
+    fn t4() -> FftTree {
+        FftTree::node(Rule::CooleyTukey, FftTree::leaf(2), FftTree::leaf(2))
+    }
+
+    #[test]
+    fn zero_rate_is_transparent() {
+        let mut plain = OpCountEvaluator::default();
+        let want = plain.cost(&t4()).unwrap();
+        let mut faulty = FaultyEvaluator::new(OpCountEvaluator::default(), 1, 0.0);
+        for _ in 0..50 {
+            assert_eq!(faulty.cost(&t4()).unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn full_rate_always_fails() {
+        let mut faulty = FaultyEvaluator::with_rates(OpCountEvaluator::default(), 2, 1.0, 0.0, 0.0);
+        for _ in 0..20 {
+            assert!(matches!(faulty.cost(&t4()), Err(SearchError::Timeout(_))));
+        }
+    }
+
+    #[test]
+    fn equal_seeds_give_identical_fault_sequences() {
+        let mut a = FaultyEvaluator::new(OpCountEvaluator::default(), 99, 0.5);
+        let mut b = FaultyEvaluator::new(OpCountEvaluator::default(), 99, 0.5);
+        for _ in 0..100 {
+            let ra = a.cost(&t4()).map_err(|e| e.kind());
+            let rb = b.cost(&t4()).map_err(|e| e.kind());
+            assert_eq!(ra.is_ok(), rb.is_ok());
+            assert_eq!(ra.err(), rb.err());
+        }
+    }
+
+    #[test]
+    fn all_three_classes_occur_and_are_counted() {
+        let mut faulty = FaultyEvaluator::new(OpCountEvaluator::default(), 7, 0.9);
+        let mut kinds = std::collections::HashSet::new();
+        for _ in 0..300 {
+            if let Err(e) = faulty.cost(&t4()) {
+                kinds.insert(e.kind());
+            }
+        }
+        assert!(kinds.contains("timeout"), "{kinds:?}");
+        assert!(kinds.contains("kernel_crashed"), "{kinds:?}");
+        assert!(kinds.contains("verification_failed"), "{kinds:?}");
+        let tel = faulty.drain_telemetry();
+        let total = tel.counter("search.faults_injected.timeout").unwrap_or(0)
+            + tel.counter("search.faults_injected.crash").unwrap_or(0)
+            + tel.counter("search.faults_injected.corrupt").unwrap_or(0);
+        assert!(total > 200, "expected ~270 injected faults, saw {total}");
+    }
+}

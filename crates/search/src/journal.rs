@@ -1,0 +1,337 @@
+//! The crash-safe wisdom journal.
+//!
+//! [`small_search_journaled`] and [`large_search_journaled`] persist
+//! every completed size to an append-only, CRC-framed journal
+//! (`spl-resilience`) *as the search runs*, so a killed process resumes
+//! from the last completed size instead of restarting from scratch —
+//! FFTW's save-a-plan workflow, made incremental and torn-write-proof.
+//!
+//! On-disk schema (one payload per journal record):
+//!
+//! ```text
+//! meta v1 mode=small rule=CooleyTukey leaf_max=64 keep=3 unroll=64
+//! small 2 3f...bits...00 2
+//! small 4 3f...bits...00 (ct 2 2)
+//! large 128 | <bits> <spec> | <bits> <spec> | <bits> <spec>
+//! ```
+//!
+//! The first record is always the configuration fingerprint
+//! ([`config_fingerprint`]); resuming under a different configuration is
+//! refused ([`SearchError::JournalCorrupt`]) rather than silently mixing
+//! plans from incompatible searches. Costs are stored as exact `f64`
+//! bit patterns so a resumed run reproduces the original DP decisions
+//! bit-for-bit.
+
+use std::collections::HashMap;
+use std::path::Path;
+
+use spl_generator::fft::FftTree;
+use spl_resilience::{Journal, JournalError};
+use spl_telemetry::{Stopwatch, Telemetry};
+
+use crate::{
+    large_step, seed_kbest, small_step, Evaluator, Plan, SearchConfig, SearchError, SizeResult,
+};
+
+fn jerr(e: JournalError) -> SearchError {
+    match e {
+        JournalError::Corrupt { line, reason } => {
+            SearchError::JournalCorrupt(format!("line {line}: {reason}"))
+        }
+        other => SearchError::Other(other.to_string()),
+    }
+}
+
+/// The configuration fingerprint stored as a journal's first record.
+/// Two runs may share a journal only when their fingerprints match.
+pub fn config_fingerprint(config: &SearchConfig, mode: &str) -> String {
+    format!(
+        "meta v1 mode={mode} rule={:?} leaf_max={} keep={} unroll={}",
+        config.rule, config.leaf_max, config.keep, config.unroll_threshold
+    )
+}
+
+/// Opens the journal, checks (or writes) the fingerprint, and returns
+/// the records after it.
+fn open_checked(
+    path: &Path,
+    fingerprint: &str,
+    tel: &mut Telemetry,
+) -> Result<(Journal, Vec<String>), SearchError> {
+    let (mut journal, loaded) = Journal::open(path).map_err(jerr)?;
+    if loaded.dropped > 0 {
+        tel.add("search.journal_dropped_records", loaded.dropped as u64);
+    }
+    if loaded.records.is_empty() {
+        journal.append(fingerprint).map_err(jerr)?;
+        return Ok((journal, Vec::new()));
+    }
+    if loaded.records[0] != fingerprint {
+        return Err(SearchError::JournalCorrupt(format!(
+            "{} was written by a different search configuration (found {:?}, expected {:?})",
+            path.display(),
+            loaded.records[0],
+            fingerprint
+        )));
+    }
+    Ok((journal, loaded.records[1..].to_vec()))
+}
+
+fn parse_cost(bits: &str) -> Result<f64, SearchError> {
+    u64::from_str_radix(bits, 16)
+        .map(f64::from_bits)
+        .map_err(|_| SearchError::JournalCorrupt(format!("bad cost bits {bits:?}")))
+}
+
+fn parse_tree(spec: &str, n: usize) -> Result<FftTree, SearchError> {
+    let tree = FftTree::from_spec(spec)
+        .map_err(|e| SearchError::JournalCorrupt(format!("bad spec {spec:?}: {e}")))?;
+    if tree.size() != n {
+        return Err(SearchError::JournalCorrupt(format!(
+            "spec {spec:?} computes {} points, journal says {n}",
+            tree.size()
+        )));
+    }
+    Ok(tree)
+}
+
+/// Parses `small <n> <cost_bits> <spec>`, checking `n` is as expected.
+fn parse_small_record(payload: &str, want_n: usize) -> Result<SizeResult, SearchError> {
+    let bad = || SearchError::JournalCorrupt(format!("malformed small record {payload:?}"));
+    let mut parts = payload.splitn(4, ' ');
+    if parts.next() != Some("small") {
+        return Err(bad());
+    }
+    let n: usize = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+    let cost = parse_cost(parts.next().ok_or_else(bad)?)?;
+    let tree = parse_tree(parts.next().ok_or_else(bad)?, n)?;
+    if n != want_n {
+        return Err(SearchError::JournalCorrupt(format!(
+            "expected size {want_n} next, journal has {n}"
+        )));
+    }
+    Ok(SizeResult { tree, cost })
+}
+
+fn format_small_record(r: &SizeResult) -> String {
+    format!(
+        "small {} {:016x} {}",
+        r.tree.size(),
+        r.cost.to_bits(),
+        r.tree.to_spec()
+    )
+}
+
+/// Parses `large <n> | <cost_bits> <spec> | ...`, checking `n`.
+fn parse_large_record(payload: &str, want_n: usize) -> Result<Vec<Plan>, SearchError> {
+    let bad = || SearchError::JournalCorrupt(format!("malformed large record {payload:?}"));
+    let rest = payload.strip_prefix("large ").ok_or_else(bad)?;
+    let mut chunks = rest.split(" | ");
+    let n: usize = chunks
+        .next()
+        .ok_or_else(bad)?
+        .trim()
+        .parse()
+        .map_err(|_| bad())?;
+    if n != want_n {
+        return Err(SearchError::JournalCorrupt(format!(
+            "expected size {want_n} next, journal has {n}"
+        )));
+    }
+    let mut plans = Vec::new();
+    for chunk in chunks {
+        let (bits, spec) = chunk.split_once(' ').ok_or_else(bad)?;
+        plans.push(Plan {
+            cost: parse_cost(bits)?,
+            tree: parse_tree(spec, n)?,
+        });
+    }
+    if plans.is_empty() {
+        return Err(bad());
+    }
+    Ok(plans)
+}
+
+fn format_large_record(n: usize, plans: &[Plan]) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!("large {n}");
+    for p in plans {
+        let _ = write!(out, " | {:016x} {}", p.cost.to_bits(), p.tree.to_spec());
+    }
+    out
+}
+
+/// [`crate::small_search_traced`] with incremental persistence: each
+/// completed size is appended (CRC-framed, synced) to the journal at
+/// `path`, and sizes already present are reused instead of re-searched.
+/// A journal torn by a kill is healed on open; at most the size being
+/// written when the process died is lost.
+///
+/// # Errors
+///
+/// [`SearchError::JournalCorrupt`] when the journal belongs to a
+/// different configuration or carries unparseable records;
+/// [`SearchError::NoCandidates`] when every candidate of a size failed;
+/// I/O failures as [`SearchError::Other`].
+pub fn small_search_journaled(
+    max_k: u32,
+    config: &SearchConfig,
+    eval: &mut dyn Evaluator,
+    tel: &mut Telemetry,
+    path: &Path,
+) -> Result<Vec<SizeResult>, SearchError> {
+    let sw = Stopwatch::start();
+    let fingerprint = config_fingerprint(config, "small");
+    let (mut journal, records) = open_checked(path, &fingerprint, tel)?;
+    let mut best: Vec<SizeResult> = Vec::new();
+    for rec in &records {
+        if best.len() as u32 == max_k {
+            break; // journal covers more sizes than this run needs
+        }
+        best.push(parse_small_record(rec, 1usize << (best.len() + 1))?);
+    }
+    if !best.is_empty() {
+        tel.add("search.journal_resumed_sizes", best.len() as u64);
+    }
+    for k in (best.len() as u32 + 1)..=max_k {
+        let winner = small_step(k, config, eval, tel, &best)?;
+        journal
+            .append(&format_small_record(&winner))
+            .map_err(jerr)?;
+        best.push(winner);
+    }
+    tel.record_span("search.small", sw.elapsed());
+    tel.merge(&eval.drain_telemetry());
+    Ok(best)
+}
+
+/// [`crate::large_search_traced`] with incremental persistence (see
+/// [`small_search_journaled`]): one journal record per completed size,
+/// holding all retained k-best plans for that size.
+///
+/// # Errors
+///
+/// As [`small_search_journaled`].
+///
+/// # Panics
+///
+/// Panics if `small` does not cover sizes up to `config.leaf_max`.
+pub fn large_search_journaled(
+    small: &[SizeResult],
+    max_log: u32,
+    config: &SearchConfig,
+    eval: &mut dyn Evaluator,
+    tel: &mut Telemetry,
+    path: &Path,
+) -> Result<Vec<Vec<Plan>>, SearchError> {
+    let sw = Stopwatch::start();
+    let fingerprint = config_fingerprint(config, "large");
+    let (mut journal, records) = open_checked(path, &fingerprint, tel)?;
+    let small_max_k = small.len() as u32;
+    let mut kbest: HashMap<u32, Vec<Plan>> = seed_kbest(small, config);
+    let mut out: Vec<Vec<Plan>> = Vec::new();
+    for rec in &records {
+        let k = small_max_k + 1 + out.len() as u32;
+        if k > max_log {
+            break;
+        }
+        let plans = parse_large_record(rec, 1usize << k)?;
+        kbest.insert(k, plans.clone());
+        out.push(plans);
+    }
+    if !out.is_empty() {
+        tel.add("search.journal_resumed_sizes", out.len() as u64);
+    }
+    for k in (small_max_k + 1 + out.len() as u32)..=max_log {
+        let plans = large_step(k, config, eval, tel, &kbest)?;
+        journal
+            .append(&format_large_record(1usize << k, &plans))
+            .map_err(jerr)?;
+        kbest.insert(k, plans.clone());
+        out.push(plans);
+    }
+    tel.record_span("search.large", sw.elapsed());
+    tel.merge(&eval.drain_telemetry());
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OpCountEvaluator;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "spl_search_journal_{}_{name}.journal",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn journaled_small_search_matches_plain_and_resumes_for_free() {
+        let p = tmp("small");
+        let _ = std::fs::remove_file(&p);
+        let config = SearchConfig::default();
+        let mut eval = OpCountEvaluator::default();
+        let plain = crate::small_search(5, &config, &mut eval).unwrap();
+
+        let mut tel = Telemetry::new();
+        let first =
+            small_search_journaled(5, &config, &mut OpCountEvaluator::default(), &mut tel, &p)
+                .unwrap();
+        assert_eq!(first.len(), plain.len());
+        for (a, b) in first.iter().zip(&plain) {
+            assert_eq!(a.tree, b.tree);
+        }
+
+        // Second run resumes entirely from the journal: zero evaluations.
+        let mut tel2 = Telemetry::new();
+        let second =
+            small_search_journaled(5, &config, &mut OpCountEvaluator::default(), &mut tel2, &p)
+                .unwrap();
+        assert_eq!(tel2.counter("search.plans_evaluated"), None);
+        assert_eq!(tel2.counter("search.journal_resumed_sizes"), Some(5));
+        for (a, b) in second.iter().zip(&plain) {
+            assert_eq!(a.tree, b.tree);
+            assert_eq!(a.cost, b.cost);
+        }
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn config_change_is_refused() {
+        let p = tmp("config");
+        let _ = std::fs::remove_file(&p);
+        let config = SearchConfig::default();
+        let mut tel = Telemetry::new();
+        small_search_journaled(3, &config, &mut OpCountEvaluator::default(), &mut tel, &p).unwrap();
+        let other = SearchConfig {
+            keep: 7,
+            ..SearchConfig::default()
+        };
+        let err = small_search_journaled(3, &other, &mut OpCountEvaluator::default(), &mut tel, &p)
+            .unwrap_err();
+        assert!(matches!(err, SearchError::JournalCorrupt(_)), "{err}");
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn large_record_round_trips() {
+        let config = SearchConfig {
+            leaf_max: 8,
+            ..SearchConfig::default()
+        };
+        let mut eval = OpCountEvaluator::default();
+        let small = crate::small_search(3, &config, &mut eval).unwrap();
+        let large = crate::large_search(&small, 5, &config, &mut eval).unwrap();
+        let rec = format_large_record(32, &large[1]);
+        let back = parse_large_record(&rec, 32).unwrap();
+        assert_eq!(back.len(), large[1].len());
+        for (a, b) in back.iter().zip(&large[1]) {
+            assert_eq!(a.tree, b.tree);
+            assert_eq!(a.cost, b.cost);
+        }
+        assert!(parse_large_record(&rec, 64).is_err());
+    }
+}

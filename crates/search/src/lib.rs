@@ -20,6 +20,31 @@
 //! instead; [`OpCountEvaluator`] is a deterministic operation-count model
 //! used in tests and for "FFTW estimate"-style comparisons.
 //!
+//! # Fault tolerance
+//!
+//! An unattended search compiles and runs thousands of machine-generated
+//! kernels, so evaluation is hardened end to end:
+//!
+//! * Measured evaluators **verify** each candidate against the dense
+//!   reference semantics (`spl-formula::dense`) before accepting its
+//!   timing; miscompiles surface as
+//!   [`SearchError::VerificationFailed`] instead of corrupt plans.
+//! * [`NativeEvaluator`] compiles with a `cc` timeout and runs/times each
+//!   kernel in a forked sandbox, so a crashing or hanging candidate is
+//!   classified ([`SearchError::KernelCrashed`], [`SearchError::Timeout`])
+//!   rather than fatal.
+//! * [`ResilientEvaluator`] degrades per candidate through a tier chain
+//!   (native → VM → op-count by default), quarantining verification
+//!   failures and counting every degradation in telemetry.
+//! * The search loops skip candidates whose evaluation fails (counted as
+//!   `search.skipped.<kind>`) and only error when a whole size has no
+//!   surviving candidate.
+//! * [`small_search_journaled`]/[`large_search_journaled`] persist each
+//!   completed size to a CRC-checked append-only journal
+//!   (`spl-resilience`), so a killed search resumes where it stopped.
+//! * [`FaultyEvaluator`] injects deterministic faults for testing the
+//!   whole chain.
+//!
 //! # Examples
 //!
 //! ```
@@ -38,20 +63,95 @@ use std::time::Duration;
 
 use spl_compiler::{Compiler, CompilerOptions, OptLevel};
 use spl_generator::fft::{rightmost_splits, FftTree, Rule};
+use spl_native::{BuildOptions, NativeError};
+use spl_numeric::Complex;
 use spl_telemetry::{Stopwatch, Telemetry};
-use spl_vm::{describe_policy, lower, measure, VmProgram};
+use spl_vm::{describe_policy, lower, measure, VmProgram, VmState};
 
-/// A search failure (compilation of a candidate failed, etc.).
+mod faults;
+mod journal;
+mod resilient;
+
+pub use faults::FaultyEvaluator;
+pub use journal::{config_fingerprint, large_search_journaled, small_search_journaled};
+pub use resilient::{QuarantineEntry, ResilientEvaluator};
+
+/// A structured search failure. Every variant carries human-readable
+/// detail; [`SearchError::kind`] gives the stable label used in
+/// telemetry counters (`search.failures.<kind>`, `search.skipped.<kind>`).
 #[derive(Debug, Clone, PartialEq)]
-pub struct SearchError(pub String);
+pub enum SearchError {
+    /// The SPL compiler, lowering, or the host `cc` rejected a candidate.
+    CompileFailed(String),
+    /// Compiling or running a candidate exceeded its time budget.
+    Timeout(String),
+    /// A candidate kernel died on a signal inside its sandbox.
+    KernelCrashed(String),
+    /// A candidate produced numerically wrong output against the dense
+    /// reference; the candidate is quarantined, its timing discarded.
+    VerificationFailed(String),
+    /// The wisdom journal is unreadable or was written by a different
+    /// search configuration.
+    JournalCorrupt(String),
+    /// No candidate for a size survived evaluation.
+    NoCandidates {
+        /// The transform size that has no surviving candidate.
+        n: usize,
+    },
+    /// Every tier of a degradation chain failed for a candidate.
+    Exhausted(String),
+    /// Anything else (I/O, wisdom parsing, ...).
+    Other(String),
+}
+
+impl SearchError {
+    /// A short, stable machine-readable label for this failure class.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SearchError::CompileFailed(_) => "compile_failed",
+            SearchError::Timeout(_) => "timeout",
+            SearchError::KernelCrashed(_) => "kernel_crashed",
+            SearchError::VerificationFailed(_) => "verification_failed",
+            SearchError::JournalCorrupt(_) => "journal_corrupt",
+            SearchError::NoCandidates { .. } => "no_candidates",
+            SearchError::Exhausted(_) => "exhausted",
+            SearchError::Other(_) => "other",
+        }
+    }
+}
 
 impl fmt::Display for SearchError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "search: {}", self.0)
+        match self {
+            SearchError::CompileFailed(m) => write!(f, "search: compile failed: {m}"),
+            SearchError::Timeout(m) => write!(f, "search: timed out: {m}"),
+            SearchError::KernelCrashed(m) => write!(f, "search: kernel crashed: {m}"),
+            SearchError::VerificationFailed(m) => write!(f, "search: verification failed: {m}"),
+            SearchError::JournalCorrupt(m) => write!(f, "search: journal corrupt: {m}"),
+            SearchError::NoCandidates { n } => {
+                write!(f, "search: no candidate for size {n} survived evaluation")
+            }
+            SearchError::Exhausted(m) => write!(f, "search: evaluation exhausted: {m}"),
+            SearchError::Other(m) => write!(f, "search: {m}"),
+        }
     }
 }
 
 impl Error for SearchError {}
+
+/// Maps a native-layer failure onto the search error taxonomy.
+fn native_err(e: NativeError) -> SearchError {
+    match &e {
+        NativeError::CompileTimeout(_) | NativeError::Timeout(_) => {
+            SearchError::Timeout(e.to_string())
+        }
+        NativeError::Crashed(_) => SearchError::KernelCrashed(e.to_string()),
+        NativeError::CompileFailed(_)
+        | NativeError::Unsupported(_)
+        | NativeError::LoadFailed(_) => SearchError::CompileFailed(e.to_string()),
+        NativeError::Io(_) | NativeError::Protocol(_) => SearchError::Other(e.to_string()),
+    }
+}
 
 /// Search-wide configuration.
 #[derive(Debug, Clone)]
@@ -92,8 +192,8 @@ pub fn compile_tree(tree: &FftTree, unroll_threshold: usize) -> Result<VmProgram
         unroll_threshold,
         spl_frontend::ast::DataType::Complex,
     )
-    .map_err(|e| SearchError(format!("compiling {}: {e}", tree.describe())))?;
-    lower(&unit.program).map_err(|e| SearchError(e.to_string()))
+    .map_err(|e| SearchError::CompileFailed(format!("compiling {}: {e}", tree.describe())))?;
+    lower(&unit.program).map_err(|e| SearchError::CompileFailed(e.to_string()))
 }
 
 /// Shared compile plumbing for every evaluator: the paper's experimental
@@ -116,7 +216,47 @@ fn compile_sexp_for_search(
     };
     compiler
         .compile_sexp(sexp, &directives)
-        .map_err(|e| SearchError(e.to_string()))
+        .map_err(|e| SearchError::CompileFailed(e.to_string()))
+}
+
+/// Largest size verified against the dense reference. Dense application
+/// grows quadratically in memory; beyond this the check is skipped (the
+/// candidate is still timed).
+const VERIFY_MAX_SIZE: usize = 1 << 12;
+
+/// Verification threshold on the benchfft relative RMS metric; generated
+/// double-precision FFTs land many orders of magnitude below this, so
+/// anything above it is a miscompile, not roundoff.
+const VERIFY_TOLERANCE: f64 = 1e-6;
+
+/// The deterministic verification workload: every candidate of a size is
+/// checked on the identical complex vector.
+fn verification_input(n: usize) -> Vec<Complex> {
+    (0..n)
+        .map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.5).cos()))
+        .collect()
+}
+
+/// Checks a candidate's computed output against the dense reference
+/// semantics of its own formula (`spl-formula::dense` is the independent
+/// oracle: it never goes through the compiler backend under test).
+///
+/// # Errors
+///
+/// [`SearchError::VerificationFailed`] when the relative RMS error
+/// exceeds [`VERIFY_TOLERANCE`].
+fn verify_against_dense(tree: &FftTree, got: &[Complex]) -> Result<(), SearchError> {
+    let x = verification_input(tree.size());
+    let want = spl_formula::dense::apply(&tree.to_formula(), &x)
+        .map_err(|e| SearchError::Other(format!("dense reference for {}: {e}", tree.describe())))?;
+    let err = spl_numeric::metrics::relative_rms_error(got, &want);
+    if err > VERIFY_TOLERANCE {
+        return Err(SearchError::VerificationFailed(format!(
+            "{}: relative RMS error {err:.3e} exceeds {VERIFY_TOLERANCE:.0e}",
+            tree.describe()
+        )));
+    }
+    Ok(())
 }
 
 /// A cost oracle for candidate trees. Lower is better.
@@ -137,28 +277,50 @@ pub trait Evaluator {
     }
 }
 
+impl Evaluator for Box<dyn Evaluator> {
+    fn cost(&mut self, tree: &FftTree) -> Result<f64, SearchError> {
+        (**self).cost(tree)
+    }
+
+    fn drain_telemetry(&mut self) -> Telemetry {
+        (**self).drain_telemetry()
+    }
+}
+
 /// Times each candidate on the VM (the paper's measured search).
+///
+/// Before a candidate's timing is accepted, its output is verified
+/// against the dense reference (on by default; see
+/// [`MeasuredEvaluator::with_verify`]).
 #[derive(Debug)]
 pub struct MeasuredEvaluator {
     /// Unroll threshold used when compiling candidates.
     pub unroll_threshold: usize,
     /// Minimum total measurement time per candidate.
     pub min_time: Duration,
+    verify: bool,
     cache: HashMap<String, f64>,
     tel: Telemetry,
 }
 
 impl MeasuredEvaluator {
-    /// A measured evaluator with the paper's defaults.
+    /// A measured evaluator with the paper's defaults (verification on).
     pub fn new(unroll_threshold: usize, min_time: Duration) -> Self {
         let mut tel = Telemetry::new();
         describe_policy(&mut tel, min_time);
         MeasuredEvaluator {
             unroll_threshold,
             min_time,
+            verify: true,
             cache: HashMap::new(),
             tel,
         }
+    }
+
+    /// Enables or disables dense-reference verification.
+    pub fn with_verify(mut self, verify: bool) -> Self {
+        self.verify = verify;
+        self
     }
 }
 
@@ -170,6 +332,15 @@ impl Evaluator for MeasuredEvaluator {
             return Ok(c);
         }
         let vm = compile_tree(tree, self.unroll_threshold)?;
+        if self.verify && tree.size() <= VERIFY_MAX_SIZE {
+            let x = verification_input(tree.size());
+            let flat = spl_vm::convert::interleave(&x);
+            let mut y = vec![0.0; vm.n_out];
+            let mut st = VmState::new(&vm);
+            vm.run(&flat, &mut y, &mut st);
+            verify_against_dense(tree, &spl_vm::convert::deinterleave(&y))?;
+            self.tel.add("search.verifications", 1);
+        }
         let m = measure(&vm, self.min_time);
         m.record(&mut self.tel, "timer");
         self.cache.insert(key, m.secs_per_call);
@@ -185,27 +356,57 @@ impl Evaluator for MeasuredEvaluator {
 
 /// Compiles each candidate's generated C with the host compiler and
 /// times the native code — the paper's actual methodology (`spl-native`).
+///
+/// Hardened for unattended searches: `cc` runs under a timeout, each
+/// kernel executes and is timed in a forked sandbox (a crash or hang is
+/// a classified error, not a dead search), and every kernel's output is
+/// verified against the dense reference before its timing counts.
 #[derive(Debug)]
 pub struct NativeEvaluator {
     /// Unroll threshold used when compiling candidates.
     pub unroll_threshold: usize,
     /// Minimum total measurement time per candidate.
     pub min_time: Duration,
+    verify: bool,
+    eval_timeout: Duration,
+    build: BuildOptions,
     cache: HashMap<String, f64>,
     tel: Telemetry,
 }
 
 impl NativeEvaluator {
-    /// A native evaluator with the given measurement budget.
+    /// A native evaluator with the given measurement budget,
+    /// verification on, and a 30-second sandbox timeout per kernel.
     pub fn new(unroll_threshold: usize, min_time: Duration) -> Self {
         let mut tel = Telemetry::new();
         describe_policy(&mut tel, min_time);
         NativeEvaluator {
             unroll_threshold,
             min_time,
+            verify: true,
+            eval_timeout: Duration::from_secs(30),
+            build: BuildOptions::default(),
             cache: HashMap::new(),
             tel,
         }
+    }
+
+    /// Sets the per-kernel sandbox execution timeout.
+    pub fn with_timeout(mut self, eval_timeout: Duration) -> Self {
+        self.eval_timeout = eval_timeout;
+        self
+    }
+
+    /// Sets the `cc` invocation policy (timeout, retry).
+    pub fn with_build(mut self, build: BuildOptions) -> Self {
+        self.build = build;
+        self
+    }
+
+    /// Enables or disables dense-reference verification.
+    pub fn with_verify(mut self, verify: bool) -> Self {
+        self.verify = verify;
+        self
     }
 }
 
@@ -216,8 +417,20 @@ impl Evaluator for NativeEvaluator {
             self.tel.add("search.eval_cache_hits", 1);
             return Ok(c);
         }
-        let kernel = compile_tree_native(tree, self.unroll_threshold)?;
-        let t = kernel.measure(self.min_time);
+        let kernel = compile_tree_native_with(tree, self.unroll_threshold, &self.build)?;
+        if self.verify && tree.size() <= VERIFY_MAX_SIZE {
+            let x = verification_input(tree.size());
+            let flat = spl_vm::convert::interleave(&x);
+            let mut y = vec![0.0; kernel.n_out];
+            kernel
+                .run_sandboxed(&flat, &mut y, self.eval_timeout)
+                .map_err(native_err)?;
+            verify_against_dense(tree, &spl_vm::convert::deinterleave(&y))?;
+            self.tel.add("search.verifications", 1);
+        }
+        let t = kernel
+            .measure_sandboxed(self.min_time, self.eval_timeout)
+            .map_err(native_err)?;
         self.tel.add("search.native_measurements", 1);
         self.cache.insert(key, t);
         Ok(t)
@@ -231,7 +444,8 @@ impl Evaluator for NativeEvaluator {
 }
 
 /// Compiles a factorization tree to a natively executable kernel
-/// (paper-style: generated C through the host compiler).
+/// (paper-style: generated C through the host compiler) with the default
+/// build policy.
 ///
 /// # Errors
 ///
@@ -240,13 +454,26 @@ pub fn compile_tree_native(
     tree: &FftTree,
     unroll_threshold: usize,
 ) -> Result<spl_native::NativeKernel, SearchError> {
+    compile_tree_native_with(tree, unroll_threshold, &BuildOptions::default())
+}
+
+/// [`compile_tree_native`] with an explicit `cc` timeout/retry policy.
+///
+/// # Errors
+///
+/// Propagates compiler, `cc`, and loading failures.
+pub fn compile_tree_native_with(
+    tree: &FftTree,
+    unroll_threshold: usize,
+    build: &BuildOptions,
+) -> Result<spl_native::NativeKernel, SearchError> {
     let unit = compile_sexp_for_search(
         &tree.to_sexp(),
         unroll_threshold,
         spl_frontend::ast::DataType::Complex,
     )
-    .map_err(|e| SearchError(format!("compiling {}: {e}", tree.describe())))?;
-    spl_native::NativeKernel::compile(&unit).map_err(|e| SearchError(e.to_string()))
+    .map_err(|e| SearchError::CompileFailed(format!("compiling {}: {e}", tree.describe())))?;
+    spl_native::NativeKernel::compile_with(&unit, build).map_err(native_err)
 }
 
 /// Deterministic model: compiles the candidate and counts the dynamic
@@ -299,9 +526,13 @@ pub fn small_search(
 /// `search.plans_evaluated` counter, and the best-cost trajectory as one
 /// `search.best_cost.<n>` metric per size.
 ///
+/// Candidates whose evaluation fails are skipped (counted under
+/// `search.skipped.<kind>`); the search only errors when no candidate
+/// for a size survives.
+///
 /// # Errors
 ///
-/// Propagates evaluator failures.
+/// [`SearchError::NoCandidates`] when every candidate of a size failed.
 pub fn small_search_traced(
     max_k: u32,
     config: &SearchConfig,
@@ -311,27 +542,50 @@ pub fn small_search_traced(
     let sw = Stopwatch::start();
     let mut best: Vec<SizeResult> = Vec::new();
     for k in 1..=max_k {
-        let mut candidates = vec![FftTree::leaf(1usize << k)];
-        for i in 1..k {
-            let left = best[i as usize - 1].tree.clone();
-            let right = best[(k - i) as usize - 1].tree.clone();
-            candidates.push(FftTree::node(config.rule, left, right));
-        }
-        let mut winner: Option<SizeResult> = None;
-        for tree in candidates {
-            let cost = eval.cost(&tree)?;
-            tel.add("search.plans_evaluated", 1);
-            if winner.as_ref().is_none_or(|w| cost < w.cost) {
-                winner = Some(SizeResult { tree, cost });
-            }
-        }
-        let winner = winner.expect("at least one candidate per size");
-        tel.set_metric(&format!("search.best_cost.{}", 1usize << k), winner.cost);
+        let winner = small_step(k, config, eval, tel, &best)?;
         best.push(winner);
     }
     tel.record_span("search.small", sw.elapsed());
     tel.merge(&eval.drain_telemetry());
     Ok(best)
+}
+
+/// One size of the small-size DP: evaluates the leaf and every split of
+/// previous winners, returning the cheapest survivor.
+///
+/// # Errors
+///
+/// [`SearchError::NoCandidates`] when every candidate failed.
+fn small_step(
+    k: u32,
+    config: &SearchConfig,
+    eval: &mut dyn Evaluator,
+    tel: &mut Telemetry,
+    best: &[SizeResult],
+) -> Result<SizeResult, SearchError> {
+    let mut candidates = vec![FftTree::leaf(1usize << k)];
+    for i in 1..k {
+        let left = best[i as usize - 1].tree.clone();
+        let right = best[(k - i) as usize - 1].tree.clone();
+        candidates.push(FftTree::node(config.rule, left, right));
+    }
+    let mut winner: Option<SizeResult> = None;
+    for tree in candidates {
+        let cost = match eval.cost(&tree) {
+            Ok(c) => c,
+            Err(e) => {
+                tel.add(&format!("search.skipped.{}", e.kind()), 1);
+                continue;
+            }
+        };
+        tel.add("search.plans_evaluated", 1);
+        if winner.as_ref().is_none_or(|w| cost < w.cost) {
+            winner = Some(SizeResult { tree, cost });
+        }
+    }
+    let winner = winner.ok_or(SearchError::NoCandidates { n: 1usize << k })?;
+    tel.set_metric(&format!("search.best_cost.{}", 1usize << k), winner.cost);
+    Ok(winner)
 }
 
 /// One retained plan in the large-size k-best DP.
@@ -371,9 +625,13 @@ pub fn large_search(
 /// `search.plans_evaluated` counter, the number of retained plans, and
 /// one `search.best_cost.<n>` metric per size.
 ///
+/// Candidates whose evaluation fails are skipped (counted under
+/// `search.skipped.<kind>`); the search only errors when no candidate
+/// for a size survives.
+///
 /// # Errors
 ///
-/// Propagates evaluator failures.
+/// [`SearchError::NoCandidates`] when every candidate of a size failed.
 ///
 /// # Panics
 ///
@@ -387,11 +645,29 @@ pub fn large_search_traced(
 ) -> Result<Vec<Vec<Plan>>, SearchError> {
     let sw = Stopwatch::start();
     let small_max_k = small.len() as u32;
+    let mut kbest = seed_kbest(small, config);
+    let mut out = Vec::new();
+    for k in (small_max_k + 1)..=max_log {
+        let plans = large_step(k, config, eval, tel, &kbest)?;
+        kbest.insert(k, plans.clone());
+        out.push(plans);
+    }
+    tel.record_span("search.large", sw.elapsed());
+    tel.merge(&eval.drain_telemetry());
+    Ok(out)
+}
+
+/// Builds the k-best table seeded from the small-size winners
+/// (`kbest[k]` holds plans for size `2^k`).
+///
+/// # Panics
+///
+/// Panics if `small` does not cover sizes up to `config.leaf_max`.
+fn seed_kbest(small: &[SizeResult], config: &SearchConfig) -> HashMap<u32, Vec<Plan>> {
     assert!(
-        (1usize << small_max_k) >= config.leaf_max,
+        (1usize << small.len() as u32) >= config.leaf_max,
         "small results must cover the leaf sizes"
     );
-    // kbest[k] holds plans for size 2^k; seeded from the small winners.
     let mut kbest: HashMap<u32, Vec<Plan>> = HashMap::new();
     for (i, r) in small.iter().enumerate() {
         kbest.insert(
@@ -402,43 +678,59 @@ pub fn large_search_traced(
             }],
         );
     }
-    let mut out = Vec::new();
-    for k in (small_max_k + 1)..=max_log {
-        let n = 1usize << k;
-        let mut plans: Vec<Plan> = Vec::new();
-        for (r, s) in rightmost_splits(n, config.leaf_max) {
-            if !r.is_power_of_two() {
-                continue;
-            }
-            let rk = r.trailing_zeros();
-            let sk = s.trailing_zeros();
-            let Some(left_plans) = kbest.get(&rk) else {
-                continue;
-            };
-            let Some(right_plans) = kbest.get(&sk) else {
-                continue;
-            };
-            let left = left_plans[0].tree.clone();
-            for right in right_plans {
-                let tree = FftTree::node(config.rule, left.clone(), right.tree.clone());
-                let cost = eval.cost(&tree)?;
-                tel.add("search.plans_evaluated", 1);
-                plans.push(Plan { tree, cost });
-            }
+    kbest
+}
+
+/// One size of the large-size k-best DP: evaluates every rightmost
+/// binary split over the retained sub-plans and keeps the `config.keep`
+/// cheapest survivors, sorted best-first.
+///
+/// # Errors
+///
+/// [`SearchError::NoCandidates`] when every candidate failed.
+fn large_step(
+    k: u32,
+    config: &SearchConfig,
+    eval: &mut dyn Evaluator,
+    tel: &mut Telemetry,
+    kbest: &HashMap<u32, Vec<Plan>>,
+) -> Result<Vec<Plan>, SearchError> {
+    let n = 1usize << k;
+    let mut plans: Vec<Plan> = Vec::new();
+    for (r, s) in rightmost_splits(n, config.leaf_max) {
+        if !r.is_power_of_two() {
+            continue;
         }
-        plans.sort_by(|a, b| a.cost.total_cmp(&b.cost));
-        plans.truncate(config.keep);
-        if plans.is_empty() {
-            return Err(SearchError(format!("no candidates for size {n}")));
+        let rk = r.trailing_zeros();
+        let sk = s.trailing_zeros();
+        let Some(left_plans) = kbest.get(&rk) else {
+            continue;
+        };
+        let Some(right_plans) = kbest.get(&sk) else {
+            continue;
+        };
+        let left = left_plans[0].tree.clone();
+        for right in right_plans {
+            let tree = FftTree::node(config.rule, left.clone(), right.tree.clone());
+            let cost = match eval.cost(&tree) {
+                Ok(c) => c,
+                Err(e) => {
+                    tel.add(&format!("search.skipped.{}", e.kind()), 1);
+                    continue;
+                }
+            };
+            tel.add("search.plans_evaluated", 1);
+            plans.push(Plan { tree, cost });
         }
-        tel.add("search.plans_kept", plans.len() as u64);
-        tel.set_metric(&format!("search.best_cost.{n}"), plans[0].cost);
-        kbest.insert(k, plans.clone());
-        out.push(plans);
     }
-    tel.record_span("search.large", sw.elapsed());
-    tel.merge(&eval.drain_telemetry());
-    Ok(out)
+    plans.sort_by(|a, b| a.cost.total_cmp(&b.cost));
+    plans.truncate(config.keep);
+    if plans.is_empty() {
+        return Err(SearchError::NoCandidates { n });
+    }
+    tel.add("search.plans_kept", plans.len() as u64);
+    tel.set_metric(&format!("search.best_cost.{n}"), plans[0].cost);
+    Ok(plans)
 }
 
 // ---------------------------------------------------------------------
@@ -476,7 +768,7 @@ pub fn wht_search(
             unroll_threshold,
             spl_frontend::ast::DataType::Real,
         )?;
-        let vm = lower(&unit.program).map_err(|e| SearchError(e.to_string()))?;
+        let vm = lower(&unit.program).map_err(|e| SearchError::CompileFailed(e.to_string()))?;
         let t = measure(&vm, min_time).secs_per_call;
         cache.insert(key, t);
         Ok(t)
@@ -535,17 +827,17 @@ pub fn wisdom_from_string(text: &str) -> Result<Vec<SizeResult>, SearchError> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let (size, spec) = line
-            .split_once(':')
-            .ok_or_else(|| SearchError(format!("wisdom line {}: missing ':'", lineno + 1)))?;
+        let (size, spec) = line.split_once(':').ok_or_else(|| {
+            SearchError::Other(format!("wisdom line {}: missing ':'", lineno + 1))
+        })?;
         let size: usize = size
             .trim()
             .parse()
-            .map_err(|_| SearchError(format!("wisdom line {}: bad size", lineno + 1)))?;
+            .map_err(|_| SearchError::Other(format!("wisdom line {}: bad size", lineno + 1)))?;
         let tree = FftTree::from_spec(spec.trim())
-            .map_err(|e| SearchError(format!("wisdom line {}: {e}", lineno + 1)))?;
+            .map_err(|e| SearchError::Other(format!("wisdom line {}: {e}", lineno + 1)))?;
         if tree.size() != size {
-            return Err(SearchError(format!(
+            return Err(SearchError::Other(format!(
                 "wisdom line {}: spec computes {} points, labelled {size}",
                 lineno + 1,
                 tree.size()

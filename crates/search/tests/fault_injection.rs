@@ -1,0 +1,136 @@
+//! Acceptance tests for the fault-tolerance layer: a search over sizes
+//! 2…2¹⁰ with ≥10 % injected faults must complete without panicking,
+//! quarantine corrupt candidates, record its degradations — and, because
+//! the fallback tier is the same deterministic model as the faulty
+//! primary, still find exactly the plans a fault-free search finds.
+
+use spl_search::{
+    large_search, large_search_traced, small_search, small_search_traced, FaultyEvaluator,
+    OpCountEvaluator, ResilientEvaluator, SearchConfig,
+};
+use spl_telemetry::Telemetry;
+
+/// A degradation chain whose primary tier injects faults at `rate` and
+/// whose fallback is the same deterministic cost model, so degraded
+/// searches are comparable against clean ones plan-for-plan.
+fn faulty_chain(seed: u64, rate: f64) -> ResilientEvaluator {
+    ResilientEvaluator::new()
+        .tier(
+            "faulty",
+            Box::new(FaultyEvaluator::new(
+                OpCountEvaluator::default(),
+                seed,
+                rate,
+            )),
+        )
+        .tier("opcount", Box::new(OpCountEvaluator::default()))
+}
+
+#[test]
+fn search_to_1024_survives_injected_faults_at_several_seeds() {
+    let config = SearchConfig::default();
+    let mut clean = OpCountEvaluator::default();
+    let clean_small = small_search(6, &config, &mut clean).unwrap();
+    let clean_large = large_search(&clean_small, 10, &config, &mut clean).unwrap();
+
+    let mut total_quarantined = 0;
+    for seed in [1u64, 7, 42, 1234] {
+        let mut eval = faulty_chain(seed, 0.25);
+        let mut tel = Telemetry::new();
+        let small = small_search_traced(6, &config, &mut eval, &mut tel).unwrap();
+        let large = large_search_traced(&small, 10, &config, &mut eval, &mut tel).unwrap();
+
+        assert_eq!(small.len(), 6); // sizes 2..64
+        assert_eq!(large.len(), 4); // sizes 128..1024
+
+        // The chain degraded (at 25% fault rate this is overwhelmingly
+        // certain over ~80 evaluations) and no candidate was lost: the
+        // fallback produced the identical plans.
+        assert!(
+            tel.counter("search.degradations").unwrap_or(0) > 0,
+            "seed {seed}: no degradations recorded"
+        );
+        total_quarantined += tel.counter("search.quarantined").unwrap_or(0);
+        for (a, b) in small.iter().zip(&clean_small) {
+            assert_eq!(a.tree, b.tree, "seed {seed}");
+        }
+        for (got, want) in large.iter().zip(&clean_large) {
+            assert_eq!(got[0].tree, want[0].tree, "seed {seed}");
+        }
+    }
+    assert!(
+        total_quarantined > 0,
+        "no corrupt candidate was ever quarantined across seeds"
+    );
+}
+
+#[test]
+fn injected_faults_are_classified_in_telemetry() {
+    let config = SearchConfig::default();
+    let mut eval = faulty_chain(99, 0.5);
+    let mut tel = Telemetry::new();
+    let small = small_search_traced(6, &config, &mut eval, &mut tel).unwrap();
+    large_search_traced(&small, 9, &config, &mut eval, &mut tel).unwrap();
+    let failures = tel.counter("search.failures.timeout").unwrap_or(0)
+        + tel.counter("search.failures.kernel_crashed").unwrap_or(0)
+        + tel
+            .counter("search.failures.verification_failed")
+            .unwrap_or(0);
+    assert!(failures > 0, "no classified failures recorded");
+    assert_eq!(
+        failures,
+        tel.counter("search.degradations").unwrap_or(0),
+        "every failure at the primary tier should be one degradation"
+    );
+}
+
+#[test]
+fn search_survives_even_a_fully_faulty_primary_tier() {
+    // The primary tier fails on every single call; the search must
+    // complete purely on the fallback.
+    let config = SearchConfig::default();
+    let mut eval = ResilientEvaluator::new()
+        .tier(
+            "dead",
+            Box::new(FaultyEvaluator::with_rates(
+                OpCountEvaluator::default(),
+                5,
+                1.0,
+                0.0,
+                0.0,
+            )),
+        )
+        .tier("opcount", Box::new(OpCountEvaluator::default()));
+    let mut tel = Telemetry::new();
+    let small = small_search_traced(5, &config, &mut eval, &mut tel).unwrap();
+    assert_eq!(small.len(), 5);
+    assert_eq!(
+        tel.counter("search.degradations"),
+        tel.counter("search.failures.timeout")
+    );
+    assert!(tel.counter("search.eval_tier.opcount").unwrap_or(0) > 0);
+}
+
+#[test]
+fn exhausted_chain_skips_candidates_and_reports_no_candidates() {
+    // Every tier always fails: each candidate is skipped, and the search
+    // ends with a structured NoCandidates error — not a panic.
+    let config = SearchConfig::default();
+    let mut eval = ResilientEvaluator::new().tier(
+        "dead",
+        Box::new(FaultyEvaluator::with_rates(
+            OpCountEvaluator::default(),
+            6,
+            1.0,
+            0.0,
+            0.0,
+        )),
+    );
+    let mut tel = Telemetry::new();
+    let err = small_search_traced(4, &config, &mut eval, &mut tel).unwrap_err();
+    assert!(
+        matches!(err, spl_search::SearchError::NoCandidates { n: 2 }),
+        "{err}"
+    );
+    assert!(tel.counter("search.skipped.exhausted").unwrap_or(0) > 0);
+}

@@ -46,13 +46,26 @@ pub fn describe_policy(tel: &mut Telemetry, min_time: Duration) {
     tel.set_metric("timer.min_time_secs", min_time.as_secs_f64());
 }
 
+/// The default iteration ceiling for [`measure`]'s min-time loop. At
+/// ~25 ns per 2-point transform this is well past any `min_time` the
+/// search uses, while guaranteeing a pathological (near-zero-cost or
+/// mis-calibrated) program cannot pin the measurement loop for minutes.
+pub const DEFAULT_MAX_REPS: u64 = 1 << 22;
+
 /// Times a program with an adaptive repetition count until at least
-/// `min_time` has elapsed.
+/// `min_time` has elapsed, capped at [`DEFAULT_MAX_REPS`] repetitions.
 ///
 /// The input is a deterministic pseudo-random vector (so every candidate
 /// in a search sees identical data), and the same buffers are reused
 /// across repetitions, matching how generated library code is used.
 pub fn measure(prog: &VmProgram, min_time: Duration) -> Measurement {
+    measure_capped(prog, min_time, DEFAULT_MAX_REPS)
+}
+
+/// [`measure`] with an explicit repetition ceiling: the timing loop
+/// stops at `max_reps` even if `min_time` has not elapsed, so one
+/// degenerate candidate cannot stall a long search.
+pub fn measure_capped(prog: &VmProgram, min_time: Duration, max_reps: u64) -> Measurement {
     let x: Vec<f64> = (0..prog.n_in)
         .map(|i| ((i as f64) * 0.7311).sin())
         .collect();
@@ -62,7 +75,7 @@ pub fn measure(prog: &VmProgram, min_time: Duration) -> Measurement {
     // table initialization don't bias the first timed repetition.
     prog.run(&x, &mut y, &mut st);
     let mut reps: u64 = 0;
-    let secs_per_call = spl_numeric::metrics::time_adaptive(min_time, || {
+    let secs_per_call = spl_numeric::metrics::time_adaptive_capped(min_time, max_reps, || {
         prog.run(&x, &mut y, &mut st);
         reps += 1;
     });
@@ -125,6 +138,26 @@ mod tests {
             mb.secs_per_call,
             ms.secs_per_call
         );
+    }
+
+    #[test]
+    fn capped_measure_cannot_spin_forever() {
+        // A cheap program with an hour-long floor: without the cap this
+        // would run the min-time loop for an hour; with it the call
+        // returns promptly having done at most `cap` repetitions.
+        let p = vm("(F 2)");
+        let start = std::time::Instant::now();
+        let m = measure_capped(&p, Duration::from_secs(3600), 64);
+        assert!(m.reps >= 1 && m.reps <= 65, "reps {}", m.reps);
+        assert!(start.elapsed() < Duration::from_secs(10));
+        assert!(m.secs_per_call > 0.0);
+    }
+
+    #[test]
+    fn default_measure_respects_global_cap() {
+        let p = vm("(F 2)");
+        let m = measure(&p, Duration::from_millis(1));
+        assert!(m.reps <= DEFAULT_MAX_REPS);
     }
 
     #[test]

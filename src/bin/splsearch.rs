@@ -1,0 +1,326 @@
+//! `splsearch` — the SPIRAL-style FFT plan search as a command-line
+//! tool.
+//!
+//! Runs the paper's dynamic-programming search (small sizes by
+//! Equation 10, large sizes by k-best binary splits) under a
+//! fault-tolerant evaluation chain, and prints the winning plans as
+//! wisdom text. With `--journal` the search persists every completed
+//! size to a crash-safe journal and resumes from it after a kill; with
+//! `--faulty` it injects deterministic faults to exercise the
+//! degradation path end-to-end.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Duration;
+
+use spl::search::{
+    large_search_journaled, large_search_traced, small_search_journaled, small_search_traced,
+    Evaluator, FaultyEvaluator, MeasuredEvaluator, NativeEvaluator, OpCountEvaluator,
+    ResilientEvaluator, SearchConfig, SizeResult,
+};
+use spl::telemetry::{RunReport, Telemetry};
+
+const USAGE: &str = "\
+usage: splsearch [options]
+
+  --max-log <k>      search FFT sizes 2^1 ... 2^k (default 6)
+  --leaf-max <n>     largest leaf transform / small-search boundary
+                     (default 64, as in the paper)
+  --keep <k>         k-best plans kept per large size (default 3)
+  -B <n>             unroll threshold handed to the compiler (default 64)
+  --eval resilient|native|vm|opcount
+                     cost evaluator (default resilient: native timing,
+                     degrading per candidate to VM timing, then to the
+                     operation-count model)
+  --min-time <ms>    measurement budget per candidate (default 10)
+  --eval-timeout <s> sandbox timeout per candidate kernel (default 30)
+  --no-verify        skip dense-reference verification of candidates
+  --journal <file>   crash-safe wisdom journal: resume completed sizes
+                     from it, append new ones as they finish (large-size
+                     records go to <file>.large)
+  --faulty <seed>    inject deterministic faults at the primary
+                     evaluation tier, degrading failed candidates to the
+                     operation-count model
+  --fault-rate <p>   total injected-fault probability (default 0.1)
+  --wisdom-out <file>
+                     also write the winners as wisdom text to <file>
+  --stats            print search telemetry to stderr
+  --trace-json <file>
+                     write the telemetry run report to <file> as JSON
+  -h, --help         print this help
+";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("splsearch: {msg}");
+    ExitCode::FAILURE
+}
+
+/// The human-readable `--stats` table (same shape as `splc --stats`).
+fn render_stats(tel: &Telemetry) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    if !tel.spans().is_empty() {
+        let _ = writeln!(out, "phase timings:");
+        for s in tel.spans() {
+            let _ = writeln!(
+                out,
+                "  {:<36} {:>12.1} us  ({} call{})",
+                s.name,
+                s.wall_ns as f64 / 1e3,
+                s.calls,
+                if s.calls == 1 { "" } else { "s" }
+            );
+        }
+    }
+    if !tel.counters().is_empty() {
+        let _ = writeln!(out, "search counters:");
+        for c in tel.counters() {
+            let _ = writeln!(out, "  {:<36} {:>12}", c.name, c.value);
+        }
+    }
+    if !tel.metrics().is_empty() {
+        let _ = writeln!(out, "metrics:");
+        for (name, value) in tel.metrics() {
+            let _ = writeln!(out, "  {name:<36} {value:>12.6}");
+        }
+    }
+    out
+}
+
+struct Options {
+    max_log: u32,
+    config: SearchConfig,
+    eval: String,
+    min_time: Duration,
+    eval_timeout: Duration,
+    verify: bool,
+    journal: Option<PathBuf>,
+    faulty: Option<u64>,
+    fault_rate: f64,
+    wisdom_out: Option<String>,
+    stats: bool,
+    trace_json: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            max_log: 6,
+            config: SearchConfig::default(),
+            eval: "resilient".to_string(),
+            min_time: Duration::from_millis(10),
+            eval_timeout: Duration::from_secs(30),
+            verify: true,
+            journal: None,
+            faulty: None,
+            fault_rate: 0.1,
+            wisdom_out: None,
+            stats: false,
+            trace_json: None,
+        }
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
+    let mut opts = Options::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--max-log" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(k) if (1..=24).contains(&k) => opts.max_log = k,
+                _ => return Err("--max-log requires an integer in 1..=24".into()),
+            },
+            "--leaf-max" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n.is_power_of_two() && n >= 2 => opts.config.leaf_max = n,
+                _ => return Err("--leaf-max requires a power of two >= 2".into()),
+            },
+            "--keep" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(k) if k >= 1 => opts.config.keep = k,
+                _ => return Err("--keep requires an integer >= 1".into()),
+            },
+            "-B" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => opts.config.unroll_threshold = n,
+                None => return Err("-B requires an integer".into()),
+            },
+            "--eval" => match it.next().map(String::as_str) {
+                Some(e @ ("resilient" | "native" | "vm" | "opcount")) => opts.eval = e.to_string(),
+                _ => return Err("--eval requires resilient, native, vm, or opcount".into()),
+            },
+            "--min-time" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(ms) => opts.min_time = Duration::from_millis(ms),
+                None => return Err("--min-time requires milliseconds".into()),
+            },
+            "--eval-timeout" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(s) => opts.eval_timeout = Duration::from_secs(s),
+                None => return Err("--eval-timeout requires seconds".into()),
+            },
+            "--no-verify" => opts.verify = false,
+            "--journal" => match it.next() {
+                Some(path) => opts.journal = Some(PathBuf::from(path)),
+                None => return Err("--journal requires a file path".into()),
+            },
+            "--faulty" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(seed) => opts.faulty = Some(seed),
+                None => return Err("--faulty requires an integer seed".into()),
+            },
+            "--fault-rate" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(p) if (0.0..=1.0).contains(&p) => opts.fault_rate = p,
+                _ => return Err("--fault-rate requires a probability in 0..=1".into()),
+            },
+            "--wisdom-out" => match it.next() {
+                Some(path) => opts.wisdom_out = Some(path.clone()),
+                None => return Err("--wisdom-out requires a file path".into()),
+            },
+            "--stats" => opts.stats = true,
+            "--trace-json" => match it.next() {
+                Some(path) => opts.trace_json = Some(path.clone()),
+                None => return Err("--trace-json requires a file path".into()),
+            },
+            "-h" | "--help" => return Ok(None),
+            other => return Err(format!("unknown option {other} (try --help)")),
+        }
+    }
+    Ok(Some(opts))
+}
+
+/// Builds the evaluation chain the flags describe. Everything is boxed
+/// so fault injection can wrap any chain uniformly.
+fn build_evaluator(opts: &Options) -> Box<dyn Evaluator> {
+    let base: Box<dyn Evaluator> = match opts.eval.as_str() {
+        "native" => Box::new(
+            NativeEvaluator::new(opts.config.unroll_threshold, opts.min_time)
+                .with_timeout(opts.eval_timeout)
+                .with_verify(opts.verify),
+        ),
+        "vm" => Box::new(
+            MeasuredEvaluator::new(opts.config.unroll_threshold, opts.min_time)
+                .with_verify(opts.verify),
+        ),
+        "opcount" => Box::new(OpCountEvaluator::default()),
+        _ => Box::new(
+            ResilientEvaluator::new()
+                .tier(
+                    "native",
+                    Box::new(
+                        NativeEvaluator::new(opts.config.unroll_threshold, opts.min_time)
+                            .with_timeout(opts.eval_timeout)
+                            .with_verify(opts.verify),
+                    ),
+                )
+                .tier(
+                    "vm",
+                    Box::new(
+                        MeasuredEvaluator::new(opts.config.unroll_threshold, opts.min_time)
+                            .with_verify(opts.verify),
+                    ),
+                )
+                .tier("opcount", Box::new(OpCountEvaluator::default())),
+        ),
+    };
+    match opts.faulty {
+        // Faults are injected at the primary tier with the op-count
+        // model as the fallback, so `--faulty` exercises the full
+        // degradation path rather than merely skipping candidates.
+        Some(seed) => Box::new(
+            ResilientEvaluator::new()
+                .tier(
+                    "faulty",
+                    Box::new(FaultyEvaluator::new(base, seed, opts.fault_rate)),
+                )
+                .tier("opcount", Box::new(OpCountEvaluator::default())),
+        ),
+        None => base,
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(Some(opts)) => opts,
+        Ok(None) => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => return fail(&msg),
+    };
+
+    let small_max_k = opts.config.leaf_max.trailing_zeros().min(opts.max_log);
+    let mut eval = build_evaluator(&opts);
+    let mut tel = Telemetry::new();
+
+    let small = match &opts.journal {
+        Some(path) => small_search_journaled(small_max_k, &opts.config, &mut eval, &mut tel, path),
+        None => small_search_traced(small_max_k, &opts.config, &mut eval, &mut tel),
+    };
+    let small = match small {
+        Ok(s) => s,
+        Err(e) => return fail(&e.to_string()),
+    };
+
+    let large = if opts.max_log > small_max_k {
+        let result = match &opts.journal {
+            Some(path) => {
+                let large_path = path.with_extension(match path.extension() {
+                    Some(ext) => format!("{}.large", ext.to_string_lossy()),
+                    None => "large".to_string(),
+                });
+                large_search_journaled(
+                    &small,
+                    opts.max_log,
+                    &opts.config,
+                    &mut eval,
+                    &mut tel,
+                    &large_path,
+                )
+            }
+            None => large_search_traced(&small, opts.max_log, &opts.config, &mut eval, &mut tel),
+        };
+        match result {
+            Ok(l) => l,
+            Err(e) => return fail(&e.to_string()),
+        }
+    } else {
+        Vec::new()
+    };
+
+    // One winner per size, small sizes first, as wisdom text.
+    let mut winners: Vec<SizeResult> = small;
+    winners.extend(large.iter().map(|plans| SizeResult {
+        tree: plans[0].tree.clone(),
+        cost: plans[0].cost,
+    }));
+    let wisdom = spl::search::wisdom_to_string(&winners);
+    print!("{wisdom}");
+    for w in &winners {
+        eprintln!(
+            "splsearch: n={:<6} cost={:<12.6e} {}",
+            w.tree.size(),
+            w.cost,
+            w.tree.describe()
+        );
+    }
+
+    if let Some(path) = &opts.wisdom_out {
+        if let Err(e) = std::fs::write(path, &wisdom) {
+            return fail(&format!("writing {path}: {e}"));
+        }
+    }
+    if opts.stats {
+        eprint!("{}", render_stats(&tel));
+    }
+    if let Some(path) = &opts.trace_json {
+        let mut report = RunReport::new("splsearch");
+        report.meta("max_log", &opts.max_log.to_string());
+        report.meta("eval", &opts.eval);
+        report.meta("verify", if opts.verify { "on" } else { "off" });
+        if let Some(seed) = opts.faulty {
+            report.meta("faulty_seed", &seed.to_string());
+            report.meta("fault_rate", &opts.fault_rate.to_string());
+        }
+        report.push_section("search", tel);
+        if let Err(e) = report.write_to_file(Path::new(path)) {
+            return fail(&format!("writing {path}: {e}"));
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -34,6 +34,7 @@
 //! | [`native`] | `spl-native` | generated C through the host compiler |
 //! | [`generator`] | `spl-generator` | FFT/WHT/DCT breakdown rules |
 //! | [`search`] | `spl-search` | DP search with k-best plans |
+//! | [`resilience`] | `spl-resilience` | sandboxing, timeouts, crash-safe journal |
 //! | [`minifft`] | `spl-minifft` | the FFTW-like baseline |
 //! | [`numeric`] | `spl-numeric` | complex numbers, references, metrics |
 //! | [`telemetry`] | `spl-telemetry` | phase spans, counters, run reports |
@@ -62,6 +63,7 @@ pub use spl_icode as icode;
 pub use spl_minifft as minifft;
 pub use spl_native as native;
 pub use spl_numeric as numeric;
+pub use spl_resilience as resilience;
 pub use spl_search as search;
 pub use spl_telemetry as telemetry;
 pub use spl_templates as templates;
