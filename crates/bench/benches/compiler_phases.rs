@@ -17,7 +17,7 @@ fn main() {
         ..Default::default()
     };
     let expanded = expand_formula(&sexp, &table, &opts).expect("expands");
-    let unrolled = unroll::unroll(&expanded);
+    let unrolled = unroll::unroll(&expanded).expect("unroll");
     let evaluated = intrinsics::eval_intrinsics(&unrolled).expect("intrinsics");
     let lowered = typetrans::complex_to_real(&evaluated).expect("typetrans");
     let scalarized = unroll::scalarize(&lowered);
@@ -28,7 +28,7 @@ fn main() {
         black_box(expand_formula(black_box(&sexp), &table, &opts).unwrap());
     });
     h.bench(g, "unroll", || {
-        black_box(unroll::unroll(black_box(&expanded)));
+        black_box(unroll::unroll(black_box(&expanded)).unwrap());
     });
     h.bench(g, "intrinsics", || {
         black_box(intrinsics::eval_intrinsics(black_box(&unrolled)).unwrap());

@@ -20,6 +20,11 @@ pub enum CompileError {
     Intrinsic(IntrinsicError),
     /// A type-transformation failure.
     TypeTrans(TypeTransError),
+    /// Structurally malformed i-code reached a restructuring pass
+    /// (e.g. unbalanced loops expanded from a malformed user template).
+    /// Unlike [`CompileError::Internal`], this is reported per unit so a
+    /// search can skip the offending candidate and continue.
+    MalformedIcode(String),
     /// An internal invariant violation (a phase produced invalid i-code).
     Internal(String),
 }
@@ -31,6 +36,7 @@ impl fmt::Display for CompileError {
             CompileError::Expand(e) => write!(f, "{e}"),
             CompileError::Intrinsic(e) => write!(f, "{e}"),
             CompileError::TypeTrans(e) => write!(f, "{e}"),
+            CompileError::MalformedIcode(e) => write!(f, "malformed i-code: {e}"),
             CompileError::Internal(e) => write!(f, "internal compiler error: {e}"),
         }
     }
@@ -43,7 +49,7 @@ impl Error for CompileError {
             CompileError::Expand(e) => Some(e),
             CompileError::Intrinsic(e) => Some(e),
             CompileError::TypeTrans(e) => Some(e),
-            CompileError::Internal(_) => None,
+            CompileError::MalformedIcode(_) | CompileError::Internal(_) => None,
         }
     }
 }

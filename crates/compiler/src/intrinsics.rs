@@ -381,7 +381,7 @@ mod tests {
 
     #[test]
     fn constant_args_fold_to_constants() {
-        let p = unroll_all(&expand("(F 4)"));
+        let p = unroll_all(&expand("(F 4)")).unwrap();
         let e = eval_intrinsics(&p).unwrap();
         assert!(!has_intrinsics(&e));
         assert!(e.tables.is_empty(), "straight-line code needs no tables");
@@ -425,7 +425,8 @@ mod tests {
         let (_, looped) = eval_intrinsics_with_stats(&expand("(F 4)")).unwrap();
         assert_eq!(looped.tables_hoisted, 1);
         assert_eq!(looped.table_entries, 16);
-        let (_, straight) = eval_intrinsics_with_stats(&unroll_all(&expand("(F 4)"))).unwrap();
+        let (_, straight) =
+            eval_intrinsics_with_stats(&unroll_all(&expand("(F 4)")).unwrap()).unwrap();
         assert!(straight.constants_folded > 0);
         assert_eq!(straight.tables_hoisted, 0);
         let (_, cached) = eval_intrinsics_with_stats(&expand("(tensor (I 2) (T 8 4))")).unwrap();

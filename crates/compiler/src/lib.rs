@@ -259,7 +259,7 @@ impl Compiler {
         self.telemetry.record_span("expand", sw.elapsed());
         // Phase 3: restructuring.
         let sw = Stopwatch::start();
-        let (unrolled, ustats) = unroll::unroll_with_stats(&prog);
+        let (unrolled, ustats) = unroll::unroll_with_stats(&prog)?;
         prog = unrolled;
         self.telemetry.record_span("unroll", sw.elapsed());
         self.telemetry
@@ -278,7 +278,7 @@ impl Compiler {
             .add("intrinsics.table_cache_hits", istats.table_cache_hits);
         if let Some(factor) = self.opts.partial_unroll {
             let sw = Stopwatch::start();
-            let (partial, pstats) = unroll::unroll_partial_with_stats(&prog, factor.max(1));
+            let (partial, pstats) = unroll::unroll_partial_with_stats(&prog, factor.max(1))?;
             prog = partial;
             // Partial unrolling belongs to the same paper phase; the
             // span accumulates.

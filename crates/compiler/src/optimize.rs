@@ -1179,7 +1179,7 @@ mod tests {
         let table = TemplateTable::builtin();
         let sexp = parse_formula(src).unwrap();
         let p = expand_formula(&sexp, &table, &ExpandOptions::default()).unwrap();
-        let p = eval_intrinsics(&unroll_all(&p)).unwrap();
+        let p = eval_intrinsics(&unroll_all(&p).unwrap()).unwrap();
         let p = scalarize(&p);
         let o = optimize(&p);
         o.validate().unwrap();
@@ -1605,7 +1605,7 @@ mod tests {
         let table = TemplateTable::builtin();
         let sexp = parse_formula("(F 4)").unwrap();
         let p = expand_formula(&sexp, &table, &ExpandOptions::default()).unwrap();
-        let p = eval_intrinsics(&unroll_all(&p)).unwrap();
+        let p = eval_intrinsics(&unroll_all(&p).unwrap()).unwrap();
         let p = scalarize(&p);
         let (o, stats) = optimize_with_stats(&p);
         assert_eq!(stats.instrs_before, p.static_instr_count() as u64);

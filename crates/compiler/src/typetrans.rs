@@ -402,7 +402,7 @@ mod tests {
         let sexp = parse_formula(src).unwrap();
         let mut p = expand_formula(&sexp, &table, &ExpandOptions::default()).unwrap();
         if unroll {
-            p = unroll_all(&p);
+            p = unroll_all(&p).unwrap();
         }
         let p = eval_intrinsics(&p).unwrap();
         let r = complex_to_real(&p).unwrap();

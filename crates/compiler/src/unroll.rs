@@ -7,9 +7,16 @@
 //! replaced by scalar variables — which is what lets the back-end compiler
 //! allocate them to registers.
 
+use std::cell::Cell;
 use std::collections::HashMap;
 
 use spl_icode::{IProgram, Instr, LoopVar, Place, Value, VecKind, VecRef};
+
+use crate::error::CompileError;
+
+fn malformed(msg: String) -> CompileError {
+    CompileError::MalformedIcode(msg)
+}
 
 /// Work counters for the unrolling passes, reported through the
 /// telemetry layer (`unroll.*` counters in `splc --stats`).
@@ -25,23 +32,27 @@ pub struct UnrollStats {
 
 /// Fully unrolls every loop whose `unroll` flag is set (including loops
 /// nested inside one being unrolled, which keep their own flag).
-pub fn unroll(prog: &IProgram) -> IProgram {
-    unroll_with_stats(prog).0
+///
+/// Fails with [`CompileError::MalformedIcode`] when the loop structure
+/// is unbalanced (a malformed user template can expand to such i-code),
+/// so one bad candidate degrades instead of aborting a search worker.
+pub fn unroll(prog: &IProgram) -> Result<IProgram, CompileError> {
+    Ok(unroll_with_stats(prog)?.0)
 }
 
 /// [`unroll`], also counting how many loops were eliminated.
-pub fn unroll_with_stats(prog: &IProgram) -> (IProgram, UnrollStats) {
+pub fn unroll_with_stats(prog: &IProgram) -> Result<(IProgram, UnrollStats), CompileError> {
     let mut out = prog.clone();
     let mut n_loop = prog.n_loop;
     let mut stats = UnrollStats::default();
-    out.instrs = unroll_block(&prog.instrs, &mut n_loop, &mut stats.loops_fully_unrolled);
+    out.instrs = unroll_block(&prog.instrs, &mut n_loop, &mut stats.loops_fully_unrolled)?;
     out.n_loop = n_loop;
-    (out, stats)
+    Ok((out, stats))
 }
 
 /// Fully unrolls *all* loops regardless of flags (used when a whole
 /// formula is compiled with `#unroll on` semantics at top level).
-pub fn unroll_all(prog: &IProgram) -> IProgram {
+pub fn unroll_all(prog: &IProgram) -> Result<IProgram, CompileError> {
     let mut p = prog.clone();
     for ins in &mut p.instrs {
         if let Instr::DoStart { unroll, .. } = ins {
@@ -51,7 +62,11 @@ pub fn unroll_all(prog: &IProgram) -> IProgram {
     unroll(&p)
 }
 
-fn unroll_block(instrs: &[Instr], n_loop: &mut u32, unrolled: &mut u64) -> Vec<Instr> {
+fn unroll_block(
+    instrs: &[Instr],
+    n_loop: &mut u32,
+    unrolled: &mut u64,
+) -> Result<Vec<Instr>, CompileError> {
     let mut out = Vec::with_capacity(instrs.len());
     let mut pc = 0;
     while pc < instrs.len() {
@@ -62,8 +77,8 @@ fn unroll_block(instrs: &[Instr], n_loop: &mut u32, unrolled: &mut u64) -> Vec<I
                 hi,
                 unroll: flag,
             } => {
-                let end = matching_end(instrs, pc);
-                let body = unroll_block(&instrs[pc + 1..end], n_loop, unrolled);
+                let end = matching_end(instrs, pc)?;
+                let body = unroll_block(&instrs[pc + 1..end], n_loop, unrolled)?;
                 if *flag {
                     *unrolled += 1;
                     for v in *lo..=*hi {
@@ -81,13 +96,18 @@ fn unroll_block(instrs: &[Instr], n_loop: &mut u32, unrolled: &mut u64) -> Vec<I
                 }
                 pc = end + 1;
             }
+            Instr::DoEnd => {
+                return Err(malformed(format!(
+                    "unbalanced loops: doend at instruction {pc} has no matching dostart"
+                )));
+            }
             other => {
                 out.push(other.clone());
                 pc += 1;
             }
         }
     }
-    out
+    Ok(out)
 }
 
 /// Partially unrolls every loop by the given factor: the body is
@@ -99,11 +119,14 @@ fn unroll_block(instrs: &[Instr], n_loop: &mut u32, unrolled: &mut u64) -> Vec<I
 /// Loops whose trip count is below the factor are left alone; fully
 /// unrollable flagged loops should be handled by [`unroll`] first.
 ///
+/// Fails with [`CompileError::MalformedIcode`] on unbalanced loop
+/// structure, like [`unroll`].
+///
 /// # Panics
 ///
 /// Panics if `factor` is zero.
-pub fn unroll_partial(prog: &IProgram, factor: usize) -> IProgram {
-    unroll_partial_with_stats(prog, factor).0
+pub fn unroll_partial(prog: &IProgram, factor: usize) -> Result<IProgram, CompileError> {
+    Ok(unroll_partial_with_stats(prog, factor)?.0)
 }
 
 /// [`unroll_partial`], also counting how many loops were blocked.
@@ -111,23 +134,31 @@ pub fn unroll_partial(prog: &IProgram, factor: usize) -> IProgram {
 /// # Panics
 ///
 /// Panics if `factor` is zero.
-pub fn unroll_partial_with_stats(prog: &IProgram, factor: usize) -> (IProgram, UnrollStats) {
+pub fn unroll_partial_with_stats(
+    prog: &IProgram,
+    factor: usize,
+) -> Result<(IProgram, UnrollStats), CompileError> {
     assert!(factor >= 1, "unroll factor must be at least 1");
     let mut out = prog.clone();
     let mut stats = UnrollStats::default();
     if factor == 1 {
-        return (out, stats);
+        return Ok((out, stats));
     }
     out.instrs = partial_block(
         &prog.instrs,
         factor as i64,
         &mut out.n_loop,
         &mut stats.loops_partially_unrolled,
-    );
-    (out, stats)
+    )?;
+    Ok((out, stats))
 }
 
-fn partial_block(instrs: &[Instr], factor: i64, n_loop: &mut u32, blocked: &mut u64) -> Vec<Instr> {
+fn partial_block(
+    instrs: &[Instr],
+    factor: i64,
+    n_loop: &mut u32,
+    blocked: &mut u64,
+) -> Result<Vec<Instr>, CompileError> {
     let mut out = Vec::with_capacity(instrs.len());
     let mut pc = 0;
     while pc < instrs.len() {
@@ -138,8 +169,8 @@ fn partial_block(instrs: &[Instr], factor: i64, n_loop: &mut u32, blocked: &mut 
                 hi,
                 unroll: flag,
             } => {
-                let end = matching_end(instrs, pc);
-                let body = partial_block(&instrs[pc + 1..end], factor, n_loop, blocked);
+                let end = matching_end(instrs, pc)?;
+                let body = partial_block(&instrs[pc + 1..end], factor, n_loop, blocked)?;
                 let trips = hi - lo + 1;
                 // A body reading the loop index as a *value* (rather than
                 // in a subscript) cannot be re-expressed over the block
@@ -192,7 +223,7 @@ fn partial_block(instrs: &[Instr], factor: i64, n_loop: &mut u32, blocked: &mut 
                                 *lo + k,
                                 factor,
                                 block_var,
-                            ));
+                            )?);
                         }
                     }
                     out.push(Instr::DoEnd);
@@ -206,13 +237,18 @@ fn partial_block(instrs: &[Instr], factor: i64, n_loop: &mut u32, blocked: &mut 
                 }
                 pc = end + 1;
             }
+            Instr::DoEnd => {
+                return Err(malformed(format!(
+                    "unbalanced loops: doend at instruction {pc} has no matching dostart"
+                )));
+            }
             other => {
                 out.push(other.clone());
                 pc += 1;
             }
         }
     }
-    out
+    Ok(out)
 }
 
 /// Gives every loop nested in `body` a fresh program-unique variable id
@@ -290,13 +326,20 @@ fn refresh_loop_vars(body: &[Instr], n_loop: &mut u32) -> Vec<Instr> {
 }
 
 /// Rewrites `var` as `c + scale·new_var` inside an instruction.
+///
+/// The caller guarantees (via the `reads_index` scan) that the body
+/// never reads `var` as a bare value; if one slips through anyway —
+/// malformed i-code — the old loop index would survive blocking and
+/// silently compute garbage, so that case is reported as
+/// [`CompileError::MalformedIcode`] instead.
 fn replace_loop_var_affine(
     ins: &Instr,
     var: LoopVar,
     c: i64,
     scale: i64,
     new_var: LoopVar,
-) -> Instr {
+) -> Result<Instr, CompileError> {
+    let stale = Cell::new(false);
     let sub_affine = |a: &spl_icode::Affine| -> spl_icode::Affine {
         let coeff = a
             .terms
@@ -320,48 +363,52 @@ fn replace_loop_var_affine(
     fn sub_value(
         v: &Value,
         var: LoopVar,
-        c: i64,
-        scale: i64,
-        new_var: LoopVar,
+        stale: &Cell<bool>,
         sub_place: &dyn Fn(&Place) -> Place,
     ) -> Value {
         match v {
             Value::Place(p) => Value::Place(sub_place(p)),
             Value::LoopIdx(lv) if *lv == var => {
                 // A direct loop-index value cannot be expressed as a
-                // single operand; leave as the block index scaled — this
-                // only arises pre-intrinsic-evaluation, where such values
-                // feed integer registers that the partial unroller does
-                // not touch (it runs after intrinsic evaluation).
-                let _ = (c, scale, new_var);
+                // single operand after blocking; the caller's
+                // `reads_index` scan keeps such loops intact, so hitting
+                // this means the scan and the body disagree — malformed
+                // i-code, reported below.
+                stale.set(true);
                 Value::LoopIdx(*lv)
             }
             Value::Intrinsic(name, args) => Value::Intrinsic(
                 name.clone(),
                 args.iter()
-                    .map(|a| sub_value(a, var, c, scale, new_var, sub_place))
+                    .map(|a| sub_value(a, var, stale, sub_place))
                     .collect(),
             ),
             other => other.clone(),
         }
     }
-    match ins {
+    let out = match ins {
         Instr::Bin { op, dst, a, b } => Instr::Bin {
             op: *op,
             dst: sub_place(dst),
-            a: sub_value(a, var, c, scale, new_var, &sub_place),
-            b: sub_value(b, var, c, scale, new_var, &sub_place),
+            a: sub_value(a, var, &stale, &sub_place),
+            b: sub_value(b, var, &stale, &sub_place),
         },
         Instr::Un { op, dst, a } => Instr::Un {
             op: *op,
             dst: sub_place(dst),
-            a: sub_value(a, var, c, scale, new_var, &sub_place),
+            a: sub_value(a, var, &stale, &sub_place),
         },
         other => other.clone(),
+    };
+    if stale.get() {
+        return Err(malformed(format!(
+            "loop index {var:?} survived partial unrolling (read as a bare value)"
+        )));
     }
+    Ok(out)
 }
 
-fn matching_end(instrs: &[Instr], start: usize) -> usize {
+fn matching_end(instrs: &[Instr], start: usize) -> Result<usize, CompileError> {
     let mut depth = 0usize;
     for (k, ins) in instrs.iter().enumerate().skip(start) {
         match ins {
@@ -369,13 +416,15 @@ fn matching_end(instrs: &[Instr], start: usize) -> usize {
             Instr::DoEnd => {
                 depth -= 1;
                 if depth == 0 {
-                    return k;
+                    return Ok(k);
                 }
             }
             _ => {}
         }
     }
-    panic!("unbalanced loops in validated i-code");
+    Err(malformed(format!(
+        "unbalanced loops: dostart at instruction {start} has no matching doend"
+    )))
 }
 
 fn substitute_loop_var(ins: &Instr, var: LoopVar, value: i64) -> Instr {
@@ -562,7 +611,7 @@ mod tests {
     fn unroll_preserves_semantics() {
         for src in ["(F 4)", "(L 8 2)", "(T 8 4)", "(tensor (I 4) (F 2))"] {
             let p = expand(src, true);
-            let u = unroll(&p);
+            let u = unroll(&p).unwrap();
             assert!(!has_loops(&u), "{src} should be loop-free");
             u.validate().unwrap();
             let x = ramp(p.n_in);
@@ -573,7 +622,7 @@ mod tests {
     #[test]
     fn unmarked_loops_stay() {
         let p = expand("(tensor (I 4) (F 2))", false);
-        let u = unroll(&p);
+        let u = unroll(&p).unwrap();
         assert!(has_loops(&u));
         assert_eq!(p.instrs.len(), u.instrs.len());
     }
@@ -581,7 +630,7 @@ mod tests {
     #[test]
     fn unroll_all_ignores_flags() {
         let p = expand("(tensor (I 4) (F 2))", false);
-        let u = unroll_all(&p);
+        let u = unroll_all(&p).unwrap();
         assert!(!has_loops(&u));
         let x = ramp(8);
         assert_eq!(run(&p, &x).unwrap(), run(&u, &x).unwrap());
@@ -589,7 +638,7 @@ mod tests {
 
     #[test]
     fn unrolled_f4_intrinsics_become_constant_args() {
-        let u = unroll_all(&expand("(F 4)", false));
+        let u = unroll_all(&expand("(F 4)", false)).unwrap();
         // After unrolling, no LoopIdx values remain anywhere.
         for ins in &u.instrs {
             ins.for_each_value(&mut |v| {
@@ -609,7 +658,7 @@ mod tests {
     fn scalarize_replaces_const_temp_accesses() {
         // compose creates a temp; fully unrolled, all its accesses are
         // constant, so it must disappear.
-        let p = unroll_all(&expand("(compose (F 2) (F 2))", false));
+        let p = unroll_all(&expand("(compose (F 2) (F 2))", false)).unwrap();
         let s = scalarize(&p);
         s.validate().unwrap();
         assert_eq!(s.temps, vec![0]);
@@ -649,7 +698,7 @@ mod tests {
                 }
             }
         }
-        let u = unroll(&p);
+        let u = unroll(&p).unwrap();
         u.validate().unwrap();
         let x = ramp(12);
         assert_eq!(run(&p, &x).unwrap(), run(&u, &x).unwrap());
@@ -660,7 +709,7 @@ mod tests {
         for src in ["(L 16 4)", "(T 16 8)", "(tensor (I 12) (F 2))", "(F 4)"] {
             let p = crate::intrinsics::eval_intrinsics(&expand(src, false)).unwrap();
             for factor in [2usize, 3, 4] {
-                let u = unroll_partial(&p, factor);
+                let u = unroll_partial(&p, factor).unwrap();
                 u.validate().unwrap();
                 let x = ramp(p.n_in);
                 assert_eq!(
@@ -678,7 +727,7 @@ mod tests {
         // copies.
         let p =
             crate::intrinsics::eval_intrinsics(&expand("(tensor (I 12) (F 2))", false)).unwrap();
-        let u = unroll_partial(&p, 5);
+        let u = unroll_partial(&p, 5).unwrap();
         u.validate().unwrap();
         let x = ramp(24);
         assert_eq!(run(&p, &x).unwrap(), run(&u, &x).unwrap());
@@ -696,7 +745,7 @@ mod tests {
         // (F 4) unevaluated still reads loop indices into $r registers;
         // such loops must be left intact.
         let p = expand("(F 4)", false);
-        let u = unroll_partial(&p, 2);
+        let u = unroll_partial(&p, 2).unwrap();
         let x = ramp(4);
         assert_eq!(run(&p, &x).unwrap(), run(&u, &x).unwrap());
     }
@@ -708,10 +757,54 @@ mod tests {
             false,
         ))
         .unwrap();
-        let u = unroll_partial(&p, 2);
+        let u = unroll_partial(&p, 2).unwrap();
         u.validate().unwrap();
         let x = ramp(32);
         assert_eq!(run(&p, &x).unwrap(), run(&u, &x).unwrap());
+    }
+
+    #[test]
+    fn malformed_unbalanced_loops_error_instead_of_panicking() {
+        // A DoStart with no matching DoEnd — the shape a malformed user
+        // template expands to. This used to panic ("unbalanced loops in
+        // validated i-code"), killing the whole search process; now it
+        // must surface as a per-candidate MalformedIcode error.
+        let p = IProgram {
+            instrs: vec![Instr::DoStart {
+                var: LoopVar(0),
+                lo: 0,
+                hi: 3,
+                unroll: true,
+            }],
+            n_loop: 1,
+            ..IProgram::empty()
+        };
+        match unroll(&p) {
+            Err(CompileError::MalformedIcode(msg)) => {
+                assert!(msg.contains("no matching doend"), "{msg}");
+            }
+            other => panic!("expected MalformedIcode, got {other:?}"),
+        }
+        match unroll_partial(&p, 2) {
+            Err(CompileError::MalformedIcode(_)) => {}
+            other => panic!("expected MalformedIcode, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stray_doend_errors_instead_of_corrupting_output() {
+        // The mirror image: a DoEnd with no opening DoStart previously
+        // slid through unchanged, producing unbalanced output for later
+        // phases to trip over.
+        let p = IProgram {
+            instrs: vec![Instr::DoEnd],
+            ..IProgram::empty()
+        };
+        assert!(matches!(unroll(&p), Err(CompileError::MalformedIcode(_))));
+        assert!(matches!(
+            unroll_partial(&p, 2),
+            Err(CompileError::MalformedIcode(_))
+        ));
     }
 
     #[test]
@@ -725,7 +818,7 @@ mod tests {
             ..Default::default()
         };
         let p = expand_formula(&sexp, &table, &opts).unwrap();
-        let u = unroll(&p);
+        let u = unroll(&p).unwrap();
         // Outer loop remains; inner is gone.
         let loops: Vec<_> = u
             .instrs

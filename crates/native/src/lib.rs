@@ -49,7 +49,7 @@
 use std::error::Error;
 use std::ffi::{c_char, c_int, c_void, CString};
 use std::fmt;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::Command;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -59,6 +59,10 @@ use spl_frontend::ast::{DataType, Language};
 use spl_resilience::command::CommandError;
 use spl_resilience::{run_command_with_timeout, run_isolated, RetryPolicy, SandboxError};
 
+pub mod cache;
+
+pub use cache::{CacheOutcome, KernelCache};
+
 extern "C" {
     fn dlopen(filename: *const c_char, flag: c_int) -> *mut c_void;
     fn dlsym(handle: *mut c_void, symbol: *const c_char) -> *mut c_void;
@@ -66,6 +70,18 @@ extern "C" {
 }
 
 const RTLD_NOW: c_int = 2;
+
+/// The fixed `cc` command line (before `-o` and the file paths). Part
+/// of the kernel-cache key: changing these flags invalidates every
+/// cached object.
+pub(crate) const CC_FLAGS: &[&str] = &["-O2", "-shared", "-fPIC"];
+
+/// The entry-point symbol used by [`NativeKernel::compile_cached`].
+/// Cached objects share one canonical name so byte-identical kernels
+/// from differently named units still hit; `dlopen`'s default local
+/// binding keeps the identically named symbols of concurrently loaded
+/// kernels isolated per handle.
+const CACHED_SYMBOL: &str = "spl_kernel";
 
 /// Longest `cc` stderr excerpt kept in an error value; full compiler
 /// diagnostics for machine-generated code can run to megabytes.
@@ -269,6 +285,87 @@ impl NativeKernel {
         // SAFETY: the symbol has the C ABI signature
         // `void name(double *y, const double *x)` by construction of the
         // emitter.
+        let entry: extern "C" fn(*mut f64, *const f64) = unsafe { std::mem::transmute(sym) };
+        Ok(NativeKernel {
+            handle,
+            entry,
+            n_in: unit.program.n_in,
+            n_out: unit.program.n_out,
+            so_path,
+            c_path,
+        })
+    }
+
+    /// [`NativeKernel::compile_with`] through a content-addressed
+    /// [`KernelCache`]: the emitted C (with a canonical entry-point
+    /// name) is hashed together with the build options and `cc`
+    /// version, and a hit loads the previously built shared object
+    /// instead of invoking `cc`. Returns the kernel plus where it came
+    /// from ([`CacheOutcome`]).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`NativeKernel::compile`]; a corrupt
+    /// disk-cache entry is discarded and recompiled, never an error.
+    pub fn compile_cached(
+        unit: &CompiledUnit,
+        opts: &BuildOptions,
+        cache: &KernelCache,
+    ) -> Result<(NativeKernel, CacheOutcome), NativeError> {
+        if unit.program.complex {
+            return Err(NativeError::Unsupported(
+                "C output requires real-typed code (set #codetype real)".into(),
+            ));
+        }
+        let c_src = codegen::emit(
+            CACHED_SYMBOL,
+            &unit.program,
+            &CodegenOptions {
+                language: Language::C,
+                codetype: DataType::Real,
+                peephole: false,
+                io_params: false,
+            },
+        );
+        let key = KernelCache::key(&c_src, opts);
+        if let Some((bytes, outcome)) = cache.lookup(&key) {
+            let kernel = Self::load_cached(&bytes, unit)?;
+            return Ok((kernel, outcome));
+        }
+        cache.count_cc_invocation();
+        let (handle, sym, so_path, c_path) = build_and_load(CACHED_SYMBOL, &c_src, opts)?;
+        if let Ok(bytes) = std::fs::read(&so_path) {
+            cache.insert(&key, bytes);
+        }
+        // SAFETY: the symbol has the C ABI signature
+        // `void name(double *y, const double *x)` by construction of the
+        // emitter.
+        let entry: extern "C" fn(*mut f64, *const f64) = unsafe { std::mem::transmute(sym) };
+        Ok((
+            NativeKernel {
+                handle,
+                entry,
+                n_in: unit.program.n_in,
+                n_out: unit.program.n_out,
+                so_path,
+                c_path,
+            },
+            CacheOutcome::Miss,
+        ))
+    }
+
+    /// Materializes a cached object image as a loaded kernel: the bytes
+    /// are written to a fresh uniquely named temp `.so` (dlopen works on
+    /// files), then loaded exactly like a freshly built object. The
+    /// kernel owns the temp file and removes it on drop.
+    fn load_cached(bytes: &[u8], unit: &CompiledUnit) -> Result<NativeKernel, NativeError> {
+        let tmp = TempArtifacts::new(&fresh_stem());
+        std::fs::write(&tmp.so_path, bytes)
+            .map_err(|e| NativeError::Io(format!("writing {}: {e}", tmp.so_path.display())))?;
+        let (handle, sym) = load_object(&tmp.so_path, CACHED_SYMBOL)?;
+        let (so_path, c_path) = tmp.into_paths();
+        // SAFETY: cached objects are built by `compile_cached` from the
+        // emitter's C, so the symbol has the same C ABI signature.
         let entry: extern "C" fn(*mut f64, *const f64) = unsafe { std::mem::transmute(sym) };
         Ok(NativeKernel {
             handle,
@@ -536,12 +633,7 @@ fn run_cc(c_path: &PathBuf, so_path: &PathBuf, opts: &BuildOptions) -> Result<()
     let mut last: Option<NativeError> = None;
     for attempt in 0..attempts {
         let mut cmd = Command::new("cc");
-        cmd.arg("-O2")
-            .arg("-shared")
-            .arg("-fPIC")
-            .arg("-o")
-            .arg(so_path)
-            .arg(c_path);
+        cmd.args(CC_FLAGS).arg("-o").arg(so_path).arg(c_path);
         match run_command_with_timeout(&mut cmd, opts.cc_timeout) {
             Ok(out) if out.status.success() => return Ok(()),
             Ok(out) => {
@@ -579,31 +671,43 @@ fn build_and_load(
     c_src: &str,
     opts: &BuildOptions,
 ) -> Result<(*mut c_void, *mut c_void, PathBuf, PathBuf), NativeError> {
+    let tmp = TempArtifacts::new(&fresh_stem());
+    std::fs::write(&tmp.c_path, c_src)
+        .map_err(|e| NativeError::Io(format!("writing {}: {e}", tmp.c_path.display())))?;
+    run_cc(&tmp.c_path, &tmp.so_path, opts)?;
+    let (handle, sym) = load_object(&tmp.so_path, name)?;
+    let (so_path, c_path) = tmp.into_paths();
+    Ok((handle, sym, so_path, c_path))
+}
+
+/// A collision-free temp-file stem: pid + counter + a timestamp
+/// component keeps names unique across concurrent processes (and the
+/// concurrent worker threads of one search) in the shared temp
+/// directory.
+fn fresh_stem() -> String {
     let id = COUNTER.fetch_add(1, Ordering::Relaxed);
-    // pid + counter + a timestamp component keeps names collision-free
-    // across concurrent processes in the shared temp directory.
     let nonce = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.subsec_nanos())
         .unwrap_or(0);
-    let stem = format!("spl_native_{}_{}_{nonce}", std::process::id(), id);
-    let tmp = TempArtifacts::new(&stem);
-    std::fs::write(&tmp.c_path, c_src)
-        .map_err(|e| NativeError::Io(format!("writing {}: {e}", tmp.c_path.display())))?;
-    run_cc(&tmp.c_path, &tmp.so_path, opts)?;
-    let so_c = CString::new(tmp.so_path.to_string_lossy().as_bytes())
+    format!("spl_native_{}_{}_{nonce}", std::process::id(), id)
+}
+
+/// `dlopen`s the shared object and resolves `name` in it.
+fn load_object(so_path: &Path, name: &str) -> Result<(*mut c_void, *mut c_void), NativeError> {
+    let so_c = CString::new(so_path.to_string_lossy().as_bytes())
         .map_err(|_| NativeError::Io("bad path".into()))?;
     let name_c = CString::new(name.as_bytes()).map_err(|_| NativeError::Io("bad name".into()))?;
-    // SAFETY: loading an object we just built; symbol looked up by name.
-    // The `long` parameters of the io-params signature are transmuted to
-    // `i64`, which matches on every 64-bit Linux target this crate's
-    // dlopen path supports (LP64).
+    // SAFETY: loading an object this crate built (directly or via the
+    // kernel cache); symbol looked up by name. The `long` parameters of
+    // the io-params signature are transmuted to `i64`, which matches on
+    // every 64-bit Linux target this crate's dlopen path supports (LP64).
     unsafe {
         let handle = dlopen(so_c.as_ptr(), RTLD_NOW);
         if handle.is_null() {
             return Err(NativeError::LoadFailed(format!(
                 "dlopen {} failed",
-                tmp.so_path.display()
+                so_path.display()
             )));
         }
         let sym = dlsym(handle, name_c.as_ptr());
@@ -611,8 +715,7 @@ fn build_and_load(
             dlclose(handle);
             return Err(NativeError::LoadFailed(format!("symbol {name} not found")));
         }
-        let (so_path, c_path) = tmp.into_paths();
-        Ok((handle, sym, so_path, c_path))
+        Ok((handle, sym))
     }
 }
 
@@ -842,6 +945,76 @@ mod tests {
         for (a, b) in y1.iter().zip(&y2) {
             assert!((a - b).abs() < 1e-14);
         }
+    }
+
+    #[test]
+    fn cached_compile_hits_memory_and_matches_cold_kernel() {
+        let mut c = Compiler::new();
+        let unit = c.compile_formula_str("(F 4)").unwrap();
+        let cache = KernelCache::in_memory();
+        let opts = BuildOptions::default();
+        let (k1, o1) = NativeKernel::compile_cached(&unit, &opts, &cache).unwrap();
+        let (k2, o2) = NativeKernel::compile_cached(&unit, &opts, &cache).unwrap();
+        assert_eq!(o1, CacheOutcome::Miss);
+        assert_eq!(o2, CacheOutcome::MemoryHit);
+        let x: Vec<f64> = (0..k1.n_in).map(|i| (i as f64 * 0.41).sin()).collect();
+        let mut y1 = vec![0.0; k1.n_out];
+        let mut y2 = vec![0.0; k2.n_out];
+        k1.run(&x, &mut y1);
+        k2.run(&x, &mut y2);
+        assert_eq!(y1, y2, "cached kernel differs from cold compile");
+        let tel = cache.drain_telemetry();
+        assert_eq!(tel.counter("native.cc_invocations"), Some(1));
+        assert_eq!(tel.counter("native.cache.memory_hits"), Some(1));
+    }
+
+    #[test]
+    fn cached_compile_survives_a_fresh_disk_cache_instance() {
+        let dir =
+            std::env::temp_dir().join(format!("spl_native_kcache_{}_disk", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut c = Compiler::new();
+        let unit = c.compile_formula_str("(F 2)").unwrap();
+        let opts = BuildOptions::default();
+        {
+            let cache = KernelCache::with_dir(&dir).unwrap();
+            let (_k, o) = NativeKernel::compile_cached(&unit, &opts, &cache).unwrap();
+            assert_eq!(o, CacheOutcome::Miss);
+        }
+        // A new process would open the directory afresh: the object must
+        // come back from disk without another cc run.
+        let cache = KernelCache::with_dir(&dir).unwrap();
+        let (k, o) = NativeKernel::compile_cached(&unit, &opts, &cache).unwrap();
+        assert_eq!(o, CacheOutcome::DiskHit);
+        let x = [1.0, 0.0, 2.0, 0.0];
+        let mut y = [0.0; 4];
+        k.run(&x, &mut y);
+        assert_eq!(y, [3.0, 0.0, -1.0, 0.0]);
+        let tel = cache.drain_telemetry();
+        assert_eq!(tel.counter("native.cc_invocations"), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_cached_kernels_do_not_clash_on_the_shared_symbol() {
+        // Two *different* kernels share the canonical symbol name; both
+        // loaded at once must still dispatch to their own code.
+        let mut c1 = Compiler::new();
+        let u1 = c1.compile_formula_str("(F 2)").unwrap();
+        let mut c2 = Compiler::new();
+        let u2 = c2.compile_formula_str("(tensor (I 2) (F 2))").unwrap();
+        let cache = KernelCache::in_memory();
+        let opts = BuildOptions::default();
+        let (k1, _) = NativeKernel::compile_cached(&u1, &opts, &cache).unwrap();
+        let (k2, _) = NativeKernel::compile_cached(&u2, &opts, &cache).unwrap();
+        let x1 = [1.0, 0.0, 2.0, 0.0];
+        let mut y1 = [0.0; 4];
+        k1.run(&x1, &mut y1);
+        assert_eq!(y1, [3.0, 0.0, -1.0, 0.0]);
+        let x2 = [1.0, 0.0, 2.0, 0.0, 5.0, 0.0, 7.0, 0.0];
+        let mut y2 = [0.0; 8];
+        k2.run(&x2, &mut y2);
+        assert_eq!(y2, [3.0, 0.0, -1.0, 0.0, 12.0, 0.0, -2.0, 0.0]);
     }
 
     #[test]

@@ -76,11 +76,33 @@ pub fn time_adaptive(min_time: std::time::Duration, f: impl FnMut()) -> f64 {
 /// call suggests more would fit in `min_time`. This bounds the wall
 /// time spent on a pathological (near-zero-cost or mis-timed) candidate
 /// instead of letting the repetition count balloon.
-pub fn time_adaptive_capped(
+pub fn time_adaptive_capped(min_time: std::time::Duration, max_reps: u64, f: impl FnMut()) -> f64 {
+    time_adaptive_counted(min_time, max_reps, f).secs_per_call
+}
+
+/// The outcome of one calibrate-then-repeat timing run, separating the
+/// timed repetitions from the calls that only primed the measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimedRun {
+    /// Seconds per call over the timed loop.
+    pub secs_per_call: f64,
+    /// Repetitions of the timed loop — exactly the count
+    /// `secs_per_call` was averaged over.
+    pub reps: u64,
+    /// Calls executed outside the timed loop (the calibration call).
+    pub untimed_calls: u64,
+}
+
+/// [`time_adaptive_capped`], additionally reporting how many timed and
+/// untimed calls were made. Callers that surface a repetition count to
+/// users must take it from here: the calibration call runs the same
+/// closure but is *not* part of the average, so counting closure
+/// invocations overstates `reps` by one.
+pub fn time_adaptive_counted(
     min_time: std::time::Duration,
     max_reps: u64,
     mut f: impl FnMut(),
-) -> f64 {
+) -> TimedRun {
     use std::time::Instant;
     let start = Instant::now();
     f();
@@ -90,7 +112,11 @@ pub fn time_adaptive_capped(
     for _ in 0..reps {
         f();
     }
-    start.elapsed().as_secs_f64() / reps as f64
+    TimedRun {
+        secs_per_call: start.elapsed().as_secs_f64() / reps as f64,
+        reps,
+        untimed_calls: 1,
+    }
 }
 
 /// Maximum absolute componentwise difference.
@@ -174,6 +200,20 @@ mod tests {
         assert!(t >= 0.0);
         assert!(n <= 51, "ran {n} times despite cap");
         assert!(start.elapsed() < std::time::Duration::from_secs(10));
+    }
+
+    #[test]
+    fn counted_reps_exclude_the_calibration_call() {
+        // The closure runs reps + 1 times (one calibration call), but
+        // the reported reps must match the timed loop exactly — that is
+        // the count secs_per_call was divided by.
+        let mut calls = 0u64;
+        let run = time_adaptive_counted(std::time::Duration::from_secs(3600), 32, || {
+            calls += 1;
+        });
+        assert_eq!(run.untimed_calls, 1);
+        assert_eq!(calls, run.reps + run.untimed_calls);
+        assert_eq!(run.reps, 32, "huge floor with a tiny cap pins the cap");
     }
 
     #[test]

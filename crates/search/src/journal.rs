@@ -30,7 +30,8 @@ use spl_resilience::{Journal, JournalError};
 use spl_telemetry::{Stopwatch, Telemetry};
 
 use crate::{
-    large_step, seed_kbest, small_step, Evaluator, Plan, SearchConfig, SearchError, SizeResult,
+    large_step, seed_kbest, small_step, CostSource, Evaluator, EvaluatorPool, Plan, SearchConfig,
+    SearchError, SerialSource, SizeResult,
 };
 
 fn jerr(e: JournalError) -> SearchError {
@@ -180,6 +181,34 @@ pub fn small_search_journaled(
     tel: &mut Telemetry,
     path: &Path,
 ) -> Result<Vec<SizeResult>, SearchError> {
+    small_search_journaled_src(max_k, config, &mut SerialSource(eval), tel, path)
+}
+
+/// [`small_search_journaled`] over an [`EvaluatorPool`] (see
+/// [`crate::small_search_parallel`] for the determinism contract):
+/// candidates evaluate concurrently, completed sizes persist to the
+/// journal exactly as in the serial variant.
+///
+/// # Errors
+///
+/// As [`small_search_journaled`].
+pub fn small_search_journaled_parallel(
+    max_k: u32,
+    config: &SearchConfig,
+    pool: &mut EvaluatorPool,
+    tel: &mut Telemetry,
+    path: &Path,
+) -> Result<Vec<SizeResult>, SearchError> {
+    small_search_journaled_src(max_k, config, pool, tel, path)
+}
+
+fn small_search_journaled_src(
+    max_k: u32,
+    config: &SearchConfig,
+    src: &mut dyn CostSource,
+    tel: &mut Telemetry,
+    path: &Path,
+) -> Result<Vec<SizeResult>, SearchError> {
     let sw = Stopwatch::start();
     let fingerprint = config_fingerprint(config, "small");
     let (mut journal, records) = open_checked(path, &fingerprint, tel)?;
@@ -194,14 +223,14 @@ pub fn small_search_journaled(
         tel.add("search.journal_resumed_sizes", best.len() as u64);
     }
     for k in (best.len() as u32 + 1)..=max_k {
-        let winner = small_step(k, config, eval, tel, &best)?;
+        let winner = small_step(k, config, src, tel, &best)?;
         journal
             .append(&format_small_record(&winner))
             .map_err(jerr)?;
         best.push(winner);
     }
     tel.record_span("search.small", sw.elapsed());
-    tel.merge(&eval.drain_telemetry());
+    tel.merge(&src.drain());
     Ok(best)
 }
 
@@ -224,6 +253,38 @@ pub fn large_search_journaled(
     tel: &mut Telemetry,
     path: &Path,
 ) -> Result<Vec<Vec<Plan>>, SearchError> {
+    large_search_journaled_src(small, max_log, config, &mut SerialSource(eval), tel, path)
+}
+
+/// [`large_search_journaled`] over an [`EvaluatorPool`] (see
+/// [`small_search_journaled_parallel`]).
+///
+/// # Errors
+///
+/// As [`small_search_journaled`].
+///
+/// # Panics
+///
+/// Panics if `small` does not cover sizes up to `config.leaf_max`.
+pub fn large_search_journaled_parallel(
+    small: &[SizeResult],
+    max_log: u32,
+    config: &SearchConfig,
+    pool: &mut EvaluatorPool,
+    tel: &mut Telemetry,
+    path: &Path,
+) -> Result<Vec<Vec<Plan>>, SearchError> {
+    large_search_journaled_src(small, max_log, config, pool, tel, path)
+}
+
+fn large_search_journaled_src(
+    small: &[SizeResult],
+    max_log: u32,
+    config: &SearchConfig,
+    src: &mut dyn CostSource,
+    tel: &mut Telemetry,
+    path: &Path,
+) -> Result<Vec<Vec<Plan>>, SearchError> {
     let sw = Stopwatch::start();
     let fingerprint = config_fingerprint(config, "large");
     let (mut journal, records) = open_checked(path, &fingerprint, tel)?;
@@ -243,7 +304,7 @@ pub fn large_search_journaled(
         tel.add("search.journal_resumed_sizes", out.len() as u64);
     }
     for k in (small_max_k + 1 + out.len() as u32)..=max_log {
-        let plans = large_step(k, config, eval, tel, &kbest)?;
+        let plans = large_step(k, config, src, tel, &kbest)?;
         journal
             .append(&format_large_record(1usize << k, &plans))
             .map_err(jerr)?;
@@ -251,7 +312,7 @@ pub fn large_search_journaled(
         out.push(plans);
     }
     tel.record_span("search.large", sw.elapsed());
-    tel.merge(&eval.drain_telemetry());
+    tel.merge(&src.drain());
     Ok(out)
 }
 

@@ -45,6 +45,22 @@
 //! * [`FaultyEvaluator`] injects deterministic faults for testing the
 //!   whole chain.
 //!
+//! # Parallel evaluation
+//!
+//! [`EvaluatorPool`] fans each size's candidates out over a crew of
+//! worker evaluators ([`small_search_parallel`],
+//! [`large_search_parallel`], and the journaled variants). Formula
+//! expansion, compilation, `cc`, and verification run concurrently;
+//! wall-clock timing stays serialized behind a single
+//! [`MeasurementGate`], and per-candidate results are merged back in
+//! candidate order — so with a deterministic evaluator the winners are
+//! bit-identical to the serial search at any job count.
+//! [`NativeEvaluator`] workers can additionally share one
+//! content-addressed compiled-kernel cache
+//! ([`NativeEvaluator::with_kernel_cache`]) so identical generated C is
+//! compiled by `cc` only once across the whole pool — and, with a disk
+//! directory, across runs.
+//!
 //! # Examples
 //!
 //! ```
@@ -59,21 +75,28 @@
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
 
 use spl_compiler::{Compiler, CompilerOptions, OptLevel};
 use spl_generator::fft::{rightmost_splits, FftTree, Rule};
-use spl_native::{BuildOptions, NativeError};
+use spl_native::{BuildOptions, CacheOutcome, KernelCache, NativeError};
 use spl_numeric::Complex;
 use spl_telemetry::{Stopwatch, Telemetry};
 use spl_vm::{describe_policy, lower, measure, VmProgram, VmState};
 
 mod faults;
 mod journal;
+mod parallel;
 mod resilient;
 
 pub use faults::FaultyEvaluator;
-pub use journal::{config_fingerprint, large_search_journaled, small_search_journaled};
+pub use journal::{
+    config_fingerprint, large_search_journaled, large_search_journaled_parallel,
+    small_search_journaled, small_search_journaled_parallel,
+};
+pub(crate) use parallel::{CostSource, SerialSource};
+pub use parallel::{EvaluatorPool, MeasurementGate, MeasurementToken, WorkerContext};
 pub use resilient::{QuarantineEntry, ResilientEvaluator};
 
 /// A structured search failure. Every variant carries human-readable
@@ -260,7 +283,11 @@ fn verify_against_dense(tree: &FftTree, got: &[Complex]) -> Result<(), SearchErr
 }
 
 /// A cost oracle for candidate trees. Lower is better.
-pub trait Evaluator {
+///
+/// `Send` so evaluators can serve as [`EvaluatorPool`] workers; an
+/// evaluator is never *shared* between threads (each worker owns its
+/// own), so `Sync` is not required.
+pub trait Evaluator: Send {
     /// The cost of a candidate (seconds for measured evaluators,
     /// operation counts for model evaluators).
     ///
@@ -299,6 +326,7 @@ pub struct MeasuredEvaluator {
     /// Minimum total measurement time per candidate.
     pub min_time: Duration,
     verify: bool,
+    gate: MeasurementGate,
     cache: HashMap<String, f64>,
     tel: Telemetry,
 }
@@ -312,6 +340,7 @@ impl MeasuredEvaluator {
             unroll_threshold,
             min_time,
             verify: true,
+            gate: MeasurementGate::new(),
             cache: HashMap::new(),
             tel,
         }
@@ -320,6 +349,15 @@ impl MeasuredEvaluator {
     /// Enables or disables dense-reference verification.
     pub fn with_verify(mut self, verify: bool) -> Self {
         self.verify = verify;
+        self
+    }
+
+    /// Adopts a shared [`MeasurementGate`]. Compilation and
+    /// verification still run freely; only the timing section waits
+    /// for the gate, so concurrent workers never time two kernels at
+    /// once.
+    pub fn with_gate(mut self, gate: MeasurementGate) -> Self {
+        self.gate = gate;
         self
     }
 }
@@ -341,7 +379,10 @@ impl Evaluator for MeasuredEvaluator {
             verify_against_dense(tree, &spl_vm::convert::deinterleave(&y))?;
             self.tel.add("search.verifications", 1);
         }
-        let m = measure(&vm, self.min_time);
+        let m = {
+            let _token = self.gate.acquire();
+            measure(&vm, self.min_time)
+        };
         m.record(&mut self.tel, "timer");
         self.cache.insert(key, m.secs_per_call);
         Ok(m.secs_per_call)
@@ -370,6 +411,8 @@ pub struct NativeEvaluator {
     verify: bool,
     eval_timeout: Duration,
     build: BuildOptions,
+    gate: MeasurementGate,
+    kernel_cache: Option<Arc<KernelCache>>,
     cache: HashMap<String, f64>,
     tel: Telemetry,
 }
@@ -386,6 +429,8 @@ impl NativeEvaluator {
             verify: true,
             eval_timeout: Duration::from_secs(30),
             build: BuildOptions::default(),
+            gate: MeasurementGate::new(),
+            kernel_cache: None,
             cache: HashMap::new(),
             tel,
         }
@@ -408,6 +453,39 @@ impl NativeEvaluator {
         self.verify = verify;
         self
     }
+
+    /// Adopts a shared [`MeasurementGate`] (see
+    /// [`MeasuredEvaluator::with_gate`]): `cc`, loading, and
+    /// verification run freely; only `measure_sandboxed` waits.
+    pub fn with_gate(mut self, gate: MeasurementGate) -> Self {
+        self.gate = gate;
+        self
+    }
+
+    /// Routes kernel builds through a content-addressed
+    /// [`KernelCache`]: identical generated C under identical build
+    /// options reuses the previously built shared object instead of
+    /// invoking `cc` again. Share one cache (via `Arc`) across pool
+    /// workers so concurrent evaluators deduplicate builds too.
+    pub fn with_kernel_cache(mut self, cache: Arc<KernelCache>) -> Self {
+        self.kernel_cache = Some(cache);
+        self
+    }
+
+    /// Builds the candidate's kernel, through the kernel cache when one
+    /// is attached.
+    fn build_kernel(&mut self, tree: &FftTree) -> Result<spl_native::NativeKernel, SearchError> {
+        let Some(cache) = &self.kernel_cache else {
+            return compile_tree_native_with(tree, self.unroll_threshold, &self.build);
+        };
+        let unit = compile_unit_for_tree(tree, self.unroll_threshold)?;
+        let (kernel, outcome) = spl_native::NativeKernel::compile_cached(&unit, &self.build, cache)
+            .map_err(native_err)?;
+        if outcome != CacheOutcome::Miss {
+            self.tel.add("search.kernel_cache_hits", 1);
+        }
+        Ok(kernel)
+    }
 }
 
 impl Evaluator for NativeEvaluator {
@@ -417,7 +495,7 @@ impl Evaluator for NativeEvaluator {
             self.tel.add("search.eval_cache_hits", 1);
             return Ok(c);
         }
-        let kernel = compile_tree_native_with(tree, self.unroll_threshold, &self.build)?;
+        let kernel = self.build_kernel(tree)?;
         if self.verify && tree.size() <= VERIFY_MAX_SIZE {
             let x = verification_input(tree.size());
             let flat = spl_vm::convert::interleave(&x);
@@ -428,16 +506,24 @@ impl Evaluator for NativeEvaluator {
             verify_against_dense(tree, &spl_vm::convert::deinterleave(&y))?;
             self.tel.add("search.verifications", 1);
         }
-        let t = kernel
-            .measure_sandboxed(self.min_time, self.eval_timeout)
-            .map_err(native_err)?;
+        let t = {
+            let _token = self.gate.acquire();
+            kernel
+                .measure_sandboxed(self.min_time, self.eval_timeout)
+                .map_err(native_err)?
+        };
         self.tel.add("search.native_measurements", 1);
         self.cache.insert(key, t);
         Ok(t)
     }
 
     fn drain_telemetry(&mut self) -> Telemetry {
-        let tel = std::mem::take(&mut self.tel);
+        let mut tel = std::mem::take(&mut self.tel);
+        if let Some(cache) = &self.kernel_cache {
+            // The cache may be shared; take-semantics means each
+            // counter increment is reported by exactly one drainer.
+            tel.merge(&cache.drain_telemetry());
+        }
         describe_policy(&mut self.tel, self.min_time);
         tel
     }
@@ -467,13 +553,22 @@ pub fn compile_tree_native_with(
     unroll_threshold: usize,
     build: &BuildOptions,
 ) -> Result<spl_native::NativeKernel, SearchError> {
-    let unit = compile_sexp_for_search(
+    let unit = compile_unit_for_tree(tree, unroll_threshold)?;
+    spl_native::NativeKernel::compile_with(&unit, build).map_err(native_err)
+}
+
+/// The SPL-compiler half of a native build (everything before `cc`),
+/// shared by the direct and cache-mediated paths.
+fn compile_unit_for_tree(
+    tree: &FftTree,
+    unroll_threshold: usize,
+) -> Result<spl_compiler::CompiledUnit, SearchError> {
+    compile_sexp_for_search(
         &tree.to_sexp(),
         unroll_threshold,
         spl_frontend::ast::DataType::Complex,
     )
-    .map_err(|e| SearchError::CompileFailed(format!("compiling {}: {e}", tree.describe())))?;
-    spl_native::NativeKernel::compile_with(&unit, build).map_err(native_err)
+    .map_err(|e| SearchError::CompileFailed(format!("compiling {}: {e}", tree.describe())))
 }
 
 /// Deterministic model: compiles the candidate and counts the dynamic
@@ -539,19 +634,62 @@ pub fn small_search_traced(
     eval: &mut dyn Evaluator,
     tel: &mut Telemetry,
 ) -> Result<Vec<SizeResult>, SearchError> {
+    small_search_src(max_k, config, &mut SerialSource(eval), tel)
+}
+
+/// [`small_search_traced`] over an [`EvaluatorPool`]: each size's
+/// candidates are evaluated concurrently by the pool's workers and
+/// merged back in candidate order, so with a deterministic evaluator
+/// the winners are bit-identical to the serial search at any job count.
+///
+/// # Errors
+///
+/// As [`small_search_traced`].
+pub fn small_search_parallel(
+    max_k: u32,
+    config: &SearchConfig,
+    pool: &mut EvaluatorPool,
+    tel: &mut Telemetry,
+) -> Result<Vec<SizeResult>, SearchError> {
+    small_search_src(max_k, config, pool, tel)
+}
+
+/// The small-size DP over any [`CostSource`] (serial or pooled).
+pub(crate) fn small_search_src(
+    max_k: u32,
+    config: &SearchConfig,
+    src: &mut dyn CostSource,
+    tel: &mut Telemetry,
+) -> Result<Vec<SizeResult>, SearchError> {
     let sw = Stopwatch::start();
     let mut best: Vec<SizeResult> = Vec::new();
     for k in 1..=max_k {
-        let winner = small_step(k, config, eval, tel, &best)?;
+        let winner = small_step(k, config, src, tel, &best)?;
         best.push(winner);
     }
     tel.record_span("search.small", sw.elapsed());
-    tel.merge(&eval.drain_telemetry());
+    tel.merge(&src.drain());
     Ok(best)
 }
 
+/// The candidates of one small-size DP step: the naive leaf plus every
+/// Equation-10 split of previous winners, in the canonical order the
+/// winner selection depends on.
+fn small_candidates(k: u32, config: &SearchConfig, best: &[SizeResult]) -> Vec<FftTree> {
+    let mut candidates = vec![FftTree::leaf(1usize << k)];
+    for i in 1..k {
+        let left = best[i as usize - 1].tree.clone();
+        let right = best[(k - i) as usize - 1].tree.clone();
+        candidates.push(FftTree::node(config.rule, left, right));
+    }
+    candidates
+}
+
 /// One size of the small-size DP: evaluates the leaf and every split of
-/// previous winners, returning the cheapest survivor.
+/// previous winners, returning the cheapest survivor. Costs may be
+/// computed concurrently, but the winner is chosen by walking the
+/// results in candidate order (strict `<`, earliest wins ties) —
+/// exactly the serial semantics.
 ///
 /// # Errors
 ///
@@ -559,19 +697,15 @@ pub fn small_search_traced(
 fn small_step(
     k: u32,
     config: &SearchConfig,
-    eval: &mut dyn Evaluator,
+    src: &mut dyn CostSource,
     tel: &mut Telemetry,
     best: &[SizeResult],
 ) -> Result<SizeResult, SearchError> {
-    let mut candidates = vec![FftTree::leaf(1usize << k)];
-    for i in 1..k {
-        let left = best[i as usize - 1].tree.clone();
-        let right = best[(k - i) as usize - 1].tree.clone();
-        candidates.push(FftTree::node(config.rule, left, right));
-    }
+    let candidates = small_candidates(k, config, best);
+    let costs = src.batch_costs(&candidates);
     let mut winner: Option<SizeResult> = None;
-    for tree in candidates {
-        let cost = match eval.cost(&tree) {
+    for (tree, cost) in candidates.into_iter().zip(costs) {
+        let cost = match cost {
             Ok(c) => c,
             Err(e) => {
                 tel.add(&format!("search.skipped.{}", e.kind()), 1);
@@ -643,17 +777,48 @@ pub fn large_search_traced(
     eval: &mut dyn Evaluator,
     tel: &mut Telemetry,
 ) -> Result<Vec<Vec<Plan>>, SearchError> {
+    large_search_src(small, max_log, config, &mut SerialSource(eval), tel)
+}
+
+/// [`large_search_traced`] over an [`EvaluatorPool`] (see
+/// [`small_search_parallel`] for the determinism contract).
+///
+/// # Errors
+///
+/// As [`large_search_traced`].
+///
+/// # Panics
+///
+/// Panics if `small` does not cover sizes up to `config.leaf_max`.
+pub fn large_search_parallel(
+    small: &[SizeResult],
+    max_log: u32,
+    config: &SearchConfig,
+    pool: &mut EvaluatorPool,
+    tel: &mut Telemetry,
+) -> Result<Vec<Vec<Plan>>, SearchError> {
+    large_search_src(small, max_log, config, pool, tel)
+}
+
+/// The large-size k-best DP over any [`CostSource`].
+pub(crate) fn large_search_src(
+    small: &[SizeResult],
+    max_log: u32,
+    config: &SearchConfig,
+    src: &mut dyn CostSource,
+    tel: &mut Telemetry,
+) -> Result<Vec<Vec<Plan>>, SearchError> {
     let sw = Stopwatch::start();
     let small_max_k = small.len() as u32;
     let mut kbest = seed_kbest(small, config);
     let mut out = Vec::new();
     for k in (small_max_k + 1)..=max_log {
-        let plans = large_step(k, config, eval, tel, &kbest)?;
+        let plans = large_step(k, config, src, tel, &kbest)?;
         kbest.insert(k, plans.clone());
         out.push(plans);
     }
     tel.record_span("search.large", sw.elapsed());
-    tel.merge(&eval.drain_telemetry());
+    tel.merge(&src.drain());
     Ok(out)
 }
 
@@ -691,12 +856,12 @@ fn seed_kbest(small: &[SizeResult], config: &SearchConfig) -> HashMap<u32, Vec<P
 fn large_step(
     k: u32,
     config: &SearchConfig,
-    eval: &mut dyn Evaluator,
+    src: &mut dyn CostSource,
     tel: &mut Telemetry,
     kbest: &HashMap<u32, Vec<Plan>>,
 ) -> Result<Vec<Plan>, SearchError> {
     let n = 1usize << k;
-    let mut plans: Vec<Plan> = Vec::new();
+    let mut candidates: Vec<FftTree> = Vec::new();
     for (r, s) in rightmost_splits(n, config.leaf_max) {
         if !r.is_power_of_two() {
             continue;
@@ -711,18 +876,24 @@ fn large_step(
         };
         let left = left_plans[0].tree.clone();
         for right in right_plans {
-            let tree = FftTree::node(config.rule, left.clone(), right.tree.clone());
-            let cost = match eval.cost(&tree) {
-                Ok(c) => c,
-                Err(e) => {
-                    tel.add(&format!("search.skipped.{}", e.kind()), 1);
-                    continue;
-                }
-            };
-            tel.add("search.plans_evaluated", 1);
-            plans.push(Plan { tree, cost });
+            candidates.push(FftTree::node(config.rule, left.clone(), right.tree.clone()));
         }
     }
+    let costs = src.batch_costs(&candidates);
+    let mut plans: Vec<Plan> = Vec::new();
+    for (tree, cost) in candidates.into_iter().zip(costs) {
+        let cost = match cost {
+            Ok(c) => c,
+            Err(e) => {
+                tel.add(&format!("search.skipped.{}", e.kind()), 1);
+                continue;
+            }
+        };
+        tel.add("search.plans_evaluated", 1);
+        plans.push(Plan { tree, cost });
+    }
+    // Stable sort over a stable candidate order: equal costs keep their
+    // serial relative order, so the truncation below is deterministic.
     plans.sort_by(|a, b| a.cost.total_cmp(&b.cost));
     plans.truncate(config.keep);
     if plans.is_empty() {
@@ -944,6 +1115,27 @@ mod tests {
         // Cache hit returns the identical value.
         let c2 = eval.cost(&t).unwrap();
         assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn shared_kernel_cache_deduplicates_cc_invocations() {
+        // Two evaluators (as two pool workers would be) sharing one
+        // content-addressed cache: the second build of the same tree is
+        // a memory hit, not a second `cc` run.
+        let cache = Arc::new(KernelCache::in_memory());
+        let t = FftTree::node(Rule::CooleyTukey, FftTree::leaf(2), FftTree::leaf(2));
+        let mut a = NativeEvaluator::new(64, Duration::from_millis(2))
+            .with_kernel_cache(Arc::clone(&cache));
+        let mut b = NativeEvaluator::new(64, Duration::from_millis(2))
+            .with_kernel_cache(Arc::clone(&cache));
+        let ca = a.cost(&t).unwrap();
+        let cb = b.cost(&t).unwrap();
+        assert!(ca > 0.0 && cb > 0.0);
+        let mut tel = a.drain_telemetry();
+        tel.merge(&b.drain_telemetry());
+        assert_eq!(tel.counter("native.cc_invocations"), Some(1));
+        assert_eq!(tel.counter("native.cache.memory_hits"), Some(1));
+        assert_eq!(tel.counter("search.kernel_cache_hits"), Some(1));
     }
 
     #[test]

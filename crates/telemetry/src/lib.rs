@@ -186,6 +186,19 @@ impl Telemetry {
         &self.counters
     }
 
+    /// The counters whose name starts with `prefix`, in
+    /// first-recording order — e.g. `counters_with_prefix("native.cache.")`
+    /// to pull one subsystem's counters out of a merged run.
+    pub fn counters_with_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a str, u64)> + 'a {
+        self.counters
+            .iter()
+            .filter(move |c| c.name.starts_with(prefix))
+            .map(|c| (c.name.as_str(), c.value))
+    }
+
     /// All metrics, in first-recording order.
     pub fn metrics(&self) -> &[(String, f64)] {
         &self.metrics
@@ -391,6 +404,24 @@ impl Stopwatch {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn counters_with_prefix_selects_one_subsystem() {
+        let mut tel = Telemetry::new();
+        tel.add("native.cache.memory_hits", 3);
+        tel.add("search.plans_evaluated", 10);
+        tel.add("native.cache.disk_hits", 1);
+        tel.add("native.cc_invocations", 4);
+        let cache: Vec<_> = tel.counters_with_prefix("native.cache.").collect();
+        assert_eq!(
+            cache,
+            vec![
+                ("native.cache.memory_hits", 3),
+                ("native.cache.disk_hits", 1)
+            ]
+        );
+        assert_eq!(tel.counters_with_prefix("nope.").count(), 0);
+    }
 
     #[test]
     fn spans_accumulate_by_name() {

@@ -74,26 +74,33 @@ pub fn measure_capped(prog: &VmProgram, min_time: Duration, max_reps: u64) -> Me
     // One untimed warm-up call so cold caches, lazy page faults, and
     // table initialization don't bias the first timed repetition.
     prog.run(&x, &mut y, &mut st);
-    let mut reps: u64 = 0;
-    let secs_per_call = spl_numeric::metrics::time_adaptive_capped(min_time, max_reps, || {
+    // The calibration call inside the counted timer also runs the
+    // program but is not part of the average; `run.reps` is exactly the
+    // timed-loop count, so the reported reps agrees with the divisor of
+    // `secs_per_call`. The calibration call is a second warm-up.
+    let run = spl_numeric::metrics::time_adaptive_counted(min_time, max_reps, || {
         prog.run(&x, &mut y, &mut st);
-        reps += 1;
     });
     Measurement {
-        secs_per_call,
-        reps,
-        warmup_reps: 1,
+        secs_per_call: run.secs_per_call,
+        reps: run.reps,
+        warmup_reps: 1 + run.untimed_calls,
     }
 }
 
 /// Times a program with a fixed repetition count (used by tests and by
 /// the search when a cheap, deterministic-cost estimate is enough).
+///
+/// Like the adaptive path, one untimed warm-up call runs first so a
+/// cold first call (page faults, table initialization) does not bias
+/// short fixed-rep estimates.
 pub fn measure_with_reps(prog: &VmProgram, reps: u64) -> Measurement {
     let x: Vec<f64> = (0..prog.n_in)
         .map(|i| ((i as f64) * 0.7311).sin())
         .collect();
     let mut y = vec![0.0f64; prog.n_out];
     let mut st = VmState::new(prog);
+    prog.run(&x, &mut y, &mut st);
     let start = Instant::now();
     for _ in 0..reps.max(1) {
         prog.run(&x, &mut y, &mut st);
@@ -102,7 +109,7 @@ pub fn measure_with_reps(prog: &VmProgram, reps: u64) -> Measurement {
     Measurement {
         secs_per_call: total.as_secs_f64() / reps.max(1) as f64,
         reps: reps.max(1),
-        warmup_reps: 0,
+        warmup_reps: 1,
     }
 }
 
@@ -148,9 +155,23 @@ mod tests {
         let p = vm("(F 2)");
         let start = std::time::Instant::now();
         let m = measure_capped(&p, Duration::from_secs(3600), 64);
-        assert!(m.reps >= 1 && m.reps <= 65, "reps {}", m.reps);
+        assert!(m.reps >= 1 && m.reps <= 64, "reps {}", m.reps);
         assert!(start.elapsed() < Duration::from_secs(10));
         assert!(m.secs_per_call > 0.0);
+    }
+
+    #[test]
+    fn reported_reps_match_the_timed_loop_exactly() {
+        // Regression: the calibration call used to leak into `reps`,
+        // so a capped measurement reported cap + 1 repetitions while
+        // `secs_per_call` was averaged over only `cap`. With an
+        // hour-long floor the adaptive count pins the cap exactly, so
+        // any calibration leak shows up as an off-by-one here.
+        let p = vm("(F 2)");
+        for cap in [1u64, 7, 64] {
+            let m = measure_capped(&p, Duration::from_secs(3600), cap);
+            assert_eq!(m.reps, cap, "calibration call leaked into reps");
+        }
     }
 
     #[test]
@@ -165,21 +186,42 @@ mod tests {
         let p = vm("(F 4)");
         let m = measure_with_reps(&p, 100);
         assert_eq!(m.reps, 100);
-        assert_eq!(m.warmup_reps, 0);
+        assert_eq!(m.warmup_reps, 1);
         assert!(m.secs_per_call > 0.0);
+    }
+
+    #[test]
+    fn fixed_and_adaptive_paths_agree_on_a_tiny_program() {
+        // Regression: the fixed-rep path used to time a cold first call
+        // while the adaptive path warmed up, biasing short fixed-rep
+        // estimates by orders of magnitude (a cold (F 2) call pays page
+        // faults and lazy init). Warmed up, the two estimates land in
+        // the same ballpark; the tolerance is deliberately loose so the
+        // test checks the warm-up, not the scheduler's mood.
+        let p = vm("(F 2)");
+        let adaptive = measure(&p, Duration::from_millis(20));
+        let fixed = measure_with_reps(&p, adaptive.reps.clamp(100, 100_000));
+        let ratio = fixed.secs_per_call / adaptive.secs_per_call;
+        assert!(
+            (0.02..=50.0).contains(&ratio),
+            "fixed {} vs adaptive {} (ratio {ratio})",
+            fixed.secs_per_call,
+            adaptive.secs_per_call
+        );
     }
 
     #[test]
     fn measure_warms_up_and_records_telemetry() {
         let p = vm("(F 4)");
         let m = measure(&p, Duration::from_millis(2));
-        assert_eq!(m.warmup_reps, 1);
+        // One explicit warm-up call plus the untimed calibration call.
+        assert_eq!(m.warmup_reps, 2);
         let mut tel = Telemetry::new();
         describe_policy(&mut tel, Duration::from_millis(2));
         m.record(&mut tel, "timer");
         m.record(&mut tel, "timer");
         assert_eq!(tel.counter("timer.reps"), Some(2 * m.reps));
-        assert_eq!(tel.counter("timer.warmup_reps"), Some(2));
+        assert_eq!(tel.counter("timer.warmup_reps"), Some(4));
         assert!(tel.metric("timer.secs_per_call").unwrap() > 0.0);
         assert_eq!(tel.metric("timer.min_time_secs"), Some(0.002));
         assert!(tel

@@ -8,15 +8,26 @@
 //! size to a crash-safe journal and resumes from it after a kill; with
 //! `--faulty` it injects deterministic faults to exercise the
 //! degradation path end-to-end.
+//!
+//! Candidate evaluation is parallel (`--jobs`, defaulting to the
+//! machine's parallelism): compilation, `cc`, and verification fan out
+//! over a worker pool while wall-clock timing stays serialized behind a
+//! single measurement token, and results merge deterministically — the
+//! winners are bit-identical to `--jobs 1` under any deterministic
+//! evaluator. Native kernel builds go through a content-addressed
+//! cache (in-memory by default; `--kernel-cache <dir>` persists it
+//! across runs) so identical generated C is compiled at most once.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
+use spl::native::KernelCache;
 use spl::search::{
-    large_search_journaled, large_search_traced, small_search_journaled, small_search_traced,
-    Evaluator, FaultyEvaluator, MeasuredEvaluator, NativeEvaluator, OpCountEvaluator,
-    ResilientEvaluator, SearchConfig, SizeResult,
+    large_search_journaled_parallel, large_search_parallel, small_search_journaled_parallel,
+    small_search_parallel, Evaluator, EvaluatorPool, FaultyEvaluator, MeasuredEvaluator,
+    NativeEvaluator, OpCountEvaluator, ResilientEvaluator, SearchConfig, SizeResult, WorkerContext,
 };
 use spl::telemetry::{RunReport, Telemetry};
 
@@ -32,6 +43,16 @@ usage: splsearch [options]
                      cost evaluator (default resilient: native timing,
                      degrading per candidate to VM timing, then to the
                      operation-count model)
+  --jobs <n>         parallel evaluation workers (default: the machine's
+                     available parallelism); timing is always serialized
+                     behind a single measurement token, and winners are
+                     bit-identical to --jobs 1 under deterministic
+                     evaluators
+  --kernel-cache <dir>
+                     persist the content-addressed compiled-kernel cache
+                     to <dir>, so a rerun reuses every shared object
+                     whose generated C, build options, and cc version
+                     are unchanged (default: in-memory only)
   --min-time <ms>    measurement budget per candidate (default 10)
   --eval-timeout <s> sandbox timeout per candidate kernel (default 30)
   --no-verify        skip dense-reference verification of candidates
@@ -40,7 +61,8 @@ usage: splsearch [options]
                      records go to <file>.large)
   --faulty <seed>    inject deterministic faults at the primary
                      evaluation tier, degrading failed candidates to the
-                     operation-count model
+                     operation-count model (faults are keyed per
+                     candidate, so the pattern is identical at any --jobs)
   --fault-rate <p>   total injected-fault probability (default 0.1)
   --wisdom-out <file>
                      also write the winners as wisdom text to <file>
@@ -56,6 +78,8 @@ fn fail(msg: &str) -> ExitCode {
 }
 
 /// The human-readable `--stats` table (same shape as `splc --stats`).
+/// Kernel-cache and cc counters get their own section so warm-cache
+/// runs are easy to eyeball (and grep in CI).
 fn render_stats(tel: &Telemetry) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
@@ -72,9 +96,20 @@ fn render_stats(tel: &Telemetry) -> String {
             );
         }
     }
-    if !tel.counters().is_empty() {
+    if tel.counters_with_prefix("native.").next().is_some() {
+        let _ = writeln!(out, "kernel cache:");
+        for (name, value) in tel.counters_with_prefix("native.") {
+            let _ = writeln!(out, "  {name:<36} {value:>12}");
+        }
+    }
+    let search_counters: Vec<_> = tel
+        .counters()
+        .iter()
+        .filter(|c| !c.name.starts_with("native."))
+        .collect();
+    if !search_counters.is_empty() {
         let _ = writeln!(out, "search counters:");
-        for c in tel.counters() {
+        for c in search_counters {
             let _ = writeln!(out, "  {:<36} {:>12}", c.name, c.value);
         }
     }
@@ -91,6 +126,8 @@ struct Options {
     max_log: u32,
     config: SearchConfig,
     eval: String,
+    jobs: Option<usize>,
+    kernel_cache: Option<PathBuf>,
     min_time: Duration,
     eval_timeout: Duration,
     verify: bool,
@@ -108,6 +145,8 @@ impl Default for Options {
             max_log: 6,
             config: SearchConfig::default(),
             eval: "resilient".to_string(),
+            jobs: None,
+            kernel_cache: None,
             min_time: Duration::from_millis(10),
             eval_timeout: Duration::from_secs(30),
             verify: true,
@@ -146,6 +185,14 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                 Some(e @ ("resilient" | "native" | "vm" | "opcount")) => opts.eval = e.to_string(),
                 _ => return Err("--eval requires resilient, native, vm, or opcount".into()),
             },
+            "--jobs" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if (1..=256).contains(&n) => opts.jobs = Some(n),
+                _ => return Err("--jobs requires an integer in 1..=256".into()),
+            },
+            "--kernel-cache" => match it.next() {
+                Some(dir) => opts.kernel_cache = Some(PathBuf::from(dir)),
+                None => return Err("--kernel-cache requires a directory path".into()),
+            },
             "--min-time" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(ms) => opts.min_time = Duration::from_millis(ms),
                 None => return Err("--min-time requires milliseconds".into()),
@@ -183,37 +230,35 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     Ok(Some(opts))
 }
 
-/// Builds the evaluation chain the flags describe. Everything is boxed
-/// so fault injection can wrap any chain uniformly.
-fn build_evaluator(opts: &Options) -> Box<dyn Evaluator> {
+/// Builds one worker's evaluation chain. Measured evaluators adopt the
+/// worker's measurement gate so at most one kernel is ever being timed
+/// across the pool; native evaluators share the pool-wide kernel cache
+/// so identical generated C is compiled once.
+fn build_evaluator(
+    opts: &Options,
+    ctx: &WorkerContext,
+    cache: &Arc<KernelCache>,
+) -> Box<dyn Evaluator> {
+    let native = || {
+        NativeEvaluator::new(opts.config.unroll_threshold, opts.min_time)
+            .with_timeout(opts.eval_timeout)
+            .with_verify(opts.verify)
+            .with_gate(ctx.gate.clone())
+            .with_kernel_cache(Arc::clone(cache))
+    };
+    let vm = || {
+        MeasuredEvaluator::new(opts.config.unroll_threshold, opts.min_time)
+            .with_verify(opts.verify)
+            .with_gate(ctx.gate.clone())
+    };
     let base: Box<dyn Evaluator> = match opts.eval.as_str() {
-        "native" => Box::new(
-            NativeEvaluator::new(opts.config.unroll_threshold, opts.min_time)
-                .with_timeout(opts.eval_timeout)
-                .with_verify(opts.verify),
-        ),
-        "vm" => Box::new(
-            MeasuredEvaluator::new(opts.config.unroll_threshold, opts.min_time)
-                .with_verify(opts.verify),
-        ),
+        "native" => Box::new(native()),
+        "vm" => Box::new(vm()),
         "opcount" => Box::new(OpCountEvaluator::default()),
         _ => Box::new(
             ResilientEvaluator::new()
-                .tier(
-                    "native",
-                    Box::new(
-                        NativeEvaluator::new(opts.config.unroll_threshold, opts.min_time)
-                            .with_timeout(opts.eval_timeout)
-                            .with_verify(opts.verify),
-                    ),
-                )
-                .tier(
-                    "vm",
-                    Box::new(
-                        MeasuredEvaluator::new(opts.config.unroll_threshold, opts.min_time)
-                            .with_verify(opts.verify),
-                    ),
-                )
+                .tier("native", Box::new(native()))
+                .tier("vm", Box::new(vm()))
                 .tier("opcount", Box::new(OpCountEvaluator::default())),
         ),
     };
@@ -221,11 +266,13 @@ fn build_evaluator(opts: &Options) -> Box<dyn Evaluator> {
         // Faults are injected at the primary tier with the op-count
         // model as the fallback, so `--faulty` exercises the full
         // degradation path rather than merely skipping candidates.
+        // Keyed injection draws per candidate, not per call, so the
+        // fault pattern is identical at any worker count.
         Some(seed) => Box::new(
             ResilientEvaluator::new()
                 .tier(
                     "faulty",
-                    Box::new(FaultyEvaluator::new(base, seed, opts.fault_rate)),
+                    Box::new(FaultyEvaluator::keyed(base, seed, opts.fault_rate)),
                 )
                 .tier("opcount", Box::new(OpCountEvaluator::default())),
         ),
@@ -244,13 +291,29 @@ fn main() -> ExitCode {
         Err(msg) => return fail(&msg),
     };
 
+    let jobs = opts.jobs.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    });
+    let cache = match &opts.kernel_cache {
+        Some(dir) => match KernelCache::with_dir(dir) {
+            Ok(c) => Arc::new(c),
+            Err(e) => return fail(&format!("opening kernel cache {}: {e}", dir.display())),
+        },
+        None => Arc::new(KernelCache::in_memory()),
+    };
+
     let small_max_k = opts.config.leaf_max.trailing_zeros().min(opts.max_log);
-    let mut eval = build_evaluator(&opts);
+    let mut pool = EvaluatorPool::new(jobs, |ctx| build_evaluator(&opts, ctx, &cache));
     let mut tel = Telemetry::new();
+    tel.set("search.jobs", jobs as u64);
 
     let small = match &opts.journal {
-        Some(path) => small_search_journaled(small_max_k, &opts.config, &mut eval, &mut tel, path),
-        None => small_search_traced(small_max_k, &opts.config, &mut eval, &mut tel),
+        Some(path) => {
+            small_search_journaled_parallel(small_max_k, &opts.config, &mut pool, &mut tel, path)
+        }
+        None => small_search_parallel(small_max_k, &opts.config, &mut pool, &mut tel),
     };
     let small = match small {
         Ok(s) => s,
@@ -264,16 +327,16 @@ fn main() -> ExitCode {
                     Some(ext) => format!("{}.large", ext.to_string_lossy()),
                     None => "large".to_string(),
                 });
-                large_search_journaled(
+                large_search_journaled_parallel(
                     &small,
                     opts.max_log,
                     &opts.config,
-                    &mut eval,
+                    &mut pool,
                     &mut tel,
                     &large_path,
                 )
             }
-            None => large_search_traced(&small, opts.max_log, &opts.config, &mut eval, &mut tel),
+            None => large_search_parallel(&small, opts.max_log, &opts.config, &mut pool, &mut tel),
         };
         match result {
             Ok(l) => l,
@@ -282,6 +345,10 @@ fn main() -> ExitCode {
     } else {
         Vec::new()
     };
+
+    // Cache activity not yet drained through any evaluator (take
+    // semantics make this the remainder) still belongs in the report.
+    tel.merge(&cache.drain_telemetry());
 
     // One winner per size, small sizes first, as wisdom text.
     let mut winners: Vec<SizeResult> = small;
@@ -312,7 +379,11 @@ fn main() -> ExitCode {
         let mut report = RunReport::new("splsearch");
         report.meta("max_log", &opts.max_log.to_string());
         report.meta("eval", &opts.eval);
+        report.meta("jobs", &jobs.to_string());
         report.meta("verify", if opts.verify { "on" } else { "off" });
+        if let Some(dir) = &opts.kernel_cache {
+            report.meta("kernel_cache", &dir.display().to_string());
+        }
         if let Some(seed) = opts.faulty {
             report.meta("faulty_seed", &seed.to_string());
             report.meta("fault_rate", &opts.fault_rate.to_string());
