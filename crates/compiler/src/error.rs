@@ -25,6 +25,10 @@ pub enum CompileError {
     /// Unlike [`CompileError::Internal`], this is reported per unit so a
     /// search can skip the offending candidate and continue.
     MalformedIcode(String),
+    /// A configured resource limit was exceeded (e.g. the unrolled-code
+    /// size cap): the formula is too large for the current
+    /// [`Limits`](crate::Limits), not malformed.
+    ResourceLimit(String),
     /// An internal invariant violation (a phase produced invalid i-code).
     Internal(String),
 }
@@ -37,6 +41,7 @@ impl fmt::Display for CompileError {
             CompileError::Intrinsic(e) => write!(f, "{e}"),
             CompileError::TypeTrans(e) => write!(f, "{e}"),
             CompileError::MalformedIcode(e) => write!(f, "malformed i-code: {e}"),
+            CompileError::ResourceLimit(e) => write!(f, "resource limit exceeded: {e}"),
             CompileError::Internal(e) => write!(f, "internal compiler error: {e}"),
         }
     }
@@ -49,7 +54,9 @@ impl Error for CompileError {
             CompileError::Expand(e) => Some(e),
             CompileError::Intrinsic(e) => Some(e),
             CompileError::TypeTrans(e) => Some(e),
-            CompileError::MalformedIcode(_) | CompileError::Internal(_) => None,
+            CompileError::MalformedIcode(_)
+            | CompileError::ResourceLimit(_)
+            | CompileError::Internal(_) => None,
         }
     }
 }
@@ -86,8 +93,10 @@ mod tests {
     fn display_variants() {
         let e = CompileError::Internal("boom".into());
         assert_eq!(e.to_string(), "internal compiler error: boom");
-        let e: CompileError = ExpandError("no template".into()).into();
+        let e: CompileError = ExpandError::NoMatch("no template".into()).into();
         assert!(e.to_string().contains("no template"));
+        let e = CompileError::ResourceLimit("too many ops".into());
+        assert_eq!(e.to_string(), "resource limit exceeded: too many ops");
     }
 
     #[test]

@@ -44,7 +44,6 @@ pub mod typetrans;
 pub mod unroll;
 
 use spl_frontend::ast::{DataType, DirectiveState, Item, Language, Unroll};
-use spl_frontend::parse_program;
 use spl_frontend::sexp::Sexp;
 use spl_icode::IProgram;
 use spl_telemetry::{Stopwatch, Telemetry};
@@ -66,6 +65,42 @@ pub enum OptLevel {
     Default,
 }
 
+/// Resource limits for one compilation.
+///
+/// Degenerate (typically machine-generated) formulas can otherwise
+/// stack-overflow the parser or expander, or exhaust memory during
+/// unrolling. Every limit converts the abort into a typed error:
+/// [`ParseErrorKind::LimitExceeded`](spl_frontend::ParseErrorKind),
+/// [`ExpandError::LimitExceeded`](spl_templates::ExpandError), or
+/// [`CompileError::ResourceLimit`].
+#[derive(Debug, Clone)]
+pub struct Limits {
+    /// Formula nesting depth accepted by the parser
+    /// (`splc --max-depth`).
+    pub max_depth: usize,
+    /// Template-expansion recursion depth cap.
+    pub max_expand_depth: usize,
+    /// Cap on i-code instructions emitted by expansion.
+    pub max_expand_steps: usize,
+    /// Cap on i-code instructions produced by loop unrolling
+    /// (`splc --max-unrolled-ops`).
+    pub max_unrolled_ops: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_depth: spl_frontend::DEFAULT_MAX_DEPTH,
+            max_expand_depth: spl_templates::DEFAULT_EXPAND_DEPTH,
+            max_expand_steps: spl_templates::DEFAULT_EXPAND_STEPS,
+            max_unrolled_ops: DEFAULT_MAX_UNROLLED_OPS,
+        }
+    }
+}
+
+/// Default cap on unrolled i-code size (instructions).
+pub const DEFAULT_MAX_UNROLLED_OPS: usize = 4_000_000;
+
 /// Compiler-wide options (the command line of the paper's compiler).
 #[derive(Debug, Clone, Default)]
 pub struct CompilerOptions {
@@ -85,6 +120,8 @@ pub struct CompilerOptions {
     pub vectorize: Option<usize>,
     /// Override the program's `#language` directives.
     pub language_override: Option<Language>,
+    /// Resource limits (parser depth, expansion budget, unrolled size).
+    pub limits: Limits,
 }
 
 /// A compiled formula: the final i-code plus everything needed to print
@@ -199,7 +236,7 @@ impl Compiler {
     /// Returns the first parse, expansion, or lowering error.
     pub fn compile_source(&mut self, src: &str) -> Result<Vec<CompiledUnit>, CompileError> {
         let sw = Stopwatch::start();
-        let program = parse_program(src)?;
+        let program = spl_frontend::parse_program_with_depth(src, self.opts.limits.max_depth)?;
         self.telemetry.record_span("parse", sw.elapsed());
         let mut units = Vec::new();
         for item in program.items {
@@ -253,13 +290,16 @@ impl Compiler {
             unroll: directives.unroll == Unroll::On,
             unroll_threshold: self.opts.unroll_threshold,
             defines: self.defines.clone(),
+            max_depth: self.opts.limits.max_expand_depth,
+            max_steps: self.opts.limits.max_expand_steps,
         };
         let sw = Stopwatch::start();
         let mut prog = expand_formula(&sexp, &self.table, &expand_opts)?;
         self.telemetry.record_span("expand", sw.elapsed());
         // Phase 3: restructuring.
         let sw = Stopwatch::start();
-        let (unrolled, ustats) = unroll::unroll_with_stats(&prog)?;
+        let (unrolled, ustats) =
+            unroll::unroll_with_stats_capped(&prog, self.opts.limits.max_unrolled_ops)?;
         prog = unrolled;
         self.telemetry.record_span("unroll", sw.elapsed());
         self.telemetry
@@ -358,7 +398,7 @@ impl Compiler {
     /// Returns parse, expansion, or lowering errors.
     pub fn compile_formula_str(&mut self, src: &str) -> Result<CompiledUnit, CompileError> {
         let sw = Stopwatch::start();
-        let sexp = spl_frontend::parser::parse_formula(src)?;
+        let sexp = spl_frontend::parse_formula_with_depth(src, self.opts.limits.max_depth)?;
         self.telemetry.record_span("parse", sw.elapsed());
         let directives = DirectiveState {
             datatype: DataType::Complex,

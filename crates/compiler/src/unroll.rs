@@ -42,10 +42,29 @@ pub fn unroll(prog: &IProgram) -> Result<IProgram, CompileError> {
 
 /// [`unroll`], also counting how many loops were eliminated.
 pub fn unroll_with_stats(prog: &IProgram) -> Result<(IProgram, UnrollStats), CompileError> {
+    unroll_with_stats_capped(prog, usize::MAX)
+}
+
+/// [`unroll_with_stats`] with a cap on the unrolled instruction count.
+///
+/// Replicating loop bodies multiplies code size, so a degenerate formula
+/// (huge trip counts under `#unroll on` or a large `-B` threshold) can
+/// exhaust memory. The cap stops replication as soon as any block
+/// exceeds `max_ops` instructions and fails with
+/// [`CompileError::ResourceLimit`] instead.
+pub fn unroll_with_stats_capped(
+    prog: &IProgram,
+    max_ops: usize,
+) -> Result<(IProgram, UnrollStats), CompileError> {
     let mut out = prog.clone();
     let mut n_loop = prog.n_loop;
     let mut stats = UnrollStats::default();
-    out.instrs = unroll_block(&prog.instrs, &mut n_loop, &mut stats.loops_fully_unrolled)?;
+    out.instrs = unroll_block(
+        &prog.instrs,
+        &mut n_loop,
+        &mut stats.loops_fully_unrolled,
+        max_ops,
+    )?;
     out.n_loop = n_loop;
     Ok((out, stats))
 }
@@ -66,6 +85,7 @@ fn unroll_block(
     instrs: &[Instr],
     n_loop: &mut u32,
     unrolled: &mut u64,
+    max_ops: usize,
 ) -> Result<Vec<Instr>, CompileError> {
     let mut out = Vec::with_capacity(instrs.len());
     let mut pc = 0;
@@ -78,10 +98,16 @@ fn unroll_block(
                 unroll: flag,
             } => {
                 let end = matching_end(instrs, pc)?;
-                let body = unroll_block(&instrs[pc + 1..end], n_loop, unrolled)?;
+                let body = unroll_block(&instrs[pc + 1..end], n_loop, unrolled, max_ops)?;
                 if *flag {
                     *unrolled += 1;
                     for v in *lo..=*hi {
+                        if out.len() > max_ops {
+                            return Err(CompileError::ResourceLimit(format!(
+                                "unrolled code exceeds {max_ops} instructions \
+                                 (use --max-unrolled-ops to raise)"
+                            )));
+                        }
                         // Inner loops that were kept need fresh variable
                         // ids in every replica (ids are program-unique).
                         let replica = refresh_loop_vars(&body, n_loop);

@@ -96,8 +96,11 @@ impl DenseMatrix {
 ///
 /// # Errors
 ///
-/// Returns an error for shape-inconsistent compositions.
+/// Returns an error for shape-inconsistent compositions, or
+/// [`FormulaError::SizeOverflow`] when any (sub)matrix's element count
+/// would exceed `usize::MAX`.
 pub fn to_dense(f: &Formula) -> Result<DenseMatrix, FormulaError> {
+    f.checked_dims()?;
     f.check_shapes()?;
     Ok(dense_unchecked(f))
 }
@@ -234,8 +237,11 @@ fn kronecker(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
 ///
 /// # Errors
 ///
-/// Returns an error if shapes are inconsistent or `x.len() != f.cols()`.
+/// Returns an error if shapes are inconsistent, `x.len() != f.cols()`,
+/// or the formula's dimensions overflow `usize`
+/// ([`FormulaError::SizeOverflow`]).
 pub fn apply(f: &Formula, x: &[Complex]) -> Result<Vec<Complex>, FormulaError> {
+    f.checked_dims()?;
     f.check_shapes()?;
     if x.len() != f.cols() {
         return Err(FormulaError::ShapeMismatch(format!(
@@ -505,6 +511,44 @@ mod tests {
     #[test]
     fn apply_rejects_wrong_length() {
         assert!(apply(&Formula::f(4), &cvec(&[1.0])).is_err());
+    }
+
+    #[test]
+    fn oversized_tensor_is_a_typed_overflow_error() {
+        // (I 2^40) ⊗ (I 2^40) has 2^80 rows: rows() would wrap, so the
+        // oracle must refuse with SizeOverflow before any arithmetic.
+        let huge = Formula::tensor(vec![Formula::identity(1 << 40), Formula::identity(1 << 40)]);
+        assert!(matches!(
+            to_dense(&huge),
+            Err(FormulaError::SizeOverflow(_))
+        ));
+        assert!(matches!(
+            apply(&huge, &[]),
+            Err(FormulaError::SizeOverflow(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_element_count_is_rejected() {
+        // 2^33 x 2^33 identity: rows and cols each fit in usize but the
+        // dense element count does not.
+        let f = Formula::identity(1 << 33);
+        assert!(matches!(to_dense(&f), Err(FormulaError::SizeOverflow(_))));
+        // Composition intermediates are guarded too: a (2^33 x 1) times
+        // (1 x 2^33) chain would materialize 2^66 elements.
+        let tall = Formula::tensor(vec![Formula::matrix(2, 1, cvec(&[1.0, 1.0])).unwrap(); 33]);
+        let wide = Formula::tensor(vec![Formula::matrix(1, 2, cvec(&[1.0, 1.0])).unwrap(); 33]);
+        let outer = Formula::compose(vec![tall, wide]);
+        assert!(matches!(
+            to_dense(&outer),
+            Err(FormulaError::SizeOverflow(_))
+        ));
+    }
+
+    #[test]
+    fn checked_dims_matches_unchecked_on_normal_formulas() {
+        let f = f4_ct();
+        assert_eq!(f.checked_dims().unwrap(), (f.rows(), f.cols()));
     }
 
     #[test]

@@ -71,6 +71,11 @@ pub enum FormulaError {
     BadSyntax(String),
     /// A symbol with no `define` binding.
     UndefinedSymbol(String),
+    /// A formula whose dimensions (or dense element count) exceed
+    /// `usize::MAX` — e.g. a tensor power of large identities. The
+    /// unchecked [`Formula::rows`] / [`Formula::cols`] would wrap (or
+    /// panic in debug builds) on such formulas.
+    SizeOverflow(String),
 }
 
 impl fmt::Display for FormulaError {
@@ -80,6 +85,7 @@ impl fmt::Display for FormulaError {
             FormulaError::ShapeMismatch(s) => write!(f, "shape mismatch: {s}"),
             FormulaError::BadSyntax(s) => write!(f, "bad formula syntax: {s}"),
             FormulaError::UndefinedSymbol(s) => write!(f, "undefined symbol: {s}"),
+            FormulaError::SizeOverflow(s) => write!(f, "size overflow: {s}"),
         }
     }
 }
@@ -252,6 +258,69 @@ impl Formula {
                 parts.iter().try_for_each(Formula::check_shapes)
             }
             _ => Ok(()),
+        }
+    }
+
+    /// The shape `(rows, cols)` computed with overflow-checked
+    /// arithmetic, also verifying that every subtree's dense element
+    /// count (`rows * cols`) and every intermediate product shape in a
+    /// composition fit in `usize`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormulaError::SizeOverflow`] when any of those
+    /// quantities would exceed `usize::MAX`.
+    pub fn checked_dims(&self) -> Result<(usize, usize), FormulaError> {
+        let elems = |r: usize, c: usize, what: &str| {
+            r.checked_mul(c)
+                .map(|_| (r, c))
+                .ok_or_else(|| FormulaError::SizeOverflow(format!("{what} element count")))
+        };
+        match self {
+            Formula::Identity(n) | Formula::F(n) | Formula::J(n) => elems(*n, *n, "leaf"),
+            Formula::Stride { n, .. } | Formula::Twiddle { n, .. } => elems(*n, *n, "leaf"),
+            Formula::Diagonal(d) => elems(d.len(), d.len(), "diagonal"),
+            Formula::Permutation(p) => elems(p.len(), p.len(), "permutation"),
+            Formula::Matrix { rows, cols, .. } => elems(*rows, *cols, "matrix"),
+            Formula::Compose(parts) => {
+                let dims = parts
+                    .iter()
+                    .map(Formula::checked_dims)
+                    .collect::<Result<Vec<_>, _>>()?;
+                let rows = dims.first().map_or(0, |d| d.0);
+                let cols = dims.last().map_or(0, |d| d.1);
+                // Every intermediate product in the chain is rows x c_k.
+                for (_, c) in &dims {
+                    elems(rows, *c, "composition intermediate")?;
+                }
+                Ok((rows, cols))
+            }
+            Formula::Tensor(parts) => {
+                let (mut rows, mut cols) = (1usize, 1usize);
+                for p in parts {
+                    let (r, c) = p.checked_dims()?;
+                    rows = rows
+                        .checked_mul(r)
+                        .ok_or_else(|| FormulaError::SizeOverflow("tensor rows".into()))?;
+                    cols = cols
+                        .checked_mul(c)
+                        .ok_or_else(|| FormulaError::SizeOverflow("tensor cols".into()))?;
+                }
+                elems(rows, cols, "tensor")
+            }
+            Formula::DirectSum(parts) => {
+                let (mut rows, mut cols) = (0usize, 0usize);
+                for p in parts {
+                    let (r, c) = p.checked_dims()?;
+                    rows = rows
+                        .checked_add(r)
+                        .ok_or_else(|| FormulaError::SizeOverflow("direct-sum rows".into()))?;
+                    cols = cols
+                        .checked_add(c)
+                        .ok_or_else(|| FormulaError::SizeOverflow("direct-sum cols".into()))?;
+                }
+                elems(rows, cols, "direct-sum")
+            }
         }
     }
 

@@ -18,6 +18,8 @@ pub enum ParseErrorKind {
     UnexpectedEof,
     /// A malformed `define`, `template`, or other special form.
     BadForm(String),
+    /// Input exceeded a configured resource limit (e.g. nesting depth).
+    LimitExceeded(String),
 }
 
 /// An error produced by the SPL lexer or parser, with source position.
@@ -48,6 +50,7 @@ impl fmt::Display for ParseError {
             ParseErrorKind::UnexpectedToken(s) => write!(f, "unexpected token {s}"),
             ParseErrorKind::UnexpectedEof => write!(f, "unexpected end of input"),
             ParseErrorKind::BadForm(s) => write!(f, "malformed form: {s}"),
+            ParseErrorKind::LimitExceeded(s) => write!(f, "limit exceeded: {s}"),
         }
     }
 }

@@ -39,5 +39,8 @@ pub mod token;
 
 pub use ast::{Directive, Item, Program, TemplateDef};
 pub use error::{ParseError, ParseErrorKind};
-pub use parser::parse_program;
+pub use parser::{
+    parse_formula, parse_formula_with_depth, parse_program, parse_program_with_depth,
+    DEFAULT_MAX_DEPTH,
+};
 pub use sexp::Sexp;

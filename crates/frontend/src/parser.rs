@@ -22,6 +22,15 @@ use crate::token::{Token, TokenKind};
 /// Names accepted as scalar functions inside formulas.
 const SCALAR_FUNCTIONS: &[&str] = &["sqrt", "sin", "cos", "tan", "exp", "log", "w", "W"];
 
+/// Default cap on expression nesting depth.
+///
+/// The parser recurses once per nesting level, so machine-generated
+/// formulas with thousands of open parens would otherwise overflow the
+/// stack. 200 is far beyond any hand- or search-written formula while
+/// keeping worst-case recursion inside a 2 MiB (spawned-thread) stack
+/// even in debug builds.
+pub const DEFAULT_MAX_DEPTH: usize = 200;
+
 /// Parses a complete SPL program.
 ///
 /// # Errors
@@ -40,8 +49,18 @@ const SCALAR_FUNCTIONS: &[&str] = &["sqrt", "sin", "cos", "tan", "exp", "log", "
 /// assert_eq!(p.items.len(), 3);
 /// ```
 pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    parse_program_with_depth(src, DEFAULT_MAX_DEPTH)
+}
+
+/// Like [`parse_program`], but with an explicit nesting-depth cap.
+///
+/// # Errors
+///
+/// Returns [`ParseErrorKind::LimitExceeded`] when the input nests more
+/// than `max_depth` levels, in addition to ordinary parse errors.
+pub fn parse_program_with_depth(src: &str, max_depth: usize) -> Result<Program, ParseError> {
     let tokens = lex(src)?;
-    Parser::new(tokens).program()
+    Parser::with_depth(tokens, max_depth).program()
 }
 
 /// Parses a single formula (no directives, defines, or templates).
@@ -50,8 +69,18 @@ pub fn parse_program(src: &str) -> Result<Program, ParseError> {
 ///
 /// Returns an error if the source is not exactly one formula.
 pub fn parse_formula(src: &str) -> Result<Sexp, ParseError> {
+    parse_formula_with_depth(src, DEFAULT_MAX_DEPTH)
+}
+
+/// Like [`parse_formula`], but with an explicit nesting-depth cap.
+///
+/// # Errors
+///
+/// Returns [`ParseErrorKind::LimitExceeded`] when the input nests more
+/// than `max_depth` levels, in addition to ordinary parse errors.
+pub fn parse_formula_with_depth(src: &str, max_depth: usize) -> Result<Sexp, ParseError> {
     let tokens = lex(src)?;
-    let mut p = Parser::new(tokens);
+    let mut p = Parser::with_depth(tokens, max_depth);
     let s = p.sexp()?;
     if !p.at_eof() {
         return Err(p.err_here(ParseErrorKind::UnexpectedToken(
@@ -64,11 +93,34 @@ pub fn parse_formula(src: &str) -> Result<Sexp, ParseError> {
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    depth: usize,
+    max_depth: usize,
 }
 
 impl Parser {
-    fn new(tokens: Vec<Token>) -> Self {
-        Parser { tokens, pos: 0 }
+    fn with_depth(tokens: Vec<Token>, max_depth: usize) -> Self {
+        Parser {
+            tokens,
+            pos: 0,
+            depth: 0,
+            max_depth,
+        }
+    }
+
+    /// Enters one nesting level; callers must pair with [`Parser::ascend`].
+    fn descend(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > self.max_depth {
+            return Err(self.err_here(ParseErrorKind::LimitExceeded(format!(
+                "nesting depth exceeds {} (use --max-depth to raise)",
+                self.max_depth
+            ))));
+        }
+        Ok(())
+    }
+
+    fn ascend(&mut self) {
+        self.depth -= 1;
     }
 
     fn at_eof(&self) -> bool {
@@ -231,6 +283,13 @@ impl Parser {
     // ------------------------------------------------------------------
 
     fn sexp(&mut self) -> Result<Sexp, ParseError> {
+        self.descend()?;
+        let r = self.sexp_inner();
+        self.ascend();
+        r
+    }
+
+    fn sexp_inner(&mut self) -> Result<Sexp, ParseError> {
         match self.peek_kind() {
             Some(TokenKind::LParen) => {
                 // Try a complex-literal pair first: `(expr , expr)`.
@@ -345,6 +404,13 @@ impl Parser {
 
     #[allow(clippy::only_used_in_recursion)] // kept for grammar symmetry
     fn scalar_primary(&mut self, spaced_ops: bool) -> Result<ScalarExpr, ParseError> {
+        self.descend()?;
+        let r = self.scalar_primary_inner(spaced_ops);
+        self.ascend();
+        r
+    }
+
+    fn scalar_primary_inner(&mut self, spaced_ops: bool) -> Result<ScalarExpr, ParseError> {
         match self.peek_kind().cloned() {
             Some(TokenKind::Int(v)) => {
                 self.bump();
@@ -561,6 +627,13 @@ impl Parser {
     }
 
     fn texpr_primary(&mut self) -> Result<TExpr, ParseError> {
+        self.descend()?;
+        let r = self.texpr_primary_inner();
+        self.ascend();
+        r
+    }
+
+    fn texpr_primary_inner(&mut self) -> Result<TExpr, ParseError> {
         match self.peek_kind().cloned() {
             Some(TokenKind::Int(v)) => {
                 self.bump();
@@ -698,6 +771,13 @@ impl Parser {
     }
 
     fn cond_unary(&mut self) -> Result<CondExpr, ParseError> {
+        self.descend()?;
+        let r = self.cond_unary_inner();
+        self.ascend();
+        r
+    }
+
+    fn cond_unary_inner(&mut self) -> Result<CondExpr, ParseError> {
         if self.peek_kind() == Some(&TokenKind::Not) {
             self.bump();
             let inner = self.cond_unary()?;
@@ -1005,6 +1085,47 @@ mod tests {
         ] {
             assert!(parse_program(src).is_err(), "{src:?}");
         }
+    }
+
+    #[test]
+    fn deep_nesting_is_a_typed_error_not_a_stack_overflow() {
+        // 200k open parens would blow the stack without the depth guard.
+        let depth = 200_000;
+        let src = format!("{}(F 2){}", "(compose ".repeat(depth), ")".repeat(depth));
+        let err = parse_formula(&src).unwrap_err();
+        assert!(
+            matches!(err.kind, ParseErrorKind::LimitExceeded(_)),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn depth_limit_is_configurable() {
+        let src = "(compose (tensor (F 2) (I 2)) (L 4 2))";
+        assert!(parse_formula_with_depth(src, 64).is_ok());
+        let err = parse_formula_with_depth(src, 2).unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::LimitExceeded(_)));
+    }
+
+    #[test]
+    fn normal_formulas_stay_under_default_depth() {
+        // A realistically deep search-produced formula parses fine.
+        let mut src = String::from("(F 2)");
+        for _ in 0..100 {
+            src = format!("(compose {src} (I 2))");
+        }
+        assert!(parse_formula(&src).is_ok());
+    }
+
+    #[test]
+    fn deep_scalar_nesting_is_limited() {
+        let depth = 200_000;
+        let src = format!("(diagonal ({}1{}))", "(".repeat(depth), ")".repeat(depth));
+        let err = parse_formula(&src).unwrap_err();
+        assert!(
+            matches!(err.kind, ParseErrorKind::LimitExceeded(_)),
+            "{err}"
+        );
     }
 
     #[test]

@@ -1,0 +1,379 @@
+//! Seeded grammar-aware formula generation.
+//!
+//! The generator builds S-expressions over the full operator vocabulary
+//! (`compose`, `tensor`, `direct-sum`, `F`, `I`, `J`, `L`, `T`,
+//! `diagonal`, `permutation`, `matrix`) with known shapes, so n-ary
+//! operations are well-formed by construction. It is deliberately
+//! biased toward the shapes that historically break compilers:
+//!
+//! * **deep nesting** — the depth budget is drawn from a skewed
+//!   distribution, so a fraction of formulas exhaust it;
+//! * **rank-1 tensors** — `(I 1)` and `1x1` matrix factors are
+//!   over-represented in tensor products;
+//! * **repeated sub-formulas** — compose chains reuse one generated
+//!   operand several times, stressing sharing assumptions.
+//!
+//! A configurable fraction of formulas is *mutated* after generation
+//! (parameters perturbed, operands dropped, unknown operators spliced
+//! in): those must be rejected with a typed error by every oracle, never
+//! a panic. [`gen_program`] additionally wraps a formula in the
+//! program-level vocabulary — `define`, `#unroll`, `#datatype` /
+//! `#codetype` directives — for whole-pipeline fuzzing.
+
+use spl_frontend::sexp::Sexp;
+use spl_numeric::rng::Rng;
+
+/// Bounds and biases for one generated formula.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Upper bound on the generated formula's vector size.
+    pub max_size: usize,
+    /// Nesting budget (operator depth).
+    pub max_depth: usize,
+    /// Probability a formula is mutated into a (likely) invalid one.
+    pub p_invalid: f64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            max_size: 64,
+            max_depth: 8,
+            p_invalid: 0.15,
+        }
+    }
+}
+
+/// Generates one formula S-expression (possibly deliberately invalid —
+/// see [`GenConfig::p_invalid`]).
+pub fn gen_formula(rng: &mut Rng, cfg: &GenConfig) -> Sexp {
+    // Skewed depth budget: mostly shallow, occasionally the full budget
+    // (deep nesting is where recursion limits and stack discipline live).
+    let depth = if rng.chance(0.2) {
+        cfg.max_depth
+    } else {
+        rng.range(1, cfg.max_depth.max(1) as u64) as usize
+    };
+    let size = pick_size(rng, cfg.max_size);
+    let mut sexp = gen_sized(rng, size, depth);
+    if rng.chance(cfg.p_invalid) {
+        sexp = mutate(rng, &sexp);
+    }
+    sexp
+}
+
+/// Generates a whole SPL program exercising the program-level
+/// vocabulary: optional `#unroll` / `#datatype` / `#codetype`
+/// directives and `define`d sub-formulas referenced from the final
+/// formula. The text is meant for `Compiler::compile_source`.
+pub fn gen_program(rng: &mut Rng, cfg: &GenConfig) -> String {
+    let mut out = String::new();
+    if rng.chance(0.5) {
+        out.push_str(if rng.chance(0.5) {
+            "#unroll on\n"
+        } else {
+            "#unroll off\n"
+        });
+    }
+    if rng.chance(0.3) {
+        out.push_str("#datatype complex\n");
+    }
+    let formula = gen_formula(rng, cfg);
+    if rng.chance(0.5) {
+        // Route part of the formula through a define, the template
+        // mechanism's user-facing entry point.
+        let sub_size = pick_size(rng, cfg.max_size);
+        let sub = gen_sized(rng, sub_size, 2);
+        out.push_str(&format!("(define SUB {sub})\n"));
+        let with_sub = Sexp::list(vec![
+            Sexp::sym("compose"),
+            formula.clone(),
+            Sexp::sym("SUB"),
+        ]);
+        // Shapes rarely line up; keep the simple formula when they
+        // cannot (the compose would be rejected, which is also a fine
+        // case but we want mostly-compiling programs here).
+        if shape_of(&formula) == shape_of(&sub) {
+            out.push_str(&format!("{with_sub}\n"));
+        } else {
+            out.push_str(&format!("{formula}\n"));
+        }
+    } else {
+        out.push_str(&format!("{formula}\n"));
+    }
+    out
+}
+
+/// The square size of a generated formula (generated formulas are
+/// square by construction; mutation can break that).
+fn shape_of(sexp: &Sexp) -> Option<usize> {
+    match sexp.head()? {
+        "I" | "F" | "J" | "L" | "T" => sexp.as_list()?.get(1)?.as_int().map(|v| v as usize),
+        "diagonal" | "permutation" => sexp.as_list()?.get(1)?.as_list().map(<[Sexp]>::len),
+        "matrix" => Some(sexp.as_list()?.len() - 1),
+        "compose" => shape_of(sexp.as_list()?.get(1)?),
+        "tensor" => sexp.as_list()?[1..]
+            .iter()
+            .map(shape_of)
+            .try_fold(1usize, |a, s| s.map(|s| a * s)),
+        "direct-sum" => sexp.as_list()?[1..]
+            .iter()
+            .map(shape_of)
+            .try_fold(0usize, |a, s| s.map(|s| a + s)),
+        _ => None,
+    }
+}
+
+/// A size in `1..=max`, biased toward small and highly composite values
+/// (powers of two are what the operator algebra is richest on).
+fn pick_size(rng: &mut Rng, max: usize) -> usize {
+    let max = max.max(1) as u64;
+    let v = if rng.chance(0.6) {
+        // A power of two up to max.
+        let maxk = u64::from(63 - max.leading_zeros());
+        1u64 << rng.range(0, maxk.min(6))
+    } else {
+        rng.range(1, max.min(24))
+    };
+    v.min(max) as usize
+}
+
+/// Generates a square `size x size` formula within `depth` levels.
+fn gen_sized(rng: &mut Rng, size: usize, depth: usize) -> Sexp {
+    if depth == 0 || size == 1 || rng.chance(0.25) {
+        return gen_leaf(rng, size);
+    }
+    match rng.below(4) {
+        0 => {
+            // compose: 2..=4 square operands of the same size, with a
+            // repeated-subformula bias.
+            let k = rng.range(2, 4) as usize;
+            let mut parts = vec![Sexp::sym("compose")];
+            if rng.chance(0.3) {
+                let shared = gen_sized(rng, size, depth - 1);
+                parts.extend((0..k).map(|_| shared.clone()));
+            } else {
+                for _ in 0..k {
+                    parts.push(gen_sized(rng, size, depth - 1));
+                }
+            }
+            Sexp::list(parts)
+        }
+        1 => {
+            // tensor: factor the size, over-representing rank-1 factors.
+            let mut parts = vec![Sexp::sym("tensor")];
+            let mut rest = size;
+            while rest > 1 && parts.len() < 4 {
+                let f = pick_factor(rng, rest);
+                parts.push(gen_sized(rng, f, depth - 1));
+                rest /= f;
+            }
+            if rest > 1 || parts.len() == 1 {
+                parts.push(gen_sized(rng, rest, depth - 1));
+            }
+            if rng.chance(0.35) {
+                // Rank-1 factor: size-neutral but shape-degenerate.
+                parts.push(gen_sized(rng, 1, depth - 1));
+            }
+            Sexp::list(parts)
+        }
+        2 if size >= 2 => {
+            // direct-sum: split the size into 2..=3 blocks that sum
+            // exactly to `size` (compose siblings rely on the square
+            // contract), with a trailing 1x1 block bias.
+            let a = rng.range(1, (size - 1) as u64) as usize;
+            let mut parts = vec![Sexp::sym("direct-sum"), gen_sized(rng, a, depth - 1)];
+            if size - a >= 2 && rng.chance(0.2) {
+                parts.push(gen_sized(rng, size - a - 1, depth - 1));
+                parts.push(gen_sized(rng, 1, depth - 1));
+            } else {
+                parts.push(gen_sized(rng, size - a, depth - 1));
+            }
+            Sexp::list(parts)
+        }
+        _ => gen_leaf(rng, size),
+    }
+}
+
+/// A leaf operator of the exact size.
+fn gen_leaf(rng: &mut Rng, size: usize) -> Sexp {
+    let n = Sexp::Int(size as i64);
+    match rng.below(7) {
+        0 => Sexp::list(vec![Sexp::sym("I"), n]),
+        1 => Sexp::list(vec![Sexp::sym("F"), n]),
+        2 => Sexp::list(vec![Sexp::sym("J"), n]),
+        3 if size > 1 => {
+            let s = pick_divisor(rng, size);
+            Sexp::list(vec![Sexp::sym("L"), n, Sexp::Int(s as i64)])
+        }
+        4 if size > 1 => {
+            let s = pick_divisor(rng, size);
+            Sexp::list(vec![Sexp::sym("T"), n, Sexp::Int(s as i64)])
+        }
+        5 => {
+            let entries = (0..size)
+                .map(|_| Sexp::Int(rng.range(1, 5) as i64))
+                .collect();
+            Sexp::list(vec![Sexp::sym("diagonal"), Sexp::List(entries)])
+        }
+        _ => {
+            // A random permutation, written 1-based as in SPL source.
+            let mut idx: Vec<usize> = (1..=size).collect();
+            for i in (1..idx.len()).rev() {
+                let j = rng.below((i + 1) as u64) as usize;
+                idx.swap(i, j);
+            }
+            let entries = idx.into_iter().map(|v| Sexp::Int(v as i64)).collect();
+            Sexp::list(vec![Sexp::sym("permutation"), Sexp::List(entries)])
+        }
+    }
+}
+
+/// A factor of `n` (possibly 1 or `n`), biased toward proper factors.
+fn pick_factor(rng: &mut Rng, n: usize) -> usize {
+    let proper: Vec<usize> = (2..n).filter(|d| n.is_multiple_of(*d)).collect();
+    if proper.is_empty() || rng.chance(0.3) {
+        if rng.chance(0.5) {
+            n
+        } else {
+            1
+        }
+    } else {
+        *rng.pick(&proper)
+    }
+}
+
+/// A divisor of `n`, including the degenerate 1 and `n`.
+fn pick_divisor(rng: &mut Rng, n: usize) -> usize {
+    let divs: Vec<usize> = (1..=n).filter(|d| n.is_multiple_of(*d)).collect();
+    *rng.pick(&divs)
+}
+
+/// Applies one random breaking mutation; the result is *likely* invalid
+/// (wrong parameters, mismatched shapes, unknown operators) and must be
+/// rejected with a typed error by every oracle.
+fn mutate(rng: &mut Rng, sexp: &Sexp) -> Sexp {
+    match rng.below(4) {
+        // Perturb the first integer parameter found.
+        0 => perturb_int(rng, sexp).unwrap_or_else(|| sexp.clone()),
+        // Replace a random operand with a differently-sized leaf.
+        1 => match sexp {
+            Sexp::List(items) if items.len() > 1 => {
+                let mut items = items.clone();
+                let i = 1 + rng.below((items.len() - 1) as u64) as usize;
+                let size = rng.range(2, 9) as usize;
+                items[i] = gen_leaf(rng, size);
+                Sexp::List(items)
+            }
+            other => other.clone(),
+        },
+        // Drop all operands: `(compose)`.
+        2 => match sexp.head() {
+            Some(h) => Sexp::list(vec![Sexp::sym(h)]),
+            None => sexp.clone(),
+        },
+        // Splice in an unknown operator.
+        _ => Sexp::list(vec![Sexp::sym("Q"), Sexp::Int(rng.range(1, 8) as i64)]),
+    }
+}
+
+/// Replaces the first integer in the tree with a nearby (often
+/// invalid) value: 0, a bump, or a non-divisor.
+fn perturb_int(rng: &mut Rng, sexp: &Sexp) -> Option<Sexp> {
+    match sexp {
+        Sexp::Int(v) => {
+            let nv = match rng.below(3) {
+                0 => 0,
+                1 => v + 1,
+                _ => v.saturating_mul(3) + 1,
+            };
+            Some(Sexp::Int(nv))
+        }
+        Sexp::List(items) => {
+            for (i, item) in items.iter().enumerate() {
+                if let Some(changed) = perturb_int(rng, item) {
+                    let mut items = items.clone();
+                    items[i] = changed;
+                    return Some(Sexp::List(items));
+                }
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cfg = GenConfig::default();
+        let a: Vec<String> = {
+            let mut rng = Rng::new(42);
+            (0..50)
+                .map(|_| gen_formula(&mut rng, &cfg).to_string())
+                .collect()
+        };
+        let b: Vec<String> = {
+            let mut rng = Rng::new(42);
+            (0..50)
+                .map(|_| gen_formula(&mut rng, &cfg).to_string())
+                .collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<String> = {
+            let mut rng = Rng::new(43);
+            (0..50)
+                .map(|_| gen_formula(&mut rng, &cfg).to_string())
+                .collect()
+        };
+        assert_ne!(a, c, "different seeds must explore different formulas");
+    }
+
+    #[test]
+    fn generated_formulas_parse_back() {
+        let cfg = GenConfig {
+            p_invalid: 0.0,
+            ..GenConfig::default()
+        };
+        let mut rng = Rng::new(7);
+        for _ in 0..100 {
+            let s = gen_formula(&mut rng, &cfg).to_string();
+            spl_frontend::parse_formula(&s).unwrap_or_else(|e| panic!("{s}: {e}"));
+        }
+    }
+
+    #[test]
+    fn valid_formulas_have_consistent_shapes() {
+        let cfg = GenConfig {
+            p_invalid: 0.0,
+            ..GenConfig::default()
+        };
+        let mut rng = Rng::new(11);
+        for _ in 0..200 {
+            let sexp = gen_formula(&mut rng, &cfg);
+            let f = spl_formula::formula_from_sexp(&sexp, &std::collections::HashMap::new())
+                .unwrap_or_else(|e| panic!("{sexp}: {e}"));
+            assert!(f.rows() >= 1);
+            assert_eq!(f.rows(), f.cols(), "{sexp} not square");
+        }
+    }
+
+    #[test]
+    fn programs_compile_or_fail_typed() {
+        let cfg = GenConfig {
+            p_invalid: 0.0,
+            max_size: 16,
+            ..GenConfig::default()
+        };
+        let mut rng = Rng::new(3);
+        for _ in 0..40 {
+            let src = gen_program(&mut rng, &cfg);
+            let mut c = spl_compiler::Compiler::new();
+            // Either outcome is fine — the property is "no panic".
+            let _ = c.compile_source(&src);
+        }
+    }
+}

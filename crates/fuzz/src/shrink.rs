@@ -1,0 +1,217 @@
+//! Delta-debugging shrinker for formula S-expressions.
+//!
+//! Given a formula that triggers a bug and a *property* closure that
+//! answers "does this candidate still trigger the same bug class?",
+//! the shrinker greedily applies structure-reducing rewrites until no
+//! candidate both (a) still reproduces and (b) is strictly smaller
+//! under the ([`Sexp::node_count`], integer-magnitude) measure. The
+//! result is the minimal reproducer written next to each bug report.
+//!
+//! Rewrites tried at every node, smallest-result-first:
+//!
+//! * **hoist** — replace an operator node by one of its operands
+//!   (the classic delta-debugging subtree promotion);
+//! * **drop** — remove one operand from an n-ary node
+//!   (`compose`/`tensor`/`direct-sum` and element lists);
+//! * **integer shrink** — rewrite an integer toward `1` (then halve,
+//!   then decrement), which shrinks sizes and strides without
+//!   reshaping the tree.
+//!
+//! The loop is bounded by [`ShrinkConfig::max_steps`] property
+//! evaluations, so a flaky property cannot spin forever.
+
+use spl_frontend::sexp::Sexp;
+
+/// Shrinker budget knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ShrinkConfig {
+    /// Maximum number of property evaluations before giving up and
+    /// returning the best reproducer found so far.
+    pub max_steps: usize,
+}
+
+impl Default for ShrinkConfig {
+    fn default() -> Self {
+        ShrinkConfig { max_steps: 2_000 }
+    }
+}
+
+/// The size measure the shrinker minimizes: node count first, then the
+/// sum of integer magnitudes (so `(F 2)` beats `(F 64)`).
+pub fn measure(s: &Sexp) -> (usize, u64) {
+    fn ints(s: &Sexp, acc: &mut u64) {
+        match s {
+            Sexp::Int(v) => *acc = acc.saturating_add(v.unsigned_abs()),
+            Sexp::List(items) => items.iter().for_each(|i| ints(i, acc)),
+            _ => {}
+        }
+    }
+    let mut mag = 0;
+    ints(s, &mut mag);
+    (s.node_count(), mag)
+}
+
+/// Shrinks `sexp` while `still_fails` keeps returning `true` for the
+/// shrunk candidate. Returns the smallest reproducer found (possibly
+/// the input itself) and the number of property evaluations spent.
+pub fn shrink(
+    sexp: &Sexp,
+    cfg: &ShrinkConfig,
+    mut still_fails: impl FnMut(&Sexp) -> bool,
+) -> (Sexp, usize) {
+    let mut best = sexp.clone();
+    let mut spent = 0usize;
+    loop {
+        let mut improved = false;
+        let mut cands = candidates(&best);
+        // Try the most aggressive reductions first: a hoist that lands
+        // accepts the whole subtree's savings in one evaluation.
+        cands.sort_by_key(measure);
+        for cand in cands {
+            if spent >= cfg.max_steps {
+                return (best, spent);
+            }
+            if measure(&cand) >= measure(&best) {
+                continue;
+            }
+            spent += 1;
+            if still_fails(&cand) {
+                best = cand;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return (best, spent);
+        }
+    }
+}
+
+/// All single-rewrite reductions of `s` (deduplicated, any depth).
+fn candidates(s: &Sexp) -> Vec<Sexp> {
+    let mut out = Vec::new();
+    rewrites_at(s, &mut |cand| out.push(cand));
+    out.sort_by_key(|c| format!("{c}"));
+    out.dedup_by_key(|c| format!("{c}"));
+    out
+}
+
+/// Calls `emit` with every tree obtained by one rewrite somewhere in
+/// `s`. Recursion rebuilds the spine above the rewritten node. The
+/// callback is `dyn` so recursion depth does not stack closure types
+/// (which would hit the monomorphization recursion limit).
+fn rewrites_at(s: &Sexp, emit: &mut dyn FnMut(Sexp)) {
+    match s {
+        Sexp::Int(v) => {
+            for smaller in int_shrinks(*v) {
+                emit(Sexp::Int(smaller));
+            }
+        }
+        Sexp::List(items) => {
+            // Hoist: the node collapses to one of its operands.
+            for item in items.iter().skip(1) {
+                emit(item.clone());
+            }
+            // Drop: remove one operand (keep the head).
+            if items.len() > 2 {
+                for k in 1..items.len() {
+                    let mut rest = items.clone();
+                    rest.remove(k);
+                    emit(Sexp::List(rest));
+                }
+            }
+            // Recurse: rewrite inside one operand.
+            for (k, item) in items.iter().enumerate() {
+                rewrites_at(item, &mut |cand| {
+                    let mut rest = items.clone();
+                    rest[k] = cand;
+                    emit(Sexp::List(rest));
+                });
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Candidate replacements for an integer, most aggressive first.
+fn int_shrinks(v: i64) -> Vec<i64> {
+    let mut out = Vec::new();
+    for cand in [1, v / 2, v - 1] {
+        if cand != v && cand.abs() < v.abs() && !out.contains(&cand) {
+            out.push(cand);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spl_frontend::parse_formula;
+
+    fn p(src: &str) -> Sexp {
+        parse_formula(src).unwrap()
+    }
+
+    /// Property: the formula still contains an `(L n s)` with a
+    /// non-divisor stride — the archetypal shape bug.
+    fn has_bad_stride(s: &Sexp) -> bool {
+        match s {
+            Sexp::List(items) => {
+                if s.head() == Some("L") {
+                    if let (Some(Sexp::Int(n)), Some(Sexp::Int(k))) = (items.get(1), items.get(2)) {
+                        if *n > 0 && *k > 0 && n % k != 0 {
+                            return true;
+                        }
+                    }
+                }
+                items.iter().any(has_bad_stride)
+            }
+            _ => false,
+        }
+    }
+
+    #[test]
+    fn shrinks_to_the_offending_subtree() {
+        let big = p("(compose (tensor (F 2) (I 2) (F 2) (I 2)) (L 6 4) (tensor (I 4) (F 2)))");
+        let (small, spent) = shrink(&big, &ShrinkConfig::default(), has_bad_stride);
+        assert!(has_bad_stride(&small), "shrunk away the bug: {small}");
+        assert!(
+            small.node_count() <= 4,
+            "not minimal ({} nodes): {small}",
+            small.node_count()
+        );
+        assert!(spent > 0);
+    }
+
+    #[test]
+    fn shrinking_is_deterministic() {
+        let big = p("(tensor (compose (L 10 4) (F 10)) (direct-sum (F 3) (J 5)))");
+        let a = shrink(&big, &ShrinkConfig::default(), has_bad_stride);
+        let b = shrink(&big, &ShrinkConfig::default(), has_bad_stride);
+        assert_eq!(format!("{}", a.0), format!("{}", b.0));
+        assert_eq!(a.1, b.1);
+    }
+
+    #[test]
+    fn respects_the_step_budget() {
+        let big = p("(compose (L 6 4) (L 6 4) (L 6 4) (L 6 4))");
+        let (_, spent) = shrink(&big, &ShrinkConfig { max_steps: 3 }, has_bad_stride);
+        assert!(spent <= 3);
+    }
+
+    #[test]
+    fn integers_shrink_toward_one() {
+        assert_eq!(int_shrinks(64), vec![1, 32, 63]);
+        assert_eq!(int_shrinks(2), vec![1]);
+        assert_eq!(int_shrinks(1), vec![0]);
+        assert_eq!(int_shrinks(0), Vec::<i64>::new());
+    }
+
+    #[test]
+    fn integer_shrinking_reaches_the_smallest_bad_stride() {
+        let tiny = p("(L 6 4)");
+        let (small, _) = shrink(&tiny, &ShrinkConfig::default(), has_bad_stride);
+        assert_eq!(format!("{small}"), "(L 1 2)");
+    }
+}

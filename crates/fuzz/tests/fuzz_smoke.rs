@@ -1,0 +1,100 @@
+//! Deterministic fuzzing smoke test: the differential oracle must stay
+//! silent on a fixed seeded corpus, and the shrinker must stay
+//! deterministic and effective under a pinned seed.
+//!
+//! These tests are the regression net for the whole robustness PR: any
+//! future divergence between the dense reference and the template/VM
+//! pipeline — or a panic escaping any stage — turns a green run red
+//! with a reproducible seed to chase.
+
+use spl_fuzz::{run, shrink, FuzzConfig, GenConfig, Oracle, ShrinkConfig, Verdict};
+use spl_numeric::rng::Rng;
+
+/// 200 seeded formulas through dense-vs-VM: zero mismatches, zero
+/// panics, zero accept/reject disagreements. The corpus is pinned by
+/// the seed, so a failure here is always reproducible.
+#[test]
+fn two_hundred_seeded_formulas_agree() {
+    let cfg = FuzzConfig {
+        seed: 1,
+        count: 200,
+        gen: GenConfig::default(),
+        out_dir: None,
+        ..FuzzConfig::default()
+    };
+    let report = run(&cfg);
+    assert_eq!(report.total(), 200);
+    assert!(
+        report.bugs.is_empty(),
+        "differential bugs on the pinned corpus: {:#?}",
+        report.bugs
+    );
+    assert_eq!(report.duplicate_bugs, 0);
+    assert!(
+        report.agree_ok >= 100,
+        "corpus degenerated: only {} cases evaluated",
+        report.agree_ok
+    );
+    assert_eq!(report.telemetry.counter("fuzz.cases"), Some(200));
+}
+
+/// The same campaign twice produces identical verdict counts — the
+/// generator derives every case from (seed, index) alone.
+#[test]
+fn campaigns_are_reproducible() {
+    let cfg = FuzzConfig {
+        seed: 42,
+        count: 120,
+        out_dir: None,
+        ..FuzzConfig::default()
+    };
+    let (a, b) = (run(&cfg), run(&cfg));
+    assert_eq!(a.agree_ok, b.agree_ok);
+    assert_eq!(a.agree_reject, b.agree_reject);
+    assert_eq!(a.skipped, b.skipped);
+    assert_eq!(a.bugs.len(), b.bugs.len());
+}
+
+/// Pinned-seed shrinker bound: for a generated formula flagged by a
+/// poisoned oracle (negative tolerance → every computed case
+/// "mismatches"), the minimized reproducer must come out tiny.
+#[test]
+fn shrinker_minimizes_a_pinned_generated_case() {
+    let poisoned = Oracle {
+        tolerance: -1.0,
+        ..Oracle::default()
+    };
+    let cfg = GenConfig {
+        p_invalid: 0.0,
+        ..GenConfig::default()
+    };
+    // Scan the pinned stream for the first formula the poisoned oracle
+    // flags (i.e. the first one that actually computes).
+    let mut rng = Rng::new(9001);
+    let (case, sexp) = (0..50)
+        .map(|i| (i, spl_fuzz::gen_formula(&mut rng, &cfg)))
+        .find(|(_, s)| matches!(poisoned.check(s), Verdict::Bug(_)))
+        .expect("pinned stream produced no computable formula");
+    let before = sexp.node_count();
+    let (small, spent) = shrink(&sexp, &ShrinkConfig::default(), |cand| {
+        matches!(poisoned.check(cand), Verdict::Bug(_))
+    });
+    assert!(
+        matches!(poisoned.check(&small), Verdict::Bug(_)),
+        "shrinker lost the bug (case {case})"
+    );
+    assert!(
+        small.node_count() <= 4,
+        "not minimal: {} nodes from {} ({small})",
+        small.node_count(),
+        before
+    );
+    assert!(spent <= ShrinkConfig::default().max_steps);
+
+    // And it is bit-for-bit deterministic.
+    let (again, spent2) = shrink(&sexp, &ShrinkConfig::default(), |cand| {
+        matches!(poisoned.check(cand), Verdict::Bug(_))
+    });
+    assert_eq!(format!("{small}"), format!("{again}"));
+    assert_eq!(spent, spent2);
+}

@@ -143,6 +143,8 @@ impl KernelCache {
         for rec in &loaded.records {
             if let Some((key, len, crc)) = parse_index_record(rec) {
                 disk.insert(key, (len, crc));
+            } else if let Some(key) = parse_rm_record(rec) {
+                disk.remove(&key);
             }
         }
         let mut tel = Telemetry::new();
@@ -248,6 +250,35 @@ impl KernelCache {
         }
     }
 
+    /// Removes `key` everywhere: memory, the disk directory, and — when
+    /// disk-backed — an `rm` tombstone record in the index journal so
+    /// the eviction survives a process restart (later records win, so a
+    /// subsequent [`KernelCache::insert`] re-admits the key).
+    ///
+    /// Used to quarantine kernels whose *output* was found wrong after
+    /// compilation (verification failure): the cache key only covers
+    /// what goes *into* `cc`, so a miscompiled or corrupted object must
+    /// be expelled explicitly or every retry would be served the same
+    /// bad code.
+    pub fn evict(&self, key: &str) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.mem.remove(key).is_some() {
+            inner.order.retain(|k| k != key);
+        }
+        let on_disk = inner.disk.remove(key).is_some();
+        inner.tel.add("native.cache.quarantined", 1);
+        if let Some(path) = self.so_path(key) {
+            let _ = std::fs::remove_file(&path);
+            if on_disk {
+                if let Some(journal) = inner.index.as_mut() {
+                    if journal.append(&format!("rm {key}")).is_err() {
+                        inner.tel.add("native.cache.disk_write_failures", 1);
+                    }
+                }
+            }
+        }
+    }
+
     /// Bumps the `native.cc_invocations` counter; called by the cached
     /// compile path when it actually runs the C compiler.
     pub fn count_cc_invocation(&self) {
@@ -292,6 +323,20 @@ fn parse_index_record(rec: &str) -> Option<(String, u64, u32)> {
         return None;
     }
     Some((key, len, crc))
+}
+
+/// Parses one `rm <key>` tombstone record (written by
+/// [`KernelCache::evict`]).
+fn parse_rm_record(rec: &str) -> Option<String> {
+    let mut it = rec.split_whitespace();
+    if it.next()? != "rm" {
+        return None;
+    }
+    let key = it.next()?.to_string();
+    if it.next().is_some() {
+        return None;
+    }
+    Some(key)
 }
 
 #[cfg(test)]
@@ -401,6 +446,53 @@ mod tests {
         assert!(cache.lookup("k5").is_some() || MEM_CAP < 6);
         let tel = cache.drain_telemetry();
         assert_eq!(tel.counter("native.cache.evictions"), Some(3));
+    }
+
+    #[test]
+    fn evict_purges_memory_and_disk() {
+        let dir = tmp_dir("evict");
+        let cache = KernelCache::with_dir(&dir).unwrap();
+        cache.insert("bad0", vec![1u8; 32]);
+        assert!(cache.lookup("bad0").is_some());
+        cache.evict("bad0");
+        assert!(cache.lookup("bad0").is_none(), "evicted key still served");
+        assert!(!dir.join("bad0.so").exists(), "evicted .so left on disk");
+        let tel = cache.drain_telemetry();
+        assert_eq!(tel.counter("native.cache.quarantined"), Some(1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn evict_tombstone_survives_restart() {
+        let dir = tmp_dir("tombstone");
+        {
+            let cache = KernelCache::with_dir(&dir).unwrap();
+            cache.insert("bad1", vec![2u8; 32]);
+            cache.evict("bad1");
+        }
+        let cache = KernelCache::with_dir(&dir).unwrap();
+        assert!(cache.lookup("bad1").is_none(), "tombstone ignored on load");
+        // A reinsert after the tombstone wins (later records beat earlier).
+        cache.insert("bad1", vec![3u8; 32]);
+        drop(cache);
+        let cache = KernelCache::with_dir(&dir).unwrap();
+        assert_eq!(cache.lookup("bad1").unwrap().1, CacheOutcome::DiskHit);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn evict_unknown_key_is_harmless() {
+        let cache = KernelCache::in_memory();
+        cache.evict("never-inserted");
+        assert!(cache.lookup("never-inserted").is_none());
+    }
+
+    #[test]
+    fn rm_records_parse() {
+        assert_eq!(parse_rm_record("rm abc123"), Some("abc123".into()));
+        assert_eq!(parse_rm_record("so abc123 1 ff"), None);
+        assert_eq!(parse_rm_record("rm"), None);
+        assert_eq!(parse_rm_record("rm k extra"), None);
     }
 
     #[test]

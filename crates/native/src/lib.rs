@@ -312,22 +312,7 @@ impl NativeKernel {
         opts: &BuildOptions,
         cache: &KernelCache,
     ) -> Result<(NativeKernel, CacheOutcome), NativeError> {
-        if unit.program.complex {
-            return Err(NativeError::Unsupported(
-                "C output requires real-typed code (set #codetype real)".into(),
-            ));
-        }
-        let c_src = codegen::emit(
-            CACHED_SYMBOL,
-            &unit.program,
-            &CodegenOptions {
-                language: Language::C,
-                codetype: DataType::Real,
-                peephole: false,
-                io_params: false,
-            },
-        );
-        let key = KernelCache::key(&c_src, opts);
+        let (c_src, key) = Self::cached_source_and_key(unit, opts)?;
         if let Some((bytes, outcome)) = cache.lookup(&key) {
             let kernel = Self::load_cached(&bytes, unit)?;
             return Ok((kernel, outcome));
@@ -352,6 +337,41 @@ impl NativeKernel {
             },
             CacheOutcome::Miss,
         ))
+    }
+
+    /// The [`KernelCache`] key [`NativeKernel::compile_cached`] uses for
+    /// `unit` under `opts` — for callers that must quarantine
+    /// ([`KernelCache::evict`]) a kernel whose *output* was found wrong
+    /// after compilation, which the input-addressed key cannot detect.
+    ///
+    /// # Errors
+    ///
+    /// Fails like `compile_cached` on complex-typed units.
+    pub fn cache_key(unit: &CompiledUnit, opts: &BuildOptions) -> Result<String, NativeError> {
+        Self::cached_source_and_key(unit, opts).map(|(_, key)| key)
+    }
+
+    fn cached_source_and_key(
+        unit: &CompiledUnit,
+        opts: &BuildOptions,
+    ) -> Result<(String, String), NativeError> {
+        if unit.program.complex {
+            return Err(NativeError::Unsupported(
+                "C output requires real-typed code (set #codetype real)".into(),
+            ));
+        }
+        let c_src = codegen::emit(
+            CACHED_SYMBOL,
+            &unit.program,
+            &CodegenOptions {
+                language: Language::C,
+                codetype: DataType::Real,
+                peephole: false,
+                io_params: false,
+            },
+        );
+        let key = KernelCache::key(&c_src, opts);
+        Ok((c_src, key))
     }
 
     /// Materializes a cached object image as a loaded kernel: the bytes

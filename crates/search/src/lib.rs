@@ -473,18 +473,24 @@ impl NativeEvaluator {
     }
 
     /// Builds the candidate's kernel, through the kernel cache when one
-    /// is attached.
-    fn build_kernel(&mut self, tree: &FftTree) -> Result<spl_native::NativeKernel, SearchError> {
+    /// is attached; also returns the cache key in that case so a later
+    /// verification failure can quarantine the entry.
+    fn build_kernel(
+        &mut self,
+        tree: &FftTree,
+    ) -> Result<(spl_native::NativeKernel, Option<String>), SearchError> {
         let Some(cache) = &self.kernel_cache else {
-            return compile_tree_native_with(tree, self.unroll_threshold, &self.build);
+            return compile_tree_native_with(tree, self.unroll_threshold, &self.build)
+                .map(|k| (k, None));
         };
         let unit = compile_unit_for_tree(tree, self.unroll_threshold)?;
+        let key = spl_native::NativeKernel::cache_key(&unit, &self.build).map_err(native_err)?;
         let (kernel, outcome) = spl_native::NativeKernel::compile_cached(&unit, &self.build, cache)
             .map_err(native_err)?;
         if outcome != CacheOutcome::Miss {
             self.tel.add("search.kernel_cache_hits", 1);
         }
-        Ok(kernel)
+        Ok((kernel, Some(key)))
     }
 }
 
@@ -495,7 +501,7 @@ impl Evaluator for NativeEvaluator {
             self.tel.add("search.eval_cache_hits", 1);
             return Ok(c);
         }
-        let kernel = self.build_kernel(tree)?;
+        let (kernel, cache_key) = self.build_kernel(tree)?;
         if self.verify && tree.size() <= VERIFY_MAX_SIZE {
             let x = verification_input(tree.size());
             let flat = spl_vm::convert::interleave(&x);
@@ -503,7 +509,16 @@ impl Evaluator for NativeEvaluator {
             kernel
                 .run_sandboxed(&flat, &mut y, self.eval_timeout)
                 .map_err(native_err)?;
-            verify_against_dense(tree, &spl_vm::convert::deinterleave(&y))?;
+            if let Err(e) = verify_against_dense(tree, &spl_vm::convert::deinterleave(&y)) {
+                // The cache key only covers what went *into* cc, so a
+                // kernel whose output is wrong must be expelled or every
+                // retry would be served the same bad object.
+                if let (Some(cache), Some(k)) = (&self.kernel_cache, &cache_key) {
+                    cache.evict(k);
+                    self.tel.add("search.kernels_quarantined", 1);
+                }
+                return Err(e);
+            }
             self.tel.add("search.verifications", 1);
         }
         let t = {
@@ -558,8 +573,15 @@ pub fn compile_tree_native_with(
 }
 
 /// The SPL-compiler half of a native build (everything before `cc`),
-/// shared by the direct and cache-mediated paths.
-fn compile_unit_for_tree(
+/// shared by the direct and cache-mediated paths. Public so tooling and
+/// tests can compute a candidate's [`KernelCache`] key
+/// (via [`spl_native::NativeKernel::cache_key`]) without building it.
+///
+/// # Errors
+///
+/// Returns [`SearchError::CompileFailed`] when the tree's formula does
+/// not compile.
+pub fn compile_unit_for_tree(
     tree: &FftTree,
     unroll_threshold: usize,
 ) -> Result<spl_compiler::CompiledUnit, SearchError> {

@@ -23,18 +23,55 @@ use crate::UNROLL_MARKER;
 
 /// An error during template expansion.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ExpandError(pub String);
+pub enum ExpandError {
+    /// No template (or native form) matches a sub-formula.
+    NoMatch(String),
+    /// Operator shapes are malformed or inconsistent.
+    Shape(String),
+    /// A template body violates the expansion discipline (non-affine
+    /// subscript, non-constant bound, unbound variable, …).
+    Invalid(String),
+    /// A size computation overflowed the machine integer range.
+    Overflow(String),
+    /// A configured expansion resource limit (recursion depth or step
+    /// budget) was exceeded.
+    LimitExceeded(String),
+}
+
+impl ExpandError {
+    /// The message without the generic prefix.
+    pub fn message(&self) -> &str {
+        match self {
+            ExpandError::NoMatch(s)
+            | ExpandError::Shape(s)
+            | ExpandError::Invalid(s)
+            | ExpandError::Overflow(s)
+            | ExpandError::LimitExceeded(s) => s,
+        }
+    }
+}
 
 impl fmt::Display for ExpandError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "template expansion failed: {}", self.0)
+        write!(f, "template expansion failed: {}", self.message())
     }
 }
 
 impl Error for ExpandError {}
 
+/// Default cap on expansion recursion depth.
+///
+/// The tensor fallback rewrite (`A⊗B → (A⊗I)(I⊗B)`) deepens the tree
+/// beyond what the parser saw, so this must exceed the parser's nesting
+/// cap with headroom while still stopping runaway recursion well before
+/// the stack does.
+pub const DEFAULT_EXPAND_DEPTH: usize = 2_000;
+
+/// Default cap on i-code instructions emitted by one expansion.
+pub const DEFAULT_EXPAND_STEPS: usize = 4_000_000;
+
 /// Options controlling expansion.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ExpandOptions {
     /// `#unroll` state at the formula: mark every generated loop for full
     /// unrolling.
@@ -46,6 +83,24 @@ pub struct ExpandOptions {
     /// `define`d names in definition order: `(name, body, unroll)` where
     /// `unroll` captures the `#unroll` state at the `define`.
     pub defines: Vec<(String, Sexp, bool)>,
+    /// Cap on expansion recursion depth; exceeding it yields
+    /// [`ExpandError::LimitExceeded`] instead of a stack overflow.
+    pub max_depth: usize,
+    /// Cap on emitted i-code instructions; exceeding it yields
+    /// [`ExpandError::LimitExceeded`] instead of unbounded memory growth.
+    pub max_steps: usize,
+}
+
+impl Default for ExpandOptions {
+    fn default() -> Self {
+        ExpandOptions {
+            unroll: false,
+            unroll_threshold: None,
+            defines: Vec::new(),
+            max_depth: DEFAULT_EXPAND_DEPTH,
+            max_steps: DEFAULT_EXPAND_STEPS,
+        }
+    }
 }
 
 /// Expands a formula into an i-code program using the template table.
@@ -72,6 +127,9 @@ pub fn expand_formula(
         n_loop: 0,
         temp_max: Vec::new(),
         loop_ranges: HashMap::new(),
+        depth: 0,
+        max_depth: opts.max_depth,
+        max_steps: opts.max_steps,
     };
     let params = Params {
         in_base: VecKind::In,
@@ -101,7 +159,7 @@ pub fn expand_formula(
         complex: true,
     };
     prog.validate()
-        .map_err(|e| ExpandError(format!("generated invalid i-code: {e}")))?;
+        .map_err(|e| ExpandError::Invalid(format!("generated invalid i-code: {e}")))?;
     Ok(prog)
 }
 
@@ -132,11 +190,19 @@ pub fn resolve_defines(sexp: &Sexp, defines: &[(String, Sexp, bool)]) -> Sexp {
 /// factors needs 2 temporaries instead of the `k−1` a binarized nest
 /// would allocate (binary composes still go through the template, and a
 /// user template matching the full n-ary pattern still wins).
+///
+/// A degenerate unary application — `(tensor A)`, `(direct-sum A)`,
+/// `(compose A)` — collapses to `A`, matching the dense reference
+/// semantics (the fold over one operand is the operand itself).
 pub fn binarize(sexp: &Sexp) -> Sexp {
     match sexp {
         Sexp::List(items) => {
             let items: Vec<Sexp> = items.iter().map(binarize).collect();
             if let Some(Sexp::Symbol(head)) = items.first() {
+                if matches!(head.as_str(), "tensor" | "direct-sum" | "compose") && items.len() == 2
+                {
+                    return items.into_iter().nth(1).expect("len checked");
+                }
                 if matches!(head.as_str(), "tensor" | "direct-sum") && items.len() > 3 {
                     let head = head.clone();
                     let first = items[1].clone();
@@ -197,12 +263,42 @@ struct Expander<'t> {
     temp_max: Vec<i64>,
     /// Ranges of all loop variables ever opened (for temp sizing).
     loop_ranges: HashMap<LoopVar, (i64, i64)>,
+    /// Current expansion recursion depth.
+    depth: usize,
+    /// Recursion cap (see [`ExpandOptions::max_depth`]).
+    max_depth: usize,
+    /// Emitted-instruction cap (see [`ExpandOptions::max_steps`]).
+    max_steps: usize,
 }
 
 impl Expander<'_> {
-    fn expand(&mut self, sexp: &Sexp, mut params: Params) -> Result<(), ExpandError> {
+    fn expand(&mut self, sexp: &Sexp, params: Params) -> Result<(), ExpandError> {
+        self.depth += 1;
+        if self.depth > self.max_depth {
+            self.depth -= 1;
+            return Err(ExpandError::LimitExceeded(format!(
+                "expansion recursion depth exceeds {}",
+                self.max_depth
+            )));
+        }
+        if self.instrs.len() > self.max_steps {
+            self.depth -= 1;
+            return Err(ExpandError::LimitExceeded(format!(
+                "expansion exceeds {} emitted instructions",
+                self.max_steps
+            )));
+        }
+        let r = self.expand_inner(sexp, params);
+        self.depth -= 1;
+        r
+    }
+
+    fn expand_inner(&mut self, sexp: &Sexp, mut params: Params) -> Result<(), ExpandError> {
         if sexp.head() == Some(UNROLL_MARKER) {
-            let inner = &sexp.as_list().unwrap()[1];
+            let inner = sexp
+                .as_list()
+                .and_then(|l| l.get(1))
+                .ok_or_else(|| ExpandError::Shape(format!("empty {UNROLL_MARKER} form")))?;
             params.unroll = true;
             return self.expand(inner, params);
         }
@@ -221,7 +317,15 @@ impl Expander<'_> {
             Some("matrix") => self.native_matrix(sexp, &params),
             Some("tensor") => self.native_tensor(sexp, params),
             Some("compose") => self.native_compose(sexp, params),
-            _ => Err(ExpandError(format!("no template matches {sexp}"))),
+            _ => Err(ExpandError::NoMatch(format!("no template matches {sexp}"))),
+        }
+    }
+
+    /// The non-head parts of a native form's list, or a typed error.
+    fn list_parts<'s>(&self, sexp: &'s Sexp, what: &str) -> Result<&'s [Sexp], ExpandError> {
+        match sexp.as_list() {
+            Some(items) if !items.is_empty() => Ok(&items[1..]),
+            _ => Err(ExpandError::Shape(format!("{what} must be a form: {sexp}"))),
         }
     }
 
@@ -231,9 +335,9 @@ impl Expander<'_> {
     /// binary expansion would allocate `k−1`). Binary composes normally
     /// match the built-in template before reaching this fallback.
     fn native_compose(&mut self, sexp: &Sexp, params: Params) -> Result<(), ExpandError> {
-        let factors = &sexp.as_list().unwrap()[1..];
+        let factors = self.list_parts(sexp, "compose")?;
         if factors.is_empty() {
-            return Err(ExpandError("empty compose".into()));
+            return Err(ExpandError::Shape("empty compose".into()));
         }
         if factors.len() == 1 {
             return self.expand(&factors[0], params);
@@ -244,7 +348,9 @@ impl Expander<'_> {
             .collect::<Result<Vec<_>, _>>()?;
         for w in shapes.windows(2) {
             if w[0].1 != w[1].0 {
-                return Err(ExpandError(format!("compose shape mismatch in {sexp}")));
+                return Err(ExpandError::Shape(format!(
+                    "compose shape mismatch in {sexp}"
+                )));
             }
         }
         let k = factors.len();
@@ -327,6 +433,12 @@ impl Expander<'_> {
         // executes nothing — skip its whole body (tracking nesting).
         let mut skip_depth = 0usize;
         for stmt in &def.body {
+            if self.instrs.len() > self.max_steps {
+                return Err(ExpandError::LimitExceeded(format!(
+                    "expansion exceeds {} emitted instructions",
+                    self.max_steps
+                )));
+            }
             if skip_depth > 0 {
                 match stmt {
                     TemplateStmt::Do { .. } => skip_depth += 1,
@@ -356,7 +468,7 @@ impl Expander<'_> {
                 }
                 TemplateStmt::End => {
                     if frame.loops.pop().is_none() {
-                        return Err(ExpandError(format!(
+                        return Err(ExpandError::Invalid(format!(
                             "unmatched end in template {}",
                             def.pattern
                         )));
@@ -377,7 +489,7 @@ impl Expander<'_> {
             }
         }
         if !frame.loops.is_empty() {
-            return Err(ExpandError(format!(
+            return Err(ExpandError::Invalid(format!(
                 "unclosed loop in template {}",
                 def.pattern
             )));
@@ -397,18 +509,18 @@ impl Expander<'_> {
             .formulas
             .get(var)
             .cloned()
-            .ok_or_else(|| ExpandError(format!("unbound formula variable {var}")))?;
+            .ok_or_else(|| ExpandError::Invalid(format!("unbound formula variable {var}")))?;
         let (sub_rows, sub_cols) = shape_of(&sub, self.table)?;
         let call_in_off = self.affine_of(&args[2], frame, b, params)?;
         let call_out_off = self.affine_of(&args[3], frame, b, params)?;
         let call_in_stride = self
             .affine_of(&args[4], frame, b, params)?
             .as_const()
-            .ok_or_else(|| ExpandError("input stride must be a constant".into()))?;
+            .ok_or_else(|| ExpandError::Invalid("input stride must be a constant".into()))?;
         let call_out_stride = self
             .affine_of(&args[5], frame, b, params)?
             .as_const()
-            .ok_or_else(|| ExpandError("output stride must be a constant".into()))?;
+            .ok_or_else(|| ExpandError::Invalid("output stride must be a constant".into()))?;
         let (in_base, in_off, in_stride) = self.compose_view(
             &args[0],
             frame,
@@ -453,7 +565,7 @@ impl Expander<'_> {
         let name = match arg {
             TExpr::Var(v) => v.as_str(),
             other => {
-                return Err(ExpandError(format!(
+                return Err(ExpandError::Invalid(format!(
                     "vector argument must be $in, $out, or a temporary, got {other}"
                 )))
             }
@@ -479,7 +591,7 @@ impl Expander<'_> {
                 self.note_temp_extent(gid, call_off);
                 Ok((VecKind::Temp(gid), call_off.clone(), call_stride))
             }
-            other => Err(ExpandError(format!(
+            other => Err(ExpandError::Invalid(format!(
                 "vector argument must be $in, $out, or a temporary, got ${other}"
             ))),
         }
@@ -543,7 +655,7 @@ impl Expander<'_> {
             });
             Ok(Place::R(id))
         } else {
-            Err(ExpandError(format!("${name} is not assignable")))
+            Err(ExpandError::Invalid(format!("${name} is not assignable")))
         }
     }
 
@@ -558,7 +670,7 @@ impl Expander<'_> {
         match name {
             "in" => {
                 if !reading {
-                    return Err(ExpandError("cannot write to $in".into()));
+                    return Err(ExpandError::Invalid("cannot write to $in".into()));
                 }
                 Ok(Place::Vec(VecRef {
                     kind: params.in_base,
@@ -577,7 +689,7 @@ impl Expander<'_> {
                     idx,
                 }))
             }
-            other => Err(ExpandError(format!("unknown vector ${other}"))),
+            other => Err(ExpandError::Invalid(format!("unknown vector ${other}"))),
         }
     }
 
@@ -607,7 +719,7 @@ impl Expander<'_> {
                             return Ok(Affine::var(*lv));
                         }
                     }
-                    Err(ExpandError(format!(
+                    Err(ExpandError::Invalid(format!(
                         "${name} is not usable in a subscript (not a loop variable)"
                     )))
                 }
@@ -625,7 +737,7 @@ impl Expander<'_> {
                         } else if let Some(c) = ya.as_const() {
                             Ok(xa.scale(c))
                         } else {
-                            Err(ExpandError(format!(
+                            Err(ExpandError::Invalid(format!(
                                 "subscript {e} is not affine in the loop indices"
                             )))
                         }
@@ -638,13 +750,15 @@ impl Expander<'_> {
                                 x % y
                             }))
                         }
-                        _ => Err(ExpandError(format!(
+                        _ => Err(ExpandError::Invalid(format!(
                             "subscript {e} uses non-constant division"
                         ))),
                     },
                 }
             }
-            other => Err(ExpandError(format!("{other} cannot appear in a subscript"))),
+            other => Err(ExpandError::Invalid(format!(
+                "{other} cannot appear in a subscript"
+            ))),
         }
     }
 
@@ -669,7 +783,7 @@ impl Expander<'_> {
                     TBinOp::Mul => BinOp::Mul,
                     TBinOp::Div => BinOp::Div,
                     TBinOp::Mod => {
-                        return Err(ExpandError(
+                        return Err(ExpandError::Invalid(
                             "modulo is only valid in compile-time expressions".into(),
                         ))
                     }
@@ -722,11 +836,13 @@ impl Expander<'_> {
                             return Ok(Value::LoopIdx(*lv));
                         }
                     }
-                    Err(ExpandError(format!("${n} is not a loop variable in scope")))
+                    Err(ExpandError::Invalid(format!(
+                        "${n} is not a loop variable in scope"
+                    )))
                 }
                 n if n.starts_with('f') => Ok(Value::Place(self.scalar_place(n, frame)?)),
                 n if n.starts_with('r') => Ok(Value::Place(self.scalar_place(n, frame)?)),
-                other => Err(ExpandError(format!("unknown variable ${other}"))),
+                other => Err(ExpandError::Invalid(format!("unknown variable ${other}"))),
             },
             TExpr::VecElem(name, idx) => {
                 let idx = self.affine_of(idx, frame, b, params)?;
@@ -771,7 +887,9 @@ impl Expander<'_> {
             .as_list()
             .and_then(|l| l.get(1))
             .and_then(Sexp::as_list)
-            .ok_or_else(|| ExpandError(format!("{what} requires an element list: {sexp}")))?;
+            .ok_or_else(|| {
+                ExpandError::Invalid(format!("{what} requires an element list: {sexp}"))
+            })?;
         items.iter().map(scalar_const).collect()
     }
 
@@ -809,14 +927,14 @@ impl Expander<'_> {
             .as_list()
             .and_then(|l| l.get(1))
             .and_then(Sexp::as_list)
-            .ok_or_else(|| ExpandError(format!("permutation requires indices: {sexp}")))?;
+            .ok_or_else(|| ExpandError::Invalid(format!("permutation requires indices: {sexp}")))?;
         let perm = items
             .iter()
             .map(|e| {
                 e.as_int()
                     .filter(|&v| v >= 1 && v <= items.len() as i64)
                     .map(|v| v - 1)
-                    .ok_or_else(|| ExpandError(format!("bad permutation index in {sexp}")))
+                    .ok_or_else(|| ExpandError::Invalid(format!("bad permutation index in {sexp}")))
             })
             .collect::<Result<Vec<_>, _>>()?;
         for (k, &src) in perm.iter().enumerate() {
@@ -832,17 +950,17 @@ impl Expander<'_> {
     }
 
     fn native_matrix(&mut self, sexp: &Sexp, params: &Params) -> Result<(), ExpandError> {
-        let rows_sexp = &sexp.as_list().unwrap()[1..];
+        let rows_sexp = self.list_parts(sexp, "matrix")?;
         let mut rows: Vec<Vec<Complex>> = Vec::new();
         for r in rows_sexp {
-            let r = r
-                .as_list()
-                .ok_or_else(|| ExpandError(format!("matrix rows must be lists: {sexp}")))?;
+            let r = r.as_list().ok_or_else(|| {
+                ExpandError::Invalid(format!("matrix rows must be lists: {sexp}"))
+            })?;
             rows.push(r.iter().map(scalar_const).collect::<Result<Vec<_>, _>>()?);
         }
         let cols = rows.first().map_or(0, Vec::len);
         if cols == 0 || rows.iter().any(|r| r.len() != cols) {
-            return Err(ExpandError(format!(
+            return Err(ExpandError::Shape(format!(
                 "matrix rows must be non-empty and of equal length: {sexp}"
             )));
         }
@@ -892,14 +1010,12 @@ impl Expander<'_> {
     /// `A: m×n`, `B: p×q` — rewritten and re-expanded so the identity
     /// templates handle the pieces.
     fn native_tensor(&mut self, sexp: &Sexp, params: Params) -> Result<(), ExpandError> {
-        let items = sexp.as_list().unwrap();
-        if items.len() != 3 {
-            return Err(ExpandError(format!(
+        let parts = self.list_parts(sexp, "tensor")?;
+        let [a, b] = parts else {
+            return Err(ExpandError::Shape(format!(
                 "tensor must be binarized before expansion: {sexp}"
             )));
-        }
-        let a = &items[1];
-        let b = &items[2];
+        };
         let (_a_rows, a_cols) = shape_of(a, self.table)?;
         let (b_rows, _b_cols) = shape_of(b, self.table)?;
         let rewritten = Sexp::List(vec![
@@ -923,10 +1039,14 @@ fn scalar_const(e: &Sexp) -> Result<Complex, ExpandError> {
     match e {
         Sexp::Int(v) => Ok(Complex::real(*v as f64)),
         Sexp::Scalar(expr) => {
-            let v = expr.eval().map_err(|err| ExpandError(err.to_string()))?;
+            let v = expr
+                .eval()
+                .map_err(|err| ExpandError::Invalid(err.to_string()))?;
             Ok(Complex::new(v.re, v.im))
         }
-        other => Err(ExpandError(format!("{other} is not a scalar constant"))),
+        other => Err(ExpandError::Invalid(format!(
+            "{other} is not a scalar constant"
+        ))),
     }
 }
 

@@ -45,7 +45,9 @@ pub mod expand;
 pub mod shape;
 pub mod table;
 
-pub use expand::{expand_formula, ExpandError, ExpandOptions};
+pub use expand::{
+    expand_formula, ExpandError, ExpandOptions, DEFAULT_EXPAND_DEPTH, DEFAULT_EXPAND_STEPS,
+};
 pub use table::{Bindings, TemplateTable};
 
 /// The marker head used internally to tag `define`d sub-formulas captured

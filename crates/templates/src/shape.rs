@@ -20,7 +20,25 @@ use crate::UNROLL_MARKER;
 /// Fails for malformed formulas, shape-inconsistent compositions, or
 /// operators with no matching template.
 pub fn shape_of(sexp: &Sexp, table: &TemplateTable) -> Result<(usize, usize), ExpandError> {
-    let err = |msg: String| Err(ExpandError(msg));
+    shape_of_depth(sexp, table, 0)
+}
+
+/// Recursion cap for shape inference. The expander's tensor rewrite can
+/// deepen trees beyond what the parser accepted, so this sits well above
+/// the parser's nesting limit.
+const SHAPE_DEPTH_LIMIT: usize = 2_000;
+
+fn shape_of_depth(
+    sexp: &Sexp,
+    table: &TemplateTable,
+    depth: usize,
+) -> Result<(usize, usize), ExpandError> {
+    if depth > SHAPE_DEPTH_LIMIT {
+        return Err(ExpandError::LimitExceeded(format!(
+            "shape inference recursion depth exceeds {SHAPE_DEPTH_LIMIT}"
+        )));
+    }
+    let err = |msg: String| Err(ExpandError::Invalid(msg));
     let items = match sexp {
         Sexp::List(items) => items,
         other => return err(format!("{other} is not a formula")),
@@ -35,14 +53,16 @@ pub fn shape_of(sexp: &Sexp, table: &TemplateTable) -> Result<(usize, usize), Ex
             .and_then(Sexp::as_int)
             .filter(|&v| v > 0)
             .map(|v| v as usize)
-            .ok_or_else(|| ExpandError(format!("{sexp}: expected positive integer parameter")))
+            .ok_or_else(|| {
+                ExpandError::Invalid(format!("{sexp}: expected positive integer parameter"))
+            })
     };
     match head {
         _ if head == UNROLL_MARKER => {
             let inner = items
                 .get(1)
-                .ok_or_else(|| ExpandError("empty unroll! marker".into()))?;
-            shape_of(inner, table)
+                .ok_or_else(|| ExpandError::Shape("empty unroll! marker".into()))?;
+            shape_of_depth(inner, table, depth + 1)
         }
         "I" | "F" | "J" => {
             let n = int_at(1)?;
@@ -62,7 +82,7 @@ pub fn shape_of(sexp: &Sexp, table: &TemplateTable) -> Result<(usize, usize), Ex
                 .and_then(Sexp::as_list)
                 .map(<[Sexp]>::len)
                 .filter(|&n| n > 0)
-                .ok_or_else(|| ExpandError(format!("{sexp}: expected an element list")))?;
+                .ok_or_else(|| ExpandError::Invalid(format!("{sexp}: expected an element list")))?;
             Ok((n, n))
         }
         "matrix" => {
@@ -71,7 +91,7 @@ pub fn shape_of(sexp: &Sexp, table: &TemplateTable) -> Result<(usize, usize), Ex
                 .get(1)
                 .and_then(Sexp::as_list)
                 .map(<[Sexp]>::len)
-                .ok_or_else(|| ExpandError(format!("{sexp}: expected rows")))?;
+                .ok_or_else(|| ExpandError::Invalid(format!("{sexp}: expected rows")))?;
             if rows == 0 || cols == 0 {
                 return err(format!("{sexp}: empty matrix"));
             }
@@ -89,7 +109,7 @@ pub fn shape_of(sexp: &Sexp, table: &TemplateTable) -> Result<(usize, usize), Ex
             }
             let shapes = parts
                 .iter()
-                .map(|p| shape_of(p, table))
+                .map(|p| shape_of_depth(p, table, depth + 1))
                 .collect::<Result<Vec<_>, _>>()?;
             for w in shapes.windows(2) {
                 if w[0].1 != w[1].0 {
@@ -106,12 +126,16 @@ pub fn shape_of(sexp: &Sexp, table: &TemplateTable) -> Result<(usize, usize), Ex
             if parts.is_empty() {
                 return err("empty tensor".into());
             }
-            let mut rows = 1;
-            let mut cols = 1;
+            let mut rows = 1usize;
+            let mut cols = 1usize;
             for p in parts {
-                let (r, c) = shape_of(p, table)?;
-                rows *= r;
-                cols *= c;
+                let (r, c) = shape_of_depth(p, table, depth + 1)?;
+                rows = rows.checked_mul(r).ok_or_else(|| {
+                    ExpandError::Overflow(format!("tensor rows overflow in {sexp}"))
+                })?;
+                cols = cols.checked_mul(c).ok_or_else(|| {
+                    ExpandError::Overflow(format!("tensor cols overflow in {sexp}"))
+                })?;
             }
             Ok((rows, cols))
         }
@@ -120,12 +144,16 @@ pub fn shape_of(sexp: &Sexp, table: &TemplateTable) -> Result<(usize, usize), Ex
             if parts.is_empty() {
                 return err("empty direct-sum".into());
             }
-            let mut rows = 0;
-            let mut cols = 0;
+            let mut rows = 0usize;
+            let mut cols = 0usize;
             for p in parts {
-                let (r, c) = shape_of(p, table)?;
-                rows += r;
-                cols += c;
+                let (r, c) = shape_of_depth(p, table, depth + 1)?;
+                rows = rows.checked_add(r).ok_or_else(|| {
+                    ExpandError::Overflow(format!("direct-sum rows overflow in {sexp}"))
+                })?;
+                cols = cols.checked_add(c).ok_or_else(|| {
+                    ExpandError::Overflow(format!("direct-sum cols overflow in {sexp}"))
+                })?;
             }
             Ok((rows, cols))
         }
@@ -139,7 +167,7 @@ pub fn shape_of(sexp: &Sexp, table: &TemplateTable) -> Result<(usize, usize), Ex
 fn infer_from_template(sexp: &Sexp, table: &TemplateTable) -> Result<(usize, usize), ExpandError> {
     let (def, bindings) = table
         .find(sexp)?
-        .ok_or_else(|| ExpandError(format!("no template matches {sexp}")))?;
+        .ok_or_else(|| ExpandError::NoMatch(format!("no template matches {sexp}")))?;
     let mut loops: Vec<(String, i64, i64)> = Vec::new();
     let mut max_in: i64 = -1;
     let mut max_out: i64 = -1;
@@ -177,10 +205,9 @@ fn infer_from_template(sexp: &Sexp, table: &TemplateTable) -> Result<(usize, usi
                 scan_expr(rhs, &loops, &bindings, table, &mut max_in)?;
             }
             TemplateStmt::Call { var, args } => {
-                let sub = bindings
-                    .formulas
-                    .get(var)
-                    .ok_or_else(|| ExpandError(format!("unbound formula variable {var}")))?;
+                let sub = bindings.formulas.get(var).ok_or_else(|| {
+                    ExpandError::Invalid(format!("unbound formula variable {var}"))
+                })?;
                 let (sub_rows, sub_cols) = shape_of(sub, table)?;
                 // args: in, out, in_off, out_off, in_stride, out_stride
                 let stride = |k: usize| -> Result<i64, ExpandError> {
@@ -202,7 +229,7 @@ fn infer_from_template(sexp: &Sexp, table: &TemplateTable) -> Result<(usize, usi
         }
     }
     if max_in < 0 || max_out < 0 {
-        return Err(ExpandError(format!(
+        return Err(ExpandError::Invalid(format!(
             "cannot infer sizes of {sexp}: template touches no $in/$out elements"
         )));
     }
@@ -256,7 +283,7 @@ fn range_of(
                     return Ok((*lo, *hi));
                 }
             }
-            Err(ExpandError(format!(
+            Err(ExpandError::Invalid(format!(
                 "${name} is not a loop variable in scope (size inference)"
             )))
         }
@@ -271,7 +298,14 @@ fn range_of(
                 TBinOp::Add => Ok((xl + yl, xh + yh)),
                 TBinOp::Sub => Ok((xl - yh, xh - yl)),
                 TBinOp::Mul => {
-                    let cands = [xl * yl, xl * yh, xh * yl, xh * yh];
+                    let prod = |a: i64, bb: i64| {
+                        a.checked_mul(bb).ok_or_else(|| {
+                            ExpandError::Overflow(
+                                "subscript range overflow (size inference)".into(),
+                            )
+                        })
+                    };
+                    let cands = [prod(xl, yl)?, prod(xl, yh)?, prod(xh, yl)?, prod(xh, yh)?];
                     Ok((*cands.iter().min().unwrap(), *cands.iter().max().unwrap()))
                 }
                 TBinOp::Div | TBinOp::Mod => {
@@ -279,14 +313,14 @@ fn range_of(
                         let v = if *op == TBinOp::Div { xl / yl } else { xl % yl };
                         Ok((v, v))
                     } else {
-                        Err(ExpandError(
+                        Err(ExpandError::Invalid(
                             "non-constant division in subscript (size inference)".into(),
                         ))
                     }
                 }
             }
         }
-        other => Err(ExpandError(format!(
+        other => Err(ExpandError::Invalid(format!(
             "cannot bound expression {other} (size inference)"
         ))),
     }

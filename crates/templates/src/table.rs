@@ -161,16 +161,13 @@ pub fn match_pattern(pattern: &Sexp, subject: &Sexp, b: &mut Bindings) -> bool {
 pub fn static_eval(e: &TExpr, b: &Bindings, table: &TemplateTable) -> Result<i64, ExpandError> {
     match e {
         TExpr::Int(v) => Ok(*v),
-        TExpr::PatVar(name) => b
-            .ints
-            .get(name)
-            .copied()
-            .ok_or_else(|| ExpandError(format!("unbound integer pattern variable {name}"))),
+        TExpr::PatVar(name) => b.ints.get(name).copied().ok_or_else(|| {
+            ExpandError::Invalid(format!("unbound integer pattern variable {name}"))
+        }),
         TExpr::Prop(name, prop) => {
-            let f = b
-                .formulas
-                .get(name)
-                .ok_or_else(|| ExpandError(format!("unbound formula pattern variable {name}")))?;
+            let f = b.formulas.get(name).ok_or_else(|| {
+                ExpandError::Invalid(format!("unbound formula pattern variable {name}"))
+            })?;
             let (rows, cols) = shape_of(f, table)?;
             Ok(match prop {
                 SizeProp::InSize => cols as i64,
@@ -187,19 +184,19 @@ pub fn static_eval(e: &TExpr, b: &Bindings, table: &TemplateTable) -> Result<i64
                 TBinOp::Mul => x * y,
                 TBinOp::Div => {
                     if y == 0 {
-                        return Err(ExpandError("division by zero in template".into()));
+                        return Err(ExpandError::Invalid("division by zero in template".into()));
                     }
                     x / y
                 }
                 TBinOp::Mod => {
                     if y == 0 {
-                        return Err(ExpandError("modulo by zero in template".into()));
+                        return Err(ExpandError::Invalid("modulo by zero in template".into()));
                     }
                     x % y
                 }
             })
         }
-        other => Err(ExpandError(format!(
+        other => Err(ExpandError::Invalid(format!(
             "expression {other} is not a compile-time integer"
         ))),
     }

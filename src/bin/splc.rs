@@ -28,6 +28,10 @@ usage: splc [options] [file.spl]        (stdin when no file)
   --io-params    add offset/stride parameters to subroutines
   --vectorize <m>
                  compile A (x) I_m instead of A (Section 3.5)
+  --max-depth <n>
+                 maximum formula nesting depth accepted by the parser
+  --max-unrolled-ops <n>
+                 maximum unrolled i-code instruction count
   --icode        print the optimized i-code instead of target code
   --run          execute each unit on a deterministic workload and
                  print the output vector (uses the interpreter)
@@ -106,6 +110,14 @@ fn main() -> ExitCode {
             "--vectorize" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(m) => opts.vectorize = Some(m),
                 None => return fail("--vectorize requires an integer"),
+            },
+            "--max-depth" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => opts.limits.max_depth = n,
+                None => return fail("--max-depth requires an integer"),
+            },
+            "--max-unrolled-ops" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => opts.limits.max_unrolled_ops = n,
+                None => return fail("--max-unrolled-ops requires an integer"),
             },
             "--icode" => print_icode = true,
             "--run" => run = true,

@@ -35,6 +35,7 @@
 //! | [`generator`] | `spl-generator` | FFT/WHT/DCT breakdown rules |
 //! | [`search`] | `spl-search` | DP search with k-best plans |
 //! | [`resilience`] | `spl-resilience` | sandboxing, timeouts, crash-safe journal |
+//! | [`fuzz`] | `spl-fuzz` | differential formula fuzzing + shrinking |
 //! | [`minifft`] | `spl-minifft` | the FFTW-like baseline |
 //! | [`numeric`] | `spl-numeric` | complex numbers, references, metrics |
 //! | [`telemetry`] | `spl-telemetry` | phase spans, counters, run reports |
@@ -58,6 +59,7 @@
 pub use spl_compiler as compiler;
 pub use spl_formula as formula;
 pub use spl_frontend as frontend;
+pub use spl_fuzz as fuzz;
 pub use spl_generator as generator;
 pub use spl_icode as icode;
 pub use spl_minifft as minifft;

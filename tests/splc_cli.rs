@@ -89,3 +89,42 @@ fn templates_only_input_is_not_an_error() {
     assert!(ok);
     assert!(err.contains("no formulas"));
 }
+
+#[test]
+fn deeply_nested_formula_is_a_typed_error_not_a_stack_overflow() {
+    // 50k levels of nesting would overflow the stack of a naive
+    // recursive-descent parser; the depth limit must reject it first.
+    let deep = format!(
+        "{}(F 2){}",
+        "(tensor (I 1) ".repeat(50_000),
+        ")".repeat(50_000)
+    );
+    let (_, err, ok) = splc(&[], &deep);
+    assert!(!ok);
+    assert!(err.contains("depth"), "unexpected diagnostic: {err}");
+}
+
+#[test]
+fn max_depth_flag_tightens_the_parser_limit() {
+    let shallow = "(compose (tensor (F 2) (I 2)) (T 4 2) (tensor (I 2) (F 2)) (L 4 2))";
+    let (_, err, ok) = splc(&["--max-depth", "2"], shallow);
+    assert!(!ok);
+    assert!(err.contains("depth"), "unexpected diagnostic: {err}");
+    let (_, _, ok) = splc(&["--max-depth", "16"], shallow);
+    assert!(ok);
+}
+
+#[test]
+fn unrolled_size_cap_is_a_typed_error() {
+    // Fully unrolling a 64-point FFT formula needs far more than 10
+    // instructions; the cap must convert that into a resource error.
+    let src = "#unroll on\n(tensor (F 8) (F 8))";
+    let (_, err, ok) = splc(&["--max-unrolled-ops", "10", "-B", "64"], src);
+    assert!(!ok);
+    assert!(
+        err.contains("--max-unrolled-ops"),
+        "unexpected diagnostic: {err}"
+    );
+    let (_, _, ok) = splc(&["-B", "64"], src);
+    assert!(ok, "default cap must not trip on a 64-point formula");
+}
