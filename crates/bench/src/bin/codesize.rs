@@ -36,7 +36,7 @@ fn run(report: &mut RunReport) {
     for (idx, plans) in large.iter().enumerate() {
         let k = 7 + idx as u32;
         let vm = compile_tree(&plans[0].tree, 64).expect("winner compiles");
-        let ops = vm.static_ops();
+        let ops = vm.float_ops() + vm.int_ops();
         let base_ops = *base.get_or_insert(ops);
         rows.push(vec![
             format!("2^{k}"),

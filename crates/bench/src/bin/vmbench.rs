@@ -1,0 +1,165 @@
+//! VM execution-engine benchmark: old (reference executor) vs. new
+//! (resolved engine) ns/op on fixed FFT sizes 2⁴…2¹⁰.
+//!
+//! The per-size loop code is deterministic (a fixed radix-8 `ct_sequence`
+//! factorization, leaves ≤ 64 unrolled), so runs are comparable across
+//! commits; the result is written to `BENCH_vm.json` for the CI artifact
+//! trail. Fusion and strength-reduction counters accompany each size so
+//! throughput changes can be correlated with what the resolver did.
+//!
+//! Usage: `vmbench [--quick] [--stats] [--out FILE]
+//!                 [--min-median-speedup X]`
+//!
+//! `--min-median-speedup` turns the run into a gate: exit nonzero when
+//! the median resolved-vs-reference speedup falls below `X` (CI uses a
+//! bound well under the ≥2× seen on idle hardware, so a loaded runner
+//! does not flake).
+
+use std::time::Duration;
+
+use spl_bench::{arg_value, print_table, quick_mode, with_report, MEASURE_TIME};
+use spl_generator::fft::{ct_sequence, Rule};
+use spl_search::compile_tree;
+use spl_telemetry::{RunReport, Telemetry};
+use spl_vm::{measure, measure_reference};
+
+/// The fixed radix-8 factorization of 2^k used for every run.
+fn factors(k: u32) -> Vec<usize> {
+    let mut rem = k;
+    let mut f = Vec::new();
+    while rem > 3 {
+        f.push(8);
+        rem -= 3;
+    }
+    if rem > 0 {
+        f.push(1 << rem);
+    }
+    f
+}
+
+struct Row {
+    k: u32,
+    tree: String,
+    old_ns: f64,
+    new_ns: f64,
+    speedup: f64,
+    fused: u64,
+    cursors: u64,
+}
+
+fn main() {
+    let gate: Option<f64> = arg_value("--min-median-speedup").and_then(|v| v.parse().ok());
+    let mut median = 0.0;
+    with_report("vmbench", |report| median = run(report));
+    if let Some(min) = gate {
+        if median < min {
+            eprintln!("vmbench: median speedup {median:.2}x below required {min:.2}x");
+            std::process::exit(1);
+        }
+        eprintln!("vmbench: median speedup {median:.2}x meets required {min:.2}x");
+    }
+}
+
+fn run(report: &mut RunReport) -> f64 {
+    let min_time = if quick_mode() {
+        Duration::from_millis(2)
+    } else {
+        MEASURE_TIME
+    };
+    let stats = std::env::args().any(|a| a == "--stats");
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_vm.json".into());
+
+    let mut tel = Telemetry::new();
+    let mut rows = Vec::new();
+    for k in 4..=10u32 {
+        let tree = ct_sequence(&factors(k), Rule::CooleyTukey);
+        let vm = compile_tree(&tree, 64).expect("fixed candidate compiles");
+        let rs = *vm.resolve_stats().unwrap_or_else(|| {
+            panic!(
+                "2^{k} fell back to the reference executor: {:?}",
+                vm.resolve_fallback()
+            )
+        });
+        let old = measure_reference(&vm, min_time);
+        let new = measure(&vm, min_time);
+        rs.record(&mut tel);
+        let row = Row {
+            k,
+            tree: tree.describe(),
+            old_ns: old.secs_per_call * 1e9,
+            new_ns: new.secs_per_call * 1e9,
+            speedup: old.secs_per_call / new.secs_per_call,
+            fused: rs.fused_muladd + rs.fused_negfold + rs.fused_butterfly,
+            cursors: rs.cursors,
+        };
+        eprintln!(
+            "  2^{k}: old {:.0} ns  new {:.0} ns  ({:.2}x, {} fused ops, {} cursors)",
+            row.old_ns, row.new_ns, row.speedup, row.fused, row.cursors
+        );
+        rows.push(row);
+    }
+
+    let mut speedups: Vec<f64> = rows.iter().map(|r| r.speedup).collect();
+    speedups.sort_by(|a, b| a.total_cmp(b));
+    let median = speedups[speedups.len() / 2];
+    tel.set_metric("vmbench.median_speedup", median);
+
+    print_table(
+        "VM engine: reference executor vs resolved engine (ns per call)",
+        &[
+            "N", "plan", "old ns", "new ns", "speedup", "fused", "cursors",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("2^{}", r.k),
+                    r.tree.clone(),
+                    format!("{:.0}", r.old_ns),
+                    format!("{:.0}", r.new_ns),
+                    format!("{:.2}x", r.speedup),
+                    r.fused.to_string(),
+                    r.cursors.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("\nmedian speedup: {median:.2}x");
+    if stats {
+        for c in tel.counters() {
+            eprintln!("  {:<28} {:>12}", c.name, c.value);
+        }
+    }
+
+    let json = render_json(&rows, median);
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => eprintln!("wrote {out_path}"),
+        Err(e) => eprintln!("note: could not write {out_path}: {e}"),
+    }
+    report.push_section("vm", tel);
+    median
+}
+
+/// Hand-rolled JSON (numbers and plain-ASCII plan strings only), keeping
+/// the artifact dependency-free like the telemetry writer.
+fn render_json(rows: &[Row], median: f64) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::from("{\n  \"sizes\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"n\": {}, \"plan\": \"{}\", \"old_ns\": {:.1}, \"new_ns\": {:.1}, \
+             \"speedup\": {:.3}, \"fused_ops\": {}, \"cursors\": {}}}{}",
+            1u64 << r.k,
+            r.tree,
+            r.old_ns,
+            r.new_ns,
+            r.speedup,
+            r.fused,
+            r.cursors,
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    let _ = write!(s, "  ],\n  \"median_speedup\": {median:.3}\n}}\n");
+    s
+}

@@ -10,7 +10,10 @@
 //!   (`spl_templates` + `spl_icode`), the compiler's front half;
 //! * **native** (optional) — the full pipeline down to `cc`-compiled C
 //!   executed in a fork sandbox (`spl_native`), classifying crashes and
-//!   hangs as their own bug classes.
+//!   hangs as their own bug classes;
+//! * **vm-engine** (optional) — the full pipeline down to the register
+//!   VM (`spl_vm`), cross-checking the resolved execution engine
+//!   against the checked reference executor bit-for-bit.
 //!
 //! Agreement means either *both computed the same vector* (within
 //! tolerance) or *both rejected with a typed error*. One side accepting
@@ -45,6 +48,9 @@ pub enum BugClass {
     NativeHang,
     /// The native pipeline rejected a formula both other oracles ran.
     NativeReject,
+    /// The VM's resolved execution engine disagrees with its checked
+    /// reference executor (bitwise) or with the dense reference.
+    EngineMismatch,
 }
 
 impl BugClass {
@@ -59,6 +65,7 @@ impl BugClass {
             BugClass::NativeCrash => "native-crash",
             BugClass::NativeHang => "native-hang",
             BugClass::NativeReject => "native-reject",
+            BugClass::EngineMismatch => "engine-mismatch",
         }
     }
 }
@@ -108,6 +115,9 @@ pub struct Oracle {
     pub native: bool,
     /// Sandbox execution timeout for the native stage.
     pub native_timeout: Duration,
+    /// Whether to run the VM engine stage: full pipeline to the VM,
+    /// resolved engine vs. reference executor (bitwise) vs. dense.
+    pub vm_engine: bool,
 }
 
 impl Default for Oracle {
@@ -117,6 +127,7 @@ impl Default for Oracle {
             max_eval: 4096,
             native: false,
             native_timeout: Duration::from_secs(10),
+            vm_engine: false,
         }
     }
 }
@@ -179,6 +190,11 @@ impl Oracle {
                 }
                 if self.native {
                     if let Some(bug) = self.native_check(sexp, &d) {
+                        return Verdict::Bug(bug);
+                    }
+                }
+                if self.vm_engine {
+                    if let Some(bug) = self.vm_engine_check(sexp, &d) {
                         return Verdict::Bug(bug);
                     }
                 }
@@ -253,6 +269,69 @@ impl Oracle {
         let got = deinterleave(&y);
         self.compare(want, &got)
             .and_then(|d| bug(BugClass::NativeMismatch, d))
+    }
+
+    /// Runs the full pipeline down to the VM and cross-checks the
+    /// resolved engine against the reference executor bit-for-bit, and
+    /// against the dense reference `want` within tolerance. Pipeline
+    /// rejects are not this stage's concern (the accept/reject
+    /// cross-check belongs to dense-vs-vm) and return `None`.
+    fn vm_engine_check(&self, sexp: &Sexp, want: &[Complex]) -> Option<Bug> {
+        let bug = |class: BugClass, detail: String| {
+            Some(Bug {
+                class,
+                stage: "vm-engine".into(),
+                detail,
+            })
+        };
+        let mut compiler = spl_compiler::Compiler::new();
+        let unit = match quiet_catch(|| compiler.compile_formula_str(&sexp.to_string())) {
+            Err(p) => return bug(BugClass::Panic, p),
+            Ok(Err(_)) => return None,
+            Ok(Ok(u)) => u,
+        };
+        let prog = match quiet_catch(|| spl_vm::lower(&unit.program)) {
+            Err(p) => return bug(BugClass::Panic, p),
+            Ok(Err(_)) => return None,
+            Ok(Ok(p)) => p,
+        };
+        if prog.n_out != 2 * want.len() || prog.n_in % 2 != 0 {
+            return bug(
+                BugClass::EngineMismatch,
+                format!(
+                    "VM I/O width {}x{} vs dense output {}",
+                    prog.n_in,
+                    prog.n_out,
+                    want.len()
+                ),
+            );
+        }
+        let x = interleave(&fuzz_input(prog.n_in / 2));
+        let mut y_ref = vec![0.0; prog.n_out];
+        let mut y_new = vec![0.0; prog.n_out];
+        let mut st = spl_vm::VmState::new(&prog);
+        if let Err(p) = quiet_catch(|| prog.run_reference(&x, &mut y_ref, &mut st)) {
+            return bug(BugClass::Panic, p);
+        }
+        if let Err(p) = quiet_catch(|| prog.run(&x, &mut y_new, &mut st)) {
+            return bug(BugClass::Panic, p);
+        }
+        if let Some(i) = (0..y_ref.len()).find(|&i| y_ref[i].to_bits() != y_new[i].to_bits()) {
+            return bug(
+                BugClass::EngineMismatch,
+                format!(
+                    "resolved vs reference at lane {i}: {:?} vs {:?} ({})",
+                    y_new[i],
+                    y_ref[i],
+                    match prog.resolve_fallback() {
+                        Some(why) => format!("unresolved: {why}"),
+                        None => "resolved".into(),
+                    }
+                ),
+            );
+        }
+        self.compare(want, &deinterleave(&y_new))
+            .and_then(|d| bug(BugClass::EngineMismatch, format!("vs dense: {d}")))
     }
 }
 

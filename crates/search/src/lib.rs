@@ -384,6 +384,11 @@ impl Evaluator for MeasuredEvaluator {
             measure(&vm, self.min_time)
         };
         m.record(&mut self.tel, "timer");
+        if let Some(rs) = vm.resolve_stats() {
+            rs.record(&mut self.tel);
+        } else {
+            self.tel.add("vm.resolve_fallbacks", 1);
+        }
         self.cache.insert(key, m.secs_per_call);
         Ok(m.secs_per_call)
     }

@@ -12,6 +12,16 @@
 //! formulas — which is what the paper's experiments compare — is
 //! preserved (see DESIGN.md, substitution 1).
 //!
+//! Execution has two engines. [`lower`] first builds the flat op
+//! array (the *reference executor*, kept as the checked baseline),
+//! then tries to *resolve* it into a fused, strength-reduced engine
+//! (see [`resolved`]): peephole fusion produces multiply–add,
+//! negate-folded, and butterfly macro-ops, and every operand becomes
+//! a precomputed cursor into one unified arena, advanced by constant
+//! strides at loop latches. [`VmProgram::run`] routes to the resolved
+//! engine when resolution succeeded (bit-identical to the reference
+//! executor by construction) and falls back otherwise.
+//!
 //! # Examples
 //!
 //! ```
@@ -32,7 +42,9 @@
 
 pub mod convert;
 pub mod program;
+pub mod resolved;
 pub mod timer;
 
 pub use program::{lower, VmError, VmProgram, VmState};
-pub use timer::{describe_policy, measure, measure_with_reps, Measurement};
+pub use resolved::ResolveStats;
+pub use timer::{describe_policy, measure, measure_reference, measure_with_reps, Measurement};

@@ -5,13 +5,50 @@ use std::fmt;
 
 use spl_icode::{Affine, BinOp, IProgram, Instr, Place, UnOp, Value, VecKind, VecRef};
 
-/// A lowering or execution error.
+use crate::resolved::{resolve, ResolveStats, ResolvedProgram, Unsupported};
+
+/// A lowering error.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct VmError(pub String);
+pub enum VmError {
+    /// The program is complex-typed; run the type transformation first.
+    ComplexProgram,
+    /// A float op writes to an input or table vector.
+    WriteToReadOnly,
+    /// A float op targets an `$r` register.
+    IntDstInFloatOp,
+    /// A complex constant survived into a real-typed program.
+    ComplexConstant,
+    /// An intrinsic survived to lowering.
+    Intrinsic,
+    /// An operand of an integer op is not an integer (debug rendering
+    /// of the offending value).
+    NonIntegerOperand(String),
+    /// A `do`-end without a matching `do`.
+    UnmatchedLoopEnd,
+    /// A `do` without a matching end.
+    UnclosedLoop,
+    /// An affine subscript can reach a negative address at runtime
+    /// (which the release-mode executor would silently wrap).
+    NegativeAddress(String),
+}
 
 impl fmt::Display for VmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "vm: {}", self.0)
+        write!(f, "vm: ")?;
+        match self {
+            VmError::ComplexProgram => write!(
+                f,
+                "the VM executes real-typed programs; run the type transformation first"
+            ),
+            VmError::WriteToReadOnly => write!(f, "write to read-only vector"),
+            VmError::IntDstInFloatOp => write!(f, "integer destination in float op"),
+            VmError::ComplexConstant => write!(f, "complex constant in real program"),
+            VmError::Intrinsic => write!(f, "intrinsics must be evaluated before lowering"),
+            VmError::NonIntegerOperand(v) => write!(f, "operand {v} is not an integer"),
+            VmError::UnmatchedLoopEnd => write!(f, "unmatched end"),
+            VmError::UnclosedLoop => write!(f, "unclosed loop at end of program"),
+            VmError::NegativeAddress(d) => write!(f, "negative-reachable subscript: {d}"),
+        }
     }
 }
 
@@ -20,8 +57,8 @@ impl Error for VmError {}
 /// A runtime address: `base + Σ coeff·loop[slot]`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Addr {
-    base: i64,
-    terms: Vec<(i64, u32)>,
+    pub(crate) base: i64,
+    pub(crate) terms: Vec<(i64, u32)>,
 }
 
 impl Addr {
@@ -152,9 +189,16 @@ pub enum Op {
 }
 
 /// A lowered, executable program.
+///
+/// [`lower`] additionally tries to *resolve* the program into the
+/// fused, strength-reduced engine (see [`crate::resolved`]); when that
+/// succeeds, [`VmProgram::run`] executes through it, otherwise through
+/// the checked reference executor ([`VmProgram::run_reference`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct VmProgram {
     code: Vec<Op>,
+    /// The resolved engine, or why resolution was declined.
+    resolved: Result<ResolvedProgram, Unsupported>,
     /// Input vector length (in `f64` words).
     pub n_in: usize,
     /// Output vector length (in `f64` words).
@@ -186,20 +230,61 @@ impl VmProgram {
             + self.n_loop * std::mem::size_of::<i64>()
     }
 
-    /// Static operation count (loop bodies counted once).
-    pub fn static_ops(&self) -> usize {
+    /// Static float-arithmetic operation count (loop bodies counted
+    /// once): the adds, subs, muls, divs, copies, and negations.
+    pub fn float_ops(&self) -> usize {
         self.code
             .iter()
-            .filter(|op| !matches!(op, Op::LoopStart { .. } | Op::LoopEnd { .. }))
+            .filter(|op| matches!(op, Op::Bin { .. } | Op::Un { .. }))
             .count()
     }
 
-    /// Executes the program.
+    /// Static integer bookkeeping operation count (`$r` arithmetic in
+    /// unoptimized code; loop bodies counted once).
+    pub fn int_ops(&self) -> usize {
+        self.code
+            .iter()
+            .filter(|op| matches!(op, Op::IntBin { .. } | Op::IntUn { .. }))
+            .count()
+    }
+
+    /// `true` when [`VmProgram::run`] executes through the resolved
+    /// engine rather than the reference executor.
+    pub fn is_resolved(&self) -> bool {
+        self.resolved.is_ok()
+    }
+
+    /// Fusion and strength-reduction counters, when resolution
+    /// succeeded.
+    pub fn resolve_stats(&self) -> Option<&ResolveStats> {
+        self.resolved.as_ref().ok().map(|r| r.stats())
+    }
+
+    /// Why the program fell back to the reference executor, if it did.
+    pub fn resolve_fallback(&self) -> Option<&'static str> {
+        self.resolved.as_ref().err().map(|u| u.0)
+    }
+
+    /// Enables hardware fused multiply–add for the fused macro-ops.
+    ///
+    /// Off by default: single-rounding FMA is faster on FMA-capable
+    /// targets but **not bit-identical** to the reference executor
+    /// (and slower where `f64::mul_add` falls back to libm).
+    pub fn set_fma(&mut self, on: bool) {
+        if let Ok(rp) = &mut self.resolved {
+            rp.set_fma(on);
+        }
+    }
+
+    /// Executes the program through the resolved engine when
+    /// available, else through the reference executor.
     ///
     /// Like the Fortran the code generator emits, temporary storage is
     /// *static*: a reused [`VmState`] keeps temp contents across calls
     /// (well-formed generated code writes every temp element before
-    /// reading it, so this is unobservable there).
+    /// reading it, so this is unobservable there). Reuse a state with
+    /// one engine only: the resolved engine keeps temps in its arena,
+    /// the reference executor in its own vector.
     ///
     /// # Panics
     ///
@@ -209,6 +294,19 @@ impl VmProgram {
     /// and has no error channel on the hot path; use the i-code
     /// interpreter when you need checked execution.
     pub fn run(&self, x: &[f64], y: &mut [f64], st: &mut VmState) {
+        if let Ok(rp) = &self.resolved {
+            assert_eq!(x.len(), self.n_in, "input length mismatch");
+            assert_eq!(y.len(), self.n_out, "output length mismatch");
+            rp.run(x, y, st);
+        } else {
+            self.run_reference(x, y, st);
+        }
+    }
+
+    /// Executes the program through the original op-at-a-time
+    /// reference executor (the checked baseline the resolved engine
+    /// is differentially tested against).
+    pub fn run_reference(&self, x: &[f64], y: &mut [f64], st: &mut VmState) {
         assert_eq!(x.len(), self.n_in, "input length mismatch");
         assert_eq!(y.len(), self.n_out, "output length mismatch");
         let code = &self.code[..];
@@ -320,22 +418,118 @@ impl VmProgram {
 /// arena).
 #[derive(Debug, Clone)]
 pub struct VmState {
-    f: Vec<f64>,
-    r: Vec<i64>,
-    loops: Vec<i64>,
-    temps: Vec<f64>,
+    pub(crate) f: Vec<f64>,
+    pub(crate) r: Vec<i64>,
+    pub(crate) loops: Vec<i64>,
+    pub(crate) temps: Vec<f64>,
+    /// Unified arena of the resolved engine (empty when the program
+    /// is unresolved).
+    pub(crate) arena: Vec<f64>,
+    /// Cursor file of the resolved engine.
+    pub(crate) cur: Vec<i64>,
 }
 
 impl VmState {
     /// Allocates state sized for a program.
     pub fn new(prog: &VmProgram) -> VmState {
+        let (arena, cur) = match &prog.resolved {
+            Ok(rp) => (rp.fresh_arena(), rp.init_cursors().to_vec()),
+            Err(_) => (Vec::new(), Vec::new()),
+        };
         VmState {
             f: vec![0.0; prog.n_f],
             r: vec![0; prog.n_r],
             loops: vec![0; prog.n_loop],
             temps: vec![0.0; prog.temp_len],
+            arena,
+            cur,
         }
     }
+}
+
+/// Rejects programs where an affine subscript can reach a negative
+/// address: `Addr::eval` only `debug_assert`s non-negativity, so in
+/// release builds a negative address would wrap to a huge `usize` and
+/// panic far away at slice indexing (or, in the unified-arena engine,
+/// silently read a neighboring region). All loop bounds are
+/// compile-time constants and every bound combination is reached, so
+/// the interval box over the enclosing ranges is exact; subscripts
+/// under a zero-trip loop are skipped (the access never executes), and
+/// out-of-scope variables are widened to every value their slot can
+/// hold (including the initial 0).
+fn check_negative_reachable(
+    prog: &IProgram,
+    temp_offsets: &[usize],
+    table_offsets: &[usize],
+) -> Result<(), VmError> {
+    use std::collections::HashMap;
+    let mut union: HashMap<u32, (i64, i64)> = HashMap::new();
+    for ins in &prog.instrs {
+        if let Instr::DoStart { var, lo, hi, .. } = ins {
+            if lo <= hi {
+                let e = union.entry(var.0).or_insert((0, 0));
+                e.0 = e.0.min(*lo);
+                e.1 = e.1.max(*hi);
+            }
+        }
+    }
+    let check_vec = |stack: &[(u32, i64, i64)], vr: &VecRef| -> Result<(), VmError> {
+        let off = match vr.kind {
+            VecKind::Temp(t) => temp_offsets.get(t as usize).copied().unwrap_or(0) as i128,
+            VecKind::Table(t) => table_offsets.get(t as usize).copied().unwrap_or(0) as i128,
+            _ => 0,
+        };
+        let mut min = vr.idx.c as i128 + off;
+        for &(c, lv) in &vr.idx.terms {
+            let (lo, hi) = stack
+                .iter()
+                .rev()
+                .find(|&&(v, _, _)| v == lv.0)
+                .map(|&(_, lo, hi)| (lo, hi))
+                .or_else(|| union.get(&lv.0).copied())
+                .unwrap_or((0, 0));
+            min += (c as i128 * lo as i128).min(c as i128 * hi as i128);
+        }
+        if min < 0 {
+            return Err(VmError::NegativeAddress(format!(
+                "{:?}[{:?}] reaches address {min}",
+                vr.kind, vr.idx
+            )));
+        }
+        Ok(())
+    };
+    let mut stack: Vec<(u32, i64, i64)> = Vec::new();
+    for ins in &prog.instrs {
+        match ins {
+            Instr::DoStart { var, lo, hi, .. } => stack.push((var.0, *lo, *hi)),
+            Instr::DoEnd => {
+                stack.pop();
+            }
+            Instr::Bin { dst, a, b, .. } => {
+                if stack.iter().all(|&(_, lo, hi)| lo <= hi) {
+                    if let Place::Vec(vr) = dst {
+                        check_vec(&stack, vr)?;
+                    }
+                    for v in [a, b] {
+                        if let Value::Place(Place::Vec(vr)) = v {
+                            check_vec(&stack, vr)?;
+                        }
+                    }
+                }
+            }
+            Instr::Un { dst, a, .. } => {
+                if stack.iter().all(|&(_, lo, hi)| lo <= hi) {
+                    if let Place::Vec(vr) = dst {
+                        check_vec(&stack, vr)?;
+                    }
+                    if let Value::Place(Place::Vec(vr)) = a {
+                        check_vec(&stack, vr)?;
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Lowers a *real-typed* i-code program (after type transformation) to a
@@ -343,13 +537,11 @@ impl VmState {
 ///
 /// # Errors
 ///
-/// Fails on complex programs, surviving intrinsics, or operands the VM
-/// cannot encode.
+/// Fails on complex programs, surviving intrinsics, operands the VM
+/// cannot encode, or subscripts that can reach a negative address.
 pub fn lower(prog: &IProgram) -> Result<VmProgram, VmError> {
     if prog.complex {
-        return Err(VmError(
-            "the VM executes real-typed programs; run the type transformation first".into(),
-        ));
+        return Err(VmError::ComplexProgram);
     }
     // Flatten temps and tables into single arenas.
     let mut temp_offsets = Vec::with_capacity(prog.temps.len());
@@ -364,6 +556,7 @@ pub fn lower(prog: &IProgram) -> Result<VmProgram, VmError> {
         table_offsets.push(tables.len());
         tables.extend(t.iter().map(|c| c.re));
     }
+    check_negative_reachable(prog, &temp_offsets, &table_offsets)?;
 
     let addr_of = |v: &VecRef| -> Addr {
         let mut a = Addr::from_affine(&v.idx);
@@ -380,9 +573,9 @@ pub fn lower(prog: &IProgram) -> Result<VmProgram, VmError> {
             Place::Vec(v) => match v.kind {
                 VecKind::Out => Ok(Dst::Out(addr_of(v))),
                 VecKind::Temp(_) => Ok(Dst::Temp(addr_of(v))),
-                VecKind::In | VecKind::Table(_) => Err(VmError("write to read-only vector".into())),
+                VecKind::In | VecKind::Table(_) => Err(VmError::WriteToReadOnly),
             },
-            Place::R(_) => Err(VmError("integer destination in float op".into())),
+            Place::R(_) => Err(VmError::IntDstInFloatOp),
         }
     };
     let src_of = |v: &Value| -> Result<Src, VmError> {
@@ -391,7 +584,7 @@ pub fn lower(prog: &IProgram) -> Result<VmProgram, VmError> {
                 if c.is_real() {
                     Ok(Src::Const(c.re))
                 } else {
-                    Err(VmError("complex constant in real program".into()))
+                    Err(VmError::ComplexConstant)
                 }
             }
             Value::Int(i) => Ok(Src::Const(*i as f64)),
@@ -404,9 +597,7 @@ pub fn lower(prog: &IProgram) -> Result<VmProgram, VmError> {
                 VecKind::Temp(_) => Src::Temp(addr_of(vr)),
                 VecKind::Table(_) => Src::Table(addr_of(vr)),
             }),
-            Value::Intrinsic(_, _) => Err(VmError(
-                "intrinsics must be evaluated before lowering".into(),
-            )),
+            Value::Intrinsic(_, _) => Err(VmError::Intrinsic),
         }
     };
     let isrc_of = |v: &Value| -> Result<ISrc, VmError> {
@@ -415,7 +606,7 @@ pub fn lower(prog: &IProgram) -> Result<VmProgram, VmError> {
             Value::Const(c) if c.is_real() && c.re.fract() == 0.0 => Ok(ISrc::Const(c.re as i64)),
             Value::LoopIdx(lv) => Ok(ISrc::Loop(lv.0)),
             Value::Place(Place::R(k)) => Ok(ISrc::R(*k)),
-            other => Err(VmError(format!("operand {other:?} is not an integer"))),
+            other => Err(VmError::NonIntegerOperand(format!("{other:?}"))),
         }
     };
 
@@ -432,9 +623,7 @@ pub fn lower(prog: &IProgram) -> Result<VmProgram, VmError> {
                 });
             }
             Instr::DoEnd => {
-                let (start_pc, var, hi) = loop_stack
-                    .pop()
-                    .ok_or_else(|| VmError("unmatched end".into()))?;
+                let (start_pc, var, hi) = loop_stack.pop().ok_or(VmError::UnmatchedLoopEnd)?;
                 let end_pc = code.len();
                 code.push(Op::LoopEnd { var, hi, start_pc });
                 if let Op::LoopStart { end_pc: e, .. } = &mut code[start_pc] {
@@ -477,10 +666,11 @@ pub fn lower(prog: &IProgram) -> Result<VmProgram, VmError> {
         }
     }
     if !loop_stack.is_empty() {
-        return Err(VmError("unclosed loop at end of program".into()));
+        return Err(VmError::UnclosedLoop);
     }
-    Ok(VmProgram {
+    let mut vm = VmProgram {
         code,
+        resolved: Err(Unsupported("unresolved")),
         n_in: prog.n_in,
         n_out: prog.n_out,
         temp_len,
@@ -488,7 +678,9 @@ pub fn lower(prog: &IProgram) -> Result<VmProgram, VmError> {
         n_f: prog.n_f as usize,
         n_r: prog.n_r as usize,
         n_loop: prog.n_loop as usize,
-    })
+    };
+    vm.resolved = resolve(&vm);
+    Ok(vm)
 }
 
 #[cfg(test)]
@@ -666,6 +858,322 @@ mod tests {
             ..spl_icode::IProgram::empty()
         };
         assert!(lower(&prog).is_err());
+    }
+
+    #[test]
+    fn negative_reachable_address_rejected_by_lower() {
+        use spl_icode::{Affine, Instr, LoopVar, Place, UnOp, Value, VecKind, VecRef};
+        // out[i - 2] with i in 0..=3 reaches address -2: in release the
+        // old executor would wrap this to a huge usize and panic at
+        // slice indexing; lowering must reject it with a typed error.
+        let prog = spl_icode::IProgram {
+            instrs: vec![
+                Instr::DoStart {
+                    var: LoopVar(0),
+                    lo: 0,
+                    hi: 3,
+                    unroll: false,
+                },
+                Instr::Un {
+                    op: UnOp::Copy,
+                    dst: Place::Vec(VecRef {
+                        kind: VecKind::Out,
+                        idx: Affine {
+                            c: -2,
+                            terms: vec![(1, LoopVar(0))],
+                        },
+                    }),
+                    a: Value::Const(spl_numeric::Complex::real(1.0)),
+                },
+                Instr::DoEnd,
+            ],
+            n_in: 4,
+            n_out: 4,
+            n_loop: 1,
+            complex: false,
+            ..spl_icode::IProgram::empty()
+        };
+        match lower(&prog) {
+            Err(VmError::NegativeAddress(_)) => {}
+            other => panic!("expected NegativeAddress, got {other:?}"),
+        }
+        // The same subscript shifted into range is accepted.
+        let mut ok = prog;
+        if let Instr::Un {
+            dst: Place::Vec(vr),
+            ..
+        } = &mut ok.instrs[1]
+        {
+            vr.idx.c = 0;
+        }
+        assert!(lower(&ok).is_ok());
+    }
+
+    #[test]
+    fn negative_address_under_zero_trip_loop_is_allowed() {
+        use spl_icode::{Affine, Instr, LoopVar, Place, UnOp, Value, VecKind, VecRef};
+        // The body never executes, so the hazard is unreachable — this
+        // mirrors the executor's zero-trip guard.
+        let prog = spl_icode::IProgram {
+            instrs: vec![
+                Instr::DoStart {
+                    var: LoopVar(0),
+                    lo: 5,
+                    hi: 2,
+                    unroll: false,
+                },
+                Instr::Un {
+                    op: UnOp::Copy,
+                    dst: Place::Vec(VecRef {
+                        kind: VecKind::Out,
+                        idx: Affine::constant(-7),
+                    }),
+                    a: Value::Const(spl_numeric::Complex::real(1.0)),
+                },
+                Instr::DoEnd,
+            ],
+            n_in: 1,
+            n_out: 1,
+            n_loop: 1,
+            complex: false,
+            ..spl_icode::IProgram::empty()
+        };
+        let vm = lower(&prog).unwrap();
+        let mut y = [0.0];
+        vm.run(&[0.0], &mut y, &mut VmState::new(&vm));
+        assert_eq!(y[0], 0.0);
+    }
+
+    #[test]
+    fn resolved_engine_bit_identical_to_reference() {
+        let sources = [
+            "(F 2)",
+            "(F 8)",
+            "(compose (tensor (F 2) (I 4)) (T 8 4) (tensor (I 2) (compose (tensor (F 2) (I 2)) (T 4 2) (tensor (I 2) (F 2)) (L 4 2))) (L 8 2))",
+            "(compose (F 4) (F 4))",
+        ];
+        for src in sources {
+            for level in [OptLevel::None, OptLevel::ScalarTemps, OptLevel::Default] {
+                let vm = compile(
+                    src,
+                    CompilerOptions {
+                        opt_level: level,
+                        ..Default::default()
+                    },
+                );
+                assert!(
+                    vm.is_resolved(),
+                    "{src} at {level:?} fell back: {:?}",
+                    vm.resolve_fallback()
+                );
+                let x: Vec<f64> = (0..vm.n_in).map(|i| ((i as f64) * 0.7311).sin()).collect();
+                let mut y_new = vec![0.0; vm.n_out];
+                let mut y_ref = vec![0.0; vm.n_out];
+                vm.run(&x, &mut y_new, &mut VmState::new(&vm));
+                vm.run_reference(&x, &mut y_ref, &mut VmState::new(&vm));
+                for (a, b) in y_new.iter().zip(&y_ref) {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "{src} at {level:?}: engines disagree"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fusion_and_hoist_counters_are_reported() {
+        // An 8-point FFT has butterflies and twiddle multiplications
+        // feeding adds, and its looped form has strided subscripts —
+        // all three fusion classes and the LSR counters should fire.
+        let src = "(compose (tensor (F 2) (I 4)) (T 8 4) (tensor (I 2) (F 4)) (L 8 2))";
+        let vm = compile(src, CompilerOptions::default());
+        let stats = *vm.resolve_stats().expect("resolved");
+        assert!(stats.fused_butterfly > 0, "{stats:?}");
+        assert!(stats.fused_muladd > 0, "{stats:?}");
+        assert!(stats.cursors > 0, "{stats:?}");
+        assert!(stats.hoisted_terms > 0, "{stats:?}");
+        let mut tel = spl_telemetry::Telemetry::new();
+        stats.record(&mut tel);
+        assert_eq!(
+            tel.counter("vm.fuse.butterfly"),
+            Some(stats.fused_butterfly)
+        );
+        assert_eq!(tel.counter("vm.lsr.cursors"), Some(stats.cursors));
+    }
+
+    #[test]
+    fn aliased_butterfly_pattern_is_not_misfused() {
+        use spl_icode::{Affine, BinOp, Instr, LoopVar, Place, Value, VecKind, VecRef};
+        // t[0] = t[0] + t[1]; out[0] = t[0] - t[1]: the second op must
+        // read the UPDATED t[0], so butterfly fusion (which reads each
+        // operand once) would be wrong here. Both engines must agree.
+        let t = |i: i64| {
+            Place::Vec(VecRef {
+                kind: VecKind::Temp(0),
+                idx: Affine::constant(i),
+            })
+        };
+        let out = |i: i64| {
+            Place::Vec(VecRef {
+                kind: VecKind::Out,
+                idx: Affine::constant(i),
+            })
+        };
+        let input = |i: i64| {
+            Value::Place(Place::Vec(VecRef {
+                kind: VecKind::In,
+                idx: Affine::constant(i),
+            }))
+        };
+        let prog = spl_icode::IProgram {
+            instrs: vec![
+                Instr::Un {
+                    op: spl_icode::UnOp::Copy,
+                    dst: t(0),
+                    a: input(0),
+                },
+                Instr::Un {
+                    op: spl_icode::UnOp::Copy,
+                    dst: t(1),
+                    a: input(1),
+                },
+                Instr::Bin {
+                    op: BinOp::Add,
+                    dst: t(0),
+                    a: Value::Place(t(0)),
+                    b: Value::Place(t(1)),
+                },
+                Instr::Bin {
+                    op: BinOp::Sub,
+                    dst: out(0),
+                    a: Value::Place(t(0)),
+                    b: Value::Place(t(1)),
+                },
+                Instr::Bin {
+                    op: BinOp::Sub,
+                    dst: out(1),
+                    a: Value::Place(t(0)),
+                    b: Value::Place(t(1)),
+                },
+            ],
+            n_in: 2,
+            n_out: 2,
+            temps: vec![2],
+            n_loop: 0,
+            complex: false,
+            ..spl_icode::IProgram::empty()
+        };
+        let _ = LoopVar(0);
+        let vm = lower(&prog).unwrap();
+        assert!(vm.is_resolved());
+        let x = [3.0, 5.0];
+        let mut y_new = [0.0; 2];
+        let mut y_ref = [0.0; 2];
+        vm.run(&x, &mut y_new, &mut VmState::new(&vm));
+        vm.run_reference(&x, &mut y_ref, &mut VmState::new(&vm));
+        assert_eq!(y_new, y_ref);
+        assert_eq!(y_new, [3.0, 3.0]); // (3+5) - 5, twice
+    }
+
+    #[test]
+    fn deep_nested_loops_stride_correctly() {
+        use spl_icode::{Affine, Instr, LoopVar, Place, Value, VecKind, VecRef};
+        // out[8i + 4j + k + 3 - (i + j + k)] over a 2x2x4 nest: mixed
+        // strides, a shared subscript between two loops, and a negative
+        // coefficient component. Compare engines bit-for-bit.
+        let idx = Affine {
+            c: 3,
+            terms: vec![(7, LoopVar(0)), (3, LoopVar(1)), (0, LoopVar(2))],
+        };
+        let src_idx = Affine {
+            c: 0,
+            terms: vec![(8, LoopVar(0)), (4, LoopVar(1)), (1, LoopVar(2))],
+        };
+        let prog = spl_icode::IProgram {
+            instrs: vec![
+                Instr::DoStart {
+                    var: LoopVar(0),
+                    lo: 0,
+                    hi: 1,
+                    unroll: false,
+                },
+                Instr::DoStart {
+                    var: LoopVar(1),
+                    lo: 0,
+                    hi: 1,
+                    unroll: false,
+                },
+                Instr::DoStart {
+                    var: LoopVar(2),
+                    lo: 0,
+                    hi: 3,
+                    unroll: false,
+                },
+                Instr::Bin {
+                    op: spl_icode::BinOp::Add,
+                    dst: Place::Vec(VecRef {
+                        kind: VecKind::Out,
+                        idx,
+                    }),
+                    a: Value::Place(Place::Vec(VecRef {
+                        kind: VecKind::In,
+                        idx: src_idx,
+                    })),
+                    b: Value::Const(spl_numeric::Complex::real(0.5)),
+                },
+                Instr::DoEnd,
+                Instr::DoEnd,
+                Instr::DoEnd,
+            ],
+            n_in: 16,
+            n_out: 16,
+            n_loop: 3,
+            complex: false,
+            ..spl_icode::IProgram::empty()
+        };
+        let vm = lower(&prog).unwrap();
+        assert!(vm.is_resolved(), "{:?}", vm.resolve_fallback());
+        let x: Vec<f64> = (0..16).map(|i| (i as f64) * 1.5 - 3.0).collect();
+        let mut y_new = vec![0.0; 16];
+        let mut y_ref = vec![0.0; 16];
+        vm.run(&x, &mut y_new, &mut VmState::new(&vm));
+        vm.run_reference(&x, &mut y_ref, &mut VmState::new(&vm));
+        assert_eq!(y_new, y_ref);
+    }
+
+    #[test]
+    fn fma_mode_is_opt_in_and_still_close() {
+        let src = "(compose (tensor (F 2) (I 4)) (T 8 4) (tensor (I 2) (F 4)) (L 8 2))";
+        let mut vm = compile(src, CompilerOptions::default());
+        let x: Vec<f64> = (0..vm.n_in).map(|i| ((i as f64) * 0.31).cos()).collect();
+        let mut y_plain = vec![0.0; vm.n_out];
+        vm.run(&x, &mut y_plain, &mut VmState::new(&vm));
+        vm.set_fma(true);
+        let mut y_fma = vec![0.0; vm.n_out];
+        vm.run(&x, &mut y_fma, &mut VmState::new(&vm));
+        for (a, b) in y_fma.iter().zip(&y_plain) {
+            assert!((a - b).abs() <= 1e-12 * b.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn float_and_int_op_counts_are_split() {
+        // Unoptimized code keeps $r bookkeeping; the split counters
+        // must not blend it into the float arithmetic count.
+        let vm = compile(
+            "(F 4)",
+            CompilerOptions {
+                opt_level: OptLevel::None,
+                ..Default::default()
+            },
+        );
+        assert!(vm.float_ops() > 0);
+        assert!(vm.int_ops() > 0);
+        let opt = compile("(F 4)", CompilerOptions::default());
+        assert_eq!(opt.int_ops(), 0, "optimized code has no $r arithmetic");
+        assert!(opt.float_ops() > 0);
     }
 
     #[test]

@@ -1,0 +1,1231 @@
+//! The resolved execution engine: peephole fusion + loop strength
+//! reduction over the flat VM program.
+//!
+//! [`resolve`] lowers a [`VmProgram`]'s op list one stage further than
+//! [`crate::lower`]:
+//!
+//! 1. **Fusion** (peephole, in source order): negate folding
+//!    (`t = -s; d = x ± t` becomes a single add/sub), multiply–add
+//!    fusion (`t = a·b; d = t ± c` or `d = c − t` becomes one
+//!    macro-op), and butterfly pairing (`d1 = a + b; d2 = a − b`
+//!    becomes one macro-op that reads each operand once). Every
+//!    rewrite preserves the exact sequence of f64 roundings, so fused
+//!    execution is bit-identical to the reference executor (see
+//!    [`ResolvedProgram::set_fma`] for the one documented exception).
+//! 2. **Loop strength reduction**: every operand becomes a *cursor* —
+//!    an index into one unified `f64` arena holding the `$f`
+//!    registers, constant tables, immediates, input, output, and
+//!    temporaries. Cursors are initialized once per run (with all
+//!    loop-invariant address components folded in) and advanced by
+//!    precomputed per-loop strides at each loop latch, so the hot
+//!    path never evaluates an affine subscript and never dispatches
+//!    on operand kind.
+//! 3. **Block-structured loops**: counted loops run as native `for`
+//!    loops over their body range — trip handling lives outside the
+//!    op dispatch entirely.
+//!
+//! Programs the resolver cannot prove safe (subscripts referencing
+//! out-of-scope loop variables, address ranges that leave their
+//! region, arithmetic overflow in stride precomputation) stay
+//! unresolved; [`VmProgram::run`] then falls back to the checked
+//! reference executor, preserving the old observable behavior.
+
+use std::collections::HashMap;
+
+use spl_icode::BinOp;
+use spl_telemetry::Telemetry;
+
+use crate::program::{Addr, Dst, ISrc, Op, Src, VmProgram, VmState};
+
+/// Counters from fusion and loop strength reduction, reported through
+/// `spl-telemetry` as `vm.fuse.*` / `vm.lsr.*`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResolveStats {
+    /// `mul`+`add`/`sub` pairs fused into multiply–add macro-ops.
+    pub fused_muladd: u64,
+    /// Negations folded into a following add/sub.
+    pub fused_negfold: u64,
+    /// `(a+b, a−b)` pairs fused into butterfly macro-ops.
+    pub fused_butterfly: u64,
+    /// Address cursors materialized (one per distinct operand per
+    /// loop context).
+    pub cursors: u64,
+    /// Per-loop stride increments registered on loop latches.
+    pub strength_reduced_steps: u64,
+    /// Affine subscript terms hoisted out of per-access evaluation.
+    pub hoisted_terms: u64,
+}
+
+impl ResolveStats {
+    /// Records the counters into a telemetry sink.
+    pub fn record(&self, tel: &mut Telemetry) {
+        tel.add("vm.fuse.muladd", self.fused_muladd);
+        tel.add("vm.fuse.negfold", self.fused_negfold);
+        tel.add("vm.fuse.butterfly", self.fused_butterfly);
+        tel.add("vm.lsr.cursors", self.cursors);
+        tel.add("vm.lsr.steps", self.strength_reduced_steps);
+        tel.add("vm.lsr.hoisted_terms", self.hoisted_terms);
+    }
+}
+
+/// Why a program stayed on the reference executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Unsupported(pub(crate) &'static str);
+
+/// An integer operand of a rare-path resolved op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RI {
+    Const(i64),
+    R(u32),
+    Loop(u32),
+}
+
+/// A resolved operation. All `u32` float operands are *cursor*
+/// indices; the cursor holds the current arena cell of the operand.
+#[derive(Debug, Clone, PartialEq)]
+enum ROp {
+    Add {
+        d: u32,
+        a: u32,
+        b: u32,
+    },
+    Sub {
+        d: u32,
+        a: u32,
+        b: u32,
+    },
+    Mul {
+        d: u32,
+        a: u32,
+        b: u32,
+    },
+    Div {
+        d: u32,
+        a: u32,
+        b: u32,
+    },
+    Copy {
+        d: u32,
+        a: u32,
+    },
+    Neg {
+        d: u32,
+        a: u32,
+    },
+    /// `d = a·b + c`.
+    MulAdd {
+        d: u32,
+        a: u32,
+        b: u32,
+        c: u32,
+    },
+    /// `d = a·b − c`.
+    MulSub {
+        d: u32,
+        a: u32,
+        b: u32,
+        c: u32,
+    },
+    /// `d = c − a·b`.
+    NegMulAdd {
+        d: u32,
+        a: u32,
+        b: u32,
+        c: u32,
+    },
+    /// `d1 = a + b; d2 = a − b` with one read of each operand.
+    Butterfly {
+        d1: u32,
+        d2: u32,
+        a: u32,
+        b: u32,
+    },
+    /// Spills `r[r_idx] as f64` into the scratch cell behind cursor
+    /// `d` (rare, unoptimized code only).
+    RToCell {
+        d: u32,
+        r_idx: u32,
+    },
+    /// Spills `loop[slot] as f64` into the scratch cell behind `d`.
+    LoopToCell {
+        d: u32,
+        slot: u32,
+    },
+    IntBin {
+        op: BinOp,
+        dst: u32,
+        a: RI,
+        b: RI,
+    },
+    IntUn {
+        neg: bool,
+        dst: u32,
+        a: RI,
+    },
+}
+
+/// A node of the block-structured program.
+#[derive(Debug, Clone, PartialEq)]
+enum RNode {
+    Op(ROp),
+    /// A counted loop; its body is `nodes[self+1 .. end]`.
+    Loop {
+        /// Trip count (0 for a zero-trip loop: body skipped).
+        trips: u64,
+        /// Loop-variable slot (maintained only when the program reads
+        /// loop variables as values).
+        var: u32,
+        /// Initial loop-variable value.
+        lo: i64,
+        /// Index one past the last body node.
+        end: u32,
+        /// Range into [`ResolvedProgram::steps`]: the cursor strides
+        /// applied at this loop's latch.
+        steps: (u32, u32),
+    },
+}
+
+/// A fully resolved, fused, block-structured program.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ResolvedProgram {
+    nodes: Vec<RNode>,
+    /// Flat `(cursor, delta)` stride table, sliced per loop.
+    steps: Vec<(u32, i64)>,
+    /// Per-cursor initial arena index (memcpy'd into the state at the
+    /// start of every run).
+    init_cursors: Vec<i64>,
+    /// `(cell, value)` pairs preset in a fresh arena: constant tables
+    /// and immediates.
+    arena_init: Vec<(u32, f64)>,
+    arena_len: usize,
+    in_off: usize,
+    n_in: usize,
+    out_off: usize,
+    n_out: usize,
+    /// Whether loop-variable values are observable (via `LoopF` /
+    /// integer ops); if not, latches skip maintaining them.
+    track_loops: bool,
+    /// Use hardware fused multiply–add for the MulAdd family. Off by
+    /// default: single-rounding FMA is *not* bit-identical to the
+    /// reference executor.
+    fma: bool,
+    /// Minimum `$r` / loop-variable state sizes this program touches;
+    /// checked once per [`ResolvedProgram::run`] so the unchecked hot
+    /// loop cannot be handed an undersized state.
+    need_r: usize,
+    need_loop: usize,
+    stats: ResolveStats,
+}
+
+impl ResolvedProgram {
+    pub(crate) fn stats(&self) -> &ResolveStats {
+        &self.stats
+    }
+
+    pub(crate) fn set_fma(&mut self, on: bool) {
+        self.fma = on;
+    }
+
+    /// Builds a fresh arena with tables and immediates preset.
+    pub(crate) fn fresh_arena(&self) -> Vec<f64> {
+        let mut arena = vec![0.0; self.arena_len];
+        for &(cell, v) in &self.arena_init {
+            arena[cell as usize] = v;
+        }
+        arena
+    }
+
+    pub(crate) fn init_cursors(&self) -> &[i64] {
+        &self.init_cursors
+    }
+
+    /// Executes the resolved program. State contract matches the
+    /// reference executor: temporaries and `$f` registers persist
+    /// across calls (inside the arena), input and output are copied
+    /// through the arena windows each call.
+    pub(crate) fn run(&self, x: &[f64], y: &mut [f64], st: &mut VmState) {
+        // These checks are what makes the unchecked indexing in
+        // `exec_op` sound: the cursor table must be exactly ours (the
+        // `copy_from_slice` enforces equal length), the arena at least
+        // as large as every validated cursor range, and the integer
+        // state big enough for every register this program names.
+        assert!(st.arena.len() >= self.arena_len, "arena state mismatch");
+        assert!(st.r.len() >= self.need_r, "register state mismatch");
+        assert!(st.loops.len() >= self.need_loop, "loop state mismatch");
+        st.cur.copy_from_slice(&self.init_cursors);
+        st.arena[self.in_off..self.in_off + self.n_in].copy_from_slice(x);
+        // The reference executor lets accumulations read back the
+        // caller's output buffer, so copy it in as well.
+        st.arena[self.out_off..self.out_off + self.n_out].copy_from_slice(y);
+        {
+            let VmState {
+                arena,
+                cur,
+                r,
+                loops,
+                ..
+            } = st;
+            self.exec(0, self.nodes.len(), arena, cur, r, loops);
+        }
+        y.copy_from_slice(&st.arena[self.out_off..self.out_off + self.n_out]);
+    }
+
+    fn exec(
+        &self,
+        lo: usize,
+        hi: usize,
+        arena: &mut [f64],
+        cur: &mut [i64],
+        r: &mut [i64],
+        loops: &mut [i64],
+    ) {
+        let mut i = lo;
+        while i < hi {
+            match &self.nodes[i] {
+                RNode::Op(op) => {
+                    self.exec_op(op, arena, cur, r, loops);
+                    i += 1;
+                }
+                RNode::Loop {
+                    trips,
+                    var,
+                    lo: l0,
+                    end,
+                    steps,
+                } => {
+                    let end = *end as usize;
+                    let stp = &self.steps[steps.0 as usize..steps.1 as usize];
+                    if self.track_loops {
+                        // Mirror the reference executor exactly: the
+                        // variable is set only when the body runs and
+                        // is left at `hi` (not `hi+1`) afterwards.
+                        for t in 0..*trips {
+                            loops[*var as usize] = l0 + t as i64;
+                            self.exec(i + 1, end, arena, cur, r, loops);
+                            for &(k, d) in stp {
+                                cur[k as usize] += d;
+                            }
+                        }
+                    } else {
+                        for _ in 0..*trips {
+                            self.exec(i + 1, end, arena, cur, r, loops);
+                            for &(k, d) in stp {
+                                cur[k as usize] += d;
+                            }
+                        }
+                    }
+                    i = end;
+                }
+            }
+        }
+    }
+
+    /// Executes one resolved op.
+    ///
+    /// Float operands use unchecked indexing — this is the engine's
+    /// whole point, and it is sound by resolve-time validation:
+    /// every cursor index is `< init_cursors.len()` by construction
+    /// (`run` pins `cur` to exactly that length), and every cursor
+    /// *value* at a dereference point lies inside its region because
+    /// `Builder::mem` rejects any address whose reachable box (the
+    /// interval over all enclosing loop ranges — exact, since counted
+    /// loops execute every bound combination) leaves the region, and
+    /// fixed/const/scratch cells are in-range by construction. `run`
+    /// asserts the arena is at least `arena_len`. Integer state (`r`,
+    /// `loops`) stays bounds-checked: it is cold and its indices come
+    /// from the lowered program rather than the resolver.
+    #[inline(always)]
+    fn exec_op(&self, op: &ROp, arena: &mut [f64], cur: &mut [i64], r: &mut [i64], loops: &[i64]) {
+        macro_rules! get {
+            ($k:expr) => {
+                // SAFETY: see the method comment.
+                unsafe { *arena.get_unchecked(*cur.get_unchecked(*$k as usize) as usize) }
+            };
+        }
+        macro_rules! put {
+            ($k:expr, $v:expr) => {{
+                let v = $v;
+                // SAFETY: see the method comment.
+                unsafe { *arena.get_unchecked_mut(*cur.get_unchecked(*$k as usize) as usize) = v }
+            }};
+        }
+        macro_rules! ri {
+            ($s:expr) => {
+                match $s {
+                    RI::Const(c) => *c,
+                    RI::R(k) => r[*k as usize],
+                    RI::Loop(k) => loops[*k as usize],
+                }
+            };
+        }
+        match op {
+            ROp::Add { d, a, b } => put!(d, get!(a) + get!(b)),
+            ROp::Sub { d, a, b } => put!(d, get!(a) - get!(b)),
+            ROp::Mul { d, a, b } => put!(d, get!(a) * get!(b)),
+            ROp::Div { d, a, b } => put!(d, get!(a) / get!(b)),
+            ROp::Copy { d, a } => put!(d, get!(a)),
+            ROp::Neg { d, a } => put!(d, -get!(a)),
+            ROp::MulAdd { d, a, b, c } => {
+                let v = if self.fma {
+                    get!(a).mul_add(get!(b), get!(c))
+                } else {
+                    get!(a) * get!(b) + get!(c)
+                };
+                put!(d, v);
+            }
+            ROp::MulSub { d, a, b, c } => {
+                let v = if self.fma {
+                    get!(a).mul_add(get!(b), -get!(c))
+                } else {
+                    get!(a) * get!(b) - get!(c)
+                };
+                put!(d, v);
+            }
+            ROp::NegMulAdd { d, a, b, c } => {
+                let v = if self.fma {
+                    (-get!(a)).mul_add(get!(b), get!(c))
+                } else {
+                    get!(c) - get!(a) * get!(b)
+                };
+                put!(d, v);
+            }
+            ROp::Butterfly { d1, d2, a, b } => {
+                let av = get!(a);
+                let bv = get!(b);
+                put!(d1, av + bv);
+                put!(d2, av - bv);
+            }
+            ROp::RToCell { d, r_idx } => put!(d, r[*r_idx as usize] as f64),
+            ROp::LoopToCell { d, slot } => put!(d, loops[*slot as usize] as f64),
+            ROp::IntBin { op, dst, a, b } => {
+                let av = ri!(a);
+                let bv = ri!(b);
+                r[*dst as usize] = match op {
+                    BinOp::Add => av + bv,
+                    BinOp::Sub => av - bv,
+                    BinOp::Mul => av * bv,
+                    BinOp::Div => av / bv,
+                };
+            }
+            ROp::IntUn { neg, dst, a } => {
+                let av = ri!(a);
+                r[*dst as usize] = if *neg { -av } else { av };
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fusion: flat Op stream → fused op stream.
+// ---------------------------------------------------------------------------
+
+/// An op after peephole fusion, still at the symbolic operand level.
+#[derive(Debug, Clone)]
+enum FOp {
+    Plain(Op),
+    MulAdd { dst: Dst, a: Src, b: Src, c: Src },
+    MulSub { dst: Dst, a: Src, b: Src, c: Src },
+    NegMulAdd { dst: Dst, a: Src, b: Src, c: Src },
+    Butterfly { d1: Dst, d2: Dst, a: Src, b: Src },
+}
+
+/// Counts reads of each `$f` register across the whole program.
+fn count_f_reads(code: &[Op]) -> HashMap<u32, usize> {
+    let mut reads: HashMap<u32, usize> = HashMap::new();
+    let mut see = |s: &Src| {
+        if let Src::F(k) = s {
+            *reads.entry(*k).or_insert(0) += 1;
+        }
+    };
+    for op in code {
+        match op {
+            Op::Bin { a, b, .. } => {
+                see(a);
+                see(b);
+            }
+            Op::Un { a, .. } => see(a),
+            _ => {}
+        }
+    }
+    reads
+}
+
+/// Two addresses in the same region that provably never collide: same
+/// affine terms, different constant base.
+fn disjoint(x: &Addr, y: &Addr) -> bool {
+    x.terms == y.terms && x.base != y.base
+}
+
+/// `true` when a write through `d` can never change the value read
+/// through `s` (conservative: same-region addresses must be provably
+/// disjoint).
+fn alias_free(d: &Dst, s: &Src) -> bool {
+    match (d, s) {
+        (Dst::F(k), Src::F(j)) => k != j,
+        (Dst::Out(da), Src::Out(sa)) => disjoint(da, sa),
+        (Dst::Temp(da), Src::Temp(sa)) => disjoint(da, sa),
+        _ => true,
+    }
+}
+
+/// Destinations that may refer to the same storage (conservative).
+fn dsts_alias(x: &Dst, y: &Dst) -> bool {
+    match (x, y) {
+        (Dst::F(a), Dst::F(b)) => a == b,
+        (Dst::Out(a), Dst::Out(b)) => !disjoint(a, b),
+        (Dst::Temp(a), Dst::Temp(b)) => !disjoint(a, b),
+        _ => false,
+    }
+}
+
+fn writes_of(f: &FOp) -> Vec<&Dst> {
+    match f {
+        FOp::Plain(Op::Bin { dst, .. }) | FOp::Plain(Op::Un { dst, .. }) => vec![dst],
+        FOp::MulAdd { dst, .. } | FOp::MulSub { dst, .. } | FOp::NegMulAdd { dst, .. } => {
+            vec![dst]
+        }
+        FOp::Butterfly { d1, d2, .. } => vec![d1, d2],
+        FOp::Plain(_) => vec![],
+    }
+}
+
+fn reads_of(f: &FOp) -> Vec<&Src> {
+    match f {
+        FOp::Plain(Op::Bin { a, b, .. }) => vec![a, b],
+        FOp::Plain(Op::Un { a, .. }) => vec![a],
+        FOp::MulAdd { a, b, c, .. }
+        | FOp::MulSub { a, b, c, .. }
+        | FOp::NegMulAdd { a, b, c, .. } => vec![a, b, c],
+        FOp::Butterfly { a, b, .. } => vec![a, b],
+        FOp::Plain(_) => vec![],
+    }
+}
+
+/// Ops fusion never crosses: loop structure and integer bookkeeping
+/// (whose register/loop-variable effects the float alias model does
+/// not track).
+fn is_barrier(f: &FOp) -> bool {
+    matches!(
+        f,
+        FOp::Plain(Op::LoopStart { .. })
+            | FOp::Plain(Op::LoopEnd { .. })
+            | FOp::Plain(Op::IntBin { .. })
+            | FOp::Plain(Op::IntUn { .. })
+    )
+}
+
+/// `true` when the op at `p` can be moved to the end of `out` (fused
+/// into the op about to be emitted): its writes must commute with
+/// every read and write after it, and its reads with every write.
+/// Register-as-float reads are safe to move because `$r` and loop
+/// variables only change at barrier ops, which bound the window.
+fn can_pull(out: &[FOp], p: usize) -> bool {
+    let pw = writes_of(&out[p]);
+    let pr = reads_of(&out[p]);
+    out[p + 1..].iter().all(|m| {
+        let mw = writes_of(m);
+        let mr = reads_of(m);
+        pw.iter()
+            .all(|w| mr.iter().all(|s| alias_free(w, s)) && mw.iter().all(|x| !dsts_alias(w, x)))
+            && pr.iter().all(|r| mw.iter().all(|w| alias_free(w, r)))
+    })
+}
+
+/// How far back (in already-emitted ops) fusion looks for a producer.
+/// Generated complex arithmetic interleaves the real and imaginary
+/// halves, so a multiply and its consuming add sit up to four ops
+/// apart; eight gives headroom for unrolled leaves.
+const FUSE_WINDOW: usize = 8;
+
+/// Candidate producer positions in `out`, nearest first, bounded by
+/// the window and never crossing a barrier.
+fn window_positions(out: &[FOp]) -> Vec<usize> {
+    let mut v = Vec::new();
+    for q in (0..out.len()).rev().take(FUSE_WINDOW) {
+        if is_barrier(&out[q]) {
+            break;
+        }
+        v.push(q);
+    }
+    v
+}
+
+/// The peephole fusion pass: one forward sweep that, at each emitted
+/// add/sub, tries to pull a matching producer out of the recent
+/// window — a negation to fold, an add to pair into a butterfly, or a
+/// multiply to fuse into a multiply–add. Every rewrite preserves the
+/// exact f64 rounding sequence of the unfused program.
+fn fuse(code: &[Op], stats: &mut ResolveStats) -> Vec<FOp> {
+    let reads = count_f_reads(code);
+    let single = |k: &u32| reads.get(k).copied().unwrap_or(0) == 1;
+    let mut out: Vec<FOp> = Vec::with_capacity(code.len());
+
+    for op in code {
+        let mut cur = op.clone();
+
+        // Negate folding: t = −s; …; d = x ± t → d = x ∓ s (the
+        // remaining case (−s) − y has no single-op equivalent). The
+        // rewrite feeds the butterfly/muladd attempts below.
+        if let Op::Bin {
+            op: bop @ (BinOp::Add | BinOp::Sub),
+            dst,
+            a,
+            b,
+        } = &cur
+        {
+            let mut folded = None;
+            for q in window_positions(&out) {
+                let FOp::Plain(Op::Un {
+                    neg: true,
+                    dst: Dst::F(k),
+                    a: s,
+                }) = &out[q]
+                else {
+                    continue;
+                };
+                if !single(k) || !can_pull(&out, q) {
+                    continue;
+                }
+                let repl = match (bop, a, b) {
+                    // x + (−s) = x − s
+                    (BinOp::Add, x, Src::F(j)) if j == k => Some((BinOp::Sub, x.clone())),
+                    // (−s) + y = y − s
+                    (BinOp::Add, Src::F(j), y) if j == k => Some((BinOp::Sub, y.clone())),
+                    // x − (−s) = x + s
+                    (BinOp::Sub, x, Src::F(j)) if j == k => Some((BinOp::Add, x.clone())),
+                    _ => None,
+                };
+                if let Some((op2, other)) = repl {
+                    folded = Some((
+                        q,
+                        Op::Bin {
+                            op: op2,
+                            dst: dst.clone(),
+                            a: other,
+                            b: s.clone(),
+                        },
+                    ));
+                    break;
+                }
+            }
+            if let Some((q, repl)) = folded {
+                out.remove(q);
+                stats.fused_negfold += 1;
+                cur = repl;
+            }
+        }
+
+        // Butterfly: d1 = a + b; …; d2 = a − b over structurally
+        // identical operands. The pulled add must not have clobbered
+        // an operand the sub re-reads.
+        if let Op::Bin {
+            op: BinOp::Sub,
+            dst: d2,
+            a,
+            b,
+        } = &cur
+        {
+            let mut hit = None;
+            for q in window_positions(&out) {
+                if let FOp::Plain(Op::Bin {
+                    op: BinOp::Add,
+                    dst: d1,
+                    a: a2,
+                    b: b2,
+                }) = &out[q]
+                {
+                    if a2 == a
+                        && b2 == b
+                        && alias_free(d1, a)
+                        && alias_free(d1, b)
+                        && can_pull(&out, q)
+                    {
+                        hit = Some(q);
+                        break;
+                    }
+                }
+            }
+            if let Some(q) = hit {
+                let FOp::Plain(Op::Bin { dst: d1, .. }) = out.remove(q) else {
+                    unreachable!("window candidate was a plain add");
+                };
+                out.push(FOp::Butterfly {
+                    d1,
+                    d2: d2.clone(),
+                    a: a.clone(),
+                    b: b.clone(),
+                });
+                stats.fused_butterfly += 1;
+                continue;
+            }
+        }
+
+        // Multiply–add: t = a·b; …; d = t ± c or d = c − t, where t
+        // is an `$f` register with exactly one reader.
+        if let Op::Bin {
+            op: bop @ (BinOp::Add | BinOp::Sub),
+            dst,
+            a,
+            b,
+        } = &cur
+        {
+            let mut hit = None;
+            for q in window_positions(&out) {
+                if let FOp::Plain(Op::Bin {
+                    op: BinOp::Mul,
+                    dst: Dst::F(k),
+                    ..
+                }) = &out[q]
+                {
+                    if !single(k) || !can_pull(&out, q) {
+                        continue;
+                    }
+                    if matches!(a, Src::F(j) if j == k) {
+                        hit = Some((q, true));
+                        break;
+                    }
+                    if matches!(b, Src::F(j) if j == k) {
+                        hit = Some((q, false));
+                        break;
+                    }
+                }
+            }
+            if let Some((q, t_is_left)) = hit {
+                let FOp::Plain(Op::Bin { a: ma, b: mb, .. }) = out.remove(q) else {
+                    unreachable!("window candidate was a plain mul");
+                };
+                let c = if t_is_left { b.clone() } else { a.clone() };
+                let dst = dst.clone();
+                out.push(match (bop, t_is_left) {
+                    // t + c and c + t
+                    (BinOp::Add, _) => FOp::MulAdd {
+                        dst,
+                        a: ma,
+                        b: mb,
+                        c,
+                    },
+                    // t − c
+                    (BinOp::Sub, true) => FOp::MulSub {
+                        dst,
+                        a: ma,
+                        b: mb,
+                        c,
+                    },
+                    // c − t
+                    (BinOp::Sub, false) => FOp::NegMulAdd {
+                        dst,
+                        a: ma,
+                        b: mb,
+                        c,
+                    },
+                    _ => unreachable!("bop is add or sub"),
+                });
+                stats.fused_muladd += 1;
+                continue;
+            }
+        }
+
+        out.push(FOp::Plain(cur));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Resolution: fused ops → cursors, strides, and block structure.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Region {
+    In,
+    Out,
+    Temp,
+    Table,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum CursorKey {
+    /// A cursor over a fixed arena cell (register, immediate, scratch).
+    Fixed(usize),
+    /// A strided memory operand: region, base, affine terms, and the
+    /// innermost enclosing loop (node index; `usize::MAX` at top
+    /// level). Identical operands in the same loop context share one
+    /// cursor and one set of strides.
+    Mem(Region, i64, Vec<(i64, u32)>, usize),
+}
+
+struct Frame {
+    node_idx: usize,
+    var: u32,
+    lo: i64,
+    hi: i64,
+    trips: u64,
+    steps: Vec<(u32, i64)>,
+}
+
+struct Builder {
+    nodes: Vec<RNode>,
+    steps: Vec<(u32, i64)>,
+    init: Vec<i64>,
+    arena_len: usize,
+    arena_init: Vec<(u32, f64)>,
+    cursor_map: HashMap<CursorKey, u32>,
+    const_map: HashMap<u64, usize>,
+    frames: Vec<Frame>,
+    track_loops: bool,
+    // Region offsets and lengths.
+    f_off: usize,
+    table_off: usize,
+    in_off: usize,
+    out_off: usize,
+    temp_off: usize,
+    n_in: usize,
+    n_out: usize,
+    temp_len: usize,
+    n_tab: usize,
+    stats: ResolveStats,
+}
+
+impl Builder {
+    fn new(prog: &VmProgram, stats: ResolveStats) -> Builder {
+        let f_off = 0;
+        let table_off = f_off + prog.n_f;
+        let in_off = table_off + prog.tables.len();
+        let out_off = in_off + prog.n_in;
+        let temp_off = out_off + prog.n_out;
+        let arena_len = temp_off + prog.temp_len;
+        let arena_init = prog
+            .tables
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| ((table_off + i) as u32, v))
+            .collect();
+        Builder {
+            nodes: Vec::new(),
+            steps: Vec::new(),
+            init: Vec::new(),
+            arena_len,
+            arena_init,
+            cursor_map: HashMap::new(),
+            const_map: HashMap::new(),
+            frames: Vec::new(),
+            track_loops: false,
+            f_off,
+            table_off,
+            in_off,
+            out_off,
+            temp_off,
+            n_in: prog.n_in,
+            n_out: prog.n_out,
+            temp_len: prog.temp_len,
+            n_tab: prog.tables.len(),
+            stats,
+        }
+    }
+
+    fn new_cursor(&mut self, init: i64) -> Result<u32, Unsupported> {
+        let id = u32::try_from(self.init.len()).map_err(|_| Unsupported("cursor overflow"))?;
+        self.init.push(init);
+        Ok(id)
+    }
+
+    /// A cursor permanently pointing at one arena cell.
+    fn fixed(&mut self, cell: usize) -> Result<u32, Unsupported> {
+        if let Some(&c) = self.cursor_map.get(&CursorKey::Fixed(cell)) {
+            return Ok(c);
+        }
+        let c = self.new_cursor(cell as i64)?;
+        self.cursor_map.insert(CursorKey::Fixed(cell), c);
+        Ok(c)
+    }
+
+    /// A fresh tail cell (immediates, scratch spills).
+    fn alloc_cell(&mut self) -> usize {
+        let cell = self.arena_len;
+        self.arena_len += 1;
+        cell
+    }
+
+    fn const_cell(&mut self, v: f64) -> Result<u32, Unsupported> {
+        let cell = match self.const_map.get(&v.to_bits()) {
+            Some(&c) => c,
+            None => {
+                let c = self.alloc_cell();
+                self.const_map.insert(v.to_bits(), c);
+                self.arena_init.push((
+                    u32::try_from(c).map_err(|_| Unsupported("arena overflow"))?,
+                    v,
+                ));
+                c
+            }
+        };
+        self.fixed(cell)
+    }
+
+    /// Resolves a strided memory operand: dedups per loop context,
+    /// folds loop-invariant components into the cursor's initial
+    /// value, bounds-checks the reachable address box against the
+    /// region, and registers latch strides on the enclosing loops.
+    fn mem(&mut self, region: Region, addr: &Addr) -> Result<u32, Unsupported> {
+        let ctx = self.frames.last().map(|f| f.node_idx).unwrap_or(usize::MAX);
+        let key = CursorKey::Mem(region, addr.base, addr.terms.clone(), ctx);
+        if let Some(&c) = self.cursor_map.get(&key) {
+            return Ok(c);
+        }
+        let (region_off, region_len) = match region {
+            Region::In => (self.in_off, self.n_in),
+            Region::Out => (self.out_off, self.n_out),
+            Region::Temp => (self.temp_off, self.temp_len),
+            Region::Table => (self.table_off, self.n_tab),
+        };
+        // Per-frame coefficient (0 when the frame's variable does not
+        // appear); every term must be bound by an enclosing frame.
+        let mut coeffs = vec![0i64; self.frames.len()];
+        for &(c, slot) in &addr.terms {
+            // Innermost binding wins, matching the executor's view of
+            // the current variable value.
+            let j = self
+                .frames
+                .iter()
+                .rposition(|f| f.var == slot)
+                .ok_or(Unsupported(
+                    "subscript references an out-of-scope loop variable",
+                ))?;
+            coeffs[j] = coeffs[j]
+                .checked_add(c)
+                .ok_or(Unsupported("address overflow"))?;
+        }
+        // Initial value: base + region offset + Σ coeff·lo.
+        let mut init = (region_off as i64)
+            .checked_add(addr.base)
+            .ok_or(Unsupported("address overflow"))?;
+        for (j, &c) in coeffs.iter().enumerate() {
+            let t = c
+                .checked_mul(self.frames[j].lo)
+                .ok_or(Unsupported("address overflow"))?;
+            init = init.checked_add(t).ok_or(Unsupported("address overflow"))?;
+        }
+        // Reachable-box bounds check, skipped when an enclosing loop
+        // is zero-trip (the op can never execute).
+        if self.frames.iter().all(|f| f.trips > 0) {
+            let mut min = addr.base as i128;
+            let mut max = addr.base as i128;
+            for (j, &c) in coeffs.iter().enumerate() {
+                let a = c as i128 * self.frames[j].lo as i128;
+                let b = c as i128 * self.frames[j].hi as i128;
+                min += a.min(b);
+                max += a.max(b);
+            }
+            if min < 0 || max >= region_len as i128 {
+                return Err(Unsupported("address range leaves its region"));
+            }
+        }
+        let cursor = self.new_cursor(init)?;
+        // Latch strides: S_j = coeff_j − coeff_{j+1}·trips_{j+1}
+        // (frames are outer→inner; the innermost stride is its raw
+        // coefficient).
+        for j in 0..self.frames.len() {
+            let inner = if j + 1 < self.frames.len() {
+                let t = i64::try_from(self.frames[j + 1].trips)
+                    .map_err(|_| Unsupported("trip-count overflow"))?;
+                coeffs[j + 1]
+                    .checked_mul(t)
+                    .ok_or(Unsupported("address overflow"))?
+            } else {
+                0
+            };
+            let s = coeffs[j]
+                .checked_sub(inner)
+                .ok_or(Unsupported("address overflow"))?;
+            if s != 0 {
+                self.frames[j].steps.push((cursor, s));
+                self.stats.strength_reduced_steps += 1;
+            }
+        }
+        self.stats.hoisted_terms += addr.terms.len() as u64;
+        self.cursor_map.insert(key, cursor);
+        Ok(cursor)
+    }
+
+    /// Resolves a source operand, emitting spill ops for the rare
+    /// register-as-float reads.
+    fn src(&mut self, s: &Src) -> Result<u32, Unsupported> {
+        match s {
+            Src::In(a) => self.mem(Region::In, a),
+            Src::Out(a) => self.mem(Region::Out, a),
+            Src::Temp(a) => self.mem(Region::Temp, a),
+            Src::Table(a) => self.mem(Region::Table, a),
+            Src::F(k) => self.fixed(self.f_off + *k as usize),
+            Src::Const(v) => self.const_cell(*v),
+            Src::RF(k) => {
+                let cell = self.alloc_cell();
+                let c = self.fixed(cell)?;
+                self.nodes.push(RNode::Op(ROp::RToCell { d: c, r_idx: *k }));
+                Ok(c)
+            }
+            Src::LoopF(k) => {
+                self.track_loops = true;
+                let cell = self.alloc_cell();
+                let c = self.fixed(cell)?;
+                self.nodes
+                    .push(RNode::Op(ROp::LoopToCell { d: c, slot: *k }));
+                Ok(c)
+            }
+        }
+    }
+
+    fn dst(&mut self, d: &Dst) -> Result<u32, Unsupported> {
+        match d {
+            Dst::Out(a) => self.mem(Region::Out, a),
+            Dst::Temp(a) => self.mem(Region::Temp, a),
+            Dst::F(k) => self.fixed(self.f_off + *k as usize),
+        }
+    }
+
+    fn ri(&mut self, s: &ISrc) -> RI {
+        match s {
+            ISrc::Const(c) => RI::Const(*c),
+            ISrc::R(k) => RI::R(*k),
+            ISrc::Loop(k) => {
+                self.track_loops = true;
+                RI::Loop(*k)
+            }
+        }
+    }
+}
+
+/// Resolves a lowered program into the fused cursor-based engine, or
+/// reports why it must stay on the reference executor.
+pub(crate) fn resolve(prog: &VmProgram) -> Result<ResolvedProgram, Unsupported> {
+    let mut stats = ResolveStats::default();
+    let fused = fuse(prog.code(), &mut stats);
+
+    // Fusion shifts indices, so the original `end_pc` links are void;
+    // re-match loop starts to their `hi` bound over the fused stream.
+    let mut hi_at: HashMap<usize, i64> = HashMap::new();
+    {
+        let mut stack = Vec::new();
+        for (idx, fop) in fused.iter().enumerate() {
+            match fop {
+                FOp::Plain(Op::LoopStart { .. }) => stack.push(idx),
+                FOp::Plain(Op::LoopEnd { hi, .. }) => {
+                    let start = stack.pop().ok_or(Unsupported("malformed loop structure"))?;
+                    hi_at.insert(start, *hi);
+                }
+                _ => {}
+            }
+        }
+        if !stack.is_empty() {
+            return Err(Unsupported("malformed loop structure"));
+        }
+    }
+
+    let mut b = Builder::new(prog, stats);
+    for (idx, fop) in fused.iter().enumerate() {
+        match fop {
+            FOp::Plain(Op::LoopStart { var, lo, .. }) => {
+                if b.frames.iter().any(|f| f.var == *var) {
+                    // Shadowed loop variables would need scoped
+                    // cursor contexts; fall back instead.
+                    return Err(Unsupported("nested loops share a variable slot"));
+                }
+                let hi = *hi_at
+                    .get(&idx)
+                    .ok_or(Unsupported("malformed loop structure"))?;
+                let trips = if *lo > hi {
+                    0
+                } else {
+                    u64::try_from(hi as i128 - *lo as i128 + 1)
+                        .map_err(|_| Unsupported("trip-count overflow"))?
+                };
+                b.frames.push(Frame {
+                    node_idx: b.nodes.len(),
+                    var: *var,
+                    lo: *lo,
+                    hi,
+                    trips,
+                    steps: Vec::new(),
+                });
+                b.nodes.push(RNode::Loop {
+                    trips,
+                    var: *var,
+                    lo: *lo,
+                    end: 0,
+                    steps: (0, 0),
+                });
+            }
+            FOp::Plain(Op::LoopEnd { .. }) => {
+                let frame = b
+                    .frames
+                    .pop()
+                    .ok_or(Unsupported("malformed loop structure"))?;
+                let s0 = u32::try_from(b.steps.len()).map_err(|_| Unsupported("step overflow"))?;
+                b.steps.extend_from_slice(&frame.steps);
+                let s1 = u32::try_from(b.steps.len()).map_err(|_| Unsupported("step overflow"))?;
+                let end =
+                    u32::try_from(b.nodes.len()).map_err(|_| Unsupported("program too large"))?;
+                if let RNode::Loop { end: e, steps, .. } = &mut b.nodes[frame.node_idx] {
+                    *e = end;
+                    *steps = (s0, s1);
+                }
+            }
+            FOp::Plain(Op::Bin { op, dst, a, b: rhs }) => {
+                let ca = b.src(a)?;
+                let cb = b.src(rhs)?;
+                let cd = b.dst(dst)?;
+                b.nodes.push(RNode::Op(match op {
+                    BinOp::Add => ROp::Add {
+                        d: cd,
+                        a: ca,
+                        b: cb,
+                    },
+                    BinOp::Sub => ROp::Sub {
+                        d: cd,
+                        a: ca,
+                        b: cb,
+                    },
+                    BinOp::Mul => ROp::Mul {
+                        d: cd,
+                        a: ca,
+                        b: cb,
+                    },
+                    BinOp::Div => ROp::Div {
+                        d: cd,
+                        a: ca,
+                        b: cb,
+                    },
+                }));
+            }
+            FOp::Plain(Op::Un { neg, dst, a }) => {
+                let ca = b.src(a)?;
+                let cd = b.dst(dst)?;
+                b.nodes.push(RNode::Op(if *neg {
+                    ROp::Neg { d: cd, a: ca }
+                } else {
+                    ROp::Copy { d: cd, a: ca }
+                }));
+            }
+            FOp::Plain(Op::IntBin { op, dst, a, b: rhs }) => {
+                let a = b.ri(a);
+                let rhs = b.ri(rhs);
+                b.nodes.push(RNode::Op(ROp::IntBin {
+                    op: *op,
+                    dst: *dst,
+                    a,
+                    b: rhs,
+                }));
+            }
+            FOp::Plain(Op::IntUn { neg, dst, a }) => {
+                let a = b.ri(a);
+                b.nodes.push(RNode::Op(ROp::IntUn {
+                    neg: *neg,
+                    dst: *dst,
+                    a,
+                }));
+            }
+            FOp::MulAdd { dst, a, b: m, c } => {
+                let ca = b.src(a)?;
+                let cb = b.src(m)?;
+                let cc = b.src(c)?;
+                let cd = b.dst(dst)?;
+                b.nodes.push(RNode::Op(ROp::MulAdd {
+                    d: cd,
+                    a: ca,
+                    b: cb,
+                    c: cc,
+                }));
+            }
+            FOp::MulSub { dst, a, b: m, c } => {
+                let ca = b.src(a)?;
+                let cb = b.src(m)?;
+                let cc = b.src(c)?;
+                let cd = b.dst(dst)?;
+                b.nodes.push(RNode::Op(ROp::MulSub {
+                    d: cd,
+                    a: ca,
+                    b: cb,
+                    c: cc,
+                }));
+            }
+            FOp::NegMulAdd { dst, a, b: m, c } => {
+                let ca = b.src(a)?;
+                let cb = b.src(m)?;
+                let cc = b.src(c)?;
+                let cd = b.dst(dst)?;
+                b.nodes.push(RNode::Op(ROp::NegMulAdd {
+                    d: cd,
+                    a: ca,
+                    b: cb,
+                    c: cc,
+                }));
+            }
+            FOp::Butterfly { d1, d2, a, b: rhs } => {
+                let ca = b.src(a)?;
+                let cb = b.src(rhs)?;
+                let cd1 = b.dst(d1)?;
+                let cd2 = b.dst(d2)?;
+                b.nodes.push(RNode::Op(ROp::Butterfly {
+                    d1: cd1,
+                    d2: cd2,
+                    a: ca,
+                    b: cb,
+                }));
+            }
+        }
+    }
+    if !b.frames.is_empty() {
+        return Err(Unsupported("malformed loop structure"));
+    }
+    let mut stats = b.stats;
+    stats.cursors = b.init.len() as u64;
+    let (mut need_r, mut need_loop) = (0usize, 0usize);
+    for node in &b.nodes {
+        let (rs, ls): (&[u32], &[u32]) = match node {
+            RNode::Loop { var, .. } => (&[], std::slice::from_ref(var)),
+            RNode::Op(ROp::RToCell { r_idx, .. }) => (std::slice::from_ref(r_idx), &[]),
+            RNode::Op(ROp::LoopToCell { slot, .. }) => (&[], std::slice::from_ref(slot)),
+            RNode::Op(ROp::IntBin { dst, a, b, .. }) => {
+                need_r = need_r.max(*dst as usize + 1);
+                for s in [a, b] {
+                    match s {
+                        RI::R(k) => need_r = need_r.max(*k as usize + 1),
+                        RI::Loop(k) => need_loop = need_loop.max(*k as usize + 1),
+                        RI::Const(_) => {}
+                    }
+                }
+                (&[], &[])
+            }
+            RNode::Op(ROp::IntUn { dst, a, .. }) => {
+                need_r = need_r.max(*dst as usize + 1);
+                match a {
+                    RI::R(k) => need_r = need_r.max(*k as usize + 1),
+                    RI::Loop(k) => need_loop = need_loop.max(*k as usize + 1),
+                    RI::Const(_) => {}
+                }
+                (&[], &[])
+            }
+            RNode::Op(_) => (&[], &[]),
+        };
+        for &k in rs {
+            need_r = need_r.max(k as usize + 1);
+        }
+        for &k in ls {
+            need_loop = need_loop.max(k as usize + 1);
+        }
+    }
+    Ok(ResolvedProgram {
+        nodes: b.nodes,
+        steps: b.steps,
+        init_cursors: b.init,
+        arena_init: b.arena_init,
+        arena_len: b.arena_len,
+        in_off: b.in_off,
+        n_in: b.n_in,
+        out_off: b.out_off,
+        n_out: b.n_out,
+        track_loops: b.track_loops,
+        fma: false,
+        need_r,
+        need_loop,
+        stats,
+    })
+}

@@ -88,6 +88,26 @@ pub fn measure_capped(prog: &VmProgram, min_time: Duration, max_reps: u64) -> Me
     }
 }
 
+/// Like [`measure`], but forcing execution through the op-at-a-time
+/// reference executor even when the program resolved. This is the
+/// "old engine" baseline of the `vmbench` old-vs-new comparison.
+pub fn measure_reference(prog: &VmProgram, min_time: Duration) -> Measurement {
+    let x: Vec<f64> = (0..prog.n_in)
+        .map(|i| ((i as f64) * 0.7311).sin())
+        .collect();
+    let mut y = vec![0.0f64; prog.n_out];
+    let mut st = VmState::new(prog);
+    prog.run_reference(&x, &mut y, &mut st);
+    let run = spl_numeric::metrics::time_adaptive_counted(min_time, DEFAULT_MAX_REPS, || {
+        prog.run_reference(&x, &mut y, &mut st);
+    });
+    Measurement {
+        secs_per_call: run.secs_per_call,
+        reps: run.reps,
+        warmup_reps: 1 + run.untimed_calls,
+    }
+}
+
 /// Times a program with a fixed repetition count (used by tests and by
 /// the search when a cheap, deterministic-cost estimate is enough).
 ///

@@ -35,6 +35,9 @@ usage: splc [options] [file.spl]        (stdin when no file)
   --icode        print the optimized i-code instead of target code
   --run          execute each unit on a deterministic workload and
                  print the output vector (uses the interpreter)
+  --run-vm       execute each unit through the VM's resolved engine
+                 instead; with --stats, fusion and strength-reduction
+                 counters (vm.fuse.*, vm.lsr.*) join the report
   --stats        print per-phase times and per-pass counters to stderr
   --trace-json <file>
                  write the telemetry run report to <file> as JSON
@@ -84,6 +87,7 @@ fn main() -> ExitCode {
     let mut file: Option<String> = None;
     let mut print_icode = false;
     let mut run = false;
+    let mut run_vm = false;
     let mut stats = false;
     let mut trace_json: Option<String> = None;
     let mut it = args.iter().peekable();
@@ -121,6 +125,7 @@ fn main() -> ExitCode {
             },
             "--icode" => print_icode = true,
             "--run" => run = true,
+            "--run-vm" => run_vm = true,
             "--stats" => stats = true,
             "--trace-json" => match it.next() {
                 Some(path) => trace_json = Some(path.clone()),
@@ -188,6 +193,30 @@ fn main() -> ExitCode {
                     }
                 }
                 Err(e) => return fail(&format!("running {}: {e}", unit.name)),
+            }
+        }
+        if run_vm {
+            let vm = match spl::vm::lower(&unit.program) {
+                Ok(vm) => vm,
+                Err(e) => return fail(&format!("lowering {}: {e}", unit.name)),
+            };
+            let x: Vec<f64> = (0..vm.n_in).map(|i| ((i as f64) * 0.7).sin()).collect();
+            let mut y = vec![0.0; vm.n_out];
+            let mut st = spl::vm::VmState::new(&vm);
+            vm.run(&x, &mut y, &mut st);
+            println!(
+                "; {} via VM ({}) on sin-ramp input:",
+                unit.name,
+                match vm.resolve_fallback() {
+                    None => "resolved engine".to_string(),
+                    Some(why) => format!("reference executor: {why}"),
+                }
+            );
+            for (k, v) in y.iter().enumerate() {
+                println!(";   y({}) = {v}", k + 1);
+            }
+            if let Some(rs) = vm.resolve_stats() {
+                rs.record(&mut tel);
             }
         }
         println!();

@@ -23,6 +23,8 @@ usage: splfuzz [options]
   --p-invalid <f>
                  probability a formula is mutated invalid (default 0.15)
   --native       also run the cc-compiled kernel in a fork sandbox
+  --vm-engine    also cross-check the VM's resolved engine against its
+                 reference executor (bit-identical outputs required)
   --no-shrink    report bugs unminimized
   --out <dir>    reproducer directory (default results/fuzz)
   --no-out       do not write reproducer files
@@ -66,6 +68,7 @@ fn main() -> ExitCode {
                 None => return fail("--p-invalid requires a probability"),
             },
             "--native" => cfg.oracle.native = true,
+            "--vm-engine" => cfg.oracle.vm_engine = true,
             "--no-shrink" => cfg.shrink = false,
             "--out" => match it.next() {
                 Some(dir) => cfg.out_dir = Some(PathBuf::from(dir)),
