@@ -8,18 +8,34 @@
 //! throughput changes can be correlated with what the resolver did.
 //!
 //! Usage: `vmbench [--quick] [--stats] [--out FILE]
-//!                 [--min-median-speedup X]`
+//!                 [--min-median-speedup X] [--compare BASELINE]
+//!                 [--trace-json FILE] [--trace-chrome FILE]`
 //!
 //! `--min-median-speedup` turns the run into a gate: exit nonzero when
 //! the median resolved-vs-reference speedup falls below `X` (CI uses a
 //! bound well under the ≥2× seen on idle hardware, so a loaded runner
 //! does not flake).
+//!
+//! `--compare BASELINE` gates against a pinned earlier run (the
+//! committed `results/BENCH_vm.baseline.json`): exit nonzero when the
+//! median speedup regresses more than 35%, or any per-size speedup more
+//! than 50%, relative to the baseline. Speedups are ratios of two
+//! measurements taken under the same load, so they are far more stable
+//! across machines than absolute ns; the wide tolerances absorb
+//! shared-runner noise while still catching a lost fusion or
+//! strength-reduction pass (which halves the ratio). Refresh
+//! procedure: docs/TELEMETRY.md.
+//!
+//! Every run also appends one JSON line to `results/bench_history.jsonl`
+//! (skipped when `results/` is absent), building an append-only local
+//! history of speedups across commits.
 
 use std::time::Duration;
 
 use spl_bench::{arg_value, print_table, quick_mode, with_report, MEASURE_TIME};
 use spl_generator::fft::{ct_sequence, Rule};
 use spl_search::compile_tree;
+use spl_telemetry::json::Json;
 use spl_telemetry::{RunReport, Telemetry};
 use spl_vm::{measure, measure_reference};
 
@@ -49,8 +65,15 @@ struct Row {
 
 fn main() {
     let gate: Option<f64> = arg_value("--min-median-speedup").and_then(|v| v.parse().ok());
+    let baseline = arg_value("--compare");
     let mut median = 0.0;
-    with_report("vmbench", |report| median = run(report));
+    let mut rows = Vec::new();
+    with_report("vmbench", |report| {
+        let (m, r) = run(report);
+        median = m;
+        rows = r;
+    });
+    append_history(&rows, median);
     if let Some(min) = gate {
         if median < min {
             eprintln!("vmbench: median speedup {median:.2}x below required {min:.2}x");
@@ -58,15 +81,128 @@ fn main() {
         }
         eprintln!("vmbench: median speedup {median:.2}x meets required {min:.2}x");
     }
+    if let Some(path) = baseline {
+        match compare(&rows, median, &path) {
+            Ok(msg) => eprintln!("vmbench: {msg}"),
+            Err(failures) => {
+                for f in &failures {
+                    eprintln!("vmbench: REGRESSION {f}");
+                }
+                std::process::exit(1);
+            }
+        }
+    }
 }
 
-fn run(report: &mut RunReport) -> f64 {
+/// Relative median-speedup loss tolerated by `--compare`.
+const MEDIAN_TOLERANCE: f64 = 0.35;
+/// Relative per-size speedup loss tolerated by `--compare` (looser:
+/// single sizes jitter much more than the median).
+const SIZE_TOLERANCE: f64 = 0.5;
+
+/// Gates this run's speedups against a pinned baseline JSON file
+/// (schema of [`render_json`]). Returns a summary line, or the list of
+/// regressions.
+fn compare(rows: &[Row], median: f64, path: &str) -> Result<String, Vec<String>> {
+    let base = std::fs::read_to_string(path)
+        .map_err(|e| vec![format!("(baseline unreadable) {path}: {e}")])
+        .and_then(|text| {
+            spl_telemetry::json::parse(&text)
+                .map_err(|e| vec![format!("(baseline unparseable) {path}: {e}")])
+        })?;
+    let base_median = base
+        .get("median_speedup")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| vec![format!("(baseline malformed) {path}: no median_speedup")])?;
+    let mut failures = Vec::new();
+    let median_floor = base_median * (1.0 - MEDIAN_TOLERANCE);
+    if median < median_floor {
+        failures.push(format!(
+            "median speedup {median:.2}x below {median_floor:.2}x \
+             (baseline {base_median:.2}x - {:.0}%)",
+            MEDIAN_TOLERANCE * 100.0
+        ));
+    }
+    let mut compared = 0;
+    for size in base.get("sizes").and_then(Json::as_arr).unwrap_or_default() {
+        let (Some(n), Some(bs)) = (
+            size.get("n").and_then(Json::as_f64),
+            size.get("speedup").and_then(Json::as_f64),
+        ) else {
+            continue;
+        };
+        let Some(row) = rows.iter().find(|r| (1u64 << r.k) as f64 == n) else {
+            continue;
+        };
+        compared += 1;
+        let size_floor = bs * (1.0 - SIZE_TOLERANCE);
+        if row.speedup < size_floor {
+            failures.push(format!(
+                "2^{}: speedup {:.2}x below {size_floor:.2}x (baseline {bs:.2}x - {:.0}%)",
+                row.k,
+                row.speedup,
+                SIZE_TOLERANCE * 100.0
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(format!(
+            "no regression vs {path} ({compared} sizes, median {median:.2}x vs {base_median:.2}x)"
+        ))
+    } else {
+        Err(failures)
+    }
+}
+
+/// Appends one JSON line for this run to `results/bench_history.jsonl`
+/// (append-only; skipped without complaint when `results/` is absent,
+/// matching the telemetry-artifact convention).
+fn append_history(rows: &[Row], median: f64) {
+    use std::fmt::Write as _;
+    use std::io::Write as _;
+    let dir = std::path::Path::new("results");
+    if !dir.exists() {
+        return;
+    }
+    let epoch = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut line = format!(
+        "{{\"tool\": \"vmbench\", \"epoch\": {epoch}, \"quick\": {}, \
+         \"median_speedup\": {median:.3}, \"sizes\": [",
+        quick_mode()
+    );
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            line,
+            "{}{{\"n\": {}, \"speedup\": {:.3}, \"old_ns\": {:.1}, \"new_ns\": {:.1}}}",
+            if i == 0 { "" } else { ", " },
+            1u64 << r.k,
+            r.speedup,
+            r.old_ns,
+            r.new_ns
+        );
+    }
+    line.push_str("]}\n");
+    let path = dir.join("bench_history.jsonl");
+    let res = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    match res {
+        Ok(()) => eprintln!("history: appended to {}", path.display()),
+        Err(e) => eprintln!("note: could not append {}: {e}", path.display()),
+    }
+}
+
+fn run(report: &mut RunReport) -> (f64, Vec<Row>) {
     let min_time = if quick_mode() {
         Duration::from_millis(2)
     } else {
         MEASURE_TIME
     };
-    let stats = std::env::args().any(|a| a == "--stats");
     let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_vm.json".into());
 
     let mut tel = Telemetry::new();
@@ -125,11 +261,6 @@ fn run(report: &mut RunReport) -> f64 {
             .collect::<Vec<_>>(),
     );
     println!("\nmedian speedup: {median:.2}x");
-    if stats {
-        for c in tel.counters() {
-            eprintln!("  {:<28} {:>12}", c.name, c.value);
-        }
-    }
 
     let json = render_json(&rows, median);
     match std::fs::write(&out_path, &json) {
@@ -137,7 +268,7 @@ fn run(report: &mut RunReport) -> f64 {
         Err(e) => eprintln!("note: could not write {out_path}: {e}"),
     }
     report.push_section("vm", tel);
-    median
+    (median, rows)
 }
 
 /// Hand-rolled JSON (numbers and plain-ASCII plan strings only), keeping

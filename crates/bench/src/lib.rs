@@ -20,6 +20,7 @@ use std::time::Duration;
 use spl_generator::fft::FftTree;
 use spl_numeric::{pseudo_mflops, Complex};
 use spl_search::{compile_tree, SearchError};
+use spl_telemetry::cli::ReportOptions;
 use spl_telemetry::{RunReport, Stopwatch};
 use spl_vm::{measure, VmProgram, VmState};
 
@@ -34,8 +35,17 @@ pub const MEASURE_TIME: Duration = Duration::from_millis(20);
 ///
 /// Every experiment binary wraps its `main` body in this, so each
 /// `results/` artifact ships with a machine-readable record of what was
-/// measured and how long it took.
+/// measured and how long it took. The shared reporting flags
+/// (`--stats`, `--trace-json`, `--trace-chrome`; see
+/// [`spl_telemetry::cli`]) are honored by every wrapped binary.
 pub fn with_report(tool: &str, f: impl FnOnce(&mut RunReport)) {
+    let opts = match ReportOptions::from_env() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{tool}: {e}");
+            std::process::exit(2);
+        }
+    };
     let mut report = RunReport::new(tool);
     if quick_mode() {
         report.meta("quick", "true");
@@ -50,18 +60,23 @@ pub fn with_report(tool: &str, f: impl FnOnce(&mut RunReport)) {
     let path = std::path::PathBuf::from(path);
     // Results dir may not exist when a binary is run outside the
     // experiment script; skip the artifact rather than fail the run.
-    if let Some(dir) = path.parent() {
-        if !dir.as_os_str().is_empty() && !dir.exists() {
-            eprintln!(
-                "note: {} not present, skipping telemetry artifact",
-                dir.display()
-            );
-            return;
+    let dir_missing = path
+        .parent()
+        .is_some_and(|d| !d.as_os_str().is_empty() && !d.exists());
+    if dir_missing {
+        eprintln!(
+            "note: {} not present, skipping telemetry artifact",
+            path.parent().unwrap().display()
+        );
+    } else {
+        match report.write_to_file(&path) {
+            Ok(()) => eprintln!("telemetry: {}", path.display()),
+            Err(e) => eprintln!("note: could not write {}: {e}", path.display()),
         }
     }
-    match report.write_to_file(&path) {
-        Ok(()) => eprintln!("telemetry: {}", path.display()),
-        Err(e) => eprintln!("note: could not write {}: {e}", path.display()),
+    if let Err(e) = opts.finish(&report) {
+        eprintln!("{tool}: {e}");
+        std::process::exit(1);
     }
 }
 

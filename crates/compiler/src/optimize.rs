@@ -298,7 +298,19 @@ fn value_number_counted(prog: &IProgram, stats: &mut OptStats) -> IProgram {
     let mut st = Vn::default();
     let mut out = prog.clone();
     let mut instrs = Vec::with_capacity(prog.instrs.len());
-    for ins in &prog.instrs {
+    // Provenance is re-attached lazily: at each iteration's start, any
+    // output emitted by the *previous* source instruction (each emits 0
+    // or 1) inherits that instruction's formula-node id. The arms below
+    // `continue` freely, so the top of the loop is the one safe place.
+    let prov_in = prog.prov_slice();
+    let has_prov = !prov_in.is_empty();
+    let mut prov_out: Vec<u32> = Vec::with_capacity(if has_prov { prog.instrs.len() } else { 0 });
+    let mut cur_prov = 0u32;
+    for (src_idx, ins) in prog.instrs.iter().enumerate() {
+        if has_prov {
+            prov_out.resize(instrs.len(), cur_prov);
+            cur_prov = prov_in[src_idx];
+        }
         match ins {
             Instr::DoStart { .. } | Instr::DoEnd => {
                 st.reset();
@@ -557,7 +569,11 @@ fn value_number_counted(prog: &IProgram, stats: &mut OptStats) -> IProgram {
             }
         }
     }
+    if has_prov {
+        prov_out.resize(instrs.len(), cur_prov);
+    }
     out.instrs = instrs;
+    out.prov = prov_out;
     out
 }
 
@@ -940,6 +956,14 @@ fn forward_substitute_counted(prog: &IProgram, stats: &mut OptStats) -> IProgram
         }
     }
     let mut out = prog.clone();
+    // Tombstoned copies vanish; retargeted definitions stay in place,
+    // so the survivor mask keeps provenance aligned.
+    out.prov = prog
+        .prov_slice()
+        .iter()
+        .zip(&alive)
+        .filter_map(|(&p, &a)| a.then_some(p))
+        .collect();
     out.instrs = instrs
         .into_iter()
         .zip(alive)
@@ -961,6 +985,8 @@ pub fn dce(prog: &IProgram) -> IProgram {
 fn dce_counted(prog: &IProgram, stats: &mut OptStats) -> IProgram {
     let initial = prog.instrs.len();
     let mut instrs = prog.instrs.clone();
+    let has_prov = !prog.prov_slice().is_empty();
+    let mut prov = prog.prov_slice().to_vec();
     loop {
         // Whole-program read sets (position-insensitive: sound for loops).
         let mut scalar_reads: HashSet<PKey> = HashSet::new();
@@ -993,10 +1019,19 @@ fn dce_counted(prog: &IProgram, stats: &mut OptStats) -> IProgram {
             }
         };
         let before = instrs.len();
-        instrs.retain(|ins| match ins {
-            Instr::Bin { dst, .. } | Instr::Un { dst, .. } => live(dst),
-            _ => true,
+        let mut kept = Vec::with_capacity(instrs.len());
+        instrs.retain(|ins| {
+            let keep = match ins {
+                Instr::Bin { dst, .. } | Instr::Un { dst, .. } => live(dst),
+                _ => true,
+            };
+            kept.push(keep);
+            keep
         });
+        if has_prov {
+            let mut it = kept.iter();
+            prov.retain(|_| *it.next().expect("kept mask covers prov"));
+        }
         // Remove empty loops.
         loop {
             let mut removed = false;
@@ -1006,6 +1041,9 @@ fn dce_counted(prog: &IProgram, stats: &mut OptStats) -> IProgram {
                     && matches!(instrs[k + 1], Instr::DoEnd)
                 {
                     instrs.drain(k..=k + 1);
+                    if has_prov {
+                        prov.drain(k..=k + 1);
+                    }
                     removed = true;
                 } else {
                     k += 1;
@@ -1022,6 +1060,7 @@ fn dce_counted(prog: &IProgram, stats: &mut OptStats) -> IProgram {
     stats.dce_removed += (initial - instrs.len()) as u64;
     let mut out = prog.clone();
     out.instrs = instrs;
+    out.prov = prov;
     out
 }
 

@@ -71,8 +71,16 @@ pub fn complex_to_real(prog: &IProgram) -> Result<IProgram, TypeTransError> {
         out: Vec::with_capacity(prog.instrs.len() * 2),
         next_f: prog.n_f * 2,
     };
-    for ins in &prog.instrs {
+    // Each complex instruction lowers to a run of real instructions; the
+    // whole run inherits the source instruction's formula-node id.
+    let prov_in = prog.prov_slice();
+    let mut prov = Vec::new();
+    for (k, ins) in prog.instrs.iter().enumerate() {
+        let before = tt.out.len();
         tt.lower(ins)?;
+        if let Some(&id) = prov_in.get(k) {
+            prov.resize(prov.len() + (tt.out.len() - before), id);
+        }
     }
     Ok(IProgram {
         instrs: tt.out,
@@ -92,6 +100,8 @@ pub fn complex_to_real(prog: &IProgram) -> Result<IProgram, TypeTransError> {
         n_r: prog.n_r,
         n_loop: prog.n_loop,
         complex: false,
+        prov,
+        prov_nodes: prog.prov_nodes.clone(),
     })
 }
 

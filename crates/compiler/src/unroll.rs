@@ -59,8 +59,9 @@ pub fn unroll_with_stats_capped(
     let mut out = prog.clone();
     let mut n_loop = prog.n_loop;
     let mut stats = UnrollStats::default();
-    out.instrs = unroll_block(
+    (out.instrs, out.prov) = unroll_block(
         &prog.instrs,
+        prog.prov_slice(),
         &mut n_loop,
         &mut stats.loops_fully_unrolled,
         max_ops,
@@ -83,11 +84,15 @@ pub fn unroll_all(prog: &IProgram) -> Result<IProgram, CompileError> {
 
 fn unroll_block(
     instrs: &[Instr],
+    prov: &[u32],
     n_loop: &mut u32,
     unrolled: &mut u64,
     max_ops: usize,
-) -> Result<Vec<Instr>, CompileError> {
+) -> Result<(Vec<Instr>, Vec<u32>), CompileError> {
+    let has_prov = !prov.is_empty();
+    let sub_prov = |lo: usize, hi: usize| if has_prov { &prov[lo..hi] } else { &[][..] };
     let mut out = Vec::with_capacity(instrs.len());
+    let mut out_prov = Vec::with_capacity(if has_prov { instrs.len() } else { 0 });
     let mut pc = 0;
     while pc < instrs.len() {
         match &instrs[pc] {
@@ -98,7 +103,13 @@ fn unroll_block(
                 unroll: flag,
             } => {
                 let end = matching_end(instrs, pc)?;
-                let body = unroll_block(&instrs[pc + 1..end], n_loop, unrolled, max_ops)?;
+                let (body, body_prov) = unroll_block(
+                    &instrs[pc + 1..end],
+                    sub_prov(pc + 1, end),
+                    n_loop,
+                    unrolled,
+                    max_ops,
+                )?;
                 if *flag {
                     *unrolled += 1;
                     for v in *lo..=*hi {
@@ -114,11 +125,17 @@ fn unroll_block(
                         for ins in &replica {
                             out.push(substitute_loop_var(ins, *var, v));
                         }
+                        out_prov.extend_from_slice(&body_prov);
                     }
                 } else {
                     out.push(instrs[pc].clone());
                     out.extend(body);
                     out.push(Instr::DoEnd);
+                    if has_prov {
+                        out_prov.push(prov[pc]);
+                        out_prov.extend_from_slice(&body_prov);
+                        out_prov.push(prov[end]);
+                    }
                 }
                 pc = end + 1;
             }
@@ -129,11 +146,14 @@ fn unroll_block(
             }
             other => {
                 out.push(other.clone());
+                if has_prov {
+                    out_prov.push(prov[pc]);
+                }
                 pc += 1;
             }
         }
     }
-    Ok(out)
+    Ok((out, out_prov))
 }
 
 /// Partially unrolls every loop by the given factor: the body is
@@ -170,8 +190,9 @@ pub fn unroll_partial_with_stats(
     if factor == 1 {
         return Ok((out, stats));
     }
-    out.instrs = partial_block(
+    (out.instrs, out.prov) = partial_block(
         &prog.instrs,
+        prog.prov_slice(),
         factor as i64,
         &mut out.n_loop,
         &mut stats.loops_partially_unrolled,
@@ -181,11 +202,15 @@ pub fn unroll_partial_with_stats(
 
 fn partial_block(
     instrs: &[Instr],
+    prov: &[u32],
     factor: i64,
     n_loop: &mut u32,
     blocked: &mut u64,
-) -> Result<Vec<Instr>, CompileError> {
+) -> Result<(Vec<Instr>, Vec<u32>), CompileError> {
+    let has_prov = !prov.is_empty();
+    let sub_prov = |lo: usize, hi: usize| if has_prov { &prov[lo..hi] } else { &[][..] };
     let mut out = Vec::with_capacity(instrs.len());
+    let mut out_prov = Vec::with_capacity(if has_prov { instrs.len() } else { 0 });
     let mut pc = 0;
     while pc < instrs.len() {
         match &instrs[pc] {
@@ -196,7 +221,13 @@ fn partial_block(
                 unroll: flag,
             } => {
                 let end = matching_end(instrs, pc)?;
-                let body = partial_block(&instrs[pc + 1..end], factor, n_loop, blocked)?;
+                let (body, body_prov) = partial_block(
+                    &instrs[pc + 1..end],
+                    sub_prov(pc + 1, end),
+                    factor,
+                    n_loop,
+                    blocked,
+                )?;
                 let trips = hi - lo + 1;
                 // A body reading the loop index as a *value* (rather than
                 // in a subscript) cannot be re-expressed over the block
@@ -222,6 +253,11 @@ fn partial_block(
                     out.push(instrs[pc].clone());
                     out.extend(body);
                     out.push(Instr::DoEnd);
+                    if has_prov {
+                        out_prov.push(prov[pc]);
+                        out_prov.extend_from_slice(&body_prov);
+                        out_prov.push(prov[end]);
+                    }
                 } else {
                     // Main loop: a fresh block counter b = 0..trips/factor,
                     // body instances at var = lo + b*factor + k.
@@ -235,6 +271,11 @@ fn partial_block(
                         hi: blocks - 1,
                         unroll: *flag,
                     });
+                    if has_prov {
+                        // The block loop header/footer inherit the
+                        // original loop's node.
+                        out_prov.push(prov[pc]);
+                    }
                     for k in 0..factor {
                         // Each replica needs fresh ids for any loops it
                         // contains (loop variables are program-unique).
@@ -251,14 +292,19 @@ fn partial_block(
                                 block_var,
                             )?);
                         }
+                        out_prov.extend_from_slice(&body_prov);
                     }
                     out.push(Instr::DoEnd);
+                    if has_prov {
+                        out_prov.push(prov[end]);
+                    }
                     // Remainder, fully unrolled.
                     for v in (lo + blocks * factor)..=*hi {
                         let replica = refresh_loop_vars(&body, n_loop);
                         for ins in &replica {
                             out.push(substitute_loop_var(ins, *var, v));
                         }
+                        out_prov.extend_from_slice(&body_prov);
                     }
                 }
                 pc = end + 1;
@@ -270,11 +316,14 @@ fn partial_block(
             }
             other => {
                 out.push(other.clone());
+                if has_prov {
+                    out_prov.push(prov[pc]);
+                }
                 pc += 1;
             }
         }
     }
-    Ok(out)
+    Ok((out, out_prov))
 }
 
 /// Gives every loop nested in `body` a fresh program-unique variable id

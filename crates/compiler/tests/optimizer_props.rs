@@ -84,6 +84,7 @@ fn straight_line_program(rng: &mut Rng) -> IProgram {
         n_r: 0,
         n_loop: 0,
         complex: false,
+        ..IProgram::empty()
     }
 }
 
@@ -109,6 +110,7 @@ fn looped_program(rng: &mut Rng) -> IProgram {
         n_r: 0,
         n_loop: 1,
         complex: false,
+        ..IProgram::empty()
     }
 }
 

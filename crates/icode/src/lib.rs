@@ -41,4 +41,4 @@ pub mod interp;
 pub mod program;
 
 pub use instr::{Affine, BinOp, Instr, LoopVar, Place, UnOp, Value, VecKind, VecRef};
-pub use program::IProgram;
+pub use program::{IProgram, ProvNode};

@@ -8,6 +8,23 @@ use spl_numeric::Complex;
 
 use crate::instr::{Instr, LoopVar, Place, Value, VecKind, VecRef};
 
+/// One node of the formula tree that produced a program, for
+/// performance attribution: each emitted instruction carries the id of
+/// the node it implements (see [`IProgram::prov`]), so profilers can
+/// roll time and flops up per formula subtree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProvNode {
+    /// Short rendering of the sub-formula (e.g. `(tensor (F 8) (I 32))`).
+    pub label: String,
+    /// Id of the enclosing node, or [`ProvNode::ROOT`] at the top.
+    pub parent: u32,
+}
+
+impl ProvNode {
+    /// Sentinel parent id of the root node.
+    pub const ROOT: u32 = u32::MAX;
+}
+
 /// A complete i-code program: a flat instruction list plus the sizes of
 /// every vector it touches.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,6 +48,13 @@ pub struct IProgram {
     pub n_loop: u32,
     /// Whether values are complex (before type transformation) or real.
     pub complex: bool,
+    /// Formula-node provenance: `prov[k]` is the [`ProvNode`] id that
+    /// instruction `k` implements. Either empty (no provenance was
+    /// recorded) or exactly `instrs.len()` long; every compiler pass
+    /// preserves the alignment.
+    pub prov: Vec<u32>,
+    /// The provenance node table `prov` indexes into.
+    pub prov_nodes: Vec<ProvNode>,
 }
 
 /// A structural validity error in an [`IProgram`].
@@ -58,6 +82,22 @@ impl IProgram {
             n_r: 0,
             n_loop: 0,
             complex: true,
+            prov: vec![],
+            prov_nodes: vec![],
+        }
+    }
+
+    /// The provenance ids when they align with `instrs` (exactly one id
+    /// per instruction), an empty slice otherwise.
+    ///
+    /// Compiler passes read provenance through this, so a program whose
+    /// instruction list was edited without maintaining `prov` degrades
+    /// to "no provenance" instead of misattributing instructions.
+    pub fn prov_slice(&self) -> &[u32] {
+        if !self.prov.is_empty() && self.prov.len() == self.instrs.len() {
+            &self.prov
+        } else {
+            &[]
         }
     }
 
@@ -112,6 +152,25 @@ impl IProgram {
     ///
     /// Returns a description of the first problem found.
     pub fn validate(&self) -> Result<(), IcodeError> {
+        if !self.prov.is_empty() {
+            if self.prov.len() != self.instrs.len() {
+                return Err(IcodeError(format!(
+                    "provenance length {} != instruction count {}",
+                    self.prov.len(),
+                    self.instrs.len()
+                )));
+            }
+            if let Some(&bad) = self
+                .prov
+                .iter()
+                .find(|&&id| id as usize >= self.prov_nodes.len())
+            {
+                return Err(IcodeError(format!(
+                    "provenance id {bad} out of range {}",
+                    self.prov_nodes.len()
+                )));
+            }
+        }
         let mut open: Vec<LoopVar> = Vec::new();
         let mut seen_vars: HashSet<LoopVar> = HashSet::new();
         for (k, ins) in self.instrs.iter().enumerate() {

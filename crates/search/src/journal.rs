@@ -27,7 +27,7 @@ use std::path::Path;
 
 use spl_generator::fft::FftTree;
 use spl_resilience::{Journal, JournalError};
-use spl_telemetry::{Stopwatch, Telemetry};
+use spl_telemetry::Telemetry;
 
 use crate::{
     large_step, seed_kbest, small_step, CostSource, Evaluator, EvaluatorPool, Plan, SearchConfig,
@@ -209,7 +209,7 @@ fn small_search_journaled_src(
     tel: &mut Telemetry,
     path: &Path,
 ) -> Result<Vec<SizeResult>, SearchError> {
-    let sw = Stopwatch::start();
+    tel.begin_span("search.small");
     let fingerprint = config_fingerprint(config, "small");
     let (mut journal, records) = open_checked(path, &fingerprint, tel)?;
     let mut best: Vec<SizeResult> = Vec::new();
@@ -223,13 +223,16 @@ fn small_search_journaled_src(
         tel.add("search.journal_resumed_sizes", best.len() as u64);
     }
     for k in (best.len() as u32 + 1)..=max_k {
-        let winner = small_step(k, config, src, tel, &best)?;
+        tel.begin_span(&format!("small 2^{k}"));
+        let winner = small_step(k, config, src, tel, &best);
+        tel.end_span();
+        let winner = winner?;
         journal
             .append(&format_small_record(&winner))
             .map_err(jerr)?;
         best.push(winner);
     }
-    tel.record_span("search.small", sw.elapsed());
+    tel.end_span();
     tel.merge(&src.drain());
     Ok(best)
 }
@@ -285,7 +288,7 @@ fn large_search_journaled_src(
     tel: &mut Telemetry,
     path: &Path,
 ) -> Result<Vec<Vec<Plan>>, SearchError> {
-    let sw = Stopwatch::start();
+    tel.begin_span("search.large");
     let fingerprint = config_fingerprint(config, "large");
     let (mut journal, records) = open_checked(path, &fingerprint, tel)?;
     let small_max_k = small.len() as u32;
@@ -304,14 +307,17 @@ fn large_search_journaled_src(
         tel.add("search.journal_resumed_sizes", out.len() as u64);
     }
     for k in (small_max_k + 1 + out.len() as u32)..=max_log {
-        let plans = large_step(k, config, src, tel, &kbest)?;
+        tel.begin_span(&format!("large 2^{k}"));
+        let plans = large_step(k, config, src, tel, &kbest);
+        tel.end_span();
+        let plans = plans?;
         journal
             .append(&format_large_record(1usize << k, &plans))
             .map_err(jerr)?;
         kbest.insert(k, plans.clone());
         out.push(plans);
     }
-    tel.record_span("search.large", sw.elapsed());
+    tel.end_span();
     tel.merge(&src.drain());
     Ok(out)
 }

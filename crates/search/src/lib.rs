@@ -82,7 +82,7 @@ use spl_compiler::{Compiler, CompilerOptions, OptLevel};
 use spl_generator::fft::{rightmost_splits, FftTree, Rule};
 use spl_native::{BuildOptions, CacheOutcome, KernelCache, NativeError};
 use spl_numeric::Complex;
-use spl_telemetry::{Stopwatch, Telemetry};
+use spl_telemetry::Telemetry;
 use spl_vm::{describe_policy, lower, measure, VmProgram, VmState};
 
 mod faults;
@@ -688,13 +688,15 @@ pub(crate) fn small_search_src(
     src: &mut dyn CostSource,
     tel: &mut Telemetry,
 ) -> Result<Vec<SizeResult>, SearchError> {
-    let sw = Stopwatch::start();
+    tel.begin_span("search.small");
     let mut best: Vec<SizeResult> = Vec::new();
     for k in 1..=max_k {
-        let winner = small_step(k, config, src, tel, &best)?;
-        best.push(winner);
+        tel.begin_span(&format!("small 2^{k}"));
+        let winner = small_step(k, config, src, tel, &best);
+        tel.end_span();
+        best.push(winner?);
     }
-    tel.record_span("search.small", sw.elapsed());
+    tel.end_span();
     tel.merge(&src.drain());
     Ok(best)
 }
@@ -835,16 +837,19 @@ pub(crate) fn large_search_src(
     src: &mut dyn CostSource,
     tel: &mut Telemetry,
 ) -> Result<Vec<Vec<Plan>>, SearchError> {
-    let sw = Stopwatch::start();
+    tel.begin_span("search.large");
     let small_max_k = small.len() as u32;
     let mut kbest = seed_kbest(small, config);
     let mut out = Vec::new();
     for k in (small_max_k + 1)..=max_log {
-        let plans = large_step(k, config, src, tel, &kbest)?;
+        tel.begin_span(&format!("large 2^{k}"));
+        let plans = large_step(k, config, src, tel, &kbest);
+        tel.end_span();
+        let plans = plans?;
         kbest.insert(k, plans.clone());
         out.push(plans);
     }
-    tel.record_span("search.large", sw.elapsed());
+    tel.end_span();
     tel.merge(&src.drain());
     Ok(out)
 }

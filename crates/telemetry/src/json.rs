@@ -442,4 +442,61 @@ mod tests {
         assert_eq!(Json::Num(f64::NAN).to_string(), "null");
         assert_eq!(Json::Num(f64::INFINITY).to_string(), "null");
     }
+
+    #[test]
+    fn escaped_strings_round_trip_in_keys_and_values() {
+        // Escapes in *keys* exercise a different parser path than values.
+        let v = Json::Obj(vec![
+            ("tab\there".to_string(), Json::Str("line\none".into())),
+            ("quote\"key".to_string(), Json::Str("back\\slash".into())),
+            ("ctrl\u{2}".to_string(), Json::Str("cr\rlf\n".into())),
+            ("naïve π".to_string(), Json::Str("emoji ☃".into())),
+        ]);
+        let text = v.to_string();
+        assert_eq!(parse(&text).unwrap(), v);
+        // The writer escaped every control character (raw text is pure
+        // printable ASCII apart from the multi-byte UTF-8 sequences).
+        assert!(!text.contains('\t') || text.contains("\\t"));
+        assert!(text.contains("\\n") && text.contains("\\\"") && text.contains("\\\\"));
+        assert!(text.contains("\\u0002"));
+    }
+
+    #[test]
+    fn parses_standard_escape_sequences() {
+        let v = parse(r#""aA\t\r\n\f\b\/\\\"z""#).unwrap();
+        assert_eq!(v.as_str(), Some("aA\t\r\n\u{c}\u{8}/\\\"z"));
+    }
+
+    #[test]
+    fn deeply_nested_objects_round_trip() {
+        let v = Json::obj(vec![(
+            "report",
+            Json::obj(vec![
+                (
+                    "sections",
+                    Json::Arr(vec![
+                        Json::obj(vec![
+                            ("name", Json::Str("unit:\"fft\"".into())),
+                            ("counters", Json::obj(vec![("a.b", Json::Num(3.0))])),
+                            ("empty_obj", Json::Obj(vec![])),
+                            ("empty_arr", Json::Arr(vec![])),
+                        ]),
+                        Json::Null,
+                    ]),
+                ),
+                (
+                    "nested",
+                    Json::obj(vec![(
+                        "deeper",
+                        Json::obj(vec![("deepest", Json::Arr(vec![Json::Bool(false)]))]),
+                    )]),
+                ),
+            ]),
+        )]);
+        let text = v.to_string();
+        let back = parse(&text).unwrap();
+        assert_eq!(back, v);
+        // And the re-rendering is stable (fixed point after one trip).
+        assert_eq!(back.to_string(), text);
+    }
 }

@@ -38,6 +38,7 @@
 //! assert!(text.contains("optimize.cse_hits"));
 //! ```
 
+pub mod cli;
 pub mod json;
 
 use std::time::{Duration, Instant};
@@ -64,6 +65,27 @@ pub struct Counter {
     pub value: u64,
 }
 
+/// One interval in the hierarchical trace, relative to the collector's
+/// epoch (the instant its first [`begin_span`](Telemetry::begin_span)
+/// ran).
+///
+/// Unlike [`Span`]s — which accumulate by name — trace events keep every
+/// individual begin/end pair together with its position in the span
+/// stack, so a run renders as a flame chart rather than a histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Span name (e.g. `"compile"`, `"measure:2^8"`).
+    pub name: String,
+    /// Start offset from the collector epoch, in nanoseconds.
+    pub start_ns: u128,
+    /// Duration in nanoseconds (`0` while the span is still open).
+    pub dur_ns: u128,
+    /// Nesting depth at begin time (0 = top level).
+    pub depth: u32,
+    /// Index of the enclosing event in the trace, if any.
+    pub parent: Option<u32>,
+}
+
 /// The recording surface: ordered spans, counters, metrics, and notes.
 ///
 /// Names are deduplicated on insert — recording under an existing name
@@ -75,6 +97,11 @@ pub struct Telemetry {
     counters: Vec<Counter>,
     metrics: Vec<(String, f64)>,
     notes: Vec<(String, String)>,
+    /// Hierarchical trace: set on the first `begin_span`.
+    epoch: Option<Instant>,
+    events: Vec<TraceEvent>,
+    /// Indices into `events` of the currently open spans.
+    stack: Vec<u32>,
 }
 
 impl Telemetry {
@@ -89,6 +116,59 @@ impl Telemetry {
         let r = f();
         self.record_span(name, start.elapsed());
         r
+    }
+
+    /// Opens a hierarchical span: subsequent spans nest under it until
+    /// the matching [`end_span`](Telemetry::end_span).
+    ///
+    /// The first `begin_span` fixes the collector's epoch; all trace
+    /// events are recorded relative to it.
+    pub fn begin_span(&mut self, name: &str) {
+        let epoch = *self.epoch.get_or_insert_with(Instant::now);
+        let parent = self.stack.last().copied();
+        let idx = self.events.len() as u32;
+        self.events.push(TraceEvent {
+            name: name.to_string(),
+            start_ns: epoch.elapsed().as_nanos(),
+            dur_ns: 0,
+            depth: self.stack.len() as u32,
+            parent,
+        });
+        self.stack.push(idx);
+    }
+
+    /// Closes the innermost open span, finalizing its duration and
+    /// accumulating it into the flat [`Span`] of the same name.
+    ///
+    /// A call with no span open is a no-op (unbalanced stacks degrade
+    /// gracefully rather than panic).
+    pub fn end_span(&mut self) {
+        let (Some(idx), Some(epoch)) = (self.stack.pop(), self.epoch) else {
+            return;
+        };
+        let now_ns = epoch.elapsed().as_nanos();
+        let ev = &mut self.events[idx as usize];
+        ev.dur_ns = now_ns.saturating_sub(ev.start_ns);
+        let (name, dur_ns) = (ev.name.clone(), ev.dur_ns);
+        self.record_span(
+            &name,
+            Duration::from_nanos(dur_ns.min(u64::MAX as u128) as u64),
+        );
+    }
+
+    /// Times `f` as a hierarchical span under `name`: like
+    /// [`time`](Telemetry::time), but the interval also lands on the
+    /// trace with the current span stack as its ancestry.
+    pub fn time_nested<R>(&mut self, name: &str, f: impl FnOnce() -> R) -> R {
+        self.begin_span(name);
+        let r = f();
+        self.end_span();
+        r
+    }
+
+    /// All hierarchical trace events, in begin order.
+    pub fn trace_events(&self) -> &[TraceEvent] {
+        &self.events
     }
 
     /// Records an externally measured duration under `name`.
@@ -215,6 +295,7 @@ impl Telemetry {
             && self.counters.is_empty()
             && self.metrics.is_empty()
             && self.notes.is_empty()
+            && self.events.is_empty()
     }
 
     /// Folds another collector into this one: spans and counters
@@ -237,6 +318,36 @@ impl Telemetry {
         }
         for (k, v) in &other.notes {
             self.note(k, v);
+        }
+        if !other.events.is_empty() {
+            // Rebase the other trace onto this collector's epoch so both
+            // land on one timeline. If the other epoch is earlier, shift
+            // our own events forward instead (epochs only move back).
+            let offset_ns = match (self.epoch, other.epoch) {
+                (Some(mine), Some(theirs)) => {
+                    let back = mine.saturating_duration_since(theirs).as_nanos();
+                    if back > 0 {
+                        for ev in &mut self.events {
+                            ev.start_ns += back;
+                        }
+                        self.epoch = other.epoch;
+                        0
+                    } else {
+                        theirs.saturating_duration_since(mine).as_nanos()
+                    }
+                }
+                (None, theirs) => {
+                    self.epoch = theirs;
+                    0
+                }
+                (Some(_), None) => 0,
+            };
+            let base = self.events.len() as u32;
+            self.events.extend(other.events.iter().map(|ev| TraceEvent {
+                start_ns: ev.start_ns + offset_ns,
+                parent: ev.parent.map(|p| p + base),
+                ..ev.clone()
+            }));
         }
     }
 
@@ -272,12 +383,38 @@ impl Telemetry {
                 .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
                 .collect(),
         );
-        Json::obj(vec![
+        let mut body = vec![
             ("phases", phases),
             ("counters", counters),
             ("metrics", metrics),
             ("notes", notes),
-        ])
+        ];
+        if !self.events.is_empty() {
+            body.push((
+                "events",
+                Json::Arr(
+                    self.events
+                        .iter()
+                        .map(|ev| {
+                            Json::obj(vec![
+                                ("name", Json::Str(ev.name.clone())),
+                                ("start_ns", Json::Num(ev.start_ns as f64)),
+                                ("dur_ns", Json::Num(ev.dur_ns as f64)),
+                                ("depth", Json::Num(ev.depth as f64)),
+                                (
+                                    "parent",
+                                    match ev.parent {
+                                        Some(p) => Json::Num(p as f64),
+                                        None => Json::Null,
+                                    },
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        Json::obj(body)
     }
 }
 
@@ -352,6 +489,70 @@ impl RunReport {
             ("merged", self.merged().to_json()),
             ("sections", sections),
         ])
+    }
+
+    /// The report as a Chrome trace-event JSON value, loadable in
+    /// `chrome://tracing` or <https://ui.perfetto.dev>.
+    ///
+    /// Each section becomes one named track (`tid`). Sections that
+    /// recorded hierarchical [`TraceEvent`]s render as a flame chart
+    /// (Perfetto infers nesting from time containment); sections with
+    /// only flat [`Span`]s get back-to-back synthetic intervals so every
+    /// tool produces a useful trace.
+    pub fn to_chrome_trace(&self) -> Json {
+        let mut events = Vec::new();
+        for (tid0, (name, tel)) in self.sections.iter().enumerate() {
+            let tid = tid0 as f64 + 1.0;
+            events.push(Json::obj(vec![
+                ("name", Json::Str("thread_name".into())),
+                ("ph", Json::Str("M".into())),
+                ("pid", Json::Num(1.0)),
+                ("tid", Json::Num(tid)),
+                ("args", Json::obj(vec![("name", Json::Str(name.clone()))])),
+            ]));
+            let complete = |ev_name: &str, ts_ns: u128, dur_ns: u128| {
+                Json::obj(vec![
+                    ("name", Json::Str(ev_name.to_string())),
+                    ("cat", Json::Str(name.clone())),
+                    ("ph", Json::Str("X".into())),
+                    ("ts", Json::Num(ts_ns as f64 / 1e3)),
+                    ("dur", Json::Num(dur_ns as f64 / 1e3)),
+                    ("pid", Json::Num(1.0)),
+                    ("tid", Json::Num(tid)),
+                ])
+            };
+            if tel.trace_events().is_empty() {
+                // Synthetic timeline: flat spans laid end to end.
+                let mut cursor = 0u128;
+                for s in tel.spans() {
+                    events.push(complete(&s.name, cursor, s.wall_ns));
+                    cursor += s.wall_ns;
+                }
+            } else {
+                for ev in tel.trace_events() {
+                    events.push(complete(&ev.name, ev.start_ns, ev.dur_ns));
+                }
+            }
+        }
+        Json::obj(vec![
+            ("traceEvents", Json::Arr(events)),
+            ("displayTimeUnit", Json::Str("ms".into())),
+            (
+                "otherData",
+                Json::obj(vec![("tool", Json::Str(self.tool.clone()))]),
+            ),
+        ])
+    }
+
+    /// Writes the Chrome trace rendering to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write_chrome_trace(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let mut s = self.to_chrome_trace().to_string();
+        s.push('\n');
+        std::fs::write(path, s)
     }
 
     /// The report as pretty-printed JSON text (trailing newline included).
@@ -474,6 +675,134 @@ mod tests {
         assert_eq!(a.counter("m"), Some(5));
         assert_eq!(a.span_ns("s"), Some(30));
         assert_eq!(a.notes(), &[("k".to_string(), "v".to_string())]);
+    }
+
+    #[test]
+    fn merge_covers_all_four_channels() {
+        let mut a = Telemetry::new();
+        a.record_span("shared", Duration::from_nanos(100));
+        a.record_span("only_a", Duration::from_nanos(7));
+        a.add("shared.count", 1);
+        a.set_metric("shared.gauge", 1.0);
+        a.set_metric("only_a.gauge", 9.0);
+        a.note("shared.note", "old");
+        a.note("only_a.note", "kept");
+
+        let mut b = Telemetry::new();
+        b.record_span("shared", Duration::from_nanos(50));
+        b.record_span("only_b", Duration::from_nanos(3));
+        b.add("shared.count", 4);
+        b.add("only_b.count", 2);
+        b.set_metric("shared.gauge", 2.5);
+        b.note("shared.note", "new");
+        b.note("only_b.note", "added");
+
+        a.merge(&b);
+        // Spans accumulate by name; new names append.
+        assert_eq!(a.span_ns("shared"), Some(150));
+        assert_eq!(a.span_ns("only_a"), Some(7));
+        assert_eq!(a.span_ns("only_b"), Some(3));
+        assert_eq!(
+            a.spans().iter().find(|s| s.name == "shared").unwrap().calls,
+            2
+        );
+        // Counters accumulate.
+        assert_eq!(a.counter("shared.count"), Some(5));
+        assert_eq!(a.counter("only_b.count"), Some(2));
+        // Metrics: the other side wins on clashes, absent names survive.
+        assert_eq!(a.metric("shared.gauge"), Some(2.5));
+        assert_eq!(a.metric("only_a.gauge"), Some(9.0));
+        // Notes: same overwrite semantics.
+        let note = |t: &Telemetry, k: &str| {
+            t.notes()
+                .iter()
+                .find(|(n, _)| n == k)
+                .map(|(_, v)| v.clone())
+        };
+        assert_eq!(note(&a, "shared.note").as_deref(), Some("new"));
+        assert_eq!(note(&a, "only_a.note").as_deref(), Some("kept"));
+        assert_eq!(note(&a, "only_b.note").as_deref(), Some("added"));
+    }
+
+    #[test]
+    fn nested_spans_build_a_trace() {
+        let mut tel = Telemetry::new();
+        tel.begin_span("outer");
+        let v = tel.time_nested("inner", || std::hint::black_box((0..100).sum::<u64>()));
+        assert!(v > 0);
+        tel.end_span();
+        let evs = tel.trace_events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].name, "outer");
+        assert_eq!(evs[0].depth, 0);
+        assert_eq!(evs[0].parent, None);
+        assert_eq!(evs[1].name, "inner");
+        assert_eq!(evs[1].depth, 1);
+        assert_eq!(evs[1].parent, Some(0));
+        // The child interval lies inside the parent interval.
+        assert!(evs[1].start_ns >= evs[0].start_ns);
+        assert!(evs[1].start_ns + evs[1].dur_ns <= evs[0].start_ns + evs[0].dur_ns);
+        // end_span feeds the flat accumulated view too.
+        assert!(tel.span_ns("outer").is_some());
+        assert!(tel.span_ns("inner").is_some());
+        // Unbalanced end_span is a no-op, not a panic.
+        tel.end_span();
+        assert_eq!(tel.trace_events().len(), 2);
+    }
+
+    #[test]
+    fn merge_rebases_trace_events() {
+        let mut a = Telemetry::new();
+        a.time_nested("first", || std::hint::black_box(1));
+        let mut b = Telemetry::new();
+        b.begin_span("outer");
+        b.time_nested("inner", || std::hint::black_box(2));
+        b.end_span();
+        a.merge(&b);
+        let evs = a.trace_events();
+        assert_eq!(evs.len(), 3);
+        // Parent links survived the append with the right offset.
+        assert_eq!(evs[2].name, "inner");
+        assert_eq!(evs[2].parent, Some(1));
+        // b began after a's epoch, so its events land at or after it.
+        assert!(evs[1].start_ns >= evs[0].start_ns);
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_trace_event_json() {
+        let mut tel = Telemetry::new();
+        tel.begin_span("compile");
+        tel.time_nested("optimize", || std::hint::black_box(3));
+        tel.end_span();
+        let mut flat = Telemetry::new();
+        flat.record_span("measure", Duration::from_micros(5));
+        flat.record_span("verify", Duration::from_micros(2));
+        let mut report = RunReport::new("t");
+        report.push_section("unit", tel);
+        report.push_section("bench", flat);
+
+        let parsed = json::parse(&report.to_chrome_trace().to_string()).unwrap();
+        let events = parsed.get("traceEvents").unwrap().as_arr().unwrap();
+        // 2 thread_name metadata + 2 hierarchical + 2 synthetic flat.
+        assert_eq!(events.len(), 6);
+        for ev in events {
+            let ph = ev.get("ph").and_then(Json::as_str).unwrap();
+            assert!(ph == "X" || ph == "M");
+            assert!(ev.get("pid").and_then(Json::as_f64).is_some());
+            assert!(ev.get("tid").and_then(Json::as_f64).is_some());
+            if ph == "X" {
+                assert!(ev.get("ts").and_then(Json::as_f64).is_some());
+                assert!(ev.get("dur").and_then(Json::as_f64).is_some());
+            }
+        }
+        // Flat spans were laid end to end on their own track.
+        let xs: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("cat").and_then(Json::as_str) == Some("bench"))
+            .collect();
+        assert_eq!(xs.len(), 2);
+        assert_eq!(xs[0].get("ts").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(xs[1].get("ts").and_then(Json::as_f64), Some(5.0));
     }
 
     #[test]

@@ -14,7 +14,9 @@ use std::fmt;
 
 use spl_frontend::ast::{TBinOp, TExpr, TLval, TUnOp, TemplateDef, TemplateStmt};
 use spl_frontend::sexp::Sexp;
-use spl_icode::{Affine, BinOp, IProgram, Instr, LoopVar, Place, UnOp, Value, VecKind, VecRef};
+use spl_icode::{
+    Affine, BinOp, IProgram, Instr, LoopVar, Place, ProvNode, UnOp, Value, VecKind, VecRef,
+};
 use spl_numeric::Complex;
 
 use crate::shape::shape_of;
@@ -130,6 +132,9 @@ pub fn expand_formula(
         depth: 0,
         max_depth: opts.max_depth,
         max_steps: opts.max_steps,
+        prov: Vec::new(),
+        prov_nodes: Vec::new(),
+        cur_node: ProvNode::ROOT,
     };
     let params = Params {
         in_base: VecKind::In,
@@ -157,6 +162,8 @@ pub fn expand_formula(
         n_r: ex.n_r,
         n_loop: ex.n_loop,
         complex: true,
+        prov: ex.prov,
+        prov_nodes: ex.prov_nodes,
     };
     prog.validate()
         .map_err(|e| ExpandError::Invalid(format!("generated invalid i-code: {e}")))?;
@@ -220,6 +227,49 @@ pub fn binarize(sexp: &Sexp) -> Sexp {
     }
 }
 
+/// A budgeted rendering of a sub-formula for provenance labels: the
+/// full text when it fits, a prefix plus `…` otherwise — without ever
+/// materializing the whole (possibly huge) tree as a string.
+fn short_label(sexp: &Sexp, budget: usize) -> String {
+    let mut out = String::new();
+    write_label(sexp, budget, &mut out);
+    if out.len() > budget {
+        let mut cut = budget;
+        while !out.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        out.truncate(cut);
+        out.push('…');
+    }
+    out
+}
+
+fn write_label(sexp: &Sexp, budget: usize, out: &mut String) {
+    if out.len() > budget {
+        return;
+    }
+    match sexp {
+        Sexp::List(items) => {
+            out.push('(');
+            for (k, item) in items.iter().enumerate() {
+                if k > 0 {
+                    out.push(' ');
+                }
+                if out.len() > budget {
+                    out.push('…');
+                    break;
+                }
+                write_label(item, budget, out);
+            }
+            out.push(')');
+        }
+        other => {
+            use std::fmt::Write as _;
+            let _ = write!(out, "{other}");
+        }
+    }
+}
+
 /// The six implicit parameters of a template instance, plus the sizes and
 /// the unroll flag.
 #[derive(Debug, Clone)]
@@ -269,9 +319,22 @@ struct Expander<'t> {
     max_depth: usize,
     /// Emitted-instruction cap (see [`ExpandOptions::max_steps`]).
     max_steps: usize,
+    /// Per-instruction formula-node ids, flushed lazily: instructions in
+    /// `instrs` beyond `prov.len()` belong to `cur_node`.
+    prov: Vec<u32>,
+    /// The provenance node table being built.
+    prov_nodes: Vec<ProvNode>,
+    /// Id of the formula node currently expanding.
+    cur_node: u32,
 }
 
 impl Expander<'_> {
+    /// Assigns every not-yet-attributed instruction to `cur_node`.
+    fn flush_prov(&mut self) {
+        let id = self.cur_node;
+        self.prov.resize(self.instrs.len(), id);
+    }
+
     fn expand(&mut self, sexp: &Sexp, params: Params) -> Result<(), ExpandError> {
         self.depth += 1;
         if self.depth > self.max_depth {
@@ -288,7 +351,21 @@ impl Expander<'_> {
                 self.max_steps
             )));
         }
+        // Provenance bookkeeping around the single recursion gateway:
+        // instructions the *parent* emitted since its last flush belong
+        // to the parent; everything emitted inside (including by this
+        // node after its children return) belongs to this node.
+        self.flush_prov();
+        let parent = self.cur_node;
+        let id = self.prov_nodes.len() as u32;
+        self.prov_nodes.push(ProvNode {
+            label: short_label(sexp, 64),
+            parent,
+        });
+        self.cur_node = id;
         let r = self.expand_inner(sexp, params);
+        self.flush_prov();
+        self.cur_node = parent;
         self.depth -= 1;
         r
     }

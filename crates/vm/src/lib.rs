@@ -41,10 +41,12 @@
 //! ```
 
 pub mod convert;
+pub mod profile;
 pub mod program;
 pub mod resolved;
 pub mod timer;
 
+pub use profile::{LoopBlock, NodeCost, VmProfile};
 pub use program::{lower, VmError, VmProgram, VmState};
 pub use resolved::ResolveStats;
 pub use timer::{describe_policy, measure, measure_reference, measure_with_reps, Measurement};

@@ -3,8 +3,9 @@
 use std::error::Error;
 use std::fmt;
 
-use spl_icode::{Affine, BinOp, IProgram, Instr, Place, UnOp, Value, VecKind, VecRef};
+use spl_icode::{Affine, BinOp, IProgram, Instr, Place, ProvNode, UnOp, Value, VecKind, VecRef};
 
+use crate::profile::VmProfile;
 use crate::resolved::{resolve, ResolveStats, ResolvedProgram, Unsupported};
 
 /// A lowering error.
@@ -197,6 +198,11 @@ pub enum Op {
 #[derive(Debug, Clone, PartialEq)]
 pub struct VmProgram {
     code: Vec<Op>,
+    /// Per-op formula-node provenance (parallel to `code`; empty when
+    /// the source program carried none).
+    prov: Vec<u32>,
+    /// The formula-node table the provenance ids index.
+    prov_nodes: Vec<ProvNode>,
     /// The resolved engine, or why resolution was declined.
     resolved: Result<ResolvedProgram, Unsupported>,
     /// Input vector length (in `f64` words).
@@ -219,6 +225,17 @@ impl VmProgram {
     /// The operations (read-only view, for inspection in tests/benches).
     pub fn code(&self) -> &[Op] {
         &self.code
+    }
+
+    /// Per-op formula-node provenance, parallel to [`VmProgram::code`]
+    /// (empty when the source i-code carried none).
+    pub fn prov(&self) -> &[u32] {
+        &self.prov
+    }
+
+    /// The formula-node table the provenance ids index.
+    pub fn prov_nodes(&self) -> &[ProvNode] {
+        &self.prov_nodes
     }
 
     /// Bytes of state the program needs beyond input and output: the
@@ -301,6 +318,26 @@ impl VmProgram {
         } else {
             self.run_reference(x, y, st);
         }
+    }
+
+    /// Executes the program through the resolved engine while
+    /// collecting a [`VmProfile`]: dynamic per-op-class counts, flop
+    /// counts, per-loop iteration and wall-time figures, and — when
+    /// the program carries formula-node provenance — per-node self
+    /// time and flops.
+    ///
+    /// This is a separate instrumented interpreter; the unprofiled
+    /// [`VmProgram::run`] hot path is untouched. Returns `None` when
+    /// the program fell back to the reference executor.
+    ///
+    /// Output and state are updated exactly as by [`VmProgram::run`]
+    /// (the profiled interpreter executes the same resolved ops in
+    /// the same order, so results are bit-identical).
+    pub fn run_profiled(&self, x: &[f64], y: &mut [f64], st: &mut VmState) -> Option<VmProfile> {
+        let rp = self.resolved.as_ref().ok()?;
+        assert_eq!(x.len(), self.n_in, "input length mismatch");
+        assert_eq!(y.len(), self.n_out, "output length mismatch");
+        Some(rp.run_profiled(x, y, st, &self.prov_nodes))
     }
 
     /// Executes the program through the original op-at-a-time
@@ -668,8 +705,14 @@ pub fn lower(prog: &IProgram) -> Result<VmProgram, VmError> {
     if !loop_stack.is_empty() {
         return Err(VmError::UnclosedLoop);
     }
+    // Lowering emits exactly one op per instruction, so the i-code
+    // provenance carries over index-for-index.
+    let prov = prog.prov_slice().to_vec();
+    debug_assert!(prov.is_empty() || prov.len() == prog.instrs.len());
     let mut vm = VmProgram {
         code,
+        prov,
+        prov_nodes: prog.prov_nodes.clone(),
         resolved: Err(Unsupported("unresolved")),
         n_in: prog.n_in,
         n_out: prog.n_out,
@@ -1174,6 +1217,70 @@ mod tests {
         let opt = compile("(F 4)", CompilerOptions::default());
         assert_eq!(opt.int_ops(), 0, "optimized code has no $r arithmetic");
         assert!(opt.float_ops() > 0);
+    }
+
+    #[test]
+    fn profiled_run_is_bit_identical_and_telescopes() {
+        let src = "(compose (tensor (F 2) (I 4)) (T 8 4) (tensor (I 2) (F 4)) (L 8 2))";
+        let vm = compile(src, CompilerOptions::default());
+        assert!(vm.is_resolved(), "{:?}", vm.resolve_fallback());
+        let x: Vec<f64> = (0..vm.n_in).map(|i| ((i as f64) * 0.7311).sin()).collect();
+        let mut y_prof = vec![0.0; vm.n_out];
+        let mut y_ref = vec![0.0; vm.n_out];
+        let prof = vm
+            .run_profiled(&x, &mut y_prof, &mut VmState::new(&vm))
+            .expect("resolved");
+        vm.run(&x, &mut y_ref, &mut VmState::new(&vm));
+        for (a, b) in y_prof.iter().zip(&y_ref) {
+            assert_eq!(a.to_bits(), b.to_bits(), "profiled run changed results");
+        }
+        // Telescoping attribution: self times sum *exactly* to the
+        // total, with nothing lost between clock reads.
+        let sum: u128 = prof.nodes.iter().map(|n| n.self_ns).sum::<u128>() + prof.unattributed_ns;
+        assert_eq!(sum, prof.total_ns);
+        // Provenance survived the whole pipeline down to the VM.
+        assert!(!prof.nodes.is_empty());
+        assert!(prof.nodes.iter().any(|n| n.ops > 0));
+        assert!(prof.flops() > 0);
+        assert!(prof.fused_ops() > 0, "fused macro-ops executed");
+        assert!(prof.fused_utilization() > 0.0);
+        // The root subtree contains every attributed nanosecond.
+        let incl = prof.inclusive_ns();
+        assert_eq!(incl[0], prof.attributed_ns());
+        // Loop blocks ran.
+        assert!(!prof.loops.is_empty());
+        assert!(prof.loops.iter().map(|l| l.iterations).sum::<u64>() > 0);
+        // The JSON report round-trips through the parser.
+        let js = prof.to_json().to_string();
+        assert!(spl_telemetry::json::parse(&js).is_ok());
+    }
+
+    #[test]
+    fn profiled_run_without_provenance_is_unattributed() {
+        use spl_icode::{Affine, Instr, Place, UnOp, Value, VecKind, VecRef};
+        let prog = spl_icode::IProgram {
+            instrs: vec![Instr::Un {
+                op: UnOp::Copy,
+                dst: Place::Vec(VecRef {
+                    kind: VecKind::Out,
+                    idx: Affine::constant(0),
+                }),
+                a: Value::Const(spl_numeric::Complex::real(4.0)),
+            }],
+            n_in: 1,
+            n_out: 1,
+            complex: false,
+            ..spl_icode::IProgram::empty()
+        };
+        let vm = lower(&prog).unwrap();
+        let mut y = [0.0];
+        let prof = vm
+            .run_profiled(&[0.0], &mut y, &mut VmState::new(&vm))
+            .expect("resolved");
+        assert_eq!(y[0], 4.0);
+        assert!(prof.nodes.is_empty());
+        assert_eq!(prof.unattributed_ns, prof.total_ns);
+        assert_eq!(prof.op_counts[4], 1, "one copy executed");
     }
 
     #[test]

@@ -31,10 +31,12 @@
 //! reference executor, preserving the old observable behavior.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
-use spl_icode::BinOp;
+use spl_icode::{BinOp, ProvNode};
 use spl_telemetry::Telemetry;
 
+use crate::profile::{build_nodes, LoopBlock, VmProfile, N_OP_CLASSES};
 use crate::program::{Addr, Dst, ISrc, Op, Src, VmProgram, VmState};
 
 /// Counters from fusion and loop strength reduction, reported through
@@ -189,6 +191,10 @@ enum RNode {
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) struct ResolvedProgram {
     nodes: Vec<RNode>,
+    /// Formula-node provenance per resolved node (parallel to `nodes`,
+    /// or empty when the program carries none). Read only by the
+    /// profiled interpreter.
+    node_prov: Vec<u32>,
     /// Flat `(cursor, delta)` stride table, sliced per loop.
     steps: Vec<(u32, i64)>,
     /// Per-cursor initial arena index (memcpy'd into the state at the
@@ -413,6 +419,227 @@ impl ResolvedProgram {
             }
         }
     }
+
+    /// Executes the program through a separate instrumented
+    /// interpreter and returns the collected [`VmProfile`]; see
+    /// [`crate::VmProgram::run_profiled`]. State contract and results
+    /// are identical to [`ResolvedProgram::run`] — the same resolved
+    /// ops execute in the same order.
+    pub(crate) fn run_profiled(
+        &self,
+        x: &[f64],
+        y: &mut [f64],
+        st: &mut VmState,
+        prov_nodes: &[ProvNode],
+    ) -> VmProfile {
+        assert!(st.arena.len() >= self.arena_len, "arena state mismatch");
+        assert!(st.r.len() >= self.need_r, "register state mismatch");
+        assert!(st.loops.len() >= self.need_loop, "loop state mismatch");
+        st.cur.copy_from_slice(&self.init_cursors);
+        st.arena[self.in_off..self.in_off + self.n_in].copy_from_slice(x);
+        st.arena[self.out_off..self.out_off + self.n_out].copy_from_slice(y);
+        let n_ids = if self.node_prov.is_empty() {
+            0
+        } else {
+            prov_nodes.len()
+        };
+        let mut pb = ProfBuf::new(n_ids);
+        {
+            let VmState {
+                arena,
+                cur,
+                r,
+                loops,
+                ..
+            } = st;
+            self.exec_profiled(0, self.nodes.len(), arena, cur, r, loops, &mut pb);
+        }
+        y.copy_from_slice(&st.arena[self.out_off..self.out_off + self.n_out]);
+        pb.finish(prov_nodes)
+    }
+
+    /// The instrumented mirror of [`ResolvedProgram::exec`]: same
+    /// control flow and op dispatch, plus telescoping formula-node
+    /// attribution, op-class counting, and per-loop figures.
+    #[allow(clippy::too_many_arguments)]
+    fn exec_profiled(
+        &self,
+        lo: usize,
+        hi: usize,
+        arena: &mut [f64],
+        cur: &mut [i64],
+        r: &mut [i64],
+        loops: &mut [i64],
+        pb: &mut ProfBuf,
+    ) {
+        let mut i = lo;
+        while i < hi {
+            let p = self.node_prov.get(i).copied().unwrap_or(u32::MAX);
+            match &self.nodes[i] {
+                RNode::Op(op) => {
+                    pb.attribute(p);
+                    pb.count(op);
+                    self.exec_op(op, arena, cur, r, loops);
+                    i += 1;
+                }
+                RNode::Loop {
+                    trips,
+                    var,
+                    lo: l0,
+                    end,
+                    steps,
+                } => {
+                    pb.attribute(p);
+                    let end = *end as usize;
+                    let stp = &self.steps[steps.0 as usize..steps.1 as usize];
+                    let t0 = Instant::now();
+                    pb.depth += 1;
+                    for t in 0..*trips {
+                        if self.track_loops {
+                            loops[*var as usize] = l0 + t as i64;
+                        }
+                        self.exec_profiled(i + 1, end, arena, cur, r, loops, pb);
+                        for &(k, d) in stp {
+                            cur[k as usize] += d;
+                        }
+                    }
+                    pb.depth -= 1;
+                    pb.loop_done(i, pb.depth, *trips, t0.elapsed().as_nanos());
+                    i = end;
+                }
+            }
+        }
+    }
+}
+
+/// Accumulators of the profiled interpreter.
+struct ProfBuf {
+    op_counts: [u64; N_OP_CLASSES],
+    /// Per-provenance-id self time / flops / op counts (empty when
+    /// the program carries no provenance).
+    node_ns: Vec<u128>,
+    node_flops: Vec<u64>,
+    node_ops: Vec<u64>,
+    unattributed_ns: u128,
+    /// Provenance id currently on the clock (`u32::MAX` = none).
+    cur_attr: u32,
+    /// Timestamp of the last attribution transition.
+    last: Instant,
+    start: Instant,
+    /// Current loop-nesting depth.
+    depth: u32,
+    /// Loop-header node index → (depth, entries, iterations, wall_ns).
+    loops: HashMap<usize, (u32, u64, u64, u128)>,
+}
+
+impl ProfBuf {
+    fn new(n_ids: usize) -> ProfBuf {
+        let now = Instant::now();
+        ProfBuf {
+            op_counts: [0; N_OP_CLASSES],
+            node_ns: vec![0; n_ids],
+            node_flops: vec![0; n_ids],
+            node_ops: vec![0; n_ids],
+            unattributed_ns: 0,
+            cur_attr: u32::MAX,
+            last: now,
+            start: now,
+            depth: 0,
+            loops: HashMap::new(),
+        }
+    }
+
+    /// Telescoping attribution: the clock is read only when execution
+    /// crosses from one formula node to another, and the interval
+    /// since the previous read is credited in full to the node just
+    /// left — so self times sum exactly to the total by construction.
+    fn attribute(&mut self, p: u32) {
+        if p != self.cur_attr {
+            let now = Instant::now();
+            let dt = (now - self.last).as_nanos();
+            match self.node_ns.get_mut(self.cur_attr as usize) {
+                Some(slot) => *slot += dt,
+                None => self.unattributed_ns += dt,
+            }
+            self.last = now;
+            self.cur_attr = p;
+        }
+    }
+
+    /// Credits the open interval to the current node and stops the
+    /// clock.
+    fn flush(&mut self) {
+        let now = Instant::now();
+        let dt = (now - self.last).as_nanos();
+        match self.node_ns.get_mut(self.cur_attr as usize) {
+            Some(slot) => *slot += dt,
+            None => self.unattributed_ns += dt,
+        }
+        self.last = now;
+    }
+
+    fn count(&mut self, op: &ROp) {
+        let class = match op {
+            ROp::Add { .. } => 0,
+            ROp::Sub { .. } => 1,
+            ROp::Mul { .. } => 2,
+            ROp::Div { .. } => 3,
+            ROp::Copy { .. } => 4,
+            ROp::Neg { .. } => 5,
+            ROp::MulAdd { .. } => 6,
+            ROp::MulSub { .. } => 7,
+            ROp::NegMulAdd { .. } => 8,
+            ROp::Butterfly { .. } => 9,
+            ROp::RToCell { .. } => 10,
+            ROp::LoopToCell { .. } => 11,
+            ROp::IntBin { .. } => 12,
+            ROp::IntUn { .. } => 13,
+        };
+        self.op_counts[class] += 1;
+        let id = self.cur_attr as usize;
+        if id < self.node_ops.len() {
+            self.node_ops[id] += 1;
+            self.node_flops[id] += crate::profile::OP_CLASS_FLOPS[class];
+        }
+    }
+
+    fn loop_done(&mut self, node: usize, depth: u32, trips: u64, wall_ns: u128) {
+        let e = self.loops.entry(node).or_insert((depth, 0, 0, 0));
+        e.1 += 1;
+        e.2 += trips;
+        e.3 += wall_ns;
+    }
+
+    fn finish(mut self, prov_nodes: &[ProvNode]) -> VmProfile {
+        self.flush();
+        let total_ns = (self.last - self.start).as_nanos();
+        let nodes = if self.node_ns.is_empty() {
+            Vec::new()
+        } else {
+            build_nodes(prov_nodes, &self.node_ns, &self.node_flops, &self.node_ops)
+        };
+        let mut loop_list: Vec<LoopBlock> = self
+            .loops
+            .iter()
+            .map(
+                |(&node, &(depth, entries, iterations, wall_ns))| LoopBlock {
+                    node: node as u32,
+                    depth,
+                    entries,
+                    iterations,
+                    wall_ns,
+                },
+            )
+            .collect();
+        loop_list.sort_by_key(|l| l.node);
+        VmProfile {
+            total_ns,
+            unattributed_ns: self.unattributed_ns,
+            op_counts: self.op_counts,
+            nodes,
+            loops: loop_list,
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -555,12 +782,19 @@ fn window_positions(out: &[FOp]) -> Vec<usize> {
 /// window — a negation to fold, an add to pair into a butterfly, or a
 /// multiply to fuse into a multiply–add. Every rewrite preserves the
 /// exact f64 rounding sequence of the unfused program.
-fn fuse(code: &[Op], stats: &mut ResolveStats) -> Vec<FOp> {
+///
+/// `prov` is per-input-op formula-node provenance (empty or parallel
+/// to `code`); the returned second vector carries it over per fused
+/// op, a fused macro-op inheriting its *consumer's* node.
+fn fuse(code: &[Op], prov: &[u32], stats: &mut ResolveStats) -> (Vec<FOp>, Vec<u32>) {
     let reads = count_f_reads(code);
     let single = |k: &u32| reads.get(k).copied().unwrap_or(0) == 1;
+    let has_prov = prov.len() == code.len();
     let mut out: Vec<FOp> = Vec::with_capacity(code.len());
+    let mut provs: Vec<u32> = Vec::with_capacity(if has_prov { code.len() } else { 0 });
 
-    for op in code {
+    for (pc, op) in code.iter().enumerate() {
+        let cur_prov = if has_prov { prov[pc] } else { 0 };
         let mut cur = op.clone();
 
         // Negate folding: t = −s; …; d = x ± t → d = x ∓ s (the
@@ -610,6 +844,7 @@ fn fuse(code: &[Op], stats: &mut ResolveStats) -> Vec<FOp> {
             }
             if let Some((q, repl)) = folded {
                 out.remove(q);
+                provs.remove(q);
                 stats.fused_negfold += 1;
                 cur = repl;
             }
@@ -649,12 +884,14 @@ fn fuse(code: &[Op], stats: &mut ResolveStats) -> Vec<FOp> {
                 let FOp::Plain(Op::Bin { dst: d1, .. }) = out.remove(q) else {
                     unreachable!("window candidate was a plain add");
                 };
+                provs.remove(q);
                 out.push(FOp::Butterfly {
                     d1,
                     d2: d2.clone(),
                     a: a.clone(),
                     b: b.clone(),
                 });
+                provs.push(cur_prov);
                 stats.fused_butterfly += 1;
                 continue;
             }
@@ -694,6 +931,7 @@ fn fuse(code: &[Op], stats: &mut ResolveStats) -> Vec<FOp> {
                 let FOp::Plain(Op::Bin { a: ma, b: mb, .. }) = out.remove(q) else {
                     unreachable!("window candidate was a plain mul");
                 };
+                provs.remove(q);
                 let c = if t_is_left { b.clone() } else { a.clone() };
                 let dst = dst.clone();
                 out.push(match (bop, t_is_left) {
@@ -720,14 +958,17 @@ fn fuse(code: &[Op], stats: &mut ResolveStats) -> Vec<FOp> {
                     },
                     _ => unreachable!("bop is add or sub"),
                 });
+                provs.push(cur_prov);
                 stats.fused_muladd += 1;
                 continue;
             }
         }
 
         out.push(FOp::Plain(cur));
+        provs.push(cur_prov);
     }
-    out
+    debug_assert_eq!(out.len(), provs.len());
+    (out, if has_prov { provs } else { Vec::new() })
 }
 
 // ---------------------------------------------------------------------------
@@ -764,6 +1005,13 @@ struct Frame {
 
 struct Builder {
     nodes: Vec<RNode>,
+    /// Formula-node provenance per resolved node, parallel to `nodes`
+    /// (unused and left empty when the program carries none).
+    node_prov: Vec<u32>,
+    /// Provenance id of the fused op currently being resolved (spill
+    /// nodes emitted for its operands inherit it).
+    cur_prov: u32,
+    has_prov: bool,
     steps: Vec<(u32, i64)>,
     init: Vec<i64>,
     arena_len: usize,
@@ -801,6 +1049,9 @@ impl Builder {
             .collect();
         Builder {
             nodes: Vec::new(),
+            node_prov: Vec::new(),
+            cur_prov: 0,
+            has_prov: false,
             steps: Vec::new(),
             init: Vec::new(),
             arena_len,
@@ -819,6 +1070,15 @@ impl Builder {
             temp_len: prog.temp_len,
             n_tab: prog.tables.len(),
             stats,
+        }
+    }
+
+    /// Appends a node, mirroring the current op's provenance into the
+    /// parallel `node_prov` table.
+    fn push_node(&mut self, n: RNode) {
+        self.nodes.push(n);
+        if self.has_prov {
+            self.node_prov.push(self.cur_prov);
         }
     }
 
@@ -959,15 +1219,14 @@ impl Builder {
             Src::RF(k) => {
                 let cell = self.alloc_cell();
                 let c = self.fixed(cell)?;
-                self.nodes.push(RNode::Op(ROp::RToCell { d: c, r_idx: *k }));
+                self.push_node(RNode::Op(ROp::RToCell { d: c, r_idx: *k }));
                 Ok(c)
             }
             Src::LoopF(k) => {
                 self.track_loops = true;
                 let cell = self.alloc_cell();
                 let c = self.fixed(cell)?;
-                self.nodes
-                    .push(RNode::Op(ROp::LoopToCell { d: c, slot: *k }));
+                self.push_node(RNode::Op(ROp::LoopToCell { d: c, slot: *k }));
                 Ok(c)
             }
         }
@@ -997,7 +1256,7 @@ impl Builder {
 /// reports why it must stay on the reference executor.
 pub(crate) fn resolve(prog: &VmProgram) -> Result<ResolvedProgram, Unsupported> {
     let mut stats = ResolveStats::default();
-    let fused = fuse(prog.code(), &mut stats);
+    let (fused, fprov) = fuse(prog.code(), prog.prov(), &mut stats);
 
     // Fusion shifts indices, so the original `end_pc` links are void;
     // re-match loop starts to their `hi` bound over the fused stream.
@@ -1020,7 +1279,11 @@ pub(crate) fn resolve(prog: &VmProgram) -> Result<ResolvedProgram, Unsupported> 
     }
 
     let mut b = Builder::new(prog, stats);
+    b.has_prov = !fprov.is_empty();
     for (idx, fop) in fused.iter().enumerate() {
+        if b.has_prov {
+            b.cur_prov = fprov[idx];
+        }
         match fop {
             FOp::Plain(Op::LoopStart { var, lo, .. }) => {
                 if b.frames.iter().any(|f| f.var == *var) {
@@ -1045,7 +1308,7 @@ pub(crate) fn resolve(prog: &VmProgram) -> Result<ResolvedProgram, Unsupported> 
                     trips,
                     steps: Vec::new(),
                 });
-                b.nodes.push(RNode::Loop {
+                b.push_node(RNode::Loop {
                     trips,
                     var: *var,
                     lo: *lo,
@@ -1072,7 +1335,7 @@ pub(crate) fn resolve(prog: &VmProgram) -> Result<ResolvedProgram, Unsupported> 
                 let ca = b.src(a)?;
                 let cb = b.src(rhs)?;
                 let cd = b.dst(dst)?;
-                b.nodes.push(RNode::Op(match op {
+                b.push_node(RNode::Op(match op {
                     BinOp::Add => ROp::Add {
                         d: cd,
                         a: ca,
@@ -1098,7 +1361,7 @@ pub(crate) fn resolve(prog: &VmProgram) -> Result<ResolvedProgram, Unsupported> 
             FOp::Plain(Op::Un { neg, dst, a }) => {
                 let ca = b.src(a)?;
                 let cd = b.dst(dst)?;
-                b.nodes.push(RNode::Op(if *neg {
+                b.push_node(RNode::Op(if *neg {
                     ROp::Neg { d: cd, a: ca }
                 } else {
                     ROp::Copy { d: cd, a: ca }
@@ -1107,7 +1370,7 @@ pub(crate) fn resolve(prog: &VmProgram) -> Result<ResolvedProgram, Unsupported> 
             FOp::Plain(Op::IntBin { op, dst, a, b: rhs }) => {
                 let a = b.ri(a);
                 let rhs = b.ri(rhs);
-                b.nodes.push(RNode::Op(ROp::IntBin {
+                b.push_node(RNode::Op(ROp::IntBin {
                     op: *op,
                     dst: *dst,
                     a,
@@ -1116,7 +1379,7 @@ pub(crate) fn resolve(prog: &VmProgram) -> Result<ResolvedProgram, Unsupported> 
             }
             FOp::Plain(Op::IntUn { neg, dst, a }) => {
                 let a = b.ri(a);
-                b.nodes.push(RNode::Op(ROp::IntUn {
+                b.push_node(RNode::Op(ROp::IntUn {
                     neg: *neg,
                     dst: *dst,
                     a,
@@ -1127,7 +1390,7 @@ pub(crate) fn resolve(prog: &VmProgram) -> Result<ResolvedProgram, Unsupported> 
                 let cb = b.src(m)?;
                 let cc = b.src(c)?;
                 let cd = b.dst(dst)?;
-                b.nodes.push(RNode::Op(ROp::MulAdd {
+                b.push_node(RNode::Op(ROp::MulAdd {
                     d: cd,
                     a: ca,
                     b: cb,
@@ -1139,7 +1402,7 @@ pub(crate) fn resolve(prog: &VmProgram) -> Result<ResolvedProgram, Unsupported> 
                 let cb = b.src(m)?;
                 let cc = b.src(c)?;
                 let cd = b.dst(dst)?;
-                b.nodes.push(RNode::Op(ROp::MulSub {
+                b.push_node(RNode::Op(ROp::MulSub {
                     d: cd,
                     a: ca,
                     b: cb,
@@ -1151,7 +1414,7 @@ pub(crate) fn resolve(prog: &VmProgram) -> Result<ResolvedProgram, Unsupported> 
                 let cb = b.src(m)?;
                 let cc = b.src(c)?;
                 let cd = b.dst(dst)?;
-                b.nodes.push(RNode::Op(ROp::NegMulAdd {
+                b.push_node(RNode::Op(ROp::NegMulAdd {
                     d: cd,
                     a: ca,
                     b: cb,
@@ -1163,7 +1426,7 @@ pub(crate) fn resolve(prog: &VmProgram) -> Result<ResolvedProgram, Unsupported> 
                 let cb = b.src(rhs)?;
                 let cd1 = b.dst(d1)?;
                 let cd2 = b.dst(d2)?;
-                b.nodes.push(RNode::Op(ROp::Butterfly {
+                b.push_node(RNode::Op(ROp::Butterfly {
                     d1: cd1,
                     d2: cd2,
                     a: ca,
@@ -1213,6 +1476,11 @@ pub(crate) fn resolve(prog: &VmProgram) -> Result<ResolvedProgram, Unsupported> 
         }
     }
     Ok(ResolvedProgram {
+        node_prov: if b.has_prov && b.node_prov.len() == b.nodes.len() {
+            b.node_prov
+        } else {
+            Vec::new()
+        },
         nodes: b.nodes,
         steps: b.steps,
         init_cursors: b.init,

@@ -6,13 +6,13 @@
 //! work counters); see the usage text below.
 
 use std::io::Read;
-use std::path::Path;
 use std::process::ExitCode;
 
 use spl::compiler::{Compiler, CompilerOptions, OptLevel};
 use spl::frontend::ast::Language;
 use spl::numeric::Complex;
-use spl::telemetry::{RunReport, Telemetry};
+use spl::telemetry::cli::ReportOptions;
+use spl::telemetry::RunReport;
 
 const USAGE: &str = "\
 usage: splc [options] [file.spl]        (stdin when no file)
@@ -38,47 +38,12 @@ usage: splc [options] [file.spl]        (stdin when no file)
   --run-vm       execute each unit through the VM's resolved engine
                  instead; with --stats, fusion and strength-reduction
                  counters (vm.fuse.*, vm.lsr.*) join the report
-  --stats        print per-phase times and per-pass counters to stderr
-  --trace-json <file>
-                 write the telemetry run report to <file> as JSON
   -h, --help     print this help
 ";
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("splc: {msg}");
     ExitCode::FAILURE
-}
-
-/// The human-readable `--stats` table.
-fn render_stats(tel: &Telemetry) -> String {
-    use std::fmt::Write as _;
-    let mut out = String::new();
-    if !tel.spans().is_empty() {
-        let _ = writeln!(out, "phase timings:");
-        for s in tel.spans() {
-            let _ = writeln!(
-                out,
-                "  {:<28} {:>12.1} us  ({} call{})",
-                s.name,
-                s.wall_ns as f64 / 1e3,
-                s.calls,
-                if s.calls == 1 { "" } else { "s" }
-            );
-        }
-    }
-    if !tel.counters().is_empty() {
-        let _ = writeln!(out, "pass counters:");
-        for c in tel.counters() {
-            let _ = writeln!(out, "  {:<28} {:>12}", c.name, c.value);
-        }
-    }
-    if !tel.metrics().is_empty() {
-        let _ = writeln!(out, "metrics:");
-        for (name, value) in tel.metrics() {
-            let _ = writeln!(out, "  {name:<28} {value:>12.6}");
-        }
-    }
-    out
 }
 
 fn main() -> ExitCode {
@@ -88,10 +53,14 @@ fn main() -> ExitCode {
     let mut print_icode = false;
     let mut run = false;
     let mut run_vm = false;
-    let mut stats = false;
-    let mut trace_json: Option<String> = None;
+    let mut reporting = ReportOptions::default();
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
+        match reporting.accept(a, &mut it) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(e) => return fail(&e),
+        }
         match a.as_str() {
             "-B" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(n) => opts.unroll_threshold = Some(n),
@@ -126,13 +95,8 @@ fn main() -> ExitCode {
             "--icode" => print_icode = true,
             "--run" => run = true,
             "--run-vm" => run_vm = true,
-            "--stats" => stats = true,
-            "--trace-json" => match it.next() {
-                Some(path) => trace_json = Some(path.clone()),
-                None => return fail("--trace-json requires a file path"),
-            },
             "-h" | "--help" => {
-                print!("{USAGE}");
+                print!("{USAGE}{}", spl::telemetry::cli::USAGE);
                 return ExitCode::SUCCESS;
             }
             other if !other.starts_with('-') && file.is_none() => {
@@ -221,18 +185,13 @@ fn main() -> ExitCode {
         }
         println!();
     }
-    if stats {
-        eprint!("{}", render_stats(&tel));
-    }
-    if let Some(path) = &trace_json {
-        let mut report = RunReport::new("splc");
-        report.meta("opt_level", opt_name);
-        report.meta("input", file.as_deref().unwrap_or("<stdin>"));
-        report.meta("units", &units.len().to_string());
-        report.push_section("compile", tel);
-        if let Err(e) = report.write_to_file(Path::new(path)) {
-            return fail(&format!("writing {path}: {e}"));
-        }
+    let mut report = RunReport::new("splc");
+    report.meta("opt_level", opt_name);
+    report.meta("input", file.as_deref().unwrap_or("<stdin>"));
+    report.meta("units", &units.len().to_string());
+    report.push_section("compile", tel);
+    if let Err(e) = reporting.finish(&report) {
+        return fail(&e);
     }
     ExitCode::SUCCESS
 }

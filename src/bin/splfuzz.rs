@@ -6,10 +6,11 @@
 //! writes a minimized reproducer for the first bug of every class.
 //! Exits nonzero when any bug is found, so it slots directly into CI.
 
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 use spl::fuzz::{run, FuzzConfig};
+use spl::telemetry::cli::ReportOptions;
 use spl::telemetry::RunReport;
 
 const USAGE: &str = "\
@@ -28,9 +29,6 @@ usage: splfuzz [options]
   --no-shrink    report bugs unminimized
   --out <dir>    reproducer directory (default results/fuzz)
   --no-out       do not write reproducer files
-  --stats        print verdict counts and fuzz.* counters to stderr
-  --trace-json <file>
-                 write the telemetry run report to <file> as JSON
   -h, --help     print this help
 ";
 
@@ -42,10 +40,14 @@ fn fail(msg: &str) -> ExitCode {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cfg = FuzzConfig::default();
-    let mut stats = false;
-    let mut trace_json: Option<String> = None;
+    let mut reporting = ReportOptions::default();
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
+        match reporting.accept(a, &mut it) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(e) => return fail(&e),
+        }
         match a.as_str() {
             "--seed" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(n) => cfg.seed = n,
@@ -75,13 +77,8 @@ fn main() -> ExitCode {
                 None => return fail("--out requires a directory"),
             },
             "--no-out" => cfg.out_dir = None,
-            "--stats" => stats = true,
-            "--trace-json" => match it.next() {
-                Some(path) => trace_json = Some(path.clone()),
-                None => return fail("--trace-json requires a file path"),
-            },
             "-h" | "--help" => {
-                print!("{USAGE}");
+                print!("{USAGE}{}", spl::telemetry::cli::USAGE);
                 return ExitCode::SUCCESS;
             }
             other => return fail(&format!("unknown option {other} (try --help)")),
@@ -113,20 +110,13 @@ fn main() -> ExitCode {
             println!("        reproducer: {}", path.display());
         }
     }
-    if stats {
-        for c in report.telemetry.counters() {
-            eprintln!("  {:<28} {:>12}", c.name, c.value);
-        }
-    }
-    if let Some(path) = &trace_json {
-        let mut rep = RunReport::new("splfuzz");
-        rep.meta("seed", &cfg.seed.to_string());
-        rep.meta("count", &cfg.count.to_string());
-        rep.meta("bug_classes", &report.bugs.len().to_string());
-        rep.push_section("fuzz", report.telemetry);
-        if let Err(e) = rep.write_to_file(Path::new(path)) {
-            return fail(&format!("writing {path}: {e}"));
-        }
+    let mut rep = RunReport::new("splfuzz");
+    rep.meta("seed", &cfg.seed.to_string());
+    rep.meta("count", &cfg.count.to_string());
+    rep.meta("bug_classes", &report.bugs.len().to_string());
+    rep.push_section("fuzz", report.telemetry);
+    if let Err(e) = reporting.finish(&rep) {
+        return fail(&e);
     }
     if report.bugs.is_empty() {
         ExitCode::SUCCESS

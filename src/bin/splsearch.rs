@@ -18,7 +18,7 @@
 //! cache (in-memory by default; `--kernel-cache <dir>` persists it
 //! across runs) so identical generated C is compiled at most once.
 
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
@@ -29,6 +29,7 @@ use spl::search::{
     small_search_parallel, Evaluator, EvaluatorPool, FaultyEvaluator, MeasuredEvaluator,
     NativeEvaluator, OpCountEvaluator, ResilientEvaluator, SearchConfig, SizeResult, WorkerContext,
 };
+use spl::telemetry::cli::ReportOptions;
 use spl::telemetry::{RunReport, Telemetry};
 
 const USAGE: &str = "\
@@ -66,60 +67,12 @@ usage: splsearch [options]
   --fault-rate <p>   total injected-fault probability (default 0.1)
   --wisdom-out <file>
                      also write the winners as wisdom text to <file>
-  --stats            print search telemetry to stderr
-  --trace-json <file>
-                     write the telemetry run report to <file> as JSON
   -h, --help         print this help
 ";
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("splsearch: {msg}");
     ExitCode::FAILURE
-}
-
-/// The human-readable `--stats` table (same shape as `splc --stats`).
-/// Kernel-cache and cc counters get their own section so warm-cache
-/// runs are easy to eyeball (and grep in CI).
-fn render_stats(tel: &Telemetry) -> String {
-    use std::fmt::Write as _;
-    let mut out = String::new();
-    if !tel.spans().is_empty() {
-        let _ = writeln!(out, "phase timings:");
-        for s in tel.spans() {
-            let _ = writeln!(
-                out,
-                "  {:<36} {:>12.1} us  ({} call{})",
-                s.name,
-                s.wall_ns as f64 / 1e3,
-                s.calls,
-                if s.calls == 1 { "" } else { "s" }
-            );
-        }
-    }
-    if tel.counters_with_prefix("native.").next().is_some() {
-        let _ = writeln!(out, "kernel cache:");
-        for (name, value) in tel.counters_with_prefix("native.") {
-            let _ = writeln!(out, "  {name:<36} {value:>12}");
-        }
-    }
-    let search_counters: Vec<_> = tel
-        .counters()
-        .iter()
-        .filter(|c| !c.name.starts_with("native."))
-        .collect();
-    if !search_counters.is_empty() {
-        let _ = writeln!(out, "search counters:");
-        for c in search_counters {
-            let _ = writeln!(out, "  {:<36} {:>12}", c.name, c.value);
-        }
-    }
-    if !tel.metrics().is_empty() {
-        let _ = writeln!(out, "metrics:");
-        for (name, value) in tel.metrics() {
-            let _ = writeln!(out, "  {name:<36} {value:>12.6}");
-        }
-    }
-    out
 }
 
 struct Options {
@@ -135,8 +88,7 @@ struct Options {
     faulty: Option<u64>,
     fault_rate: f64,
     wisdom_out: Option<String>,
-    stats: bool,
-    trace_json: Option<String>,
+    report: ReportOptions,
 }
 
 impl Default for Options {
@@ -154,8 +106,7 @@ impl Default for Options {
             faulty: None,
             fault_rate: 0.1,
             wisdom_out: None,
-            stats: false,
-            trace_json: None,
+            report: ReportOptions::default(),
         }
     }
 }
@@ -164,6 +115,9 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     let mut opts = Options::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
+        if opts.report.accept(a, &mut it)? {
+            continue;
+        }
         match a.as_str() {
             "--max-log" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(k) if (1..=24).contains(&k) => opts.max_log = k,
@@ -217,11 +171,6 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             "--wisdom-out" => match it.next() {
                 Some(path) => opts.wisdom_out = Some(path.clone()),
                 None => return Err("--wisdom-out requires a file path".into()),
-            },
-            "--stats" => opts.stats = true,
-            "--trace-json" => match it.next() {
-                Some(path) => opts.trace_json = Some(path.clone()),
-                None => return Err("--trace-json requires a file path".into()),
             },
             "-h" | "--help" => return Ok(None),
             other => return Err(format!("unknown option {other} (try --help)")),
@@ -285,7 +234,7 @@ fn main() -> ExitCode {
     let opts = match parse_args(&args) {
         Ok(Some(opts)) => opts,
         Ok(None) => {
-            print!("{USAGE}");
+            print!("{USAGE}{}", spl::telemetry::cli::USAGE);
             return ExitCode::SUCCESS;
         }
         Err(msg) => return fail(&msg),
@@ -305,9 +254,14 @@ fn main() -> ExitCode {
     };
 
     let small_max_k = opts.config.leaf_max.trailing_zeros().min(opts.max_log);
-    let mut pool = EvaluatorPool::new(jobs, |ctx| build_evaluator(&opts, ctx, &cache));
     let mut tel = Telemetry::new();
     tel.set("search.jobs", jobs as u64);
+    // Root of the hierarchical trace: everything below nests under it,
+    // so `--trace-chrome` renders the whole run as one flame chart.
+    tel.begin_span("splsearch");
+    tel.begin_span("build_pool");
+    let mut pool = EvaluatorPool::new(jobs, |ctx| build_evaluator(&opts, ctx, &cache));
+    tel.end_span();
 
     let small = match &opts.journal {
         Some(path) => {
@@ -349,6 +303,7 @@ fn main() -> ExitCode {
     // Cache activity not yet drained through any evaluator (take
     // semantics make this the remainder) still belongs in the report.
     tel.merge(&cache.drain_telemetry());
+    tel.end_span(); // splsearch
 
     // One winner per size, small sizes first, as wisdom text.
     let mut winners: Vec<SizeResult> = small;
@@ -372,26 +327,21 @@ fn main() -> ExitCode {
             return fail(&format!("writing {path}: {e}"));
         }
     }
-    if opts.stats {
-        eprint!("{}", render_stats(&tel));
+    let mut report = RunReport::new("splsearch");
+    report.meta("max_log", &opts.max_log.to_string());
+    report.meta("eval", &opts.eval);
+    report.meta("jobs", &jobs.to_string());
+    report.meta("verify", if opts.verify { "on" } else { "off" });
+    if let Some(dir) = &opts.kernel_cache {
+        report.meta("kernel_cache", &dir.display().to_string());
     }
-    if let Some(path) = &opts.trace_json {
-        let mut report = RunReport::new("splsearch");
-        report.meta("max_log", &opts.max_log.to_string());
-        report.meta("eval", &opts.eval);
-        report.meta("jobs", &jobs.to_string());
-        report.meta("verify", if opts.verify { "on" } else { "off" });
-        if let Some(dir) = &opts.kernel_cache {
-            report.meta("kernel_cache", &dir.display().to_string());
-        }
-        if let Some(seed) = opts.faulty {
-            report.meta("faulty_seed", &seed.to_string());
-            report.meta("fault_rate", &opts.fault_rate.to_string());
-        }
-        report.push_section("search", tel);
-        if let Err(e) = report.write_to_file(Path::new(path)) {
-            return fail(&format!("writing {path}: {e}"));
-        }
+    if let Some(seed) = opts.faulty {
+        report.meta("faulty_seed", &seed.to_string());
+        report.meta("fault_rate", &opts.fault_rate.to_string());
+    }
+    report.push_section("search", tel);
+    if let Err(e) = opts.report.finish(&report) {
+        return fail(&e);
     }
     ExitCode::SUCCESS
 }
