@@ -40,7 +40,7 @@ fn main() {
         black_box(unroll::scalarize(black_box(&lowered)));
     });
     h.bench(g, "optimize", || {
-        black_box(optimize::optimize(black_box(&scalarized)));
+        black_box(optimize::optimize(black_box(&scalarized)).unwrap());
     });
     h.finish();
 }

@@ -9,6 +9,7 @@
 //!
 //! Usage: `vmbench [--quick] [--stats] [--out FILE]
 //!                 [--min-median-speedup X] [--compare BASELINE]
+//!                 [--update-baseline [--force]]
 //!                 [--trace-json FILE] [--trace-chrome FILE]`
 //!
 //! `--min-median-speedup` turns the run into a gate: exit nonzero when
@@ -25,6 +26,13 @@
 //! shared-runner noise while still catching a lost fusion or
 //! strength-reduction pass (which halves the ratio). Refresh
 //! procedure: docs/TELEMETRY.md.
+//!
+//! `--update-baseline` regenerates the pinned baseline from this run's
+//! measurements. To stop a regressed run from silently becoming the new
+//! normal, it refuses unless the run would itself pass `--compare`
+//! against the existing baseline (a missing baseline is fine: first
+//! write), and refuses `--quick` measurements outright; `--force`
+//! overrides both checks.
 //!
 //! Every run also appends one JSON line to `results/bench_history.jsonl`
 //! (skipped when `results/` is absent), building an append-only local
@@ -92,6 +100,46 @@ fn main() {
             }
         }
     }
+    if std::env::args().any(|a| a == "--update-baseline") {
+        let force = std::env::args().any(|a| a == "--force");
+        if let Err(e) = update_baseline(&rows, median, force) {
+            eprintln!("vmbench: refusing to update baseline: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The pinned baseline `--compare` gates against in CI.
+const BASELINE_PATH: &str = "results/BENCH_vm.baseline.json";
+
+/// Regenerates [`BASELINE_PATH`] from this run, unless the run is
+/// suspect: `--quick` measurements, or a run that would itself fail
+/// `--compare` against the existing baseline (i.e. a regression must
+/// not become the new normal). `--force` skips both checks.
+fn update_baseline(rows: &[Row], median: f64, force: bool) -> Result<(), String> {
+    if !force {
+        if quick_mode() {
+            return Err(
+                "--quick measurements are too noisy to pin (use --force to override)".into(),
+            );
+        }
+        if std::path::Path::new(BASELINE_PATH).exists() {
+            if let Err(failures) = compare(rows, median, BASELINE_PATH) {
+                return Err(format!(
+                    "this run regresses vs the current baseline \
+                     (use --force to pin it anyway):\n  {}",
+                    failures.join("\n  ")
+                ));
+            }
+        }
+    }
+    if let Some(dir) = std::path::Path::new(BASELINE_PATH).parent() {
+        std::fs::create_dir_all(dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+    }
+    std::fs::write(BASELINE_PATH, render_json(rows, median))
+        .map_err(|e| format!("write {BASELINE_PATH}: {e}"))?;
+    eprintln!("vmbench: baseline updated: {BASELINE_PATH} (median {median:.2}x)");
+    Ok(())
 }
 
 /// Relative median-speedup loss tolerated by `--compare`.

@@ -29,6 +29,15 @@ pub enum CompileError {
     /// size cap): the formula is too large for the current
     /// [`Limits`](crate::Limits), not malformed.
     ResourceLimit(String),
+    /// Per-pass translation validation caught an optimization pass
+    /// changing program semantics (`splc --verify-passes` with abort
+    /// behaviour). The `pass` field names the localized culprit.
+    MiscompilingPass {
+        /// Name of the pass whose output disagreed with the reference.
+        pass: String,
+        /// The first observed divergence (probe, lane, values).
+        detail: String,
+    },
     /// An internal invariant violation (a phase produced invalid i-code).
     Internal(String),
 }
@@ -42,6 +51,9 @@ impl fmt::Display for CompileError {
             CompileError::TypeTrans(e) => write!(f, "{e}"),
             CompileError::MalformedIcode(e) => write!(f, "malformed i-code: {e}"),
             CompileError::ResourceLimit(e) => write!(f, "resource limit exceeded: {e}"),
+            CompileError::MiscompilingPass { pass, detail } => {
+                write!(f, "miscompiling pass '{pass}': {detail}")
+            }
             CompileError::Internal(e) => write!(f, "internal compiler error: {e}"),
         }
     }
@@ -56,6 +68,7 @@ impl Error for CompileError {
             CompileError::TypeTrans(e) => Some(e),
             CompileError::MalformedIcode(_)
             | CompileError::ResourceLimit(_)
+            | CompileError::MiscompilingPass { .. }
             | CompileError::Internal(_) => None,
         }
     }

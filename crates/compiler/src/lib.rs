@@ -40,8 +40,11 @@ pub mod codegen;
 pub mod error;
 pub mod intrinsics;
 pub mod optimize;
+pub mod passes;
 pub mod typetrans;
 pub mod unroll;
+
+use std::collections::HashSet;
 
 use spl_frontend::ast::{DataType, DirectiveState, Item, Language, Unroll};
 use spl_frontend::sexp::Sexp;
@@ -122,6 +125,15 @@ pub struct CompilerOptions {
     pub language_override: Option<Language>,
     /// Resource limits (parser depth, expansion budget, unrolled size).
     pub limits: Limits,
+    /// Per-pass translation validation (`splc --verify-passes`): replay
+    /// the i-code on probe vectors after every optimization pass, and
+    /// abort or quarantine a pass caught miscompiling.
+    pub verify_passes: Option<passes::Validation>,
+    /// Test/demo hook: append the deliberately-miscompiling
+    /// [`passes::testing::DropOp`] pass to the pipeline
+    /// (`splc --inject-buggy-pass`), so validation has something to
+    /// catch.
+    pub inject_buggy_pass: bool,
 }
 
 /// A compiled formula: the final i-code plus everything needed to print
@@ -184,6 +196,9 @@ pub struct Compiler {
     current_unroll: bool,
     counter: usize,
     telemetry: Telemetry,
+    /// Passes caught miscompiling under quarantine-mode validation;
+    /// skipped for the rest of this compiler's lifetime (all units).
+    quarantined: HashSet<String>,
 }
 
 impl Default for Compiler {
@@ -207,7 +222,15 @@ impl Compiler {
             current_unroll: false,
             counter: 0,
             telemetry: Telemetry::new(),
+            quarantined: HashSet::new(),
         }
+    }
+
+    /// Pass names quarantined by per-pass validation so far (empty
+    /// unless [`CompilerOptions::verify_passes`] uses
+    /// [`passes::OnMiscompile::Quarantine`] and a pass was caught).
+    pub fn quarantined_passes(&self) -> &HashSet<String> {
+        &self.quarantined
     }
 
     /// Access to the template table (e.g. to register search-produced
@@ -218,8 +241,11 @@ impl Compiler {
 
     /// Telemetry accumulated over all compilations so far: one span per
     /// paper phase (`parse`, `expand`, `unroll`, `intrinsics`,
-    /// `typetrans`, `optimize`) and per-pass work counters
-    /// (`optimize.cse_hits`, `unroll.loops_fully_unrolled`, …).
+    /// `typetrans`, `optimize`), aggregate work counters
+    /// (`optimize.cse_hits`, `unroll.loops_fully_unrolled`, …), and
+    /// per-pass pipeline counters (`pass.<name>.runs`,
+    /// `pass.<name>.changed`, `pass.<name>.probes`,
+    /// `pass.<name>.quarantined`, `pass.fixpoint.iterations`).
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
     }
@@ -335,36 +361,63 @@ impl Compiler {
             (DataType::Complex, DataType::Complex) => prog,
         };
         self.telemetry.record_span("typetrans", sw.elapsed());
-        // Phase 4: optimization.
+        // Phase 4: optimization, as a composable pass pipeline built
+        // from the `-O` level (with optional per-pass translation
+        // validation and pass quarantine).
         let sw = Stopwatch::start();
-        prog = match self.opts.opt_level {
-            OptLevel::None => prog,
-            OptLevel::ScalarTemps => {
-                let (scalar, sstats) = unroll::scalarize_with_stats(&prog);
-                self.telemetry
-                    .add("unroll.temps_scalarized", sstats.temps_scalarized);
-                scalar
-            }
-            OptLevel::Default => {
-                let (scalar, sstats) = unroll::scalarize_with_stats(&prog);
-                self.telemetry
-                    .add("unroll.temps_scalarized", sstats.temps_scalarized);
-                let (opt, ostats) = optimize::optimize_with_stats(&scalar);
-                self.telemetry
-                    .add("optimize.instrs_before", ostats.instrs_before);
-                self.telemetry
-                    .add("optimize.instrs_after", ostats.instrs_after);
-                self.telemetry
-                    .add("optimize.constants_folded", ostats.constants_folded);
-                self.telemetry
-                    .add("optimize.copies_propagated", ostats.copies_propagated);
-                self.telemetry.add("optimize.cse_hits", ostats.cse_hits);
-                self.telemetry
-                    .add("optimize.dce_removed", ostats.dce_removed);
-                opt
-            }
-        };
+        let mut builder = passes::PipelineBuilder::for_level(self.opts.opt_level);
+        if self.opts.inject_buggy_pass {
+            builder = builder.post(passes::testing::DropOp);
+        }
+        let pipeline = builder.validation(self.opts.verify_passes.clone()).build();
+        let outcome = pipeline.run(&prog, &mut self.quarantined)?;
+        prog = outcome.program;
         self.telemetry.record_span("optimize", sw.elapsed());
+        if self.opts.opt_level != OptLevel::None {
+            self.telemetry
+                .add("unroll.temps_scalarized", outcome.stats.temps_scalarized);
+        }
+        if self.opts.opt_level == OptLevel::Default {
+            let ostats = &outcome.stats;
+            self.telemetry
+                .add("optimize.instrs_before", ostats.instrs_before);
+            self.telemetry
+                .add("optimize.instrs_after", ostats.instrs_after);
+            self.telemetry
+                .add("optimize.constants_folded", ostats.constants_folded);
+            self.telemetry
+                .add("optimize.copies_propagated", ostats.copies_propagated);
+            self.telemetry.add("optimize.cse_hits", ostats.cse_hits);
+            self.telemetry
+                .add("optimize.dce_removed", ostats.dce_removed);
+        }
+        for ps in &outcome.passes {
+            self.telemetry.record_span(
+                &format!("pass.{}", ps.name),
+                std::time::Duration::from_nanos(ps.wall_ns.min(u64::MAX as u128) as u64),
+            );
+            self.telemetry
+                .add(&format!("pass.{}.runs", ps.name), ps.runs);
+            self.telemetry
+                .add(&format!("pass.{}.changed", ps.name), ps.changed);
+            if ps.probes > 0 {
+                self.telemetry
+                    .add(&format!("pass.{}.probes", ps.name), ps.probes);
+            }
+        }
+        if !outcome.passes.is_empty() {
+            self.telemetry
+                .add("pass.fixpoint.iterations", outcome.iterations);
+            if outcome.hit_iteration_cap {
+                self.telemetry.add("pass.fixpoint.capped", 1);
+            }
+        }
+        if outcome.validation_active {
+            self.telemetry.add("pass.validation.active", 1);
+        }
+        for name in &outcome.quarantined {
+            self.telemetry.add(&format!("pass.{name}.quarantined"), 1);
+        }
         prog.validate()
             .map_err(|e| CompileError::Internal(e.to_string()))?;
         self.telemetry.add("program.units", 1);
@@ -629,6 +682,85 @@ mod tests {
         assert!(tel.counter("codegen.lines").unwrap() > 0);
         // The accumulator is now empty again.
         assert!(c.telemetry().is_empty());
+    }
+
+    fn test_validation(on_miscompile: passes::OnMiscompile) -> passes::Validation {
+        passes::Validation {
+            on_miscompile,
+            dump_dir: None,
+            ..passes::Validation::default()
+        }
+    }
+
+    #[test]
+    fn injected_buggy_pass_aborts_with_its_name() {
+        let mut c = Compiler::with_options(CompilerOptions {
+            inject_buggy_pass: true,
+            verify_passes: Some(test_validation(passes::OnMiscompile::Abort)),
+            unroll_threshold: Some(32),
+            ..Default::default()
+        });
+        let err = c.compile_formula_str("(F 4)").unwrap_err();
+        match err {
+            CompileError::MiscompilingPass { pass, .. } => {
+                assert_eq!(pass, passes::testing::DROP_OP_NAME)
+            }
+            other => panic!("expected MiscompilingPass, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_buggy_pass_is_quarantined_and_result_stays_correct() {
+        let mut c = Compiler::with_options(CompilerOptions {
+            inject_buggy_pass: true,
+            verify_passes: Some(test_validation(passes::OnMiscompile::Quarantine)),
+            unroll_threshold: Some(32),
+            ..Default::default()
+        });
+        let unit = c.compile_formula_str("(F 4)").unwrap();
+        assert!(c
+            .quarantined_passes()
+            .contains(passes::testing::DROP_OP_NAME));
+        let x = ramp(4);
+        let y = run_unit(&unit, &x);
+        let want = spl_numeric::reference::dft(&x);
+        for (a, b) in y.iter().zip(&want) {
+            assert!(a.approx_eq(*b, 1e-11), "quarantined compile wrong");
+        }
+        // A second unit skips the quarantined pass without re-tripping
+        // validation, and the telemetry records the quarantine.
+        let unit2 = c.compile_formula_str("(F 2)").unwrap();
+        let x2 = ramp(2);
+        let y2 = run_unit(&unit2, &x2);
+        let want2 = spl_numeric::reference::dft(&x2);
+        for (a, b) in y2.iter().zip(&want2) {
+            assert!(a.approx_eq(*b, 1e-11));
+        }
+        let tel = c.take_telemetry();
+        let key = format!("pass.{}.quarantined", passes::testing::DROP_OP_NAME);
+        assert_eq!(tel.counter(&key), Some(1));
+        assert_eq!(tel.counter("pass.validation.active"), Some(2));
+    }
+
+    #[test]
+    fn verify_passes_clean_compile_records_probes() {
+        let mut c = Compiler::with_options(CompilerOptions {
+            verify_passes: Some(test_validation(passes::OnMiscompile::Abort)),
+            unroll_threshold: Some(32),
+            ..Default::default()
+        });
+        let unit = c.compile_formula_str("(F 4)").unwrap();
+        let x = ramp(4);
+        let y = run_unit(&unit, &x);
+        let want = spl_numeric::reference::dft(&x);
+        for (a, b) in y.iter().zip(&want) {
+            assert!(a.approx_eq(*b, 1e-11));
+        }
+        let tel = c.take_telemetry();
+        assert_eq!(tel.counter("pass.validation.active"), Some(1));
+        assert!(tel.counter("pass.value-number.probes").unwrap_or(0) > 0);
+        assert!(tel.counter("pass.value-number.runs").unwrap_or(0) > 0);
+        assert!(tel.counter("pass.fixpoint.iterations").unwrap_or(0) > 0);
     }
 
     #[test]

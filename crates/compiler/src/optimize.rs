@@ -1,1217 +1,107 @@
 //! The default optimizations (paper Section 3.4): constant folding, copy
 //! propagation, common subexpression elimination, and dead code
-//! elimination, applied "in a single pass using a value numbering
-//! algorithm. Both scalar variables and array elements are handled."
+//! elimination.
 //!
-//! Value numbers are tracked through straight-line regions; state is reset
-//! at loop boundaries (conservative but simple — exactly what generated
-//! SPL code needs, since loop bodies are self-contained).
+//! This module is the stable entry point; the passes themselves live in
+//! [`crate::passes`] as registered [`Pass`](crate::passes::Pass)
+//! implementations, composed by a
+//! [`PipelineBuilder`](crate::passes::PipelineBuilder). [`optimize`]
+//! runs the standard optimizing fixed point (value numbering, forward
+//! substitution, DCE, then a final compaction) without scalarization or
+//! per-pass validation — callers wanting either build a pipeline.
 //!
 //! # Complexity
 //!
-//! Several passes here trade asymptotics for simplicity: `invalidate`
-//! scans the tracked-place table on every vector write, `dce` is a
-//! whole-program fixpoint, and `forward_substitute` restarts its scan
-//! after each applied fix when loops are present. On the sizes the
-//! compiler actually produces (a few thousand instructions for a 2²⁰
-//! plan with 64-point unrolled leaves) the full optimization pipeline
-//! measures in the tens of milliseconds, so none of these are worth
-//! their smarter replacements yet.
+//! Several passes trade asymptotics for simplicity: value numbering's
+//! `invalidate` scans the tracked-place table on every vector write,
+//! DCE is a whole-program fixpoint, and forward substitution restarts
+//! its scan after each applied fix when loops are present. On the sizes
+//! the compiler actually produces (a few thousand instructions for a
+//! 2²⁰ plan with 64-point unrolled leaves) the full optimization
+//! pipeline measures in the tens of milliseconds, so none of these are
+//! worth their smarter replacements yet.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
-use spl_icode::{BinOp, IProgram, Instr, LoopVar, Place, UnOp, Value, VecKind, VecRef};
-use spl_numeric::Complex;
+use spl_icode::IProgram;
 
-/// Per-pass work counters for one [`optimize`] run, reported through the
-/// telemetry layer (`optimize.*` counters in `splc --stats`).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct OptStats {
-    /// Static instruction count entering the pipeline.
-    pub instrs_before: u64,
-    /// Static instruction count after compaction.
-    pub instrs_after: u64,
-    /// Constant-folded operations (binary folds and negations of
-    /// constants) in value numbering.
-    pub constants_folded: u64,
-    /// Recomputations replaced by a reuse of an existing value number.
-    pub cse_hits: u64,
-    /// Copies eliminated by sinking a definition into its use
-    /// (forward substitution).
-    pub copies_propagated: u64,
-    /// Instructions removed as dead (including pruned empty loops).
-    pub dce_removed: u64,
-}
+use crate::error::CompileError;
+use crate::passes;
 
-/// Runs the full default-optimization pipeline: value numbering, forward
-/// substitution of single-use registers, dead-code elimination, and
-/// register compaction.
-pub fn optimize(prog: &IProgram) -> IProgram {
-    optimize_with_stats(prog).0
+pub use crate::passes::OptStats;
+
+/// Runs the default-optimization fixed point: value numbering, forward
+/// substitution of single-use registers, dead-code elimination, and a
+/// final register compaction.
+///
+/// # Errors
+///
+/// [`CompileError::MalformedIcode`] when the input violates the i-code
+/// structural contract (e.g. a misaligned provenance map).
+pub fn optimize(prog: &IProgram) -> Result<IProgram, CompileError> {
+    Ok(optimize_with_stats(prog)?.0)
 }
 
 /// [`optimize`], also reporting what each pass did.
-pub fn optimize_with_stats(prog: &IProgram) -> (IProgram, OptStats) {
-    let mut stats = OptStats {
-        instrs_before: prog.static_instr_count() as u64,
-        ..Default::default()
-    };
-    let p = value_number_counted(prog, &mut stats);
-    let p = forward_substitute_counted(&p, &mut stats);
-    let p = dce_counted(&p, &mut stats);
-    let p = compact(&p);
-    stats.instrs_after = p.static_instr_count() as u64;
-    (p, stats)
-}
-
-// ---------------------------------------------------------------------
-// Value numbering
-// ---------------------------------------------------------------------
-
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-enum Key {
-    Const(u64, u64),
-    Loop(LoopVar),
-    /// The bool separates integer-destination arithmetic from
-    /// floating-point arithmetic: `$r = a / b` truncates where
-    /// `$f = a / b` does not, so the two must never share a value number.
-    Bin(BinOp, bool, u32, u32),
-    Neg(u32),
-}
-
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-enum PKey {
-    F(u32),
-    R(u32),
-    Vec(VecKind, i64, Vec<(i64, u32)>),
-}
-
-fn pkey(p: &Place) -> PKey {
-    match p {
-        Place::F(k) => PKey::F(*k),
-        Place::R(k) => PKey::R(*k),
-        Place::Vec(v) => PKey::Vec(
-            v.kind,
-            v.idx.c,
-            v.idx.terms.iter().map(|&(c, lv)| (c, lv.0)).collect(),
-        ),
-    }
-}
-
-#[derive(Default)]
-struct Vn {
-    next: u32,
-    keys: HashMap<Key, u32>,
-    place_vn: HashMap<PKey, u32>,
-    vn_const: HashMap<u32, Complex>,
-    vn_home: HashMap<u32, Place>,
-    /// result-vn -> operand-vn for negations, so `-(-x)` folds to `x`.
-    neg_src: HashMap<u32, u32>,
-}
-
-impl Vn {
-    fn fresh(&mut self) -> u32 {
-        self.next += 1;
-        self.next - 1
-    }
-
-    fn reset(&mut self) {
-        self.keys.clear();
-        self.place_vn.clear();
-        self.vn_const.clear();
-        self.vn_home.clear();
-        self.neg_src.clear();
-    }
-
-    fn const_vn(&mut self, c: Complex) -> u32 {
-        let key = Key::Const(c.re.to_bits(), c.im.to_bits());
-        if let Some(&vn) = self.keys.get(&key) {
-            return vn;
-        }
-        let vn = self.fresh();
-        self.keys.insert(key, vn);
-        self.vn_const.insert(vn, c);
-        vn
-    }
-
-    fn value_vn(&mut self, v: &Value) -> u32 {
-        match v {
-            Value::Const(c) => self.const_vn(*c),
-            Value::Int(i) => self.const_vn(Complex::real(*i as f64)),
-            Value::LoopIdx(lv) => {
-                let key = Key::Loop(*lv);
-                if let Some(&vn) = self.keys.get(&key) {
-                    return vn;
-                }
-                let vn = self.fresh();
-                self.keys.insert(key, vn);
-                vn
-            }
-            Value::Place(p) => {
-                let pk = pkey(p);
-                if let Some(&vn) = self.place_vn.get(&pk) {
-                    return vn;
-                }
-                let vn = self.fresh();
-                self.place_vn.insert(pk, vn);
-                self.vn_home.entry(vn).or_insert_with(|| p.clone());
-                vn
-            }
-            Value::Intrinsic(_, _) => self.fresh(),
-        }
-    }
-
-    /// The best operand for a value number: a constant if known, the
-    /// value's current home if one is tracked, otherwise the original
-    /// operand (which is always valid for operand positions, since it was
-    /// just read). Reads of the read-only input and tables are kept as-is:
-    /// renaming them through a register adds a copy for no benefit.
-    fn best_operand(&self, vn: u32, original: &Value) -> Value {
-        if let Some(&c) = self.vn_const.get(&vn) {
-            return Value::Const(c);
-        }
-        if let Value::Place(Place::Vec(v)) = original {
-            if matches!(v.kind, VecKind::In | VecKind::Table(_)) {
-                return original.clone();
-            }
-        }
-        match self.vn_home.get(&vn) {
-            Some(home @ (Place::F(_) | Place::R(_))) => Value::Place(home.clone()),
-            Some(home @ Place::Vec(v)) if matches!(v.kind, VecKind::In | VecKind::Table(_)) => {
-                Value::Place(home.clone())
-            }
-            _ => original.clone(),
-        }
-    }
-
-    /// An operand that *re-materializes* a value number without reference
-    /// to any original operand: a constant or a live home. `None` when the
-    /// value is no longer available anywhere.
-    fn materialize(&self, vn: u32) -> Option<Value> {
-        if let Some(&c) = self.vn_const.get(&vn) {
-            return Some(Value::Const(c));
-        }
-        self.vn_home.get(&vn).map(|h| Value::Place(h.clone()))
-    }
-
-    /// Invalidates state for a write to `dst`.
-    fn invalidate(&mut self, dst: &Place) {
-        let dead: Vec<PKey> = match dst {
-            Place::F(_) | Place::R(_) => vec![pkey(dst)],
-            Place::Vec(v) => {
-                let symbolic = v.idx.as_const().is_none();
-                self.place_vn
-                    .keys()
-                    .filter(|pk| match pk {
-                        PKey::Vec(kind, c, terms) => {
-                            *kind == v.kind && (symbolic || !terms.is_empty() || *c == v.idx.c)
-                        }
-                        _ => false,
-                    })
-                    .cloned()
-                    .collect()
-            }
-        };
-        for pk in dead {
-            self.place_vn.remove(&pk);
-        }
-        // Homes that live in the clobbered storage are no longer valid.
-        match dst {
-            Place::Vec(v) => {
-                self.vn_home.retain(|_, home| match home {
-                    Place::Vec(h) => {
-                        h.kind != v.kind
-                            || (v.idx.as_const().is_some()
-                                && h.idx.as_const().is_some()
-                                && h.idx.c != v.idx.c)
-                    }
-                    _ => true,
-                });
-            }
-            scalar => {
-                self.vn_home.retain(|_, home| home != scalar);
-            }
-        }
-    }
-
-    fn record_write(&mut self, dst: &Place, vn: u32) {
-        self.invalidate(dst);
-        self.place_vn.insert(pkey(dst), vn);
-        match self.vn_home.get(&vn) {
-            // Scalar homes are good; reads of the read-only input or a
-            // constant table are even better (they can never be
-            // invalidated) — keep either.
-            Some(Place::F(_)) | Some(Place::R(_)) => {}
-            Some(Place::Vec(v)) if matches!(v.kind, VecKind::In | VecKind::Table(_)) => {}
-            _ => {
-                self.vn_home.insert(vn, dst.clone());
-            }
-        }
-    }
-}
-
-fn is_int_dst(dst: &Place) -> bool {
-    matches!(dst, Place::R(_))
-}
-
-fn fold_bin(op: BinOp, a: Complex, b: Complex, int: bool) -> Option<Complex> {
-    if int {
-        // The interpreter rejects fractional or complex operands in
-        // integer positions; folding must not paper over that.
-        if !a.is_real() || !b.is_real() || a.re.fract() != 0.0 || b.re.fract() != 0.0 {
-            return None;
-        }
-        let (x, y) = (a.re as i64, b.re as i64);
-        let r = match op {
-            BinOp::Add => x + y,
-            BinOp::Sub => x - y,
-            BinOp::Mul => x * y,
-            BinOp::Div => {
-                if y == 0 {
-                    return None;
-                }
-                x / y
-            }
-        };
-        return Some(Complex::real(r as f64));
-    }
-    Some(match op {
-        BinOp::Add => a + b,
-        BinOp::Sub => a - b,
-        BinOp::Mul => a * b,
-        BinOp::Div => {
-            if b == Complex::ZERO {
-                return None;
-            }
-            a / b
-        }
-    })
+///
+/// # Errors
+///
+/// [`CompileError::MalformedIcode`] when the input violates the i-code
+/// structural contract.
+pub fn optimize_with_stats(prog: &IProgram) -> Result<(IProgram, OptStats), CompileError> {
+    let mut quarantined = HashSet::new();
+    let out = passes::PipelineBuilder::new()
+        .optimizer()
+        .build()
+        .run(prog, &mut quarantined)?;
+    Ok((out.program, out.stats))
 }
 
 /// Single-pass value numbering: constant folding, algebraic
 /// simplification, copy propagation, and CSE.
 pub fn value_number(prog: &IProgram) -> IProgram {
-    value_number_counted(prog, &mut OptStats::default())
-}
-
-fn value_number_counted(prog: &IProgram, stats: &mut OptStats) -> IProgram {
-    let mut st = Vn::default();
-    let mut out = prog.clone();
-    let mut instrs = Vec::with_capacity(prog.instrs.len());
-    // Provenance is re-attached lazily: at each iteration's start, any
-    // output emitted by the *previous* source instruction (each emits 0
-    // or 1) inherits that instruction's formula-node id. The arms below
-    // `continue` freely, so the top of the loop is the one safe place.
-    let prov_in = prog.prov_slice();
-    let has_prov = !prov_in.is_empty();
-    let mut prov_out: Vec<u32> = Vec::with_capacity(if has_prov { prog.instrs.len() } else { 0 });
-    let mut cur_prov = 0u32;
-    for (src_idx, ins) in prog.instrs.iter().enumerate() {
-        if has_prov {
-            prov_out.resize(instrs.len(), cur_prov);
-            cur_prov = prov_in[src_idx];
-        }
-        match ins {
-            Instr::DoStart { .. } | Instr::DoEnd => {
-                st.reset();
-                instrs.push(ins.clone());
-            }
-            Instr::Un { op, dst, a } => {
-                let a_vn = st.value_vn(a);
-                match op {
-                    UnOp::Copy => {
-                        emit_result(&mut st, &mut instrs, dst, a_vn, None, a);
-                    }
-                    UnOp::Neg => {
-                        if let Some(&c) = st.vn_const.get(&a_vn) {
-                            stats.constants_folded += 1;
-                            let vn = st.const_vn(-c);
-                            emit_result(&mut st, &mut instrs, dst, vn, None, &Value::Const(-c));
-                            continue;
-                        }
-                        // -(-x) = x: if the operand is itself a negation,
-                        // reuse its source (when still available).
-                        if let Some(&src) = st.neg_src.get(&a_vn) {
-                            if let Some(val) = st.materialize(src) {
-                                if st.place_vn.get(&pkey(dst)) == Some(&src) {
-                                    continue;
-                                }
-                                st.record_write(dst, src);
-                                if let Value::Place(p) = &val {
-                                    if p == dst {
-                                        continue;
-                                    }
-                                }
-                                instrs.push(Instr::Un {
-                                    op: UnOp::Copy,
-                                    dst: dst.clone(),
-                                    a: val,
-                                });
-                                continue;
-                            }
-                        }
-                        let key = Key::Neg(a_vn);
-                        let reuse = st
-                            .keys
-                            .get(&key)
-                            .copied()
-                            .and_then(|vn| st.materialize(vn).map(|val| (vn, val)));
-                        match reuse {
-                            Some((vn, val)) => {
-                                stats.cse_hits += 1;
-                                if st.place_vn.get(&pkey(dst)) == Some(&vn) {
-                                    continue;
-                                }
-                                st.record_write(dst, vn);
-                                if let Value::Place(p) = &val {
-                                    if p == dst {
-                                        continue;
-                                    }
-                                }
-                                instrs.push(Instr::Un {
-                                    op: UnOp::Copy,
-                                    dst: dst.clone(),
-                                    a: val,
-                                });
-                            }
-                            None => {
-                                let vn = match st.keys.get(&key) {
-                                    Some(&vn) => vn,
-                                    None => {
-                                        let vn = st.fresh();
-                                        st.keys.insert(key, vn);
-                                        vn
-                                    }
-                                };
-                                st.neg_src.insert(vn, a_vn);
-                                let new = Instr::Un {
-                                    op: UnOp::Neg,
-                                    dst: dst.clone(),
-                                    a: st.best_operand(a_vn, a),
-                                };
-                                st.record_write(dst, vn);
-                                instrs.push(new);
-                            }
-                        }
-                    }
-                }
-            }
-            Instr::Bin { op, dst, a, b } => {
-                let a_vn = st.value_vn(a);
-                let b_vn = st.value_vn(b);
-                let int = is_int_dst(dst);
-                let ca = st.vn_const.get(&a_vn).copied();
-                let cb = st.vn_const.get(&b_vn).copied();
-                // Constant folding.
-                if let (Some(x), Some(y)) = (ca, cb) {
-                    if let Some(r) = fold_bin(*op, x, y, int) {
-                        stats.constants_folded += 1;
-                        let vn = st.const_vn(r);
-                        emit_result(&mut st, &mut instrs, dst, vn, None, a);
-                        continue;
-                    }
-                }
-                // Algebraic simplifications. Each case carries the operand
-                // (value number + original) that the result reduces to.
-                let one = Complex::ONE;
-                let zero = Complex::ZERO;
-                let neg_one = Complex::real(-1.0);
-                // Produces the value number for -oval, together with an
-                // instruction computing it into dst: a copy when the
-                // negation is still live somewhere, a recomputation
-                // otherwise, nothing when it is a known constant (the
-                // const branch of emit_result covers it).
-                let neg_of = |st: &mut Vn, ovn: u32, oval: &Value, dst: &Place| {
-                    // -(-x) = x when the operand is itself a negation.
-                    if let Some(&src) = st.neg_src.get(&ovn) {
-                        if let Some(val) = st.materialize(src) {
-                            return (
-                                src,
-                                Some(Instr::Un {
-                                    op: UnOp::Copy,
-                                    dst: dst.clone(),
-                                    a: val,
-                                }),
-                            );
-                        }
-                    }
-                    let key = Key::Neg(ovn);
-                    if let Some(&vn) = st.keys.get(&key) {
-                        if st.vn_const.contains_key(&vn) {
-                            return (vn, None);
-                        }
-                        let ins = match st.materialize(vn) {
-                            Some(val) => Instr::Un {
-                                op: UnOp::Copy,
-                                dst: dst.clone(),
-                                a: val,
-                            },
-                            None => Instr::Un {
-                                op: UnOp::Neg,
-                                dst: dst.clone(),
-                                a: st.best_operand(ovn, oval),
-                            },
-                        };
-                        return (vn, Some(ins));
-                    }
-                    let vn = st.fresh();
-                    st.keys.insert(key, vn);
-                    st.neg_src.insert(vn, ovn);
-                    (
-                        vn,
-                        Some(Instr::Un {
-                            op: UnOp::Neg,
-                            dst: dst.clone(),
-                            a: st.best_operand(ovn, oval),
-                        }),
-                    )
-                };
-                // (result vn, prebuilt instr, original operand for the vn)
-                let simplified: Option<(u32, Option<Instr>, Value)> = match op {
-                    BinOp::Add => {
-                        if ca == Some(zero) {
-                            Some((b_vn, None, b.clone()))
-                        } else if cb == Some(zero) {
-                            Some((a_vn, None, a.clone()))
-                        } else {
-                            None
-                        }
-                    }
-                    BinOp::Sub => {
-                        if cb == Some(zero) {
-                            Some((a_vn, None, a.clone()))
-                        } else if a_vn == b_vn {
-                            let vn = st.const_vn(zero);
-                            Some((vn, None, Value::Const(zero)))
-                        } else if ca == Some(zero) {
-                            let (vn, pre) = neg_of(&mut st, b_vn, b, dst);
-                            Some((vn, pre, b.clone()))
-                        } else {
-                            None
-                        }
-                    }
-                    BinOp::Mul => {
-                        if ca == Some(one) {
-                            Some((b_vn, None, b.clone()))
-                        } else if cb == Some(one) {
-                            Some((a_vn, None, a.clone()))
-                        } else if ca == Some(zero) || cb == Some(zero) {
-                            let vn = st.const_vn(zero);
-                            Some((vn, None, Value::Const(zero)))
-                        } else if ca == Some(neg_one) {
-                            let (vn, pre) = neg_of(&mut st, b_vn, b, dst);
-                            Some((vn, pre, b.clone()))
-                        } else if cb == Some(neg_one) {
-                            let (vn, pre) = neg_of(&mut st, a_vn, a, dst);
-                            Some((vn, pre, a.clone()))
-                        } else {
-                            None
-                        }
-                    }
-                    BinOp::Div => {
-                        if cb == Some(one) {
-                            Some((a_vn, None, a.clone()))
-                        } else {
-                            None
-                        }
-                    }
-                };
-                if let Some((vn, emit, orig)) = simplified {
-                    emit_result(&mut st, &mut instrs, dst, vn, emit, &orig);
-                    continue;
-                }
-                // CSE: canonicalize commutative operand order.
-                let (ka, kb) = match op {
-                    BinOp::Add | BinOp::Mul if a_vn > b_vn => (b_vn, a_vn),
-                    _ => (a_vn, b_vn),
-                };
-                let key = Key::Bin(*op, int, ka, kb);
-                let reuse = st
-                    .keys
-                    .get(&key)
-                    .copied()
-                    .and_then(|vn| st.materialize(vn).map(|val| (vn, val)));
-                if let Some((vn, val)) = reuse {
-                    // The value is still available somewhere: reuse it.
-                    stats.cse_hits += 1;
-                    if st.place_vn.get(&pkey(dst)) == Some(&vn) {
-                        continue; // already there
-                    }
-                    st.record_write(dst, vn);
-                    if let Value::Place(p) = &val {
-                        if p == dst {
-                            continue;
-                        }
-                    }
-                    instrs.push(Instr::Un {
-                        op: UnOp::Copy,
-                        dst: dst.clone(),
-                        a: val,
-                    });
-                } else {
-                    let vn = match st.keys.get(&key) {
-                        Some(&vn) => vn, // known but unavailable: recompute
-                        None => {
-                            let vn = st.fresh();
-                            st.keys.insert(key, vn);
-                            vn
-                        }
-                    };
-                    let new = Instr::Bin {
-                        op: *op,
-                        dst: dst.clone(),
-                        a: st.best_operand(a_vn, a),
-                        b: st.best_operand(b_vn, b),
-                    };
-                    st.record_write(dst, vn);
-                    instrs.push(new);
-                }
-            }
-        }
-    }
-    if has_prov {
-        prov_out.resize(instrs.len(), cur_prov);
-    }
-    out.instrs = instrs;
-    out.prov = prov_out;
-    out
-}
-
-/// Emits the result of an instruction whose value number is already known:
-/// either the provided replacement instruction, a copy from the value's
-/// home, or nothing when the destination already holds the value.
-fn emit_result(
-    st: &mut Vn,
-    instrs: &mut Vec<Instr>,
-    dst: &Place,
-    vn: u32,
-    prebuilt: Option<Instr>,
-    original: &Value,
-) {
-    // Destination already holds this value: the store is redundant.
-    if st.place_vn.get(&pkey(dst)) == Some(&vn) {
-        return;
-    }
-    if let Some(ins) = prebuilt {
-        st.record_write(dst, vn);
-        instrs.push(ins);
-        return;
-    }
-    // `original` is contractually value-equal to `vn` here; prefer a known
-    // constant, then the original operand.
-    let a = match st.vn_const.get(&vn) {
-        Some(&c) => Value::Const(c),
-        None => original.clone(),
-    };
-    // A copy of a place onto itself is a no-op.
-    if let Value::Place(p) = &a {
-        if p == dst {
-            st.record_write(dst, vn);
-            return;
-        }
-    }
-    st.record_write(dst, vn);
-    instrs.push(Instr::Un {
-        op: UnOp::Copy,
-        dst: dst.clone(),
-        a,
-    });
-}
-
-// ---------------------------------------------------------------------
-// Forward substitution
-// ---------------------------------------------------------------------
-
-fn may_alias(a: &VecRef, b: &VecRef) -> bool {
-    if a.kind != b.kind {
-        return false;
-    }
-    match (a.idx.as_const(), b.idx.as_const()) {
-        (Some(x), Some(y)) => x == y,
-        _ => {
-            // Same symbolic terms, different constant: provably disjoint.
-            !(a.idx.terms == b.idx.terms && a.idx.c != b.idx.c)
-        }
-    }
-}
-
-fn place_conflicts(written: &Place, used: &Place) -> bool {
-    match (written, used) {
-        (Place::Vec(a), Place::Vec(b)) => may_alias(a, b),
-        (a, b) => a == b,
-    }
-}
-
-fn instr_accesses_place(ins: &Instr, p: &Place) -> bool {
-    let mut hit = false;
-    if let Some(dst) = ins.dst() {
-        hit |= place_conflicts(dst, p) || place_conflicts(p, dst);
-    }
-    ins.for_each_value(&mut |v| {
-        fn scan(v: &Value, p: &Place, hit: &mut bool) {
-            match v {
-                Value::Place(q) => *hit |= place_conflicts(p, q) || place_conflicts(q, p),
-                Value::Intrinsic(_, args) => args.iter().for_each(|a| scan(a, p, hit)),
-                _ => {}
-            }
-        }
-        scan(v, p, &mut hit);
-    });
-    hit
-}
-
-/// The *outermost* enclosing loop region of each instruction (the whole
-/// program when not inside any loop). A value written inside nested
-/// loops can flow to a positionally-earlier read anywhere within this
-/// window via a back-edge, so the forward-substitution safety check uses
-/// it rather than the innermost region.
-fn outermost_regions(instrs: &[Instr]) -> Vec<(usize, usize)> {
-    let mut regions = vec![(0usize, instrs.len()); instrs.len()];
-    let mut depth = 0usize;
-    let mut top_start = 0usize; // body start of the depth-1 loop
-    let mut members: Vec<usize> = Vec::new();
-    for (k, ins) in instrs.iter().enumerate() {
-        match ins {
-            Instr::DoStart { .. } => {
-                if depth == 0 {
-                    top_start = k + 1;
-                    members.clear();
-                } else {
-                    members.push(k);
-                }
-                depth += 1;
-            }
-            Instr::DoEnd => {
-                depth -= 1;
-                if depth == 0 {
-                    for &m in &members {
-                        regions[m] = (top_start, k);
-                    }
-                    members.clear();
-                } else {
-                    members.push(k);
-                }
-            }
-            _ => {
-                if depth > 0 {
-                    members.push(k);
-                }
-            }
-        }
-    }
-    regions
-}
-
-/// Scalar-register identity for the position tables.
-fn scalar_id(p: &Place) -> Option<(bool, u32)> {
-    match p {
-        Place::F(k) => Some((true, *k)),
-        Place::R(k) => Some((false, *k)),
-        Place::Vec(_) => None,
-    }
-}
-
-/// Sorted read/write positions per scalar register, kept up to date as
-/// fixes are applied (positions are stable because removed instructions
-/// are tombstoned, not spliced out).
-#[derive(Default)]
-struct ScalarIndex {
-    reads: HashMap<(bool, u32), Vec<usize>>,
-    writes: HashMap<(bool, u32), Vec<usize>>,
-}
-
-impl ScalarIndex {
-    fn build(instrs: &[Instr]) -> ScalarIndex {
-        let mut idx = ScalarIndex::default();
-        for (k, ins) in instrs.iter().enumerate() {
-            if let Some(dst) = ins.dst() {
-                if let Some(id) = scalar_id(dst) {
-                    idx.writes.entry(id).or_default().push(k);
-                }
-            }
-            ins.for_each_value(&mut |v| {
-                fn scan(v: &Value, k: usize, idx: &mut ScalarIndex) {
-                    match v {
-                        Value::Place(p) => {
-                            if let Some(id) = scalar_id(p) {
-                                idx.reads.entry(id).or_default().push(k);
-                            }
-                        }
-                        Value::Intrinsic(_, args) => args.iter().for_each(|a| scan(a, k, idx)),
-                        _ => {}
-                    }
-                }
-                scan(v, k, &mut idx);
-            });
-        }
-        idx
-    }
-
-    fn remove(positions: &mut Vec<usize>, pos: usize) {
-        if let Ok(k) = positions.binary_search(&pos) {
-            positions.remove(k);
-        }
-    }
-
-    /// First position in `list` strictly greater than `after` and below
-    /// `before`.
-    fn first_in(list: Option<&Vec<usize>>, after: usize, before: usize) -> Option<usize> {
-        let list = list?;
-        let k = list.partition_point(|&p| p <= after);
-        list.get(k).copied().filter(|&p| p < before)
-    }
-
-    /// Last position in `list` within `[from, to)`.
-    fn last_in(list: Option<&Vec<usize>>, from: usize, to: usize) -> Option<usize> {
-        let list = list?;
-        let k = list.partition_point(|&p| p < to);
-        k.checked_sub(1).map(|k| list[k]).filter(|&p| p >= from)
-    }
-}
-
-/// Does the instruction read place `p` (non-allocating)?
-fn reads_place(ins: &Instr, p: &Place) -> bool {
-    let mut hit = false;
-    ins.for_each_value(&mut |v| {
-        fn scan(v: &Value, p: &Place, hit: &mut bool) {
-            match v {
-                Value::Place(q) => *hit |= q == p,
-                Value::Intrinsic(_, args) => args.iter().for_each(|a| scan(a, p, hit)),
-                _ => {}
-            }
-        }
-        scan(v, p, &mut hit);
-    });
-    hit
-}
-
-/// Does the instruction write anything that may alias one of `places`?
-fn clobbers_any(ins: &Instr, places: &[Place]) -> bool {
-    match ins.dst() {
-        Some(w) => places.iter().any(|q| place_conflicts(w, q)),
-        None => false,
-    }
-}
-
-fn operand_places(ins: &Instr) -> Vec<Place> {
-    let mut out = Vec::new();
-    ins.for_each_value(&mut |v| {
-        fn scan(v: &Value, out: &mut Vec<Place>) {
-            match v {
-                Value::Place(p) => out.push(p.clone()),
-                Value::Intrinsic(_, args) => args.iter().for_each(|a| scan(a, out)),
-                _ => {}
-            }
-        }
-        scan(v, &mut out);
-    });
-    out
+    passes::value_number::value_number_counted(prog, &mut OptStats::default(), true)
 }
 
 /// Sinks the definition of a scalar register into a later copy of it:
 /// `f0 = a ⊕ b; ...; y = f0` becomes `y = a ⊕ b` (the paper-style direct
 /// stores visible in its generated-code listings).
 ///
-/// A rewrite is applied only when, within the copy's straight-line
-/// neighbourhood and innermost loop region, the register's value flowing
-/// from that definition is consumed *only* by the copy — including across
-/// the loop back-edge.
-#[allow(clippy::mut_range_bound)] // `i` advances only when leaving the scan
-pub fn forward_substitute(prog: &IProgram) -> IProgram {
-    forward_substitute_counted(prog, &mut OptStats::default())
+/// # Errors
+///
+/// [`CompileError::MalformedIcode`] when the input violates the i-code
+/// structural contract.
+pub fn forward_substitute(prog: &IProgram) -> Result<IProgram, CompileError> {
+    passes::forward_substitute::forward_substitute_counted(prog, &mut OptStats::default())
 }
-
-fn forward_substitute_counted(prog: &IProgram, stats: &mut OptStats) -> IProgram {
-    let mut instrs = prog.instrs.clone();
-    let outer = outermost_regions(&instrs);
-    let mut alive = vec![true; instrs.len()];
-    let mut idx = ScalarIndex::build(&instrs);
-    loop {
-        let mut changed = false;
-        let mut i = 0;
-        'outer: while i < instrs.len() {
-            if !alive[i] {
-                i += 1;
-                continue;
-            }
-            let Instr::Un {
-                op: UnOp::Copy,
-                dst,
-                a: Value::Place(p @ (Place::F(_) | Place::R(_))),
-            } = &instrs[i]
-            else {
-                i += 1;
-                continue;
-            };
-            let (dst, p) = (dst.clone(), p.clone());
-            let pid = scalar_id(&p).expect("scalar source");
-            // Never move a definition across register classes: an `$r`
-            // definition executes integer arithmetic, and retargeting it
-            // to an `$f`/vector destination (or vice versa) would change
-            // its semantics.
-            match (&p, &dst) {
-                (Place::R(_), Place::R(_)) => {}
-                (Place::R(_), _) | (_, Place::R(_)) => {
-                    i += 1;
-                    continue;
-                }
-                _ => {}
-            }
-            // Find the defining instruction within this straight-line run.
-            let mut j = i;
-            let mut found = false;
-            while j > 0 {
-                j -= 1;
-                if !alive[j] {
-                    continue;
-                }
-                match &instrs[j] {
-                    Instr::DoStart { .. } | Instr::DoEnd => break,
-                    ins if ins.dst() == Some(&p) => {
-                        found = true;
-                        break;
-                    }
-                    _ => {}
-                }
-            }
-            if !found {
-                i += 1;
-                continue;
-            }
-            // (a) No other read of p between the definition and the copy,
-            // (b) the copy destination is untouched in between,
-            // (c) the definition's operands are not clobbered in between.
-            let def_ops = operand_places(&instrs[j]);
-            let blocked = ((j + 1)..i).any(|k| {
-                alive[k]
-                    && (reads_place(&instrs[k], &p)
-                        || instr_accesses_place(&instrs[k], &dst)
-                        || clobbers_any(&instrs[k], &def_ops))
-            });
-            if blocked {
-                i += 1;
-                continue 'outer;
-            }
-            // (d) After the copy, the next access to p anywhere in the
-            // remaining program must be a write (its current value dies
-            // before being read again). An instruction that reads *and*
-            // writes p (a recurrence) appears in both tables at the same
-            // position: the read matters first, hence `<=`.
-            let end = instrs.len();
-            let next_read = ScalarIndex::first_in(idx.reads.get(&pid), i, end);
-            let next_write = ScalarIndex::first_in(idx.writes.get(&pid), i, end);
-            if let Some(r) = next_read {
-                if next_write.is_none_or(|w| r <= w) {
-                    i += 1;
-                    continue;
-                }
-            }
-            // (e) Across a loop back-edge: a read of p positionally before
-            // the definition — anywhere inside the *outermost* loop
-            // enclosing it — observes the previous iteration's last write
-            // of p. Unsafe if such a read exists and the definition being
-            // retargeted is that last write.
-            let (ostart, oend) = outer[j.min(outer.len() - 1)];
-            if oend != instrs.len() {
-                // The window includes j itself: a definition that also
-                // READS p (a recurrence like `f0 = in - f0`) is its own
-                // back-edge consumer.
-                let head_read =
-                    ScalarIndex::first_in(idx.reads.get(&pid), ostart.wrapping_sub(1), j + 1)
-                        .is_some();
-                if head_read {
-                    let last_write = ScalarIndex::last_in(idx.writes.get(&pid), ostart, oend);
-                    if last_write == Some(j) {
-                        i += 1;
-                        continue;
-                    }
-                }
-            }
-            // Apply: retarget the definition, tombstone the copy, and
-            // update the position tables.
-            match &mut instrs[j] {
-                Instr::Bin { dst: d, .. } | Instr::Un { dst: d, .. } => *d = dst.clone(),
-                _ => unreachable!("definition is arithmetic"),
-            }
-            alive[i] = false;
-            if let Some(w) = idx.writes.get_mut(&pid) {
-                ScalarIndex::remove(w, j);
-            }
-            if let Some(r) = idx.reads.get_mut(&pid) {
-                ScalarIndex::remove(r, i);
-            }
-            if let Some(did) = scalar_id(&dst) {
-                let w = idx.writes.entry(did).or_default();
-                ScalarIndex::remove(w, i);
-                if let Err(k) = w.binary_search(&j) {
-                    w.insert(k, j);
-                }
-            }
-            stats.copies_propagated += 1;
-            changed = true;
-            i += 1;
-        }
-        if !changed {
-            break;
-        }
-    }
-    let mut out = prog.clone();
-    // Tombstoned copies vanish; retargeted definitions stay in place,
-    // so the survivor mask keeps provenance aligned.
-    out.prov = prog
-        .prov_slice()
-        .iter()
-        .zip(&alive)
-        .filter_map(|(&p, &a)| a.then_some(p))
-        .collect();
-    out.instrs = instrs
-        .into_iter()
-        .zip(alive)
-        .filter_map(|(ins, a)| a.then_some(ins))
-        .collect();
-    out
-}
-
-// ---------------------------------------------------------------------
-// Dead code elimination
-// ---------------------------------------------------------------------
 
 /// Iteratively removes arithmetic instructions whose destination is never
 /// read (output-vector writes are always live), then prunes empty loops.
-pub fn dce(prog: &IProgram) -> IProgram {
-    dce_counted(prog, &mut OptStats::default())
+///
+/// # Errors
+///
+/// [`CompileError::MalformedIcode`] when the provenance map is non-empty
+/// but misaligned with the instruction list.
+pub fn dce(prog: &IProgram) -> Result<IProgram, CompileError> {
+    passes::dce::dce_counted(prog, &mut OptStats::default())
 }
-
-fn dce_counted(prog: &IProgram, stats: &mut OptStats) -> IProgram {
-    let initial = prog.instrs.len();
-    let mut instrs = prog.instrs.clone();
-    let has_prov = !prog.prov_slice().is_empty();
-    let mut prov = prog.prov_slice().to_vec();
-    loop {
-        // Whole-program read sets (position-insensitive: sound for loops).
-        let mut scalar_reads: HashSet<PKey> = HashSet::new();
-        let mut elem_reads: HashSet<(VecKind, i64)> = HashSet::new();
-        let mut sym_reads: HashSet<VecKind> = HashSet::new();
-        for ins in &instrs {
-            ins.for_each_value(&mut |v| {
-                collect_reads(v, &mut scalar_reads, &mut elem_reads, &mut sym_reads);
-            });
-        }
-        let live = |dst: &Place| -> bool {
-            match dst {
-                Place::Vec(VecRef {
-                    kind: VecKind::Out, ..
-                }) => true,
-                Place::F(_) | Place::R(_) => scalar_reads.contains(&pkey(dst)),
-                Place::Vec(v) => {
-                    if sym_reads.contains(&v.kind) {
-                        return true;
-                    }
-                    match v.idx.as_const() {
-                        Some(c) => elem_reads.contains(&(v.kind, c)),
-                        None => {
-                            // Symbolic write: live if any element of the
-                            // vector is read.
-                            elem_reads.iter().any(|(k, _)| *k == v.kind)
-                        }
-                    }
-                }
-            }
-        };
-        let before = instrs.len();
-        let mut kept = Vec::with_capacity(instrs.len());
-        instrs.retain(|ins| {
-            let keep = match ins {
-                Instr::Bin { dst, .. } | Instr::Un { dst, .. } => live(dst),
-                _ => true,
-            };
-            kept.push(keep);
-            keep
-        });
-        if has_prov {
-            let mut it = kept.iter();
-            prov.retain(|_| *it.next().expect("kept mask covers prov"));
-        }
-        // Remove empty loops.
-        loop {
-            let mut removed = false;
-            let mut k = 0;
-            while k + 1 < instrs.len() {
-                if matches!(instrs[k], Instr::DoStart { .. })
-                    && matches!(instrs[k + 1], Instr::DoEnd)
-                {
-                    instrs.drain(k..=k + 1);
-                    if has_prov {
-                        prov.drain(k..=k + 1);
-                    }
-                    removed = true;
-                } else {
-                    k += 1;
-                }
-            }
-            if !removed {
-                break;
-            }
-        }
-        if instrs.len() == before {
-            break;
-        }
-    }
-    stats.dce_removed += (initial - instrs.len()) as u64;
-    let mut out = prog.clone();
-    out.instrs = instrs;
-    out.prov = prov;
-    out
-}
-
-fn collect_reads(
-    v: &Value,
-    scalars: &mut HashSet<PKey>,
-    elems: &mut HashSet<(VecKind, i64)>,
-    syms: &mut HashSet<VecKind>,
-) {
-    match v {
-        Value::Place(p @ (Place::F(_) | Place::R(_))) => {
-            scalars.insert(pkey(p));
-        }
-        Value::Place(Place::Vec(vr)) => match vr.idx.as_const() {
-            Some(c) => {
-                elems.insert((vr.kind, c));
-            }
-            None => {
-                syms.insert(vr.kind);
-            }
-        },
-        Value::Intrinsic(_, args) => {
-            for a in args {
-                collect_reads(a, scalars, elems, syms);
-            }
-        }
-        _ => {}
-    }
-}
-
-// ---------------------------------------------------------------------
-// Compaction
-// ---------------------------------------------------------------------
 
 /// Renumbers `$f`/`$r` registers densely and drops unused temps and
 /// tables, so declarations in the generated code stay tidy.
 pub fn compact(prog: &IProgram) -> IProgram {
-    let mut f_map: HashMap<u32, u32> = HashMap::new();
-    let mut r_map: HashMap<u32, u32> = HashMap::new();
-    let mut t_map: HashMap<u32, u32> = HashMap::new();
-    let mut tbl_map: HashMap<u32, u32> = HashMap::new();
-
-    let note_place = |p: &Place,
-                      f_map: &mut HashMap<u32, u32>,
-                      r_map: &mut HashMap<u32, u32>,
-                      t_map: &mut HashMap<u32, u32>,
-                      tbl_map: &mut HashMap<u32, u32>| {
-        match p {
-            Place::F(k) => {
-                let n = f_map.len() as u32;
-                f_map.entry(*k).or_insert(n);
-            }
-            Place::R(k) => {
-                let n = r_map.len() as u32;
-                r_map.entry(*k).or_insert(n);
-            }
-            Place::Vec(v) => match v.kind {
-                VecKind::Temp(t) => {
-                    let n = t_map.len() as u32;
-                    t_map.entry(t).or_insert(n);
-                }
-                VecKind::Table(t) => {
-                    let n = tbl_map.len() as u32;
-                    tbl_map.entry(t).or_insert(n);
-                }
-                _ => {}
-            },
-        }
-    };
-    fn walk_values(v: &Value, f: &mut dyn FnMut(&Place)) {
-        match v {
-            Value::Place(p) => f(p),
-            Value::Intrinsic(_, args) => args.iter().for_each(|a| walk_values(a, f)),
-            _ => {}
-        }
-    }
-    for ins in &prog.instrs {
-        if let Some(dst) = ins.dst() {
-            note_place(dst, &mut f_map, &mut r_map, &mut t_map, &mut tbl_map);
-        }
-        ins.for_each_value(&mut |v| {
-            walk_values(v, &mut |p| {
-                note_place(p, &mut f_map, &mut r_map, &mut t_map, &mut tbl_map)
-            });
-        });
-    }
-    let remap_place = |p: &Place| -> Place {
-        match p {
-            Place::F(k) => Place::F(f_map[k]),
-            Place::R(k) => Place::R(r_map[k]),
-            Place::Vec(v) => Place::Vec(VecRef {
-                kind: match v.kind {
-                    VecKind::Temp(t) => VecKind::Temp(t_map[&t]),
-                    VecKind::Table(t) => VecKind::Table(tbl_map[&t]),
-                    other => other,
-                },
-                idx: v.idx.clone(),
-            }),
-        }
-    };
-    fn remap_value(v: &Value, f: &dyn Fn(&Place) -> Place) -> Value {
-        match v {
-            Value::Place(p) => Value::Place(f(p)),
-            Value::Intrinsic(name, args) => Value::Intrinsic(
-                name.clone(),
-                args.iter().map(|a| remap_value(a, f)).collect(),
-            ),
-            other => other.clone(),
-        }
-    }
-    let mut out = prog.clone();
-    out.instrs = prog
-        .instrs
-        .iter()
-        .map(|ins| match ins {
-            Instr::Bin { op, dst, a, b } => Instr::Bin {
-                op: *op,
-                dst: remap_place(dst),
-                a: remap_value(a, &remap_place),
-                b: remap_value(b, &remap_place),
-            },
-            Instr::Un { op, dst, a } => Instr::Un {
-                op: *op,
-                dst: remap_place(dst),
-                a: remap_value(a, &remap_place),
-            },
-            other => other.clone(),
-        })
-        .collect();
-    out.n_f = f_map.len() as u32;
-    out.n_r = r_map.len() as u32;
-    let mut temps = vec![0usize; t_map.len()];
-    for (&old, &new) in &t_map {
-        temps[new as usize] = prog.temps[old as usize];
-    }
-    out.temps = temps;
-    let mut tables = vec![Vec::new(); tbl_map.len()];
-    for (&old, &new) in &tbl_map {
-        tables[new as usize] = prog.tables[old as usize].clone();
-    }
-    out.tables = tables;
-    out
+    passes::compact::compact(prog)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::intrinsics::eval_intrinsics;
+    use crate::passes::PassResult;
     use crate::unroll::{scalarize, unroll_all};
     use spl_frontend::parser::parse_formula;
     use spl_icode::interp::run;
+    use spl_icode::{BinOp, Instr, Place, UnOp, Value, VecKind, VecRef};
+    use spl_numeric::Complex;
     use spl_templates::{expand_formula, ExpandOptions, TemplateTable};
 
     fn pipeline(src: &str) -> (IProgram, IProgram) {
@@ -1220,7 +110,7 @@ mod tests {
         let p = expand_formula(&sexp, &table, &ExpandOptions::default()).unwrap();
         let p = eval_intrinsics(&unroll_all(&p).unwrap()).unwrap();
         let p = scalarize(&p);
-        let o = optimize(&p);
+        let o = optimize(&p).unwrap();
         o.validate().unwrap();
         (p, o)
     }
@@ -1304,8 +194,13 @@ mod tests {
             a: Value::Int(1),
             b: Value::Int(2),
         });
+        if !p.prov.is_empty() {
+            // Keep the provenance map aligned with the injected instr.
+            let last = *p.prov.last().unwrap();
+            p.prov.push(last);
+        }
         p.n_f = 91;
-        let o = optimize(&p);
+        let o = optimize(&p).unwrap();
         assert!(o.n_f <= 2);
         let x = ramp(2);
         let y = run(&o, &x).unwrap();
@@ -1319,7 +214,7 @@ mod tests {
         let sexp = parse_formula("(compose (T 8 4) (tensor (I 4) (F 2)))").unwrap();
         let p = expand_formula(&sexp, &table, &ExpandOptions::default()).unwrap();
         let p = eval_intrinsics(&p).unwrap();
-        let o = optimize(&p);
+        let o = optimize(&p).unwrap();
         o.validate().unwrap();
         let x = ramp(8);
         let a = run(&p, &x).unwrap();
@@ -1349,7 +244,7 @@ mod tests {
     }
 
     fn run_both(p: &IProgram) {
-        let q = optimize(p);
+        let q = optimize(p).unwrap();
         q.validate().unwrap();
         let x: Vec<Complex> = (0..p.n_in)
             .map(|i| Complex::real((i as f64) + 1.5))
@@ -1435,7 +330,7 @@ mod tests {
             n_r: 1,
             ..IProgram::empty()
         };
-        let q = optimize(&p);
+        let q = optimize(&p).unwrap();
         let x = [Complex::ZERO];
         let y = spl_icode::interp::run(&q, &x).unwrap();
         assert_eq!(y[0].re, 3.0, "integer semantics lost:\n{q}");
@@ -1626,7 +521,7 @@ mod tests {
             n_f: 2,
             ..IProgram::empty()
         };
-        let o = optimize(&p);
+        let o = optimize(&p).unwrap();
         // All negations vanish.
         assert!(
             o.instrs
@@ -1646,7 +541,7 @@ mod tests {
         let p = expand_formula(&sexp, &table, &ExpandOptions::default()).unwrap();
         let p = eval_intrinsics(&unroll_all(&p).unwrap()).unwrap();
         let p = scalarize(&p);
-        let (o, stats) = optimize_with_stats(&p);
+        let (o, stats) = optimize_with_stats(&p).unwrap();
         assert_eq!(stats.instrs_before, p.static_instr_count() as u64);
         assert_eq!(stats.instrs_after, o.static_instr_count() as u64);
         assert!(stats.instrs_after < stats.instrs_before);
@@ -1675,5 +570,116 @@ mod tests {
         };
         let o = value_number(&p);
         assert_eq!(o.instrs.len(), 1);
+    }
+
+    /// A structurally valid program except for a provenance map that is
+    /// non-empty but shorter than the instruction list.
+    fn misaligned_prov_program() -> IProgram {
+        IProgram {
+            instrs: vec![
+                Instr::Bin {
+                    op: BinOp::Add,
+                    dst: Place::F(0),
+                    a: Value::vec(VecKind::In, 0),
+                    b: Value::Int(1),
+                },
+                Instr::Un {
+                    op: UnOp::Copy,
+                    dst: out_at(0),
+                    a: Value::f(0),
+                },
+            ],
+            prov: vec![0], // one entry for two instructions
+            n_in: 1,
+            n_out: 1,
+            n_f: 1,
+            ..IProgram::empty()
+        }
+    }
+
+    #[test]
+    fn dce_rejects_misaligned_provenance() {
+        // Regression: this used to die on `expect("kept mask covers
+        // prov")` deep inside the retain loop.
+        let err = dce(&misaligned_prov_program()).unwrap_err();
+        assert!(
+            matches!(err, CompileError::MalformedIcode(ref m) if m.contains("provenance")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn optimize_rejects_misaligned_provenance() {
+        let err = optimize(&misaligned_prov_program()).unwrap_err();
+        assert!(matches!(err, CompileError::MalformedIcode(_)), "{err:?}");
+    }
+
+    #[test]
+    fn every_standard_pass_rejects_misaligned_provenance() {
+        // Each registered pass must fail typed, not panic, on malformed
+        // input (the old monolith's `expect`/`unreachable!` sites).
+        let p = misaligned_prov_program();
+        for pass in crate::passes::registered_passes() {
+            let mut prog = p.clone();
+            let err = pass
+                .run(&mut prog, &mut OptStats::default())
+                .expect_err(pass.name());
+            assert!(
+                matches!(err, CompileError::MalformedIcode(_)),
+                "{}: {err:?}",
+                pass.name()
+            );
+        }
+    }
+
+    #[test]
+    fn forward_substitute_handles_malformed_copy_chain() {
+        // A copy whose source was never defined in its region is left
+        // alone rather than rejected — the typed-error paths are reserved
+        // for structural violations.
+        let p = IProgram {
+            instrs: vec![Instr::Un {
+                op: UnOp::Copy,
+                dst: out_at(0),
+                a: Value::f(7),
+            }],
+            n_in: 1,
+            n_out: 1,
+            n_f: 8,
+            ..IProgram::empty()
+        };
+        let q = forward_substitute(&p).unwrap();
+        assert_eq!(q.instrs.len(), 1);
+    }
+
+    #[test]
+    fn standard_passes_converge_and_report_changed_honestly() {
+        // Every standard pass must reach its own fixed point within a few
+        // runs, and a run that reports Unchanged must not have mutated
+        // the program (the fixed-point loop depends on both).
+        let table = TemplateTable::builtin();
+        let sexp = parse_formula("(F 4)").unwrap();
+        let p = expand_formula(&sexp, &table, &ExpandOptions::default()).unwrap();
+        let p = eval_intrinsics(&unroll_all(&p).unwrap()).unwrap();
+        for pass in crate::passes::registered_passes() {
+            let mut prog = p.clone();
+            let mut stats = OptStats::default();
+            let mut converged = false;
+            for _ in 0..8 {
+                let before = prog.clone();
+                let result = pass.run(&mut prog, &mut stats).unwrap();
+                assert_eq!(
+                    result == PassResult::Unchanged,
+                    before == prog,
+                    "{} lied about Changed/Unchanged",
+                    pass.name()
+                );
+                if result == PassResult::Unchanged {
+                    converged = true;
+                    break;
+                }
+            }
+            assert!(converged, "{} did not converge in 8 runs", pass.name());
+        }
     }
 }

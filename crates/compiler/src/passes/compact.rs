@@ -1,0 +1,141 @@
+//! Register compaction: renumbers `$f`/`$r` registers densely and drops
+//! unused temps and tables, so declarations in the generated code stay
+//! tidy. Runs once, after the optimizing fixed point (renumbering inside
+//! the loop would churn names without enabling any further optimization).
+
+use std::collections::HashMap;
+
+use spl_icode::{IProgram, Instr, Place, Value, VecKind, VecRef};
+
+use super::{OptStats, Pass, PassResult};
+use crate::error::CompileError;
+
+/// The compaction pass; see [`compact`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Compact;
+
+impl Pass for Compact {
+    fn name(&self) -> &'static str {
+        "compact"
+    }
+
+    fn description(&self) -> &'static str {
+        "renumbers registers densely and drops unused temps and tables"
+    }
+
+    fn run(&self, prog: &mut IProgram, _stats: &mut OptStats) -> Result<PassResult, CompileError> {
+        super::check_prov_alignment(self.name(), prog)?;
+        let new = compact(prog);
+        Ok(super::replace_if_changed(prog, new))
+    }
+}
+
+/// Renumbers `$f`/`$r` registers densely and drops unused temps and
+/// tables.
+pub(crate) fn compact(prog: &IProgram) -> IProgram {
+    let mut f_map: HashMap<u32, u32> = HashMap::new();
+    let mut r_map: HashMap<u32, u32> = HashMap::new();
+    let mut t_map: HashMap<u32, u32> = HashMap::new();
+    let mut tbl_map: HashMap<u32, u32> = HashMap::new();
+
+    let note_place = |p: &Place,
+                      f_map: &mut HashMap<u32, u32>,
+                      r_map: &mut HashMap<u32, u32>,
+                      t_map: &mut HashMap<u32, u32>,
+                      tbl_map: &mut HashMap<u32, u32>| {
+        match p {
+            Place::F(k) => {
+                let n = f_map.len() as u32;
+                f_map.entry(*k).or_insert(n);
+            }
+            Place::R(k) => {
+                let n = r_map.len() as u32;
+                r_map.entry(*k).or_insert(n);
+            }
+            Place::Vec(v) => match v.kind {
+                VecKind::Temp(t) => {
+                    let n = t_map.len() as u32;
+                    t_map.entry(t).or_insert(n);
+                }
+                VecKind::Table(t) => {
+                    let n = tbl_map.len() as u32;
+                    tbl_map.entry(t).or_insert(n);
+                }
+                _ => {}
+            },
+        }
+    };
+    fn walk_values(v: &Value, f: &mut dyn FnMut(&Place)) {
+        match v {
+            Value::Place(p) => f(p),
+            Value::Intrinsic(_, args) => args.iter().for_each(|a| walk_values(a, f)),
+            _ => {}
+        }
+    }
+    for ins in &prog.instrs {
+        if let Some(dst) = ins.dst() {
+            note_place(dst, &mut f_map, &mut r_map, &mut t_map, &mut tbl_map);
+        }
+        ins.for_each_value(&mut |v| {
+            walk_values(v, &mut |p| {
+                note_place(p, &mut f_map, &mut r_map, &mut t_map, &mut tbl_map)
+            });
+        });
+    }
+    let remap_place = |p: &Place| -> Place {
+        match p {
+            Place::F(k) => Place::F(f_map[k]),
+            Place::R(k) => Place::R(r_map[k]),
+            Place::Vec(v) => Place::Vec(VecRef {
+                kind: match v.kind {
+                    VecKind::Temp(t) => VecKind::Temp(t_map[&t]),
+                    VecKind::Table(t) => VecKind::Table(tbl_map[&t]),
+                    other => other,
+                },
+                idx: v.idx.clone(),
+            }),
+        }
+    };
+    fn remap_value(v: &Value, f: &dyn Fn(&Place) -> Place) -> Value {
+        match v {
+            Value::Place(p) => Value::Place(f(p)),
+            Value::Intrinsic(name, args) => Value::Intrinsic(
+                name.clone(),
+                args.iter().map(|a| remap_value(a, f)).collect(),
+            ),
+            other => other.clone(),
+        }
+    }
+    let mut out = prog.clone();
+    out.instrs = prog
+        .instrs
+        .iter()
+        .map(|ins| match ins {
+            Instr::Bin { op, dst, a, b } => Instr::Bin {
+                op: *op,
+                dst: remap_place(dst),
+                a: remap_value(a, &remap_place),
+                b: remap_value(b, &remap_place),
+            },
+            Instr::Un { op, dst, a } => Instr::Un {
+                op: *op,
+                dst: remap_place(dst),
+                a: remap_value(a, &remap_place),
+            },
+            other => other.clone(),
+        })
+        .collect();
+    out.n_f = f_map.len() as u32;
+    out.n_r = r_map.len() as u32;
+    let mut temps = vec![0usize; t_map.len()];
+    for (&old, &new) in &t_map {
+        temps[new as usize] = prog.temps[old as usize];
+    }
+    out.temps = temps;
+    let mut tables = vec![Vec::new(); tbl_map.len()];
+    for (&old, &new) in &tbl_map {
+        tables[new as usize] = prog.tables[old as usize].clone();
+    }
+    out.tables = tables;
+    out
+}

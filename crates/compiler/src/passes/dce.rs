@@ -1,0 +1,160 @@
+//! Dead code elimination: iteratively removes arithmetic instructions
+//! whose destination is never read (output-vector writes are always
+//! live), then prunes empty loops. The read sets are whole-program and
+//! position-insensitive, which is sound in the presence of loops.
+
+use std::collections::HashSet;
+
+use spl_icode::{IProgram, Instr, Place, Value, VecKind, VecRef};
+
+use super::{pkey, OptStats, PKey, Pass, PassResult};
+use crate::error::CompileError;
+
+/// The dead-code-elimination pass; see [`dce_counted`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Dce;
+
+impl Pass for Dce {
+    fn name(&self) -> &'static str {
+        "dce"
+    }
+
+    fn description(&self) -> &'static str {
+        "removes arithmetic whose destination is never read, then prunes \
+         empty loops (whole-program fixpoint)"
+    }
+
+    fn run(&self, prog: &mut IProgram, stats: &mut OptStats) -> Result<PassResult, CompileError> {
+        super::check_prov_alignment(self.name(), prog)?;
+        let new = dce_counted(prog, stats)?;
+        Ok(super::replace_if_changed(prog, new))
+    }
+}
+
+pub(crate) fn dce_counted(prog: &IProgram, stats: &mut OptStats) -> Result<IProgram, CompileError> {
+    let initial = prog.instrs.len();
+    let mut instrs = prog.instrs.clone();
+    // The provenance mask below walks `prov` and `instrs` in lockstep, so
+    // a misaligned map is rejected up front rather than panicking
+    // mid-retain.
+    if !prog.prov.is_empty() && prog.prov.len() != prog.instrs.len() {
+        return Err(CompileError::MalformedIcode(format!(
+            "dce: provenance map has {} entries for {} instructions",
+            prog.prov.len(),
+            prog.instrs.len()
+        )));
+    }
+    let has_prov = !prog.prov_slice().is_empty();
+    let mut prov = prog.prov_slice().to_vec();
+    loop {
+        // Whole-program read sets (position-insensitive: sound for loops).
+        let mut scalar_reads: HashSet<PKey> = HashSet::new();
+        let mut elem_reads: HashSet<(VecKind, i64)> = HashSet::new();
+        let mut sym_reads: HashSet<VecKind> = HashSet::new();
+        for ins in &instrs {
+            ins.for_each_value(&mut |v| {
+                collect_reads(v, &mut scalar_reads, &mut elem_reads, &mut sym_reads);
+            });
+        }
+        let live = |dst: &Place| -> bool {
+            match dst {
+                Place::Vec(VecRef {
+                    kind: VecKind::Out, ..
+                }) => true,
+                Place::F(_) | Place::R(_) => scalar_reads.contains(&pkey(dst)),
+                Place::Vec(v) => {
+                    if sym_reads.contains(&v.kind) {
+                        return true;
+                    }
+                    match v.idx.as_const() {
+                        Some(c) => elem_reads.contains(&(v.kind, c)),
+                        None => {
+                            // Symbolic write: live if any element of the
+                            // vector is read.
+                            elem_reads.iter().any(|(k, _)| *k == v.kind)
+                        }
+                    }
+                }
+            }
+        };
+        let before = instrs.len();
+        let mut kept = Vec::with_capacity(instrs.len());
+        instrs.retain(|ins| {
+            let keep = match ins {
+                Instr::Bin { dst, .. } | Instr::Un { dst, .. } => live(dst),
+                _ => true,
+            };
+            kept.push(keep);
+            keep
+        });
+        if has_prov {
+            let mut it = kept.iter();
+            prov.retain(|_| {
+                it.next().copied().unwrap_or_else(|| {
+                    // Alignment was checked above and is preserved by every
+                    // mutation in this loop; running dry means the two went
+                    // out of sync anyway, and keeping the entry is the
+                    // conservative recovery.
+                    debug_assert!(false, "kept mask shorter than prov");
+                    true
+                })
+            });
+        }
+        // Remove empty loops.
+        loop {
+            let mut removed = false;
+            let mut k = 0;
+            while k + 1 < instrs.len() {
+                if matches!(instrs[k], Instr::DoStart { .. })
+                    && matches!(instrs[k + 1], Instr::DoEnd)
+                {
+                    instrs.drain(k..=k + 1);
+                    if has_prov {
+                        prov.drain(k..=k + 1);
+                    }
+                    removed = true;
+                } else {
+                    k += 1;
+                }
+            }
+            if !removed {
+                break;
+            }
+        }
+        if instrs.len() == before {
+            break;
+        }
+    }
+    stats.dce_removed += (initial - instrs.len()) as u64;
+    let mut out = prog.clone();
+    out.instrs = instrs;
+    out.prov = prov;
+    Ok(out)
+}
+
+fn collect_reads(
+    v: &Value,
+    scalars: &mut HashSet<PKey>,
+    elems: &mut HashSet<(VecKind, i64)>,
+    syms: &mut HashSet<VecKind>,
+) {
+    match v {
+        Value::Place(p @ (Place::F(_) | Place::R(_))) => {
+            scalars.insert(pkey(p));
+        }
+        Value::Place(Place::Vec(vr)) => match vr.idx.as_const() {
+            Some(c) => {
+                elems.insert((vr.kind, c));
+            }
+            None => {
+                syms.insert(vr.kind);
+            }
+        },
+        Value::Intrinsic(_, args) => {
+            for a in args {
+                collect_reads(a, scalars, elems, syms);
+            }
+        }
+        _ => {}
+    }
+}

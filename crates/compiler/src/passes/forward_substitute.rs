@@ -1,0 +1,388 @@
+//! Forward substitution: sinks the definition of a scalar register into
+//! a later copy of it, producing the paper-style direct stores visible
+//! in its generated-code listings.
+
+use std::collections::HashMap;
+
+use spl_icode::{IProgram, Instr, Place, UnOp, Value, VecRef};
+
+use super::{OptStats, Pass, PassResult};
+use crate::error::CompileError;
+
+/// The forward-substitution pass; see [`forward_substitute_counted`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ForwardSubstitute;
+
+impl Pass for ForwardSubstitute {
+    fn name(&self) -> &'static str {
+        "forward-substitute"
+    }
+
+    fn description(&self) -> &'static str {
+        "sinks single-use scalar definitions into the copies that consume them \
+         (loop-back-edge aware)"
+    }
+
+    fn run(&self, prog: &mut IProgram, stats: &mut OptStats) -> Result<PassResult, CompileError> {
+        super::check_prov_alignment(self.name(), prog)?;
+        let new = forward_substitute_counted(prog, stats)?;
+        Ok(super::replace_if_changed(prog, new))
+    }
+}
+
+fn may_alias(a: &VecRef, b: &VecRef) -> bool {
+    if a.kind != b.kind {
+        return false;
+    }
+    match (a.idx.as_const(), b.idx.as_const()) {
+        (Some(x), Some(y)) => x == y,
+        _ => {
+            // Same symbolic terms, different constant: provably disjoint.
+            !(a.idx.terms == b.idx.terms && a.idx.c != b.idx.c)
+        }
+    }
+}
+
+fn place_conflicts(written: &Place, used: &Place) -> bool {
+    match (written, used) {
+        (Place::Vec(a), Place::Vec(b)) => may_alias(a, b),
+        (a, b) => a == b,
+    }
+}
+
+fn instr_accesses_place(ins: &Instr, p: &Place) -> bool {
+    let mut hit = false;
+    if let Some(dst) = ins.dst() {
+        hit |= place_conflicts(dst, p) || place_conflicts(p, dst);
+    }
+    ins.for_each_value(&mut |v| {
+        fn scan(v: &Value, p: &Place, hit: &mut bool) {
+            match v {
+                Value::Place(q) => *hit |= place_conflicts(p, q) || place_conflicts(q, p),
+                Value::Intrinsic(_, args) => args.iter().for_each(|a| scan(a, p, hit)),
+                _ => {}
+            }
+        }
+        scan(v, p, &mut hit);
+    });
+    hit
+}
+
+/// The *outermost* enclosing loop region of each instruction (the whole
+/// program when not inside any loop). A value written inside nested
+/// loops can flow to a positionally-earlier read anywhere within this
+/// window via a back-edge, so the forward-substitution safety check uses
+/// it rather than the innermost region.
+fn outermost_regions(instrs: &[Instr]) -> Vec<(usize, usize)> {
+    let mut regions = vec![(0usize, instrs.len()); instrs.len()];
+    let mut depth = 0usize;
+    let mut top_start = 0usize; // body start of the depth-1 loop
+    let mut members: Vec<usize> = Vec::new();
+    for (k, ins) in instrs.iter().enumerate() {
+        match ins {
+            Instr::DoStart { .. } => {
+                if depth == 0 {
+                    top_start = k + 1;
+                    members.clear();
+                } else {
+                    members.push(k);
+                }
+                depth += 1;
+            }
+            Instr::DoEnd => {
+                depth -= 1;
+                if depth == 0 {
+                    for &m in &members {
+                        regions[m] = (top_start, k);
+                    }
+                    members.clear();
+                } else {
+                    members.push(k);
+                }
+            }
+            _ => {
+                if depth > 0 {
+                    members.push(k);
+                }
+            }
+        }
+    }
+    regions
+}
+
+/// Scalar-register identity for the position tables.
+fn scalar_id(p: &Place) -> Option<(bool, u32)> {
+    match p {
+        Place::F(k) => Some((true, *k)),
+        Place::R(k) => Some((false, *k)),
+        Place::Vec(_) => None,
+    }
+}
+
+/// Sorted read/write positions per scalar register, kept up to date as
+/// fixes are applied (positions are stable because removed instructions
+/// are tombstoned, not spliced out).
+#[derive(Default)]
+struct ScalarIndex {
+    reads: HashMap<(bool, u32), Vec<usize>>,
+    writes: HashMap<(bool, u32), Vec<usize>>,
+}
+
+impl ScalarIndex {
+    fn build(instrs: &[Instr]) -> ScalarIndex {
+        let mut idx = ScalarIndex::default();
+        for (k, ins) in instrs.iter().enumerate() {
+            if let Some(dst) = ins.dst() {
+                if let Some(id) = scalar_id(dst) {
+                    idx.writes.entry(id).or_default().push(k);
+                }
+            }
+            ins.for_each_value(&mut |v| {
+                fn scan(v: &Value, k: usize, idx: &mut ScalarIndex) {
+                    match v {
+                        Value::Place(p) => {
+                            if let Some(id) = scalar_id(p) {
+                                idx.reads.entry(id).or_default().push(k);
+                            }
+                        }
+                        Value::Intrinsic(_, args) => args.iter().for_each(|a| scan(a, k, idx)),
+                        _ => {}
+                    }
+                }
+                scan(v, k, &mut idx);
+            });
+        }
+        idx
+    }
+
+    fn remove(positions: &mut Vec<usize>, pos: usize) {
+        if let Ok(k) = positions.binary_search(&pos) {
+            positions.remove(k);
+        }
+    }
+
+    /// First position in `list` strictly greater than `after` and below
+    /// `before`.
+    fn first_in(list: Option<&Vec<usize>>, after: usize, before: usize) -> Option<usize> {
+        let list = list?;
+        let k = list.partition_point(|&p| p <= after);
+        list.get(k).copied().filter(|&p| p < before)
+    }
+
+    /// Last position in `list` within `[from, to)`.
+    fn last_in(list: Option<&Vec<usize>>, from: usize, to: usize) -> Option<usize> {
+        let list = list?;
+        let k = list.partition_point(|&p| p < to);
+        k.checked_sub(1).map(|k| list[k]).filter(|&p| p >= from)
+    }
+}
+
+/// Does the instruction read place `p` (non-allocating)?
+fn reads_place(ins: &Instr, p: &Place) -> bool {
+    let mut hit = false;
+    ins.for_each_value(&mut |v| {
+        fn scan(v: &Value, p: &Place, hit: &mut bool) {
+            match v {
+                Value::Place(q) => *hit |= q == p,
+                Value::Intrinsic(_, args) => args.iter().for_each(|a| scan(a, p, hit)),
+                _ => {}
+            }
+        }
+        scan(v, p, &mut hit);
+    });
+    hit
+}
+
+/// Does the instruction write anything that may alias one of `places`?
+fn clobbers_any(ins: &Instr, places: &[Place]) -> bool {
+    match ins.dst() {
+        Some(w) => places.iter().any(|q| place_conflicts(w, q)),
+        None => false,
+    }
+}
+
+fn operand_places(ins: &Instr) -> Vec<Place> {
+    let mut out = Vec::new();
+    ins.for_each_value(&mut |v| {
+        fn scan(v: &Value, out: &mut Vec<Place>) {
+            match v {
+                Value::Place(p) => out.push(p.clone()),
+                Value::Intrinsic(_, args) => args.iter().for_each(|a| scan(a, out)),
+                _ => {}
+            }
+        }
+        scan(v, &mut out);
+    });
+    out
+}
+
+/// Sinks the definition of a scalar register into a later copy of it:
+/// `f0 = a ⊕ b; ...; y = f0` becomes `y = a ⊕ b`.
+///
+/// A rewrite is applied only when, within the copy's straight-line
+/// neighbourhood and innermost loop region, the register's value flowing
+/// from that definition is consumed *only* by the copy — including across
+/// the loop back-edge.
+#[allow(clippy::mut_range_bound)] // `i` advances only when leaving the scan
+pub(crate) fn forward_substitute_counted(
+    prog: &IProgram,
+    stats: &mut OptStats,
+) -> Result<IProgram, CompileError> {
+    let mut instrs = prog.instrs.clone();
+    let outer = outermost_regions(&instrs);
+    let mut alive = vec![true; instrs.len()];
+    let mut idx = ScalarIndex::build(&instrs);
+    loop {
+        let mut changed = false;
+        let mut i = 0;
+        'outer: while i < instrs.len() {
+            if !alive[i] {
+                i += 1;
+                continue;
+            }
+            let Instr::Un {
+                op: UnOp::Copy,
+                dst,
+                a: Value::Place(p @ (Place::F(_) | Place::R(_))),
+            } = &instrs[i]
+            else {
+                i += 1;
+                continue;
+            };
+            let (dst, p) = (dst.clone(), p.clone());
+            let Some(pid) = scalar_id(&p) else {
+                return Err(CompileError::MalformedIcode(format!(
+                    "forward-substitute: copy at {i} has non-scalar source {p:?}"
+                )));
+            };
+            // Never move a definition across register classes: an `$r`
+            // definition executes integer arithmetic, and retargeting it
+            // to an `$f`/vector destination (or vice versa) would change
+            // its semantics.
+            match (&p, &dst) {
+                (Place::R(_), Place::R(_)) => {}
+                (Place::R(_), _) | (_, Place::R(_)) => {
+                    i += 1;
+                    continue;
+                }
+                _ => {}
+            }
+            // Find the defining instruction within this straight-line run.
+            let mut j = i;
+            let mut found = false;
+            while j > 0 {
+                j -= 1;
+                if !alive[j] {
+                    continue;
+                }
+                match &instrs[j] {
+                    Instr::DoStart { .. } | Instr::DoEnd => break,
+                    ins if ins.dst() == Some(&p) => {
+                        found = true;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            if !found {
+                i += 1;
+                continue;
+            }
+            // (a) No other read of p between the definition and the copy,
+            // (b) the copy destination is untouched in between,
+            // (c) the definition's operands are not clobbered in between.
+            let def_ops = operand_places(&instrs[j]);
+            let blocked = ((j + 1)..i).any(|k| {
+                alive[k]
+                    && (reads_place(&instrs[k], &p)
+                        || instr_accesses_place(&instrs[k], &dst)
+                        || clobbers_any(&instrs[k], &def_ops))
+            });
+            if blocked {
+                i += 1;
+                continue 'outer;
+            }
+            // (d) After the copy, the next access to p anywhere in the
+            // remaining program must be a write (its current value dies
+            // before being read again). An instruction that reads *and*
+            // writes p (a recurrence) appears in both tables at the same
+            // position: the read matters first, hence `<=`.
+            let end = instrs.len();
+            let next_read = ScalarIndex::first_in(idx.reads.get(&pid), i, end);
+            let next_write = ScalarIndex::first_in(idx.writes.get(&pid), i, end);
+            if let Some(r) = next_read {
+                if next_write.is_none_or(|w| r <= w) {
+                    i += 1;
+                    continue;
+                }
+            }
+            // (e) Across a loop back-edge: a read of p positionally before
+            // the definition — anywhere inside the *outermost* loop
+            // enclosing it — observes the previous iteration's last write
+            // of p. Unsafe if such a read exists and the definition being
+            // retargeted is that last write.
+            let (ostart, oend) = outer[j.min(outer.len() - 1)];
+            if oend != instrs.len() {
+                // The window includes j itself: a definition that also
+                // READS p (a recurrence like `f0 = in - f0`) is its own
+                // back-edge consumer.
+                let head_read =
+                    ScalarIndex::first_in(idx.reads.get(&pid), ostart.wrapping_sub(1), j + 1)
+                        .is_some();
+                if head_read {
+                    let last_write = ScalarIndex::last_in(idx.writes.get(&pid), ostart, oend);
+                    if last_write == Some(j) {
+                        i += 1;
+                        continue;
+                    }
+                }
+            }
+            // Apply: retarget the definition, tombstone the copy, and
+            // update the position tables.
+            match &mut instrs[j] {
+                Instr::Bin { dst: d, .. } | Instr::Un { dst: d, .. } => *d = dst.clone(),
+                other => {
+                    return Err(CompileError::MalformedIcode(format!(
+                        "forward-substitute: definition of {p:?} at {j} is not \
+                         arithmetic: {other:?}"
+                    )))
+                }
+            }
+            alive[i] = false;
+            if let Some(w) = idx.writes.get_mut(&pid) {
+                ScalarIndex::remove(w, j);
+            }
+            if let Some(r) = idx.reads.get_mut(&pid) {
+                ScalarIndex::remove(r, i);
+            }
+            if let Some(did) = scalar_id(&dst) {
+                let w = idx.writes.entry(did).or_default();
+                ScalarIndex::remove(w, i);
+                if let Err(k) = w.binary_search(&j) {
+                    w.insert(k, j);
+                }
+            }
+            stats.copies_propagated += 1;
+            changed = true;
+            i += 1;
+        }
+        if !changed {
+            break;
+        }
+    }
+    let mut out = prog.clone();
+    // Tombstoned copies vanish; retargeted definitions stay in place,
+    // so the survivor mask keeps provenance aligned.
+    out.prov = prog
+        .prov_slice()
+        .iter()
+        .zip(&alive)
+        .filter_map(|(&p, &a)| a.then_some(p))
+        .collect();
+    out.instrs = instrs
+        .into_iter()
+        .zip(alive)
+        .filter_map(|(ins, a)| a.then_some(ins))
+        .collect();
+    Ok(out)
+}

@@ -1,0 +1,104 @@
+//! Deliberately-misbehaving passes for exercising the pipeline's
+//! validation, quarantine, and termination machinery. Never registered
+//! in any `-O` pipeline; `splc --inject-buggy-pass` and the tests add
+//! them explicitly.
+
+use spl_icode::{BinOp, IProgram, Instr};
+
+use super::{OptStats, Pass, PassResult};
+use crate::error::CompileError;
+
+/// Name under which [`DropOp`] reports itself (what validation must
+/// localize).
+pub const DROP_OP_NAME: &str = "test-drop-op";
+
+/// A miscompiling pass: silently drops one arithmetic instruction (the
+/// last one, so the choice is deterministic) together with its
+/// provenance entry. Exists to prove that per-pass validation catches,
+/// names, and quarantines a bad pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DropOp;
+
+impl Pass for DropOp {
+    fn name(&self) -> &'static str {
+        DROP_OP_NAME
+    }
+
+    fn description(&self) -> &'static str {
+        "test-only miscompiler: drops the last arithmetic instruction"
+    }
+
+    fn run(&self, prog: &mut IProgram, _stats: &mut OptStats) -> Result<PassResult, CompileError> {
+        let victim = prog
+            .instrs
+            .iter()
+            .rposition(|ins| matches!(ins, Instr::Bin { .. } | Instr::Un { .. }));
+        match victim {
+            Some(k) => {
+                prog.instrs.remove(k);
+                if k < prog.prov.len() {
+                    prog.prov.remove(k);
+                }
+                Ok(PassResult::Changed)
+            }
+            None => Ok(PassResult::Unchanged),
+        }
+    }
+}
+
+/// Half of an adversarial non-converging pair: swaps the operands of the
+/// first commutative binary instruction. [`Pong`] swaps them back, so a
+/// fixed-point group containing both never reaches a fixed point and
+/// must stop at the iteration cap.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ping;
+
+/// The other half of the [`Ping`]/`Pong` pair.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Pong;
+
+fn swap_first_commutative(prog: &mut IProgram) -> PassResult {
+    for ins in &mut prog.instrs {
+        if let Instr::Bin {
+            op: BinOp::Add | BinOp::Mul,
+            a,
+            b,
+            ..
+        } = ins
+        {
+            if a != b {
+                std::mem::swap(a, b);
+                return PassResult::Changed;
+            }
+        }
+    }
+    PassResult::Unchanged
+}
+
+impl Pass for Ping {
+    fn name(&self) -> &'static str {
+        "test-ping"
+    }
+
+    fn description(&self) -> &'static str {
+        "test-only: swaps the first commutative instruction's operands"
+    }
+
+    fn run(&self, prog: &mut IProgram, _stats: &mut OptStats) -> Result<PassResult, CompileError> {
+        Ok(swap_first_commutative(prog))
+    }
+}
+
+impl Pass for Pong {
+    fn name(&self) -> &'static str {
+        "test-pong"
+    }
+
+    fn description(&self) -> &'static str {
+        "test-only: swaps them back, so ping/pong never converges"
+    }
+
+    fn run(&self, prog: &mut IProgram, _stats: &mut OptStats) -> Result<PassResult, CompileError> {
+        Ok(swap_first_commutative(prog))
+    }
+}

@@ -1,0 +1,110 @@
+//! Per-pass translation validation: capture the pipeline input's
+//! behaviour on a handful of probe vectors, then replay every pass's
+//! output through the i-code interpreter and demand agreement.
+//!
+//! The probe inputs are drawn from a fixed-seed [`Rng`] stream, so
+//! validation is deterministic across runs and machines; the comparison
+//! uses the same scaled elementwise tolerance as the fuzz oracle, which
+//! ties the *input* program to the dense reference and thereby extends
+//! the chain of custody through the optimizer.
+
+use std::path::{Path, PathBuf};
+
+use spl_icode::{interp, IProgram};
+use spl_numeric::rng::Rng;
+use spl_numeric::Complex;
+
+use super::Validation;
+
+/// Fixed seed for the probe-input stream (deterministic validation).
+const PROBE_SEED: u64 = 0x5b1_9a55;
+
+/// Captured reference behaviour of the pipeline-input program.
+pub(crate) struct Validator {
+    probes: Vec<Vec<Complex>>,
+    expected: Vec<Vec<Complex>>,
+    tolerance: f64,
+}
+
+impl Validator {
+    /// Runs the input program on `cfg.probes` deterministic probe
+    /// vectors. `None` when the reference itself cannot be replayed
+    /// (structurally invalid or interpreter-rejected input, or zero
+    /// probes requested) — validation is then reported inactive rather
+    /// than blaming the first pass for a pre-existing problem.
+    pub(crate) fn capture(cfg: &Validation, input: &IProgram) -> Option<Validator> {
+        if cfg.probes == 0 || input.validate().is_err() {
+            return None;
+        }
+        let mut rng = Rng::new(PROBE_SEED);
+        let mut probes = Vec::with_capacity(cfg.probes);
+        let mut expected = Vec::with_capacity(cfg.probes);
+        for _ in 0..cfg.probes {
+            let x: Vec<Complex> = (0..input.n_in)
+                .map(|_| Complex::new(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)))
+                .collect();
+            let y = interp::run(input, &x).ok()?;
+            probes.push(x);
+            expected.push(y);
+        }
+        Some(Validator {
+            probes,
+            expected,
+            tolerance: cfg.tolerance,
+        })
+    }
+
+    /// Number of probe vectors replayed per check.
+    pub(crate) fn probes(&self) -> usize {
+        self.probes.len()
+    }
+
+    /// Replays `prog` on every probe. `None` when it agrees with the
+    /// captured reference; otherwise a human-readable divergence.
+    pub(crate) fn check(&self, prog: &IProgram) -> Option<String> {
+        if let Err(e) = prog.validate() {
+            return Some(format!("structurally invalid output: {e}"));
+        }
+        for (k, (x, want)) in self.probes.iter().zip(&self.expected).enumerate() {
+            let got = match interp::run(prog, x) {
+                Ok(y) => y,
+                Err(e) => return Some(format!("probe {k}: interpreter rejected output: {e}")),
+            };
+            if got.len() != want.len() {
+                return Some(format!(
+                    "probe {k}: output length {} vs {}",
+                    got.len(),
+                    want.len()
+                ));
+            }
+            let scale = 1.0 + want.iter().map(|v| v.norm()).fold(0.0, f64::max);
+            for (i, (w, g)) in want.iter().zip(&got).enumerate() {
+                if (*w - *g).norm() > self.tolerance * scale {
+                    return Some(format!(
+                        "probe {k} lane {i}: {g} vs expected {w} (scale {scale:.3e})"
+                    ));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Dumps the before/after i-code of a miscompiling pass to `dir` as
+/// `<pass>-before.icode` / `<pass>-after.icode`. Returns the directory
+/// on success; dump failures never mask the validation failure itself.
+pub(crate) fn dump(
+    dir: Option<&Path>,
+    pass: &str,
+    before: &IProgram,
+    after: &IProgram,
+) -> Option<PathBuf> {
+    let dir = dir?;
+    std::fs::create_dir_all(dir).ok()?;
+    let write = |suffix: &str, prog: &IProgram| {
+        std::fs::write(dir.join(format!("{pass}-{suffix}.icode")), prog.to_string())
+    };
+    write("before", before).ok()?;
+    write("after", after).ok()?;
+    Some(dir.to_path_buf())
+}

@@ -1,0 +1,595 @@
+//! Value numbering (paper Section 3.4): constant folding, algebraic
+//! simplification, copy propagation, and CSE "in a single pass using a
+//! value numbering algorithm. Both scalar variables and array elements
+//! are handled."
+//!
+//! Value numbers are tracked through straight-line regions; state is
+//! reset at loop boundaries (conservative but simple — exactly what
+//! generated SPL code needs, since loop bodies are self-contained).
+
+use std::collections::HashMap;
+
+use spl_icode::{BinOp, IProgram, Instr, LoopVar, Place, UnOp, Value, VecKind};
+use spl_numeric::Complex;
+
+use super::{pkey, replace_if_changed, OptStats, PKey, Pass, PassResult};
+use crate::error::CompileError;
+
+/// The value-numbering pass. With `cse` disabled it degrades to pure
+/// constant folding / algebraic simplification (registered separately as
+/// `constant-fold` so the cheap subset can be scheduled on its own).
+#[derive(Debug, Clone, Copy)]
+pub struct ValueNumber {
+    cse: bool,
+}
+
+impl Default for ValueNumber {
+    fn default() -> Self {
+        ValueNumber { cse: true }
+    }
+}
+
+impl ValueNumber {
+    /// The constant-folding subset: no cross-instruction reuse of
+    /// computed values, so no copies are introduced.
+    pub fn constant_fold_only() -> Self {
+        ValueNumber { cse: false }
+    }
+}
+
+impl Pass for ValueNumber {
+    fn name(&self) -> &'static str {
+        if self.cse {
+            "value-number"
+        } else {
+            "constant-fold"
+        }
+    }
+
+    fn description(&self) -> &'static str {
+        if self.cse {
+            "constant folding, algebraic simplification, copy propagation and CSE \
+             via value numbering over straight-line regions"
+        } else {
+            "constant folding and algebraic simplification only (value numbering \
+             with reuse disabled)"
+        }
+    }
+
+    fn run(&self, prog: &mut IProgram, stats: &mut OptStats) -> Result<PassResult, CompileError> {
+        super::check_prov_alignment(self.name(), prog)?;
+        let new = value_number_counted(prog, stats, self.cse);
+        Ok(replace_if_changed(prog, new))
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Key {
+    Const(u64, u64),
+    Loop(LoopVar),
+    /// The bool separates integer-destination arithmetic from
+    /// floating-point arithmetic: `$r = a / b` truncates where
+    /// `$f = a / b` does not, so the two must never share a value number.
+    Bin(BinOp, bool, u32, u32),
+    Neg(u32),
+}
+
+#[derive(Default)]
+struct Vn {
+    next: u32,
+    keys: HashMap<Key, u32>,
+    place_vn: HashMap<PKey, u32>,
+    vn_const: HashMap<u32, Complex>,
+    vn_home: HashMap<u32, Place>,
+    /// result-vn -> operand-vn for negations, so `-(-x)` folds to `x`.
+    neg_src: HashMap<u32, u32>,
+}
+
+impl Vn {
+    fn fresh(&mut self) -> u32 {
+        self.next += 1;
+        self.next - 1
+    }
+
+    fn reset(&mut self) {
+        self.keys.clear();
+        self.place_vn.clear();
+        self.vn_const.clear();
+        self.vn_home.clear();
+        self.neg_src.clear();
+    }
+
+    fn const_vn(&mut self, c: Complex) -> u32 {
+        let key = Key::Const(c.re.to_bits(), c.im.to_bits());
+        if let Some(&vn) = self.keys.get(&key) {
+            return vn;
+        }
+        let vn = self.fresh();
+        self.keys.insert(key, vn);
+        self.vn_const.insert(vn, c);
+        vn
+    }
+
+    fn value_vn(&mut self, v: &Value) -> u32 {
+        match v {
+            Value::Const(c) => self.const_vn(*c),
+            Value::Int(i) => self.const_vn(Complex::real(*i as f64)),
+            Value::LoopIdx(lv) => {
+                let key = Key::Loop(*lv);
+                if let Some(&vn) = self.keys.get(&key) {
+                    return vn;
+                }
+                let vn = self.fresh();
+                self.keys.insert(key, vn);
+                vn
+            }
+            Value::Place(p) => {
+                let pk = pkey(p);
+                if let Some(&vn) = self.place_vn.get(&pk) {
+                    return vn;
+                }
+                let vn = self.fresh();
+                self.place_vn.insert(pk, vn);
+                self.vn_home.entry(vn).or_insert_with(|| p.clone());
+                vn
+            }
+            Value::Intrinsic(_, _) => self.fresh(),
+        }
+    }
+
+    /// The best operand for a value number: a constant if known, the
+    /// value's current home if one is tracked, otherwise the original
+    /// operand (which is always valid for operand positions, since it was
+    /// just read). Reads of the read-only input and tables are kept as-is:
+    /// renaming them through a register adds a copy for no benefit.
+    fn best_operand(&self, vn: u32, original: &Value) -> Value {
+        if let Some(&c) = self.vn_const.get(&vn) {
+            return Value::Const(c);
+        }
+        if let Value::Place(Place::Vec(v)) = original {
+            if matches!(v.kind, VecKind::In | VecKind::Table(_)) {
+                return original.clone();
+            }
+        }
+        match self.vn_home.get(&vn) {
+            Some(home @ (Place::F(_) | Place::R(_))) => Value::Place(home.clone()),
+            Some(home @ Place::Vec(v)) if matches!(v.kind, VecKind::In | VecKind::Table(_)) => {
+                Value::Place(home.clone())
+            }
+            _ => original.clone(),
+        }
+    }
+
+    /// An operand that *re-materializes* a value number without reference
+    /// to any original operand: a constant or a live home. `None` when the
+    /// value is no longer available anywhere.
+    fn materialize(&self, vn: u32) -> Option<Value> {
+        if let Some(&c) = self.vn_const.get(&vn) {
+            return Some(Value::Const(c));
+        }
+        self.vn_home.get(&vn).map(|h| Value::Place(h.clone()))
+    }
+
+    /// Invalidates state for a write to `dst`.
+    fn invalidate(&mut self, dst: &Place) {
+        let dead: Vec<PKey> = match dst {
+            Place::F(_) | Place::R(_) => vec![pkey(dst)],
+            Place::Vec(v) => {
+                let symbolic = v.idx.as_const().is_none();
+                self.place_vn
+                    .keys()
+                    .filter(|pk| match pk {
+                        PKey::Vec(kind, c, terms) => {
+                            *kind == v.kind && (symbolic || !terms.is_empty() || *c == v.idx.c)
+                        }
+                        _ => false,
+                    })
+                    .cloned()
+                    .collect()
+            }
+        };
+        for pk in dead {
+            self.place_vn.remove(&pk);
+        }
+        // Homes that live in the clobbered storage are no longer valid.
+        match dst {
+            Place::Vec(v) => {
+                self.vn_home.retain(|_, home| match home {
+                    Place::Vec(h) => {
+                        h.kind != v.kind
+                            || (v.idx.as_const().is_some()
+                                && h.idx.as_const().is_some()
+                                && h.idx.c != v.idx.c)
+                    }
+                    _ => true,
+                });
+            }
+            scalar => {
+                self.vn_home.retain(|_, home| home != scalar);
+            }
+        }
+    }
+
+    fn record_write(&mut self, dst: &Place, vn: u32) {
+        self.invalidate(dst);
+        self.place_vn.insert(pkey(dst), vn);
+        match self.vn_home.get(&vn) {
+            // Scalar homes are good; reads of the read-only input or a
+            // constant table are even better (they can never be
+            // invalidated) — keep either.
+            Some(Place::F(_)) | Some(Place::R(_)) => {}
+            Some(Place::Vec(v)) if matches!(v.kind, VecKind::In | VecKind::Table(_)) => {}
+            _ => {
+                self.vn_home.insert(vn, dst.clone());
+            }
+        }
+    }
+}
+
+fn is_int_dst(dst: &Place) -> bool {
+    matches!(dst, Place::R(_))
+}
+
+fn fold_bin(op: BinOp, a: Complex, b: Complex, int: bool) -> Option<Complex> {
+    if int {
+        // The interpreter rejects fractional or complex operands in
+        // integer positions; folding must not paper over that.
+        if !a.is_real() || !b.is_real() || a.re.fract() != 0.0 || b.re.fract() != 0.0 {
+            return None;
+        }
+        let (x, y) = (a.re as i64, b.re as i64);
+        let r = match op {
+            BinOp::Add => x + y,
+            BinOp::Sub => x - y,
+            BinOp::Mul => x * y,
+            BinOp::Div => {
+                if y == 0 {
+                    return None;
+                }
+                x / y
+            }
+        };
+        return Some(Complex::real(r as f64));
+    }
+    Some(match op {
+        BinOp::Add => a + b,
+        BinOp::Sub => a - b,
+        BinOp::Mul => a * b,
+        BinOp::Div => {
+            if b == Complex::ZERO {
+                return None;
+            }
+            a / b
+        }
+    })
+}
+
+pub(crate) fn value_number_counted(prog: &IProgram, stats: &mut OptStats, cse: bool) -> IProgram {
+    let mut st = Vn::default();
+    let mut out = prog.clone();
+    let mut instrs = Vec::with_capacity(prog.instrs.len());
+    // Provenance is re-attached lazily: at each iteration's start, any
+    // output emitted by the *previous* source instruction (each emits 0
+    // or 1) inherits that instruction's formula-node id. The arms below
+    // `continue` freely, so the top of the loop is the one safe place.
+    let prov_in = prog.prov_slice();
+    let has_prov = !prov_in.is_empty();
+    let mut prov_out: Vec<u32> = Vec::with_capacity(if has_prov { prog.instrs.len() } else { 0 });
+    let mut cur_prov = 0u32;
+    for (src_idx, ins) in prog.instrs.iter().enumerate() {
+        if has_prov {
+            prov_out.resize(instrs.len(), cur_prov);
+            cur_prov = prov_in[src_idx];
+        }
+        match ins {
+            Instr::DoStart { .. } | Instr::DoEnd => {
+                st.reset();
+                instrs.push(ins.clone());
+            }
+            Instr::Un { op, dst, a } => {
+                let a_vn = st.value_vn(a);
+                match op {
+                    UnOp::Copy => {
+                        emit_result(&mut st, &mut instrs, dst, a_vn, None, a);
+                    }
+                    UnOp::Neg => {
+                        if let Some(&c) = st.vn_const.get(&a_vn) {
+                            stats.constants_folded += 1;
+                            let vn = st.const_vn(-c);
+                            emit_result(&mut st, &mut instrs, dst, vn, None, &Value::Const(-c));
+                            continue;
+                        }
+                        // -(-x) = x: if the operand is itself a negation,
+                        // reuse its source (when still available).
+                        if let Some(&src) = st.neg_src.get(&a_vn) {
+                            if let Some(val) = st.materialize(src) {
+                                if st.place_vn.get(&pkey(dst)) == Some(&src) {
+                                    continue;
+                                }
+                                st.record_write(dst, src);
+                                if let Value::Place(p) = &val {
+                                    if p == dst {
+                                        continue;
+                                    }
+                                }
+                                instrs.push(Instr::Un {
+                                    op: UnOp::Copy,
+                                    dst: dst.clone(),
+                                    a: val,
+                                });
+                                continue;
+                            }
+                        }
+                        let key = Key::Neg(a_vn);
+                        let reuse = cse
+                            .then(|| {
+                                st.keys
+                                    .get(&key)
+                                    .copied()
+                                    .and_then(|vn| st.materialize(vn).map(|val| (vn, val)))
+                            })
+                            .flatten();
+                        match reuse {
+                            Some((vn, val)) => {
+                                stats.cse_hits += 1;
+                                if st.place_vn.get(&pkey(dst)) == Some(&vn) {
+                                    continue;
+                                }
+                                st.record_write(dst, vn);
+                                if let Value::Place(p) = &val {
+                                    if p == dst {
+                                        continue;
+                                    }
+                                }
+                                instrs.push(Instr::Un {
+                                    op: UnOp::Copy,
+                                    dst: dst.clone(),
+                                    a: val,
+                                });
+                            }
+                            None => {
+                                let vn = match st.keys.get(&key) {
+                                    Some(&vn) => vn,
+                                    None => {
+                                        let vn = st.fresh();
+                                        st.keys.insert(key, vn);
+                                        vn
+                                    }
+                                };
+                                st.neg_src.insert(vn, a_vn);
+                                let new = Instr::Un {
+                                    op: UnOp::Neg,
+                                    dst: dst.clone(),
+                                    a: st.best_operand(a_vn, a),
+                                };
+                                st.record_write(dst, vn);
+                                instrs.push(new);
+                            }
+                        }
+                    }
+                }
+            }
+            Instr::Bin { op, dst, a, b } => {
+                let a_vn = st.value_vn(a);
+                let b_vn = st.value_vn(b);
+                let int = is_int_dst(dst);
+                let ca = st.vn_const.get(&a_vn).copied();
+                let cb = st.vn_const.get(&b_vn).copied();
+                // Constant folding.
+                if let (Some(x), Some(y)) = (ca, cb) {
+                    if let Some(r) = fold_bin(*op, x, y, int) {
+                        stats.constants_folded += 1;
+                        let vn = st.const_vn(r);
+                        emit_result(&mut st, &mut instrs, dst, vn, None, a);
+                        continue;
+                    }
+                }
+                // Algebraic simplifications. Each case carries the operand
+                // (value number + original) that the result reduces to.
+                let one = Complex::ONE;
+                let zero = Complex::ZERO;
+                let neg_one = Complex::real(-1.0);
+                // Produces the value number for -oval, together with an
+                // instruction computing it into dst: a copy when the
+                // negation is still live somewhere, a recomputation
+                // otherwise, nothing when it is a known constant (the
+                // const branch of emit_result covers it).
+                let neg_of = |st: &mut Vn, ovn: u32, oval: &Value, dst: &Place| {
+                    // -(-x) = x when the operand is itself a negation.
+                    if let Some(&src) = st.neg_src.get(&ovn) {
+                        if let Some(val) = st.materialize(src) {
+                            return (
+                                src,
+                                Some(Instr::Un {
+                                    op: UnOp::Copy,
+                                    dst: dst.clone(),
+                                    a: val,
+                                }),
+                            );
+                        }
+                    }
+                    let key = Key::Neg(ovn);
+                    if let Some(&vn) = st.keys.get(&key) {
+                        if st.vn_const.contains_key(&vn) {
+                            return (vn, None);
+                        }
+                        let ins = match st.materialize(vn) {
+                            Some(val) => Instr::Un {
+                                op: UnOp::Copy,
+                                dst: dst.clone(),
+                                a: val,
+                            },
+                            None => Instr::Un {
+                                op: UnOp::Neg,
+                                dst: dst.clone(),
+                                a: st.best_operand(ovn, oval),
+                            },
+                        };
+                        return (vn, Some(ins));
+                    }
+                    let vn = st.fresh();
+                    st.keys.insert(key, vn);
+                    st.neg_src.insert(vn, ovn);
+                    (
+                        vn,
+                        Some(Instr::Un {
+                            op: UnOp::Neg,
+                            dst: dst.clone(),
+                            a: st.best_operand(ovn, oval),
+                        }),
+                    )
+                };
+                // (result vn, prebuilt instr, original operand for the vn)
+                let simplified: Option<(u32, Option<Instr>, Value)> = match op {
+                    BinOp::Add => {
+                        if ca == Some(zero) {
+                            Some((b_vn, None, b.clone()))
+                        } else if cb == Some(zero) {
+                            Some((a_vn, None, a.clone()))
+                        } else {
+                            None
+                        }
+                    }
+                    BinOp::Sub => {
+                        if cb == Some(zero) {
+                            Some((a_vn, None, a.clone()))
+                        } else if a_vn == b_vn {
+                            let vn = st.const_vn(zero);
+                            Some((vn, None, Value::Const(zero)))
+                        } else if ca == Some(zero) {
+                            let (vn, pre) = neg_of(&mut st, b_vn, b, dst);
+                            Some((vn, pre, b.clone()))
+                        } else {
+                            None
+                        }
+                    }
+                    BinOp::Mul => {
+                        if ca == Some(one) {
+                            Some((b_vn, None, b.clone()))
+                        } else if cb == Some(one) {
+                            Some((a_vn, None, a.clone()))
+                        } else if ca == Some(zero) || cb == Some(zero) {
+                            let vn = st.const_vn(zero);
+                            Some((vn, None, Value::Const(zero)))
+                        } else if ca == Some(neg_one) {
+                            let (vn, pre) = neg_of(&mut st, b_vn, b, dst);
+                            Some((vn, pre, b.clone()))
+                        } else if cb == Some(neg_one) {
+                            let (vn, pre) = neg_of(&mut st, a_vn, a, dst);
+                            Some((vn, pre, a.clone()))
+                        } else {
+                            None
+                        }
+                    }
+                    BinOp::Div => {
+                        if cb == Some(one) {
+                            Some((a_vn, None, a.clone()))
+                        } else {
+                            None
+                        }
+                    }
+                };
+                if let Some((vn, emit, orig)) = simplified {
+                    emit_result(&mut st, &mut instrs, dst, vn, emit, &orig);
+                    continue;
+                }
+                // CSE: canonicalize commutative operand order.
+                let (ka, kb) = match op {
+                    BinOp::Add | BinOp::Mul if a_vn > b_vn => (b_vn, a_vn),
+                    _ => (a_vn, b_vn),
+                };
+                let key = Key::Bin(*op, int, ka, kb);
+                let reuse = cse
+                    .then(|| {
+                        st.keys
+                            .get(&key)
+                            .copied()
+                            .and_then(|vn| st.materialize(vn).map(|val| (vn, val)))
+                    })
+                    .flatten();
+                if let Some((vn, val)) = reuse {
+                    // The value is still available somewhere: reuse it.
+                    stats.cse_hits += 1;
+                    if st.place_vn.get(&pkey(dst)) == Some(&vn) {
+                        continue; // already there
+                    }
+                    st.record_write(dst, vn);
+                    if let Value::Place(p) = &val {
+                        if p == dst {
+                            continue;
+                        }
+                    }
+                    instrs.push(Instr::Un {
+                        op: UnOp::Copy,
+                        dst: dst.clone(),
+                        a: val,
+                    });
+                } else {
+                    let vn = match st.keys.get(&key) {
+                        Some(&vn) => vn, // known but unavailable: recompute
+                        None => {
+                            let vn = st.fresh();
+                            st.keys.insert(key, vn);
+                            vn
+                        }
+                    };
+                    let new = Instr::Bin {
+                        op: *op,
+                        dst: dst.clone(),
+                        a: st.best_operand(a_vn, a),
+                        b: st.best_operand(b_vn, b),
+                    };
+                    st.record_write(dst, vn);
+                    instrs.push(new);
+                }
+            }
+        }
+    }
+    if has_prov {
+        prov_out.resize(instrs.len(), cur_prov);
+    }
+    out.instrs = instrs;
+    out.prov = prov_out;
+    out
+}
+
+/// Emits the result of an instruction whose value number is already known:
+/// either the provided replacement instruction, a copy from the value's
+/// home, or nothing when the destination already holds the value.
+fn emit_result(
+    st: &mut Vn,
+    instrs: &mut Vec<Instr>,
+    dst: &Place,
+    vn: u32,
+    prebuilt: Option<Instr>,
+    original: &Value,
+) {
+    // Destination already holds this value: the store is redundant.
+    if st.place_vn.get(&pkey(dst)) == Some(&vn) {
+        return;
+    }
+    if let Some(ins) = prebuilt {
+        st.record_write(dst, vn);
+        instrs.push(ins);
+        return;
+    }
+    // `original` is contractually value-equal to `vn` here; prefer a known
+    // constant, then the original operand.
+    let a = match st.vn_const.get(&vn) {
+        Some(&c) => Value::Const(c),
+        None => original.clone(),
+    };
+    // A copy of a place onto itself is a no-op.
+    if let Value::Place(p) = &a {
+        if p == dst {
+            st.record_write(dst, vn);
+            return;
+        }
+    }
+    st.record_write(dst, vn);
+    instrs.push(Instr::Un {
+        op: UnOp::Copy,
+        dst: dst.clone(),
+        a,
+    });
+}

@@ -136,9 +136,9 @@ fn optimize_preserves_straight_line_semantics() {
         let want = spl_icode::interp::run(&p, &x).unwrap();
         for (name, q) in [
             ("vn", value_number(&p)),
-            ("fs", forward_substitute(&p)),
-            ("dce", dce(&p)),
-            ("all", optimize(&p)),
+            ("fs", forward_substitute(&p).unwrap()),
+            ("dce", dce(&p).unwrap()),
+            ("all", optimize(&p).unwrap()),
         ] {
             q.validate().unwrap();
             let got = spl_icode::interp::run(&q, &x).unwrap();
@@ -162,8 +162,8 @@ fn optimize_preserves_loop_semantics() {
         let want = spl_icode::interp::run(&p, &x).unwrap();
         for (name, q) in [
             ("vn", value_number(&p)),
-            ("fs", forward_substitute(&p)),
-            ("all", optimize(&p)),
+            ("fs", forward_substitute(&p).unwrap()),
+            ("all", optimize(&p).unwrap()),
         ] {
             q.validate().unwrap();
             let got = spl_icode::interp::run(&q, &x).unwrap();
@@ -183,7 +183,7 @@ fn optimize_never_grows_code() {
         if p.validate().is_err() {
             continue;
         }
-        let o = optimize(&p);
+        let o = optimize(&p).unwrap();
         assert!(
             o.static_instr_count() <= p.static_instr_count(),
             "seed {seed}"

@@ -56,6 +56,10 @@ pub struct FuzzConfig {
     pub shrink: bool,
     /// Shrinker budget.
     pub shrink_cfg: ShrinkConfig,
+    /// After shrinking, recompile each reproducer under per-pass
+    /// translation validation to name the optimization pass (if any)
+    /// that miscompiles it ([`Oracle::localize_pass`]).
+    pub localize: bool,
     /// Directory for reproducer files; `None` disables emission.
     pub out_dir: Option<PathBuf>,
 }
@@ -69,6 +73,7 @@ impl Default for FuzzConfig {
             oracle: Oracle::default(),
             shrink: true,
             shrink_cfg: ShrinkConfig::default(),
+            localize: false,
             out_dir: Some(PathBuf::from("results/fuzz")),
         }
     }
@@ -86,6 +91,10 @@ pub struct FoundBug {
     /// The minimized reproducer (equals `original` when shrinking is
     /// off or found nothing smaller).
     pub shrunk: Sexp,
+    /// The optimization pass per-pass validation blames for the bug
+    /// (`--localize`); `None` when localization is off, every pass
+    /// validates, or the bug is not an optimizer miscompile.
+    pub guilty_pass: Option<String>,
     /// Where the reproducer file was written, if emission is on.
     pub file: Option<PathBuf>,
 }
@@ -182,16 +191,34 @@ fn triage(cfg: &FuzzConfig, case: usize, sexp: &Sexp, bug: Bug, tel: &mut Teleme
         (sexp.clone(), 0)
     };
     tel.add("fuzz.shrink_steps", spent as u64);
+    let guilty_pass = if cfg.localize {
+        let guilty = cfg.oracle.localize_pass(&shrunk);
+        if guilty.is_some() {
+            tel.add("fuzz.localized", 1);
+        }
+        guilty
+    } else {
+        None
+    };
     let file = cfg.out_dir.as_deref().and_then(|dir| {
-        write_reproducer(dir, cfg.seed, case, &bug, sexp, &shrunk)
-            .map_err(|e| eprintln!("splfuzz: cannot write reproducer: {e}"))
-            .ok()
+        write_reproducer(
+            dir,
+            cfg.seed,
+            case,
+            &bug,
+            sexp,
+            &shrunk,
+            guilty_pass.as_deref(),
+        )
+        .map_err(|e| eprintln!("splfuzz: cannot write reproducer: {e}"))
+        .ok()
     });
     FoundBug {
         bug,
         case,
         original: sexp.clone(),
         shrunk,
+        guilty_pass,
         file,
     }
 }
@@ -205,6 +232,7 @@ fn write_reproducer(
     bug: &Bug,
     original: &Sexp,
     shrunk: &Sexp,
+    guilty_pass: Option<&str>,
 ) -> std::io::Result<PathBuf> {
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("{}-seed{}-i{}.spl", bug.class.name(), seed, case));
@@ -212,6 +240,9 @@ fn write_reproducer(
     text.push_str(&format!("; splfuzz reproducer: {}\n", bug.class.name()));
     text.push_str(&format!("; stage:  {}\n", bug.stage));
     text.push_str(&format!("; detail: {}\n", bug.detail.replace('\n', " ")));
+    if let Some(pass) = guilty_pass {
+        text.push_str(&format!("; guilty-pass: {pass}\n"));
+    }
     text.push_str(&format!("; seed {seed}, case {case}\n"));
     if format!("{original}") != format!("{shrunk}") {
         text.push_str(&format!("; original: {original}\n"));

@@ -118,6 +118,11 @@ pub struct Oracle {
     /// Whether to run the VM engine stage: full pipeline to the VM,
     /// resolved engine vs. reference executor (bitwise) vs. dense.
     pub vm_engine: bool,
+    /// Inject the deliberately miscompiling test pass into every
+    /// compiler the oracle builds (exercises miscompile localization;
+    /// only observable through the `native`/`vm_engine` stages, which
+    /// run the optimizer).
+    pub inject_buggy_pass: bool,
 }
 
 impl Default for Oracle {
@@ -128,6 +133,7 @@ impl Default for Oracle {
             native: false,
             native_timeout: Duration::from_secs(10),
             vm_engine: false,
+            inject_buggy_pass: false,
         }
     }
 }
@@ -203,6 +209,38 @@ impl Oracle {
         }
     }
 
+    /// A full-pipeline compiler configured like the oracle's `native`
+    /// and `vm_engine` stages build it (including the injected buggy
+    /// pass when enabled).
+    fn compiler(&self) -> spl_compiler::Compiler {
+        spl_compiler::Compiler::with_options(spl_compiler::CompilerOptions {
+            inject_buggy_pass: self.inject_buggy_pass,
+            ..spl_compiler::CompilerOptions::default()
+        })
+    }
+
+    /// Recompiles one formula under per-pass translation validation
+    /// (abort-on-mismatch, no dump files) and returns the name of the
+    /// first optimization pass whose output diverged from the probe
+    /// reference — the miscompile localization behind
+    /// `splfuzz --localize`. `None` when every pass validates (the bug,
+    /// if any, is not an optimizer miscompile) or when compilation
+    /// fails for an unrelated reason.
+    pub fn localize_pass(&self, sexp: &Sexp) -> Option<String> {
+        let mut compiler = spl_compiler::Compiler::with_options(spl_compiler::CompilerOptions {
+            inject_buggy_pass: self.inject_buggy_pass,
+            verify_passes: Some(spl_compiler::passes::Validation {
+                dump_dir: None,
+                ..spl_compiler::passes::Validation::default()
+            }),
+            ..spl_compiler::CompilerOptions::default()
+        });
+        match quiet_catch(|| compiler.compile_formula_str(&sexp.to_string())) {
+            Ok(Err(spl_compiler::CompileError::MiscompilingPass { pass, .. })) => Some(pass),
+            _ => None,
+        }
+    }
+
     /// `None` when equal within tolerance, else the first divergence.
     fn compare(&self, a: &[Complex], b: &[Complex]) -> Option<String> {
         if a.len() != b.len() {
@@ -229,7 +267,7 @@ impl Oracle {
             })
         };
         let src = format!("#language c\n#codetype real\n{sexp}\n");
-        let mut compiler = spl_compiler::Compiler::new();
+        let mut compiler = self.compiler();
         let unit = match quiet_catch(|| compiler.compile_source(&src).map(|mut units| units.pop()))
         {
             Err(p) => return bug(BugClass::Panic, p),
@@ -284,7 +322,7 @@ impl Oracle {
                 detail,
             })
         };
-        let mut compiler = spl_compiler::Compiler::new();
+        let mut compiler = self.compiler();
         let unit = match quiet_catch(|| compiler.compile_formula_str(&sexp.to_string())) {
             Err(p) => return bug(BugClass::Panic, p),
             Ok(Err(_)) => return None,

@@ -32,6 +32,20 @@ usage: splc [options] [file.spl]        (stdin when no file)
                  maximum formula nesting depth accepted by the parser
   --max-unrolled-ops <n>
                  maximum unrolled i-code instruction count
+  --opt-level <n>
+                 alias for -O<n> (0, 1 or 2)
+  --verify-passes
+                 replay each optimization pass's output on probe
+                 vectors against the interpreter; abort compilation
+                 naming the pass on the first mismatch
+  --verify-passes-quarantine
+                 like --verify-passes, but roll back the offending
+                 pass and quarantine it for the rest of compilation
+  --inject-buggy-pass
+                 append a deliberately miscompiling pass (drops the
+                 last arithmetic instruction); for exercising the
+                 pass-validation machinery
+  --list-passes  print the registered optimization passes and exit
   --icode        print the optimized i-code instead of target code
   --run          execute each unit on a deterministic workload and
                  print the output vector (uses the interpreter)
@@ -92,6 +106,25 @@ fn main() -> ExitCode {
                 Some(n) => opts.limits.max_unrolled_ops = n,
                 None => return fail("--max-unrolled-ops requires an integer"),
             },
+            "--opt-level" => match it.next().map(String::as_str) {
+                Some("0") => opts.opt_level = OptLevel::None,
+                Some("1") => opts.opt_level = OptLevel::ScalarTemps,
+                Some("2") => opts.opt_level = OptLevel::Default,
+                _ => return fail("--opt-level requires 0, 1 or 2"),
+            },
+            "--verify-passes" => {
+                opts.verify_passes = Some(spl::compiler::passes::Validation::default());
+            }
+            "--verify-passes-quarantine" => {
+                opts.verify_passes = Some(spl::compiler::passes::Validation::quarantining());
+            }
+            "--inject-buggy-pass" => opts.inject_buggy_pass = true,
+            "--list-passes" => {
+                for p in spl::compiler::passes::registered_passes() {
+                    println!("{:<20} {}", p.name(), p.description());
+                }
+                return ExitCode::SUCCESS;
+            }
             "--icode" => print_icode = true,
             "--run" => run = true,
             "--run-vm" => run_vm = true,
@@ -131,6 +164,11 @@ fn main() -> ExitCode {
         Ok(u) => u,
         Err(e) => return fail(&e.to_string()),
     };
+    let mut quarantined: Vec<String> = compiler.quarantined_passes().iter().cloned().collect();
+    quarantined.sort();
+    for name in quarantined {
+        eprintln!("splc: warning: pass '{name}' miscompiled a unit and was quarantined");
+    }
     let mut tel = compiler.take_telemetry();
     if units.is_empty() {
         eprintln!("splc: no formulas in input (templates/defines were processed)");

@@ -26,6 +26,12 @@ usage: splfuzz [options]
   --native       also run the cc-compiled kernel in a fork sandbox
   --vm-engine    also cross-check the VM's resolved engine against its
                  reference executor (bit-identical outputs required)
+  --localize     recompile each shrunk reproducer under per-pass
+                 translation validation and name the optimization pass
+                 (if any) that miscompiles it
+  --inject-buggy-pass
+                 append a deliberately miscompiling pass to every
+                 compile (implies --vm-engine; exercises --localize)
   --no-shrink    report bugs unminimized
   --out <dir>    reproducer directory (default results/fuzz)
   --no-out       do not write reproducer files
@@ -71,6 +77,11 @@ fn main() -> ExitCode {
             },
             "--native" => cfg.oracle.native = true,
             "--vm-engine" => cfg.oracle.vm_engine = true,
+            "--localize" => cfg.localize = true,
+            "--inject-buggy-pass" => {
+                cfg.oracle.inject_buggy_pass = true;
+                cfg.oracle.vm_engine = true;
+            }
             "--no-shrink" => cfg.shrink = false,
             "--out" => match it.next() {
                 Some(dir) => cfg.out_dir = Some(PathBuf::from(dir)),
@@ -106,6 +117,11 @@ fn main() -> ExitCode {
             "  [{}] case {}: {} ({})",
             bug.bug.class, bug.case, bug.shrunk, bug.bug.detail
         );
+        if let Some(pass) = &bug.guilty_pass {
+            println!("        guilty pass: {pass}");
+        } else if cfg.localize {
+            println!("        guilty pass: none (not an optimizer miscompile)");
+        }
         if let Some(path) = &bug.file {
             println!("        reproducer: {}", path.display());
         }
