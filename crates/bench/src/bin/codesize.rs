@@ -9,7 +9,7 @@
 //! Usage: `codesize [--quick] [--max-log2 N]` (default 20; this is a
 //! compile-only experiment, so the full range is cheap).
 
-use spl_bench::{arg_value, print_table, quick_mode, with_report};
+use spl_bench::{arg_value_parsed, print_table, quick_mode, with_report};
 use spl_search::{
     compile_tree, large_search_traced, small_search_traced, OpCountEvaluator, SearchConfig,
 };
@@ -20,9 +20,7 @@ fn main() {
 }
 
 fn run(report: &mut RunReport) {
-    let max_log: u32 = arg_value("--max-log2")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(if quick_mode() { 12 } else { 20 });
+    let max_log: u32 = arg_value_parsed("--max-log2").unwrap_or(if quick_mode() { 12 } else { 20 });
     let config = SearchConfig::default();
     let mut eval = OpCountEvaluator::default();
     let mut search_tel = Telemetry::new();

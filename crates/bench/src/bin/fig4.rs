@@ -11,7 +11,7 @@
 
 use std::time::Duration;
 
-use spl_bench::{arg_value, print_table, quick_mode, with_report, workload, MEASURE_TIME};
+use spl_bench::{arg_value_parsed, print_table, quick_mode, with_report, workload, MEASURE_TIME};
 use spl_minifft::{Plan, PlanMode};
 use spl_numeric::pseudo_mflops;
 use spl_search::{
@@ -33,9 +33,7 @@ fn main() {
 
 fn run(report: &mut RunReport) {
     let quick = quick_mode();
-    let max_log: u32 = arg_value("--max-log2")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(if quick { 10 } else { 18 });
+    let max_log: u32 = arg_value_parsed("--max-log2").unwrap_or(if quick { 10 } else { 18 });
     let min_time = if quick {
         Duration::from_millis(2)
     } else {

@@ -8,7 +8,7 @@
 //!
 //! Usage: `fig5 [--quick] [--max-log2 N]`.
 
-use spl_bench::{arg_value, print_table, quick_mode, with_report};
+use spl_bench::{arg_value_parsed, print_table, quick_mode, with_report};
 use spl_minifft::{Plan, PlanMode};
 use spl_search::{
     compile_tree, large_search_traced, small_search_traced, OpCountEvaluator, SearchConfig,
@@ -21,9 +21,7 @@ fn main() {
 
 fn run(report: &mut RunReport) {
     let quick = quick_mode();
-    let max_log: u32 = arg_value("--max-log2")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(if quick { 10 } else { 18 });
+    let max_log: u32 = arg_value_parsed("--max-log2").unwrap_or(if quick { 10 } else { 18 });
     // Plan shapes come from the deterministic op-count DP — memory use
     // depends on the plan structure, not on timing noise.
     let config = SearchConfig::default();

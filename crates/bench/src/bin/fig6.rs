@@ -8,7 +8,9 @@
 //!
 //! Usage: `fig6 [--quick] [--max-log2 N]` (default 18).
 
-use spl_bench::{arg_value, print_table, quick_mode, run_fft, run_ifft, with_report, workload};
+use spl_bench::{
+    arg_value_parsed, print_table, quick_mode, run_fft, run_ifft, with_report, workload,
+};
 use spl_numeric::{reference, relative_rms_error};
 use spl_search::{
     compile_tree, large_search_traced, small_search_traced, OpCountEvaluator, SearchConfig,
@@ -21,9 +23,7 @@ fn main() {
 
 fn run(report: &mut RunReport) {
     let quick = quick_mode();
-    let max_log: u32 = arg_value("--max-log2")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(if quick { 10 } else { 18 });
+    let max_log: u32 = arg_value_parsed("--max-log2").unwrap_or(if quick { 10 } else { 18 });
     let config = SearchConfig::default();
     let mut eval = OpCountEvaluator::default();
     let mut search_tel = Telemetry::new();

@@ -1,5 +1,6 @@
 //! VM execution-engine benchmark: old (reference executor) vs. new
-//! (resolved engine) ns/op on fixed FFT sizes 2⁴…2¹⁰.
+//! (resolved engine) ns/op on fixed FFT sizes 2⁴…2¹⁰, plus per-width
+//! vector-path rows (scalar vs every supported SIMD lane width).
 //!
 //! The per-size loop code is deterministic (a fixed radix-8 `ct_sequence`
 //! factorization, leaves ≤ 64 unrolled), so runs are comparable across
@@ -7,24 +8,37 @@
 //! trail. Fusion and strength-reduction counters accompany each size so
 //! throughput changes can be correlated with what the resolver did.
 //!
+//! The vector rows use the same trees compiled at a *looped* leaf
+//! threshold (`-B 16`), because at the paper's `-B 64` the 2⁶ program
+//! is a single straight-line block with no loops for the vectorize
+//! pass to mark. Each row times the resolved engine with the vector
+//! path forced off, then once per hardware-supported lane width
+//! (width 2, and width 4 where AVX is detected); `vec_speedup` is
+//! scalar time over full-width time.
+//!
 //! Usage: `vmbench [--quick] [--stats] [--out FILE]
-//!                 [--min-median-speedup X] [--compare BASELINE]
+//!                 [--min-median-speedup X] [--min-vec-speedup X]
+//!                 [--compare BASELINE]
 //!                 [--update-baseline [--force]]
 //!                 [--trace-json FILE] [--trace-chrome FILE]`
 //!
 //! `--min-median-speedup` turns the run into a gate: exit nonzero when
 //! the median resolved-vs-reference speedup falls below `X` (CI uses a
 //! bound well under the ≥2× seen on idle hardware, so a loaded runner
-//! does not flake).
+//! does not flake). `--min-vec-speedup` gates the median per-width
+//! vector speedup the same way (skipped with a note on targets with no
+//! vector backend). Unparsable gate values are hard errors, not
+//! silently ignored gates.
 //!
 //! `--compare BASELINE` gates against a pinned earlier run (the
 //! committed `results/BENCH_vm.baseline.json`): exit nonzero when the
 //! median speedup regresses more than 35%, or any per-size speedup more
-//! than 50%, relative to the baseline. Speedups are ratios of two
-//! measurements taken under the same load, so they are far more stable
-//! across machines than absolute ns; the wide tolerances absorb
-//! shared-runner noise while still catching a lost fusion or
-//! strength-reduction pass (which halves the ratio). Refresh
+//! than 50%, relative to the baseline; when the baseline carries
+//! `vec_sizes` rows, per-size vector speedups are gated the same way.
+//! Speedups are ratios of two measurements taken under the same load,
+//! so they are far more stable across machines than absolute ns; the
+//! wide tolerances absorb shared-runner noise while still catching a
+//! lost fusion/vectorization pass (which halves the ratio). Refresh
 //! procedure: docs/TELEMETRY.md.
 //!
 //! `--update-baseline` regenerates the pinned baseline from this run's
@@ -36,15 +50,19 @@
 //!
 //! Every run also appends one JSON line to `results/bench_history.jsonl`
 //! (skipped when `results/` is absent), building an append-only local
-//! history of speedups across commits.
+//! history of speedups across commits. The line is written *after* the
+//! gates run and carries a `"gate"` field (`"pass"`, `"fail"`, or
+//! `"none"` when no gate was requested), so trend analysis can filter
+//! out regressed runs instead of silently averaging them in.
 
 use std::time::Duration;
 
-use spl_bench::{arg_value, print_table, quick_mode, with_report, MEASURE_TIME};
+use spl_bench::{arg_value, arg_value_parsed, print_table, quick_mode, with_report, MEASURE_TIME};
 use spl_generator::fft::{ct_sequence, Rule};
 use spl_search::compile_tree;
 use spl_telemetry::json::Json;
 use spl_telemetry::{RunReport, Telemetry};
+use spl_vm::simd;
 use spl_vm::{measure, measure_reference};
 
 /// The fixed radix-8 factorization of 2^k used for every run.
@@ -71,38 +89,91 @@ struct Row {
     cursors: u64,
 }
 
+/// One per-width vector-path measurement (looped `-B 16` variant).
+struct VecRow {
+    k: u32,
+    tree: String,
+    /// Resolved engine, vector path forced off.
+    scalar_ns: f64,
+    /// `(lane width, ns)` per hardware-supported width, ascending.
+    by_width: Vec<(usize, f64)>,
+    /// `scalar_ns` over the full-width time (1.0 when no backend).
+    speedup: f64,
+}
+
+/// Leaf-unroll threshold for the vector-path rows; see module docs.
+const VEC_UNROLL: usize = 16;
+
 fn main() {
-    let gate: Option<f64> = arg_value("--min-median-speedup").and_then(|v| v.parse().ok());
+    let gate: Option<f64> = arg_value_parsed("--min-median-speedup");
+    let vec_gate: Option<f64> = arg_value_parsed("--min-vec-speedup");
     let baseline = arg_value("--compare");
     let mut median = 0.0;
+    let mut vec_median = 0.0;
     let mut rows = Vec::new();
+    let mut vec_rows = Vec::new();
     with_report("vmbench", |report| {
-        let (m, r) = run(report);
-        median = m;
-        rows = r;
+        let out = run(report);
+        median = out.median;
+        vec_median = out.vec_median;
+        rows = out.rows;
+        vec_rows = out.vec_rows;
     });
-    append_history(&rows, median);
+    // Gates run before the history append so the history line can carry
+    // their outcome; a regressed run must not pollute trend data as if
+    // it were healthy.
+    let mut failures: Vec<String> = Vec::new();
+    let mut gated = false;
     if let Some(min) = gate {
+        gated = true;
         if median < min {
-            eprintln!("vmbench: median speedup {median:.2}x below required {min:.2}x");
-            std::process::exit(1);
+            failures.push(format!(
+                "median speedup {median:.2}x below required {min:.2}x"
+            ));
+        } else {
+            eprintln!("vmbench: median speedup {median:.2}x meets required {min:.2}x");
         }
-        eprintln!("vmbench: median speedup {median:.2}x meets required {min:.2}x");
     }
-    if let Some(path) = baseline {
-        match compare(&rows, median, &path) {
-            Ok(msg) => eprintln!("vmbench: {msg}"),
-            Err(failures) => {
-                for f in &failures {
-                    eprintln!("vmbench: REGRESSION {f}");
-                }
-                std::process::exit(1);
+    if let Some(min) = vec_gate {
+        if simd::width() == 0 {
+            eprintln!("vmbench: no vector backend on this target; --min-vec-speedup skipped");
+        } else {
+            gated = true;
+            if vec_median < min {
+                failures.push(format!(
+                    "median vector speedup {vec_median:.2}x below required {min:.2}x"
+                ));
+            } else {
+                eprintln!(
+                    "vmbench: median vector speedup {vec_median:.2}x meets required {min:.2}x"
+                );
             }
         }
     }
+    if let Some(path) = &baseline {
+        gated = true;
+        match compare(&rows, &vec_rows, median, path) {
+            Ok(msg) => eprintln!("vmbench: {msg}"),
+            Err(mut f) => failures.append(&mut f),
+        }
+    }
+    let outcome = if !gated {
+        "none"
+    } else if failures.is_empty() {
+        "pass"
+    } else {
+        "fail"
+    };
+    append_history(&rows, median, vec_median, outcome);
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("vmbench: REGRESSION {f}");
+        }
+        std::process::exit(1);
+    }
     if std::env::args().any(|a| a == "--update-baseline") {
         let force = std::env::args().any(|a| a == "--force");
-        if let Err(e) = update_baseline(&rows, median, force) {
+        if let Err(e) = update_baseline(&rows, &vec_rows, median, vec_median, force) {
             eprintln!("vmbench: refusing to update baseline: {e}");
             std::process::exit(1);
         }
@@ -116,7 +187,13 @@ const BASELINE_PATH: &str = "results/BENCH_vm.baseline.json";
 /// suspect: `--quick` measurements, or a run that would itself fail
 /// `--compare` against the existing baseline (i.e. a regression must
 /// not become the new normal). `--force` skips both checks.
-fn update_baseline(rows: &[Row], median: f64, force: bool) -> Result<(), String> {
+fn update_baseline(
+    rows: &[Row],
+    vec_rows: &[VecRow],
+    median: f64,
+    vec_median: f64,
+    force: bool,
+) -> Result<(), String> {
     if !force {
         if quick_mode() {
             return Err(
@@ -124,7 +201,7 @@ fn update_baseline(rows: &[Row], median: f64, force: bool) -> Result<(), String>
             );
         }
         if std::path::Path::new(BASELINE_PATH).exists() {
-            if let Err(failures) = compare(rows, median, BASELINE_PATH) {
+            if let Err(failures) = compare(rows, vec_rows, median, BASELINE_PATH) {
                 return Err(format!(
                     "this run regresses vs the current baseline \
                      (use --force to pin it anyway):\n  {}",
@@ -136,8 +213,11 @@ fn update_baseline(rows: &[Row], median: f64, force: bool) -> Result<(), String>
     if let Some(dir) = std::path::Path::new(BASELINE_PATH).parent() {
         std::fs::create_dir_all(dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
     }
-    std::fs::write(BASELINE_PATH, render_json(rows, median))
-        .map_err(|e| format!("write {BASELINE_PATH}: {e}"))?;
+    std::fs::write(
+        BASELINE_PATH,
+        render_json(rows, vec_rows, median, vec_median),
+    )
+    .map_err(|e| format!("write {BASELINE_PATH}: {e}"))?;
     eprintln!("vmbench: baseline updated: {BASELINE_PATH} (median {median:.2}x)");
     Ok(())
 }
@@ -150,8 +230,14 @@ const SIZE_TOLERANCE: f64 = 0.5;
 
 /// Gates this run's speedups against a pinned baseline JSON file
 /// (schema of [`render_json`]). Returns a summary line, or the list of
-/// regressions.
-fn compare(rows: &[Row], median: f64, path: &str) -> Result<String, Vec<String>> {
+/// regressions. Baselines written before the vector path existed have
+/// no `vec_sizes`; those rows are then simply not gated.
+fn compare(
+    rows: &[Row],
+    vec_rows: &[VecRow],
+    median: f64,
+    path: &str,
+) -> Result<String, Vec<String>> {
     let base = std::fs::read_to_string(path)
         .map_err(|e| vec![format!("(baseline unreadable) {path}: {e}")])
         .and_then(|text| {
@@ -193,6 +279,37 @@ fn compare(rows: &[Row], median: f64, path: &str) -> Result<String, Vec<String>>
             ));
         }
     }
+    // Per-width vector rows: only gated when both the baseline and
+    // this target have them (a scalar-only target measures no vector
+    // speedup to compare).
+    if simd::width() != 0 {
+        for size in base
+            .get("vec_sizes")
+            .and_then(Json::as_arr)
+            .unwrap_or_default()
+        {
+            let (Some(n), Some(bs)) = (
+                size.get("n").and_then(Json::as_f64),
+                size.get("vec_speedup").and_then(Json::as_f64),
+            ) else {
+                continue;
+            };
+            let Some(row) = vec_rows.iter().find(|r| (1u64 << r.k) as f64 == n) else {
+                continue;
+            };
+            compared += 1;
+            let size_floor = bs * (1.0 - SIZE_TOLERANCE);
+            if row.speedup < size_floor {
+                failures.push(format!(
+                    "2^{} vector: speedup {:.2}x below {size_floor:.2}x \
+                     (baseline {bs:.2}x - {:.0}%)",
+                    row.k,
+                    row.speedup,
+                    SIZE_TOLERANCE * 100.0
+                ));
+            }
+        }
+    }
     if failures.is_empty() {
         Ok(format!(
             "no regression vs {path} ({compared} sizes, median {median:.2}x vs {base_median:.2}x)"
@@ -202,23 +319,13 @@ fn compare(rows: &[Row], median: f64, path: &str) -> Result<String, Vec<String>>
     }
 }
 
-/// Appends one JSON line for this run to `results/bench_history.jsonl`
-/// (append-only; skipped without complaint when `results/` is absent,
-/// matching the telemetry-artifact convention).
-fn append_history(rows: &[Row], median: f64) {
+/// Renders the one-line history record for this run; `gate` is
+/// `"pass"`, `"fail"`, or `"none"` (no gate requested).
+fn history_line(rows: &[Row], median: f64, vec_median: f64, gate: &str, epoch: u64) -> String {
     use std::fmt::Write as _;
-    use std::io::Write as _;
-    let dir = std::path::Path::new("results");
-    if !dir.exists() {
-        return;
-    }
-    let epoch = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_secs())
-        .unwrap_or(0);
     let mut line = format!(
-        "{{\"tool\": \"vmbench\", \"epoch\": {epoch}, \"quick\": {}, \
-         \"median_speedup\": {median:.3}, \"sizes\": [",
+        "{{\"tool\": \"vmbench\", \"epoch\": {epoch}, \"quick\": {}, \"gate\": \"{gate}\", \
+         \"median_speedup\": {median:.3}, \"vec_median_speedup\": {vec_median:.3}, \"sizes\": [",
         quick_mode()
     );
     for (i, r) in rows.iter().enumerate() {
@@ -233,6 +340,24 @@ fn append_history(rows: &[Row], median: f64) {
         );
     }
     line.push_str("]}\n");
+    line
+}
+
+/// Appends one JSON line for this run to `results/bench_history.jsonl`
+/// (append-only; skipped without complaint when `results/` is absent,
+/// matching the telemetry-artifact convention). Called after the gates
+/// so the row records their outcome.
+fn append_history(rows: &[Row], median: f64, vec_median: f64, gate: &str) {
+    use std::io::Write as _;
+    let dir = std::path::Path::new("results");
+    if !dir.exists() {
+        return;
+    }
+    let epoch = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let line = history_line(rows, median, vec_median, gate, epoch);
     let path = dir.join("bench_history.jsonl");
     let res = std::fs::OpenOptions::new()
         .create(true)
@@ -245,7 +370,14 @@ fn append_history(rows: &[Row], median: f64) {
     }
 }
 
-fn run(report: &mut RunReport) -> (f64, Vec<Row>) {
+struct RunOutput {
+    median: f64,
+    vec_median: f64,
+    rows: Vec<Row>,
+    vec_rows: Vec<VecRow>,
+}
+
+fn run(report: &mut RunReport) -> RunOutput {
     let min_time = if quick_mode() {
         Duration::from_millis(2)
     } else {
@@ -310,18 +442,112 @@ fn run(report: &mut RunReport) -> (f64, Vec<Row>) {
     );
     println!("\nmedian speedup: {median:.2}x");
 
-    let json = render_json(&rows, median);
+    let vec_rows = run_vec(min_time);
+    let vec_median = if vec_rows.is_empty() {
+        1.0
+    } else {
+        let mut s: Vec<f64> = vec_rows.iter().map(|r| r.speedup).collect();
+        s.sort_by(|a, b| a.total_cmp(b));
+        s[s.len() / 2]
+    };
+    tel.set_metric("vmbench.vec_median_speedup", vec_median);
+    if !vec_rows.is_empty() {
+        let hw = simd::width();
+        print_table(
+            &format!(
+                "Vector path (-B {VEC_UNROLL} loops): forced-scalar vs lane widths \
+                 (backend {}, ns per call)",
+                simd::backend_name()
+            ),
+            &["N", "plan", "scalar ns", "w2 ns", "w4 ns", "speedup"],
+            &vec_rows
+                .iter()
+                .map(|r| {
+                    let at = |w: usize| {
+                        r.by_width
+                            .iter()
+                            .find(|&&(rw, _)| rw == w)
+                            .map_or("-".into(), |&(_, ns)| format!("{ns:.0}"))
+                    };
+                    vec![
+                        format!("2^{}", r.k),
+                        r.tree.clone(),
+                        format!("{:.0}", r.scalar_ns),
+                        at(2),
+                        at(4),
+                        format!("{:.2}x", r.speedup),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+        println!("\nmedian vector speedup (width {hw}): {vec_median:.2}x");
+    } else {
+        eprintln!("  (no vector backend on this target; per-width rows skipped)");
+    }
+
+    let json = render_json(&rows, &vec_rows, median, vec_median);
     match std::fs::write(&out_path, &json) {
         Ok(()) => eprintln!("wrote {out_path}"),
         Err(e) => eprintln!("note: could not write {out_path}: {e}"),
     }
     report.push_section("vm", tel);
-    (median, rows)
+    RunOutput {
+        median,
+        vec_median,
+        rows,
+        vec_rows,
+    }
+}
+
+/// Measures the per-width vector rows on the looped `-B 16` variants.
+/// Scalar and vector execution are bit-identical by the resolver's
+/// plan contract, so every measurement runs the same computation.
+fn run_vec(min_time: Duration) -> Vec<VecRow> {
+    let hw = simd::width();
+    if hw == 0 {
+        return Vec::new();
+    }
+    let widths: Vec<usize> = [2usize, 4].into_iter().filter(|&w| w <= hw).collect();
+    let mut out = Vec::new();
+    for k in 6..=10u32 {
+        let tree = ct_sequence(&factors(k), Rule::CooleyTukey);
+        let vm = compile_tree(&tree, VEC_UNROLL).expect("fixed candidate compiles");
+        simd::set_force_scalar(true);
+        let scalar = measure(&vm, min_time);
+        simd::set_force_scalar(false);
+        let mut by_width = Vec::new();
+        for &w in &widths {
+            simd::set_max_width(Some(w));
+            let m = measure(&vm, min_time);
+            simd::set_max_width(None);
+            by_width.push((w, m.secs_per_call * 1e9));
+        }
+        let scalar_ns = scalar.secs_per_call * 1e9;
+        let full_ns = by_width.last().map_or(scalar_ns, |&(_, ns)| ns);
+        let row = VecRow {
+            k,
+            tree: tree.describe(),
+            scalar_ns,
+            by_width,
+            speedup: scalar_ns / full_ns,
+        };
+        eprintln!(
+            "  2^{k} vector: scalar {:.0} ns{}  ({:.2}x)",
+            row.scalar_ns,
+            row.by_width
+                .iter()
+                .map(|&(w, ns)| format!("  w{w} {ns:.0} ns"))
+                .collect::<String>(),
+            row.speedup
+        );
+        out.push(row);
+    }
+    out
 }
 
 /// Hand-rolled JSON (numbers and plain-ASCII plan strings only), keeping
 /// the artifact dependency-free like the telemetry writer.
-fn render_json(rows: &[Row], median: f64) -> String {
+fn render_json(rows: &[Row], vec_rows: &[VecRow], median: f64, vec_median: f64) -> String {
     use std::fmt::Write as _;
     let mut s = String::from("{\n  \"sizes\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -339,6 +565,93 @@ fn render_json(rows: &[Row], median: f64) -> String {
             if i + 1 == rows.len() { "" } else { "," }
         );
     }
-    let _ = write!(s, "  ],\n  \"median_speedup\": {median:.3}\n}}\n");
+    let _ = writeln!(s, "  ],\n  \"median_speedup\": {median:.3},");
+    let _ = writeln!(
+        s,
+        "  \"vec\": {{\"backend\": \"{}\", \"width\": {}, \"unroll\": {VEC_UNROLL}}},",
+        simd::backend_name(),
+        simd::width()
+    );
+    s.push_str("  \"vec_sizes\": [\n");
+    for (i, r) in vec_rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"n\": {}, \"plan\": \"{}\", \"scalar_ns\": {:.1}",
+            1u64 << r.k,
+            r.tree,
+            r.scalar_ns
+        );
+        for &(w, ns) in &r.by_width {
+            let _ = write!(s, ", \"w{w}_ns\": {ns:.1}");
+        }
+        let _ = writeln!(
+            s,
+            ", \"vec_speedup\": {:.3}}}{}",
+            r.speedup,
+            if i + 1 == vec_rows.len() { "" } else { "," }
+        );
+    }
+    let _ = write!(s, "  ],\n  \"vec_median_speedup\": {vec_median:.3}\n}}\n");
     s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<Row> {
+        vec![Row {
+            k: 4,
+            tree: "(4x4)".into(),
+            old_ns: 100.0,
+            new_ns: 50.0,
+            speedup: 2.0,
+            fused: 7,
+            cursors: 3,
+        }]
+    }
+
+    /// The history line must record the gate outcome (a regressed run
+    /// must be distinguishable in trend data) and stay parseable by
+    /// the repo's own JSON reader.
+    #[test]
+    fn history_line_is_tagged_and_parseable() {
+        for gate in ["pass", "fail", "none"] {
+            let line = history_line(&rows(), 2.0, 1.4, gate, 123);
+            let json = spl_telemetry::json::parse(&line).expect("valid JSON");
+            assert_eq!(
+                json.get("gate").and_then(Json::as_str),
+                Some(gate),
+                "{line}"
+            );
+            assert_eq!(json.get("epoch").and_then(Json::as_f64), Some(123.0));
+            assert_eq!(
+                json.get("vec_median_speedup").and_then(Json::as_f64),
+                Some(1.4)
+            );
+            assert!(line.ends_with("]}\n"));
+        }
+    }
+
+    /// BENCH_vm.json must parse and carry the per-width vector fields.
+    #[test]
+    fn rendered_json_has_vector_rows() {
+        let vec_rows = vec![VecRow {
+            k: 6,
+            tree: "(8x8)".into(),
+            scalar_ns: 300.0,
+            by_width: vec![(2, 200.0), (4, 150.0)],
+            speedup: 2.0,
+        }];
+        let s = render_json(&rows(), &vec_rows, 2.0, 2.0);
+        let json = spl_telemetry::json::parse(&s).expect("valid JSON");
+        assert_eq!(json.get("median_speedup").and_then(Json::as_f64), Some(2.0));
+        let vs = json.get("vec_sizes").and_then(Json::as_arr).unwrap();
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].get("n").and_then(Json::as_f64), Some(64.0));
+        assert_eq!(vs[0].get("w2_ns").and_then(Json::as_f64), Some(200.0));
+        assert_eq!(vs[0].get("w4_ns").and_then(Json::as_f64), Some(150.0));
+        assert_eq!(vs[0].get("vec_speedup").and_then(Json::as_f64), Some(2.0));
+        assert!(json.get("vec").and_then(|v| v.get("width")).is_some());
+    }
 }

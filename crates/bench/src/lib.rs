@@ -89,6 +89,23 @@ pub fn arg_value(name: &str) -> Option<String> {
         .cloned()
 }
 
+/// Like [`arg_value`], but parses the value into `T` and makes an
+/// unparsable value a **hard error** (exit 2). A silent `.ok()`
+/// fallback here would let a typo'd `--min-median-speedup 2.O`
+/// disable a CI gate without anyone noticing.
+pub fn arg_value_parsed<T: std::str::FromStr>(name: &str) -> Option<T> {
+    arg_value(name).map(|v| match v.parse() {
+        Ok(x) => x,
+        Err(_) => {
+            eprintln!(
+                "error: {name} {v:?} is not a valid {}",
+                std::any::type_name::<T>()
+            );
+            std::process::exit(2);
+        }
+    })
+}
+
 /// True when `--quick` was passed (smaller sweeps for smoke tests).
 pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick")

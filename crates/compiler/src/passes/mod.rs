@@ -10,7 +10,9 @@
 //! * `-O2` — scalarize, then a fixed-point loop over
 //!   [`value-number`](value_number::ValueNumber),
 //!   [`forward-substitute`](forward_substitute::ForwardSubstitute) and
-//!   [`dce`](dce::Dce), then a final [`compact`](compact::Compact).
+//!   [`dce`](dce::Dce), then a final [`compact`](compact::Compact)
+//!   followed by [`vectorize`](vectorize::Vectorize) over the settled
+//!   code.
 //!
 //! The fixed-point loop repeats until a full sweep reports
 //! [`PassResult::Unchanged`] from every pass or the iteration cap is
@@ -42,6 +44,7 @@ pub mod scalarize;
 pub mod testing;
 pub mod validate;
 pub mod value_number;
+pub mod vectorize;
 
 use std::collections::HashSet;
 use std::path::PathBuf;
@@ -111,6 +114,8 @@ pub struct OptStats {
     pub dce_removed: u64,
     /// Temp-vector elements replaced by scalar registers.
     pub temps_scalarized: u64,
+    /// Innermost loops marked lane-safe by the vectorize pass.
+    pub loops_vectorized: u64,
 }
 
 /// One optimization pass over i-code.
@@ -172,6 +177,7 @@ pub fn registered_passes() -> Vec<Box<dyn Pass>> {
         Box::new(forward_substitute::ForwardSubstitute),
         Box::new(dce::Dce),
         Box::new(compact::Compact),
+        Box::new(vectorize::Vectorize),
     ]
 }
 
@@ -279,12 +285,14 @@ impl PipelineBuilder {
 
     /// Registers the default-optimization fixed point (value numbering,
     /// forward substitution, DCE) plus the final compaction — the paper's
-    /// Section 3.4 set, minus scalarization.
+    /// Section 3.4 set, minus scalarization — followed by the vector
+    /// lowering analysis over the settled code.
     pub fn optimizer(self) -> Self {
         self.fixpoint(value_number::ValueNumber::default())
             .fixpoint(forward_substitute::ForwardSubstitute)
             .fixpoint(dce::Dce)
             .post(compact::Compact)
+            .post(vectorize::Vectorize)
     }
 
     /// Adds a pass to the run-once prologue group.
@@ -581,7 +589,8 @@ mod tests {
                 "value-number",
                 "forward-substitute",
                 "dce",
-                "compact"
+                "compact",
+                "vectorize"
             ]
         );
         assert!(o2.stats.instrs_after < o2.stats.instrs_before);

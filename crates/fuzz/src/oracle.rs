@@ -328,11 +328,16 @@ impl Oracle {
             Ok(Err(_)) => return None,
             Ok(Ok(u)) => u,
         };
-        let prog = match quiet_catch(|| spl_vm::lower(&unit.program)) {
+        let mut prog = match quiet_catch(|| spl_vm::lower(&unit.program)) {
             Err(p) => return bug(BugClass::Panic, p),
             Ok(Err(_)) => return None,
             Ok(Ok(p)) => p,
         };
+        // The engine cross-checks below demand bit-exactness, which
+        // only the never-fused mode guarantees; pin FMA off so a
+        // future default flip cannot silently weaken this stage. (FMA
+        // accuracy has its own ULP-bound test in `spl-vm`.)
+        prog.set_fma(false);
         if prog.n_out != 2 * want.len() || prog.n_in % 2 != 0 {
             return bug(
                 BugClass::EngineMismatch,
@@ -367,6 +372,33 @@ impl Oracle {
                     }
                 ),
             );
+        }
+        // Third leg: when a vector backend is active, re-run with the
+        // scalar fallback forced and demand bit-identity with the
+        // vector run — the lane backends promise exactly the scalar
+        // IEEE-754 operations, so any drift is an engine bug. (If
+        // scalar was already forced — env var or caller — `width()`
+        // is 0 and this leg is the same run twice; skip it.)
+        if spl_vm::simd::width() != 0 {
+            let mut y_scalar = vec![0.0; prog.n_out];
+            spl_vm::simd::set_force_scalar(true);
+            let r = quiet_catch(|| prog.run(&x, &mut y_scalar, &mut st));
+            spl_vm::simd::set_force_scalar(false);
+            if let Err(p) = r {
+                return bug(BugClass::Panic, p);
+            }
+            if let Some(i) = (0..y_new.len()).find(|&i| y_scalar[i].to_bits() != y_new[i].to_bits())
+            {
+                return bug(
+                    BugClass::EngineMismatch,
+                    format!(
+                        "vector vs forced-scalar at lane {i}: {:?} vs {:?} (backend {})",
+                        y_new[i],
+                        y_scalar[i],
+                        spl_vm::simd::backend_name()
+                    ),
+                );
+            }
         }
         self.compare(want, &deinterleave(&y_new))
             .and_then(|d| bug(BugClass::EngineMismatch, format!("vs dense: {d}")))

@@ -105,6 +105,61 @@ fn pinned_corpus_is_bit_identical_across_engines() {
     );
 }
 
+#[test]
+fn corpus_vector_and_forced_scalar_runs_are_bit_identical() {
+    // Every pinned `tests/corpus/` formula must produce bit-identical
+    // output whether marked loops run through the lane backend or
+    // through the forced scalar fallback — the equivalence the fuzz
+    // oracle's third leg checks per case, pinned here on the
+    // pass-validation corpus. A no-op when the host (or
+    // SPL_VM_FORCE_SCALAR) gives no vector backend.
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/corpus");
+    let mut entries: Vec<_> = std::fs::read_dir(dir)
+        .expect("tests/corpus exists")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "spl"))
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "empty corpus at {dir}");
+    let mut vectorized = 0u64;
+    for path in &entries {
+        let label = path.file_name().unwrap().to_string_lossy().into_owned();
+        let src = std::fs::read_to_string(path).unwrap();
+        let formula: String = src
+            .lines()
+            .filter(|l| !l.trim_start().starts_with(';'))
+            .collect();
+        let mut compiler = Compiler::new();
+        let unit = compiler
+            .compile_formula_str(&formula)
+            .unwrap_or_else(|e| panic!("{label}: corpus formula must compile: {e}"));
+        let vm = lower(&unit.program).unwrap_or_else(|e| panic!("{label}: must lower: {e}"));
+        vectorized += vm.resolve_stats().map_or(0, |s| s.vec_loops);
+        let (_, x) = workload(vm.n_in);
+        let mut y_vec = vec![0.0; vm.n_out];
+        let mut y_sc = vec![0.0; vm.n_out];
+        vm.run(&x, &mut y_vec, &mut VmState::new(&vm));
+        spl_vm::simd::set_force_scalar(true);
+        vm.run(&x, &mut y_sc, &mut VmState::new(&vm));
+        spl_vm::simd::set_force_scalar(false);
+        for i in 0..vm.n_out {
+            assert_eq!(
+                y_vec[i].to_bits(),
+                y_sc[i].to_bits(),
+                "{label}: vector vs forced-scalar at lane {i}: {} vs {}",
+                y_vec[i],
+                y_sc[i]
+            );
+        }
+    }
+    // The corpus must actually exercise the vector path: at least the
+    // looped formulas carry verified lane plans.
+    assert!(
+        vectorized >= 1,
+        "no corpus formula produced a verified vector loop"
+    );
+}
+
 fn vec_ref(kind: VecKind, c: i64, terms: &[(i64, u32)]) -> Place {
     Place::Vec(VecRef {
         kind,

@@ -164,6 +164,7 @@ pub fn expand_formula(
         complex: true,
         prov: ex.prov,
         prov_nodes: ex.prov_nodes,
+        vec_loops: vec![],
     };
     prog.validate()
         .map_err(|e| ExpandError::Invalid(format!("generated invalid i-code: {e}")))?;

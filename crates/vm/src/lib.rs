@@ -44,9 +44,10 @@ pub mod convert;
 pub mod profile;
 pub mod program;
 pub mod resolved;
+pub mod simd;
 pub mod timer;
 
 pub use profile::{LoopBlock, NodeCost, VmProfile};
-pub use program::{lower, VmError, VmProgram, VmState};
+pub use program::{lower, VmError, VmProgram, VmState, FMA_MAX_ULPS};
 pub use resolved::ResolveStats;
 pub use timer::{describe_policy, measure, measure_reference, measure_with_reps, Measurement};

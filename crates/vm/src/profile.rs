@@ -17,7 +17,12 @@ use spl_telemetry::json::Json;
 use spl_telemetry::Telemetry;
 
 /// Number of dynamic op classes the profiler distinguishes.
-pub const N_OP_CLASSES: usize = 14;
+pub const N_OP_CLASSES: usize = 24;
+
+/// First slot of the vector (lane-wide) op classes; `v<name>` at
+/// `VEC_CLASS_BASE + k` is the lane-wide counterpart of the scalar
+/// class at slot `k`.
+pub const VEC_CLASS_BASE: usize = 14;
 
 /// Op-class slot names, indexing [`VmProfile::op_counts`].
 pub const OP_CLASS_NAMES: [&str; N_OP_CLASSES] = [
@@ -35,16 +40,37 @@ pub const OP_CLASS_NAMES: [&str; N_OP_CLASSES] = [
     "loop_to_cell",
     "int_bin",
     "int_un",
+    "vadd",
+    "vsub",
+    "vmul",
+    "vdiv",
+    "vcopy",
+    "vneg",
+    "vmuladd",
+    "vmulsub",
+    "vnegmuladd",
+    "vbutterfly",
 ];
 
-/// Floating-point operations contributed by one execution of each op
-/// class (a fused multiply–add counts 2, a butterfly 2, a copy 0).
-pub const OP_CLASS_FLOPS: [u64; N_OP_CLASSES] = [1, 1, 1, 1, 0, 1, 2, 2, 2, 2, 0, 0, 0, 0];
+/// Floating-point operations contributed by one counted execution of
+/// each op class (a fused multiply–add counts 2, a butterfly 2, a
+/// copy 0). Vector classes are counted *per lane* — one count per
+/// iteration covered — so their per-count flop weights equal the
+/// scalar ones and run totals match scalar execution exactly.
+pub const OP_CLASS_FLOPS: [u64; N_OP_CLASSES] = [
+    1, 1, 1, 1, 0, 1, 2, 2, 2, 2, 0, 0, 0, 0, // scalar
+    1, 1, 1, 1, 0, 1, 2, 2, 2, 2, // vector (per lane)
+];
 
 /// Slots of the fused macro-op classes (muladd family + butterfly).
 const FUSED_CLASSES: std::ops::Range<usize> = 6..10;
 /// Slots of all float-arithmetic classes (scalar + fused).
 const FLOAT_CLASSES: std::ops::Range<usize> = 0..10;
+/// Slots of the lane-wide op classes.
+const VEC_CLASSES: std::ops::Range<usize> = VEC_CLASS_BASE..N_OP_CLASSES;
+/// Slots of the lane-wide fused classes (vmuladd family +
+/// vbutterfly).
+const VEC_FUSED_CLASSES: std::ops::Range<usize> = VEC_CLASS_BASE + 6..VEC_CLASS_BASE + 10;
 
 /// Cost attributed to one formula node (self figures only; see
 /// [`VmProfile::inclusive_ns`] for subtree rollups).
@@ -107,15 +133,35 @@ impl VmProfile {
     }
 
     /// Dynamic float-arithmetic macro-ops executed (fused ops count
-    /// once each).
+    /// once each; vector classes count one per lane, i.e. per covered
+    /// iteration, so this total is width-independent).
     pub fn float_ops(&self) -> u64 {
-        self.op_counts[FLOAT_CLASSES].iter().sum()
+        self.op_counts[FLOAT_CLASSES].iter().sum::<u64>()
+            + self.op_counts[VEC_CLASSES].iter().sum::<u64>()
     }
 
     /// Dynamic fused macro-ops executed (multiply–add family and
-    /// butterflies).
+    /// butterflies, scalar and lane-wide).
     pub fn fused_ops(&self) -> u64 {
-        self.op_counts[FUSED_CLASSES].iter().sum()
+        self.op_counts[FUSED_CLASSES].iter().sum::<u64>()
+            + self.op_counts[VEC_FUSED_CLASSES].iter().sum::<u64>()
+    }
+
+    /// Dynamic lane-ops executed through vector plans (one per
+    /// iteration each lane-wide macro-op covered).
+    pub fn vector_lane_ops(&self) -> u64 {
+        self.op_counts[VEC_CLASSES].iter().sum()
+    }
+
+    /// Fraction of executed float macro-ops that ran lane-wide, in
+    /// `0.0..=1.0` (0 when no float ops ran).
+    pub fn vector_utilization(&self) -> f64 {
+        let total = self.float_ops();
+        if total == 0 {
+            0.0
+        } else {
+            self.vector_lane_ops() as f64 / total as f64
+        }
     }
 
     /// Fraction of executed float macro-ops that are fused, in
@@ -154,6 +200,7 @@ impl VmProfile {
         tel.add("prof.ops", self.op_counts.iter().sum::<u64>());
         tel.add("prof.float_ops", self.float_ops());
         tel.add("prof.fused_ops", self.fused_ops());
+        tel.add("prof.vec_lane_ops", self.vector_lane_ops());
         tel.add("prof.flops", self.flops());
         tel.add(
             "prof.wall_ns",
@@ -166,6 +213,7 @@ impl VmProfile {
         tel.add("prof.nodes", self.nodes.len() as u64);
         tel.add("prof.loops", self.loops.len() as u64);
         tel.set_metric("prof.fused_utilization", self.fused_utilization());
+        tel.set_metric("prof.vec_utilization", self.vector_utilization());
     }
 
     /// The full report as JSON.
@@ -220,6 +268,8 @@ impl VmProfile {
             ("float_ops", Json::Num(self.float_ops() as f64)),
             ("fused_ops", Json::Num(self.fused_ops() as f64)),
             ("fused_utilization", Json::Num(self.fused_utilization())),
+            ("vec_lane_ops", Json::Num(self.vector_lane_ops() as f64)),
+            ("vec_utilization", Json::Num(self.vector_utilization())),
             ("op_counts", op_counts),
             ("nodes", nodes),
             ("loops", loops),

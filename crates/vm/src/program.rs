@@ -55,6 +55,14 @@ impl fmt::Display for VmError {
 
 impl Error for VmError {}
 
+/// Documented worst-case drift of FMA mode from never-fused
+/// execution, in ULPs per output element, for the transform sizes
+/// the VM test corpus pins (n ≤ 64). Fusing drops one rounding per
+/// multiply–add, and the drift compounds across butterfly stages —
+/// but stays far below this bound in practice; the
+/// `fma_stays_within_documented_ulp_bound` test enforces it.
+pub const FMA_MAX_ULPS: u64 = 64;
+
 /// A runtime address: `base + Σ coeff·loop[slot]`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Addr {
@@ -177,6 +185,10 @@ pub enum Op {
         lo: i64,
         /// Index of the matching end.
         end_pc: usize,
+        /// Advisory lane-safety mark from the compiler's vectorize
+        /// pass. The reference executor ignores it; the resolver
+        /// re-verifies it before building a vector plan.
+        vec: bool,
     },
     /// Loop latch: increments and jumps back while `loop[var] < hi`.
     LoopEnd {
@@ -286,7 +298,13 @@ impl VmProgram {
     ///
     /// Off by default: single-rounding FMA is faster on FMA-capable
     /// targets but **not bit-identical** to the reference executor
-    /// (and slower where `f64::mul_add` falls back to libm).
+    /// (and slower where `f64::mul_add` falls back to libm). The
+    /// differential harnesses therefore pin FMA off; with it on,
+    /// outputs may drift from the never-fused result by up to
+    /// [`FMA_MAX_ULPS`] ULPs per element (each fusion removes one
+    /// rounding, and the drift compounds across butterfly stages).
+    /// The vector path is also skipped in FMA mode — the lane
+    /// backends never fuse.
     pub fn set_fma(&mut self, on: bool) {
         if let Ok(rp) = &mut self.resolved {
             rp.set_fma(on);
@@ -422,7 +440,9 @@ impl VmProgram {
                     r[*dst as usize] = if *neg { -av } else { av };
                     pc += 1;
                 }
-                Op::LoopStart { var, lo, end_pc } => {
+                Op::LoopStart {
+                    var, lo, end_pc, ..
+                } => {
                     // Zero-trip loops (possible only in hand-built
                     // programs; the compiler never emits them) skip to
                     // the matching end, exactly like the interpreter.
@@ -657,6 +677,7 @@ pub fn lower(prog: &IProgram) -> Result<VmProgram, VmError> {
                     var: var.0,
                     lo: *lo,
                     end_pc: usize::MAX, // patched at DoEnd
+                    vec: prog.vec_loops.contains(&var.0),
                 });
             }
             Instr::DoEnd => {
@@ -1201,6 +1222,46 @@ mod tests {
         }
     }
 
+    /// Distance between two finite doubles in units in the last place,
+    /// via the standard monotone mapping of the IEEE bit patterns.
+    fn ulp_distance(a: f64, b: f64) -> u64 {
+        fn ordered(x: f64) -> i64 {
+            let bits = x.to_bits() as i64;
+            if bits < 0 {
+                i64::MIN.wrapping_sub(bits)
+            } else {
+                bits
+            }
+        }
+        ordered(a).abs_diff(ordered(b))
+    }
+
+    #[test]
+    fn fma_stays_within_documented_ulp_bound() {
+        // FMA-on output must stay within FMA_MAX_ULPS of never-fused
+        // output — the bound set_fma's docs promise and the fuzz
+        // harness relies on when it pins FMA off for bit-exactness.
+        for src in [
+            "(compose (tensor (F 2) (I 4)) (T 8 4) (tensor (I 2) (F 4)) (L 8 2))",
+            "(compose (tensor (F 4) (I 4)) (T 16 4) (tensor (I 4) (F 4)) (L 16 4))",
+        ] {
+            let mut vm = compile(src, CompilerOptions::default());
+            let x: Vec<f64> = (0..vm.n_in).map(|i| ((i as f64) * 0.47).sin()).collect();
+            let mut y_plain = vec![0.0; vm.n_out];
+            vm.run(&x, &mut y_plain, &mut VmState::new(&vm));
+            vm.set_fma(true);
+            let mut y_fma = vec![0.0; vm.n_out];
+            vm.run(&x, &mut y_fma, &mut VmState::new(&vm));
+            for (i, (a, b)) in y_fma.iter().zip(&y_plain).enumerate() {
+                let d = ulp_distance(*a, *b);
+                assert!(
+                    d <= crate::program::FMA_MAX_ULPS,
+                    "{src}: output {i} drifts {d} ULPs ({a} vs {b})"
+                );
+            }
+        }
+    }
+
     #[test]
     fn float_and_int_op_counts_are_split() {
         // Unoptimized code keeps $r bookkeeping; the split counters
@@ -1293,5 +1354,199 @@ mod tests {
         let mut y2 = vec![0.0; vm.n_out];
         vm.run(&x1, &mut y2, &mut st);
         assert_eq!(y1, y2);
+    }
+
+    /// Serializes tests that flip the process-wide forced-scalar
+    /// switch so they cannot race each other.
+    fn force_scalar_lock() -> std::sync::MutexGuard<'static, ()> {
+        crate::simd::override_lock()
+    }
+
+    /// A looped formula whose inner `⊗ I_m` loops the vectorize pass
+    /// marks and the resolver plans.
+    const VEC_SRC: &str = "(compose (tensor (F 2) (I 8)) (T 16 8) (tensor (I 2) (F 8)) (L 16 2))";
+
+    #[test]
+    fn vector_plans_engage_on_looped_tensor_code() {
+        let vm = compile(VEC_SRC, CompilerOptions::default());
+        let stats = *vm.resolve_stats().expect("resolved");
+        assert!(stats.vec_loops > 0, "no loop was planned: {stats:?}");
+        assert!(stats.vec_ops > 0, "{stats:?}");
+        let mut tel = spl_telemetry::Telemetry::new();
+        stats.record(&mut tel);
+        assert_eq!(tel.counter("vm.vec.loops"), Some(stats.vec_loops));
+        assert_eq!(tel.counter("vm.vec.demoted"), Some(stats.vec_demoted));
+        assert_eq!(tel.counter("vm.vec.ops"), Some(stats.vec_ops));
+    }
+
+    #[test]
+    fn forced_scalar_and_vector_execution_bit_identical() {
+        let _g = force_scalar_lock();
+        // Odd sizes exercise remainder lanes: trip counts that are not
+        // multiples of any lane width (2 or 4) leave 1–3 scalar
+        // iterations after the chunks.
+        let sources = [
+            VEC_SRC,
+            "(tensor (F 2) (I 3))",
+            "(tensor (F 2) (I 5))",
+            "(tensor (F 2) (I 7))",
+            "(compose (F 4) (F 4))",
+        ];
+        for src in sources {
+            let vm = compile(src, CompilerOptions::default());
+            assert!(vm.is_resolved(), "{src}: {:?}", vm.resolve_fallback());
+            let x: Vec<f64> = (0..vm.n_in).map(|i| ((i as f64) * 1.37).cos()).collect();
+            let mut y_vec = vec![0.0; vm.n_out];
+            let mut y_sca = vec![0.0; vm.n_out];
+            let mut y_ref = vec![0.0; vm.n_out];
+            crate::simd::set_force_scalar(false);
+            vm.run(&x, &mut y_vec, &mut VmState::new(&vm));
+            crate::simd::set_force_scalar(true);
+            vm.run(&x, &mut y_sca, &mut VmState::new(&vm));
+            crate::simd::set_force_scalar(false);
+            vm.run_reference(&x, &mut y_ref, &mut VmState::new(&vm));
+            for i in 0..vm.n_out {
+                assert_eq!(
+                    y_vec[i].to_bits(),
+                    y_sca[i].to_bits(),
+                    "{src}: vector vs forced-scalar at {i}"
+                );
+                assert_eq!(
+                    y_vec[i].to_bits(),
+                    y_ref[i].to_bits(),
+                    "{src}: vector vs reference at {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_trip_vec_hinted_loop_is_demoted_and_skipped() {
+        use spl_icode::{Affine, Instr, LoopVar, Place, UnOp, Value, VecKind, VecRef};
+        // A (bogus) lane-safety mark on a zero-trip loop: the resolver
+        // must demote it, and the body must still never execute.
+        let prog = spl_icode::IProgram {
+            instrs: vec![
+                Instr::DoStart {
+                    var: LoopVar(0),
+                    lo: 5,
+                    hi: 2,
+                    unroll: false,
+                },
+                Instr::Un {
+                    op: UnOp::Copy,
+                    dst: Place::Vec(VecRef {
+                        kind: VecKind::Out,
+                        idx: Affine {
+                            c: 0,
+                            terms: vec![(1, LoopVar(0))],
+                        },
+                    }),
+                    a: Value::Const(spl_numeric::Complex::real(9.0)),
+                },
+                Instr::DoEnd,
+            ],
+            n_in: 1,
+            n_out: 1,
+            n_loop: 1,
+            complex: false,
+            vec_loops: vec![0],
+            ..spl_icode::IProgram::empty()
+        };
+        let vm = lower(&prog).unwrap();
+        let stats = *vm.resolve_stats().expect("resolved");
+        assert_eq!(stats.vec_loops, 0, "{stats:?}");
+        assert_eq!(stats.vec_demoted, 1, "{stats:?}");
+        let mut y = [0.0];
+        vm.run(&[0.0], &mut y, &mut VmState::new(&vm));
+        assert_eq!(y[0], 0.0, "zero-trip body must not execute");
+    }
+
+    #[test]
+    fn cross_iteration_alias_hint_is_demoted_not_trusted() {
+        use spl_icode::{Affine, BinOp, Instr, LoopVar, Place, Value, VecKind, VecRef};
+        // out[i+1] = out[i] + in[i]: a loop-carried recurrence behind
+        // aliased subscripts, wrongly marked lane-safe. The resolver
+        // must demote the hint and both engines must agree.
+        let vec = |kind: VecKind, c: i64| {
+            Place::Vec(VecRef {
+                kind,
+                idx: Affine {
+                    c,
+                    terms: vec![(1, LoopVar(0))],
+                },
+            })
+        };
+        let prog = spl_icode::IProgram {
+            instrs: vec![
+                Instr::DoStart {
+                    var: LoopVar(0),
+                    lo: 0,
+                    hi: 5,
+                    unroll: false,
+                },
+                Instr::Bin {
+                    op: BinOp::Add,
+                    dst: vec(VecKind::Out, 1),
+                    a: Value::Place(vec(VecKind::Out, 0)),
+                    b: Value::Place(vec(VecKind::In, 0)),
+                },
+                Instr::DoEnd,
+            ],
+            n_in: 7,
+            n_out: 7,
+            n_loop: 1,
+            complex: false,
+            vec_loops: vec![0],
+            ..spl_icode::IProgram::empty()
+        };
+        let vm = lower(&prog).unwrap();
+        let stats = *vm.resolve_stats().expect("resolved");
+        assert_eq!(stats.vec_loops, 0, "recurrence must not be planned");
+        assert_eq!(stats.vec_demoted, 1, "{stats:?}");
+        let x: Vec<f64> = (0..7).map(|i| i as f64 + 1.0).collect();
+        let mut y_new = vec![0.0; 7];
+        let mut y_ref = vec![0.0; 7];
+        vm.run(&x, &mut y_new, &mut VmState::new(&vm));
+        vm.run_reference(&x, &mut y_ref, &mut VmState::new(&vm));
+        assert_eq!(y_new, y_ref);
+    }
+
+    #[test]
+    fn profiled_run_counts_vector_lane_ops() {
+        let _g = force_scalar_lock();
+        crate::simd::set_force_scalar(false);
+        if crate::simd::width() == 0 {
+            return; // no vector backend on this target
+        }
+        let vm = compile(VEC_SRC, CompilerOptions::default());
+        assert!(vm.resolve_stats().unwrap().vec_loops > 0);
+        let x: Vec<f64> = (0..vm.n_in).map(|i| (i as f64 * 0.11).sin()).collect();
+        let mut y = vec![0.0; vm.n_out];
+        let mut y_ref = vec![0.0; vm.n_out];
+        let prof = vm
+            .run_profiled(&x, &mut y, &mut VmState::new(&vm))
+            .expect("resolved");
+        vm.run_reference(&x, &mut y_ref, &mut VmState::new(&vm));
+        for (a, b) in y.iter().zip(&y_ref) {
+            assert_eq!(a.to_bits(), b.to_bits(), "profiled vector run diverged");
+        }
+        assert!(
+            prof.vector_lane_ops() > 0,
+            "vector classes did not count: {:?}",
+            prof.op_counts
+        );
+        // Lane-op counting keeps totals width-independent: the same
+        // program forced scalar reports identical float-op and flop
+        // totals, just binned into the scalar classes.
+        crate::simd::set_force_scalar(true);
+        let mut y2 = vec![0.0; vm.n_out];
+        let prof_scalar = vm
+            .run_profiled(&x, &mut y2, &mut VmState::new(&vm))
+            .expect("resolved");
+        crate::simd::set_force_scalar(false);
+        assert_eq!(prof_scalar.vector_lane_ops(), 0);
+        assert_eq!(prof.float_ops(), prof_scalar.float_ops());
+        assert_eq!(prof.flops(), prof_scalar.flops());
     }
 }

@@ -29,15 +29,28 @@
 //! region, arithmetic overflow in stride precomputation) stay
 //! unresolved; [`VmProgram::run`] then falls back to the checked
 //! reference executor, preserving the old observable behavior.
+//!
+//! 4. **Vector plans**: for loops the compiler's `vectorize` pass
+//!    marked lane-safe, the resolver independently re-verifies safety
+//!    at the cursor level and attaches a [`VecPlan`] — the loop body
+//!    as lane-wide macro-ops. Execution then runs `width()` iterations
+//!    per chunk through [`crate::simd`], falling back to the scalar
+//!    body for the remainder (and entirely, when the fallback is
+//!    forced or FMA mode is on). Vector execution performs the exact
+//!    same IEEE-754 operations as scalar execution, so it stays
+//!    bit-identical to the reference executor. Hints that fail
+//!    re-verification are silently demoted (counted in
+//!    `vm.vec.demoted`) — the mark is advisory, never trusted.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
 use spl_icode::{BinOp, ProvNode};
 use spl_telemetry::Telemetry;
 
-use crate::profile::{build_nodes, LoopBlock, VmProfile, N_OP_CLASSES};
+use crate::profile::{build_nodes, LoopBlock, VmProfile, N_OP_CLASSES, VEC_CLASS_BASE};
 use crate::program::{Addr, Dst, ISrc, Op, Src, VmProgram, VmState};
+use crate::simd::{self, Lanes, MAX_VEC_WIDTH};
 
 /// Counters from fusion and loop strength reduction, reported through
 /// `spl-telemetry` as `vm.fuse.*` / `vm.lsr.*`.
@@ -56,6 +69,14 @@ pub struct ResolveStats {
     pub strength_reduced_steps: u64,
     /// Affine subscript terms hoisted out of per-access evaluation.
     pub hoisted_terms: u64,
+    /// Compiler-hinted loops the resolver verified and planned for
+    /// lane-wide execution.
+    pub vec_loops: u64,
+    /// Compiler hints demoted to scalar execution because resolver-side
+    /// re-verification could not prove lane safety.
+    pub vec_demoted: u64,
+    /// Lane-wide macro-ops across all vector plans (static count).
+    pub vec_ops: u64,
 }
 
 impl ResolveStats {
@@ -67,6 +88,9 @@ impl ResolveStats {
         tel.add("vm.lsr.cursors", self.cursors);
         tel.add("vm.lsr.steps", self.strength_reduced_steps);
         tel.add("vm.lsr.hoisted_terms", self.hoisted_terms);
+        tel.add("vm.vec.loops", self.vec_loops);
+        tel.add("vm.vec.demoted", self.vec_demoted);
+        tel.add("vm.vec.ops", self.vec_ops);
     }
 }
 
@@ -184,7 +208,122 @@ enum RNode {
         /// Range into [`ResolvedProgram::steps`]: the cursor strides
         /// applied at this loop's latch.
         steps: (u32, u32),
+        /// Index into [`ResolvedProgram::vec_plans`] when the resolver
+        /// verified this loop for lane-wide execution.
+        vec: Option<u32>,
     },
+}
+
+/// Upper bound on `$f` registers promoted to lane registers per
+/// vector plan (past it the hint is demoted). The fully unrolled
+/// 64-point leaf body holds ~1400 live registers, so the cap sits
+/// well above that; plans at or below [`SMALL_LANE_CELLS`] run from
+/// a stack buffer, larger ones (entered a handful of times per run)
+/// from a per-entry heap buffer.
+const MAX_LANE_CELLS: usize = 2048;
+
+/// Lane-register count up to which the chunk executors use a fixed
+/// stack buffer instead of allocating.
+const SMALL_LANE_CELLS: usize = 64;
+
+/// Where a lane-wide operand's lanes come from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum VSrc {
+    /// Lane `l` reads `arena[cur[c] + l·s]`; `s == 0` broadcasts a
+    /// loop-invariant cell (constant, read-only `$f` register, or
+    /// invariant subscript).
+    Mem { c: u32, s: i64 },
+    /// An iteration-private `$f` register promoted to a lane register.
+    Lane(u16),
+}
+
+/// Where a lane-wide result goes (same encoding as [`VSrc`]; memory
+/// destinations always have `s ≥ 1`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum VDst {
+    /// Lane `l` writes `arena[cur[c] + l·s]`.
+    Mem { c: u32, s: i64 },
+    /// An iteration-private `$f` register promoted to a lane register.
+    Lane(u16),
+}
+
+/// A lane-wide macro-op: the vector counterpart of the float [`ROp`]s,
+/// executing one scalar op across `W` consecutive iterations at once.
+#[derive(Debug, Clone, PartialEq)]
+enum VecOp {
+    Add {
+        d: VDst,
+        a: VSrc,
+        b: VSrc,
+    },
+    Sub {
+        d: VDst,
+        a: VSrc,
+        b: VSrc,
+    },
+    Mul {
+        d: VDst,
+        a: VSrc,
+        b: VSrc,
+    },
+    Div {
+        d: VDst,
+        a: VSrc,
+        b: VSrc,
+    },
+    Copy {
+        d: VDst,
+        a: VSrc,
+    },
+    Neg {
+        d: VDst,
+        a: VSrc,
+    },
+    /// `d = a·b + c` (two roundings, like the scalar non-FMA path).
+    MulAdd {
+        d: VDst,
+        a: VSrc,
+        b: VSrc,
+        c: VSrc,
+    },
+    /// `d = a·b − c`.
+    MulSub {
+        d: VDst,
+        a: VSrc,
+        b: VSrc,
+        c: VSrc,
+    },
+    /// `d = c − a·b`.
+    NegMulAdd {
+        d: VDst,
+        a: VSrc,
+        b: VSrc,
+        c: VSrc,
+    },
+    /// `d1 = a + b; d2 = a − b`.
+    Butterfly {
+        d1: VDst,
+        d2: VDst,
+        a: VSrc,
+        b: VSrc,
+    },
+}
+
+/// A verified lane-wide execution plan for one counted loop: the body
+/// re-expressed as [`VecOp`]s, executed op-major over chunks of `W`
+/// consecutive iterations. Additive — the scalar body nodes stay in
+/// place for remainder iterations and the forced-scalar fallback.
+#[derive(Debug, Clone, PartialEq, Default)]
+struct VecPlan {
+    ops: Vec<VecOp>,
+    /// Formula-node provenance per vector op (parallel to `ops`, or
+    /// empty when the program carries none).
+    prov: Vec<u32>,
+    /// Cursors of the `$f` cells promoted to lane registers, indexed
+    /// by lane-register id; lane `W−1` is written back to the arena
+    /// after the chunks so trailing scalar code observes the value the
+    /// last iteration left.
+    lane_cells: Vec<u32>,
 }
 
 /// A fully resolved, fused, block-structured program.
@@ -220,6 +359,8 @@ pub(crate) struct ResolvedProgram {
     /// loop cannot be handed an undersized state.
     need_r: usize,
     need_loop: usize,
+    /// Verified lane-wide plans, indexed by `RNode::Loop::vec`.
+    vec_plans: Vec<VecPlan>,
     stats: ResolveStats,
 }
 
@@ -298,22 +439,39 @@ impl ResolvedProgram {
                     lo: l0,
                     end,
                     steps,
+                    vec,
                 } => {
                     let end = *end as usize;
                     let stp = &self.steps[steps.0 as usize..steps.1 as usize];
+                    // Lane-wide chunks first. FMA mode stays scalar:
+                    // the vector path reproduces the two-rounding
+                    // scalar sequence, not the fused one.
+                    let done = match vec {
+                        Some(p) if !self.fma => {
+                            run_chunks(&self.vec_plans[*p as usize], *trips, stp, arena, cur)
+                        }
+                        _ => 0,
+                    };
                     if self.track_loops {
                         // Mirror the reference executor exactly: the
                         // variable is set only when the body runs and
                         // is left at `hi` (not `hi+1`) afterwards.
-                        for t in 0..*trips {
+                        for t in done..*trips {
                             loops[*var as usize] = l0 + t as i64;
                             self.exec(i + 1, end, arena, cur, r, loops);
                             for &(k, d) in stp {
                                 cur[k as usize] += d;
                             }
                         }
+                        if done == *trips && *trips > 0 {
+                            // No scalar remainder ran; leave the
+                            // variable where the scalar loop would.
+                            // (Plan verification guarantees the body
+                            // itself never reads it.)
+                            loops[*var as usize] = l0 + (*trips - 1) as i64;
+                        }
                     } else {
-                        for _ in 0..*trips {
+                        for _ in done..*trips {
                             self.exec(i + 1, end, arena, cur, r, loops);
                             for &(k, d) in stp {
                                 cur[k as usize] += d;
@@ -488,13 +646,32 @@ impl ResolvedProgram {
                     lo: l0,
                     end,
                     steps,
+                    vec,
                 } => {
                     pb.attribute(p);
                     let end = *end as usize;
                     let stp = &self.steps[steps.0 as usize..steps.1 as usize];
                     let t0 = Instant::now();
                     pb.depth += 1;
-                    for t in 0..*trips {
+                    // Mirror the plain engine's chunking (at the same
+                    // active width) so vector-op counts and
+                    // attribution reflect real vector execution. The
+                    // software lanes below are bit-identical to both
+                    // the SIMD and the scalar path.
+                    let w = simd::width();
+                    let done = match vec {
+                        Some(pl) if !self.fma && w >= 2 => profiled_chunks(
+                            &self.vec_plans[*pl as usize],
+                            *trips,
+                            w,
+                            stp,
+                            arena,
+                            cur,
+                            pb,
+                        ),
+                        _ => 0,
+                    };
+                    for t in done..*trips {
                         if self.track_loops {
                             loops[*var as usize] = l0 + t as i64;
                         }
@@ -503,10 +680,289 @@ impl ResolvedProgram {
                             cur[k as usize] += d;
                         }
                     }
+                    if self.track_loops && done == *trips && *trips > 0 {
+                        loops[*var as usize] = l0 + (*trips - 1) as i64;
+                    }
                     pb.depth -= 1;
                     pb.loop_done(i, pb.depth, *trips, t0.elapsed().as_nanos());
                     i = end;
                 }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lane-wide (vector) plan execution.
+// ---------------------------------------------------------------------------
+
+/// Runs as many full `W`-iteration chunks of a planned loop as the
+/// active SIMD backend allows and returns how many iterations were
+/// covered (0 when no backend is active or the fallback is forced —
+/// the caller then runs everything through the scalar body).
+fn run_chunks(
+    plan: &VecPlan,
+    trips: u64,
+    stp: &[(u32, i64)],
+    arena: &mut [f64],
+    cur: &mut [i64],
+) -> u64 {
+    match simd::active() {
+        simd::Backend::Scalar => 0,
+        #[cfg(target_arch = "x86_64")]
+        simd::Backend::Sse2 => chunks_generic::<simd::Sse2>(plan, trips, stp, arena, cur),
+        #[cfg(target_arch = "x86_64")]
+        simd::Backend::Avx => {
+            // SAFETY: `Backend::Avx` is only reported when runtime
+            // detection confirmed AVX support.
+            unsafe { chunks_avx(plan, trips, stp, arena, cur) }
+        }
+        #[cfg(target_arch = "aarch64")]
+        simd::Backend::Neon => chunks_generic::<simd::Neon>(plan, trips, stp, arena, cur),
+    }
+}
+
+/// AVX entry point: the `target_feature` frame into which the generic
+/// chunk executor (and the AVX intrinsics inside it) inlines.
+///
+/// # Safety
+///
+/// The CPU must support AVX.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn chunks_avx(
+    plan: &VecPlan,
+    trips: u64,
+    stp: &[(u32, i64)],
+    arena: &mut [f64],
+    cur: &mut [i64],
+) -> u64 {
+    chunks_generic::<simd::Avx>(plan, trips, stp, arena, cur)
+}
+
+/// Executes `trips / W` full chunks op-major: each [`VecOp`] runs `W`
+/// consecutive iterations at once, then the latch strides advance by
+/// `W` steps. Plan verification guarantees op-major order is
+/// observably identical to iteration order (no loop-carried values,
+/// no memory conflicts at lane distance), and every lane performs the
+/// exact scalar IEEE-754 op — so the result is bit-identical to
+/// scalar execution.
+#[inline(always)]
+fn chunks_generic<L: Lanes>(
+    plan: &VecPlan,
+    trips: u64,
+    stp: &[(u32, i64)],
+    arena: &mut [f64],
+    cur: &mut [i64],
+) -> u64 {
+    let w = L::W as u64;
+    let chunks = trips / w;
+    if chunks == 0 {
+        return 0;
+    }
+    let n_cells = plan.lane_cells.len();
+    let mut small = [L::splat(0.0); SMALL_LANE_CELLS];
+    let mut big = Vec::new();
+    let lanes: &mut [L::V] = if n_cells <= SMALL_LANE_CELLS {
+        &mut small
+    } else {
+        big.resize(n_cells, L::splat(0.0));
+        &mut big
+    };
+    for _ in 0..chunks {
+        for op in &plan.ops {
+            // SAFETY: lane `l` of a `Mem` operand dereferences exactly
+            // the address the scalar iteration `t + l` of this chunk
+            // dereferences through the same cursor (the lane stride is
+            // the cursor's per-iteration latch stride), and chunks only
+            // run with `W` full iterations remaining — so every lane
+            // address is one resolve-time bounds validation already
+            // covered (see `exec_op`).
+            unsafe { exec_vec_op::<L>(op, lanes, arena, cur) };
+        }
+        for &(k, d) in stp {
+            cur[k as usize] += d * w as i64;
+        }
+    }
+    // Lane registers are iteration-private (written before read every
+    // iteration), so only the last iteration's value — lane W−1 of the
+    // last chunk — is observable after the loop; write it back for
+    // trailing scalar code. Remainder iterations, if any, overwrite it.
+    for (k, &cell) in plan.lane_cells.iter().enumerate() {
+        arena[cur[cell as usize] as usize] = L::lane(lanes[k], L::W - 1);
+    }
+    chunks * w
+}
+
+/// Executes one lane-wide macro-op.
+///
+/// # Safety
+///
+/// Every `Mem` lane address must be in bounds (see the call-site
+/// comment in [`chunks_generic`]); lane-register ids index `lanes`
+/// by plan construction.
+#[inline(always)]
+unsafe fn exec_vec_op<L: Lanes>(op: &VecOp, lanes: &mut [L::V], arena: &mut [f64], cur: &[i64]) {
+    macro_rules! ld {
+        ($s:expr) => {
+            match $s {
+                VSrc::Mem { c, s } => L::load(
+                    arena
+                        .as_ptr()
+                        .offset(*cur.get_unchecked(*c as usize) as isize),
+                    *s,
+                ),
+                VSrc::Lane(k) => *lanes.get_unchecked(*k as usize),
+            }
+        };
+    }
+    macro_rules! st {
+        ($d:expr, $v:expr) => {{
+            let v = $v;
+            match $d {
+                VDst::Mem { c, s } => L::store(
+                    arena
+                        .as_mut_ptr()
+                        .offset(*cur.get_unchecked(*c as usize) as isize),
+                    *s,
+                    v,
+                ),
+                VDst::Lane(k) => *lanes.get_unchecked_mut(*k as usize) = v,
+            }
+        }};
+    }
+    match op {
+        VecOp::Add { d, a, b } => st!(d, L::add(ld!(a), ld!(b))),
+        VecOp::Sub { d, a, b } => st!(d, L::sub(ld!(a), ld!(b))),
+        VecOp::Mul { d, a, b } => st!(d, L::mul(ld!(a), ld!(b))),
+        VecOp::Div { d, a, b } => st!(d, L::div(ld!(a), ld!(b))),
+        VecOp::Copy { d, a } => st!(d, ld!(a)),
+        VecOp::Neg { d, a } => st!(d, L::neg(ld!(a))),
+        VecOp::MulAdd { d, a, b, c } => st!(d, L::add(L::mul(ld!(a), ld!(b)), ld!(c))),
+        VecOp::MulSub { d, a, b, c } => st!(d, L::sub(L::mul(ld!(a), ld!(b)), ld!(c))),
+        VecOp::NegMulAdd { d, a, b, c } => st!(d, L::sub(ld!(c), L::mul(ld!(a), ld!(b)))),
+        VecOp::Butterfly { d1, d2, a, b } => {
+            let av = ld!(a);
+            let bv = ld!(b);
+            st!(d1, L::add(av, bv));
+            st!(d2, L::sub(av, bv));
+        }
+    }
+}
+
+/// The profiled mirror of [`chunks_generic`]: same chunking at the
+/// caller-supplied width, but through checked software lanes, with
+/// per-op provenance attribution and vector op-class counting. Lane
+/// arithmetic is plain f64, which is bit-identical to the SIMD
+/// backends by their contract.
+#[allow(clippy::too_many_arguments)]
+fn profiled_chunks(
+    plan: &VecPlan,
+    trips: u64,
+    w: usize,
+    stp: &[(u32, i64)],
+    arena: &mut [f64],
+    cur: &mut [i64],
+    pb: &mut ProfBuf,
+) -> u64 {
+    let chunks = trips / w as u64;
+    if chunks == 0 {
+        return 0;
+    }
+    let has_prov = !plan.prov.is_empty();
+    let mut lanes = vec![[0.0f64; MAX_VEC_WIDTH]; plan.lane_cells.len()];
+    for _ in 0..chunks {
+        for (j, op) in plan.ops.iter().enumerate() {
+            pb.attribute(if has_prov { plan.prov[j] } else { u32::MAX });
+            pb.count_vec(op, w);
+            soft_vec_op(op, w, &mut lanes, arena, cur);
+        }
+        for &(k, d) in stp {
+            cur[k as usize] += d * w as i64;
+        }
+    }
+    for (k, &cell) in plan.lane_cells.iter().enumerate() {
+        arena[cur[cell as usize] as usize] = lanes[k][w - 1];
+    }
+    chunks * w as u64
+}
+
+fn soft_ld(s: &VSrc, l: usize, lanes: &[[f64; MAX_VEC_WIDTH]], arena: &[f64], cur: &[i64]) -> f64 {
+    match s {
+        VSrc::Mem { c, s } => arena[(cur[*c as usize] + l as i64 * s) as usize],
+        VSrc::Lane(k) => lanes[*k as usize][l],
+    }
+}
+
+fn soft_st(
+    d: &VDst,
+    l: usize,
+    v: f64,
+    lanes: &mut [[f64; MAX_VEC_WIDTH]],
+    arena: &mut [f64],
+    cur: &[i64],
+) {
+    match d {
+        VDst::Mem { c, s } => arena[(cur[*c as usize] + l as i64 * s) as usize] = v,
+        VDst::Lane(k) => lanes[*k as usize][l] = v,
+    }
+}
+
+/// One lane-wide macro-op over software lanes, lane by lane (safe:
+/// plan verification rejects any cross-lane conflict within an op).
+fn soft_vec_op(
+    op: &VecOp,
+    w: usize,
+    lanes: &mut [[f64; MAX_VEC_WIDTH]],
+    arena: &mut [f64],
+    cur: &[i64],
+) {
+    for l in 0..w {
+        match op {
+            VecOp::Add { d, a, b } => {
+                let v = soft_ld(a, l, lanes, arena, cur) + soft_ld(b, l, lanes, arena, cur);
+                soft_st(d, l, v, lanes, arena, cur);
+            }
+            VecOp::Sub { d, a, b } => {
+                let v = soft_ld(a, l, lanes, arena, cur) - soft_ld(b, l, lanes, arena, cur);
+                soft_st(d, l, v, lanes, arena, cur);
+            }
+            VecOp::Mul { d, a, b } => {
+                let v = soft_ld(a, l, lanes, arena, cur) * soft_ld(b, l, lanes, arena, cur);
+                soft_st(d, l, v, lanes, arena, cur);
+            }
+            VecOp::Div { d, a, b } => {
+                let v = soft_ld(a, l, lanes, arena, cur) / soft_ld(b, l, lanes, arena, cur);
+                soft_st(d, l, v, lanes, arena, cur);
+            }
+            VecOp::Copy { d, a } => {
+                let v = soft_ld(a, l, lanes, arena, cur);
+                soft_st(d, l, v, lanes, arena, cur);
+            }
+            VecOp::Neg { d, a } => {
+                let v = -soft_ld(a, l, lanes, arena, cur);
+                soft_st(d, l, v, lanes, arena, cur);
+            }
+            VecOp::MulAdd { d, a, b, c } => {
+                let v = soft_ld(a, l, lanes, arena, cur) * soft_ld(b, l, lanes, arena, cur)
+                    + soft_ld(c, l, lanes, arena, cur);
+                soft_st(d, l, v, lanes, arena, cur);
+            }
+            VecOp::MulSub { d, a, b, c } => {
+                let v = soft_ld(a, l, lanes, arena, cur) * soft_ld(b, l, lanes, arena, cur)
+                    - soft_ld(c, l, lanes, arena, cur);
+                soft_st(d, l, v, lanes, arena, cur);
+            }
+            VecOp::NegMulAdd { d, a, b, c } => {
+                let v = soft_ld(c, l, lanes, arena, cur)
+                    - soft_ld(a, l, lanes, arena, cur) * soft_ld(b, l, lanes, arena, cur);
+                soft_st(d, l, v, lanes, arena, cur);
+            }
+            VecOp::Butterfly { d1, d2, a, b } => {
+                let av = soft_ld(a, l, lanes, arena, cur);
+                let bv = soft_ld(b, l, lanes, arena, cur);
+                soft_st(d1, l, av + bv, lanes, arena, cur);
+                soft_st(d2, l, av - bv, lanes, arena, cur);
             }
         }
     }
@@ -600,6 +1056,32 @@ impl ProfBuf {
         if id < self.node_ops.len() {
             self.node_ops[id] += 1;
             self.node_flops[id] += crate::profile::OP_CLASS_FLOPS[class];
+        }
+    }
+
+    /// Counts one lane-wide op executed at width `w`. Vector classes
+    /// count *lanes* (one per covered iteration), so totals across a
+    /// run equal the scalar run's op and flop totals — only the class
+    /// binning moves.
+    fn count_vec(&mut self, op: &VecOp, w: usize) {
+        let class = VEC_CLASS_BASE
+            + match op {
+                VecOp::Add { .. } => 0,
+                VecOp::Sub { .. } => 1,
+                VecOp::Mul { .. } => 2,
+                VecOp::Div { .. } => 3,
+                VecOp::Copy { .. } => 4,
+                VecOp::Neg { .. } => 5,
+                VecOp::MulAdd { .. } => 6,
+                VecOp::MulSub { .. } => 7,
+                VecOp::NegMulAdd { .. } => 8,
+                VecOp::Butterfly { .. } => 9,
+            };
+        self.op_counts[class] += w as u64;
+        let id = self.cur_attr as usize;
+        if id < self.node_ops.len() {
+            self.node_ops[id] += w as u64;
+            self.node_flops[id] += w as u64 * crate::profile::OP_CLASS_FLOPS[class];
         }
     }
 
@@ -994,6 +1476,22 @@ enum CursorKey {
     Mem(Region, i64, Vec<(i64, u32)>, usize),
 }
 
+/// What a cursor points at — kept parallel to the cursor table for
+/// vector-plan verification.
+#[derive(Debug, Clone, PartialEq)]
+enum CursorMeta {
+    /// A fixed cell: `$f` register, immediate, or scratch spill.
+    /// Fixed cells never alias the strided regions (disjoint arena
+    /// layout).
+    Fixed,
+    /// A strided operand: its region and region-relative affine terms
+    /// (`(coefficient, loop-variable slot)`).
+    Mem {
+        region: Region,
+        terms: Vec<(i64, u32)>,
+    },
+}
+
 struct Frame {
     node_idx: usize,
     var: u32,
@@ -1001,6 +1499,8 @@ struct Frame {
     hi: i64,
     trips: u64,
     steps: Vec<(u32, i64)>,
+    /// Advisory lane-safety mark carried from the compiler pass.
+    vec_hint: bool,
 }
 
 struct Builder {
@@ -1018,6 +1518,9 @@ struct Builder {
     arena_init: Vec<(u32, f64)>,
     cursor_map: HashMap<CursorKey, u32>,
     const_map: HashMap<u64, usize>,
+    /// Per-cursor classification, parallel to `init`.
+    cursor_meta: Vec<CursorMeta>,
+    vec_plans: Vec<VecPlan>,
     frames: Vec<Frame>,
     track_loops: bool,
     // Region offsets and lengths.
@@ -1058,6 +1561,8 @@ impl Builder {
             arena_init,
             cursor_map: HashMap::new(),
             const_map: HashMap::new(),
+            cursor_meta: Vec::new(),
+            vec_plans: Vec::new(),
             frames: Vec::new(),
             track_loops: false,
             f_off,
@@ -1082,9 +1587,10 @@ impl Builder {
         }
     }
 
-    fn new_cursor(&mut self, init: i64) -> Result<u32, Unsupported> {
+    fn new_cursor(&mut self, init: i64, meta: CursorMeta) -> Result<u32, Unsupported> {
         let id = u32::try_from(self.init.len()).map_err(|_| Unsupported("cursor overflow"))?;
         self.init.push(init);
+        self.cursor_meta.push(meta);
         Ok(id)
     }
 
@@ -1093,7 +1599,7 @@ impl Builder {
         if let Some(&c) = self.cursor_map.get(&CursorKey::Fixed(cell)) {
             return Ok(c);
         }
-        let c = self.new_cursor(cell as i64)?;
+        let c = self.new_cursor(cell as i64, CursorMeta::Fixed)?;
         self.cursor_map.insert(CursorKey::Fixed(cell), c);
         Ok(c)
     }
@@ -1179,7 +1685,13 @@ impl Builder {
                 return Err(Unsupported("address range leaves its region"));
             }
         }
-        let cursor = self.new_cursor(init)?;
+        let cursor = self.new_cursor(
+            init,
+            CursorMeta::Mem {
+                region,
+                terms: addr.terms.clone(),
+            },
+        )?;
         // Latch strides: S_j = coeff_j − coeff_{j+1}·trips_{j+1}
         // (frames are outer→inner; the innermost stride is its raw
         // coefficient).
@@ -1250,6 +1762,272 @@ impl Builder {
             }
         }
     }
+
+    /// Attempts to build a lane-wide plan for a compiler-hinted loop
+    /// whose body is `self.nodes[frame.node_idx + 1..]`. Returns
+    /// `None` — demoting the hint to scalar execution — unless lane
+    /// safety is provable from the resolved cursors alone:
+    ///
+    /// * every body node is a float macro-op (no integer ops, spills,
+    ///   or nested loops — so the body reads neither `$r` nor loop
+    ///   variables);
+    /// * every written `$f` cell is iteration-private (written before
+    ///   any read in op order) and every read-only `$f`/immediate cell
+    ///   is a loop-invariant broadcast;
+    /// * every strided write advances (stride ≥ 1), and no two
+    ///   same-region accesses can touch the same address at an
+    ///   iteration distance a chunk could cover (`1 ‥ MAX_VEC_WIDTH−1`;
+    ///   distance-0 conflicts keep op order per lane, and distances
+    ///   ≥ the chunk width always cross a chunk boundary).
+    fn vec_plan(&self, frame: &Frame) -> Option<VecPlan> {
+        let trips = frame.trips;
+        if trips < 2 {
+            return None;
+        }
+        let body = &self.nodes[frame.node_idx + 1..];
+        let stride = |terms: &[(i64, u32)]| -> i64 {
+            terms
+                .iter()
+                .filter(|&&(_, slot)| slot == frame.var)
+                .map(|&(c, _)| c)
+                .sum()
+        };
+        let outer = |terms: &[(i64, u32)]| -> Vec<(i64, u32)> {
+            terms
+                .iter()
+                .copied()
+                .filter(|&(_, slot)| slot != frame.var)
+                .collect()
+        };
+        struct MemUse {
+            cursor: u32,
+            region: Region,
+            s: i64,
+            outer: Vec<(i64, u32)>,
+            write: bool,
+        }
+        // Pass 1: classify operand roles and collect strided accesses.
+        let mut lane_of: HashMap<u32, u16> = HashMap::new();
+        let mut lane_cells: Vec<u32> = Vec::new();
+        let mut broadcast: HashSet<u32> = HashSet::new();
+        let mut mems: Vec<MemUse> = Vec::new();
+        for node in body {
+            let RNode::Op(op) = node else {
+                return None; // nested loop
+            };
+            let (reads, writes): (Vec<u32>, Vec<u32>) = match op {
+                ROp::Add { d, a, b }
+                | ROp::Sub { d, a, b }
+                | ROp::Mul { d, a, b }
+                | ROp::Div { d, a, b } => (vec![*a, *b], vec![*d]),
+                ROp::Copy { d, a } | ROp::Neg { d, a } => (vec![*a], vec![*d]),
+                ROp::MulAdd { d, a, b, c }
+                | ROp::MulSub { d, a, b, c }
+                | ROp::NegMulAdd { d, a, b, c } => (vec![*a, *b, *c], vec![*d]),
+                ROp::Butterfly { d1, d2, a, b } => (vec![*a, *b], vec![*d1, *d2]),
+                ROp::RToCell { .. }
+                | ROp::LoopToCell { .. }
+                | ROp::IntBin { .. }
+                | ROp::IntUn { .. } => return None,
+            };
+            for c in reads {
+                match &self.cursor_meta[c as usize] {
+                    CursorMeta::Fixed => {
+                        if !lane_of.contains_key(&c) {
+                            broadcast.insert(c);
+                        }
+                    }
+                    CursorMeta::Mem { region, terms } => mems.push(MemUse {
+                        cursor: c,
+                        region: *region,
+                        s: stride(terms),
+                        outer: outer(terms),
+                        write: false,
+                    }),
+                }
+            }
+            for c in writes {
+                match &self.cursor_meta[c as usize] {
+                    CursorMeta::Fixed => {
+                        if broadcast.contains(&c) {
+                            // Read before first write: loop-carried.
+                            return None;
+                        }
+                        if let std::collections::hash_map::Entry::Vacant(e) = lane_of.entry(c) {
+                            if lane_cells.len() >= MAX_LANE_CELLS {
+                                return None;
+                            }
+                            e.insert(lane_cells.len() as u16);
+                            lane_cells.push(c);
+                        }
+                    }
+                    CursorMeta::Mem { region, terms } => {
+                        let s = stride(terms);
+                        if s < 1 {
+                            return None; // stationary or backward write
+                        }
+                        mems.push(MemUse {
+                            cursor: c,
+                            region: *region,
+                            s,
+                            outer: outer(terms),
+                            write: true,
+                        });
+                    }
+                }
+            }
+        }
+        // The full address interval an access can take across the open
+        // loop nest: cursor init values already include every var's
+        // `lo` term, so each outer var adds `coeff·(var − lo)` over
+        // `0 ‥ hi − lo` and the hinted var adds `s·t` over
+        // `0 ‥ trips − 1`. `None` when an outer term's loop is not on
+        // the frame stack (not provably boundable).
+        let range_of = |m: &MemUse| -> Option<(i128, i128)> {
+            let base = self.init[m.cursor as usize] as i128;
+            let inner = m.s as i128 * (trips as i128 - 1);
+            let (mut lo, mut hi) = (base + inner.min(0), base + inner.max(0));
+            for &(c, slot) in &m.outer {
+                let f = self.frames.iter().find(|f| f.var == slot)?;
+                let span = c as i128 * (f.hi as i128 - f.lo as i128);
+                lo += span.min(0);
+                hi += span.max(0);
+            }
+            Some((lo, hi))
+        };
+        // Alias verification: each strided write against every other
+        // same-region access. When both subscripts share their outer
+        // terms and stride, the address delta is invariant under the
+        // outer loops and an exact iteration-distance test applies;
+        // otherwise fall back to whole-range disjointness — regions
+        // pack several temp buffers into one arena, and accesses to
+        // different buffers have overlapping-looking strides but
+        // disjoint intervals.
+        for w in mems.iter().filter(|m| m.write) {
+            for x in &mems {
+                if x.cursor == w.cursor || x.region != w.region {
+                    continue;
+                }
+                if x.outer != w.outer || (x.s != w.s && x.s != 0) {
+                    let (Some((wl, wh)), Some((xl, xh))) = (range_of(w), range_of(x)) else {
+                        return None;
+                    };
+                    if wh < xl || xh < wl {
+                        continue; // provably disjoint buffers
+                    }
+                    return None;
+                }
+                let db = self.init[x.cursor as usize] - self.init[w.cursor as usize];
+                if x.s == w.s {
+                    if db % w.s == 0 {
+                        let delta = (db / w.s).unsigned_abs();
+                        if delta >= 1 && delta <= (MAX_VEC_WIDTH as u64 - 1).min(trips - 1) {
+                            return None;
+                        }
+                    }
+                } else {
+                    // x.s == 0: strided write vs loop-invariant read —
+                    // any collision in the trip range breaks broadcast.
+                    if db % w.s == 0 {
+                        let t = db / w.s;
+                        if t >= 0 && (t as u64) < trips {
+                            return None;
+                        }
+                    }
+                }
+            }
+        }
+        // Pass 2: re-express the body as lane-wide macro-ops.
+        let to_src = |c: u32| -> VSrc {
+            match &self.cursor_meta[c as usize] {
+                CursorMeta::Fixed => match lane_of.get(&c) {
+                    Some(&k) => VSrc::Lane(k),
+                    None => VSrc::Mem { c, s: 0 },
+                },
+                CursorMeta::Mem { terms, .. } => VSrc::Mem {
+                    c,
+                    s: stride(terms),
+                },
+            }
+        };
+        let to_dst = |c: u32| -> VDst {
+            match &self.cursor_meta[c as usize] {
+                CursorMeta::Fixed => VDst::Lane(lane_of[&c]),
+                CursorMeta::Mem { terms, .. } => VDst::Mem {
+                    c,
+                    s: stride(terms),
+                },
+            }
+        };
+        let mut ops = Vec::with_capacity(body.len());
+        let mut prov = Vec::with_capacity(if self.has_prov { body.len() } else { 0 });
+        for (j, node) in body.iter().enumerate() {
+            let RNode::Op(op) = node else { unreachable!() };
+            ops.push(match op {
+                ROp::Add { d, a, b } => VecOp::Add {
+                    d: to_dst(*d),
+                    a: to_src(*a),
+                    b: to_src(*b),
+                },
+                ROp::Sub { d, a, b } => VecOp::Sub {
+                    d: to_dst(*d),
+                    a: to_src(*a),
+                    b: to_src(*b),
+                },
+                ROp::Mul { d, a, b } => VecOp::Mul {
+                    d: to_dst(*d),
+                    a: to_src(*a),
+                    b: to_src(*b),
+                },
+                ROp::Div { d, a, b } => VecOp::Div {
+                    d: to_dst(*d),
+                    a: to_src(*a),
+                    b: to_src(*b),
+                },
+                ROp::Copy { d, a } => VecOp::Copy {
+                    d: to_dst(*d),
+                    a: to_src(*a),
+                },
+                ROp::Neg { d, a } => VecOp::Neg {
+                    d: to_dst(*d),
+                    a: to_src(*a),
+                },
+                ROp::MulAdd { d, a, b, c } => VecOp::MulAdd {
+                    d: to_dst(*d),
+                    a: to_src(*a),
+                    b: to_src(*b),
+                    c: to_src(*c),
+                },
+                ROp::MulSub { d, a, b, c } => VecOp::MulSub {
+                    d: to_dst(*d),
+                    a: to_src(*a),
+                    b: to_src(*b),
+                    c: to_src(*c),
+                },
+                ROp::NegMulAdd { d, a, b, c } => VecOp::NegMulAdd {
+                    d: to_dst(*d),
+                    a: to_src(*a),
+                    b: to_src(*b),
+                    c: to_src(*c),
+                },
+                ROp::Butterfly { d1, d2, a, b } => VecOp::Butterfly {
+                    d1: to_dst(*d1),
+                    d2: to_dst(*d2),
+                    a: to_src(*a),
+                    b: to_src(*b),
+                },
+                _ => unreachable!("pass 1 rejected non-float ops"),
+            });
+            if self.has_prov {
+                prov.push(self.node_prov[frame.node_idx + 1 + j]);
+            }
+        }
+        Some(VecPlan {
+            ops,
+            prov,
+            lane_cells,
+        })
+    }
 }
 
 /// Resolves a lowered program into the fused cursor-based engine, or
@@ -1285,7 +2063,7 @@ pub(crate) fn resolve(prog: &VmProgram) -> Result<ResolvedProgram, Unsupported> 
             b.cur_prov = fprov[idx];
         }
         match fop {
-            FOp::Plain(Op::LoopStart { var, lo, .. }) => {
+            FOp::Plain(Op::LoopStart { var, lo, vec, .. }) => {
                 if b.frames.iter().any(|f| f.var == *var) {
                     // Shadowed loop variables would need scoped
                     // cursor contexts; fall back instead.
@@ -1307,6 +2085,7 @@ pub(crate) fn resolve(prog: &VmProgram) -> Result<ResolvedProgram, Unsupported> 
                     hi,
                     trips,
                     steps: Vec::new(),
+                    vec_hint: *vec,
                 });
                 b.push_node(RNode::Loop {
                     trips,
@@ -1314,6 +2093,7 @@ pub(crate) fn resolve(prog: &VmProgram) -> Result<ResolvedProgram, Unsupported> 
                     lo: *lo,
                     end: 0,
                     steps: (0, 0),
+                    vec: None,
                 });
             }
             FOp::Plain(Op::LoopEnd { .. }) => {
@@ -1326,9 +2106,31 @@ pub(crate) fn resolve(prog: &VmProgram) -> Result<ResolvedProgram, Unsupported> 
                 let s1 = u32::try_from(b.steps.len()).map_err(|_| Unsupported("step overflow"))?;
                 let end =
                     u32::try_from(b.nodes.len()).map_err(|_| Unsupported("program too large"))?;
-                if let RNode::Loop { end: e, steps, .. } = &mut b.nodes[frame.node_idx] {
+                let vec_idx = if frame.vec_hint {
+                    match b.vec_plan(&frame) {
+                        Some(plan) => {
+                            b.stats.vec_loops += 1;
+                            b.stats.vec_ops += plan.ops.len() as u64;
+                            let id = u32::try_from(b.vec_plans.len())
+                                .map_err(|_| Unsupported("program too large"))?;
+                            b.vec_plans.push(plan);
+                            Some(id)
+                        }
+                        None => {
+                            b.stats.vec_demoted += 1;
+                            None
+                        }
+                    }
+                } else {
+                    None
+                };
+                if let RNode::Loop {
+                    end: e, steps, vec, ..
+                } = &mut b.nodes[frame.node_idx]
+                {
                     *e = end;
                     *steps = (s0, s1);
+                    *vec = vec_idx;
                 }
             }
             FOp::Plain(Op::Bin { op, dst, a, b: rhs }) => {
@@ -1494,6 +2296,7 @@ pub(crate) fn resolve(prog: &VmProgram) -> Result<ResolvedProgram, Unsupported> 
         fma: false,
         need_r,
         need_loop,
+        vec_plans: b.vec_plans,
         stats,
     })
 }

@@ -38,6 +38,9 @@ usage: splprof [options]
   --check-attribution
                  exit nonzero unless per-node attribution sums to
                  within 5% of the instrumented wall time
+  --force-scalar profile with the VM's lane-wide (SIMD) loop execution
+                 disabled (same results bit-for-bit; vector op classes
+                 rebin into their scalar counterparts)
   -h, --help     print this help
 ";
 
@@ -97,6 +100,7 @@ struct Options {
     top: usize,
     json: Option<String>,
     check_attribution: bool,
+    force_scalar: bool,
     report: ReportOptions,
 }
 
@@ -109,6 +113,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         top: 12,
         json: None,
         check_attribution: false,
+        force_scalar: false,
         report: ReportOptions::default(),
     };
     let mut it = args.iter();
@@ -118,8 +123,8 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         }
         match a.as_str() {
             "--size" => match it.next().and_then(|v| v.parse().ok()) {
-                Some(k) => o.size = k,
-                None => return Err("--size requires an integer".into()),
+                Some(k) if (1..=24).contains(&k) => o.size = k,
+                _ => return Err("--size requires a log2 exponent in 1..=24".into()),
             },
             "--formula" => match it.next() {
                 Some(path) => o.formula = Some(path.clone()),
@@ -142,6 +147,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                 None => return Err("--json requires a file path".into()),
             },
             "--check-attribution" => o.check_attribution = true,
+            "--force-scalar" => o.force_scalar = true,
             "-h" | "--help" => {
                 print!("{USAGE}\nshared reporting flags:\n{REPORT_USAGE}");
                 return Ok(None);
@@ -215,6 +221,13 @@ fn print_profile(prof: &VmProfile, top: usize, predicted: Option<f64>) {
         dyn_ops,
         prof.flops(),
         100.0 * prof.fused_utilization()
+    );
+    println!(
+        "vector lane-ops {} ({:.1}% of float ops; backend {}, width {})",
+        prof.vector_lane_ops(),
+        100.0 * prof.vector_utilization(),
+        spl::vm::simd::backend_name(),
+        spl::vm::simd::width()
     );
 
     // Per-node attribution, hottest self time first.
@@ -298,6 +311,10 @@ fn main() -> ExitCode {
         Ok(None) => return ExitCode::SUCCESS,
         Err(e) => return fail(&e),
     };
+
+    if o.force_scalar {
+        spl::vm::simd::set_force_scalar(true);
+    }
 
     let mut tel = Telemetry::new();
     tel.begin_span("splprof");
