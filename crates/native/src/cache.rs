@@ -19,6 +19,17 @@
 //!   (tmp + rename); a corrupt or truncated `.so` is detected by the
 //!   index check, discarded, and recompiled rather than loaded.
 //!
+//! The disk layer is safe to share between processes (a search and a
+//! serving daemon pointed at the same directory, or several daemons):
+//! tmp files carry the writer's pid plus a per-process counter so
+//! concurrent writers of the same key never interleave into one file,
+//! and every disk mutation (index open/heal, insert, evict, corrupt
+//! discard) happens under an advisory `index.lock`
+//! ([`spl_resilience::lockfile`]), so index appends from different
+//! processes never tear each other. The lock is advisory and degrades
+//! to a no-op where unsupported — single-process use never needed it
+//! for correctness.
+//!
 //! The cache never runs `cc` itself — callers
 //! ([`NativeKernel::compile_cached`](crate::NativeKernel::compile_cached))
 //! look up, compile on a miss, and insert the result.
@@ -26,10 +37,11 @@
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use spl_resilience::crc32::crc32;
-use spl_resilience::Journal;
+use spl_resilience::{FileLock, Journal};
 use spl_telemetry::Telemetry;
 
 use crate::{BuildOptions, NativeError, CC_FLAGS};
@@ -137,6 +149,10 @@ impl KernelCache {
     pub fn with_dir(dir: &Path) -> Result<KernelCache, NativeError> {
         std::fs::create_dir_all(dir)
             .map_err(|e| NativeError::Io(format!("creating {}: {e}", dir.display())))?;
+        // Opening may heal the journal (tmp + rename of the whole
+        // file); hold the directory lock so a concurrent writer's
+        // append is never torn off by the rewrite.
+        let _lock = FileLock::acquire_or_noop(&dir.join("index.lock"));
         let (journal, loaded) = Journal::open(&dir.join("index.journal"))
             .map_err(|e| NativeError::Io(format!("kernel cache index: {e}")))?;
         let mut disk = HashMap::new();
@@ -207,8 +223,11 @@ impl KernelCache {
             }
             None => {
                 // Truncated, bit-flipped, or deleted: purge the entry so
-                // the recompiled object can take its place.
+                // the recompiled object can take its place. Under the
+                // directory lock, so the removal can't race another
+                // process's tmp + rename of a fresh copy.
                 inner.disk.remove(key);
+                let _lock = self.disk_lock();
                 let _ = std::fs::remove_file(&path);
                 inner.tel.add("native.cache.corrupt_discarded", 1);
                 None
@@ -217,18 +236,27 @@ impl KernelCache {
     }
 
     /// Inserts a freshly compiled object under `key`, into memory and —
-    /// when disk-backed — the cache directory (atomic tmp + rename,
-    /// then an index record with length and CRC32). Disk I/O failures
-    /// are counted, not propagated: the kernel already compiled, so a
-    /// full disk must not fail the candidate.
+    /// when disk-backed — the cache directory (atomic tmp + rename with
+    /// a pid-unique tmp name, then an index record with length and
+    /// CRC32, all under the directory lock). Disk I/O failures are
+    /// counted, not propagated: the kernel already compiled, so a full
+    /// disk must not fail the candidate.
     pub fn insert(&self, key: &str, bytes: Vec<u8>) {
+        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
         let mut inner = self.inner.lock().unwrap();
         let bytes = Arc::new(bytes);
         Self::remember(&mut inner, key, Arc::clone(&bytes));
         let Some(path) = self.so_path(key) else {
             return;
         };
-        let tmp = path.with_extension("so.tmp");
+        // Unique per writer: two processes (or threads) inserting the
+        // same key never write into the same tmp file.
+        let tmp = path.with_extension(format!(
+            "so.{}.{}.tmp",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _lock = self.disk_lock();
         let written = std::fs::write(&tmp, bytes.as_slice())
             .and_then(|()| std::fs::rename(&tmp, &path))
             .is_ok();
@@ -268,6 +296,7 @@ impl KernelCache {
         let on_disk = inner.disk.remove(key).is_some();
         inner.tel.add("native.cache.quarantined", 1);
         if let Some(path) = self.so_path(key) {
+            let _lock = self.disk_lock();
             let _ = std::fs::remove_file(&path);
             if on_disk {
                 if let Some(journal) = inner.index.as_mut() {
@@ -307,6 +336,15 @@ impl KernelCache {
 
     fn so_path(&self, key: &str) -> Option<PathBuf> {
         self.disk_dir.as_ref().map(|d| d.join(format!("{key}.so")))
+    }
+
+    /// The advisory cross-process lock over the cache directory, or
+    /// `None` for in-memory caches. Degrades to an unlocked guard where
+    /// `flock` is unavailable.
+    fn disk_lock(&self) -> Option<FileLock> {
+        self.disk_dir
+            .as_ref()
+            .map(|d| FileLock::acquire_or_noop(&d.join("index.lock")))
     }
 }
 

@@ -13,8 +13,13 @@
 //!   atomic tmp+rename rewrites; the search persists its "wisdom"
 //!   (FFTW-style saved plans) through it so a killed search resumes from
 //!   the last completed size.
-//! * [`retry`] — bounded retry with exponential backoff for flaky
-//!   external steps (spawning the host C compiler, filesystem races).
+//! * [`retry`] — bounded retry with exponential backoff (plus optional
+//!   seeded decorrelated jitter, so a fleet of workers retrying the
+//!   same outage doesn't stampede in lockstep) for flaky external steps
+//!   (spawning the host C compiler, filesystem races).
+//! * [`lockfile`] — advisory whole-file locks (`flock`) so multiple
+//!   processes can share on-disk state (e.g. a kernel cache directory)
+//!   without corrupting each other's writes.
 //! * [`command`] — running external commands under a wall-clock timeout,
 //!   so a hung `cc` is killed and reported instead of wedging the search.
 //! * [`sandbox`] — executing untrusted generated code in a forked child
@@ -29,10 +34,12 @@
 pub mod command;
 pub mod crc32;
 pub mod journal;
+pub mod lockfile;
 pub mod retry;
 pub mod sandbox;
 
 pub use command::{run_command_with_timeout, CommandError};
 pub use journal::{Journal, JournalError, LoadedJournal};
-pub use retry::{with_backoff, RetryPolicy};
+pub use lockfile::FileLock;
+pub use retry::{with_backoff, Jitter, RetryPolicy};
 pub use sandbox::{run_isolated, SandboxError};

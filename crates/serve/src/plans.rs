@@ -1,0 +1,721 @@
+//! The daemon's plan store: hot transforms and their degradation chain.
+//!
+//! A *plan* is everything the daemon keeps warm for one transform size:
+//! the factorization tree (from wisdom or a default radix-2 split), the
+//! resolved [`VmProgram`], a natively compiled kernel (through the
+//! shared on-disk [`KernelCache`], so a restart reloads instead of
+//! recompiling), and lazily, batched `I_m ⊗ A` programs for answering
+//! `m` queued requests in one dispatch.
+//!
+//! # The degradation chain
+//!
+//! Every execution walks `native kernel → resolved VM → reject`,
+//! reusing `spl_search::ResilientEvaluator`'s pattern: failures are
+//! *classified and counted*, the request falls to the next tier, and a
+//! kernel that faults is quarantined (and evicted from the shared
+//! cache) so it is never tried again. The VM tier is the trusted
+//! baseline — the resolved interpreter executes exactly the compiled
+//! i-code — so the chain keeps one invariant the whole daemon is built
+//! on: **every reply is bit-identical to the plan's VM output**. A
+//! native kernel earns the fast path only by *promotion*: its first run
+//! happens in a fork sandbox and must reproduce the VM output
+//! bit-for-bit; a kernel whose rounding differs (e.g. FMA contraction)
+//! is demoted to the VM tier rather than allowed to serve
+//! almost-right answers, and a crash or mismatch quarantines it.
+//! Batched programs pass the same gate (a segment-by-segment self-check
+//! against the single-request program) before they may serve.
+//!
+//! # Crash safety
+//!
+//! Instantiated plans are recorded in a `plans.journal`
+//! ([`spl_resilience::Journal`]) next to the kernel cache; a daemon
+//! killed with `SIGKILL` replays the journal on restart and comes back
+//! warm — the native kernels load from the disk cache without invoking
+//! `cc`.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use spl_generator::fft::{ct_sequence, FftTree, Rule};
+use spl_native::{BuildOptions, KernelCache, NativeKernel};
+use spl_resilience::Journal;
+use spl_search::{compile_tree, compile_tree_batched, compile_unit_for_tree, wisdom_from_string};
+use spl_telemetry::Telemetry;
+use spl_vm::{VmProgram, VmState};
+
+use crate::chaos::ChaosInjector;
+use crate::protocol::Tier;
+
+/// Why the store could not serve a request. Maps onto the wire error
+/// classes (`u`/`c`/`i`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The transform size is not servable (not a power of two and not
+    /// in wisdom, or beyond the configured limit).
+    Unsupported(String),
+    /// Compiling the plan failed.
+    Compile(String),
+    /// An internal invariant broke (always a bug, never client input).
+    Internal(String),
+}
+
+impl ServeError {
+    /// The wire error-class byte for this error.
+    pub fn class(&self) -> u8 {
+        match self {
+            ServeError::Unsupported(_) => b'u',
+            ServeError::Compile(_) => b'c',
+            ServeError::Internal(_) => b'i',
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            ServeError::Compile(m) => write!(f, "compile: {m}"),
+            ServeError::Internal(m) => write!(f, "internal: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A [`NativeKernel`] shared across worker threads.
+///
+/// SAFETY rationale: the kernel entry point is pure straight-line code
+/// over its argument buffers (generated C with no globals, no
+/// allocation, no locks), the dlopen handle is only used again at drop,
+/// and drop runs once when the last `Arc` goes away. Concurrent `run`
+/// calls from several workers are therefore safe.
+struct SharedKernel(NativeKernel);
+
+unsafe impl Send for SharedKernel {}
+unsafe impl Sync for SharedKernel {}
+
+/// Where one plan's native fast path currently stands.
+enum NativeTier {
+    /// No kernel (compile failed, or native serving disabled).
+    Missing,
+    /// Compiled but not yet promoted: the first run must reproduce the
+    /// VM output bit-for-bit, in a sandbox.
+    Untested(Arc<SharedKernel>),
+    /// Promoted: serves in-process.
+    Trusted(Arc<SharedKernel>),
+    /// Rounding differs from the VM (e.g. FMA contraction): correct to
+    /// tolerance but not bit-identical, so the VM serves instead.
+    Demoted,
+    /// Crashed or produced wrong output: never tried again.
+    Quarantined,
+}
+
+/// One warm transform size.
+pub struct PlanEntry {
+    /// Transform size (complex points).
+    pub n: usize,
+    /// The factorization this plan executes.
+    pub tree: FftTree,
+    vm: Arc<VmProgram>,
+    native: Mutex<NativeTier>,
+    /// Cache key of the native kernel, for quarantine eviction.
+    cache_key: Option<String>,
+}
+
+impl PlanEntry {
+    /// The resolved single-request program (the trusted tier).
+    pub fn vm(&self) -> &Arc<VmProgram> {
+        &self.vm
+    }
+
+    /// Runs the trusted VM tier: always available once the plan exists.
+    pub fn run_vm(&self, x: &[f64], y: &mut [f64]) {
+        let mut st = VmState::new(&self.vm);
+        self.vm.run(x, y, &mut st);
+    }
+}
+
+/// A batched `I_m ⊗ A` program, or the tombstone of one that failed its
+/// self-check.
+enum BatchState {
+    Ready(Arc<VmProgram>),
+    Dead,
+}
+
+/// Configuration for [`PlanStore::new`].
+#[derive(Debug, Clone)]
+pub struct PlanStoreOptions {
+    /// Serving state directory (kernel cache + plan journal); `None`
+    /// disables persistence (cold every start).
+    pub state_dir: Option<PathBuf>,
+    /// `-B` unrolling threshold handed to the compiler.
+    pub unroll_threshold: usize,
+    /// Largest servable transform size.
+    pub max_size: usize,
+    /// Whether to compile native kernels at all (tests without a
+    /// working `cc` can turn this off).
+    pub native: bool,
+    /// Build options for `cc` runs.
+    pub build: BuildOptions,
+    /// Wall-clock budget for the sandboxed promotion run.
+    pub sandbox_timeout: Duration,
+}
+
+impl Default for PlanStoreOptions {
+    fn default() -> Self {
+        PlanStoreOptions {
+            state_dir: None,
+            unroll_threshold: 64,
+            max_size: 1 << 16,
+            native: true,
+            build: BuildOptions::default(),
+            sandbox_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// The daemon's shared plan store. All methods take `&self`; internal
+/// state is mutex-guarded, and the expensive steps (compiles) happen
+/// outside any lock held by executions.
+pub struct PlanStore {
+    opts: PlanStoreOptions,
+    /// Preferred factorizations by size, from wisdom.
+    trees: Mutex<HashMap<usize, FftTree>>,
+    plans: Mutex<HashMap<usize, Arc<PlanEntry>>>,
+    batched: Mutex<HashMap<(usize, usize), BatchState>>,
+    kernels: Option<Arc<KernelCache>>,
+    journal: Mutex<Option<Journal>>,
+    tel: Mutex<Telemetry>,
+}
+
+impl PlanStore {
+    /// Opens the store, its kernel cache, and its plan journal, and
+    /// replays the journal so every previously served size is
+    /// instantiated (warm) before the first request.
+    ///
+    /// # Errors
+    ///
+    /// Fails on state-directory I/O errors; a corrupt journal *tail* is
+    /// dropped (tolerant load), not fatal.
+    pub fn new(opts: PlanStoreOptions) -> Result<PlanStore, ServeError> {
+        let mut kernels = None;
+        let mut journal = None;
+        let mut preload: Vec<(usize, FftTree)> = Vec::new();
+        let mut tel = Telemetry::new();
+        if let Some(dir) = &opts.state_dir {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| ServeError::Internal(format!("creating {}: {e}", dir.display())))?;
+            kernels = Some(Arc::new(
+                KernelCache::with_dir(&dir.join("kernels"))
+                    .map_err(|e| ServeError::Internal(format!("kernel cache: {e}")))?,
+            ));
+            let (j, loaded) = Journal::open(&dir.join("plans.journal"))
+                .map_err(|e| ServeError::Internal(format!("plan journal: {e}")))?;
+            if loaded.dropped > 0 {
+                tel.add("spld.plan.journal_records_dropped", loaded.dropped as u64);
+            }
+            for rec in &loaded.records {
+                if let Some((n, tree)) = parse_plan_record(rec) {
+                    preload.push((n, tree));
+                }
+            }
+            journal = Some(j);
+        }
+        let store = PlanStore {
+            opts,
+            trees: Mutex::new(HashMap::new()),
+            plans: Mutex::new(HashMap::new()),
+            batched: Mutex::new(HashMap::new()),
+            kernels,
+            journal: Mutex::new(journal),
+            tel: Mutex::new(tel),
+        };
+        for (n, tree) in preload {
+            store.trees.lock().unwrap().entry(n).or_insert(tree);
+            // Instantiate (compiles the VM program; loads the native
+            // kernel from the disk cache — no `cc` on a warm restart).
+            // A plan that no longer compiles is dropped, not fatal.
+            if store.entry(n).is_ok() {
+                store.tel.lock().unwrap().add("spld.plan.preloaded", 1);
+            }
+        }
+        Ok(store)
+    }
+
+    /// Loads wisdom text (`spl_search::wisdom_to_string` format):
+    /// subsequent plans for those sizes use the searched factorization
+    /// instead of the default radix-2 split. Returns how many sizes
+    /// were loaded.
+    ///
+    /// # Errors
+    ///
+    /// Propagates wisdom parse failures as [`ServeError::Unsupported`].
+    pub fn load_wisdom(&self, text: &str) -> Result<usize, ServeError> {
+        let results = wisdom_from_string(text)
+            .map_err(|e| ServeError::Unsupported(format!("wisdom: {e}")))?;
+        let mut trees = self.trees.lock().unwrap();
+        let mut loaded = 0;
+        for r in results {
+            trees.insert(r.tree.size(), r.tree);
+            loaded += 1;
+        }
+        self.tel.lock().unwrap().add("spld.wisdom.sizes", loaded);
+        Ok(loaded as usize)
+    }
+
+    /// The warm plan for size `n`, instantiating (and journaling) it on
+    /// first use.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Unsupported`] for unservable sizes,
+    /// [`ServeError::Compile`] when compilation fails.
+    pub fn entry(&self, n: usize) -> Result<Arc<PlanEntry>, ServeError> {
+        if let Some(plan) = self.plans.lock().unwrap().get(&n) {
+            return Ok(Arc::clone(plan));
+        }
+        let tree = self.tree_for(n)?;
+        // Compile outside the plans lock: concurrent first requests for
+        // the same size may both compile; the second insert wins the
+        // race harmlessly (content-addressed kernel cache absorbs the
+        // duplicate).
+        let vm = compile_tree(&tree, self.opts.unroll_threshold)
+            .map_err(|e| ServeError::Compile(e.to_string()))?;
+        let (native, cache_key) = self.compile_native(&tree);
+        let plan = Arc::new(PlanEntry {
+            n,
+            tree,
+            vm: Arc::new(vm),
+            native: Mutex::new(native),
+            cache_key,
+        });
+        let mut plans = self.plans.lock().unwrap();
+        let plan = Arc::clone(plans.entry(n).or_insert(plan));
+        drop(plans);
+        self.journal_plan(&plan);
+        Ok(plan)
+    }
+
+    /// Executes one request through the degradation chain. The reply is
+    /// bit-identical to the plan's VM output whichever tier serves it.
+    ///
+    /// # Errors
+    ///
+    /// Only when even the VM tier cannot run (an internal bug).
+    pub fn run_single(
+        &self,
+        plan: &PlanEntry,
+        x: &[f64],
+        chaos: Option<&ChaosInjector>,
+    ) -> Result<(Vec<f64>, Tier), ServeError> {
+        if x.len() != plan.vm.n_in {
+            return Err(ServeError::Internal(format!(
+                "input length {} for plan n_in {}",
+                x.len(),
+                plan.vm.n_in
+            )));
+        }
+        let mut y = vec![0.0; plan.vm.n_out];
+        match self.try_native(plan, x, &mut y, chaos) {
+            Some(()) => Ok((y, Tier::Native)),
+            None => {
+                plan.run_vm(x, &mut y);
+                Ok((y, Tier::Vm))
+            }
+        }
+    }
+
+    /// Executes `m` same-size requests (`xs` = inputs back to back) as
+    /// one `I_m ⊗ A` dispatch. Returns `None` when no batched program
+    /// can serve (self-check failed or compile failed) — the caller
+    /// falls back to per-request execution.
+    pub fn run_batched(&self, plan: &PlanEntry, m: usize, xs: &[f64]) -> Option<Vec<f64>> {
+        if m < 2 || xs.len() != m * plan.vm.n_in {
+            return None;
+        }
+        let program = self.batched_program(plan, m)?;
+        let mut ys = vec![0.0; m * plan.vm.n_out];
+        let mut st = VmState::new(&program);
+        program.run(xs, &mut ys, &mut st);
+        Some(ys)
+    }
+
+    /// Takes the store's accumulated telemetry (its own counters merged
+    /// with the kernel cache's), leaving both empty.
+    pub fn drain_telemetry(&self) -> Telemetry {
+        let mut tel = std::mem::take(&mut *self.tel.lock().unwrap());
+        if let Some(cache) = &self.kernels {
+            tel.merge(&cache.drain_telemetry());
+        }
+        tel
+    }
+
+    /// Number of instantiated plans.
+    pub fn plan_count(&self) -> usize {
+        self.plans.lock().unwrap().len()
+    }
+
+    fn count(&self, key: &str) {
+        self.tel.lock().unwrap().add(key, 1);
+    }
+
+    /// The factorization to serve size `n` with: wisdom first, then a
+    /// default radix-2 rightmost split for powers of two.
+    fn tree_for(&self, n: usize) -> Result<FftTree, ServeError> {
+        if n < 2 || n > self.opts.max_size {
+            return Err(ServeError::Unsupported(format!(
+                "size {n} out of range 2..={}",
+                self.opts.max_size
+            )));
+        }
+        if let Some(tree) = self.trees.lock().unwrap().get(&n) {
+            return Ok(tree.clone());
+        }
+        if !n.is_power_of_two() {
+            return Err(ServeError::Unsupported(format!(
+                "size {n} is not a power of two and no wisdom covers it"
+            )));
+        }
+        let twos = vec![2usize; n.trailing_zeros() as usize];
+        Ok(ct_sequence(&twos, Rule::CooleyTukey))
+    }
+
+    /// Compiles (or cache-loads) the native kernel for a fresh plan.
+    /// Failure is a degradation, not an error: the plan serves on the
+    /// VM tier.
+    fn compile_native(&self, tree: &FftTree) -> (NativeTier, Option<String>) {
+        if !self.opts.native {
+            return (NativeTier::Missing, None);
+        }
+        let unit = match compile_unit_for_tree(tree, self.opts.unroll_threshold) {
+            Ok(unit) => unit,
+            Err(_) => {
+                self.count("spld.native.compile_failures");
+                return (NativeTier::Missing, None);
+            }
+        };
+        let result = match &self.kernels {
+            Some(cache) => {
+                NativeKernel::compile_cached(&unit, &self.opts.build, cache).map(|(k, _)| k)
+            }
+            None => NativeKernel::compile_with(&unit, &self.opts.build),
+        };
+        let key = NativeKernel::cache_key(&unit, &self.opts.build).ok();
+        match result {
+            Ok(kernel) => (NativeTier::Untested(Arc::new(SharedKernel(kernel))), key),
+            Err(_) => {
+                self.count("spld.native.compile_failures");
+                (NativeTier::Missing, None)
+            }
+        }
+    }
+
+    /// The native leg of the chain: `Some(())` when `y` was filled by a
+    /// trusted kernel, `None` to fall through to the VM tier.
+    fn try_native(
+        &self,
+        plan: &PlanEntry,
+        x: &[f64],
+        y: &mut [f64],
+        chaos: Option<&ChaosInjector>,
+    ) -> Option<()> {
+        // Decide under the tier lock, run outside it where possible.
+        let kernel = {
+            let tier = plan.native.lock().unwrap();
+            match &*tier {
+                NativeTier::Trusted(k) => Some((Arc::clone(k), true)),
+                NativeTier::Untested(k) => Some((Arc::clone(k), false)),
+                _ => None,
+            }
+        };
+        let (kernel, trusted) = kernel?;
+        if let Some(injector) = chaos {
+            if injector.kernel_fault() {
+                // Simulated crash, reported before the kernel runs: the
+                // request is recomputed on the VM tier from scratch.
+                self.count("spld.chaos.kernel_faults");
+                self.quarantine(plan, "injected kernel fault");
+                return None;
+            }
+        }
+        if trusted {
+            kernel.0.run(x, y);
+            self.count("spld.tier.native");
+            return Some(());
+        }
+        self.promote_and_run(plan, &kernel, x, y)
+    }
+
+    /// The promotion gate: first native run, sandboxed, compared
+    /// bit-for-bit against the VM tier on the same input.
+    fn promote_and_run(
+        &self,
+        plan: &PlanEntry,
+        kernel: &Arc<SharedKernel>,
+        x: &[f64],
+        y: &mut [f64],
+    ) -> Option<()> {
+        let mut expected = vec![0.0; plan.vm.n_out];
+        plan.run_vm(x, &mut expected);
+        match kernel.0.run_sandboxed(x, y, self.opts.sandbox_timeout) {
+            Ok(()) if y == expected.as_slice() => {
+                let mut tier = plan.native.lock().unwrap();
+                if matches!(&*tier, NativeTier::Untested(_) | NativeTier::Trusted(_)) {
+                    *tier = NativeTier::Trusted(Arc::clone(kernel));
+                }
+                drop(tier);
+                self.count("spld.native.promoted");
+                self.count("spld.tier.native");
+                Some(())
+            }
+            Ok(()) if within_tolerance(y, &expected) => {
+                // Correct but not bit-identical (rounding differences,
+                // e.g. FMA contraction): the VM must keep serving so
+                // replies stay reproducible.
+                *plan.native.lock().unwrap() = NativeTier::Demoted;
+                self.count("spld.native.rounding_demoted");
+                None
+            }
+            Ok(()) => {
+                self.quarantine(plan, "output mismatch on promotion run");
+                None
+            }
+            Err(_) => {
+                self.quarantine(plan, "crash/timeout on promotion run");
+                None
+            }
+        }
+    }
+
+    /// Quarantines a plan's native kernel: tier poisoned, counter
+    /// bumped, and the shared cache entry evicted so no restart (or
+    /// sibling process) reloads the bad object.
+    fn quarantine(&self, plan: &PlanEntry, _reason: &str) {
+        *plan.native.lock().unwrap() = NativeTier::Quarantined;
+        self.count("spld.quarantined");
+        self.count("spld.degradations");
+        if let (Some(cache), Some(key)) = (&self.kernels, &plan.cache_key) {
+            cache.evict(key);
+        }
+    }
+
+    /// The batched program for `(n, m)`, built and self-checked on
+    /// first use.
+    fn batched_program(&self, plan: &PlanEntry, m: usize) -> Option<Arc<VmProgram>> {
+        if let Some(state) = self.batched.lock().unwrap().get(&(plan.n, m)) {
+            return match state {
+                BatchState::Ready(p) => Some(Arc::clone(p)),
+                BatchState::Dead => None,
+            };
+        }
+        let built = compile_tree_batched(&plan.tree, m, self.opts.unroll_threshold)
+            .ok()
+            .map(Arc::new)
+            .filter(|p| self.batch_self_check(plan, m, p));
+        let state = match &built {
+            Some(p) => BatchState::Ready(Arc::clone(p)),
+            None => {
+                self.count("spld.batch.selfcheck_failed");
+                BatchState::Dead
+            }
+        };
+        // First builder wins; a concurrent duplicate is discarded.
+        self.batched
+            .lock()
+            .unwrap()
+            .entry((plan.n, m))
+            .or_insert(state);
+        built
+    }
+
+    /// One-time proof that the batched program is exactly `m`
+    /// independent applications of the single program: a deterministic
+    /// probe batch, compared segment by segment, bit for bit.
+    fn batch_self_check(&self, plan: &PlanEntry, m: usize, batched: &VmProgram) -> bool {
+        if batched.n_in != m * plan.vm.n_in || batched.n_out != m * plan.vm.n_out {
+            return false;
+        }
+        let xs: Vec<f64> = (0..batched.n_in)
+            .map(|i| (i as f64 * 0.7311).sin())
+            .collect();
+        let mut got = vec![0.0; batched.n_out];
+        let mut st = VmState::new(batched);
+        batched.run(&xs, &mut got, &mut st);
+        let mut want = vec![0.0; plan.vm.n_out];
+        for seg in 0..m {
+            plan.run_vm(&xs[seg * plan.vm.n_in..(seg + 1) * plan.vm.n_in], &mut want);
+            if got[seg * plan.vm.n_out..(seg + 1) * plan.vm.n_out] != want[..] {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Appends a `plan` record for a newly instantiated size (at most
+    /// once per size per journal).
+    fn journal_plan(&self, plan: &PlanEntry) {
+        let mut guard = self.journal.lock().unwrap();
+        let Some(journal) = guard.as_mut() else {
+            return;
+        };
+        let rec = format!("plan {} {}", plan.n, plan.tree.to_spec());
+        if journal.append(&rec).is_err() {
+            self.count("spld.plan.journal_write_failures");
+        }
+    }
+}
+
+/// Parses one `plan <n> <spec>` journal record.
+fn parse_plan_record(rec: &str) -> Option<(usize, FftTree)> {
+    let mut it = rec.splitn(3, ' ');
+    if it.next()? != "plan" {
+        return None;
+    }
+    let n: usize = it.next()?.parse().ok()?;
+    let tree = FftTree::from_spec(it.next()?).ok()?;
+    if tree.size() != n {
+        return None;
+    }
+    Some((n, tree))
+}
+
+/// Relative RMS tolerance for the demotion band (matches the search's
+/// verification threshold scale).
+fn within_tolerance(got: &[f64], want: &[f64]) -> bool {
+    if got.len() != want.len() {
+        return false;
+    }
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (g, w) in got.iter().zip(want) {
+        num += (g - w) * (g - w);
+        den += w * w;
+    }
+    if den == 0.0 {
+        return num == 0.0;
+    }
+    (num / den).sqrt() < 1e-9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(dir: Option<&std::path::Path>, native: bool) -> PlanStore {
+        PlanStore::new(PlanStoreOptions {
+            state_dir: dir.map(std::path::Path::to_path_buf),
+            native,
+            ..Default::default()
+        })
+        .unwrap()
+    }
+
+    fn tmp(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("spl_plans_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn vm_tier_serves_without_native() {
+        let s = store(None, false);
+        let plan = s.entry(8).unwrap();
+        let x: Vec<f64> = (0..16).map(|i| (i as f64).cos()).collect();
+        let (y, tier) = s.run_single(&plan, &x, None).unwrap();
+        assert_eq!(tier, Tier::Vm);
+        let mut want = vec![0.0; 16];
+        plan.run_vm(&x, &mut want);
+        assert_eq!(y, want);
+    }
+
+    #[test]
+    fn unsupported_sizes_are_typed() {
+        let s = store(None, false);
+        assert!(matches!(s.entry(0), Err(ServeError::Unsupported(_))));
+        assert!(matches!(s.entry(12), Err(ServeError::Unsupported(_))));
+        assert!(matches!(s.entry(1 << 30), Err(ServeError::Unsupported(_))));
+    }
+
+    #[test]
+    fn batched_dispatch_is_bit_identical_to_singles() {
+        let s = store(None, false);
+        let plan = s.entry(4).unwrap();
+        let m = 3;
+        let xs: Vec<f64> = (0..m * 8).map(|i| (i as f64 * 0.9).sin()).collect();
+        let ys = s.run_batched(&plan, m, &xs).unwrap();
+        let mut want = vec![0.0; 8];
+        for seg in 0..m {
+            plan.run_vm(&xs[seg * 8..(seg + 1) * 8], &mut want);
+            assert_eq!(&ys[seg * 8..(seg + 1) * 8], want.as_slice());
+        }
+    }
+
+    #[test]
+    fn injected_kernel_fault_degrades_to_vm_with_correct_answer() {
+        use crate::chaos::{ChaosConfig, ChaosInjector};
+        let dir = tmp("chaosfault");
+        let s = store(Some(&dir), true);
+        let plan = s.entry(4).unwrap();
+        let chaos = ChaosInjector::new(ChaosConfig {
+            p_kernel_fault: 1.0,
+            ..Default::default()
+        });
+        let x: Vec<f64> = (0..8).map(|i| (i as f64).sin()).collect();
+        let (y, tier) = s.run_single(&plan, &x, Some(&chaos)).unwrap();
+        assert_eq!(tier, Tier::Vm, "fault must degrade to the VM tier");
+        let mut want = vec![0.0; 8];
+        plan.run_vm(&x, &mut want);
+        assert_eq!(y, want, "degraded reply must still be exact");
+        let tel = s.drain_telemetry();
+        assert_eq!(tel.counter("spld.chaos.kernel_faults"), Some(1));
+        assert_eq!(tel.counter("spld.quarantined"), Some(1));
+        // Quarantine is sticky: the next run degrades silently.
+        let (_, tier2) = s.run_single(&plan, &x, Some(&chaos)).unwrap();
+        assert_eq!(tier2, Tier::Vm);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn plans_journal_preloads_on_restart() {
+        let dir = tmp("warm");
+        {
+            let s = store(Some(&dir), false);
+            s.entry(4).unwrap();
+            s.entry(8).unwrap();
+            assert_eq!(s.plan_count(), 2);
+        } // dropped without any shutdown handshake — like SIGKILL
+        let s = store(Some(&dir), false);
+        assert_eq!(s.plan_count(), 2, "restart must replay the journal");
+        let tel = s.drain_telemetry();
+        assert_eq!(tel.counter("spld.plan.preloaded"), Some(2));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wisdom_overrides_default_tree() {
+        let s = store(None, false);
+        // A wisdom file preferring a (ct 4 4) split for size 16.
+        let tree = FftTree::node(Rule::CooleyTukey, FftTree::leaf(4), FftTree::leaf(4));
+        let wisdom = spl_search::wisdom_to_string(&[spl_search::SizeResult {
+            tree: tree.clone(),
+            cost: 1.0,
+        }]);
+        assert_eq!(s.load_wisdom(&wisdom).unwrap(), 1);
+        let plan = s.entry(16).unwrap();
+        assert_eq!(plan.tree.to_spec(), tree.to_spec());
+    }
+
+    #[test]
+    fn plan_records_parse() {
+        let tree = ct_sequence(&[2, 2, 2], Rule::CooleyTukey);
+        let rec = format!("plan 8 {}", tree.to_spec());
+        let (n, parsed) = parse_plan_record(&rec).unwrap();
+        assert_eq!(n, 8);
+        assert_eq!(parsed.to_spec(), tree.to_spec());
+        assert!(parse_plan_record("plan 8 4").is_none(), "size mismatch");
+        assert!(parse_plan_record("so abc 1 2").is_none());
+        assert!(parse_plan_record("plan").is_none());
+    }
+}

@@ -1,0 +1,604 @@
+//! The daemon proper: admission, batching workers, deadlines, drain.
+//!
+//! Connection threads parse frames and *admit* transform jobs into one
+//! bounded queue; `workers` threads pop jobs, opportunistically gather
+//! queued same-size jobs into an `I_m ⊗ A` batch, execute through the
+//! [`PlanStore`] degradation chain, and send each reply back over a
+//! per-job channel. Robustness decisions, in one place:
+//!
+//! * **Backpressure** — a full queue sheds with an explicit
+//!   [`Response::Overloaded`]; nothing is silently dropped.
+//! * **Deadlines** — checked at admission, again when a worker picks
+//!   the job up (an expired job is *cancelled*, never executed), and
+//!   implicitly bounded by the client's own frame read.
+//! * **Drain** — the `drain` verb stops admissions (new transforms get
+//!   [`Response::Draining`]), waits for the queue and in-flight work to
+//!   empty, answers, and stops the daemon. In-flight requests always
+//!   finish.
+//! * **Chaos** — an optional seeded [`ChaosInjector`] adds artificial
+//!   latency per job and simulated kernel faults per native run, so
+//!   fault paths are exercised deterministically in tests.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use spl_telemetry::cli::render_stats;
+use spl_telemetry::Telemetry;
+
+use crate::chaos::{ChaosConfig, ChaosInjector};
+use crate::plans::{PlanStore, PlanStoreOptions, ServeError};
+use crate::protocol::{
+    encode_response, parse_request, read_frame_or_eof, write_frame, ProtocolError, Request,
+    Response, Tier,
+};
+
+/// Everything configurable about one daemon instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Serving state directory (kernel cache + plan journal).
+    pub state_dir: Option<PathBuf>,
+    /// Wisdom file preloaded at startup.
+    pub wisdom: Option<PathBuf>,
+    /// Worker threads executing transforms.
+    pub workers: usize,
+    /// Bounded admission-queue capacity; beyond it requests shed.
+    pub queue_cap: usize,
+    /// Largest batch one dispatch may gather (1 disables batching).
+    pub batch_max: usize,
+    /// How long a worker holding one job waits for same-size company
+    /// before dispatching (0 = only batch what is already queued).
+    pub batch_window: Duration,
+    /// `-B` unrolling threshold for plan compilation.
+    pub unroll_threshold: usize,
+    /// Largest servable transform size.
+    pub max_size: usize,
+    /// Compile native kernels (else VM-only serving).
+    pub native: bool,
+    /// Optional fault injection.
+    pub chaos: Option<ChaosConfig>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            state_dir: None,
+            wisdom: None,
+            workers: 2,
+            queue_cap: 64,
+            batch_max: 16,
+            batch_window: Duration::ZERO,
+            unroll_threshold: 64,
+            max_size: 1 << 16,
+            native: true,
+            chaos: None,
+        }
+    }
+}
+
+/// One admitted transform job.
+struct Job {
+    n: usize,
+    data: Vec<f64>,
+    deadline: Option<Instant>,
+    admitted: Instant,
+    reply: mpsc::Sender<Response>,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    draining: bool,
+    stopped: bool,
+}
+
+/// Latency ring: enough samples for stable p50/p99 without unbounded
+/// growth.
+const LATENCY_RING: usize = 4096;
+
+/// Shared daemon state: plan store, queue, counters.
+pub struct Server {
+    config: ServerConfig,
+    store: PlanStore,
+    chaos: Option<ChaosInjector>,
+    queue: Mutex<QueueState>,
+    /// Signals workers that the queue gained a job (or stopped).
+    available: Condvar,
+    /// Signals the drainer that the queue may have emptied.
+    idle: Condvar,
+    in_flight: AtomicUsize,
+    /// Accept loops exit when set.
+    shutdown: AtomicBool,
+    tel: Mutex<Telemetry>,
+    latencies: Mutex<VecDeque<u64>>,
+    started: Instant,
+}
+
+impl Server {
+    /// Builds the daemon: opens the plan store (replaying its journal),
+    /// loads wisdom, and starts nothing yet — call [`Server::serve_unix`]
+    /// or [`Server::serve_stream`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates state-directory and wisdom failures.
+    pub fn new(config: ServerConfig) -> Result<Arc<Server>, ServeError> {
+        let store = PlanStore::new(PlanStoreOptions {
+            state_dir: config.state_dir.clone(),
+            unroll_threshold: config.unroll_threshold,
+            max_size: config.max_size,
+            native: config.native,
+            ..Default::default()
+        })?;
+        if let Some(path) = &config.wisdom {
+            let text = std::fs::read_to_string(path).map_err(|e| {
+                ServeError::Unsupported(format!("reading wisdom {}: {e}", path.display()))
+            })?;
+            store.load_wisdom(&text)?;
+        }
+        let chaos = config.chaos.map(ChaosInjector::new);
+        Ok(Arc::new(Server {
+            config,
+            store,
+            chaos,
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                draining: false,
+                stopped: false,
+            }),
+            available: Condvar::new(),
+            idle: Condvar::new(),
+            in_flight: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            tel: Mutex::new(Telemetry::new()),
+            latencies: Mutex::new(VecDeque::with_capacity(LATENCY_RING)),
+            started: Instant::now(),
+        }))
+    }
+
+    /// Spawns the worker pool. Idempotent enough for one call per
+    /// daemon; callers hold the `JoinHandle`s if they want to join
+    /// after [`Server::is_shut_down`].
+    pub fn start_workers(self: &Arc<Server>) -> Vec<std::thread::JoinHandle<()>> {
+        (0..self.config.workers.max(1))
+            .map(|_| {
+                let server = Arc::clone(self);
+                std::thread::spawn(move || server.worker_loop())
+            })
+            .collect()
+    }
+
+    /// Serves a Unix socket at `path` until drained: binds (replacing a
+    /// stale socket file), accepts connections, one thread per client.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures; per-connection errors are contained.
+    #[cfg(unix)]
+    pub fn serve_unix(self: &Arc<Server>, path: &Path) -> std::io::Result<()> {
+        use std::os::unix::net::UnixListener;
+        let _ = std::fs::remove_file(path);
+        let listener = UnixListener::bind(path)?;
+        listener.set_nonblocking(true)?;
+        let workers = self.start_workers();
+        let mut conns = Vec::new();
+        while !self.shutdown.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    // An idle client must not pin its connection thread
+                    // past shutdown: the read timeout bounds how long a
+                    // blocked read can outlive the drain.
+                    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+                    let server = Arc::clone(self);
+                    conns.push(std::thread::spawn(move || {
+                        let mut reader = match stream.try_clone() {
+                            Ok(r) => r,
+                            Err(_) => return,
+                        };
+                        let mut writer = stream;
+                        server.serve_connection(&mut reader, &mut writer);
+                    }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+        for c in conns {
+            let _ = c.join();
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+        let _ = std::fs::remove_file(path);
+        Ok(())
+    }
+
+    /// Serves exactly one connection over any byte stream (`--stdio`
+    /// mode and in-process tests), spawning and joining the worker pool
+    /// around it.
+    pub fn serve_stream(self: &Arc<Server>, r: &mut impl Read, w: &mut impl Write) {
+        let workers = self.start_workers();
+        self.serve_connection(r, w);
+        // One-shot service: when the single client is done, stop.
+        self.stop();
+        for t in workers {
+            let _ = t.join();
+        }
+    }
+
+    /// Whether drain (or stop) has completed.
+    pub fn is_shut_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Stops workers and accept loops without waiting for queued work
+    /// (used after a connection-driven drain, and by tests).
+    pub fn stop(&self) {
+        let mut q = self.queue.lock().unwrap();
+        q.stopped = true;
+        drop(q);
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.available.notify_all();
+    }
+
+    /// The per-connection read-dispatch-reply loop. Protocol errors are
+    /// answered (typed) when the stream still has integrity, and close
+    /// the connection when it does not; they never take the daemon
+    /// down.
+    fn serve_connection(self: &Arc<Server>, r: &mut impl Read, w: &mut impl Write) {
+        loop {
+            let payload = match read_frame_or_eof(r) {
+                Ok(None) => return, // clean disconnect
+                Ok(Some(p)) => p,
+                Err(ProtocolError::IdleTimeout) => {
+                    // Idle connection: keep waiting unless the daemon is
+                    // going away under us.
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    continue;
+                }
+                Err(err) => {
+                    self.count("spld.protocol_errors");
+                    // A lost stream offset (oversized/truncated) cannot
+                    // be answered reliably; try once, then close.
+                    let _ = self.reply_protocol_error(w, &err);
+                    return;
+                }
+            };
+            let request = match parse_request(&payload) {
+                Ok(req) => req,
+                Err(err) => {
+                    self.count("spld.protocol_errors");
+                    if self.reply_protocol_error(w, &err).is_err() || !err.recoverable() {
+                        return;
+                    }
+                    continue;
+                }
+            };
+            let (response, drain_after) = self.dispatch(request);
+            if write_frame(w, &encode_response(&response)).is_err() {
+                // Mid-flight disconnect: the work is already done; drop
+                // the reply and the connection.
+                self.count("spld.disconnects");
+                return;
+            }
+            if drain_after {
+                self.stop();
+                return;
+            }
+        }
+    }
+
+    fn reply_protocol_error(
+        &self,
+        w: &mut impl Write,
+        err: &ProtocolError,
+    ) -> Result<(), ProtocolError> {
+        write_frame(
+            w,
+            &encode_response(&Response::Error {
+                class: b'p',
+                message: err.to_string(),
+            }),
+        )
+    }
+
+    /// Routes one parsed request. The bool asks the connection loop to
+    /// finish the daemon's shutdown after the reply is written (drain).
+    fn dispatch(self: &Arc<Server>, request: Request) -> (Response, bool) {
+        match request {
+            Request::Health => (
+                Response::Text(format!(
+                    "ok uptime_ms={} plans={} queue_depth={}",
+                    self.started.elapsed().as_millis(),
+                    self.store.plan_count(),
+                    self.queue.lock().unwrap().jobs.len(),
+                )),
+                false,
+            ),
+            Request::Stats => (Response::Text(self.stats_text()), false),
+            Request::Drain => {
+                self.drain();
+                (Response::Text("drained".into()), true)
+            }
+            Request::Transform {
+                n,
+                data,
+                deadline_ms,
+                ..
+            } => (self.admit(n, data, deadline_ms), false),
+        }
+    }
+
+    /// Admission control: deadline bookkeeping, drain refusal, bounded
+    /// queue with explicit shedding — then block on the reply channel.
+    fn admit(&self, n: usize, data: Vec<f64>, deadline_ms: Option<u32>) -> Response {
+        self.count("spld.requests");
+        if data.len() != 2 * n {
+            return Response::Error {
+                class: b'p',
+                message: format!("{} samples for size {n}", data.len()),
+            };
+        }
+        let admitted = Instant::now();
+        let deadline = deadline_ms.map(|ms| admitted + Duration::from_millis(u64::from(ms)));
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut q = self.queue.lock().unwrap();
+            if q.draining || q.stopped {
+                return Response::Draining;
+            }
+            if q.jobs.len() >= self.config.queue_cap {
+                self.count("spld.shed");
+                return Response::Overloaded;
+            }
+            q.jobs.push_back(Job {
+                n,
+                data,
+                deadline,
+                admitted,
+                reply: tx,
+            });
+            let depth = q.jobs.len();
+            drop(q);
+            self.tel
+                .lock()
+                .unwrap()
+                .set_metric("spld.queue.peak_depth", depth as f64);
+            self.available.notify_one();
+        }
+        // The worker owns the job now; it always sends exactly one
+        // reply (even for cancelled deadlines), so a disconnected
+        // channel is a daemon bug surfaced as an internal error.
+        match rx.recv() {
+            Ok(resp) => resp,
+            Err(_) => Response::Error {
+                class: b'i',
+                message: "worker dropped the reply channel".into(),
+            },
+        }
+    }
+
+    /// The drain handshake: stop admissions, wake everyone, wait for
+    /// the queue and in-flight work to empty.
+    fn drain(&self) {
+        let mut q = self.queue.lock().unwrap();
+        q.draining = true;
+        self.available.notify_all();
+        while !q.jobs.is_empty() || self.in_flight.load(Ordering::SeqCst) > 0 {
+            let (guard, _) = self
+                .idle
+                .wait_timeout(q, Duration::from_millis(50))
+                .unwrap();
+            q = guard;
+        }
+        self.count("spld.drains");
+    }
+
+    fn worker_loop(self: &Arc<Server>) {
+        loop {
+            let batch = {
+                let mut q = self.queue.lock().unwrap();
+                loop {
+                    if let Some(first) = q.jobs.pop_front() {
+                        // Counted while the queue lock is held, so drain
+                        // never observes "queue empty, nothing in
+                        // flight" between a pop and its execution.
+                        self.in_flight.fetch_add(1, Ordering::SeqCst);
+                        break self.gather_batch(q, first);
+                    }
+                    if q.stopped || (q.draining && self.in_flight.load(Ordering::SeqCst) == 0) {
+                        self.idle.notify_all();
+                        return;
+                    }
+                    let (guard, _) = self
+                        .available
+                        .wait_timeout(q, Duration::from_millis(100))
+                        .unwrap();
+                    q = guard;
+                }
+            };
+            let size = batch.len();
+            self.execute_batch(batch);
+            self.in_flight.fetch_sub(size, Ordering::SeqCst);
+            self.idle.notify_all();
+        }
+    }
+
+    /// Greedy same-size batch gathering: everything already queued for
+    /// the first job's size (up to `batch_max`), plus — when a batch
+    /// window is configured — a short wait for more company.
+    fn gather_batch(&self, mut q: std::sync::MutexGuard<'_, QueueState>, first: Job) -> Vec<Job> {
+        let n = first.n;
+        let mut batch = vec![first];
+        loop {
+            while batch.len() < self.config.batch_max {
+                if let Some(pos) = q.jobs.iter().position(|j| j.n == n) {
+                    let job = q.jobs.remove(pos).expect("position is in range");
+                    self.in_flight.fetch_add(1, Ordering::SeqCst);
+                    batch.push(job);
+                } else {
+                    break;
+                }
+            }
+            if batch.len() >= self.config.batch_max
+                || self.config.batch_window.is_zero()
+                || q.draining
+                || q.stopped
+            {
+                return batch;
+            }
+            // Hold the single job briefly: under concurrent load the
+            // window converts back-to-back arrivals into real batches.
+            let deadline_ok = batch.iter().all(|j| {
+                j.deadline
+                    .is_none_or(|d| Instant::now() + self.config.batch_window < d)
+            });
+            if batch.len() > 1 || !deadline_ok {
+                return batch;
+            }
+            let (guard, timeout) = self
+                .available
+                .wait_timeout(q, self.config.batch_window)
+                .unwrap();
+            q = guard;
+            if let Some(pos) = q.jobs.iter().position(|j| j.n == n) {
+                let job = q.jobs.remove(pos).expect("position is in range");
+                self.in_flight.fetch_add(1, Ordering::SeqCst);
+                batch.push(job);
+            }
+            if timeout.timed_out() {
+                return batch;
+            }
+        }
+    }
+
+    /// Executes one gathered batch end to end and replies per job.
+    fn execute_batch(self: &Arc<Server>, batch: Vec<Job>) {
+        // Cancellation: jobs whose deadline passed while queued are
+        // answered (never executed), and drop out of the batch.
+        let now = Instant::now();
+        let (expired, live): (Vec<Job>, Vec<Job>) = batch
+            .into_iter()
+            .partition(|j| j.deadline.is_some_and(|d| d <= now));
+        for job in expired {
+            self.count("spld.deadline.missed");
+            let _ = job.reply.send(Response::DeadlineExceeded);
+        }
+        if live.is_empty() {
+            return;
+        }
+        if let Some(chaos) = &self.chaos {
+            if let Some(delay) = chaos.latency() {
+                self.count("spld.chaos.latency_injected");
+                std::thread::sleep(delay);
+            }
+        }
+        let n = live[0].n;
+        let plan = match self.store.entry(n) {
+            Ok(plan) => plan,
+            Err(err) => {
+                for job in live {
+                    let _ = job.reply.send(Response::Error {
+                        class: err.class(),
+                        message: err.to_string(),
+                    });
+                }
+                return;
+            }
+        };
+        let m = live.len();
+        self.count("spld.batch.dispatches");
+        self.tel
+            .lock()
+            .unwrap()
+            .add("spld.batch.requests", m as u64);
+        if m > 1 {
+            self.count("spld.batch.multi");
+            let mut xs = Vec::with_capacity(m * plan.vm().n_in);
+            for job in &live {
+                xs.extend_from_slice(&job.data);
+            }
+            if let Some(ys) = self.store.run_batched(&plan, m, &xs) {
+                self.count("spld.tier.batched");
+                let n_out = plan.vm().n_out;
+                for (seg, job) in live.iter().enumerate() {
+                    self.finish(
+                        job,
+                        Response::Transformed {
+                            tier: Tier::BatchedVm,
+                            data: ys[seg * n_out..(seg + 1) * n_out].to_vec(),
+                        },
+                    );
+                }
+                return;
+            }
+            // Batched program unavailable (self-check failed): degrade
+            // to per-request execution — correctness over speed.
+            self.count("spld.batch.fallback_singles");
+        }
+        for job in &live {
+            let response = match self.store.run_single(&plan, &job.data, self.chaos.as_ref()) {
+                Ok((data, tier)) => {
+                    if tier == Tier::Vm {
+                        self.count("spld.tier.vm");
+                    }
+                    Response::Transformed { tier, data }
+                }
+                Err(err) => Response::Error {
+                    class: err.class(),
+                    message: err.to_string(),
+                },
+            };
+            self.finish(job, response);
+        }
+    }
+
+    /// Final deadline check plus latency accounting, then the reply.
+    fn finish(&self, job: &Job, response: Response) {
+        let elapsed = job.admitted.elapsed();
+        let response = match job.deadline {
+            Some(d) if Instant::now() > d => {
+                self.count("spld.deadline.missed");
+                Response::DeadlineExceeded
+            }
+            _ => response,
+        };
+        if matches!(response, Response::Transformed { .. }) {
+            self.count("spld.replies.ok");
+            let mut ring = self.latencies.lock().unwrap();
+            if ring.len() == LATENCY_RING {
+                ring.pop_front();
+            }
+            ring.push_back(elapsed.as_micros() as u64);
+        }
+        let _ = job.reply.send(response);
+    }
+
+    /// The `stats` verb body: merged daemon + plan-store + kernel-cache
+    /// telemetry rendered as the standard `--stats` table (script-
+    /// friendly counter lines).
+    pub fn stats_text(&self) -> String {
+        let mut tel = self.tel.lock().unwrap();
+        tel.merge(&self.store.drain_telemetry());
+        let ring = self.latencies.lock().unwrap();
+        if !ring.is_empty() {
+            let mut sorted: Vec<u64> = ring.iter().copied().collect();
+            sorted.sort_unstable();
+            let pick = |p: f64| sorted[((sorted.len() - 1) as f64 * p) as usize];
+            tel.set_metric("spld.latency.p50_us", pick(0.50) as f64);
+            tel.set_metric("spld.latency.p99_us", pick(0.99) as f64);
+        }
+        render_stats(&tel)
+    }
+
+    fn count(&self, key: &str) {
+        self.tel.lock().unwrap().add(key, 1);
+    }
+}

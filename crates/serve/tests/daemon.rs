@@ -1,0 +1,490 @@
+//! Live-daemon integration tests: Unix-socket serving, batching,
+//! overload shedding, deadline cancellation, drain, and protocol
+//! robustness against a *running* server (the parser-level robustness
+//! corpus lives in the protocol unit tests; these prove the daemon
+//! stays alive behind it).
+
+#![cfg(unix)]
+
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use spl_serve::plans::{PlanStore, PlanStoreOptions};
+use spl_serve::{ChaosConfig, Client, Response, Server, ServerConfig, Tier};
+
+/// Bitwise equality — the serving invariant is *bit-identical to the
+/// plan's VM output*, so `==` on floats (which would equate 0.0 and
+/// -0.0) is not strict enough.
+fn assert_bits_eq(got: &[f64], want: &[f64]) {
+    assert_eq!(got.len(), want.len(), "length mismatch");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "sample {i} differs: {g:?} vs {w:?}"
+        );
+    }
+}
+
+/// The reference a reply must bitwise-match: the same VM program the
+/// daemon resolves for `n`, run locally.
+fn expected_vm(n: usize, x: &[f64]) -> Vec<f64> {
+    let store = PlanStore::new(PlanStoreOptions {
+        native: false,
+        ..Default::default()
+    })
+    .expect("local plan store");
+    let plan = store.entry(n).expect("plan");
+    let mut y = vec![0.0; plan.vm().n_out];
+    plan.run_vm(x, &mut y);
+    y
+}
+
+fn sample_input(n: usize, salt: u64) -> Vec<f64> {
+    (0..2 * n)
+        .map(|i| ((i as u64 * 37 + salt * 101) % 97) as f64 * 0.25 - 12.0)
+        .collect()
+}
+
+struct TestDaemon {
+    socket: PathBuf,
+    server: Arc<Server>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TestDaemon {
+    fn start(name: &str, config: ServerConfig) -> TestDaemon {
+        let dir = std::env::temp_dir().join(format!("spld-it-{}-{}", name, std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("test dir");
+        let socket = dir.join("sock");
+        let server = Server::new(config).expect("server");
+        let s = Arc::clone(&server);
+        let path = socket.clone();
+        let handle = std::thread::spawn(move || {
+            s.serve_unix(&path).expect("serve_unix");
+        });
+        // Wait for the listener to bind.
+        for _ in 0..400 {
+            if socket.exists() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(socket.exists(), "daemon never bound its socket");
+        TestDaemon {
+            socket,
+            server,
+            handle: Some(handle),
+        }
+    }
+
+    fn client(&self) -> Client<UnixStream> {
+        for _ in 0..50 {
+            if let Ok(c) = Client::connect_unix(&self.socket) {
+                return c;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        panic!("could not connect to {}", self.socket.display());
+    }
+
+    /// Drains over the wire and joins the daemon thread.
+    fn shut_down(mut self) {
+        let mut c = self.client();
+        match c.drain().expect("drain") {
+            Response::Text(t) => assert_eq!(t, "drained"),
+            other => panic!("drain answered {other:?}"),
+        }
+        self.handle
+            .take()
+            .expect("not yet joined")
+            .join()
+            .expect("daemon thread");
+        assert!(self.server.is_shut_down());
+    }
+
+    fn counter(&self, stats: &str, key: &str) -> u64 {
+        stats
+            .lines()
+            .filter_map(|line| {
+                let mut it = line.split_whitespace();
+                match (it.next(), it.next()) {
+                    (Some(k), Some(v)) if k == key => v.parse().ok(),
+                    _ => None,
+                }
+            })
+            .next()
+            .unwrap_or(0)
+    }
+}
+
+fn vm_only(config: ServerConfig) -> ServerConfig {
+    ServerConfig {
+        native: false,
+        ..config
+    }
+}
+
+#[test]
+fn daemon_serves_bit_identical_to_vm_over_socket() {
+    let daemon = TestDaemon::start("serve", vm_only(ServerConfig::default()));
+    let mut client = daemon.client();
+    for (salt, n) in [(1u64, 4usize), (2, 8), (3, 16), (4, 8)] {
+        let x = sample_input(n, salt);
+        match client.transform(n, None, &x).expect("transform") {
+            Response::Transformed { data, .. } => assert_bits_eq(&data, &expected_vm(n, &x)),
+            other => panic!("size {n} answered {other:?}"),
+        }
+    }
+    // Health names the warm plans.
+    match client.health().expect("health") {
+        Response::Text(t) => assert!(t.contains("plans=3"), "health said: {t}"),
+        other => panic!("health answered {other:?}"),
+    }
+    drop(client);
+    daemon.shut_down();
+}
+
+#[test]
+fn unsupported_sizes_get_typed_errors_not_disconnects() {
+    let daemon = TestDaemon::start("unsupported", vm_only(ServerConfig::default()));
+    let mut client = daemon.client();
+    // Size 6 has no radix-2 plan and no wisdom: a typed error...
+    match client
+        .transform(6, None, &sample_input(6, 9))
+        .expect("transform")
+    {
+        Response::Error { class, .. } => assert_eq!(class, b'u'),
+        other => panic!("size 6 answered {other:?}"),
+    }
+    // ...and the connection still serves the next request.
+    let x = sample_input(4, 10);
+    match client.transform(4, None, &x).expect("transform") {
+        Response::Transformed { data, .. } => assert_bits_eq(&data, &expected_vm(4, &x)),
+        other => panic!("size 4 answered {other:?}"),
+    }
+    drop(client);
+    daemon.shut_down();
+}
+
+#[test]
+fn overload_sheds_with_explicit_reply() {
+    let config = ServerConfig {
+        workers: 1,
+        queue_cap: 2,
+        batch_max: 1, // no batching: keep the queue under real pressure
+        chaos: Some(ChaosConfig {
+            seed: 7,
+            p_kernel_fault: 0.0,
+            p_latency: 1.0,
+            latency: Duration::from_millis(40),
+        }),
+        ..ServerConfig::default()
+    };
+    let daemon = TestDaemon::start("overload", vm_only(config));
+    let clients = 12;
+    let barrier = Arc::new(Barrier::new(clients));
+    let results: Vec<Response> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|salt| {
+                let mut client = daemon.client();
+                let barrier = Arc::clone(&barrier);
+                scope.spawn(move || {
+                    let x = sample_input(4, salt as u64);
+                    barrier.wait();
+                    let resp = client.transform(4, None, &x).expect("transform");
+                    if let Response::Transformed { data, .. } = &resp {
+                        assert_bits_eq(data, &expected_vm(4, &x));
+                    }
+                    resp
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+    let shed = results
+        .iter()
+        .filter(|r| matches!(r, Response::Overloaded))
+        .count();
+    let ok = results
+        .iter()
+        .filter(|r| matches!(r, Response::Transformed { .. }))
+        .count();
+    assert!(
+        shed >= 1,
+        "queue_cap=2 with 12 clients must shed: {results:?}"
+    );
+    assert!(ok >= 3, "the queue still serves: {results:?}");
+    assert_eq!(shed + ok, clients, "every request answered explicitly");
+    let mut client = daemon.client();
+    let stats = match client.stats().expect("stats") {
+        Response::Text(t) => t,
+        other => panic!("stats answered {other:?}"),
+    };
+    assert_eq!(daemon.counter(&stats, "spld.shed"), shed as u64);
+    drop(client);
+    daemon.shut_down();
+}
+
+#[test]
+fn deadlines_cancel_rather_than_serve_late() {
+    let config = ServerConfig {
+        workers: 1,
+        batch_max: 1,
+        chaos: Some(ChaosConfig {
+            seed: 11,
+            p_kernel_fault: 0.0,
+            p_latency: 1.0,
+            latency: Duration::from_millis(60),
+        }),
+        ..ServerConfig::default()
+    };
+    let daemon = TestDaemon::start("deadline", vm_only(config));
+    let mut client = daemon.client();
+    let x = sample_input(8, 5);
+    match client
+        .transform(8, Some(Duration::from_millis(5)), &x)
+        .expect("transform")
+    {
+        Response::DeadlineExceeded => {}
+        other => panic!("5ms deadline under 60ms injected latency answered {other:?}"),
+    }
+    // Without a deadline the same request succeeds, bit-identical.
+    match client.transform(8, None, &x).expect("transform") {
+        Response::Transformed { data, .. } => assert_bits_eq(&data, &expected_vm(8, &x)),
+        other => panic!("undeadlined request answered {other:?}"),
+    }
+    let stats = match client.stats().expect("stats") {
+        Response::Text(t) => t,
+        other => panic!("stats answered {other:?}"),
+    };
+    assert!(daemon.counter(&stats, "spld.deadline.missed") >= 1);
+    assert!(daemon.counter(&stats, "spld.chaos.latency_injected") >= 2);
+    drop(client);
+    daemon.shut_down();
+}
+
+#[test]
+fn batching_fuses_concurrent_same_size_requests() {
+    let config = ServerConfig {
+        workers: 1,
+        batch_max: 8,
+        batch_window: Duration::from_millis(25),
+        ..ServerConfig::default()
+    };
+    let daemon = TestDaemon::start("batch", vm_only(config));
+    let clients = 6;
+    let barrier = Arc::new(Barrier::new(clients));
+    let tiers: Vec<Tier> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|salt| {
+                let mut client = daemon.client();
+                let barrier = Arc::clone(&barrier);
+                scope.spawn(move || {
+                    let x = sample_input(8, 20 + salt as u64);
+                    barrier.wait();
+                    match client.transform(8, None, &x).expect("transform") {
+                        Response::Transformed { tier, data } => {
+                            // The batched path must stay bit-identical to
+                            // the single-request VM answer.
+                            assert_bits_eq(&data, &expected_vm(8, &x));
+                            tier
+                        }
+                        other => panic!("batched client answered {other:?}"),
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+    assert!(
+        tiers.contains(&Tier::BatchedVm),
+        "no request was served from a batch: {tiers:?}"
+    );
+    let mut client = daemon.client();
+    let stats = match client.stats().expect("stats") {
+        Response::Text(t) => t,
+        other => panic!("stats answered {other:?}"),
+    };
+    assert!(
+        daemon.counter(&stats, "spld.batch.multi") >= 1,
+        "stats must show a multi-request dispatch:\n{stats}"
+    );
+    assert!(
+        daemon.counter(&stats, "spld.batch.requests")
+            > daemon.counter(&stats, "spld.batch.dispatches"),
+        "batched dispatches must cover more requests than dispatches:\n{stats}"
+    );
+    drop(client);
+    daemon.shut_down();
+}
+
+#[test]
+fn drain_finishes_in_flight_work_before_stopping() {
+    let config = ServerConfig {
+        workers: 1,
+        batch_max: 1,
+        chaos: Some(ChaosConfig {
+            seed: 13,
+            p_kernel_fault: 0.0,
+            p_latency: 1.0,
+            latency: Duration::from_millis(80),
+        }),
+        ..ServerConfig::default()
+    };
+    let mut daemon = TestDaemon::start("drain", vm_only(config));
+    let x = sample_input(4, 31);
+    let slow = {
+        let mut client = daemon.client();
+        let x = x.clone();
+        std::thread::spawn(move || client.transform(4, None, &x).expect("transform"))
+    };
+    // Let the slow job get admitted, then drain concurrently.
+    std::thread::sleep(Duration::from_millis(20));
+    let mut drainer = daemon.client();
+    let drained = drainer.drain().expect("drain");
+    assert_eq!(drained, Response::Text("drained".into()));
+    // The in-flight job was finished, not abandoned.
+    match slow.join().expect("slow client") {
+        Response::Transformed { data, .. } => assert_bits_eq(&data, &expected_vm(4, &x)),
+        other => panic!("in-flight request answered {other:?}"),
+    }
+    daemon
+        .handle
+        .take()
+        .expect("handle")
+        .join()
+        .expect("daemon thread");
+    assert!(daemon.server.is_shut_down());
+    assert!(!daemon.socket.exists(), "socket file removed on shutdown");
+}
+
+#[test]
+fn malformed_frames_answered_and_daemon_survives() {
+    let daemon = TestDaemon::start("malformed", vm_only(ServerConfig::default()));
+
+    // A complete frame with a bad verb: typed error, connection lives.
+    let mut client = daemon.client();
+    client.send_raw_frame(&[b'Z', 1, 2, 3]).expect("send");
+    match client.read_response().expect("reply") {
+        Response::Error { class, .. } => assert_eq!(class, b'p'),
+        other => panic!("bad verb answered {other:?}"),
+    }
+    match client.health().expect("health after bad verb") {
+        Response::Text(_) => {}
+        other => panic!("health answered {other:?}"),
+    }
+
+    // An oversized length prefix: answered once, then the connection is
+    // closed (stream offset is unrecoverable).
+    client
+        .send_raw_bytes(&[0xff, 0xff, 0xff, 0xff])
+        .expect("send");
+    match client.read_response() {
+        Ok(Response::Error { class, .. }) => assert_eq!(class, b'p'),
+        Ok(other) => panic!("oversized length answered {other:?}"),
+        Err(_) => {} // already closed: also acceptable
+    }
+    drop(client);
+
+    // Seeded garbage corpus against the live daemon: framed garbage is
+    // answered or the connection is dropped — the daemon never dies.
+    let mut state = 0x0dd_ba11u64;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    for _ in 0..40 {
+        let mut garbage = daemon.client();
+        let len = (next() % 48) as usize + 1;
+        let mut payload: Vec<u8> = (0..len).map(|_| (next() & 0xff) as u8).collect();
+        if payload[0] == b'D' {
+            // Fuzz must not accidentally speak a valid drain verb.
+            payload[0] = b'!';
+        }
+        if garbage.send_raw_frame(&payload).is_ok() {
+            let _ = garbage.read_response();
+        }
+    }
+    // Torn frame: a length prefix promising more than is sent, then a
+    // hard disconnect mid-frame.
+    let mut torn = daemon.client();
+    torn.send_raw_bytes(&[0, 0, 1, 0, b'T']).expect("send");
+    drop(torn);
+
+    // After all of it: a fresh client gets correct answers.
+    let mut fresh = daemon.client();
+    let x = sample_input(4, 77);
+    match fresh.transform(4, None, &x).expect("transform") {
+        Response::Transformed { data, .. } => assert_bits_eq(&data, &expected_vm(4, &x)),
+        other => panic!("post-garbage transform answered {other:?}"),
+    }
+    let stats = match fresh.stats().expect("stats") {
+        Response::Text(t) => t,
+        other => panic!("stats answered {other:?}"),
+    };
+    assert!(daemon.counter(&stats, "spld.protocol_errors") >= 2);
+    drop(fresh);
+    daemon.shut_down();
+}
+
+#[test]
+fn mid_flight_disconnect_does_not_kill_the_daemon() {
+    let config = ServerConfig {
+        workers: 1,
+        batch_max: 1,
+        chaos: Some(ChaosConfig {
+            seed: 17,
+            p_kernel_fault: 0.0,
+            p_latency: 1.0,
+            latency: Duration::from_millis(60),
+        }),
+        ..ServerConfig::default()
+    };
+    let daemon = TestDaemon::start("disconnect", vm_only(config));
+    {
+        let mut client = daemon.client();
+        let x = sample_input(8, 41);
+        // Fire the request, then vanish before the (delayed) reply.
+        client
+            .send_raw_frame(&spl_serve::protocol::encode_request(
+                &spl_serve::Request::Transform {
+                    kind: spl_serve::protocol::KIND_DFT,
+                    n: 8,
+                    deadline_ms: None,
+                    data: x,
+                },
+            ))
+            .expect("send");
+    } // dropped: mid-flight disconnect
+      // Give the worker time to finish and hit the dead socket.
+    std::thread::sleep(Duration::from_millis(120));
+    let mut fresh = daemon.client();
+    let x = sample_input(8, 42);
+    match fresh.transform(8, None, &x).expect("transform") {
+        Response::Transformed { data, .. } => assert_bits_eq(&data, &expected_vm(8, &x)),
+        other => panic!("post-disconnect transform answered {other:?}"),
+    }
+    let stats = match fresh.stats().expect("stats") {
+        Response::Text(t) => t,
+        other => panic!("stats answered {other:?}"),
+    };
+    assert!(
+        daemon.counter(&stats, "spld.disconnects") >= 1,
+        "the dropped reply must be counted:\n{stats}"
+    );
+    drop(fresh);
+    daemon.shut_down();
+}

@@ -24,9 +24,61 @@
 //! opts.finish(&report).unwrap();
 //! ```
 
+use std::io::Write as _;
 use std::path::Path;
 
 use crate::{RunReport, Telemetry};
+
+/// Writes formatted text to stdout, treating a broken pipe as a quiet,
+/// successful exit. Tools whose stdout feeds a pipeline
+/// (`splprof ... | head`) must not panic when the reader goes away —
+/// the classic `println!` does exactly that. Any other write error is
+/// reported on stderr and exits nonzero.
+///
+/// Call as `emit(format_args!(...))`; [`emitln`] appends a newline.
+pub fn emit(args: std::fmt::Arguments<'_>) {
+    write_stdout(args, false);
+}
+
+/// [`emit`] plus a trailing newline — the broken-pipe-safe `println!`.
+pub fn emitln(args: std::fmt::Arguments<'_>) {
+    write_stdout(args, true);
+}
+
+/// The broken-pipe-safe `print!`: forwards to [`cli::emit`](emit).
+#[macro_export]
+macro_rules! out {
+    ($($arg:tt)*) => { $crate::cli::emit(format_args!($($arg)*)) };
+}
+
+/// The broken-pipe-safe `println!`: forwards to
+/// [`cli::emitln`](emitln).
+#[macro_export]
+macro_rules! outln {
+    () => { $crate::cli::emitln(format_args!("")) };
+    ($($arg:tt)*) => { $crate::cli::emitln(format_args!($($arg)*)) };
+}
+
+fn write_stdout(args: std::fmt::Arguments<'_>, newline: bool) {
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let res = out.write_fmt(args).and_then(|()| {
+        if newline {
+            out.write_all(b"\n")
+        } else {
+            Ok(())
+        }
+    });
+    if let Err(e) = res {
+        if e.kind() == std::io::ErrorKind::BrokenPipe {
+            // The reader (e.g. `head`) closed the pipe: a normal end of
+            // output, not an error.
+            std::process::exit(0);
+        }
+        eprintln!("error: writing stdout: {e}");
+        std::process::exit(1);
+    }
+}
 
 /// Usage text for the shared flags, for splicing into a tool's `--help`.
 pub const USAGE: &str = "  --stats        print per-phase times and per-pass counters to stderr

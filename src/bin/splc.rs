@@ -13,6 +13,7 @@ use spl::frontend::ast::Language;
 use spl::numeric::Complex;
 use spl::telemetry::cli::ReportOptions;
 use spl::telemetry::RunReport;
+use spl::telemetry::{out, outln};
 
 const USAGE: &str = "\
 usage: splc [options] [file.spl]        (stdin when no file)
@@ -121,7 +122,7 @@ fn main() -> ExitCode {
             "--inject-buggy-pass" => opts.inject_buggy_pass = true,
             "--list-passes" => {
                 for p in spl::compiler::passes::registered_passes() {
-                    println!("{:<20} {}", p.name(), p.description());
+                    outln!("{:<20} {}", p.name(), p.description());
                 }
                 return ExitCode::SUCCESS;
             }
@@ -129,7 +130,7 @@ fn main() -> ExitCode {
             "--run" => run = true,
             "--run-vm" => run_vm = true,
             "-h" | "--help" => {
-                print!("{USAGE}{}", spl::telemetry::cli::USAGE);
+                out!("{USAGE}{}", spl::telemetry::cli::USAGE);
                 return ExitCode::SUCCESS;
             }
             other if !other.starts_with('-') && file.is_none() => {
@@ -175,13 +176,15 @@ fn main() -> ExitCode {
     }
     for unit in &units {
         if print_icode {
-            println!(
+            outln!(
                 "; {} ({} -> {} reals)",
-                unit.name, unit.program.n_in, unit.program.n_out
+                unit.name,
+                unit.program.n_in,
+                unit.program.n_out
             );
-            print!("{}", unit.program);
+            out!("{}", unit.program);
         } else {
-            print!("{}", unit.emit_traced(&mut tel));
+            out!("{}", unit.emit_traced(&mut tel));
         }
         if run {
             let x: Vec<Complex> = (0..unit.program.n_in)
@@ -189,9 +192,9 @@ fn main() -> ExitCode {
                 .collect();
             match spl::icode::interp::run(&unit.program, &x) {
                 Ok(y) => {
-                    println!("; {} output on sin-ramp input:", unit.name);
+                    outln!("; {} output on sin-ramp input:", unit.name);
                     for (k, v) in y.iter().enumerate() {
-                        println!(";   y({}) = {v}", k + 1);
+                        outln!(";   y({}) = {v}", k + 1);
                     }
                 }
                 Err(e) => return fail(&format!("running {}: {e}", unit.name)),
@@ -206,7 +209,7 @@ fn main() -> ExitCode {
             let mut y = vec![0.0; vm.n_out];
             let mut st = spl::vm::VmState::new(&vm);
             vm.run(&x, &mut y, &mut st);
-            println!(
+            outln!(
                 "; {} via VM ({}) on sin-ramp input:",
                 unit.name,
                 match vm.resolve_fallback() {
@@ -215,13 +218,13 @@ fn main() -> ExitCode {
                 }
             );
             for (k, v) in y.iter().enumerate() {
-                println!(";   y({}) = {v}", k + 1);
+                outln!(";   y({}) = {v}", k + 1);
             }
             if let Some(rs) = vm.resolve_stats() {
                 rs.record(&mut tel);
             }
         }
-        println!();
+        outln!();
     }
     let mut report = RunReport::new("splc");
     report.meta("opt_level", opt_name);

@@ -12,6 +12,7 @@ use std::process::ExitCode;
 use spl::fuzz::{run, FuzzConfig};
 use spl::telemetry::cli::ReportOptions;
 use spl::telemetry::RunReport;
+use spl::telemetry::{out, outln};
 
 const USAGE: &str = "\
 usage: splfuzz [options]
@@ -89,7 +90,7 @@ fn main() -> ExitCode {
             },
             "--no-out" => cfg.out_dir = None,
             "-h" | "--help" => {
-                print!("{USAGE}{}", spl::telemetry::cli::USAGE);
+                out!("{USAGE}{}", spl::telemetry::cli::USAGE);
                 return ExitCode::SUCCESS;
             }
             other => return fail(&format!("unknown option {other} (try --help)")),
@@ -97,7 +98,7 @@ fn main() -> ExitCode {
     }
 
     let report = run(&cfg);
-    println!(
+    outln!(
         "splfuzz: {} cases (seed {}): {} agree-ok, {} agree-reject, {} skipped, {} bug class{}{}",
         report.total(),
         cfg.seed,
@@ -113,17 +114,20 @@ fn main() -> ExitCode {
         },
     );
     for bug in &report.bugs {
-        println!(
+        outln!(
             "  [{}] case {}: {} ({})",
-            bug.bug.class, bug.case, bug.shrunk, bug.bug.detail
+            bug.bug.class,
+            bug.case,
+            bug.shrunk,
+            bug.bug.detail
         );
         if let Some(pass) = &bug.guilty_pass {
-            println!("        guilty pass: {pass}");
+            outln!("        guilty pass: {pass}");
         } else if cfg.localize {
-            println!("        guilty pass: none (not an optimizer miscompile)");
+            outln!("        guilty pass: none (not an optimizer miscompile)");
         }
         if let Some(path) = &bug.file {
-            println!("        reproducer: {}", path.display());
+            outln!("        reproducer: {}", path.display());
         }
     }
     let mut rep = RunReport::new("splfuzz");

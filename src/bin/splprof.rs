@@ -18,6 +18,7 @@ use spl::minifft::{Codelet, PlanNode};
 use spl::search::compile_tree;
 use spl::telemetry::cli::{ReportOptions, USAGE as REPORT_USAGE};
 use spl::telemetry::json::Json;
+use spl::telemetry::{out, outln};
 use spl::telemetry::{RunReport, Telemetry};
 use spl::vm::profile::OP_CLASS_NAMES;
 use spl::vm::{VmProfile, VmProgram, VmState};
@@ -149,7 +150,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             "--check-attribution" => o.check_attribution = true,
             "--force-scalar" => o.force_scalar = true,
             "-h" | "--help" => {
-                print!("{USAGE}\nshared reporting flags:\n{REPORT_USAGE}");
+                out!("{USAGE}\nshared reporting flags:\n{REPORT_USAGE}");
                 return Ok(None);
             }
             other => return Err(format!("unknown option {other} (try --help)")),
@@ -206,23 +207,23 @@ fn print_profile(prof: &VmProfile, top: usize, predicted: Option<f64>) {
         .collect();
     classes.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
     let dyn_ops: u64 = prof.op_counts.iter().sum();
-    println!("\nop classes (dynamic)");
-    println!("{:<14} {:>12} {:>8}", "class", "count", "share");
+    outln!("\nop classes (dynamic)");
+    outln!("{:<14} {:>12} {:>8}", "class", "count", "share");
     for &(class, count) in classes.iter().take(top) {
-        println!(
+        outln!(
             "{:<14} {:>12} {:>7.1}%",
             OP_CLASS_NAMES[class],
             count,
             100.0 * count as f64 / dyn_ops.max(1) as f64
         );
     }
-    println!(
+    outln!(
         "{} ops, {} flops, fused utilization {:.1}%",
         dyn_ops,
         prof.flops(),
         100.0 * prof.fused_utilization()
     );
-    println!(
+    outln!(
         "vector lane-ops {} ({:.1}% of float ops; backend {}, width {})",
         prof.vector_lane_ops(),
         100.0 * prof.vector_utilization(),
@@ -232,22 +233,26 @@ fn print_profile(prof: &VmProfile, top: usize, predicted: Option<f64>) {
 
     // Per-node attribution, hottest self time first.
     if prof.nodes.is_empty() {
-        println!("\n(no formula-node provenance: per-node attribution unavailable)");
+        outln!("\n(no formula-node provenance: per-node attribution unavailable)");
     } else {
         let incl = prof.inclusive_ns();
         let mut by_self: Vec<usize> = (0..prof.nodes.len()).collect();
         by_self.sort_by(|&a, &b| prof.nodes[b].self_ns.cmp(&prof.nodes[a].self_ns));
-        println!("\nformula-node attribution (self time)");
-        println!(
+        outln!("\nformula-node attribution (self time)");
+        outln!(
             "{:>6} {:>10} {:>10} {:>9} {:>10}  node",
-            "self%", "self us", "incl us", "flops", "ops"
+            "self%",
+            "self us",
+            "incl us",
+            "flops",
+            "ops"
         );
         for &id in by_self.iter().take(top) {
             let n = &prof.nodes[id];
             if n.ops == 0 && n.self_ns == 0 {
                 continue;
             }
-            println!(
+            outln!(
                 "{:>5.1}% {:>10.1} {:>10.1} {:>9} {:>10}  #{id} {}",
                 100.0 * n.self_ns as f64 / total_ns,
                 n.self_ns as f64 / 1e3,
@@ -258,7 +263,7 @@ fn print_profile(prof: &VmProfile, top: usize, predicted: Option<f64>) {
             );
         }
         let attributed = prof.attributed_ns();
-        println!(
+        outln!(
             "attributed {:.2}% of {:.1} us ({} nodes; telescoped, remainder {:.1} us unattributed)",
             100.0 * attributed as f64 / total_ns,
             prof.total_ns as f64 / 1e3,
@@ -271,13 +276,17 @@ fn print_profile(prof: &VmProfile, top: usize, predicted: Option<f64>) {
     if !prof.loops.is_empty() {
         let mut loops = prof.loops.clone();
         loops.sort_by_key(|l| std::cmp::Reverse(l.wall_ns));
-        println!("\nloop blocks (inclusive wall time)");
-        println!(
+        outln!("\nloop blocks (inclusive wall time)");
+        outln!(
             "{:>6} {:>6} {:>9} {:>11} {:>10}",
-            "node", "depth", "entries", "iterations", "wall us"
+            "node",
+            "depth",
+            "entries",
+            "iterations",
+            "wall us"
         );
         for l in loops.iter().take(top) {
-            println!(
+            outln!(
                 "{:>6} {:>6} {:>9} {:>11} {:>10.1}",
                 l.node,
                 l.depth,
@@ -290,14 +299,14 @@ fn print_profile(prof: &VmProfile, top: usize, predicted: Option<f64>) {
 
     // Achieved vs. the analytic cost model.
     if let Some(pred) = predicted {
-        println!("\ncost model (minifft estimate mode)");
-        println!("predicted cost          {pred:>12.0} units");
-        println!("achieved flops          {:>12}", prof.flops());
-        println!(
+        outln!("\ncost model (minifft estimate mode)");
+        outln!("predicted cost          {pred:>12.0} units");
+        outln!("achieved flops          {:>12}", prof.flops());
+        outln!(
             "flops per unit          {:>12.3}",
             prof.flops() as f64 / pred
         );
-        println!(
+        outln!(
             "achieved ns per unit    {:>12.3}",
             prof.total_ns as f64 / pred
         );
@@ -345,7 +354,7 @@ fn main() -> ExitCode {
     tel.end_span(); // splprof
     let prof = prof.expect("resolved program profiles");
 
-    println!(
+    outln!(
         "profiling {describe}  ({} -> {} reals, {} static float ops)",
         vm.n_in,
         vm.n_out,

@@ -30,6 +30,7 @@ use spl::search::{
     NativeEvaluator, OpCountEvaluator, ResilientEvaluator, SearchConfig, SizeResult, WorkerContext,
 };
 use spl::telemetry::cli::ReportOptions;
+use spl::telemetry::out;
 use spl::telemetry::{RunReport, Telemetry};
 
 const USAGE: &str = "\
@@ -234,7 +235,7 @@ fn main() -> ExitCode {
     let opts = match parse_args(&args) {
         Ok(Some(opts)) => opts,
         Ok(None) => {
-            print!("{USAGE}{}", spl::telemetry::cli::USAGE);
+            out!("{USAGE}{}", spl::telemetry::cli::USAGE);
             return ExitCode::SUCCESS;
         }
         Err(msg) => return fail(&msg),
@@ -312,7 +313,7 @@ fn main() -> ExitCode {
         cost: plans[0].cost,
     }));
     let wisdom = spl::search::wisdom_to_string(&winners);
-    print!("{wisdom}");
+    out!("{wisdom}");
     for w in &winners {
         eprintln!(
             "splsearch: n={:<6} cost={:<12.6e} {}",

@@ -34,6 +34,7 @@
 //! | [`native`] | `spl-native` | generated C through the host compiler |
 //! | [`generator`] | `spl-generator` | FFT/WHT/DCT breakdown rules |
 //! | [`search`] | `spl-search` | DP search with k-best plans |
+//! | [`serve`] | `spl-serve` | fault-tolerant transform-serving daemon |
 //! | [`resilience`] | `spl-resilience` | sandboxing, timeouts, crash-safe journal |
 //! | [`fuzz`] | `spl-fuzz` | differential formula fuzzing + shrinking |
 //! | [`minifft`] | `spl-minifft` | the FFTW-like baseline |
@@ -67,6 +68,7 @@ pub use spl_native as native;
 pub use spl_numeric as numeric;
 pub use spl_resilience as resilience;
 pub use spl_search as search;
+pub use spl_serve as serve;
 pub use spl_telemetry as telemetry;
 pub use spl_templates as templates;
 pub use spl_vm as vm;

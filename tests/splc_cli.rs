@@ -128,3 +128,34 @@ fn unrolled_size_cap_is_a_typed_error() {
     let (_, _, ok) = splc(&["-B", "64"], src);
     assert!(ok, "default cap must not trip on a 64-point formula");
 }
+
+#[test]
+fn broken_pipe_exits_cleanly() {
+    // A reader that closes early (`splc ... | head`) must produce a
+    // clean exit 0, not a panic or a SIGPIPE kill. The formula unrolls
+    // to well past the 64 KiB pipe buffer, so the writer is guaranteed
+    // to hit EPIPE once the read end is gone.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_splc"))
+        .args(["--language", "c", "-B", "4096"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn splc");
+    drop(child.stdout.take()); // close the read end before any output
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"#unroll on\n(tensor (I 512) (F 2))")
+        .unwrap();
+    drop(child.stdin.take());
+    let out = child.wait_with_output().unwrap();
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "broken pipe must exit 0, got {:?}; stderr: {err}",
+        out.status
+    );
+    assert!(!err.contains("panic"), "broken pipe must not panic: {err}");
+}
