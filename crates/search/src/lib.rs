@@ -89,6 +89,7 @@ mod faults;
 mod journal;
 mod parallel;
 mod resilient;
+mod wisdom;
 
 pub use faults::FaultyEvaluator;
 pub use journal::{
@@ -98,6 +99,12 @@ pub use journal::{
 pub(crate) use parallel::{CostSource, SerialSource};
 pub use parallel::{EvaluatorPool, MeasurementGate, MeasurementToken, WorkerContext};
 pub use resilient::{QuarantineEntry, ResilientEvaluator};
+pub use wisdom::{
+    cc_fingerprint, large_search_wisdom, large_search_wisdom_parallel, machine_fingerprint,
+    plan_features, small_search_wisdom, small_search_wisdom_parallel, transform_key,
+    wisdom_from_string, wisdom_to_string, PruneConfig, WisdomDb, WisdomEntry, WisdomError,
+    WisdomErrorKind, WisdomSession,
+};
 
 /// A structured search failure. Every variant carries human-readable
 /// detail; [`SearchError::kind`] gives the stable label used in
@@ -123,7 +130,9 @@ pub enum SearchError {
     },
     /// Every tier of a degradation chain failed for a candidate.
     Exhausted(String),
-    /// Anything else (I/O, wisdom parsing, ...).
+    /// Wisdom text or a wisdom database entry failed to parse.
+    Wisdom(WisdomError),
+    /// Anything else (I/O, ...).
     Other(String),
 }
 
@@ -138,6 +147,7 @@ impl SearchError {
             SearchError::JournalCorrupt(_) => "journal_corrupt",
             SearchError::NoCandidates { .. } => "no_candidates",
             SearchError::Exhausted(_) => "exhausted",
+            SearchError::Wisdom(_) => "wisdom",
             SearchError::Other(_) => "other",
         }
     }
@@ -155,6 +165,7 @@ impl fmt::Display for SearchError {
                 write!(f, "search: no candidate for size {n} survived evaluation")
             }
             SearchError::Exhausted(m) => write!(f, "search: evaluation exhausted: {m}"),
+            SearchError::Wisdom(e) => write!(f, "search: {e}"),
             SearchError::Other(m) => write!(f, "search: {m}"),
         }
     }
@@ -918,13 +929,14 @@ fn seed_kbest(small: &[SizeResult], config: &SearchConfig) -> HashMap<u32, Vec<P
 /// # Errors
 ///
 /// [`SearchError::NoCandidates`] when every candidate failed.
-fn large_step(
+/// The candidates of one large-size k-best DP step: every rightmost
+/// binary split over the retained sub-plans, in the canonical order the
+/// retained set depends on.
+fn large_candidates(
     k: u32,
     config: &SearchConfig,
-    src: &mut dyn CostSource,
-    tel: &mut Telemetry,
     kbest: &HashMap<u32, Vec<Plan>>,
-) -> Result<Vec<Plan>, SearchError> {
+) -> Vec<FftTree> {
     let n = 1usize << k;
     let mut candidates: Vec<FftTree> = Vec::new();
     for (r, s) in rightmost_splits(n, config.leaf_max) {
@@ -944,6 +956,18 @@ fn large_step(
             candidates.push(FftTree::node(config.rule, left.clone(), right.tree.clone()));
         }
     }
+    candidates
+}
+
+fn large_step(
+    k: u32,
+    config: &SearchConfig,
+    src: &mut dyn CostSource,
+    tel: &mut Telemetry,
+    kbest: &HashMap<u32, Vec<Plan>>,
+) -> Result<Vec<Plan>, SearchError> {
+    let n = 1usize << k;
+    let candidates = large_candidates(k, config, kbest);
     let costs = src.batch_costs(&candidates);
     let mut plans: Vec<Plan> = Vec::new();
     for (tree, cost) in candidates.into_iter().zip(costs) {
@@ -1033,56 +1057,9 @@ pub fn wht_search(
     Ok(best)
 }
 
-// ---------------------------------------------------------------------
-// Wisdom (plan persistence)
-// ---------------------------------------------------------------------
-
-/// Serializes search winners to "wisdom" text — one `size: spec` line per
-/// entry — so a later session can reuse plans without re-searching
-/// (FFTW's save-a-plan workflow, paper Section 4.2).
-pub fn wisdom_to_string(results: &[SizeResult]) -> String {
-    use std::fmt::Write as _;
-    let mut out = String::new();
-    for r in results {
-        let _ = writeln!(out, "{}: {}", r.tree.size(), r.tree.to_spec());
-    }
-    out
-}
-
-/// Parses wisdom text back into trees (costs are not stored; entries come
-/// back with cost 0 and can be re-measured if needed).
-///
-/// # Errors
-///
-/// Fails on malformed lines, bad specs, or a spec whose size disagrees
-/// with its label.
-pub fn wisdom_from_string(text: &str) -> Result<Vec<SizeResult>, SearchError> {
-    let mut out = Vec::new();
-    for (lineno, line) in text.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let (size, spec) = line.split_once(':').ok_or_else(|| {
-            SearchError::Other(format!("wisdom line {}: missing ':'", lineno + 1))
-        })?;
-        let size: usize = size
-            .trim()
-            .parse()
-            .map_err(|_| SearchError::Other(format!("wisdom line {}: bad size", lineno + 1)))?;
-        let tree = FftTree::from_spec(spec.trim())
-            .map_err(|e| SearchError::Other(format!("wisdom line {}: {e}", lineno + 1)))?;
-        if tree.size() != size {
-            return Err(SearchError::Other(format!(
-                "wisdom line {}: spec computes {} points, labelled {size}",
-                lineno + 1,
-                tree.size()
-            )));
-        }
-        out.push(SizeResult { tree, cost: 0.0 });
-    }
-    Ok(out)
-}
+// Wisdom (flat plan persistence, the keyed database, and the pruned DP
+// drivers) lives in the `wisdom` module; the flat-format helpers
+// `wisdom_to_string` / `wisdom_from_string` are re-exported above.
 
 #[cfg(test)]
 mod tests {
@@ -1284,9 +1261,18 @@ mod tests {
 
     #[test]
     fn wisdom_rejects_inconsistent_lines() {
-        assert!(wisdom_from_string("16: (ct 2 2)").is_err()); // size mismatch
-        assert!(wisdom_from_string("nonsense").is_err());
-        assert!(wisdom_from_string("8: (zz 2 4)").is_err());
+        let e = wisdom_from_string("16: (ct 2 2)").unwrap_err();
+        assert_eq!(
+            e.kind,
+            WisdomErrorKind::SizeMismatch {
+                computed: 4,
+                labelled: 16
+            }
+        );
+        let e = wisdom_from_string("nonsense").unwrap_err();
+        assert_eq!(e.kind, WisdomErrorKind::MissingColon);
+        let e = wisdom_from_string("8: (zz 2 4)").unwrap_err();
+        assert!(matches!(e.kind, WisdomErrorKind::BadSpec(_)), "{e}");
     }
 
     #[test]
@@ -1302,16 +1288,30 @@ mod tests {
 
     #[test]
     fn wisdom_rejects_malformed_inputs() {
-        for bad in [
-            "4 (ct 2 2)",
-            ":",
-            "x: (ct 2 2)",
-            "4:",
-            "-4: (ct 2 2)",
-            "8: (ct 2",
-        ] {
-            assert!(wisdom_from_string(bad).is_err(), "{bad:?}");
+        // Every malformed shape maps to a typed kind; the error also
+        // carries the 1-based line and renders the historical message.
+        type KindCheck = fn(&WisdomErrorKind) -> bool;
+        let cases: [(&str, KindCheck); 6] = [
+            ("4 (ct 2 2)", |k| *k == WisdomErrorKind::MissingColon),
+            (":", |k| *k == WisdomErrorKind::BadSize),
+            ("x: (ct 2 2)", |k| *k == WisdomErrorKind::BadSize),
+            ("4:", |k| matches!(k, WisdomErrorKind::BadSpec(_))),
+            ("-4: (ct 2 2)", |k| *k == WisdomErrorKind::BadSize),
+            ("8: (ct 2", |k| matches!(k, WisdomErrorKind::BadSpec(_))),
+        ];
+        for (bad, want) in cases {
+            let e = wisdom_from_string(bad).unwrap_err();
+            assert!(want(&e.kind), "{bad:?} -> {e}");
+            assert_eq!(e.line, 1, "{bad:?}");
         }
+        // Line numbers skip blanks and comments but count real lines.
+        let e = wisdom_from_string("# ok\n4: (ct 2 2)\nbroken").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert_eq!(e.to_string(), "wisdom line 3: missing ':'");
+        // The typed error lifts into the search taxonomy.
+        let lifted: SearchError = e.into();
+        assert_eq!(lifted.kind(), "wisdom");
+        assert!(lifted.to_string().starts_with("search: wisdom line 3"));
     }
 
     #[test]

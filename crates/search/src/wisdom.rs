@@ -1,0 +1,1554 @@
+//! The cross-run wisdom database and the model-pruned DP drivers.
+//!
+//! Flat wisdom text (`size: spec` lines) records *what* won but not
+//! *where* or *under which compiler*, so it cannot be merged across
+//! runs, jobs, or machines. [`WisdomDb`] replaces it with a keyed,
+//! persistent, mergeable store: every entry is keyed by
+//! `(transform, size, cc fingerprint, machine fingerprint)` and carries
+//! the retained plans with their measured costs. The store is one
+//! CRC-framed append-only journal (`spl-resilience`) guarded by an
+//! `flock` lockfile, so concurrent `splsearch --jobs` runs and other
+//! processes append winners safely; merge is best-cost-wins and
+//! commutative, so every reader converges to the same entries no matter
+//! the append order. Entries whose fingerprints do not match the
+//! current toolchain/machine are kept but not trusted: they seed
+//! regression checks instead of being served as winners.
+//!
+//! On-disk schema (one payload per journal record):
+//!
+//! ```text
+//! entry <transform> <n> <cc_fp> <machine_fp> | <cost_bits> <spec> | ...
+//! calib <machine_fp> <cc_fp> <rel_rms_bits> <c0_bits> ... <c5_bits>
+//! ```
+//!
+//! Costs are exact `f64` bit patterns (as in the search journal); a
+//! cost of `0.0` marks an entry imported from flat wisdom that has not
+//! been re-measured yet. Unknown record types are skipped (forward
+//! compatibility), torn tails are healed by the journal layer.
+//!
+//! The second half of this module is the **pruned search**:
+//! [`small_search_wisdom`] / [`large_search_wisdom`] run the same DP as
+//! the plain drivers but (1) reuse trusted measured DB entries without
+//! evaluating anything, (2) rank the candidate set with a
+//! [`CalibratedModel`] fitted once per machine from a handful of probe
+//! measurements (stored in the DB), measuring only the top-K plus
+//! anything within a slack factor of the modeled best, and (3) fall
+//! back to the full measurement when the model is unconfident or the
+//! pruned winner regresses against a DB-recorded prior winner.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+use spl_generator::fft::FftTree;
+use spl_minifft::estimate::{CalibratedModel, PlanFeatures, NUM_FEATURES};
+use spl_resilience::{FileLock, Journal, JournalError};
+use spl_telemetry::Telemetry;
+
+use crate::{
+    compile_sexp_for_search, large_candidates, seed_kbest, small_candidates, CostSource, Evaluator,
+    EvaluatorPool, Plan, SearchConfig, SearchError, SerialSource, SizeResult,
+};
+
+// ---------------------------------------------------------------------
+// Typed wisdom errors + the flat-format parser (the import path)
+// ---------------------------------------------------------------------
+
+/// What went wrong on a wisdom line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WisdomErrorKind {
+    /// The line has no `size: spec` separator.
+    MissingColon,
+    /// The size label is not a number.
+    BadSize,
+    /// The spec does not parse as a factorization tree.
+    BadSpec(String),
+    /// The spec parses but computes a different size than its label.
+    SizeMismatch {
+        /// Points the spec actually computes.
+        computed: usize,
+        /// Points the label claims.
+        labelled: usize,
+    },
+}
+
+/// A structured wisdom parse failure: which line, and what kind of
+/// damage. Replaces the old stringly `SearchError::Other("wisdom line
+/// ...")` errors; the rendered message is unchanged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WisdomError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// The failure class.
+    pub kind: WisdomErrorKind,
+}
+
+impl fmt::Display for WisdomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wisdom line {}: ", self.line)?;
+        match &self.kind {
+            WisdomErrorKind::MissingColon => write!(f, "missing ':'"),
+            WisdomErrorKind::BadSize => write!(f, "bad size"),
+            WisdomErrorKind::BadSpec(m) => write!(f, "{m}"),
+            WisdomErrorKind::SizeMismatch { computed, labelled } => {
+                write!(f, "spec computes {computed} points, labelled {labelled}")
+            }
+        }
+    }
+}
+
+impl Error for WisdomError {}
+
+impl From<WisdomError> for SearchError {
+    fn from(e: WisdomError) -> Self {
+        SearchError::Wisdom(e)
+    }
+}
+
+/// Serializes search winners to "wisdom" text — one `size: spec` line per
+/// entry — so a later session can reuse plans without re-searching
+/// (FFTW's save-a-plan workflow, paper Section 4.2).
+pub fn wisdom_to_string(results: &[SizeResult]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for r in results {
+        let _ = writeln!(out, "{}: {}", r.tree.size(), r.tree.to_spec());
+    }
+    out
+}
+
+/// Parses wisdom text back into trees (costs are not stored; entries come
+/// back with cost 0 and can be re-measured if needed). This flat format
+/// is also [`WisdomDb`]'s import path.
+///
+/// # Errors
+///
+/// Fails on malformed lines, bad specs, or a spec whose size disagrees
+/// with its label.
+pub fn wisdom_from_string(text: &str) -> Result<Vec<SizeResult>, WisdomError> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let err = |kind| WisdomError {
+            line: lineno + 1,
+            kind,
+        };
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (size, spec) = line
+            .split_once(':')
+            .ok_or_else(|| err(WisdomErrorKind::MissingColon))?;
+        let size: usize = size
+            .trim()
+            .parse()
+            .map_err(|_| err(WisdomErrorKind::BadSize))?;
+        let tree = FftTree::from_spec(spec.trim())
+            .map_err(|e| err(WisdomErrorKind::BadSpec(e.to_string())))?;
+        if tree.size() != size {
+            return Err(err(WisdomErrorKind::SizeMismatch {
+                computed: tree.size(),
+                labelled: size,
+            }));
+        }
+        out.push(SizeResult { tree, cost: 0.0 });
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Fingerprints
+// ---------------------------------------------------------------------
+
+fn fnv64(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Fingerprint of the host C compiler (hash of `cc --version`'s first
+/// line). DB entries recorded under a different compiler are kept but
+/// not trusted.
+pub fn cc_fingerprint() -> &'static str {
+    static FP: OnceLock<String> = OnceLock::new();
+    FP.get_or_init(|| format!("{:016x}", fnv64(spl_native::cache::cc_version())))
+}
+
+/// Fingerprint of the machine (arch, OS, CPU model, core count) —
+/// measured costs only transfer between identical fingerprints.
+pub fn machine_fingerprint() -> &'static str {
+    static FP: OnceLock<String> = OnceLock::new();
+    FP.get_or_init(|| {
+        let mut desc = format!("{} {}", std::env::consts::ARCH, std::env::consts::OS);
+        if let Ok(info) = std::fs::read_to_string("/proc/cpuinfo") {
+            if let Some(line) = info.lines().find(|l| l.starts_with("model name")) {
+                desc.push(' ');
+                desc.push_str(line.trim());
+            }
+        }
+        let par = std::thread::available_parallelism().map_or(1, |p| p.get());
+        desc.push_str(&format!(" x{par}"));
+        format!("{:016x}", fnv64(&desc))
+    })
+}
+
+/// The transform component of a DB key: the transform family plus the
+/// search configuration that produced the plans, so winners from
+/// incompatible searches never shadow each other. Contains no spaces
+/// (it is one token of a journal record).
+pub fn transform_key(config: &SearchConfig) -> String {
+    format!(
+        "fft/{:?}-l{}-k{}-u{}",
+        config.rule, config.leaf_max, config.keep, config.unroll_threshold
+    )
+}
+
+// ---------------------------------------------------------------------
+// The database
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct EntryKey {
+    transform: String,
+    n: usize,
+    cc_fp: String,
+    machine_fp: String,
+}
+
+/// One wisdom-DB entry: the retained plans (best first) for a size
+/// under one transform/configuration on one toolchain+machine.
+#[derive(Debug, Clone)]
+pub struct WisdomEntry {
+    /// The transform/configuration key component.
+    pub transform: String,
+    /// The transform size.
+    pub n: usize,
+    /// Compiler fingerprint the costs were measured under.
+    pub cc_fp: String,
+    /// Machine fingerprint the costs were measured on.
+    pub machine_fp: String,
+    /// Retained plans, best first. Cost `0.0` marks an entry imported
+    /// from flat wisdom that has not been re-measured.
+    pub plans: Vec<Plan>,
+}
+
+impl WisdomEntry {
+    /// Whether this entry carries real measurements (flat imports don't).
+    pub fn measured(&self) -> bool {
+        self.plans.first().is_some_and(|p| p.cost > 0.0)
+    }
+
+    /// The best retained plan.
+    pub fn best(&self) -> &Plan {
+        &self.plans[0]
+    }
+
+    fn key(&self) -> EntryKey {
+        EntryKey {
+            transform: self.transform.clone(),
+            n: self.n,
+            cc_fp: self.cc_fp.clone(),
+            machine_fp: self.machine_fp.clone(),
+        }
+    }
+}
+
+/// The commutative merge order: measured beats unmeasured, then lower
+/// best cost, then (for determinism across processes) the smaller best
+/// spec string. Returns whether `a` strictly beats `b`.
+fn entry_beats(a: &WisdomEntry, b: &WisdomEntry) -> bool {
+    if a.measured() != b.measured() {
+        return a.measured();
+    }
+    if a.plans.is_empty() || b.plans.is_empty() {
+        return !a.plans.is_empty();
+    }
+    let (ca, cb) = (a.best().cost, b.best().cost);
+    match ca.total_cmp(&cb) {
+        std::cmp::Ordering::Less => true,
+        std::cmp::Ordering::Greater => false,
+        std::cmp::Ordering::Equal => a.best().tree.to_spec() < b.best().tree.to_spec(),
+    }
+}
+
+fn jerr(e: JournalError) -> SearchError {
+    match e {
+        JournalError::Corrupt { line, reason } => {
+            SearchError::JournalCorrupt(format!("wisdom db line {line}: {reason}"))
+        }
+        other => SearchError::Other(other.to_string()),
+    }
+}
+
+fn parse_cost_bits(bits: &str) -> Result<f64, SearchError> {
+    u64::from_str_radix(bits, 16)
+        .map(f64::from_bits)
+        .map_err(|_| SearchError::JournalCorrupt(format!("wisdom db: bad cost bits {bits:?}")))
+}
+
+/// Parses `entry <transform> <n> <cc_fp> <machine_fp> | <bits> <spec> | ...`.
+fn parse_entry(payload: &str) -> Result<WisdomEntry, SearchError> {
+    let bad = || SearchError::JournalCorrupt(format!("wisdom db: malformed entry {payload:?}"));
+    let rest = payload.strip_prefix("entry ").ok_or_else(bad)?;
+    let mut chunks = rest.split(" | ");
+    let head = chunks.next().ok_or_else(bad)?;
+    let fields: Vec<&str> = head.split_whitespace().collect();
+    let [transform, n, cc_fp, machine_fp] = fields.as_slice() else {
+        return Err(bad());
+    };
+    let n: usize = n.parse().map_err(|_| bad())?;
+    let mut plans = Vec::new();
+    for chunk in chunks {
+        let (bits, spec) = chunk.split_once(' ').ok_or_else(bad)?;
+        let tree = FftTree::from_spec(spec).map_err(|e| {
+            SearchError::JournalCorrupt(format!("wisdom db: bad spec {spec:?}: {e}"))
+        })?;
+        if tree.size() != n {
+            return Err(SearchError::JournalCorrupt(format!(
+                "wisdom db: spec {spec:?} computes {} points, entry says {n}",
+                tree.size()
+            )));
+        }
+        plans.push(Plan {
+            cost: parse_cost_bits(bits)?,
+            tree,
+        });
+    }
+    if plans.is_empty() {
+        return Err(bad());
+    }
+    Ok(WisdomEntry {
+        transform: transform.to_string(),
+        n,
+        cc_fp: cc_fp.to_string(),
+        machine_fp: machine_fp.to_string(),
+        plans,
+    })
+}
+
+fn format_entry(e: &WisdomEntry) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!("entry {} {} {} {}", e.transform, e.n, e.cc_fp, e.machine_fp);
+    for p in &e.plans {
+        let _ = write!(out, " | {:016x} {}", p.cost.to_bits(), p.tree.to_spec());
+    }
+    out
+}
+
+/// Parses `calib <machine_fp> <cc_fp> <rel_rms_bits> <c0_bits> ...`.
+fn parse_calib(payload: &str) -> Result<(String, String, CalibratedModel), SearchError> {
+    let bad = || SearchError::JournalCorrupt(format!("wisdom db: malformed calib {payload:?}"));
+    let fields: Vec<&str> = payload.split_whitespace().collect();
+    if fields.len() != 3 + 1 + NUM_FEATURES || fields[0] != "calib" {
+        return Err(bad());
+    }
+    let machine_fp = fields[1].to_string();
+    let cc_fp = fields[2].to_string();
+    let rel_rms = parse_cost_bits(fields[3])?;
+    let mut coeffs = [0.0f64; NUM_FEATURES];
+    for (i, c) in coeffs.iter_mut().enumerate() {
+        *c = parse_cost_bits(fields[4 + i])?;
+    }
+    Ok((
+        machine_fp,
+        cc_fp,
+        CalibratedModel::from_parts(coeffs, rel_rms),
+    ))
+}
+
+fn format_calib(machine_fp: &str, cc_fp: &str, model: &CalibratedModel) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!(
+        "calib {machine_fp} {cc_fp} {:016x}",
+        model.rel_rms().to_bits()
+    );
+    for c in model.coeffs() {
+        let _ = write!(out, " {:016x}", c.to_bits());
+    }
+    out
+}
+
+/// The keyed, persistent, mergeable wisdom store. See the module docs
+/// for the on-disk schema and merge semantics.
+#[derive(Debug)]
+pub struct WisdomDb {
+    dir: PathBuf,
+    entries: HashMap<EntryKey, WisdomEntry>,
+    calibrations: HashMap<(String, String), CalibratedModel>,
+    tel: Telemetry,
+}
+
+impl WisdomDb {
+    /// Opens (creating if needed) the database directory and loads all
+    /// merged entries.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and corrupt (non-torn) records.
+    pub fn open(dir: &Path) -> Result<WisdomDb, SearchError> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| SearchError::Other(format!("creating {}: {e}", dir.display())))?;
+        let mut db = WisdomDb {
+            dir: dir.to_path_buf(),
+            entries: HashMap::new(),
+            calibrations: HashMap::new(),
+            tel: Telemetry::new(),
+        };
+        db.reload()?;
+        Ok(db)
+    }
+
+    /// The database directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn journal_path(&self) -> PathBuf {
+        self.dir.join("db.journal")
+    }
+
+    fn lock_path(&self) -> PathBuf {
+        self.dir.join("db.lock")
+    }
+
+    /// Re-reads the journal from disk, replacing the in-memory view
+    /// with the merged result (picks up other processes' appends).
+    ///
+    /// # Errors
+    ///
+    /// As [`WisdomDb::open`].
+    pub fn reload(&mut self) -> Result<(), SearchError> {
+        // The lock serializes against writers: `Journal::open` heals a
+        // torn tail by rewriting the file, which must never race an
+        // append in another process.
+        let _lock = FileLock::acquire_or_noop(&self.lock_path());
+        let (_, loaded) = Journal::open(&self.journal_path()).map_err(jerr)?;
+        if loaded.dropped > 0 {
+            self.tel
+                .add("wisdom.db.dropped_records", loaded.dropped as u64);
+        }
+        self.entries.clear();
+        self.calibrations.clear();
+        for rec in &loaded.records {
+            self.absorb(rec)?;
+        }
+        self.tel.add("wisdom.db.loads", 1);
+        Ok(())
+    }
+
+    fn absorb(&mut self, payload: &str) -> Result<(), SearchError> {
+        if payload.starts_with("entry ") {
+            let e = parse_entry(payload)?;
+            self.merge_in_memory(e);
+        } else if payload.starts_with("calib ") {
+            let (machine_fp, cc_fp, model) = parse_calib(payload)?;
+            self.calibrations.insert((machine_fp, cc_fp), model);
+        } else {
+            // Unknown record type: a newer writer's schema. Skip it.
+            self.tel.add("wisdom.db.unknown_records", 1);
+        }
+        Ok(())
+    }
+
+    fn merge_in_memory(&mut self, e: WisdomEntry) {
+        let key = e.key();
+        match self.entries.get(&key) {
+            Some(incumbent) if !entry_beats(&e, incumbent) => {
+                self.tel.add("wisdom.db.merge_losses", 1);
+            }
+            _ => {
+                self.entries.insert(key, e);
+            }
+        }
+    }
+
+    fn append(&mut self, payload: &str) -> Result<(), SearchError> {
+        let _lock = FileLock::acquire_or_noop(&self.lock_path());
+        let (mut journal, _) = Journal::open(&self.journal_path()).map_err(jerr)?;
+        journal.append(payload).map_err(jerr)
+    }
+
+    /// The trusted entry (current fingerprints) for a size, if any.
+    pub fn lookup(&mut self, transform: &str, n: usize) -> Option<WisdomEntry> {
+        let key = EntryKey {
+            transform: transform.to_string(),
+            n,
+            cc_fp: cc_fingerprint().to_string(),
+            machine_fp: machine_fingerprint().to_string(),
+        };
+        match self.entries.get(&key) {
+            Some(e) => {
+                self.tel.add("wisdom.db.hits", 1);
+                Some(e.clone())
+            }
+            None => {
+                self.tel.add("wisdom.db.misses", 1);
+                None
+            }
+        }
+    }
+
+    /// The best stale entry (matching transform and size, *different*
+    /// fingerprints) for a size. Stale plans are kept but not trusted:
+    /// callers may re-measure them as regression checks, never serve
+    /// their recorded costs.
+    pub fn lookup_stale(&mut self, transform: &str, n: usize) -> Option<WisdomEntry> {
+        let best = self
+            .entries
+            .values()
+            .filter(|e| {
+                e.transform == transform
+                    && e.n == n
+                    && (e.cc_fp != cc_fingerprint() || e.machine_fp != machine_fingerprint())
+            })
+            .fold(None::<&WisdomEntry>, |acc, e| match acc {
+                Some(cur) if !entry_beats(e, cur) => Some(cur),
+                _ => Some(e),
+            })
+            .cloned();
+        if best.is_some() {
+            self.tel.add("wisdom.db.stale_hits", 1);
+        }
+        best
+    }
+
+    /// Records plans (best first) for a size under the current
+    /// fingerprints. The append is skipped when the store already holds
+    /// a better entry for the key (best-cost-wins).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn record(&mut self, transform: &str, n: usize, plans: &[Plan]) -> Result<(), SearchError> {
+        self.record_with(transform, n, plans, cc_fingerprint(), machine_fingerprint())
+    }
+
+    /// [`WisdomDb::record`] under explicit fingerprints (imports,
+    /// tests, tooling).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn record_with(
+        &mut self,
+        transform: &str,
+        n: usize,
+        plans: &[Plan],
+        cc_fp: &str,
+        machine_fp: &str,
+    ) -> Result<(), SearchError> {
+        if plans.is_empty() {
+            return Ok(());
+        }
+        let e = WisdomEntry {
+            transform: transform.to_string(),
+            n,
+            cc_fp: cc_fp.to_string(),
+            machine_fp: machine_fp.to_string(),
+            plans: plans.to_vec(),
+        };
+        if let Some(incumbent) = self.entries.get(&e.key()) {
+            if !entry_beats(&e, incumbent) {
+                self.tel.add("wisdom.db.merge_losses", 1);
+                return Ok(());
+            }
+        }
+        self.append(&format_entry(&e))?;
+        self.tel.add("wisdom.db.records_written", 1);
+        self.entries.insert(e.key(), e);
+        Ok(())
+    }
+
+    /// Imports flat wisdom text as unmeasured entries (cost 0) under
+    /// the given transform key and the current fingerprints. Returns
+    /// the number of entries imported.
+    ///
+    /// # Errors
+    ///
+    /// [`SearchError::Wisdom`] on malformed text; I/O failures.
+    pub fn import_flat(&mut self, text: &str, transform: &str) -> Result<usize, SearchError> {
+        let results = wisdom_from_string(text)?;
+        let count = results.len();
+        for r in &results {
+            self.record(
+                transform,
+                r.tree.size(),
+                &[Plan {
+                    tree: r.tree.clone(),
+                    cost: r.cost,
+                }],
+            )?;
+        }
+        self.tel.add("wisdom.db.imported_entries", count as u64);
+        Ok(count)
+    }
+
+    /// Exports the best plan per size across *all* entries as flat
+    /// wisdom text (trusted entries preferred over stale, then the
+    /// merge order). This is `spld`'s preload path and the lossless
+    /// round-trip counterpart of [`WisdomDb::import_flat`].
+    pub fn export_flat(&self) -> String {
+        let trusted =
+            |e: &WisdomEntry| e.cc_fp == cc_fingerprint() && e.machine_fp == machine_fingerprint();
+        let mut per_size: HashMap<usize, &WisdomEntry> = HashMap::new();
+        for e in self.entries.values() {
+            match per_size.get(&e.n) {
+                Some(cur) => {
+                    let better = match (trusted(e), trusted(cur)) {
+                        (true, false) => true,
+                        (false, true) => false,
+                        _ => entry_beats(e, cur),
+                    };
+                    if better {
+                        per_size.insert(e.n, e);
+                    }
+                }
+                None => {
+                    per_size.insert(e.n, e);
+                }
+            }
+        }
+        let mut sizes: Vec<usize> = per_size.keys().copied().collect();
+        sizes.sort_unstable();
+        let results: Vec<SizeResult> = sizes
+            .into_iter()
+            .map(|n| SizeResult {
+                tree: per_size[&n].best().tree.clone(),
+                cost: per_size[&n].best().cost,
+            })
+            .collect();
+        wisdom_to_string(&results)
+    }
+
+    /// The calibrated cost model stored for the current fingerprints.
+    pub fn calibration(&self) -> Option<&CalibratedModel> {
+        self.calibrations.get(&(
+            machine_fingerprint().to_string(),
+            cc_fingerprint().to_string(),
+        ))
+    }
+
+    /// Persists a calibrated model for the current fingerprints.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn store_calibration(&mut self, model: &CalibratedModel) -> Result<(), SearchError> {
+        self.append(&format_calib(
+            machine_fingerprint(),
+            cc_fingerprint(),
+            model,
+        ))?;
+        self.tel.add("wisdom.db.calibrations_stored", 1);
+        self.calibrations.insert(
+            (
+                machine_fingerprint().to_string(),
+                cc_fingerprint().to_string(),
+            ),
+            model.clone(),
+        );
+        Ok(())
+    }
+
+    /// All merged entries, in unspecified order.
+    pub fn entries(&self) -> impl Iterator<Item = &WisdomEntry> {
+        self.entries.values()
+    }
+
+    /// Number of merged entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Takes the accumulated `wisdom.db.*` telemetry.
+    pub fn drain_telemetry(&mut self) -> Telemetry {
+        std::mem::take(&mut self.tel)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Model-pruned DP drivers
+// ---------------------------------------------------------------------
+
+/// How aggressively the calibrated model prunes each size's candidate
+/// set before anything is compiled or measured.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PruneConfig {
+    /// Always measure the `top_k` model-ranked candidates.
+    pub top_k: usize,
+    /// Also measure anything modeled within this factor of the best.
+    pub slack: f64,
+}
+
+impl Default for PruneConfig {
+    fn default() -> Self {
+        PruneConfig {
+            top_k: 3,
+            slack: 1.15,
+        }
+    }
+}
+
+/// A pruned winner more than this factor slower than a re-measured
+/// DB prior triggers the full-measurement fallback.
+const REGRESSION_SLACK: f64 = 1.05;
+
+/// A wisdom-DB-backed search session: owns the database plus the
+/// fitted cost model and per-tree feature cache shared by the small and
+/// large DP drivers.
+#[derive(Debug)]
+pub struct WisdomSession {
+    db: WisdomDb,
+    prune: Option<PruneConfig>,
+    model: Option<CalibratedModel>,
+    features: HashMap<String, Option<PlanFeatures>>,
+}
+
+impl WisdomSession {
+    /// A session over an open database. `prune` enables model-based
+    /// candidate pruning (calibrating on first use if the DB has no
+    /// stored model for this machine).
+    pub fn new(db: WisdomDb, prune: Option<PruneConfig>) -> Self {
+        let model = db.calibration().cloned();
+        WisdomSession {
+            db,
+            prune,
+            model,
+            features: HashMap::new(),
+        }
+    }
+
+    /// The underlying database.
+    pub fn db(&self) -> &WisdomDb {
+        &self.db
+    }
+
+    /// The underlying database, mutably.
+    pub fn db_mut(&mut self) -> &mut WisdomDb {
+        &mut self.db
+    }
+
+    /// Consumes the session, returning the database.
+    pub fn into_db(self) -> WisdomDb {
+        self.db
+    }
+
+    /// The fitted model, if calibration has run (or was loaded).
+    pub fn model(&self) -> Option<&CalibratedModel> {
+        self.model.as_ref()
+    }
+
+    /// Takes accumulated session + database telemetry.
+    pub fn drain_telemetry(&mut self) -> Telemetry {
+        self.db.drain_telemetry()
+    }
+
+    /// Features of a candidate from the compiled (not measured!)
+    /// program: dynamic op count plus the resolved engine's
+    /// `vm.fuse.*` / `vm.lsr.*` / `vm.vec.*` counters. Pure Rust
+    /// compilation — no `cc`, no timing. `None` when the candidate
+    /// does not compile (it will then never be pruned away).
+    fn features(&mut self, tree: &FftTree, unroll: usize) -> Option<PlanFeatures> {
+        let key = tree.describe();
+        if let Some(f) = self.features.get(&key) {
+            return *f;
+        }
+        let f = compute_features(tree, unroll);
+        self.features.insert(key, f);
+        f
+    }
+
+    /// Fits (or loads) the calibrated model if pruning is requested and
+    /// no model is available yet. Probe measurements go through the
+    /// same cost source as the search and are counted under
+    /// `search.calibration.*`.
+    fn ensure_model(
+        &mut self,
+        config: &SearchConfig,
+        src: &mut dyn CostSource,
+        tel: &mut Telemetry,
+    ) -> Result<(), SearchError> {
+        if self.prune.is_none() || self.model.is_some() {
+            return Ok(());
+        }
+        if let Some(m) = self.db.calibration() {
+            self.model = Some(m.clone());
+            return Ok(());
+        }
+        tel.begin_span("search.calibration");
+        let probes = probe_trees(config);
+        let costs = src.batch_costs(&probes);
+        let mut samples = Vec::new();
+        for (tree, cost) in probes.iter().zip(costs) {
+            let c = match cost {
+                Ok(c) => c,
+                Err(_) => {
+                    tel.add("search.calibration.probe_failures", 1);
+                    continue;
+                }
+            };
+            if let Some(f) = self.features(tree, config.unroll_threshold) {
+                samples.push((f, c));
+            }
+        }
+        tel.add("search.calibration.probes", samples.len() as u64);
+        match CalibratedModel::fit(&samples) {
+            Some(m) => {
+                tel.set_metric("search.calibration.rel_rms", m.rel_rms());
+                self.db.store_calibration(&m)?;
+                self.model = Some(m);
+            }
+            None => tel.add("search.calibration.unfit", 1),
+        }
+        tel.end_span();
+        Ok(())
+    }
+
+    /// Ranks candidates with the model and picks the indices to
+    /// measure: the top-K plus anything within the slack factor of the
+    /// modeled best. `None` means "measure everything" (pruning off,
+    /// model unconfident, or nothing to prune).
+    fn prune_selection(
+        &mut self,
+        candidates: &[FftTree],
+        unroll: usize,
+        tel: &mut Telemetry,
+    ) -> Option<Vec<usize>> {
+        let pc = self.prune?;
+        if candidates.len() <= pc.top_k {
+            return None;
+        }
+        let confident = self.model.as_ref().is_some_and(|m| m.confident());
+        if !confident {
+            if self.model.is_some() {
+                tel.add("search.prune.unconfident", 1);
+            }
+            return None;
+        }
+        let preds: Vec<Option<f64>> = candidates
+            .iter()
+            .map(|t| {
+                let f = self.features(t, unroll)?;
+                let model = self.model.as_ref()?;
+                Some(model.predict(&f))
+            })
+            .collect();
+        let mut ranked: Vec<(usize, f64)> = preds
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.map(|p| (i, p)))
+            .collect();
+        ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let best = ranked.first().map_or(f64::INFINITY, |r| r.1);
+        let mut keep: Vec<usize> = ranked
+            .iter()
+            .enumerate()
+            .filter(|(rank, (_, p))| *rank < pc.top_k || *p <= best * pc.slack)
+            .map(|(_, (i, _))| *i)
+            .collect();
+        // A candidate the model cannot score is never pruned away.
+        keep.extend(
+            preds
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.is_none())
+                .map(|(i, _)| i),
+        );
+        keep.sort_unstable();
+        if keep.len() >= candidates.len() {
+            return None;
+        }
+        tel.add("search.prune.kept", keep.len() as u64);
+        tel.add(
+            "search.prune.skipped",
+            (candidates.len() - keep.len()) as u64,
+        );
+        Some(keep)
+    }
+}
+
+/// [`PlanFeatures`] of a candidate tree from pure-Rust compilation (no
+/// `cc`, no timing): dynamic op count plus the resolved engine's
+/// `vm.fuse.*` / `vm.lsr.*` / `vm.vec.*` counters. `None` when the
+/// candidate does not compile. Public for tooling (the `wisdomexp`
+/// estimate-vs-measured report); the search caches these per session.
+pub fn plan_features(tree: &FftTree, unroll: usize) -> Option<PlanFeatures> {
+    compute_features(tree, unroll)
+}
+
+fn compute_features(tree: &FftTree, unroll: usize) -> Option<PlanFeatures> {
+    let unit = compile_sexp_for_search(
+        &tree.to_sexp(),
+        unroll,
+        spl_frontend::ast::DataType::Complex,
+    )
+    .ok()?;
+    let dynamic_ops = unit.program.dynamic_op_count() as f64;
+    let vm = spl_vm::lower(&unit.program).ok()?;
+    let (fused_ops, loop_overhead, vec_ops) = match vm.resolve_stats() {
+        Some(rs) => (
+            (rs.fused_muladd + rs.fused_negfold + rs.fused_butterfly) as f64,
+            (rs.cursors + rs.strength_reduced_steps + rs.hoisted_terms) as f64,
+            rs.vec_ops as f64,
+        ),
+        None => (0.0, 0.0, 0.0),
+    };
+    Some(PlanFeatures {
+        n: tree.size() as f64,
+        dynamic_ops,
+        fused_ops,
+        loop_overhead,
+        vec_ops,
+    })
+}
+
+/// The calibration probe set: leaves across the codelet range plus
+/// radix-2 and radix-4 right-expanded chains up to 2^10, spanning both
+/// unrolled straight-line code and looped splits.
+fn probe_trees(config: &SearchConfig) -> Vec<FftTree> {
+    let mut probes = Vec::new();
+    let leaf_exp = config.leaf_max.trailing_zeros().max(1);
+    for k in 1..=leaf_exp {
+        if (1usize << k) <= config.leaf_max {
+            probes.push(FftTree::leaf(1usize << k));
+        }
+    }
+    for k in (leaf_exp + 1)..=(leaf_exp + 3) {
+        probes.push(radix_chain(k, 1, leaf_exp, config));
+        if k >= leaf_exp + 2 {
+            probes.push(radix_chain(k, 2, leaf_exp, config));
+        }
+    }
+    probes
+}
+
+fn radix_chain(k: u32, step: u32, leaf_exp: u32, config: &SearchConfig) -> FftTree {
+    if k <= leaf_exp {
+        return FftTree::leaf(1usize << k);
+    }
+    let step = step.min(k - 1);
+    FftTree::node(
+        config.rule,
+        FftTree::leaf(1usize << step),
+        radix_chain(k - step, step, leaf_exp, config),
+    )
+}
+
+/// Measures the selected candidate indices (all of them when `pick` is
+/// `None`), returning surviving plans in candidate order. Failures are
+/// skipped and counted, successes counted under `search.plans_evaluated`.
+fn measure_selected(
+    candidates: &[FftTree],
+    pick: Option<&[usize]>,
+    src: &mut dyn CostSource,
+    tel: &mut Telemetry,
+) -> Vec<Plan> {
+    let subset: Vec<FftTree> = match pick {
+        Some(idx) => idx.iter().map(|&i| candidates[i].clone()).collect(),
+        None => candidates.to_vec(),
+    };
+    let costs = src.batch_costs(&subset);
+    let mut plans = Vec::new();
+    for (tree, cost) in subset.into_iter().zip(costs) {
+        match cost {
+            Ok(c) => {
+                tel.add("search.plans_evaluated", 1);
+                plans.push(Plan { tree, cost: c });
+            }
+            Err(e) => tel.add(&format!("search.skipped.{}", e.kind()), 1),
+        }
+    }
+    plans
+}
+
+/// One DP step against the DB: reuse a trusted measured entry, measure
+/// an unmeasured import, or run the (possibly pruned) candidate
+/// evaluation with the prior-winner regression fallback. Returns the
+/// surviving plans sorted best-first (stable over candidate order) and
+/// records them to the DB.
+#[allow(clippy::too_many_arguments)]
+fn step_wisdom(
+    n: usize,
+    candidates: &[FftTree],
+    keep: usize,
+    config: &SearchConfig,
+    src: &mut dyn CostSource,
+    tel: &mut Telemetry,
+    session: &mut WisdomSession,
+    transform: &str,
+) -> Result<Vec<Plan>, SearchError> {
+    if let Some(e) = session.db.lookup(transform, n) {
+        if e.measured() {
+            tel.add("wisdom.db.reused_sizes", 1);
+            tel.set_metric(&format!("search.best_cost.{n}"), e.best().cost);
+            return Ok(e.plans);
+        }
+        // An unmeasured flat import: trust the plan, measure only it.
+        let mut plans = measure_selected(&e.plans_trees(), None, src, tel);
+        if !plans.is_empty() {
+            plans.sort_by(|a, b| a.cost.total_cmp(&b.cost));
+            plans.truncate(keep);
+            tel.add("wisdom.db.imports_measured", 1);
+            tel.set_metric(&format!("search.best_cost.{n}"), plans[0].cost);
+            session.db.record(transform, n, &plans)?;
+            return Ok(plans);
+        }
+        // Every imported plan failed here: fall through to the search.
+    }
+    let pick = session.prune_selection(candidates, config.unroll_threshold, tel);
+    let mut plans = measure_selected(candidates, pick.as_deref(), src, tel);
+    if pick.is_some() {
+        // Regression check against a DB-recorded prior winner (stale
+        // fingerprints — its plan is credible, its cost is not): if the
+        // re-measured prior beats the pruned winner by more than the
+        // slack, the model misjudged this size; fall back to the full
+        // candidate set (already-measured candidates replay from the
+        // evaluator's memo cache).
+        let prior = session
+            .db
+            .lookup_stale(transform, n)
+            .map(|e| e.best().tree.clone())
+            .filter(|t| !plans.iter().any(|p| &p.tree == t));
+        if let Some(ptree) = prior {
+            let pruned_best = plans.iter().map(|p| p.cost).fold(f64::INFINITY, f64::min);
+            let extra = measure_selected(std::slice::from_ref(&ptree), None, src, tel);
+            if let Some(p) = extra.into_iter().next() {
+                if p.cost * REGRESSION_SLACK < pruned_best {
+                    tel.add("search.prune.fallbacks", 1);
+                    plans = measure_selected(candidates, None, src, tel);
+                } else {
+                    plans.push(p);
+                }
+            }
+        }
+    }
+    plans.sort_by(|a, b| a.cost.total_cmp(&b.cost));
+    plans.truncate(keep);
+    if plans.is_empty() {
+        return Err(SearchError::NoCandidates { n });
+    }
+    tel.set_metric(&format!("search.best_cost.{n}"), plans[0].cost);
+    session.db.record(transform, n, &plans)?;
+    Ok(plans)
+}
+
+impl WisdomEntry {
+    fn plans_trees(&self) -> Vec<FftTree> {
+        self.plans.iter().map(|p| p.tree.clone()).collect()
+    }
+}
+
+/// [`crate::small_search_traced`] against a [`WisdomSession`]: trusted
+/// DB entries are reused without measuring, unmeasured imports are
+/// measured directly, and (with pruning enabled) the calibrated model
+/// cuts the candidate set before any kernel is compiled. Every
+/// completed size is recorded back to the DB.
+///
+/// # Errors
+///
+/// As [`crate::small_search_traced`], plus DB I/O failures.
+pub fn small_search_wisdom(
+    max_k: u32,
+    config: &SearchConfig,
+    eval: &mut dyn Evaluator,
+    tel: &mut Telemetry,
+    session: &mut WisdomSession,
+) -> Result<Vec<SizeResult>, SearchError> {
+    small_search_wisdom_src(max_k, config, &mut SerialSource(eval), tel, session)
+}
+
+/// [`small_search_wisdom`] over an [`EvaluatorPool`] (see
+/// [`crate::small_search_parallel`] for the determinism contract).
+///
+/// # Errors
+///
+/// As [`small_search_wisdom`].
+pub fn small_search_wisdom_parallel(
+    max_k: u32,
+    config: &SearchConfig,
+    pool: &mut EvaluatorPool,
+    tel: &mut Telemetry,
+    session: &mut WisdomSession,
+) -> Result<Vec<SizeResult>, SearchError> {
+    small_search_wisdom_src(max_k, config, pool, tel, session)
+}
+
+fn small_search_wisdom_src(
+    max_k: u32,
+    config: &SearchConfig,
+    src: &mut dyn CostSource,
+    tel: &mut Telemetry,
+    session: &mut WisdomSession,
+) -> Result<Vec<SizeResult>, SearchError> {
+    tel.begin_span("search.small");
+    session.ensure_model(config, src, tel)?;
+    let transform = transform_key(config);
+    let mut best: Vec<SizeResult> = Vec::new();
+    for k in 1..=max_k {
+        tel.begin_span(&format!("small 2^{k}"));
+        let candidates = small_candidates(k, config, &best);
+        let plans = step_wisdom(
+            1usize << k,
+            &candidates,
+            1,
+            config,
+            src,
+            tel,
+            session,
+            &transform,
+        );
+        tel.end_span();
+        let plans = plans?;
+        best.push(SizeResult {
+            tree: plans[0].tree.clone(),
+            cost: plans[0].cost,
+        });
+    }
+    tel.end_span();
+    tel.merge(&src.drain());
+    tel.merge(&session.drain_telemetry());
+    Ok(best)
+}
+
+/// [`crate::large_search_traced`] against a [`WisdomSession`] (see
+/// [`small_search_wisdom`]). Each size's full k-best plan list is
+/// reused from / recorded to the DB.
+///
+/// # Errors
+///
+/// As [`crate::large_search_traced`], plus DB I/O failures.
+///
+/// # Panics
+///
+/// Panics if `small` does not cover sizes up to `config.leaf_max`.
+pub fn large_search_wisdom(
+    small: &[SizeResult],
+    max_log: u32,
+    config: &SearchConfig,
+    eval: &mut dyn Evaluator,
+    tel: &mut Telemetry,
+    session: &mut WisdomSession,
+) -> Result<Vec<Vec<Plan>>, SearchError> {
+    large_search_wisdom_src(
+        small,
+        max_log,
+        config,
+        &mut SerialSource(eval),
+        tel,
+        session,
+    )
+}
+
+/// [`large_search_wisdom`] over an [`EvaluatorPool`].
+///
+/// # Errors
+///
+/// As [`large_search_wisdom`].
+///
+/// # Panics
+///
+/// Panics if `small` does not cover sizes up to `config.leaf_max`.
+pub fn large_search_wisdom_parallel(
+    small: &[SizeResult],
+    max_log: u32,
+    config: &SearchConfig,
+    pool: &mut EvaluatorPool,
+    tel: &mut Telemetry,
+    session: &mut WisdomSession,
+) -> Result<Vec<Vec<Plan>>, SearchError> {
+    large_search_wisdom_src(small, max_log, config, pool, tel, session)
+}
+
+fn large_search_wisdom_src(
+    small: &[SizeResult],
+    max_log: u32,
+    config: &SearchConfig,
+    src: &mut dyn CostSource,
+    tel: &mut Telemetry,
+    session: &mut WisdomSession,
+) -> Result<Vec<Vec<Plan>>, SearchError> {
+    tel.begin_span("search.large");
+    session.ensure_model(config, src, tel)?;
+    let transform = transform_key(config);
+    let small_max_k = small.len() as u32;
+    let mut kbest = seed_kbest(small, config);
+    let mut out = Vec::new();
+    for k in (small_max_k + 1)..=max_log {
+        tel.begin_span(&format!("large 2^{k}"));
+        let candidates = large_candidates(k, config, &kbest);
+        let plans = step_wisdom(
+            1usize << k,
+            &candidates,
+            config.keep,
+            config,
+            src,
+            tel,
+            session,
+            &transform,
+        );
+        tel.end_span();
+        let plans = plans?;
+        tel.add("search.plans_kept", plans.len() as u64);
+        kbest.insert(k, plans.clone());
+        out.push(plans);
+    }
+    tel.end_span();
+    tel.merge(&src.drain());
+    tel.merge(&session.drain_telemetry());
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{large_search, small_search, OpCountEvaluator};
+    use std::path::PathBuf;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("spl_wisdom_db_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn plan(spec: &str, cost: f64) -> Plan {
+        Plan {
+            tree: FftTree::from_spec(spec).unwrap(),
+            cost,
+        }
+    }
+
+    #[test]
+    fn db_round_trips_entries_across_open() {
+        let dir = tmp_dir("roundtrip");
+        let mut db = WisdomDb::open(&dir).unwrap();
+        db.record("fft/t", 8, &[plan("(ct 2 4)", 3.5), plan("(ct 4 2)", 4.0)])
+            .unwrap();
+        db.record("fft/t", 4, &[plan("(ct 2 2)", 1.25)]).unwrap();
+        drop(db);
+        let mut db = WisdomDb::open(&dir).unwrap();
+        assert_eq!(db.len(), 2);
+        let e = db.lookup("fft/t", 8).expect("trusted hit");
+        assert_eq!(e.plans.len(), 2);
+        assert_eq!(e.best().cost, 3.5);
+        assert_eq!(e.best().tree.to_spec(), "(ct 2 4)");
+        assert!(e.measured());
+        assert!(db.lookup("fft/t", 16).is_none());
+        let tel = db.drain_telemetry();
+        assert_eq!(tel.counter("wisdom.db.hits"), Some(1));
+        assert_eq!(tel.counter("wisdom.db.misses"), Some(1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn db_merge_is_best_cost_wins_and_commutative() {
+        let dir = tmp_dir("merge");
+        let mut db = WisdomDb::open(&dir).unwrap();
+        db.record("fft/t", 8, &[plan("(ct 2 4)", 5.0)]).unwrap();
+        // A better cost replaces; a worse one is a merge loss and is
+        // not served.
+        db.record("fft/t", 8, &[plan("(ct 4 2)", 4.0)]).unwrap();
+        db.record("fft/t", 8, &[plan("(ct 2 4)", 9.0)]).unwrap();
+        assert_eq!(db.lookup("fft/t", 8).unwrap().best().cost, 4.0);
+        let tel = db.drain_telemetry();
+        assert_eq!(tel.counter("wisdom.db.merge_losses"), Some(1));
+        // Reload sees both appended records and converges to the same
+        // winner regardless of order.
+        db.reload().unwrap();
+        assert_eq!(db.lookup("fft/t", 8).unwrap().best().cost, 4.0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn db_measured_beats_unmeasured_import() {
+        let dir = tmp_dir("measured");
+        let mut db = WisdomDb::open(&dir).unwrap();
+        db.record("fft/t", 4, &[plan("(ct 2 2)", 0.0)]).unwrap();
+        assert!(!db.lookup("fft/t", 4).unwrap().measured());
+        db.record("fft/t", 4, &[plan("4", 7.0)]).unwrap();
+        let e = db.lookup("fft/t", 4).unwrap();
+        assert!(e.measured());
+        assert_eq!(e.best().tree.to_spec(), "4");
+        // An unmeasured import never displaces a measurement.
+        db.record("fft/t", 4, &[plan("(ct 2 2)", 0.0)]).unwrap();
+        assert!(db.lookup("fft/t", 4).unwrap().measured());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn db_stale_fingerprints_kept_but_not_trusted() {
+        let dir = tmp_dir("stale");
+        let mut db = WisdomDb::open(&dir).unwrap();
+        db.record_with("fft/t", 8, &[plan("(ct 2 4)", 1.0)], "deadbeef", "cafebabe")
+            .unwrap();
+        assert!(db.lookup("fft/t", 8).is_none(), "stale must not be trusted");
+        let stale = db.lookup_stale("fft/t", 8).expect("stale visible");
+        assert_eq!(stale.cc_fp, "deadbeef");
+        // A trusted entry for the same size coexists under its own key.
+        db.record("fft/t", 8, &[plan("(ct 4 2)", 2.0)]).unwrap();
+        assert_eq!(db.len(), 2);
+        assert_eq!(
+            db.lookup("fft/t", 8).unwrap().best().tree.to_spec(),
+            "(ct 4 2)"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flat_wisdom_imports_losslessly() {
+        let dir = tmp_dir("import");
+        let mut db = WisdomDb::open(&dir).unwrap();
+        let flat = "2: 2\n4: (ct 2 2)\n8: (ct 2 (ct 2 2))\n";
+        assert_eq!(db.import_flat(flat, "fft/t").unwrap(), 3);
+        assert_eq!(db.export_flat(), flat);
+        // Round-trips across a reopen too.
+        drop(db);
+        let db = WisdomDb::open(&dir).unwrap();
+        assert_eq!(db.export_flat(), flat);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn import_flat_reports_typed_errors() {
+        let dir = tmp_dir("import_err");
+        let mut db = WisdomDb::open(&dir).unwrap();
+        let err = db.import_flat("16: (ct 2 2)", "fft/t").unwrap_err();
+        match err {
+            SearchError::Wisdom(e) => assert_eq!(
+                e.kind,
+                WisdomErrorKind::SizeMismatch {
+                    computed: 4,
+                    labelled: 16
+                }
+            ),
+            other => panic!("expected wisdom error, got {other}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn calibration_round_trips() {
+        let dir = tmp_dir("calib");
+        let mut db = WisdomDb::open(&dir).unwrap();
+        assert!(db.calibration().is_none());
+        let model = CalibratedModel::from_parts([0.5, 1.5, -2.0, 3.0, 0.0, 1.0], 0.125);
+        db.store_calibration(&model).unwrap();
+        assert_eq!(db.calibration(), Some(&model));
+        drop(db);
+        let db = WisdomDb::open(&dir).unwrap();
+        assert_eq!(db.calibration(), Some(&model));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wisdom_search_matches_plain_and_reuses_on_rerun() {
+        let dir = tmp_dir("search");
+        let config = SearchConfig {
+            leaf_max: 8,
+            ..SearchConfig::default()
+        };
+        let mut eval = OpCountEvaluator::default();
+        let plain_small = small_search(3, &config, &mut eval).unwrap();
+        let plain_large = large_search(&plain_small, 6, &config, &mut eval).unwrap();
+
+        let db = WisdomDb::open(&dir).unwrap();
+        let mut session = WisdomSession::new(db, None);
+        let mut tel = Telemetry::new();
+        let small = small_search_wisdom(
+            3,
+            &config,
+            &mut OpCountEvaluator::default(),
+            &mut tel,
+            &mut session,
+        )
+        .unwrap();
+        let large = large_search_wisdom(
+            &small,
+            6,
+            &config,
+            &mut OpCountEvaluator::default(),
+            &mut tel,
+            &mut session,
+        )
+        .unwrap();
+        for (a, b) in small.iter().zip(&plain_small) {
+            assert_eq!(a.tree, b.tree);
+            assert_eq!(a.cost, b.cost);
+        }
+        for (a, b) in large.iter().zip(&plain_large) {
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.tree, y.tree);
+                assert_eq!(x.cost, y.cost);
+            }
+        }
+
+        // A second session over the same DB reuses every size: zero
+        // evaluations.
+        let mut session = WisdomSession::new(WisdomDb::open(&dir).unwrap(), None);
+        let mut tel2 = Telemetry::new();
+        let small2 = small_search_wisdom(
+            3,
+            &config,
+            &mut OpCountEvaluator::default(),
+            &mut tel2,
+            &mut session,
+        )
+        .unwrap();
+        let large2 = large_search_wisdom(
+            &small2,
+            6,
+            &config,
+            &mut OpCountEvaluator::default(),
+            &mut tel2,
+            &mut session,
+        )
+        .unwrap();
+        assert_eq!(tel2.counter("search.plans_evaluated"), None);
+        assert_eq!(tel2.counter("wisdom.db.reused_sizes"), Some(6));
+        for (a, b) in small2.iter().zip(&plain_small) {
+            assert_eq!(a.tree, b.tree);
+        }
+        for (a, b) in large2.iter().zip(&plain_large) {
+            assert_eq!(a[0].tree, b[0].tree);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pruned_wisdom_search_calibrates_and_matches_opcount_winners() {
+        let dir = tmp_dir("pruned");
+        // Small leaves keep every compiled probe/candidate tiny so the
+        // test stays fast in debug builds.
+        let config = SearchConfig {
+            leaf_max: 16,
+            ..SearchConfig::default()
+        };
+        let mut plain_tel = Telemetry::new();
+        let mut eval = OpCountEvaluator::default();
+        let plain_small =
+            crate::small_search_traced(4, &config, &mut eval, &mut plain_tel).unwrap();
+        let plain_large =
+            crate::large_search_traced(&plain_small, 7, &config, &mut eval, &mut plain_tel)
+                .unwrap();
+
+        let db = WisdomDb::open(&dir).unwrap();
+        let mut session = WisdomSession::new(db, Some(PruneConfig::default()));
+        let mut tel = Telemetry::new();
+        let small = small_search_wisdom(
+            4,
+            &config,
+            &mut OpCountEvaluator::default(),
+            &mut tel,
+            &mut session,
+        )
+        .unwrap();
+        let large = large_search_wisdom(
+            &small,
+            7,
+            &config,
+            &mut OpCountEvaluator::default(),
+            &mut tel,
+            &mut session,
+        )
+        .unwrap();
+        // Dynamic-op costs are exactly linear in the dynamic-op feature,
+        // so calibration fits tightly and pruning keeps the true winners.
+        let model = session.model().expect("calibrated");
+        assert!(model.confident(), "rel_rms={}", model.rel_rms());
+        assert!(tel.counter("search.calibration.probes").unwrap() >= 8);
+        assert!(tel.counter("search.prune.skipped").unwrap_or(0) > 0);
+        for (a, b) in small.iter().zip(&plain_small) {
+            assert_eq!(a.tree, b.tree, "small winners must survive pruning");
+        }
+        for (a, b) in large.iter().zip(&plain_large) {
+            assert_eq!(a[0].tree, b[0].tree, "large winners must survive pruning");
+        }
+        // Fewer evaluations than the exhaustive search at these sizes
+        // (probe measurements are counted separately).
+        let exhaustive = plain_tel.counter("search.plans_evaluated").unwrap();
+        let pruned = tel.counter("search.plans_evaluated").unwrap();
+        assert!(pruned < exhaustive, "pruned {pruned} vs {exhaustive}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unmeasured_import_is_measured_not_searched() {
+        let dir = tmp_dir("import_measure");
+        let config = SearchConfig {
+            leaf_max: 8,
+            ..SearchConfig::default()
+        };
+        let transform = transform_key(&config);
+        let mut db = WisdomDb::open(&dir).unwrap();
+        // Deliberately import a non-winning plan for size 8.
+        db.import_flat("2: 2\n4: (ct 2 2)\n8: (ct 4 2)\n", &transform)
+            .unwrap();
+        let mut session = WisdomSession::new(db, None);
+        let mut tel = Telemetry::new();
+        let small = small_search_wisdom(
+            3,
+            &config,
+            &mut OpCountEvaluator::default(),
+            &mut tel,
+            &mut session,
+        )
+        .unwrap();
+        // The imported plan was trusted: measured as-is, not re-searched.
+        assert_eq!(small[2].tree.to_spec(), "(ct 4 2)");
+        assert!(small[2].cost > 0.0, "import must be re-measured");
+        assert_eq!(tel.counter("wisdom.db.imports_measured"), Some(3));
+        assert_eq!(tel.counter("search.plans_evaluated"), Some(3));
+        // The measurement was recorded: a fresh session reuses it.
+        let mut session = WisdomSession::new(WisdomDb::open(&dir).unwrap(), None);
+        let mut tel2 = Telemetry::new();
+        small_search_wisdom(
+            3,
+            &config,
+            &mut OpCountEvaluator::default(),
+            &mut tel2,
+            &mut session,
+        )
+        .unwrap();
+        assert_eq!(tel2.counter("search.plans_evaluated"), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprints_are_stable_hex() {
+        assert_eq!(cc_fingerprint().len(), 16);
+        assert_eq!(machine_fingerprint().len(), 16);
+        assert_eq!(cc_fingerprint(), cc_fingerprint());
+        assert!(cc_fingerprint().chars().all(|c| c.is_ascii_hexdigit()));
+        assert!(machine_fingerprint().chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn unknown_record_types_are_skipped() {
+        let dir = tmp_dir("unknown");
+        {
+            let db = WisdomDb::open(&dir).unwrap();
+            let (mut journal, _) = Journal::open(&db.journal_path()).unwrap();
+            journal.append("future v2 something").unwrap();
+        }
+        let mut db = WisdomDb::open(&dir).unwrap();
+        assert!(db.is_empty());
+        assert_eq!(
+            db.drain_telemetry().counter("wisdom.db.unknown_records"),
+            Some(1)
+        );
+        db.record("fft/t", 4, &[plan("(ct 2 2)", 1.0)]).unwrap();
+        db.reload().unwrap();
+        assert_eq!(db.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

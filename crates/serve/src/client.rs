@@ -81,6 +81,16 @@ impl<S: Read + Write> Client<S> {
         self.call(&Request::Drain)
     }
 
+    /// The `reload wisdom` verb: the daemon re-reads its wisdom file
+    /// and wisdom DB so newly learned sizes become servable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates frame and parse failures.
+    pub fn reload_wisdom(&mut self) -> Result<Response, ProtocolError> {
+        self.call(&Request::ReloadWisdom)
+    }
+
     /// Sends raw bytes as one frame — the chaos harness's malformed-
     /// frame injection point.
     ///

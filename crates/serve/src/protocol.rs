@@ -14,6 +14,7 @@
 //! | `H`  | health  | empty |
 //! | `S`  | stats   | empty |
 //! | `D`  | drain   | empty |
+//! | `W`  | reload wisdom | empty |
 //!
 //! Response payloads start with a status byte:
 //!
@@ -86,7 +87,7 @@ pub enum ProtocolError {
         /// The claimed payload length.
         claimed: u64,
     },
-    /// The verb byte was not one of `T`/`H`/`S`/`D`.
+    /// The verb byte was not one of `T`/`H`/`S`/`D`/`W`.
     BadVerb(u8),
     /// The transform kind byte is unknown.
     BadKind(u8),
@@ -173,6 +174,9 @@ pub enum Request {
     Stats,
     /// Graceful shutdown: finish queued work, then stop.
     Drain,
+    /// Re-read the wisdom sources (file and/or wisdom DB) so newly
+    /// learned sizes become servable without a restart.
+    ReloadWisdom,
 }
 
 /// One daemon reply.
@@ -320,6 +324,7 @@ pub fn parse_request(payload: &[u8]) -> Result<Request, ProtocolError> {
         b'H' => Ok(Request::Health),
         b'S' => Ok(Request::Stats),
         b'D' => Ok(Request::Drain),
+        b'W' => Ok(Request::ReloadWisdom),
         b'T' => parse_transform(rest),
         other => Err(ProtocolError::BadVerb(other)),
     }
@@ -371,6 +376,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         Request::Health => vec![b'H'],
         Request::Stats => vec![b'S'],
         Request::Drain => vec![b'D'],
+        Request::ReloadWisdom => vec![b'W'],
         Request::Transform {
             kind,
             n,
@@ -475,7 +481,12 @@ mod tests {
             data: (0..8).map(|i| i as f64 * 0.5).collect(),
         };
         assert_eq!(parse_request(&encode_request(&req)).unwrap(), req);
-        for req in [Request::Health, Request::Stats, Request::Drain] {
+        for req in [
+            Request::Health,
+            Request::Stats,
+            Request::Drain,
+            Request::ReloadWisdom,
+        ] {
             assert_eq!(parse_request(&encode_request(&req)).unwrap(), req);
         }
     }

@@ -44,6 +44,11 @@ pub struct ServerConfig {
     pub state_dir: Option<PathBuf>,
     /// Wisdom file preloaded at startup.
     pub wisdom: Option<PathBuf>,
+    /// Wisdom *database* directory (`spl_search::WisdomDb`) preloaded
+    /// at startup and re-read by the `reload wisdom` verb, so plans
+    /// learned by concurrent `splsearch --wisdom-db` runs become
+    /// servable without a restart.
+    pub wisdom_db: Option<PathBuf>,
     /// Worker threads executing transforms.
     pub workers: usize,
     /// Bounded admission-queue capacity; beyond it requests shed.
@@ -68,6 +73,7 @@ impl Default for ServerConfig {
         ServerConfig {
             state_dir: None,
             wisdom: None,
+            wisdom_db: None,
             workers: 2,
             queue_cap: 64,
             batch_max: 16,
@@ -133,12 +139,7 @@ impl Server {
             native: config.native,
             ..Default::default()
         })?;
-        if let Some(path) = &config.wisdom {
-            let text = std::fs::read_to_string(path).map_err(|e| {
-                ServeError::Unsupported(format!("reading wisdom {}: {e}", path.display()))
-            })?;
-            store.load_wisdom(&text)?;
-        }
+        load_wisdom_sources(&config, &store)?;
         let chaos = config.chaos.map(ChaosInjector::new);
         Ok(Arc::new(Server {
             config,
@@ -326,6 +327,22 @@ impl Server {
             Request::Drain => {
                 self.drain();
                 (Response::Text("drained".into()), true)
+            }
+            Request::ReloadWisdom => {
+                self.count("spld.wisdom.reloads");
+                match load_wisdom_sources(&self.config, &self.store) {
+                    Ok(sizes) => (
+                        Response::Text(format!("wisdom reloaded sizes={sizes}")),
+                        false,
+                    ),
+                    Err(err) => (
+                        Response::Error {
+                            class: err.class(),
+                            message: err.to_string(),
+                        },
+                        false,
+                    ),
+                }
             }
             Request::Transform {
                 n,
@@ -601,4 +618,26 @@ impl Server {
     fn count(&self, key: &str) {
         self.tel.lock().unwrap().add(key, 1);
     }
+}
+
+/// (Re-)reads every configured wisdom source into the plan store's
+/// tree table: the flat wisdom file first, then the wisdom DB (whose
+/// trusted best plans are exported in the same flat format). Returns
+/// how many sizes were loaded across both. Only plans not yet
+/// instantiated pick up new trees — already-warm sizes keep serving
+/// their current plan.
+fn load_wisdom_sources(config: &ServerConfig, store: &PlanStore) -> Result<usize, ServeError> {
+    let mut sizes = 0;
+    if let Some(path) = &config.wisdom {
+        let text = std::fs::read_to_string(path).map_err(|e| {
+            ServeError::Unsupported(format!("reading wisdom {}: {e}", path.display()))
+        })?;
+        sizes += store.load_wisdom(&text)?;
+    }
+    if let Some(dir) = &config.wisdom_db {
+        let db = spl_search::WisdomDb::open(dir)
+            .map_err(|e| ServeError::Unsupported(format!("wisdom db {}: {e}", dir.display())))?;
+        sizes += store.load_wisdom(&db.export_flat())?;
+    }
+    Ok(sizes)
 }

@@ -220,7 +220,10 @@ fn overload_sheds_with_explicit_reply() {
         shed >= 1,
         "queue_cap=2 with 12 clients must shed: {results:?}"
     );
-    assert!(ok >= 3, "the queue still serves: {results:?}");
+    // At least the queue_cap jobs admitted before the burst filled the
+    // queue are always served; how many more depends on whether the
+    // worker frees a slot mid-burst, which is scheduler timing.
+    assert!(ok >= 2, "the queue still serves: {results:?}");
     assert_eq!(shed + ok, clients, "every request answered explicitly");
     let mut client = daemon.client();
     let stats = match client.stats().expect("stats") {
@@ -438,6 +441,73 @@ fn malformed_frames_answered_and_daemon_survives() {
     assert!(daemon.counter(&stats, "spld.protocol_errors") >= 2);
     drop(fresh);
     daemon.shut_down();
+}
+
+#[test]
+fn reload_wisdom_makes_new_sizes_servable_live() {
+    // A wisdom DB directory the daemon watches; empty at startup.
+    let dir = std::env::temp_dir().join(format!("spld-it-wreload-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("test dir");
+    let wdb = dir.join("wdb");
+    let config = ServerConfig {
+        wisdom_db: Some(wdb.clone()),
+        ..ServerConfig::default()
+    };
+    let daemon = TestDaemon::start("wreload", vm_only(config));
+    let mut client = daemon.client();
+
+    // Size 12 is not a power of two and no wisdom covers it yet.
+    match client
+        .transform(12, None, &sample_input(12, 51))
+        .expect("transform")
+    {
+        Response::Error { class, .. } => assert_eq!(class, b'u'),
+        other => panic!("size 12 before reload answered {other:?}"),
+    }
+
+    // A concurrent searcher learns 12 = (ct 3 4) and records it into
+    // the shared DB — exactly what `splsearch --wisdom-db` does.
+    {
+        let mut db = spl_search::WisdomDb::open(&wdb).expect("wisdom db");
+        db.import_flat("12: (ct 3 4)\n", "fft/daemon-test")
+            .expect("import");
+    }
+
+    // The W verb makes the new size servable without a restart.
+    match client.reload_wisdom().expect("reload") {
+        Response::Text(t) => assert_eq!(t, "wisdom reloaded sizes=1"),
+        other => panic!("reload answered {other:?}"),
+    }
+    let x = sample_input(12, 52);
+    match client.transform(12, None, &x).expect("transform") {
+        Response::Transformed { data, .. } => {
+            // Bit-identical to the same plan's VM program run locally.
+            let store = PlanStore::new(PlanStoreOptions {
+                native: false,
+                ..Default::default()
+            })
+            .expect("local plan store");
+            store.load_wisdom("12: (ct 3 4)\n").expect("wisdom");
+            let plan = store.entry(12).expect("plan");
+            let mut want = vec![0.0; plan.vm().n_out];
+            plan.run_vm(&x, &mut want);
+            assert_bits_eq(&data, &want);
+        }
+        other => panic!("size 12 after reload answered {other:?}"),
+    }
+    let stats = match client.stats().expect("stats") {
+        Response::Text(t) => t,
+        other => panic!("stats answered {other:?}"),
+    };
+    assert_eq!(daemon.counter(&stats, "spld.wisdom.reloads"), 1);
+    assert!(
+        daemon.counter(&stats, "spld.wisdom.sizes") >= 1,
+        "reload must load the new size:\n{stats}"
+    );
+    drop(client);
+    daemon.shut_down();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

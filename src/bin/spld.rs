@@ -24,6 +24,8 @@ transport:
 serving state:
   --state-dir <dir> kernel cache + plan journal (restarts come back warm)
   --wisdom <file>   preload searched plans (splsearch --wisdom-out format)
+  --wisdom-db <dir> preload the cross-run wisdom database (splsearch
+                    --wisdom-db); the W control verb re-reads it live
 
 capacity:
   --workers <n>         worker threads (default 2)
@@ -76,6 +78,9 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             "--stdio" => opts.stdio = true,
             "--state-dir" => opts.config.state_dir = Some(PathBuf::from(value("--state-dir")?)),
             "--wisdom" => opts.config.wisdom = Some(PathBuf::from(value("--wisdom")?)),
+            "--wisdom-db" => {
+                opts.config.wisdom_db = Some(PathBuf::from(value("--wisdom-db")?));
+            }
             "--workers" => opts.config.workers = parse_num(&value("--workers")?, "--workers")?,
             "--queue-cap" => {
                 opts.config.queue_cap = parse_num(&value("--queue-cap")?, "--queue-cap")?;

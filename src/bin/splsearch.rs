@@ -25,9 +25,11 @@ use std::time::Duration;
 
 use spl::native::KernelCache;
 use spl::search::{
-    large_search_journaled_parallel, large_search_parallel, small_search_journaled_parallel,
-    small_search_parallel, Evaluator, EvaluatorPool, FaultyEvaluator, MeasuredEvaluator,
-    NativeEvaluator, OpCountEvaluator, ResilientEvaluator, SearchConfig, SizeResult, WorkerContext,
+    large_search_journaled_parallel, large_search_parallel, large_search_wisdom_parallel,
+    small_search_journaled_parallel, small_search_parallel, small_search_wisdom_parallel,
+    Evaluator, EvaluatorPool, FaultyEvaluator, MeasuredEvaluator, NativeEvaluator,
+    OpCountEvaluator, PruneConfig, ResilientEvaluator, SearchConfig, SizeResult, WisdomDb,
+    WisdomSession, WorkerContext,
 };
 use spl::telemetry::cli::ReportOptions;
 use spl::telemetry::out;
@@ -61,6 +63,18 @@ usage: splsearch [options]
   --journal <file>   crash-safe wisdom journal: resume completed sizes
                      from it, append new ones as they finish (large-size
                      records go to <file>.large)
+  --wisdom-db <dir>  keyed, mergeable wisdom database: reuse winners
+                     recorded under the current compiler + machine
+                     fingerprints, record new ones, and share the store
+                     safely with concurrent searches (mutually exclusive
+                     with --journal); enables cost-model pruning unless
+                     --no-prune is given
+  --prune[=K]        prune each size's candidates with the calibrated
+                     cost model before compiling anything: measure the
+                     top-K (default 3) plus everything within the slack
+                     factor of the modeled best (requires --wisdom-db,
+                     which stores the calibration)
+  --no-prune         measure every candidate even with --wisdom-db
   --faulty <seed>    inject deterministic faults at the primary
                      evaluation tier, degrading failed candidates to the
                      operation-count model (faults are keyed per
@@ -86,6 +100,9 @@ struct Options {
     eval_timeout: Duration,
     verify: bool,
     journal: Option<PathBuf>,
+    wisdom_db: Option<PathBuf>,
+    prune: Option<bool>,
+    prune_top_k: usize,
     faulty: Option<u64>,
     fault_rate: f64,
     wisdom_out: Option<String>,
@@ -104,6 +121,9 @@ impl Default for Options {
             eval_timeout: Duration::from_secs(30),
             verify: true,
             journal: None,
+            wisdom_db: None,
+            prune: None,
+            prune_top_k: PruneConfig::default().top_k,
             faulty: None,
             fault_rate: 0.1,
             wisdom_out: None,
@@ -161,6 +181,21 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                 Some(path) => opts.journal = Some(PathBuf::from(path)),
                 None => return Err("--journal requires a file path".into()),
             },
+            "--wisdom-db" => match it.next() {
+                Some(dir) => opts.wisdom_db = Some(PathBuf::from(dir)),
+                None => return Err("--wisdom-db requires a directory path".into()),
+            },
+            "--prune" => opts.prune = Some(true),
+            "--no-prune" => opts.prune = Some(false),
+            prune_k if prune_k.starts_with("--prune=") => {
+                match prune_k["--prune=".len()..].parse::<usize>() {
+                    Ok(k) if k >= 1 => {
+                        opts.prune = Some(true);
+                        opts.prune_top_k = k;
+                    }
+                    _ => return Err("--prune=K requires an integer K >= 1".into()),
+                }
+            }
             "--faulty" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(seed) => opts.faulty = Some(seed),
                 None => return Err("--faulty requires an integer seed".into()),
@@ -176,6 +211,12 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             "-h" | "--help" => return Ok(None),
             other => return Err(format!("unknown option {other} (try --help)")),
         }
+    }
+    if opts.journal.is_some() && opts.wisdom_db.is_some() {
+        return Err("--journal and --wisdom-db are mutually exclusive".into());
+    }
+    if opts.prune == Some(true) && opts.wisdom_db.is_none() {
+        return Err("--prune requires --wisdom-db (the DB stores the calibration)".into());
     }
     Ok(Some(opts))
 }
@@ -264,11 +305,33 @@ fn main() -> ExitCode {
     let mut pool = EvaluatorPool::new(jobs, |ctx| build_evaluator(&opts, ctx, &cache));
     tel.end_span();
 
-    let small = match &opts.journal {
-        Some(path) => {
+    // With --wisdom-db, pruning defaults to on; --no-prune turns it off.
+    let mut session = match &opts.wisdom_db {
+        Some(dir) => {
+            let db = match WisdomDb::open(dir) {
+                Ok(db) => db,
+                Err(e) => return fail(&format!("opening wisdom db {}: {e}", dir.display())),
+            };
+            let prune = match opts.prune {
+                Some(false) => None,
+                _ => Some(PruneConfig {
+                    top_k: opts.prune_top_k,
+                    ..PruneConfig::default()
+                }),
+            };
+            Some(WisdomSession::new(db, prune))
+        }
+        None => None,
+    };
+
+    let small = match (&opts.journal, &mut session) {
+        (Some(path), _) => {
             small_search_journaled_parallel(small_max_k, &opts.config, &mut pool, &mut tel, path)
         }
-        None => small_search_parallel(small_max_k, &opts.config, &mut pool, &mut tel),
+        (None, Some(session)) => {
+            small_search_wisdom_parallel(small_max_k, &opts.config, &mut pool, &mut tel, session)
+        }
+        (None, None) => small_search_parallel(small_max_k, &opts.config, &mut pool, &mut tel),
     };
     let small = match small {
         Ok(s) => s,
@@ -276,8 +339,8 @@ fn main() -> ExitCode {
     };
 
     let large = if opts.max_log > small_max_k {
-        let result = match &opts.journal {
-            Some(path) => {
+        let result = match (&opts.journal, &mut session) {
+            (Some(path), _) => {
                 let large_path = path.with_extension(match path.extension() {
                     Some(ext) => format!("{}.large", ext.to_string_lossy()),
                     None => "large".to_string(),
@@ -291,7 +354,17 @@ fn main() -> ExitCode {
                     &large_path,
                 )
             }
-            None => large_search_parallel(&small, opts.max_log, &opts.config, &mut pool, &mut tel),
+            (None, Some(session)) => large_search_wisdom_parallel(
+                &small,
+                opts.max_log,
+                &opts.config,
+                &mut pool,
+                &mut tel,
+                session,
+            ),
+            (None, None) => {
+                large_search_parallel(&small, opts.max_log, &opts.config, &mut pool, &mut tel)
+            }
         };
         match result {
             Ok(l) => l,
@@ -335,6 +408,16 @@ fn main() -> ExitCode {
     report.meta("verify", if opts.verify { "on" } else { "off" });
     if let Some(dir) = &opts.kernel_cache {
         report.meta("kernel_cache", &dir.display().to_string());
+    }
+    if let Some(dir) = &opts.wisdom_db {
+        report.meta("wisdom_db", &dir.display().to_string());
+        report.meta(
+            "prune",
+            &match (opts.prune, opts.prune_top_k) {
+                (Some(false), _) => "off".to_string(),
+                (_, k) => format!("top{k}"),
+            },
+        );
     }
     if let Some(seed) = opts.faulty {
         report.meta("faulty_seed", &seed.to_string());
